@@ -1,0 +1,16 @@
+// Writes gnuplot-ready data files for every paper figure into ./figure_data/
+// (override with --dir=...). Run after any simulator change to refresh the
+// plotting inputs.
+#include <cstdio>
+
+#include "core/cli.h"
+#include "harness/figure_export.h"
+
+int main(int argc, char** argv) {
+  const orinsim::CliArgs args(argc, argv);
+  const std::string dir = args.get("dir", "figure_data");
+  const auto result = orinsim::harness::export_figure_data(dir);
+  std::printf("wrote %zu files to %s/\n", result.files.size(), result.directory.c_str());
+  for (const auto& f : result.files) std::printf("  %s\n", f.c_str());
+  return 0;
+}

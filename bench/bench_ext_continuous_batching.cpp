@@ -1,0 +1,66 @@
+// Extension study: static batching (the paper's serving regime) vs
+// continuous token-level batching on the same simulated Orin AGX, same
+// arrival process, same workload. Quantifies the paper's "dedicated
+// inference engines" future-work direction.
+#include <cstdio>
+
+#include "core/cli.h"
+#include "core/table.h"
+#include "serving/batch_scheduler.h"
+#include "serving/continuous_batching.h"
+
+using namespace orinsim;
+using namespace orinsim::serving;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string model = args.get("model", "llama3");
+  const auto requests = static_cast<std::size_t>(args.get_int("requests", 96));
+  const bool csv = args.get_bool("csv", false);
+
+  std::printf("== Extension: static vs continuous batching (%s, FP16, sl=96) ==\n\n",
+              model.c_str());
+  Table table({"Arrival (req/s)", "Scheduler", "mean TTLT (s)", "p95 TTLT (s)",
+               "Throughput (tok/s)", "Energy/request (J)", "Mean occupancy"});
+
+  SimSession session(model, DType::kF16, workload::Dataset::kWikiText2);
+  for (double rps : {0.5, 2.0, 5.0, 10.0}) {
+    // Static batching (the paper's regime), best-of max-batch {8, 32}.
+    for (std::size_t max_batch : {std::size_t{8}, std::size_t{32}}) {
+      SchedulerConfig sc;
+      sc.max_batch = max_batch;
+      sc.arrival_rate_rps = rps;
+      sc.total_requests = requests;
+      const ScheduleResult r = simulate_serving(session, sc);
+      table.new_row()
+          .add_number(rps, 1)
+          .add_cell("static bs<=" + std::to_string(max_batch))
+          .add_number(r.mean_latency_s(), 2)
+          .add_number(r.p95_latency_s(), 2)
+          .add_number(r.achieved_rps() * 96.0, 1)
+          .add_number(r.total_energy_j / static_cast<double>(requests), 0)
+          .add_number(r.mean_batch_occupancy, 1);
+    }
+    // Continuous batching at the same concurrency cap.
+    ContinuousConfig cc;
+    cc.model_key = model;
+    cc.arrival_rate_rps = rps;
+    cc.total_requests = requests;
+    cc.max_concurrency = 32;
+    const ContinuousResult r = simulate_continuous(cc);
+    table.new_row()
+        .add_number(rps, 1)
+        .add_cell("continuous c<=32")
+        .add_number(r.mean_latency_s(), 2)
+        .add_number(r.p95_latency_s(), 2)
+        .add_number(r.throughput_tps(cc), 1)
+        .add_number(r.energy_j / static_cast<double>(requests), 0)
+        .add_number(r.mean_active, 1);
+  }
+  std::fputs((csv ? table.to_csv() : table.to_markdown()).c_str(), stdout);
+
+  std::printf("\nReading: under load, continuous batching removes the paper's core\n");
+  std::printf("batch-size dilemma (Fig 1) — requests no longer wait for a batch to\n");
+  std::printf("form or for its slowest member — at the same device throughput.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Extension study: DLA co-execution — pin a small INT8 model to one of the
+// Orin AGX's two NVDLA cores while the GPU serves the big model (the
+// heterogeneous-serving direction the paper's conclusion names).
+#include <cstdio>
+
+#include "core/cli.h"
+#include "core/table.h"
+#include "core/units.h"
+#include "sim/dla.h"
+
+using namespace orinsim;
+using namespace orinsim::sim;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+
+  std::printf("== Extension: small model on DLA while the GPU serves the big model ==\n");
+  Table table({"GPU model (bs=32)", "DLA model (INT8)", "DLA tok/s", "DLA bound by",
+               "GPU tok/s alone", "GPU tok/s shared", "GPU loss", "Added power (W)"});
+  for (const char* big : {"llama3", "mistral", "deepseek-qwen"}) {
+    const ModelSpec& b = model_by_key(big);
+    const DlaCoExecution r =
+        estimate_dla_coexecution(b, b.default_dtype, model_by_key("phi2"));
+    table.new_row()
+        .add_cell(b.display)
+        .add_cell("MS-Phi2")
+        .add_number(r.dla_tps, 1)
+        .add_cell(r.dla_memory_bound ? "DRAM share" : "INT8 TOPS")
+        .add_number(r.gpu_tps_alone, 1)
+        .add_number(r.gpu_tps_shared, 1)
+        .add_cell(format_double(r.gpu_degradation * 100.0, 1) + "%")
+        .add_number(r.added_power_w, 1);
+  }
+  std::fputs((csv ? table.to_csv() : table.to_markdown()).c_str(), stdout);
+
+  std::printf("\n== Sensitivity: DLA DRAM share vs small-model throughput ==\n");
+  Table sens({"DRAM share", "Phi-2 tok/s on DLA", "Bound by"});
+  for (double share : {0.1, 0.2, 0.3, 0.5, 0.8}) {
+    DlaSpec dla;
+    dla.dram_share = share;
+    const DlaCoExecution r = estimate_dla_coexecution(
+        model_by_key("llama3"), DType::kF16, model_by_key("phi2"), dla);
+    sens.new_row()
+        .add_cell(format_double(share * 100, 0) + "%")
+        .add_number(r.dla_tps, 1)
+        .add_cell(r.dla_memory_bound ? "DRAM share" : "INT8 TOPS");
+  }
+  std::fputs((csv ? sens.to_csv() : sens.to_markdown()).c_str(), stdout);
+
+  std::printf("\nReading: a DLA-hosted Phi-2 sustains an interactive assistant\n");
+  std::printf("(~20 tok/s single-stream) for ~5 W while costing the GPU model under\n");
+  std::printf("10%% throughput — the same shared-DRAM coupling that drives PM-G/H in\n");
+  std::printf("Fig 5 is what bounds the co-execution, not DLA compute.\n");
+  return 0;
+}

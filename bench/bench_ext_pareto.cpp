@@ -1,0 +1,74 @@
+// Extension study: the configuration Pareto frontier — the "optimize LLM
+// inferencing on the edge" step the paper's conclusion proposes. Enumerates
+// precision x batch x power mode x KV-cache precision for a model, prints
+// the non-dominated configurations over (latency/token, energy/token, RAM),
+// and answers three deployment questions with constrained optima.
+#include <cstdio>
+
+#include "core/cli.h"
+#include "core/table.h"
+#include "core/units.h"
+#include "harness/pareto.h"
+
+using namespace orinsim;
+using namespace orinsim::harness;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string model = args.get("model", "llama3");
+  const bool csv = args.get_bool("csv", false);
+
+  ParetoOptions options;
+  options.model_key = model;
+  const auto points = enumerate_configs(options);
+  const auto frontier = pareto_frontier(points);
+
+  std::printf("== Extension: configuration Pareto frontier for %s (sl=96) ==\n", model.c_str());
+  std::printf("   %zu feasible configurations, %zu on the frontier\n\n", points.size(),
+              frontier.size());
+
+  Table table({"Configuration", "ms/token", "J/token", "RAM (GB)", "Power (W)",
+               "Throughput (tok/s)"});
+  for (const auto& p : frontier) {
+    table.new_row()
+        .add_cell(p.label())
+        .add_number(p.latency_per_token_ms, 2)
+        .add_number(p.energy_per_token_j, 3)
+        .add_number(p.ram_gb, 1)
+        .add_number(p.median_power_w, 1)
+        .add_number(p.throughput_tps, 1);
+  }
+  std::fputs((csv ? table.to_csv() : table.to_markdown()).c_str(), stdout);
+
+  std::printf("\n== Constrained optima ==\n");
+  struct Question {
+    const char* text;
+    Constraints constraints;
+    Objective objective;
+  };
+  Constraints battery;
+  battery.max_power_w = 30.0;
+  Constraints interactive;
+  interactive.max_latency_s = 15.0;
+  Constraints tight_ram;
+  tight_ram.max_ram_gb = 12.0;
+  const Question questions[] = {
+      {"Battery-powered (median draw <= 30 W), min energy/token", battery,
+       Objective::kEnergyPerToken},
+      {"Interactive (batch latency <= 15 s), max throughput", interactive,
+       Objective::kThroughput},
+      {"Co-located with other apps (RAM <= 12 GB), min latency/token", tight_ram,
+       Objective::kLatencyPerToken},
+  };
+  for (const auto& q : questions) {
+    const auto best = best_config(points, q.constraints, q.objective);
+    if (best) {
+      std::printf("  %-60s -> %s (%.2f ms/tok, %.3f J/tok, %.1f W, %.1f GB)\n", q.text,
+                  best->label().c_str(), best->latency_per_token_ms,
+                  best->energy_per_token_j, best->median_power_w, best->ram_gb);
+    } else {
+      std::printf("  %-60s -> no feasible configuration\n", q.text);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig 1 / Fig 6 / Fig 7 and Tables 4 / 5: batch-size sweep (bs = 1..128,
+// sl = 96 = 32+64, MaxN, FP16 except DeepSeek-Qwen at INT8).
+//
+//   --dataset=wikitext2 (default, Table 4) | longbench (Table 5) | both
+//   --metric=all | ram | latency | throughput
+//   --csv
+#include <cstdio>
+
+#include "core/cli.h"
+#include "harness/experiments.h"
+#include "harness/shape_checks.h"
+
+using namespace orinsim;
+using namespace orinsim::harness;
+
+namespace {
+
+void run_dataset(workload::Dataset dataset, const std::string& metric, bool csv) {
+  std::printf("== Batch-size sweep, %s (paper %s) ==\n",
+              workload::dataset_name(dataset).c_str(),
+              dataset == workload::Dataset::kWikiText2 ? "Fig 1/6, Table 4"
+                                                       : "Fig 7, Table 5");
+  const BatchSweep sweep = run_batch_sweep(dataset);
+  auto print = [&](Metric m) {
+    std::printf("\n-- %s (sim / paper) --\n", metric_name(m).c_str());
+    const Table t = batch_sweep_comparison(sweep, m);
+    std::fputs((csv ? t.to_csv() : t.to_markdown()).c_str(), stdout);
+  };
+  if (metric == "all" || metric == "ram") print(Metric::kRam);
+  if (metric == "all" || metric == "latency") print(Metric::kLatency);
+  if (metric == "all" || metric == "throughput") print(Metric::kThroughput);
+
+  std::printf("\n-- shape checks (paper section 3.1) --\n");
+  std::fputs(format_checks(check_batch_sweep(sweep)).c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string dataset = args.get("dataset", "wikitext2");
+  const std::string metric = args.get("metric", "all");
+  const bool csv = args.get_bool("csv", false);
+
+  if (dataset == "both") {
+    run_dataset(workload::Dataset::kWikiText2, metric, csv);
+    std::printf("\n");
+    run_dataset(workload::Dataset::kLongBench, metric, csv);
+  } else {
+    run_dataset(workload::parse_dataset(dataset), metric, csv);
+  }
+  return 0;
+}

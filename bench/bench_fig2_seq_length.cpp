@@ -1,0 +1,47 @@
+// Fig 2 / Fig 8 / Fig 9 and Tables 6 / 7: sequence-length sweep
+// (sl = 128/256/512/1024 split as A = B + C, bs = 32, MaxN).
+//
+//   --dataset=longbench (default, Table 6) | wikitext2 (Table 7) | both
+//   --csv
+#include <cstdio>
+
+#include "core/cli.h"
+#include "harness/experiments.h"
+#include "harness/shape_checks.h"
+
+using namespace orinsim;
+using namespace orinsim::harness;
+
+namespace {
+
+void run_dataset(workload::Dataset dataset, bool csv) {
+  std::printf("== Sequence-length sweep, %s (paper %s) ==\n",
+              workload::dataset_name(dataset).c_str(),
+              dataset == workload::Dataset::kLongBench ? "Fig 2/8, Table 6"
+                                                       : "Fig 9, Table 7");
+  std::printf("   splits: 128=32+96, 256=64+192, 512=128+384, 1024=256+768\n");
+  const SeqSweep sweep = run_seq_sweep(dataset);
+  for (Metric m : {Metric::kRam, Metric::kLatency, Metric::kThroughput}) {
+    std::printf("\n-- %s (sim / paper) --\n", metric_name(m).c_str());
+    const Table t = seq_sweep_comparison(sweep, m);
+    std::fputs((csv ? t.to_csv() : t.to_markdown()).c_str(), stdout);
+  }
+  std::printf("\n-- shape checks (paper section 3.2) --\n");
+  std::fputs(format_checks(check_seq_sweep(sweep)).c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string dataset = args.get("dataset", "longbench");
+  const bool csv = args.get_bool("csv", false);
+  if (dataset == "both") {
+    run_dataset(workload::Dataset::kLongBench, csv);
+    std::printf("\n");
+    run_dataset(workload::Dataset::kWikiText2, csv);
+  } else {
+    run_dataset(workload::parse_dataset(dataset), csv);
+  }
+  return 0;
+}

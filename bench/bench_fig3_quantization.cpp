@@ -1,0 +1,50 @@
+// Fig 3 / Fig 11: quantization impact on latency, throughput and memory
+// (bs = 32, sl = 96, MaxN, FP32/FP16/INT8/INT4 for all four models, with
+// OOM markers matching the paper).
+#include <cstdio>
+
+#include "core/cli.h"
+#include "core/units.h"
+#include "harness/experiments.h"
+#include "harness/shape_checks.h"
+#include "sim/model_catalog.h"
+
+using namespace orinsim;
+using namespace orinsim::harness;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+
+  std::printf("== Quantization study (paper Fig 3 / Fig 11): bs=32, sl=96, MaxN ==\n");
+  const QuantStudy study = run_quant_study();
+  for (Metric m : {Metric::kLatency, Metric::kThroughput, Metric::kRam, Metric::kPower,
+                   Metric::kEnergy}) {
+    std::printf("\n-- %s --\n", metric_name(m).c_str());
+    const Table t = quant_study_table(study, m);
+    std::fputs((csv ? t.to_csv() : t.to_markdown()).c_str(), stdout);
+  }
+
+  // Latency ratios vs FP16 — the paper's headline quantization claim.
+  std::printf("\n-- latency relative to FP16 (paper: +62%% for Phi-2/Llama INT8, +2%% Mistral) --\n");
+  Table ratios({"Model", "INT8 / FP16", "INT4 / FP16", "INT4 / INT8"});
+  const auto& catalog = sim::model_catalog();
+  for (std::size_t mi = 0; mi < catalog.size(); ++mi) {
+    const Cell& f16 = study.cells[mi][1];
+    const Cell& i8 = study.cells[mi][2];
+    const Cell& i4 = study.cells[mi][3];
+    ratios.new_row().add_cell(catalog[mi].display);
+    if (f16.oom) {
+      ratios.add_cell("FP16 OOM").add_cell("FP16 OOM");
+    } else {
+      ratios.add_cell("x" + format_double(i8.latency_s / f16.latency_s, 2));
+      ratios.add_cell("x" + format_double(i4.latency_s / f16.latency_s, 2));
+    }
+    ratios.add_cell("x" + format_double(i4.latency_s / i8.latency_s, 2));
+  }
+  std::fputs((csv ? ratios.to_csv() : ratios.to_markdown()).c_str(), stdout);
+
+  std::printf("\n-- shape checks (paper section 3.3) --\n");
+  std::fputs(format_checks(check_quant_study(study)).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig 4 (Llama) and Fig 10 (all models): median power load and total energy
+// per batch across batch sizes and precisions (MaxN, sl = 96).
+//
+//   --model=llama3 (default) | phi2 | mistral | deepseek-qwen
+//   --all-models   reproduce Fig 10 over the whole catalog
+//   --csv
+#include <cstdio>
+
+#include "core/cli.h"
+#include "core/stats.h"
+#include "core/units.h"
+#include "harness/experiments.h"
+#include "harness/shape_checks.h"
+#include "sim/model_catalog.h"
+
+using namespace orinsim;
+using namespace orinsim::harness;
+
+namespace {
+
+void run_model(const std::string& key, bool csv) {
+  std::printf("== Power & energy vs batch size x precision: %s (paper %s) ==\n",
+              key.c_str(), key == "llama3" ? "Fig 4" : "Fig 10");
+  const PowerEnergyStudy study = run_power_energy(key);
+  const Table t = power_energy_table(study);
+  std::fputs((csv ? t.to_csv() : t.to_markdown()).c_str(), stdout);
+
+  // Median power/energy deltas INT8 vs FP16 and INT8 vs INT4 across the
+  // batch sweep — the appendix A.3 summary statistics.
+  std::vector<double> p8_vs_16, p8_vs_4, e16_vs_8, e8_vs_4;
+  for (std::size_t b = 0; b < study.batch_sizes.size(); ++b) {
+    const Cell& f16 = study.cells[0][b];
+    const Cell& i8 = study.cells[1][b];
+    const Cell& i4 = study.cells[2][b];
+    if (!f16.oom && !i8.oom) {
+      p8_vs_16.push_back(1.0 - i8.median_power_w / f16.median_power_w);
+      e16_vs_8.push_back(1.0 - f16.energy_j / i8.energy_j);
+    }
+    if (!i8.oom && !i4.oom) {
+      p8_vs_4.push_back(1.0 - i8.median_power_w / i4.median_power_w);
+      e8_vs_4.push_back(1.0 - i8.energy_j / i4.energy_j);
+    }
+  }
+  auto med = [](std::vector<double>& v) { return median(v) * 100.0; };
+  std::printf("\nmedian across batch sizes:\n");
+  if (!p8_vs_16.empty()) {
+    std::printf("  INT8 power savings vs FP16: %.0f%%  (paper Llama: ~39%%)\n",
+                med(p8_vs_16));
+    std::printf("  FP16 energy savings vs INT8: %.0f%%  (paper Llama: ~23%%)\n",
+                med(e16_vs_8));
+  }
+  std::printf("  INT8 power savings vs INT4: %.0f%%  (paper Llama: ~32%%)\n", med(p8_vs_4));
+  std::printf("  INT8 energy savings vs INT4: %.0f%%  (paper Llama/DeepQ: ~78%%)\n",
+              med(e8_vs_4));
+
+  std::printf("\n-- shape checks (paper section 3.3, Fig 4) --\n");
+  std::fputs(format_checks(check_power_energy(study)).c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+  if (args.get_bool("all-models", false)) {
+    for (const auto& m : sim::model_catalog()) run_model(m.key, csv);
+  } else {
+    run_model(args.get("model", "llama3"), csv);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig 5 (and Table 2): the nine power modes across all four models at
+// bs = 32, sl = 96 — latency bars plus energy/power markers, with the §3.4
+// relative deltas against MaxN.
+#include <cstdio>
+
+#include "core/cli.h"
+#include "core/table.h"
+#include "core/units.h"
+#include "harness/experiments.h"
+#include "harness/shape_checks.h"
+#include "sim/paper_reference.h"
+
+using namespace orinsim;
+using namespace orinsim::harness;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+
+  std::printf("== Table 2: power mode resource configurations ==\n");
+  Table modes({"Power Mode", "GPU Freq (MHz)", "CPU Freq (GHz)", "CPU Cores Online",
+               "Memory Freq (MHz)"});
+  for (const auto& pm : sim::all_power_modes()) {
+    modes.new_row()
+        .add_cell(pm.name)
+        .add_number(pm.gpu_freq_mhz, 0)
+        .add_number(pm.cpu_freq_ghz, 1)
+        .add_cell(std::to_string(pm.cpu_cores_online))
+        .add_number(pm.mem_freq_mhz, 0);
+  }
+  std::fputs((csv ? modes.to_csv() : modes.to_markdown()).c_str(), stdout);
+
+  std::printf("\n== Fig 5: power modes across models (bs=32, sl=96) ==\n");
+  const PowerModeStudy study = run_power_modes();
+  const Table t = power_mode_table(study);
+  std::fputs((csv ? t.to_csv() : t.to_markdown()).c_str(), stdout);
+
+  std::printf("\n-- paper section 3.4 claims (Llama) vs simulated --\n");
+  Table claims({"Mode", "paper power delta", "sim power delta", "paper latency delta",
+                "sim latency delta"});
+  const std::size_t llama = 1;
+  const Cell& maxn = study.cells[llama][0];
+  for (const auto& claim : sim::fig5_power_mode_claims()) {
+    for (std::size_t p = 0; p < study.modes.size(); ++p) {
+      if (study.modes[p].name != claim.mode) continue;
+      const Cell& cell = study.cells[llama][p];
+      claims.new_row()
+          .add_cell(claim.mode)
+          .add_cell(format_double(claim.power_delta * 100, 0) + "%")
+          .add_cell(format_double((cell.median_power_w / maxn.median_power_w - 1) * 100, 1) +
+                    "%")
+          .add_cell(format_double(claim.latency_delta * 100, 0) + "%")
+          .add_cell(format_double((cell.latency_s / maxn.latency_s - 1) * 100, 1) + "%");
+    }
+  }
+  std::fputs((csv ? claims.to_csv() : claims.to_markdown()).c_str(), stdout);
+
+  std::printf("\n-- shape checks (paper section 3.4) --\n");
+  std::fputs(format_checks(check_power_modes(study)).c_str(), stdout);
+  return 0;
+}

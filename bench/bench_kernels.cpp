@@ -1,0 +1,118 @@
+// google-benchmark microbenchmarks of the functional engine's compute and
+// quantization kernels (the "methodology" benches: these are the primitives
+// whose efficiency the simulator's calibrated constants summarize).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rng.h"
+#include "quant/quantize.h"
+#include "quant/weight_matrix.h"
+#include "tensor/kernels.h"
+
+namespace {
+
+using namespace orinsim;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed, float scale = 0.1f) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.0, scale));
+  return v;
+}
+
+void BM_Softmax(benchmark::State& state) {
+  const std::size_t rows = 32, cols = static_cast<std::size_t>(state.range(0));
+  auto x = random_vec(rows * cols, 1);
+  for (auto _ : state) {
+    auto copy = x;
+    kernels::softmax_rows(copy, rows, cols);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows * cols);
+}
+BENCHMARK(BM_Softmax)->Arg(128)->Arg(1024);
+
+void BM_RmsNorm(benchmark::State& state) {
+  const std::size_t rows = 32, cols = static_cast<std::size_t>(state.range(0));
+  auto x = random_vec(rows * cols, 2);
+  std::vector<float> gain(cols, 1.0f), y(rows * cols);
+  for (auto _ : state) {
+    kernels::rmsnorm_rows(x, gain, y, rows, cols);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows * cols);
+}
+BENCHMARK(BM_RmsNorm)->Arg(128)->Arg(1024);
+
+void BM_Rope(benchmark::State& state) {
+  const std::size_t heads = 8, dim = 64;
+  auto qk = random_vec(heads * dim, 3);
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    kernels::rope_inplace(qk, heads, dim, pos++ % 1024);
+    benchmark::DoNotOptimize(qk.data());
+  }
+}
+BENCHMARK(BM_Rope);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = random_vec(n * n, 4);
+  auto b = random_vec(n * n, 5);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    kernels::gemm(a, b, c, n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// Matvec across storage precisions: the functional analogue of the decode
+// phase's weight streaming; the INT8/INT4 overhead vs FP16 visible here is
+// the CPU version of the effect the paper measures on the Orin GPU.
+void BM_WeightMatvec(benchmark::State& state) {
+  const auto dt = static_cast<DType>(state.range(0));
+  const std::size_t out_f = 1024, in_f = 1024;
+  auto w = random_vec(out_f * in_f, 6);
+  const auto wm = quant::WeightMatrix::create(w, out_f, in_f, dt);
+  auto x = random_vec(in_f, 7, 1.0f);
+  std::vector<float> out(out_f);
+  for (auto _ : state) {
+    wm.matvec(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(dtype_name(dt));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wm.storage_bytes()));
+}
+BENCHMARK(BM_WeightMatvec)
+    ->Arg(static_cast<int>(DType::kF32))
+    ->Arg(static_cast<int>(DType::kF16))
+    ->Arg(static_cast<int>(DType::kI8))
+    ->Arg(static_cast<int>(DType::kI4));
+
+void BM_QuantizeInt8(benchmark::State& state) {
+  const std::size_t rows = 256, cols = 1024;
+  auto w = random_vec(rows * cols, 8);
+  for (auto _ : state) {
+    auto q = quant::quantize_rowwise_int8(w, rows, cols, 0.3f);
+    benchmark::DoNotOptimize(q.codes.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows * cols);
+}
+BENCHMARK(BM_QuantizeInt8);
+
+void BM_QuantizeInt4(benchmark::State& state) {
+  const std::size_t rows = 256, cols = 1024;
+  auto w = random_vec(rows * cols, 9);
+  for (auto _ : state) {
+    auto q = quant::quantize_block_int4(w, rows, cols);
+    benchmark::DoNotOptimize(q.packed.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows * cols);
+}
+BENCHMARK(BM_QuantizeInt4);
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Table 1: model weight memory per precision, with the architecture-derived
+// estimate next to the paper's measured values, and the model-load OOM
+// verdict on the 64GB Orin AGX.
+#include <cstdio>
+
+#include "core/cli.h"
+#include "core/table.h"
+#include "core/units.h"
+#include "sim/memory_model.h"
+#include "sim/model_catalog.h"
+#include "sim/paper_reference.h"
+
+using namespace orinsim;
+using namespace orinsim::sim;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool csv = args.get_bool("csv", false);
+
+  std::printf("== Table 1: peak weight memory (GB) per precision ==\n");
+  std::printf("   cells: paper value (derived-from-architecture estimate)\n\n");
+
+  Table table({"Model", "# Params", "FP32", "FP16", "INT8", "INT4", "Fits on Orin 64GB"});
+  const MemoryModel mm;
+  for (const auto& m : model_catalog()) {
+    table.new_row().add_cell(m.display).add_cell(format_double(m.params_b, 1) + "B");
+    std::string fits;
+    for (DType dt : kAllDTypes) {
+      table.add_cell(format_double(m.weight_gb(dt), 1) + " (" +
+                     format_double(m.derived_weight_gb(dt), 1) + ")");
+      if (!mm.model_oom(m, dt)) {
+        if (!fits.empty()) fits += "/";
+        fits += dtype_name(dt);
+      }
+    }
+    table.add_cell(fits);
+  }
+  std::fputs((csv ? table.to_csv() : table.to_markdown()).c_str(), stdout);
+
+  std::printf("\nKV-cache cost per token per sequence (fp16 cache):\n");
+  Table kv({"Model", "Layers", "KV heads x head_dim", "KV bytes/token"});
+  for (const auto& m : model_catalog()) {
+    kv.new_row()
+        .add_cell(m.display)
+        .add_cell(std::to_string(m.n_layers))
+        .add_cell(std::to_string(m.n_kv_heads) + " x " +
+                  std::to_string(m.d_model / m.n_heads))
+        .add_cell(format_bytes(m.kv_bytes_per_token()));
+  }
+  std::fputs((csv ? kv.to_csv() : kv.to_markdown()).c_str(), stdout);
+  return 0;
+}

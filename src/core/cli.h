@@ -1,0 +1,31 @@
+// Tiny command-line flag parser for bench/example binaries.
+// Supports --name=value, --name value, and boolean --name / --no-name.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace orinsim {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& default_value) const;
+  long long get_int(const std::string& name, long long default_value) const;
+  double get_double(const std::string& name, double default_value) const;
+  bool get_bool(const std::string& name, bool default_value) const;
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace orinsim

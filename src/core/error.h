@@ -1,0 +1,90 @@
+// Lightweight error handling for orinsim.
+//
+// The library distinguishes programmer errors (contract violations, checked
+// with ORINSIM_CHECK / ORINSIM_DCHECK, which abort) from recoverable domain
+// errors (e.g. a simulated out-of-memory), which are reported through
+// Expected<T> or domain-specific result types.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace orinsim {
+
+// Thrown for unrecoverable contract violations when exceptions are preferred
+// over abort (tests install this mode via ORINSIM_CHECK_THROWS).
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* file, int line, const char* expr,
+                                      const std::string& msg) {
+  std::string full = std::string("CHECK failed at ") + file + ":" + std::to_string(line) +
+                     ": (" + expr + ") " + msg;
+  throw ContractViolation(full);
+}
+}  // namespace detail
+
+// Always-on invariant check. Throws ContractViolation so tests can assert on
+// contract enforcement; at the top level this terminates with a clear message.
+#define ORINSIM_CHECK(expr, ...)                                                       \
+  do {                                                                                 \
+    if (!(expr)) {                                                                     \
+      ::orinsim::detail::check_failed(__FILE__, __LINE__, #expr, std::string{__VA_ARGS__}); \
+    }                                                                                  \
+  } while (false)
+
+#ifndef NDEBUG
+#define ORINSIM_DCHECK(expr, ...) ORINSIM_CHECK(expr, ##__VA_ARGS__)
+#else
+#define ORINSIM_DCHECK(expr, ...) \
+  do {                            \
+  } while (false)
+#endif
+
+// A minimal Expected<T>: either a value or an error message. Used at module
+// boundaries where failure is a legitimate outcome (parse errors, simulated
+// OOM, file IO).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  static Expected failure(std::string message) { return Expected(Error{std::move(message)}); }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    ORINSIM_CHECK(ok(), error());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    ORINSIM_CHECK(ok(), error());
+    return std::get<T>(storage_);
+  }
+  T&& take() && {
+    ORINSIM_CHECK(ok(), error());
+    return std::get<T>(std::move(storage_));
+  }
+  const std::string& error() const {
+    static const std::string kNone = "(no error)";
+    if (ok()) return kNone;
+    return std::get<Error>(storage_).message;
+  }
+
+ private:
+  struct Error {
+    std::string message;
+  };
+  explicit Expected(Error e) : storage_(std::move(e)) {}
+  std::variant<T, Error> storage_;
+};
+
+}  // namespace orinsim

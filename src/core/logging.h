@@ -1,0 +1,53 @@
+// Minimal leveled logger. Single global sink (stderr), level settable at
+// runtime; used by the harness to narrate sweeps without polluting the table
+// output written to stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace orinsim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_message(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace orinsim
+
+#define ORINSIM_LOG(level)                                        \
+  if (static_cast<int>(::orinsim::LogLevel::level) <              \
+      static_cast<int>(::orinsim::log_level())) {                 \
+  } else                                                          \
+    ::orinsim::detail::LogLine(::orinsim::LogLevel::level)
+
+#define LOG_DEBUG ORINSIM_LOG(kDebug)
+#define LOG_INFO ORINSIM_LOG(kInfo)
+#define LOG_WARN ORINSIM_LOG(kWarn)
+#define LOG_ERROR ORINSIM_LOG(kError)

@@ -1,0 +1,117 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in orinsim (weight init, synthetic corpora,
+// prompt sampling) takes an explicit Rng so runs are reproducible from a
+// single seed, and sub-streams can be forked without correlation (split()).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/error.h"
+
+namespace orinsim {
+
+// SplitMix64-seeded xoshiro256** generator. Small, fast, and good enough for
+// synthetic data and weight init (not for cryptography).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Independent child stream; advances this generator.
+  Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+  std::uint64_t next_u64() {
+    auto rotl = [](std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    ORINSIM_CHECK(n > 0, "uniform_index requires n > 0");
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible for
+    // our n << 2^64 use cases.
+    return static_cast<std::uint64_t>((static_cast<__uint128_t>(next_u64()) * n) >> 64);
+  }
+
+  // Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-12) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+// Zipf-distributed sampler over ranks [0, n). Used by the synthetic corpus
+// generators: natural-language unigram frequencies are approximately Zipfian
+// with exponent s ~= 1. Precomputes the CDF; O(log n) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    ORINSIM_CHECK(n > 0, "ZipfSampler requires n > 0");
+    ORINSIM_CHECK(s > 0.0, "ZipfSampler requires s > 0");
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = total;
+    }
+    for (auto& v : cdf_) v /= total;
+  }
+
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    // Binary search for first cdf_[k] >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace orinsim

@@ -1,0 +1,128 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace orinsim {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  ORINSIM_CHECK(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double min_value(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double trapezoid_integral(std::span<const double> times, std::span<const double> values) {
+  ORINSIM_CHECK(times.size() == values.size(), "trapezoid: size mismatch");
+  if (times.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double dt = times[i] - times[i - 1];
+    ORINSIM_CHECK(dt >= 0.0, "trapezoid: times must be non-decreasing");
+    acc += 0.5 * (values[i] + values[i - 1]) * dt;
+  }
+  return acc;
+}
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ == 0) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  ORINSIM_CHECK(xs.size() == ys.size(), "fit_linear: size mismatch");
+  LinearFit fit;
+  const std::size_t n = xs.size();
+  if (n < 2) return fit;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+bool is_monotonic_increasing(std::span<const double> values, double tol) {
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    const double slack = tol * std::abs(values[i - 1]);
+    if (values[i] < values[i - 1] - slack) return false;
+  }
+  return true;
+}
+
+bool is_monotonic_decreasing(std::span<const double> values, double tol) {
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    const double slack = tol * std::abs(values[i - 1]);
+    if (values[i] > values[i - 1] + slack) return false;
+  }
+  return true;
+}
+
+double geomean_ratio(std::span<const double> a, std::span<const double> b) {
+  ORINSIM_CHECK(a.size() == b.size(), "geomean_ratio: size mismatch");
+  double log_acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > 0.0 && b[i] > 0.0) {
+      log_acc += std::log(a[i] / b[i]);
+      ++n;
+    }
+  }
+  if (n == 0) return 1.0;
+  return std::exp(log_acc / static_cast<double>(n));
+}
+
+}  // namespace orinsim

@@ -1,0 +1,64 @@
+// Statistics helpers shared by the telemetry pipeline and the harness:
+// medians, percentiles, trapezoidal integration (the paper's energy
+// estimator), running moments, and simple linear fits for shape checks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace orinsim {
+
+// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values);
+
+// Median via partial sort of a copy; 0 for an empty span.
+double median(std::span<const double> values);
+
+// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> values, double p);
+
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+double stddev(std::span<const double> values);
+
+// Trapezoidal numerical integration of y(t) over possibly non-uniform time
+// samples. This mirrors the paper's energy estimator: power sampled every ~2s,
+// integrated per batch, summed across batches. times must be non-decreasing
+// and the spans equally sized.
+double trapezoid_integral(std::span<const double> times, std::span<const double> values);
+
+// Welford running mean/variance; used to average repeated runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;  // population variance
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Least-squares fit y = a + b*x. Used by shape checks ("throughput decreases
+// with sequence length" => negative slope).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+// True if values are strictly increasing / decreasing (with relative
+// tolerance allowing plateaus up to tol of the local magnitude).
+bool is_monotonic_increasing(std::span<const double> values, double tol = 0.0);
+bool is_monotonic_decreasing(std::span<const double> values, double tol = 0.0);
+
+// Geometric-mean of pairwise ratios a[i]/b[i]; used to compare paper-vs-sim
+// series in EXPERIMENTS.md ("within a factor of X on average").
+double geomean_ratio(std::span<const double> a, std::span<const double> b);
+
+}  // namespace orinsim

@@ -1,0 +1,25 @@
+// Wall-clock stopwatch for the functional engine's own microbenchmarks.
+// (Simulated time lives in sim::VirtualClock, not here.)
+#pragma once
+
+#include <chrono>
+
+namespace orinsim {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace orinsim

@@ -1,0 +1,16 @@
+// Small string utilities used across modules (no locale dependence).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orinsim {
+
+std::vector<std::string> split(std::string_view text, char delim);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string to_lower(std::string_view text);
+std::string trim(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace orinsim

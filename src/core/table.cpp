@@ -1,0 +1,84 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/units.h"
+
+namespace orinsim {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ORINSIM_CHECK(!headers_.empty(), "Table requires at least one column");
+}
+
+Table& Table::new_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add_cell(std::string value) {
+  ORINSIM_CHECK(!rows_.empty(), "add_cell before new_row");
+  ORINSIM_CHECK(rows_.back().size() < headers_.size(), "row has too many cells");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add_number(double value, int decimals) {
+  return add_cell(format_double(value, decimals));
+}
+
+Table& Table::add_oom() { return add_cell("OOM"); }
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  ORINSIM_CHECK(row < rows_.size() && col < headers_.size(), "cell out of range");
+  static const std::string kEmpty;
+  if (col >= rows_[row].size()) return kEmpty;
+  return rows_[row][col];
+}
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      out << " " << v << std::string(widths[c] - v.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out << std::string(widths[c] + 2, '-') << "|";
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) out << ",";
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      // Quote cells containing commas.
+      if (v.find(',') != std::string::npos) {
+        out << '"' << v << '"';
+      } else {
+        out << v;
+      }
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace orinsim

@@ -1,0 +1,35 @@
+// Table builder used by every bench binary to print paper-style tables in
+// markdown or CSV. Cells are strings; numeric convenience setters format with
+// fixed decimals so tables line up with the paper's appendix.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace orinsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Starts a new row; subsequent add_cell calls fill it left to right.
+  Table& new_row();
+  Table& add_cell(std::string value);
+  Table& add_number(double value, int decimals = 2);
+  // Out-of-memory / not-applicable marker, matching the paper's "OOM".
+  Table& add_oom();
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return headers_.size(); }
+  const std::string& cell(std::size_t row, std::size_t col) const;
+
+  std::string to_markdown() const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace orinsim

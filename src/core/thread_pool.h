@@ -1,0 +1,51 @@
+// A small fixed-size thread pool with a blocking parallel_for. The functional
+// engine's kernels use OpenMP directly; the pool serves coarse-grained
+// parallelism in the harness (independent sweep points) where nested OpenMP
+// regions would oversubscribe.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace orinsim {
+
+class ThreadPool {
+ public:
+  // threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  // Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  // Block until all submitted tasks have finished.
+  void wait_idle();
+
+  // Run fn(i) for i in [begin, end) across the pool and wait. Exceptions
+  // thrown by fn are rethrown (first one wins) after all indices complete.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace orinsim

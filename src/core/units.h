@@ -1,0 +1,38 @@
+// Unit helpers. All simulator-facing quantities carry their unit in the name
+// (…_s, …_w, …_j, …_gb, …_mhz); these helpers centralize conversions so that
+// magic factors (GiB vs GB) appear exactly once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace orinsim {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+constexpr double bytes_to_gib(double bytes) { return bytes / kGiB; }
+constexpr double gib_to_bytes(double gib) { return gib * kGiB; }
+constexpr double bytes_to_gb(double bytes) { return bytes / kGB; }
+constexpr double gb_to_bytes(double gb) { return gb * kGB; }
+
+constexpr double mhz_to_hz(double mhz) { return mhz * 1e6; }
+constexpr double ghz_to_hz(double ghz) { return ghz * 1e9; }
+
+constexpr double ms_to_s(double ms) { return ms / 1e3; }
+constexpr double s_to_ms(double s) { return s * 1e3; }
+
+// Energy: joule <-> watt-hour (jtop-style dashboards often show mWh).
+constexpr double joules_to_wh(double j) { return j / 3600.0; }
+
+// Human-readable byte count, e.g. "16.1 GB" (decimal units, like the paper).
+std::string format_bytes(double bytes);
+
+// Fixed-width formatting helper, e.g. format_double(3.14159, 2) == "3.14".
+std::string format_double(double value, int decimals);
+
+}  // namespace orinsim

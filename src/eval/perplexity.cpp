@@ -1,0 +1,43 @@
+#include "eval/perplexity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace orinsim::eval {
+
+PerplexityResult evaluate_perplexity(Model& model, std::span<const TokenId> tokens,
+                                     const PerplexityConfig& config) {
+  ORINSIM_CHECK(config.window >= 2, "perplexity: window must be >= 2");
+  ORINSIM_CHECK(config.stride >= 1 && config.stride <= config.window,
+                "perplexity: stride must be in [1, window]");
+  ORINSIM_CHECK(model.config().max_seq >= config.window,
+                "perplexity: model max_seq smaller than window");
+  ORINSIM_CHECK(tokens.size() >= 2, "perplexity: need at least two tokens");
+
+  PerplexityResult result;
+  std::size_t start = 0;
+  while (start + 1 < tokens.size()) {
+    const std::size_t end = std::min(start + config.window, tokens.size());
+    const std::size_t len = end - start;
+    if (len < 2) break;
+    // Targets: every position for the first window, the non-overlapping tail
+    // for subsequent windows.
+    const std::size_t predict_from =
+        (start == 0) ? 1 : std::min(config.window - config.stride, len - 1);
+    const auto nll = model.sequence_nll(tokens.subspan(start, len),
+                                        std::max<std::size_t>(predict_from, 1));
+    result.total_nll += nll.total_nll;
+    result.scored_tokens += nll.predicted;
+    ++result.windows;
+    if (config.max_tokens > 0 && result.scored_tokens >= config.max_tokens) break;
+    if (end == tokens.size()) break;
+    start += config.stride;
+  }
+  ORINSIM_CHECK(result.scored_tokens > 0, "perplexity: no tokens scored");
+  result.perplexity = std::exp(result.total_nll / static_cast<double>(result.scored_tokens));
+  return result;
+}
+
+}  // namespace orinsim::eval

@@ -1,0 +1,37 @@
+// Sliding-window perplexity, following the paper's protocol exactly:
+// "we process text in overlapping windows of 1024 tokens with a stride of
+//  512 ... perplexity = exp(sum NLL / total tokens)".
+//
+// For each window, only the tokens past the overlap are scored (the overlap
+// provides context), matching the standard HuggingFace strided evaluation
+// the paper uses. The first window scores every predictable token.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace orinsim::eval {
+
+struct PerplexityConfig {
+  std::size_t window = 1024;
+  std::size_t stride = 512;
+  // Cap on scored tokens (evaluation cost control); 0 = no cap.
+  std::size_t max_tokens = 0;
+};
+
+struct PerplexityResult {
+  double perplexity = 0.0;
+  double total_nll = 0.0;
+  std::size_t scored_tokens = 0;
+  std::size_t windows = 0;
+};
+
+// Evaluates the model on a token stream. The model's max_seq must be >= the
+// window size.
+PerplexityResult evaluate_perplexity(Model& model, std::span<const TokenId> tokens,
+                                     const PerplexityConfig& config = {});
+
+}  // namespace orinsim::eval

@@ -1,0 +1,326 @@
+#include "harness/experiments.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/units.h"
+#include "serving/session.h"
+#include "sim/paper_reference.h"
+
+namespace orinsim::harness {
+
+namespace {
+
+Cell run_cell(const std::string& model_key, DType dtype, workload::Dataset dataset,
+              std::size_t batch, const workload::SeqConfig& seq,
+              const sim::PowerMode& pm = sim::power_mode_maxn()) {
+  serving::SimSession session(model_key, dtype, dataset, pm);
+  serving::BatchRequest request;
+  request.batch = batch;
+  request.seq = seq;
+  const serving::BatchResult r = session.run(request);
+  Cell cell;
+  cell.oom = r.oom;
+  if (r.oom) return cell;
+  cell.ram_total_gb = r.total_ram_gb;
+  cell.ram_incremental_gb = r.incremental_ram_gb;
+  cell.latency_s = r.latency_s;
+  cell.throughput_tps = r.throughput_tps;
+  cell.median_power_w = r.median_power_w;
+  cell.energy_j = r.energy_j;
+  return cell;
+}
+
+}  // namespace
+
+BatchSweep run_batch_sweep(workload::Dataset dataset) {
+  BatchSweep sweep;
+  sweep.dataset = dataset;
+  sweep.batch_sizes = batch_size_sweep();
+  for (const auto& m : sim::model_catalog()) {
+    std::vector<Cell> row;
+    row.reserve(sweep.batch_sizes.size());
+    for (std::size_t bs : sweep.batch_sizes) {
+      row.push_back(run_cell(m.key, m.default_dtype, dataset, bs,
+                             workload::seq_config_default()));
+    }
+    sweep.cells.push_back(std::move(row));
+  }
+  return sweep;
+}
+
+SeqSweep run_seq_sweep(workload::Dataset dataset) {
+  SeqSweep sweep;
+  sweep.dataset = dataset;
+  sweep.seq_configs = workload::seq_config_sweep();
+  for (const auto& m : sim::model_catalog()) {
+    std::vector<Cell> row;
+    row.reserve(sweep.seq_configs.size());
+    for (const auto& sc : sweep.seq_configs) {
+      row.push_back(run_cell(m.key, m.default_dtype, dataset, 32, sc));
+    }
+    sweep.cells.push_back(std::move(row));
+  }
+  return sweep;
+}
+
+QuantStudy run_quant_study() {
+  QuantStudy study;
+  study.dtypes = {DType::kF32, DType::kF16, DType::kI8, DType::kI4};
+  for (const auto& m : sim::model_catalog()) {
+    std::vector<Cell> row;
+    for (DType dt : study.dtypes) {
+      row.push_back(run_cell(m.key, dt, workload::Dataset::kWikiText2, 32,
+                             workload::seq_config_default()));
+    }
+    study.cells.push_back(std::move(row));
+  }
+  return study;
+}
+
+PowerEnergyStudy run_power_energy(const std::string& model_key) {
+  PowerEnergyStudy study;
+  study.model_key = model_key;
+  study.dtypes = {DType::kF16, DType::kI8, DType::kI4};
+  study.batch_sizes = batch_size_sweep();
+  for (DType dt : study.dtypes) {
+    std::vector<Cell> row;
+    for (std::size_t bs : study.batch_sizes) {
+      row.push_back(run_cell(model_key, dt, workload::Dataset::kWikiText2, bs,
+                             workload::seq_config_default()));
+    }
+    study.cells.push_back(std::move(row));
+  }
+  return study;
+}
+
+PowerModeStudy run_power_modes() {
+  PowerModeStudy study;
+  study.modes = sim::all_power_modes();
+  for (const auto& m : sim::model_catalog()) {
+    std::vector<Cell> row;
+    for (const auto& pm : study.modes) {
+      row.push_back(run_cell(m.key, m.default_dtype, workload::Dataset::kWikiText2, 32,
+                             workload::seq_config_default(), pm));
+    }
+    study.cells.push_back(std::move(row));
+  }
+  return study;
+}
+
+std::string metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::kRam:
+      return "RAM (GB)";
+    case Metric::kLatency:
+      return "Latency (s)";
+    case Metric::kThroughput:
+      return "Throughput (tokens/s)";
+    case Metric::kPower:
+      return "Median Power (W)";
+    case Metric::kEnergy:
+      return "Energy (J)";
+  }
+  return "?";
+}
+
+double metric_value(const Cell& cell, Metric metric) {
+  switch (metric) {
+    case Metric::kRam:
+      return cell.ram_total_gb;
+    case Metric::kLatency:
+      return cell.latency_s;
+    case Metric::kThroughput:
+      return cell.throughput_tps;
+    case Metric::kPower:
+      return cell.median_power_w;
+    case Metric::kEnergy:
+      return cell.energy_j;
+  }
+  return 0.0;
+}
+
+namespace {
+
+std::vector<std::string> model_headers(const std::string& first) {
+  std::vector<std::string> headers = {first};
+  for (const auto& m : sim::model_catalog()) headers.push_back(m.display);
+  return headers;
+}
+
+int metric_decimals(Metric metric) { return metric == Metric::kRam ? 2 : 2; }
+
+void add_metric_cell(Table& table, const Cell& cell, Metric metric) {
+  if (cell.oom) {
+    table.add_oom();
+  } else {
+    table.add_number(metric_value(cell, metric), metric_decimals(metric));
+  }
+}
+
+// Paper value lookup for comparison tables. Returns NaN for OOM cells.
+double paper_batch_value(workload::Dataset dataset, std::size_t model_idx,
+                         std::size_t batch, Metric metric) {
+  const auto& rows = dataset == workload::Dataset::kWikiText2
+                         ? sim::table4_batch_wikitext2()
+                         : sim::table5_batch_longbench();
+  for (const auto& row : rows) {
+    if (row.batch_size != batch) continue;
+    switch (metric) {
+      case Metric::kRam:
+        return row.ram_gb[model_idx];
+      case Metric::kLatency:
+        return row.latency_s[model_idx];
+      case Metric::kThroughput:
+        return row.throughput_tps[model_idx];
+      default:
+        return std::nan("");
+    }
+  }
+  return std::nan("");
+}
+
+double paper_seq_value(workload::Dataset dataset, std::size_t model_idx, std::size_t total,
+                       Metric metric) {
+  const auto& rows = dataset == workload::Dataset::kWikiText2 ? sim::table7_seq_wikitext2()
+                                                              : sim::table6_seq_longbench();
+  for (const auto& row : rows) {
+    if (row.seq_total != total) continue;
+    switch (metric) {
+      case Metric::kRam:
+        return row.ram_gb[model_idx];
+      case Metric::kLatency:
+        return row.latency_s[model_idx];
+      case Metric::kThroughput:
+        return row.throughput_tps[model_idx];
+      default:
+        return std::nan("");
+    }
+  }
+  return std::nan("");
+}
+
+void add_compare_cell(Table& table, const Cell& cell, double paper, Metric metric) {
+  std::string sim_text = cell.oom ? "OOM" : format_double(metric_value(cell, metric), 2);
+  std::string paper_text = std::isnan(paper) ? "OOM" : format_double(paper, 2);
+  table.add_cell(sim_text + " / " + paper_text);
+}
+
+}  // namespace
+
+Table batch_sweep_table(const BatchSweep& sweep, Metric metric) {
+  Table table(model_headers("Batch Size"));
+  for (std::size_t b = 0; b < sweep.batch_sizes.size(); ++b) {
+    table.new_row().add_cell(std::to_string(sweep.batch_sizes[b]));
+    for (std::size_t mi = 0; mi < sweep.cells.size(); ++mi) {
+      add_metric_cell(table, sweep.cells[mi][b], metric);
+    }
+  }
+  return table;
+}
+
+Table seq_sweep_table(const SeqSweep& sweep, Metric metric) {
+  Table table(model_headers("Seq Length"));
+  for (std::size_t s = 0; s < sweep.seq_configs.size(); ++s) {
+    table.new_row().add_cell(std::to_string(sweep.seq_configs[s].total));
+    for (std::size_t mi = 0; mi < sweep.cells.size(); ++mi) {
+      add_metric_cell(table, sweep.cells[mi][s], metric);
+    }
+  }
+  return table;
+}
+
+Table batch_sweep_comparison(const BatchSweep& sweep, Metric metric) {
+  std::vector<std::string> headers = {"Batch Size"};
+  for (const auto& m : sim::model_catalog()) headers.push_back(m.display + " (sim/paper)");
+  Table table(std::move(headers));
+  for (std::size_t b = 0; b < sweep.batch_sizes.size(); ++b) {
+    table.new_row().add_cell(std::to_string(sweep.batch_sizes[b]));
+    for (std::size_t mi = 0; mi < sweep.cells.size(); ++mi) {
+      add_compare_cell(table, sweep.cells[mi][b],
+                       paper_batch_value(sweep.dataset, mi, sweep.batch_sizes[b], metric),
+                       metric);
+    }
+  }
+  return table;
+}
+
+Table seq_sweep_comparison(const SeqSweep& sweep, Metric metric) {
+  std::vector<std::string> headers = {"Seq Length"};
+  for (const auto& m : sim::model_catalog()) headers.push_back(m.display + " (sim/paper)");
+  Table table(std::move(headers));
+  for (std::size_t s = 0; s < sweep.seq_configs.size(); ++s) {
+    const std::size_t total = sweep.seq_configs[s].total;
+    table.new_row().add_cell(std::to_string(total));
+    for (std::size_t mi = 0; mi < sweep.cells.size(); ++mi) {
+      add_compare_cell(table, sweep.cells[mi][s],
+                       paper_seq_value(sweep.dataset, mi, total, metric), metric);
+    }
+  }
+  return table;
+}
+
+Table quant_study_table(const QuantStudy& study, Metric metric) {
+  std::vector<std::string> headers = {"Model"};
+  for (DType dt : study.dtypes) headers.push_back(dtype_name(dt));
+  Table table(std::move(headers));
+  const auto& catalog = sim::model_catalog();
+  for (std::size_t mi = 0; mi < study.cells.size(); ++mi) {
+    table.new_row().add_cell(catalog[mi].display);
+    for (std::size_t d = 0; d < study.dtypes.size(); ++d) {
+      add_metric_cell(table, study.cells[mi][d], metric);
+    }
+  }
+  return table;
+}
+
+Table power_mode_table(const PowerModeStudy& study) {
+  Table table({"Model", "Power Mode", "Latency (s)", "Median Power (W)", "Energy (J)",
+               "vs MaxN latency", "vs MaxN power", "vs MaxN energy"});
+  const auto& catalog = sim::model_catalog();
+  for (std::size_t mi = 0; mi < study.cells.size(); ++mi) {
+    const Cell& maxn = study.cells[mi][0];
+    for (std::size_t p = 0; p < study.modes.size(); ++p) {
+      const Cell& cell = study.cells[mi][p];
+      table.new_row().add_cell(catalog[mi].display).add_cell(study.modes[p].name);
+      if (cell.oom) {
+        table.add_oom().add_oom().add_oom().add_cell("-").add_cell("-").add_cell("-");
+        continue;
+      }
+      table.add_number(cell.latency_s, 2)
+          .add_number(cell.median_power_w, 1)
+          .add_number(cell.energy_j, 0);
+      auto pct = [](double v, double base) {
+        return format_double((v / base - 1.0) * 100.0, 1) + "%";
+      };
+      table.add_cell(pct(cell.latency_s, maxn.latency_s))
+          .add_cell(pct(cell.median_power_w, maxn.median_power_w))
+          .add_cell(pct(cell.energy_j, maxn.energy_j));
+    }
+  }
+  return table;
+}
+
+Table power_energy_table(const PowerEnergyStudy& study) {
+  Table table({"Batch Size", "Precision", "Latency (s)", "Median Power (W)", "Energy (J)",
+               "Throughput (tokens/s)"});
+  for (std::size_t d = 0; d < study.dtypes.size(); ++d) {
+    for (std::size_t b = 0; b < study.batch_sizes.size(); ++b) {
+      const Cell& cell = study.cells[d][b];
+      table.new_row()
+          .add_cell(std::to_string(study.batch_sizes[b]))
+          .add_cell(dtype_name(study.dtypes[d]));
+      if (cell.oom) {
+        table.add_oom().add_oom().add_oom().add_oom();
+        continue;
+      }
+      table.add_number(cell.latency_s, 2)
+          .add_number(cell.median_power_w, 1)
+          .add_number(cell.energy_j, 0)
+          .add_number(cell.throughput_tps, 1);
+    }
+  }
+  return table;
+}
+
+}  // namespace orinsim::harness

@@ -1,0 +1,88 @@
+// Experiment sweeps regenerating the paper's tables and figures from the
+// simulator. One function per study; bench binaries format the results next
+// to the embedded paper reference values, and tests assert the shape checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "sim/model_catalog.h"
+#include "sim/power_mode.h"
+#include "workload/corpus.h"
+#include "workload/prompt_pool.h"
+
+namespace orinsim::harness {
+
+// One simulated configuration's results.
+struct Cell {
+  bool oom = false;
+  double ram_total_gb = 0.0;
+  double ram_incremental_gb = 0.0;
+  double latency_s = 0.0;
+  double throughput_tps = 0.0;
+  double median_power_w = 0.0;
+  double energy_j = 0.0;
+};
+
+inline const std::vector<std::size_t>& batch_size_sweep() {
+  static const std::vector<std::size_t> kSizes = {1, 2, 4, 8, 16, 32, 64, 128};
+  return kSizes;
+}
+
+// ---- Fig 1/6/7, Tables 4/5: batch-size sweep (sl=96, MaxN, default dtypes).
+struct BatchSweep {
+  workload::Dataset dataset;
+  std::vector<std::size_t> batch_sizes;
+  // cells[model_index][batch_index]; model order = sim::model_catalog().
+  std::vector<std::vector<Cell>> cells;
+};
+BatchSweep run_batch_sweep(workload::Dataset dataset);
+
+// ---- Fig 2/8/9, Tables 6/7: sequence-length sweep (bs=32, MaxN).
+struct SeqSweep {
+  workload::Dataset dataset;
+  std::vector<workload::SeqConfig> seq_configs;
+  std::vector<std::vector<Cell>> cells;  // [model][seq]
+};
+SeqSweep run_seq_sweep(workload::Dataset dataset);
+
+// ---- Fig 3/11: quantization study (bs=32, sl=96, MaxN, all precisions).
+struct QuantStudy {
+  std::vector<DType> dtypes;             // F32, F16, I8, I4
+  std::vector<std::vector<Cell>> cells;  // [model][dtype]
+};
+QuantStudy run_quant_study();
+
+// ---- Fig 4/10: power & energy vs batch size and precision for one model.
+struct PowerEnergyStudy {
+  std::string model_key;
+  std::vector<DType> dtypes;  // F16, I8, I4
+  std::vector<std::size_t> batch_sizes;
+  std::vector<std::vector<Cell>> cells;  // [dtype][batch]
+};
+PowerEnergyStudy run_power_energy(const std::string& model_key);
+
+// ---- Fig 5: power-mode study (bs=32, sl=96, default dtypes, all 9 modes).
+struct PowerModeStudy {
+  std::vector<sim::PowerMode> modes;
+  std::vector<std::vector<Cell>> cells;  // [model][mode]
+};
+PowerModeStudy run_power_modes();
+
+// ---- Formatting helpers (markdown tables in the paper's layout) ----
+enum class Metric { kRam, kLatency, kThroughput, kPower, kEnergy };
+std::string metric_name(Metric metric);
+double metric_value(const Cell& cell, Metric metric);
+
+// Paper-style wide table: one row per sweep point, one column per model.
+Table batch_sweep_table(const BatchSweep& sweep, Metric metric);
+Table seq_sweep_table(const SeqSweep& sweep, Metric metric);
+// Side-by-side sim-vs-paper table for the appendix tables (4-7).
+Table batch_sweep_comparison(const BatchSweep& sweep, Metric metric);
+Table seq_sweep_comparison(const SeqSweep& sweep, Metric metric);
+Table quant_study_table(const QuantStudy& study, Metric metric);
+Table power_mode_table(const PowerModeStudy& study);
+Table power_energy_table(const PowerEnergyStudy& study);
+
+}  // namespace orinsim::harness

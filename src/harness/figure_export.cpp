@@ -1,0 +1,131 @@
+#include "harness/figure_export.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/error.h"
+#include "harness/experiments.h"
+#include "sim/model_catalog.h"
+
+namespace orinsim::harness {
+
+namespace {
+
+std::ofstream open_file(const std::string& dir, const std::string& name,
+                        std::vector<std::string>& files) {
+  const std::filesystem::path path = std::filesystem::path(dir) / name;
+  std::ofstream out(path);
+  ORINSIM_CHECK(out.good(), "figure export: cannot write " + path.string());
+  files.push_back(name);
+  return out;
+}
+
+std::string file_key(const sim::ModelSpec& m) {
+  std::string key = m.key;
+  for (auto& c : key) {
+    if (c == '-') c = '_';
+  }
+  return key;
+}
+
+}  // namespace
+
+ExportResult export_figure_data(const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  ExportResult result;
+  result.directory = directory;
+
+  const auto& catalog = sim::model_catalog();
+
+  // Fig 1 / 6: batch sweep, WikiText2.
+  {
+    const BatchSweep sweep = run_batch_sweep(workload::Dataset::kWikiText2);
+    for (std::size_t mi = 0; mi < catalog.size(); ++mi) {
+      auto out = open_file(directory, "fig1_" + file_key(catalog[mi]) + ".dat",
+                           result.files);
+      out << "# bs  throughput_tps  latency_s  ram_gb\n";
+      for (std::size_t b = 0; b < sweep.batch_sizes.size(); ++b) {
+        const Cell& c = sweep.cells[mi][b];
+        if (c.oom) continue;
+        out << sweep.batch_sizes[b] << "  " << c.throughput_tps << "  " << c.latency_s
+            << "  " << c.ram_total_gb << "\n";
+      }
+    }
+  }
+
+  // Fig 2 / 8: sequence sweep, LongBench.
+  {
+    const SeqSweep sweep = run_seq_sweep(workload::Dataset::kLongBench);
+    for (std::size_t mi = 0; mi < catalog.size(); ++mi) {
+      auto out = open_file(directory, "fig2_" + file_key(catalog[mi]) + ".dat",
+                           result.files);
+      out << "# seq_total  throughput_tps  latency_s  ram_gb\n";
+      for (std::size_t s = 0; s < sweep.seq_configs.size(); ++s) {
+        const Cell& c = sweep.cells[mi][s];
+        if (c.oom) continue;
+        out << sweep.seq_configs[s].total << "  " << c.throughput_tps << "  "
+            << c.latency_s << "  " << c.ram_total_gb << "\n";
+      }
+    }
+  }
+
+  // Fig 3 / 11: quantization study.
+  {
+    const QuantStudy study = run_quant_study();
+    auto out = open_file(directory, "fig3_quant.dat", result.files);
+    out << "# model  dtype  latency_s  throughput_tps  ram_gb  power_w  energy_j\n";
+    for (std::size_t mi = 0; mi < catalog.size(); ++mi) {
+      for (std::size_t d = 0; d < study.dtypes.size(); ++d) {
+        const Cell& c = study.cells[mi][d];
+        if (c.oom) continue;
+        out << catalog[mi].key << "  " << dtype_name(study.dtypes[d]) << "  "
+            << c.latency_s << "  " << c.throughput_tps << "  " << c.ram_total_gb << "  "
+            << c.median_power_w << "  " << c.energy_j << "\n";
+      }
+    }
+  }
+
+  // Fig 4: power/energy vs batch x precision for Llama.
+  {
+    const PowerEnergyStudy study = run_power_energy("llama3");
+    for (std::size_t d = 0; d < study.dtypes.size(); ++d) {
+      auto out = open_file(directory,
+                           "fig4_" + dtype_name(study.dtypes[d]) + ".dat", result.files);
+      out << "# bs  power_w  energy_j\n";
+      for (std::size_t b = 0; b < study.batch_sizes.size(); ++b) {
+        const Cell& c = study.cells[d][b];
+        if (c.oom) continue;
+        out << study.batch_sizes[b] << "  " << c.median_power_w << "  " << c.energy_j
+            << "\n";
+      }
+    }
+  }
+
+  // Fig 5: power modes.
+  {
+    const PowerModeStudy study = run_power_modes();
+    auto out = open_file(directory, "fig5_power_modes.dat", result.files);
+    out << "# model  mode  latency_s  power_w  energy_j\n";
+    for (std::size_t mi = 0; mi < catalog.size(); ++mi) {
+      for (std::size_t p = 0; p < study.modes.size(); ++p) {
+        const Cell& c = study.cells[mi][p];
+        if (c.oom) continue;
+        out << catalog[mi].key << "  " << study.modes[p].name << "  " << c.latency_s
+            << "  " << c.median_power_w << "  " << c.energy_j << "\n";
+      }
+    }
+  }
+
+  {
+    auto out = open_file(directory, "MANIFEST.txt", result.files);
+    out << "orinsim figure data (simulated Orin AGX 64GB)\n"
+        << "fig1_<model>.dat      : bs throughput_tps latency_s ram_gb  (WikiText2, sl=96)\n"
+        << "fig2_<model>.dat      : seq throughput_tps latency_s ram_gb (LongBench, bs=32)\n"
+        << "fig3_quant.dat        : model dtype latency throughput ram power energy\n"
+        << "fig4_<dtype>.dat      : bs power_w energy_j (Llama-3.1-8B)\n"
+        << "fig5_power_modes.dat  : model mode latency power energy (bs=32, sl=96)\n";
+  }
+  return result;
+}
+
+}  // namespace orinsim::harness

@@ -1,0 +1,27 @@
+// Figure-data export: writes the series behind every paper figure as
+// whitespace-delimited .dat files (gnuplot/matplotlib-ready), one file per
+// figure panel, plus a MANIFEST.txt describing columns. This is the
+// "artifact" format for regenerating the paper's plots from the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace orinsim::harness {
+
+struct ExportResult {
+  std::string directory;
+  std::vector<std::string> files;  // paths written, relative to directory
+};
+
+// Runs the figure studies and writes:
+//   fig1_<model>.dat      bs  throughput  latency  ram        (per model)
+//   fig2_<model>.dat      seq throughput  latency  ram
+//   fig3_quant.dat        model dtype latency throughput ram power energy
+//   fig4_<dtype>.dat      bs  power  energy                   (Llama)
+//   fig5_power_modes.dat  model mode latency power energy
+//   MANIFEST.txt
+// The directory is created if missing. Returns the file list.
+ExportResult export_figure_data(const std::string& directory);
+
+}  // namespace orinsim::harness

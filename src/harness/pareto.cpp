@@ -1,0 +1,112 @@
+#include "harness/pareto.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace orinsim::harness {
+
+std::string ConfigPoint::label() const {
+  std::string s = dtype_name(dtype) + " bs=" + std::to_string(batch) + " " + power_mode;
+  if (kv_cache_int8) s += " kv8";
+  return s;
+}
+
+std::vector<ConfigPoint> enumerate_configs(const ParetoOptions& options) {
+  ORINSIM_CHECK(!options.batch_sizes.empty() && !options.dtypes.empty() &&
+                    !options.power_modes.empty(),
+                "pareto: empty configuration axes");
+  const sim::InferenceSim simulator;
+  std::vector<ConfigPoint> points;
+  const double tokens_per_batch = static_cast<double>(options.seq.total);
+
+  for (DType dt : options.dtypes) {
+    for (std::size_t bs : options.batch_sizes) {
+      for (const auto& pm_name : options.power_modes) {
+        for (int kv8 = 0; kv8 <= (options.include_kv_int8 ? 1 : 0); ++kv8) {
+          sim::SimRequest rq;
+          rq.model_key = options.model_key;
+          rq.dtype = dt;
+          rq.batch = bs;
+          rq.in_tokens = options.seq.input;
+          rq.out_tokens = options.seq.output;
+          rq.power_mode = sim::power_mode_by_name(pm_name);
+          rq.kv_cache_int8 = kv8 == 1;
+          rq.noise_sigma = 0.0;
+          const sim::SimResult r = simulator.run(rq);
+          if (r.oom) continue;
+
+          ConfigPoint p;
+          p.dtype = dt;
+          p.batch = bs;
+          p.power_mode = pm_name;
+          p.kv_cache_int8 = kv8 == 1;
+          p.latency_s = r.latency_s;
+          const double total_tokens = static_cast<double>(bs) * tokens_per_batch;
+          p.latency_per_token_ms = r.latency_s / total_tokens * 1e3;
+          p.energy_per_token_j = r.energy_j / total_tokens;
+          p.throughput_tps = r.throughput_tps;
+          p.median_power_w = r.median_power_w;
+          p.ram_gb = r.memory.total_gb();
+          points.push_back(p);
+        }
+      }
+    }
+  }
+  return points;
+}
+
+namespace {
+
+bool dominates(const ConfigPoint& a, const ConfigPoint& b) {
+  const bool no_worse = a.latency_per_token_ms <= b.latency_per_token_ms &&
+                        a.energy_per_token_j <= b.energy_per_token_j &&
+                        a.ram_gb <= b.ram_gb;
+  const bool strictly_better = a.latency_per_token_ms < b.latency_per_token_ms ||
+                               a.energy_per_token_j < b.energy_per_token_j ||
+                               a.ram_gb < b.ram_gb;
+  return no_worse && strictly_better;
+}
+
+}  // namespace
+
+std::vector<ConfigPoint> pareto_frontier(const std::vector<ConfigPoint>& points) {
+  std::vector<ConfigPoint> frontier;
+  for (const auto& candidate : points) {
+    bool dominated = false;
+    for (const auto& other : points) {
+      if (dominates(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(candidate);
+  }
+  return frontier;
+}
+
+std::optional<ConfigPoint> best_config(const std::vector<ConfigPoint>& points,
+                                       const Constraints& constraints,
+                                       Objective objective) {
+  std::optional<ConfigPoint> best;
+  auto score = [&](const ConfigPoint& p) {
+    switch (objective) {
+      case Objective::kLatencyPerToken:
+        return p.latency_per_token_ms;
+      case Objective::kEnergyPerToken:
+        return p.energy_per_token_j;
+      case Objective::kThroughput:
+        return -p.throughput_tps;  // minimize the negative
+    }
+    return 0.0;
+  };
+  for (const auto& p : points) {
+    if (constraints.max_latency_s && p.latency_s > *constraints.max_latency_s) continue;
+    if (constraints.max_power_w && p.median_power_w > *constraints.max_power_w) continue;
+    if (constraints.max_ram_gb && p.ram_gb > *constraints.max_ram_gb) continue;
+    if (!best || score(p) < score(*best)) best = p;
+  }
+  return best;
+}
+
+}  // namespace orinsim::harness

@@ -1,0 +1,69 @@
+// Configuration optimizer: turns the simulator into the decision tool the
+// paper's conclusion calls for ("leverage these empirical results to
+// optimize LLM inferencing on the edge").
+//
+// For a model it enumerates the full configuration space the paper studies —
+// precision x batch size x power mode x (extension) KV-cache precision —
+// evaluates each on the simulated Orin AGX, and computes:
+//  - the Pareto frontier over (latency per token, energy per token, RAM);
+//  - the best configuration under user constraints (max latency, max power,
+//    max RAM), minimizing a chosen objective.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/inference_sim.h"
+#include "workload/prompt_pool.h"
+
+namespace orinsim::harness {
+
+struct ConfigPoint {
+  DType dtype = DType::kF16;
+  std::size_t batch = 32;
+  std::string power_mode = "MaxN";
+  bool kv_cache_int8 = false;
+
+  // Evaluated metrics (per the paper's definitions).
+  double latency_s = 0.0;          // batch time-to-last-token
+  double latency_per_token_ms = 0.0;  // latency / (batch * seq)
+  double energy_per_token_j = 0.0;
+  double throughput_tps = 0.0;
+  double median_power_w = 0.0;
+  double ram_gb = 0.0;
+
+  std::string label() const;
+};
+
+struct ParetoOptions {
+  std::string model_key = "llama3";
+  workload::SeqConfig seq = workload::seq_config_default();
+  std::vector<std::size_t> batch_sizes = {1, 8, 32, 128};
+  std::vector<DType> dtypes = {DType::kF16, DType::kI8, DType::kI4};
+  std::vector<std::string> power_modes = {"MaxN", "A", "B", "H"};
+  bool include_kv_int8 = true;
+};
+
+// Every feasible (non-OOM) configuration, evaluated.
+std::vector<ConfigPoint> enumerate_configs(const ParetoOptions& options);
+
+// The subset of `points` not dominated on (latency/token, energy/token, RAM)
+// — lower is better on all three. Order preserved.
+std::vector<ConfigPoint> pareto_frontier(const std::vector<ConfigPoint>& points);
+
+struct Constraints {
+  std::optional<double> max_latency_s;      // per batch
+  std::optional<double> max_power_w;        // median draw
+  std::optional<double> max_ram_gb;
+};
+
+enum class Objective { kLatencyPerToken, kEnergyPerToken, kThroughput };
+
+// Best feasible configuration, or nullopt if nothing satisfies the
+// constraints. kThroughput maximizes; the others minimize.
+std::optional<ConfigPoint> best_config(const std::vector<ConfigPoint>& points,
+                                       const Constraints& constraints,
+                                       Objective objective);
+
+}  // namespace orinsim::harness

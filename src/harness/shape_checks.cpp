@@ -1,0 +1,330 @@
+#include "harness/shape_checks.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/stats.h"
+#include "core/units.h"
+#include "sim/model_catalog.h"
+
+namespace orinsim::harness {
+
+namespace {
+
+CheckResult make_check(const std::string& name, bool passed, const std::string& detail) {
+  return CheckResult{name, passed, detail};
+}
+
+std::string pct(double ratio) {
+  std::ostringstream os;
+  os << format_double((ratio - 1.0) * 100.0, 1) << "%";
+  return os.str();
+}
+
+std::size_t model_index(const std::string& key) {
+  const auto& catalog = sim::model_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].key == key) return i;
+  }
+  ORINSIM_CHECK(false, "unknown model: " + key);
+  return 0;
+}
+
+std::vector<double> series(const std::vector<Cell>& cells, Metric metric) {
+  std::vector<double> out;
+  for (const auto& c : cells) {
+    if (!c.oom) out.push_back(metric_value(c, metric));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CheckResult> check_batch_sweep(const BatchSweep& sweep) {
+  std::vector<CheckResult> checks;
+  const auto& catalog = sim::model_catalog();
+  for (std::size_t mi = 0; mi < sweep.cells.size(); ++mi) {
+    const auto tput = series(sweep.cells[mi], Metric::kThroughput);
+    const auto lat = series(sweep.cells[mi], Metric::kLatency);
+    const auto ram = series(sweep.cells[mi], Metric::kRam);
+    checks.push_back(make_check(
+        catalog[mi].display + ": throughput rises with batch size",
+        is_monotonic_increasing(tput, 0.02),
+        "bs=1 " + format_double(tput.front(), 1) + " -> bs=128 " +
+            format_double(tput.back(), 1) + " tok/s"));
+    checks.push_back(make_check(
+        catalog[mi].display + ": latency rises with batch size",
+        is_monotonic_increasing(lat, 0.05),
+        "bs=1 " + format_double(lat.front(), 2) + "s -> bs=128 " +
+            format_double(lat.back(), 2) + "s"));
+    checks.push_back(make_check(catalog[mi].display + ": memory grows with batch size",
+                                is_monotonic_increasing(ram, 0.01),
+                                format_double(ram.front(), 2) + " -> " +
+                                    format_double(ram.back(), 2) + " GB"));
+  }
+  // §3.1 quotes Llama "improving by 203% from 184 to 558 tok/s ... from 32
+  // to 128"; 184 tok/s is actually Table 4's bs=16 entry (bs=32 is 308), so
+  // the quantitative claim is the 16->128 ratio (~3x) and the 32->128 gain
+  // is ~1.8x.
+  {
+    const auto& cells = sweep.cells[model_index("llama3")];
+    const double t16 = metric_value(cells[4], Metric::kThroughput);
+    const double t32 = metric_value(cells[5], Metric::kThroughput);
+    const double t128 = metric_value(cells[7], Metric::kThroughput);
+    checks.push_back(make_check("Llama3: large throughput gain bs=16->128 (paper +203%)",
+                                t128 / t16 > 2.2, pct(t128 / t16)));
+    checks.push_back(make_check("Llama3: throughput gain bs=32->128 (Table 4: +81%)",
+                                t128 / t32 > 1.6, pct(t128 / t32)));
+  }
+  // DeepSeek saturates concurrency by bs=128: its bs=64->128 throughput gain
+  // should be clearly sub-linear (< 2x for a 2x batch).
+  {
+    const auto& cells = sweep.cells[model_index("deepseek-qwen")];
+    const double t64 = metric_value(cells[6], Metric::kThroughput);
+    const double t128 = metric_value(cells[7], Metric::kThroughput);
+    checks.push_back(make_check("DeepQ: throughput saturating by bs=128",
+                                t128 / t64 < 1.8, pct(t128 / t64)));
+  }
+  return checks;
+}
+
+std::vector<CheckResult> check_seq_sweep(const SeqSweep& sweep) {
+  std::vector<CheckResult> checks;
+  const auto& catalog = sim::model_catalog();
+  for (std::size_t mi = 0; mi < sweep.cells.size(); ++mi) {
+    const auto tput = series(sweep.cells[mi], Metric::kThroughput);
+    const auto lat = series(sweep.cells[mi], Metric::kLatency);
+    const auto ram = series(sweep.cells[mi], Metric::kRam);
+    checks.push_back(make_check(catalog[mi].display + ": throughput falls with seq length",
+                                is_monotonic_decreasing(tput, 0.02), ""));
+    checks.push_back(make_check(catalog[mi].display + ": latency grows with seq length",
+                                is_monotonic_increasing(lat, 0.02), ""));
+    checks.push_back(make_check(catalog[mi].display + ": memory grows with seq length",
+                                is_monotonic_increasing(ram, 0.01), ""));
+  }
+  // Phi-2 OOM for sl > 256 (Table 6), fine at 128/256.
+  {
+    const auto& cells = sweep.cells[model_index("phi2")];
+    const bool pattern = !cells[0].oom && !cells[1].oom && cells[2].oom && cells[3].oom;
+    checks.push_back(
+        make_check("Phi2: OOM at sl>=512 but not below (eager attention)", pattern,
+                   std::string("oom flags: ") + (cells[0].oom ? "1" : "0") +
+                       (cells[1].oom ? "1" : "0") + (cells[2].oom ? "1" : "0") +
+                       (cells[3].oom ? "1" : "0")));
+  }
+  // Llama at sl=1024: latency ~2.8-3.1x the sl=512 latency in the paper.
+  {
+    const auto& cells = sweep.cells[model_index("llama3")];
+    const double ratio = cells[3].latency_s / cells[2].latency_s;
+    checks.push_back(make_check("Llama3: superlinear latency growth sl 512->1024",
+                                ratio > 2.0, "x" + format_double(ratio, 2)));
+  }
+  return checks;
+}
+
+std::vector<CheckResult> check_quant_study(const QuantStudy& study) {
+  std::vector<CheckResult> checks;
+  const auto& catalog = sim::model_catalog();
+  auto cell = [&](const std::string& key, DType dt) -> const Cell& {
+    const std::size_t mi = model_index(key);
+    for (std::size_t d = 0; d < study.dtypes.size(); ++d) {
+      if (study.dtypes[d] == dt) return study.cells[mi][d];
+    }
+    ORINSIM_CHECK(false, "dtype not in study");
+    return study.cells[0][0];
+  };
+
+  // OOM pattern (Table 1 / Fig 3).
+  checks.push_back(make_check("Mistral FP32 OOM", cell("mistral", DType::kF32).oom, ""));
+  checks.push_back(
+      make_check("DeepQ FP32+FP16 OOM", cell("deepseek-qwen", DType::kF32).oom &&
+                                            cell("deepseek-qwen", DType::kF16).oom,
+                 ""));
+  checks.push_back(make_check("DeepQ INT8 fits", !cell("deepseek-qwen", DType::kI8).oom, ""));
+  checks.push_back(make_check("Phi2+Llama FP32 fit",
+                              !cell("phi2", DType::kF32).oom && !cell("llama3", DType::kF32).oom,
+                              ""));
+
+  // INT8 is slower than FP16 for the small models (paper: +62%), within a
+  // few % for Mistral.
+  for (const std::string key : {"phi2", "llama3"}) {
+    const double ratio = cell(key, DType::kI8).latency_s / cell(key, DType::kF16).latency_s;
+    checks.push_back(make_check(catalog[model_index(key)].display +
+                                    ": INT8 much slower than FP16 (paper +62%)",
+                                ratio > 1.4 && ratio < 1.9, pct(ratio)));
+  }
+  {
+    const double ratio =
+        cell("mistral", DType::kI8).latency_s / cell("mistral", DType::kF16).latency_s;
+    checks.push_back(make_check("Mistral: INT8 within ~5% of FP16 (paper +2%)",
+                                ratio < 1.08, pct(ratio)));
+  }
+  // INT8 cuts RAM roughly in half vs FP16 (paper: ~46-47%). Phi-2's total is
+  // dominated by its runtime overhead rather than its 5.6 GB of weights, so
+  // its relative saving is structurally smaller.
+  for (const std::string key : {"phi2", "llama3", "mistral"}) {
+    const double saving =
+        1.0 - cell(key, DType::kI8).ram_total_gb / cell(key, DType::kF16).ram_total_gb;
+    const double lo = key == "phi2" ? 0.20 : 0.35;
+    checks.push_back(make_check(catalog[model_index(key)].display +
+                                    ": INT8 saves a large share of FP16 RAM",
+                                saving > lo && saving < 0.60,
+                                format_double(saving * 100.0, 1) + "%"));
+  }
+  // INT4 slower than INT8 for every model that runs both.
+  for (const std::string key : {"phi2", "llama3", "mistral", "deepseek-qwen"}) {
+    const Cell& i8 = cell(key, DType::kI8);
+    const Cell& i4 = cell(key, DType::kI4);
+    if (i8.oom || i4.oom) continue;
+    checks.push_back(make_check(catalog[model_index(key)].display + ": INT4 slower than INT8",
+                                i4.latency_s > i8.latency_s,
+                                pct(i4.latency_s / i8.latency_s)));
+  }
+  return checks;
+}
+
+std::vector<CheckResult> check_power_energy(const PowerEnergyStudy& study) {
+  std::vector<CheckResult> checks;
+  auto row = [&](DType dt) -> const std::vector<Cell>& {
+    for (std::size_t d = 0; d < study.dtypes.size(); ++d) {
+      if (study.dtypes[d] == dt) return study.cells[d];
+    }
+    ORINSIM_CHECK(false, "dtype not in study");
+    return study.cells[0];
+  };
+  const auto& f16 = row(DType::kF16);
+  const auto& i8 = row(DType::kI8);
+  const auto& i4 = row(DType::kI4);
+
+  std::size_t power_ok = 0, runnable = 0;
+  for (std::size_t b = 0; b < study.batch_sizes.size(); ++b) {
+    if (f16[b].oom || i8[b].oom) continue;
+    ++runnable;
+    if (i8[b].median_power_w < f16[b].median_power_w) ++power_ok;
+  }
+  checks.push_back(make_check(study.model_key + ": INT8 draws less power than FP16",
+                              runnable > 0 && power_ok == runnable,
+                              std::to_string(power_ok) + "/" + std::to_string(runnable) +
+                                  " batch sizes"));
+
+  std::size_t i4_power_ok = 0, i4_runnable = 0;
+  for (std::size_t b = 0; b < study.batch_sizes.size(); ++b) {
+    if (i4[b].oom || i8[b].oom) continue;
+    ++i4_runnable;
+    if (i8[b].median_power_w < i4[b].median_power_w) ++i4_power_ok;
+  }
+  checks.push_back(make_check(study.model_key + ": INT8 draws less power than INT4",
+                              i4_runnable > 0 && i4_power_ok == i4_runnable, ""));
+
+  if (study.model_key == "llama3") {
+    // FP16 has the lowest energy for Llama; INT4 the worst (Fig 4).
+    std::size_t e_f16_best = 0, e_i4_worst = 0, n = 0;
+    for (std::size_t b = 0; b < study.batch_sizes.size(); ++b) {
+      if (f16[b].oom || i8[b].oom || i4[b].oom) continue;
+      ++n;
+      if (f16[b].energy_j <= i8[b].energy_j && f16[b].energy_j <= i4[b].energy_j) {
+        ++e_f16_best;
+      }
+      if (i4[b].energy_j >= f16[b].energy_j && i4[b].energy_j >= i8[b].energy_j) {
+        ++e_i4_worst;
+      }
+    }
+    checks.push_back(make_check("llama3: FP16 lowest energy across batch sizes",
+                                n > 0 && e_f16_best == n, ""));
+    checks.push_back(make_check("llama3: INT4 highest energy across batch sizes",
+                                n > 0 && e_i4_worst == n, ""));
+  }
+  return checks;
+}
+
+std::vector<CheckResult> check_power_modes(const PowerModeStudy& study) {
+  std::vector<CheckResult> checks;
+  const std::size_t llama = model_index("llama3");
+  auto mode_cell = [&](const std::string& name) -> const Cell& {
+    for (std::size_t p = 0; p < study.modes.size(); ++p) {
+      if (study.modes[p].name == name) return study.cells[llama][p];
+    }
+    ORINSIM_CHECK(false, "mode not in study: " + name);
+    return study.cells[0][0];
+  };
+  const Cell& maxn = mode_cell("MaxN");
+
+  {
+    const Cell& a = mode_cell("A");
+    const double dpow = a.median_power_w / maxn.median_power_w - 1.0;
+    const double dlat = a.latency_s / maxn.latency_s - 1.0;
+    checks.push_back(make_check("PM-A: power down ~28%", dpow < -0.18 && dpow > -0.40,
+                                format_double(dpow * 100, 1) + "%"));
+    checks.push_back(make_check("PM-A: latency up ~26%", dlat > 0.10 && dlat < 0.45,
+                                format_double(dlat * 100, 1) + "%"));
+    checks.push_back(make_check("PM-A: energy not worse than MaxN",
+                                a.energy_j <= maxn.energy_j * 1.02, ""));
+  }
+  {
+    const Cell& b = mode_cell("B");
+    const double dpow = b.median_power_w / maxn.median_power_w - 1.0;
+    checks.push_back(make_check("PM-B: power roughly halved", dpow < -0.35,
+                                format_double(dpow * 100, 1) + "%"));
+    checks.push_back(make_check("PM-B: energy worse than MaxN (latency dominates)",
+                                b.energy_j > maxn.energy_j, ""));
+  }
+  {
+    const Cell& e = mode_cell("E");
+    const Cell& f = mode_cell("F");
+    const bool ok = e.latency_s / maxn.latency_s < 1.05 && f.latency_s / maxn.latency_s < 1.05;
+    checks.push_back(make_check("PM-E/F: core count has negligible latency impact", ok, ""));
+  }
+  {
+    const Cell& h = mode_cell("H");
+    const double dlat = h.latency_s / maxn.latency_s - 1.0;
+    const double dpow = h.median_power_w / maxn.median_power_w - 1.0;
+    const double dene = h.energy_j / maxn.energy_j - 1.0;
+    checks.push_back(make_check("PM-H: latency up >300% (paper +370%)", dlat > 3.0,
+                                format_double(dlat * 100, 0) + "%"));
+    checks.push_back(make_check("PM-H: power down sharply (paper -52%)", dpow < -0.30,
+                                format_double(dpow * 100, 1) + "%"));
+    checks.push_back(make_check("PM-H: energy up sharply (paper +72%)", dene > 0.30,
+                                format_double(dene * 100, 1) + "%"));
+  }
+  {
+    const Cell& c = mode_cell("C");
+    const Cell& d = mode_cell("D");
+    const bool ok = c.latency_s > maxn.latency_s && d.latency_s > c.latency_s;
+    checks.push_back(
+        make_check("PM-C/D: CPU frequency slows inference, D more than C", ok, ""));
+  }
+  return checks;
+}
+
+std::vector<CheckResult> run_all_shape_checks() {
+  std::vector<CheckResult> all;
+  auto extend = [&all](std::vector<CheckResult> more) {
+    for (auto& c : more) all.push_back(std::move(c));
+  };
+  extend(check_batch_sweep(run_batch_sweep(workload::Dataset::kWikiText2)));
+  extend(check_seq_sweep(run_seq_sweep(workload::Dataset::kLongBench)));
+  extend(check_quant_study(run_quant_study()));
+  extend(check_power_energy(run_power_energy("llama3")));
+  extend(check_power_modes(run_power_modes()));
+  return all;
+}
+
+bool all_passed(const std::vector<CheckResult>& checks) {
+  for (const auto& c : checks) {
+    if (!c.passed) return false;
+  }
+  return true;
+}
+
+std::string format_checks(const std::vector<CheckResult>& checks) {
+  std::ostringstream os;
+  for (const auto& c : checks) {
+    os << (c.passed ? "[PASS] " : "[FAIL] ") << c.name;
+    if (!c.detail.empty()) os << "  (" << c.detail << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace orinsim::harness

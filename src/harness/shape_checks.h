@@ -1,0 +1,51 @@
+// Shape checks: the paper's qualitative findings, expressed as assertions
+// over the simulated studies. Each bench prints its checks and the test
+// suite requires them all to pass — this is the repository's definition of
+// "the reproduction holds".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiments.h"
+
+namespace orinsim::harness {
+
+struct CheckResult {
+  std::string name;
+  bool passed = false;
+  std::string detail;
+};
+
+// §3.1: throughput rises and latency rises with batch size for every model;
+// Llama gains ~203% throughput from bs=32 to 128; memory grows with batch.
+std::vector<CheckResult> check_batch_sweep(const BatchSweep& sweep);
+
+// §3.2: throughput falls and latency grows with sequence length; memory
+// grows (KV cache); Phi-2 OOMs for sl > 256.
+std::vector<CheckResult> check_seq_sweep(const SeqSweep& sweep);
+
+// §3.3 + Table 1: INT8 halves RAM but is ~62% slower than FP16 for small
+// models; Mistral INT8 within a few % of FP16; FP32 OOM for Mistral/DeepQ;
+// FP16 OOM for DeepQ.
+std::vector<CheckResult> check_quant_study(const QuantStudy& study);
+
+// §3.3/Fig 4: INT8 draws less power than FP16 and INT4; FP16 has the lowest
+// energy for Llama; INT4 energy is the worst.
+std::vector<CheckResult> check_power_energy(const PowerEnergyStudy& study);
+
+// §3.4/Fig 5 for Llama: PM-A saves ~28% power at ~26% latency cost with
+// energy <= MaxN; PM-B halves power but costs energy; PM-E/F negligible
+// latency; PM-H latency +>300%, power roughly halved, energy up.
+std::vector<CheckResult> check_power_modes(const PowerModeStudy& study);
+
+// All checks over freshly-run studies (convenience for tests/benches).
+std::vector<CheckResult> run_all_shape_checks();
+
+// True iff every check passed.
+bool all_passed(const std::vector<CheckResult>& checks);
+
+// Formats pass/fail lines for bench output.
+std::string format_checks(const std::vector<CheckResult>& checks);
+
+}  // namespace orinsim::harness

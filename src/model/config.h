@@ -1,0 +1,123 @@
+// Transformer architecture configuration for the functional engine.
+//
+// Two block styles cover the four paper models:
+//  - kPreNormSwiGLU: RMSNorm -> attention -> residual, RMSNorm -> SwiGLU MLP
+//    -> residual (Llama 3.1, Mistral, DeepSeek-R1-Qwen).
+//  - kParallelGELU: LayerNorm -> {attention, GELU MLP} evaluated in parallel
+//    from the same normed input, summed into the residual (Phi-2).
+// Grouped-query attention (n_kv_heads < n_heads) matches Llama/Mistral/Qwen.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/error.h"
+
+namespace orinsim {
+
+enum class BlockStyle { kPreNormSwiGLU, kParallelGELU };
+
+struct TransformerConfig {
+  std::string name = "tiny";
+  std::size_t vocab = 0;
+  std::size_t d_model = 0;
+  std::size_t n_layers = 0;
+  std::size_t n_heads = 0;
+  std::size_t n_kv_heads = 0;
+  std::size_t d_ff = 0;
+  std::size_t max_seq = 1024;
+  BlockStyle style = BlockStyle::kPreNormSwiGLU;
+  float rope_theta = 10000.0f;
+
+  std::size_t head_dim() const {
+    ORINSIM_CHECK(n_heads > 0 && d_model % n_heads == 0, "d_model must divide by n_heads");
+    return d_model / n_heads;
+  }
+
+  std::size_t kv_dim() const { return n_kv_heads * head_dim(); }
+
+  void validate() const {
+    ORINSIM_CHECK(vocab > 0 && d_model > 0 && n_layers > 0 && n_heads > 0, "empty config");
+    ORINSIM_CHECK(n_kv_heads > 0 && n_heads % n_kv_heads == 0,
+                  "n_heads must be a multiple of n_kv_heads");
+    ORINSIM_CHECK(d_model % n_heads == 0, "d_model must divide by n_heads");
+    ORINSIM_CHECK(head_dim() % 2 == 0, "head_dim must be even for RoPE");
+    ORINSIM_CHECK(d_ff > 0 && max_seq > 0, "d_ff and max_seq must be positive");
+  }
+
+  // Parameters in transformer blocks (excludes embedding and lm_head): the
+  // quantity quantization applies to in this engine.
+  std::size_t block_param_count() const {
+    const std::size_t attn = d_model * d_model          // Wq
+                             + 2 * d_model * kv_dim()   // Wk, Wv
+                             + d_model * d_model;       // Wo
+    std::size_t mlp = 0;
+    if (style == BlockStyle::kPreNormSwiGLU) {
+      mlp = 3 * d_model * d_ff;  // gate, up, down
+    } else {
+      mlp = 2 * d_model * d_ff;  // fc1, fc2
+    }
+    return n_layers * (attn + mlp);
+  }
+
+  std::size_t total_param_count() const {
+    return block_param_count() + 2 * vocab * d_model + (n_layers * 2 + 1) * d_model;
+  }
+
+  // KV cache bytes per token per sequence at fp32 storage (functional engine
+  // keeps its cache in fp32).
+  std::size_t kv_bytes_per_token() const { return n_layers * 2 * kv_dim() * sizeof(float); }
+};
+
+// Scaled-down versions of the four paper architectures, preserving each
+// model's block style and head layout, sized to run quickly on a CPU.
+// Suffix "nano" ~ a few hundred K block parameters; used by tests and the
+// perplexity study.
+TransformerConfig make_nano_config(const std::string& family, std::size_t vocab);
+
+inline TransformerConfig make_nano_config(const std::string& family, std::size_t vocab) {
+  TransformerConfig c;
+  c.vocab = vocab;
+  if (family == "phi2") {
+    // Phi-2: parallel attention+MLP blocks, LayerNorm, GELU, MHA (no GQA).
+    c.name = "phi2-nano";
+    c.d_model = 128;
+    c.n_layers = 4;
+    c.n_heads = 8;
+    c.n_kv_heads = 8;
+    c.d_ff = 512;
+    c.style = BlockStyle::kParallelGELU;
+  } else if (family == "llama3") {
+    // Llama-3.1: pre-norm SwiGLU, GQA 4:1.
+    c.name = "llama3-nano";
+    c.d_model = 128;
+    c.n_layers = 4;
+    c.n_heads = 8;
+    c.n_kv_heads = 2;
+    c.d_ff = 448;
+    c.style = BlockStyle::kPreNormSwiGLU;
+    c.rope_theta = 500000.0f;
+  } else if (family == "mistral") {
+    c.name = "mistral-nano";
+    c.d_model = 160;
+    c.n_layers = 5;
+    c.n_heads = 10;
+    c.n_kv_heads = 2;
+    c.d_ff = 576;
+    c.style = BlockStyle::kPreNormSwiGLU;
+  } else if (family == "deepseek-qwen") {
+    c.name = "deepseek-qwen-nano";
+    c.d_model = 192;
+    c.n_layers = 6;
+    c.n_heads = 12;
+    c.n_kv_heads = 2;
+    c.d_ff = 640;
+    c.style = BlockStyle::kPreNormSwiGLU;
+  } else {
+    ORINSIM_CHECK(false, "unknown model family: " + family);
+  }
+  c.validate();
+  return c;
+}
+
+}  // namespace orinsim

@@ -1,0 +1,130 @@
+#include "model/kv_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace orinsim {
+
+KVCache::KVCache(const TransformerConfig& config, std::size_t batch, std::size_t max_seq,
+                 KVStorage storage)
+    : batch_(batch),
+      max_seq_(max_seq),
+      kv_dim_(config.kv_dim()),
+      n_layers_(config.n_layers),
+      storage_(storage) {
+  ORINSIM_CHECK(batch > 0 && max_seq > 0, "KVCache requires positive batch and max_seq");
+  ORINSIM_CHECK(max_seq <= config.max_seq, "KVCache max_seq exceeds model max_seq");
+  if (storage_ == KVStorage::kF32) {
+    keys_.resize(n_layers_);
+    values_.resize(n_layers_);
+    for (std::size_t l = 0; l < n_layers_; ++l) {
+      keys_[l].assign(batch_ * max_seq_ * kv_dim_, 0.0f);
+      values_[l].assign(batch_ * max_seq_ * kv_dim_, 0.0f);
+    }
+  } else {
+    key_codes_.resize(n_layers_);
+    value_codes_.resize(n_layers_);
+    key_scales_.resize(n_layers_);
+    value_scales_.resize(n_layers_);
+    for (std::size_t l = 0; l < n_layers_; ++l) {
+      key_codes_[l].assign(batch_ * max_seq_ * kv_dim_, 0);
+      value_codes_[l].assign(batch_ * max_seq_ * kv_dim_, 0);
+      key_scales_[l].assign(batch_ * max_seq_, 0.0f);
+      value_scales_[l].assign(batch_ * max_seq_, 0.0f);
+    }
+    key_scratch_.assign(kv_dim_, 0.0f);
+    value_scratch_.assign(kv_dim_, 0.0f);
+  }
+  lengths_.assign(batch_, 0);
+}
+
+void KVCache::store_quantized(std::vector<std::int8_t>& codes, std::vector<float>& scales,
+                              std::size_t b, std::size_t pos,
+                              std::span<const float> data) {
+  float absmax = 0.0f;
+  for (float v : data) absmax = std::max(absmax, std::fabs(v));
+  const float scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+  scales[scale_offset(b, pos)] = scale;
+  std::int8_t* out = codes.data() + offset(b, pos);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const int code = static_cast<int>(std::lround(data[i] / scale));
+    out[i] = static_cast<std::int8_t>(std::clamp(code, -127, 127));
+  }
+}
+
+std::size_t KVCache::append(std::size_t layer, std::size_t b, std::span<const float> k,
+                            std::span<const float> v) {
+  ORINSIM_CHECK(layer < n_layers_ && b < batch_, "KVCache::append out of range");
+  ORINSIM_CHECK(k.size() == kv_dim_ && v.size() == kv_dim_, "KVCache::append dim mismatch");
+  const std::size_t pos = lengths_[b];
+  ORINSIM_CHECK(pos < max_seq_, "KVCache overflow: sequence exceeds max_seq");
+  if (storage_ == KVStorage::kF32) {
+    std::copy(k.begin(), k.end(), keys_[layer].begin() + offset(b, pos));
+    std::copy(v.begin(), v.end(), values_[layer].begin() + offset(b, pos));
+  } else {
+    store_quantized(key_codes_[layer], key_scales_[layer], b, pos, k);
+    store_quantized(value_codes_[layer], value_scales_[layer], b, pos, v);
+  }
+  return pos;
+}
+
+void KVCache::commit(std::size_t b) {
+  ORINSIM_CHECK(b < batch_, "KVCache::commit out of range");
+  ORINSIM_CHECK(lengths_[b] < max_seq_, "KVCache::commit overflow");
+  ++lengths_[b];
+}
+
+std::span<const float> KVCache::key(std::size_t layer, std::size_t b, std::size_t pos) const {
+  ORINSIM_CHECK(layer < n_layers_ && b < batch_ && pos <= lengths_[b] && pos < max_seq_,
+                "KVCache::key out of range");
+  if (storage_ == KVStorage::kF32) {
+    return std::span<const float>(keys_[layer].data() + offset(b, pos), kv_dim_);
+  }
+  const std::int8_t* codes = key_codes_[layer].data() + offset(b, pos);
+  const float scale = key_scales_[layer][scale_offset(b, pos)];
+  for (std::size_t i = 0; i < kv_dim_; ++i) {
+    key_scratch_[i] = static_cast<float>(codes[i]) * scale;
+  }
+  return key_scratch_;
+}
+
+std::span<const float> KVCache::value(std::size_t layer, std::size_t b,
+                                      std::size_t pos) const {
+  ORINSIM_CHECK(layer < n_layers_ && b < batch_ && pos <= lengths_[b] && pos < max_seq_,
+                "KVCache::value out of range");
+  if (storage_ == KVStorage::kF32) {
+    return std::span<const float>(values_[layer].data() + offset(b, pos), kv_dim_);
+  }
+  const std::int8_t* codes = value_codes_[layer].data() + offset(b, pos);
+  const float scale = value_scales_[layer][scale_offset(b, pos)];
+  for (std::size_t i = 0; i < kv_dim_; ++i) {
+    value_scratch_[i] = static_cast<float>(codes[i]) * scale;
+  }
+  return value_scratch_;
+}
+
+void KVCache::truncate(std::size_t b, std::size_t new_len) {
+  ORINSIM_CHECK(b < batch_, "KVCache::truncate out of range");
+  ORINSIM_CHECK(new_len <= lengths_[b], "KVCache::truncate cannot extend");
+  lengths_[b] = new_len;
+}
+
+void KVCache::reset() {
+  std::fill(lengths_.begin(), lengths_.end(), 0);
+}
+
+std::size_t KVCache::bytes() const noexcept {
+  const std::size_t vectors = n_layers_ * 2 * batch_ * max_seq_;
+  if (storage_ == KVStorage::kF32) return vectors * kv_dim_ * sizeof(float);
+  return vectors * (kv_dim_ * sizeof(std::int8_t) + sizeof(float));
+}
+
+std::size_t KVCache::used_bytes() const noexcept {
+  std::size_t tokens = 0;
+  for (std::size_t len : lengths_) tokens += len;
+  const std::size_t vectors = n_layers_ * 2 * tokens;
+  if (storage_ == KVStorage::kF32) return vectors * kv_dim_ * sizeof(float);
+  return vectors * (kv_dim_ * sizeof(std::int8_t) + sizeof(float));
+}
+
+}  // namespace orinsim

@@ -1,0 +1,98 @@
+// Batched key-value cache for autoregressive decoding.
+//
+// Layout: per layer, K and V are [batch, max_seq, kv_dim] buffers. Storage
+// is either FP32 (exact) or INT8 (per-vector absmax quantization: each
+// appended K/V vector carries one scale). INT8 halves the cache footprint —
+// the extension study's KV-quantization axis — at a measurable accuracy
+// cost that the perplexity benches quantify.
+//
+// The cache tracks a per-sequence length so ragged batches (prompts of
+// different lengths) decode correctly. bytes() reports the allocation the
+// same way the paper's incremental-memory metric counts KV growth.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/config.h"
+
+namespace orinsim {
+
+enum class KVStorage { kF32, kI8 };
+
+class KVCache {
+ public:
+  KVCache(const TransformerConfig& config, std::size_t batch, std::size_t max_seq,
+          KVStorage storage = KVStorage::kF32);
+
+  std::size_t batch() const noexcept { return batch_; }
+  std::size_t max_seq() const noexcept { return max_seq_; }
+  std::size_t seq_len(std::size_t b) const { return lengths_.at(b); }
+
+  // Appends one position worth of K/V for sequence b in layer l; returns the
+  // position it was stored at.
+  std::size_t append(std::size_t layer, std::size_t b, std::span<const float> k,
+                     std::span<const float> v);
+
+  // Advance the per-sequence length by one after all layers appended.
+  // (append() writes at the *current* length; commit() bumps it.)
+  void commit(std::size_t b);
+
+  // Roll sequence b back to new_len tokens (speculative-decoding rejection:
+  // discard the KV entries of unaccepted draft tokens).
+  void truncate(std::size_t b, std::size_t new_len);
+
+  // K/V vectors for sequence b, position p, layer l. pos == seq_len(b) reads
+  // the entry staged by append() before commit() (each layer reads its own
+  // staged K/V for the token currently being processed).
+  //
+  // With INT8 storage the returned span points into a per-cache scratch
+  // buffer that is overwritten by the next key()/value() call — consume it
+  // before the next access (the attention loop does).
+  std::span<const float> key(std::size_t layer, std::size_t b, std::size_t pos) const;
+  std::span<const float> value(std::size_t layer, std::size_t b, std::size_t pos) const;
+
+  KVStorage storage() const noexcept { return storage_; }
+
+  void reset();
+
+  // Total bytes allocated by this cache.
+  std::size_t bytes() const noexcept;
+
+  // Bytes logically in use given current sequence lengths.
+  std::size_t used_bytes() const noexcept;
+
+ private:
+  std::size_t offset(std::size_t b, std::size_t pos) const {
+    ORINSIM_DCHECK(b < batch_ && pos < max_seq_, "kv cache index out of range");
+    return (b * max_seq_ + pos) * kv_dim_;
+  }
+  std::size_t scale_offset(std::size_t b, std::size_t pos) const {
+    return b * max_seq_ + pos;
+  }
+  void store_quantized(std::vector<std::int8_t>& codes, std::vector<float>& scales,
+                       std::size_t b, std::size_t pos, std::span<const float> data);
+
+  std::size_t batch_ = 0;
+  std::size_t max_seq_ = 0;
+  std::size_t kv_dim_ = 0;
+  std::size_t n_layers_ = 0;
+  KVStorage storage_ = KVStorage::kF32;
+
+  // FP32 storage: [layer][batch * max_seq * kv_dim].
+  std::vector<std::vector<float>> keys_;
+  std::vector<std::vector<float>> values_;
+  // INT8 storage: codes same layout, one absmax scale per stored vector.
+  std::vector<std::vector<std::int8_t>> key_codes_;
+  std::vector<std::vector<std::int8_t>> value_codes_;
+  std::vector<std::vector<float>> key_scales_;    // [layer][batch * max_seq]
+  std::vector<std::vector<float>> value_scales_;  // [layer][batch * max_seq]
+  mutable std::vector<float> key_scratch_;
+  mutable std::vector<float> value_scratch_;
+
+  std::vector<std::size_t> lengths_;  // per sequence
+};
+
+}  // namespace orinsim

@@ -1,0 +1,71 @@
+#include "model/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/error.h"
+#include "tensor/kernels.h"
+
+namespace orinsim {
+
+Sampler::Sampler(SamplerConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  ORINSIM_CHECK(config_.temperature >= 0.0f, "temperature must be >= 0");
+  ORINSIM_CHECK(config_.top_p > 0.0f && config_.top_p <= 1.0f, "top_p must be in (0, 1]");
+}
+
+TokenId Sampler::sample(std::span<const float> logits) {
+  ORINSIM_CHECK(!logits.empty(), "sample: empty logits");
+  if (config_.temperature == 0.0f) {
+    return static_cast<TokenId>(kernels::argmax(logits));
+  }
+
+  // Candidate set, sorted by logit descending.
+  std::vector<std::size_t> order(logits.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return logits[a] > logits[b]; });
+  std::size_t candidates = order.size();
+  if (config_.top_k > 0) candidates = std::min(candidates, config_.top_k);
+
+  // Softmax over the temperature-scaled candidate logits.
+  const float inv_t = 1.0f / config_.temperature;
+  const float max_logit = logits[order[0]];
+  std::vector<double> probs(candidates);
+  double total = 0.0;
+  for (std::size_t i = 0; i < candidates; ++i) {
+    probs[i] = std::exp(static_cast<double>(logits[order[i]] - max_logit) * inv_t);
+    total += probs[i];
+  }
+  for (auto& p : probs) p /= total;
+
+  // Nucleus truncation: smallest prefix with cumulative mass >= top_p.
+  if (config_.top_p < 1.0f) {
+    double cum = 0.0;
+    std::size_t cutoff = candidates;
+    for (std::size_t i = 0; i < candidates; ++i) {
+      cum += probs[i];
+      if (cum >= config_.top_p) {
+        cutoff = i + 1;
+        break;
+      }
+    }
+    candidates = cutoff;
+    double renorm = 0.0;
+    for (std::size_t i = 0; i < candidates; ++i) renorm += probs[i];
+    for (std::size_t i = 0; i < candidates; ++i) probs[i] /= renorm;
+  }
+
+  // Inverse-CDF draw.
+  const double u = rng_.uniform();
+  double cum = 0.0;
+  for (std::size_t i = 0; i < candidates; ++i) {
+    cum += probs[i];
+    if (u < cum) return static_cast<TokenId>(order[i]);
+  }
+  return static_cast<TokenId>(order[candidates - 1]);
+}
+
+}  // namespace orinsim

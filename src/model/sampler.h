@@ -1,0 +1,40 @@
+// Token samplers for the functional engine: greedy, temperature, top-k and
+// nucleus (top-p). The study's throughput numbers use greedy decoding (the
+// paper fixes output length, so the sampler does not affect timing), but a
+// served model needs stochastic sampling; these are the standard policies.
+#pragma once
+
+#include <cstddef>
+
+#include "core/rng.h"
+#include "tokenizer/tokenizer.h"
+
+#include <span>
+
+namespace orinsim {
+
+struct SamplerConfig {
+  // temperature == 0 means greedy argmax (top_k/top_p ignored).
+  float temperature = 0.0f;
+  // 0 disables top-k truncation.
+  std::size_t top_k = 0;
+  // 1.0 disables nucleus truncation.
+  float top_p = 1.0f;
+};
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerConfig config, std::uint64_t seed = 99);
+
+  // Picks the next token from raw logits (not softmaxed). Deterministic for
+  // a given seed and call sequence.
+  TokenId sample(std::span<const float> logits);
+
+  const SamplerConfig& config() const noexcept { return config_; }
+
+ private:
+  SamplerConfig config_;
+  Rng rng_;
+};
+
+}  // namespace orinsim

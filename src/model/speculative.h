@@ -1,0 +1,55 @@
+// Greedy speculative decoding: a small draft model proposes K tokens, the
+// target model verifies them and keeps the longest agreeing prefix, then
+// contributes one corrective token. Output is *identical* to the target's
+// own greedy decoding (the defining property of speculative decoding); the
+// win is that one target pass can retire up to K+1 tokens.
+//
+// On the Orin this matters because target decode steps are weight-bound
+// (§3.2): verifying K+1 positions costs barely more than generating one
+// token, so the expected speedup is
+//
+//     E[tokens/round] = (1 - a^(K+1)) / (1 - a)        (a = acceptance rate)
+//     speedup ~ E[tokens] * t_target / (t_target' + K * t_draft)
+//
+// The functional implementation below measures `a` for real model pairs;
+// sim::speculative provides the device-level speedup estimate.
+#pragma once
+
+#include <cstddef>
+
+#include "model/transformer.h"
+
+namespace orinsim {
+
+struct SpeculativeConfig {
+  std::size_t draft_tokens = 4;  // K: tokens proposed per round
+};
+
+struct SpeculativeStats {
+  std::size_t rounds = 0;
+  std::size_t proposed = 0;
+  std::size_t accepted = 0;
+  std::size_t target_forwards = 0;  // positions the target evaluated
+  std::size_t emitted = 0;
+
+  double acceptance_rate() const {
+    return proposed > 0 ? static_cast<double>(accepted) / static_cast<double>(proposed)
+                        : 0.0;
+  }
+  // Tokens emitted per verification round (the parallel-verify unit the
+  // device-level speedup model consumes).
+  double tokens_per_round() const {
+    return rounds > 0 ? static_cast<double>(emitted) / static_cast<double>(rounds) : 0.0;
+  }
+};
+
+// Single-sequence greedy generation with draft/verify. target and draft must
+// share the tokenizer's vocabulary (their configs may differ otherwise).
+// Returns exactly what target.generate({prompt}, max_new_tokens) would.
+Model::GenerateResult speculative_generate(Model& target, Model& draft,
+                                           const std::vector<TokenId>& prompt,
+                                           std::size_t max_new_tokens,
+                                           const SpeculativeConfig& config = {},
+                                           SpeculativeStats* stats = nullptr);
+
+}  // namespace orinsim

@@ -1,0 +1,321 @@
+#include "model/transformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+#include "tensor/kernels.h"
+
+namespace orinsim {
+
+namespace {
+void init_gaussian(std::vector<float>& w, std::size_t n, Rng& rng, double stddev) {
+  w.resize(n);
+  for (auto& v : w) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+// Trained transformers develop heavy-tailed weight/activation distributions
+// with emergent outlier features (Dettmers et al., LLM.int8()); these are
+// what make INT8 quantization lossy in practice. Block weights therefore use
+// a Gaussian mixture: a small fraction of entries are drawn at several times
+// the base scale. Pure Gaussians would make INT8 artificially lossless and
+// erase the Table 3 effect this engine reproduces.
+void init_heavy_tailed(std::vector<float>& w, std::size_t n, Rng& rng, double stddev) {
+  constexpr double kOutlierFraction = 0.04;
+  constexpr double kOutlierScale = 5.0;
+  w.resize(n);
+  for (auto& v : w) {
+    const double scale = rng.bernoulli(kOutlierFraction) ? kOutlierScale : 1.0;
+    v = static_cast<float>(rng.normal(0.0, stddev * scale));
+  }
+}
+}  // namespace
+
+std::shared_ptr<MasterWeights> MasterWeights::init_random(const TransformerConfig& config,
+                                                          std::uint64_t seed) {
+  config.validate();
+  auto mw = std::make_shared<MasterWeights>();
+  mw->config = config;
+  Rng rng(seed);
+
+  const std::size_t d = config.d_model;
+  const std::size_t kv = config.kv_dim();
+  const std::size_t ff = config.d_ff;
+  const double sigma_in = 1.0 / std::sqrt(static_cast<double>(d));
+  const double sigma_ff = 1.0 / std::sqrt(static_cast<double>(ff));
+  const double residual_scale = 1.0 / std::sqrt(2.0 * static_cast<double>(config.n_layers));
+
+  init_gaussian(mw->embedding, config.vocab * d, rng, 0.5);
+  init_gaussian(mw->lm_head, config.vocab * d, rng, 0.02);
+  mw->final_norm_gain.assign(d, 1.0f);
+  mw->final_norm_bias.assign(d, 0.0f);
+
+  mw->layers.resize(config.n_layers);
+  for (auto& layer : mw->layers) {
+    init_heavy_tailed(layer.wq, d * d, rng, sigma_in);
+    init_heavy_tailed(layer.wk, kv * d, rng, sigma_in);
+    init_heavy_tailed(layer.wv, kv * d, rng, sigma_in);
+    init_heavy_tailed(layer.wo, d * d, rng, sigma_in * residual_scale);
+    if (config.style == BlockStyle::kPreNormSwiGLU) {
+      init_heavy_tailed(layer.w_gate, ff * d, rng, sigma_in);
+      init_heavy_tailed(layer.w_up, ff * d, rng, sigma_in);
+      init_heavy_tailed(layer.w_down, d * ff, rng, sigma_ff * residual_scale);
+      layer.norm2_gain.assign(d, 1.0f);
+    } else {
+      init_heavy_tailed(layer.w_gate, ff * d, rng, sigma_in);  // fc1
+      init_heavy_tailed(layer.w_down, d * ff, rng, sigma_ff * residual_scale);  // fc2
+      layer.norm_bias.assign(d, 0.0f);
+    }
+    layer.norm_gain.assign(d, 1.0f);
+    if (layer.norm_bias.empty() && config.style == BlockStyle::kParallelGELU) {
+      layer.norm_bias.assign(d, 0.0f);
+    }
+  }
+  return mw;
+}
+
+Model::Model(std::shared_ptr<const MasterWeights> master, DType dtype,
+             KVStorage kv_storage)
+    : master_(std::move(master)), dtype_(dtype), kv_storage_(kv_storage) {
+  ORINSIM_CHECK(master_ != nullptr, "Model requires master weights");
+  const TransformerConfig& c = master_->config;
+  const std::size_t d = c.d_model;
+  const std::size_t kv = c.kv_dim();
+  const std::size_t ff = c.d_ff;
+
+  layers_.reserve(c.n_layers);
+  for (const auto& lm : master_->layers) {
+    LayerQuant lq;
+    lq.wq = quant::WeightMatrix::create(lm.wq, d, d, dtype_);
+    lq.wk = quant::WeightMatrix::create(lm.wk, kv, d, dtype_);
+    lq.wv = quant::WeightMatrix::create(lm.wv, kv, d, dtype_);
+    lq.wo = quant::WeightMatrix::create(lm.wo, d, d, dtype_);
+    if (c.style == BlockStyle::kPreNormSwiGLU) {
+      lq.w_gate = quant::WeightMatrix::create(lm.w_gate, ff, d, dtype_);
+      lq.w_up = quant::WeightMatrix::create(lm.w_up, ff, d, dtype_);
+      lq.w_down = quant::WeightMatrix::create(lm.w_down, d, ff, dtype_);
+    } else {
+      lq.w_gate = quant::WeightMatrix::create(lm.w_gate, ff, d, dtype_);
+      lq.w_down = quant::WeightMatrix::create(lm.w_down, d, ff, dtype_);
+    }
+    layers_.push_back(std::move(lq));
+  }
+
+  x_.resize(d);
+  normed_.resize(d);
+  q_.resize(d);
+  k_.resize(kv);
+  v_.resize(kv);
+  attn_.resize(d);
+  attn_proj_.resize(d);
+  gate_.resize(ff);
+  up_.resize(ff);
+  ff_.resize(ff);
+  mlp_out_.resize(d);
+  scores_.resize(c.max_seq);
+}
+
+std::size_t Model::weight_bytes() const noexcept {
+  std::size_t total =
+      (master_->embedding.size() + master_->lm_head.size()) * sizeof(float);
+  for (const auto& lq : layers_) {
+    total += lq.wq.storage_bytes() + lq.wk.storage_bytes() + lq.wv.storage_bytes() +
+             lq.wo.storage_bytes() + lq.w_gate.storage_bytes() + lq.w_up.storage_bytes() +
+             lq.w_down.storage_bytes();
+  }
+  return total;
+}
+
+std::size_t Model::outlier_columns() const noexcept {
+  std::size_t total = 0;
+  for (const auto& lq : layers_) {
+    total += lq.wq.outlier_column_count() + lq.wk.outlier_column_count() +
+             lq.wv.outlier_column_count() + lq.wo.outlier_column_count() +
+             lq.w_gate.outlier_column_count() + lq.w_up.outlier_column_count() +
+             lq.w_down.outlier_column_count();
+  }
+  return total;
+}
+
+void Model::attention(std::size_t layer, std::size_t b, KVCache& cache,
+                      std::span<const float> normed, std::span<float> out) {
+  const TransformerConfig& c = master_->config;
+  const std::size_t head_dim = c.head_dim();
+  const std::size_t group = c.n_heads / c.n_kv_heads;
+
+  layers_[layer].wq.matvec(normed, q_);
+  layers_[layer].wk.matvec(normed, k_);
+  layers_[layer].wv.matvec(normed, v_);
+
+  const std::size_t pos = cache.seq_len(b);
+  kernels::rope_inplace(q_, c.n_heads, head_dim, pos, c.rope_theta);
+  kernels::rope_inplace(k_, c.n_kv_heads, head_dim, pos, c.rope_theta);
+  cache.append(layer, b, k_, v_);
+
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t h = 0; h < c.n_heads; ++h) {
+    const std::size_t g = h / group;
+    const std::span<const float> qh(q_.data() + h * head_dim, head_dim);
+    // Scores over positions 0..pos (inclusive: staged entry readable).
+    for (std::size_t p = 0; p <= pos; ++p) {
+      const auto key = cache.key(layer, b, p);
+      scores_[p] =
+          kernels::dot(qh, key.subspan(g * head_dim, head_dim)) * inv_sqrt_d;
+    }
+    kernels::softmax_rows(std::span<float>(scores_.data(), pos + 1), 1, pos + 1);
+    float* oh = out.data() + h * head_dim;
+    for (std::size_t p = 0; p <= pos; ++p) {
+      const auto val = cache.value(layer, b, p);
+      const float* vp = val.data() + g * head_dim;
+      const float s = scores_[p];
+      for (std::size_t i = 0; i < head_dim; ++i) oh[i] += s * vp[i];
+    }
+  }
+}
+
+void Model::mlp_swiglu(std::size_t layer, std::span<const float> normed,
+                       std::span<float> out) {
+  layers_[layer].w_gate.matvec(normed, gate_);
+  layers_[layer].w_up.matvec(normed, up_);
+  kernels::swiglu(gate_, up_, ff_);
+  layers_[layer].w_down.matvec(ff_, out);
+}
+
+void Model::mlp_gelu(std::size_t layer, std::span<const float> normed, std::span<float> out) {
+  layers_[layer].w_gate.matvec(normed, ff_);  // fc1
+  kernels::gelu_inplace(std::span<float>(ff_));
+  layers_[layer].w_down.matvec(ff_, out);  // fc2
+}
+
+void Model::forward_token(TokenId token, std::size_t b, KVCache& cache,
+                          std::span<float> hidden_out) {
+  const TransformerConfig& c = master_->config;
+  const std::size_t d = c.d_model;
+  ORINSIM_CHECK(token < c.vocab, "token id out of vocab range");
+  ORINSIM_CHECK(hidden_out.size() == d, "hidden_out must be d_model");
+
+  const float* emb = master_->embedding.data() + static_cast<std::size_t>(token) * d;
+  std::copy(emb, emb + d, x_.begin());
+
+  for (std::size_t l = 0; l < c.n_layers; ++l) {
+    const LayerMaster& lm = master_->layers[l];
+    if (c.style == BlockStyle::kPreNormSwiGLU) {
+      kernels::rmsnorm_rows(x_, lm.norm_gain, normed_, 1, d);
+      attention(l, b, cache, normed_, attn_);
+      layers_[l].wo.matvec(attn_, attn_proj_);
+      kernels::add_inplace(std::span<float>(x_), attn_proj_);
+
+      kernels::rmsnorm_rows(x_, lm.norm2_gain, normed_, 1, d);
+      mlp_swiglu(l, normed_, mlp_out_);
+      kernels::add_inplace(std::span<float>(x_), mlp_out_);
+    } else {
+      // Phi-2 parallel block: one LayerNorm feeds both attention and MLP.
+      kernels::layernorm_rows(x_, lm.norm_gain, lm.norm_bias, normed_, 1, d);
+      attention(l, b, cache, normed_, attn_);
+      layers_[l].wo.matvec(attn_, attn_proj_);
+      mlp_gelu(l, normed_, mlp_out_);
+      kernels::add_inplace(std::span<float>(x_), attn_proj_);
+      kernels::add_inplace(std::span<float>(x_), mlp_out_);
+    }
+  }
+  cache.commit(b);
+
+  if (c.style == BlockStyle::kPreNormSwiGLU) {
+    kernels::rmsnorm_rows(x_, master_->final_norm_gain, hidden_out, 1, d);
+  } else {
+    kernels::layernorm_rows(x_, master_->final_norm_gain, master_->final_norm_bias,
+                            hidden_out, 1, d);
+  }
+}
+
+void Model::logits_from_hidden(std::span<const float> hidden, std::span<float> logits) const {
+  const TransformerConfig& c = master_->config;
+  ORINSIM_CHECK(hidden.size() == c.d_model && logits.size() == c.vocab,
+                "logits_from_hidden: shape mismatch");
+  kernels::matvec(master_->lm_head, hidden, logits, c.vocab, c.d_model);
+}
+
+void Model::prefill(std::span<const TokenId> prompt, std::size_t b, KVCache& cache,
+                    std::span<float> last_hidden) {
+  ORINSIM_CHECK(!prompt.empty(), "prefill: empty prompt");
+  std::vector<float> hidden(master_->config.d_model);
+  for (std::size_t i = 0; i < prompt.size(); ++i) {
+    forward_token(prompt[i], b, cache, hidden);
+  }
+  if (!last_hidden.empty()) {
+    ORINSIM_CHECK(last_hidden.size() == hidden.size(), "last_hidden size mismatch");
+    std::copy(hidden.begin(), hidden.end(), last_hidden.begin());
+  }
+}
+
+Model::GenerateResult Model::generate(const std::vector<std::vector<TokenId>>& prompts,
+                                      std::size_t max_new_tokens, Sampler* sampler) {
+  ORINSIM_CHECK(!prompts.empty(), "generate: no prompts");
+  const TransformerConfig& c = master_->config;
+  std::size_t max_prompt = 0;
+  for (const auto& p : prompts) {
+    ORINSIM_CHECK(!p.empty(), "generate: empty prompt");
+    max_prompt = std::max(max_prompt, p.size());
+  }
+  const std::size_t max_seq = std::min(c.max_seq, max_prompt + max_new_tokens);
+  KVCache cache(c, prompts.size(), max_seq, kv_storage_);
+
+  GenerateResult result;
+  result.outputs.resize(prompts.size());
+  std::vector<float> hidden(c.d_model);
+  std::vector<float> logits(c.vocab);
+  std::vector<TokenId> last(prompts.size());
+
+  auto pick = [&](std::span<const float> l) {
+    return sampler != nullptr ? sampler->sample(l)
+                              : static_cast<TokenId>(kernels::argmax(l));
+  };
+
+  for (std::size_t b = 0; b < prompts.size(); ++b) {
+    prefill(prompts[b], b, cache, hidden);
+    logits_from_hidden(hidden, logits);
+    last[b] = pick(logits);
+    result.input_tokens += prompts[b].size();
+  }
+  for (std::size_t step = 0; step < max_new_tokens; ++step) {
+    for (std::size_t b = 0; b < prompts.size(); ++b) {
+      if (cache.seq_len(b) >= max_seq) continue;
+      result.outputs[b].push_back(last[b]);
+      ++result.output_tokens;
+      if (step + 1 == max_new_tokens) continue;  // no need to forward the final token
+      forward_token(last[b], b, cache, hidden);
+      logits_from_hidden(hidden, logits);
+      last[b] = pick(logits);
+    }
+  }
+  return result;
+}
+
+Model::NllResult Model::sequence_nll(std::span<const TokenId> tokens,
+                                     std::size_t predict_from) {
+  ORINSIM_CHECK(tokens.size() >= 2, "sequence_nll: need at least two tokens");
+  ORINSIM_CHECK(predict_from >= 1 && predict_from < tokens.size(),
+                "sequence_nll: predict_from must be in [1, len)");
+  const TransformerConfig& c = master_->config;
+  ORINSIM_CHECK(tokens.size() <= c.max_seq, "sequence exceeds model max_seq");
+
+  KVCache cache(c, 1, tokens.size(), kv_storage_);
+  std::vector<float> hidden(c.d_model);
+  std::vector<float> logits(c.vocab);
+
+  NllResult result;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    forward_token(tokens[i], 0, cache, hidden);
+    const std::size_t target_index = i + 1;
+    if (target_index < predict_from) continue;
+    logits_from_hidden(hidden, logits);
+    const double lse = kernels::logsumexp(logits);
+    const double log_p = static_cast<double>(logits[tokens[target_index]]) - lse;
+    result.total_nll -= log_p;
+    ++result.predicted;
+  }
+  return result;
+}
+
+}  // namespace orinsim

@@ -1,0 +1,124 @@
+// The functional transformer engine.
+//
+// MasterWeights hold FP32 source weights (deterministically initialized from
+// a seed, with the readout optionally trained by train::ReadoutTrainer).
+// A Model is a *view of the master at a storage precision*: block weights are
+// quantized through quant::WeightMatrix, while the embedding and lm_head stay
+// FP32 (BitsAndBytes likewise leaves embeddings unquantized by default).
+// Building FP16/INT8/INT4 models from one master is the engine's analogue of
+// loading the same HuggingFace checkpoint at different quantization levels.
+//
+// Model is NOT thread-safe: it owns scratch buffers sized for one forward
+// pass. Use one Model per thread (they can share the master).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "model/config.h"
+#include "model/kv_cache.h"
+#include "model/sampler.h"
+#include "quant/weight_matrix.h"
+#include "tokenizer/tokenizer.h"
+
+namespace orinsim {
+
+struct LayerMaster {
+  std::vector<float> wq, wk, wv, wo;
+  // SwiGLU style: gate/up/down. Parallel-GELU style: fc1 (in gate), fc2 (in
+  // down); up unused.
+  std::vector<float> w_gate, w_up, w_down;
+  std::vector<float> norm_gain;   // pre-attention norm (the only norm for Phi)
+  std::vector<float> norm_bias;   // used by LayerNorm style
+  std::vector<float> norm2_gain;  // pre-MLP norm (SwiGLU style only)
+};
+
+struct MasterWeights {
+  TransformerConfig config;
+  std::vector<float> embedding;  // [vocab, d_model]
+  std::vector<float> lm_head;    // [vocab, d_model] -- trainable readout
+  std::vector<float> final_norm_gain;
+  std::vector<float> final_norm_bias;
+  std::vector<LayerMaster> layers;
+
+  // Deterministic Gaussian init. Residual-path projections (wo, w_down) are
+  // scaled by 1/sqrt(2*n_layers) (GPT-2 convention) so random bodies stay
+  // numerically stable at depth.
+  static std::shared_ptr<MasterWeights> init_random(const TransformerConfig& config,
+                                                    std::uint64_t seed);
+};
+
+class Model {
+ public:
+  // kv_storage chooses the precision of caches the model creates internally
+  // (generate, sequence_nll); externally-constructed caches are the caller's
+  // choice.
+  Model(std::shared_ptr<const MasterWeights> master, DType dtype,
+        KVStorage kv_storage = KVStorage::kF32);
+
+  KVStorage kv_storage() const noexcept { return kv_storage_; }
+
+  const TransformerConfig& config() const noexcept { return master_->config; }
+  DType dtype() const noexcept { return dtype_; }
+
+  // Bytes held by block weights + embedding + lm_head at this precision.
+  std::size_t weight_bytes() const noexcept;
+  // Total INT8 outlier columns across all matrices (0 for other precisions).
+  std::size_t outlier_columns() const noexcept;
+
+  // Process one token for sequence b: extends the cache by one position and
+  // writes the final hidden state (post final-norm) to hidden_out [d_model].
+  void forward_token(TokenId token, std::size_t b, KVCache& cache,
+                     std::span<float> hidden_out);
+
+  // logits [vocab] from a final hidden state.
+  void logits_from_hidden(std::span<const float> hidden, std::span<float> logits) const;
+
+  // Feed a whole prompt for sequence b; hidden of the last position lands in
+  // last_hidden (pass empty span to discard).
+  void prefill(std::span<const TokenId> prompt, std::size_t b, KVCache& cache,
+               std::span<float> last_hidden);
+
+  struct GenerateResult {
+    std::vector<std::vector<TokenId>> outputs;  // generated tokens per sequence
+    std::size_t input_tokens = 0;
+    std::size_t output_tokens = 0;
+  };
+
+  // Batched generation: each prompt is prefilled, then max_new_tokens are
+  // decoded per sequence. sampler == nullptr means greedy argmax.
+  GenerateResult generate(const std::vector<std::vector<TokenId>>& prompts,
+                          std::size_t max_new_tokens, Sampler* sampler = nullptr);
+
+  // Sum of negative log-likelihoods of tokens[i] given tokens[0..i) for
+  // i in [predict_from, tokens.size()), plus the count of predicted tokens.
+  // This is the paper's perplexity building block (strided windows pass
+  // predict_from = overlap so overlapped tokens provide context only).
+  struct NllResult {
+    double total_nll = 0.0;
+    std::size_t predicted = 0;
+  };
+  NllResult sequence_nll(std::span<const TokenId> tokens, std::size_t predict_from);
+
+ private:
+  struct LayerQuant {
+    quant::WeightMatrix wq, wk, wv, wo, w_gate, w_up, w_down;
+  };
+
+  void attention(std::size_t layer, std::size_t b, KVCache& cache,
+                 std::span<const float> normed, std::span<float> out);
+  void mlp_swiglu(std::size_t layer, std::span<const float> normed, std::span<float> out);
+  void mlp_gelu(std::size_t layer, std::span<const float> normed, std::span<float> out);
+
+  std::shared_ptr<const MasterWeights> master_;
+  DType dtype_;
+  KVStorage kv_storage_ = KVStorage::kF32;
+  std::vector<LayerQuant> layers_;
+
+  // Scratch (one token). Members to avoid per-call allocation.
+  std::vector<float> x_, normed_, q_, k_, v_, attn_, attn_proj_, gate_, up_, ff_, mlp_out_,
+      scores_;
+};
+
+}  // namespace orinsim

@@ -1,0 +1,211 @@
+#include "quant/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace orinsim::quant {
+
+std::size_t RowwiseInt8::storage_bytes() const noexcept {
+  return codes.size() * sizeof(std::int8_t) + row_scale.size() * sizeof(float) +
+         outlier_cols.size() * sizeof(std::uint32_t) + outlier_values.size() * sizeof(fp16_t);
+}
+
+RowwiseInt8 quantize_rowwise_int8(std::span<const float> weights, std::size_t rows,
+                                  std::size_t cols, float outlier_threshold) {
+  ORINSIM_CHECK(weights.size() == rows * cols, "int8 quantize: shape mismatch");
+  RowwiseInt8 q;
+  q.rows = rows;
+  q.cols = cols;
+
+  // Pass 1: find outlier columns (any element with |w| >= threshold).
+  std::vector<char> is_outlier(cols, 0);
+  if (outlier_threshold > 0.0f) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* w = weights.data() + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (std::fabs(w[c]) >= outlier_threshold) is_outlier[c] = 1;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (is_outlier[c]) q.outlier_cols.push_back(static_cast<std::uint32_t>(c));
+  }
+  const std::size_t n_out = q.outlier_cols.size();
+
+  // Pass 2: per-row absmax over non-outlier columns, then encode.
+  q.codes.assign(rows * cols, 0);
+  q.row_scale.assign(rows, 0.0f);
+  q.outlier_values.assign(rows * n_out, fp16_t{0});
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* w = weights.data() + r * cols;
+    float absmax = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!is_outlier[c]) absmax = std::max(absmax, std::fabs(w[c]));
+    }
+    const float scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+    q.row_scale[r] = scale;
+    std::int8_t* codes = q.codes.data() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (is_outlier[c]) continue;  // stays 0 in the int8 part
+      const float v = w[c] / scale;
+      const int rounded = static_cast<int>(std::lround(v));
+      codes[c] = static_cast<std::int8_t>(std::clamp(rounded, -127, 127));
+    }
+    for (std::size_t o = 0; o < n_out; ++o) {
+      q.outlier_values[r * n_out + o] = float_to_fp16(w[q.outlier_cols[o]]);
+    }
+  }
+  return q;
+}
+
+void dequantize_row(const RowwiseInt8& q, std::size_t row, std::span<float> out) {
+  ORINSIM_CHECK(row < q.rows && out.size() == q.cols, "int8 dequant: shape mismatch");
+  const std::int8_t* codes = q.codes.data() + row * q.cols;
+  const float scale = q.row_scale[row];
+  for (std::size_t c = 0; c < q.cols; ++c) out[c] = static_cast<float>(codes[c]) * scale;
+  const std::size_t n_out = q.outlier_cols.size();
+  for (std::size_t o = 0; o < n_out; ++o) {
+    out[q.outlier_cols[o]] = fp16_to_float(q.outlier_values[row * n_out + o]);
+  }
+}
+
+void matvec_int8(const RowwiseInt8& q, std::span<const float> x, std::span<float> out) {
+  ORINSIM_CHECK(x.size() == q.cols && out.size() == q.rows, "int8 matvec: shape mismatch");
+
+  // Dynamic per-token activation quantization (absmax over non-outlier dims).
+  float x_absmax = 0.0f;
+  for (std::size_t c = 0; c < q.cols; ++c) x_absmax = std::max(x_absmax, std::fabs(x[c]));
+  const float x_scale = x_absmax > 0.0f ? x_absmax / 127.0f : 1.0f;
+  std::vector<std::int8_t> xq(q.cols);
+  for (std::size_t c = 0; c < q.cols; ++c) {
+    const int v = static_cast<int>(std::lround(x[c] / x_scale));
+    xq[c] = static_cast<std::int8_t>(std::clamp(v, -127, 127));
+  }
+
+  const std::size_t n_out = q.outlier_cols.size();
+#pragma omp parallel for if (q.rows >= 256)
+  for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
+    const auto r = static_cast<std::size_t>(rs);
+    const std::int8_t* codes = q.codes.data() + r * q.cols;
+    std::int64_t acc = 0;
+    for (std::size_t c = 0; c < q.cols; ++c) {
+      acc += static_cast<std::int32_t>(codes[c]) * static_cast<std::int32_t>(xq[c]);
+    }
+    float result = static_cast<float>(acc) * q.row_scale[r] * x_scale;
+    // Outlier part in full precision with the *original* activations.
+    for (std::size_t o = 0; o < n_out; ++o) {
+      result += fp16_to_float(q.outlier_values[r * n_out + o]) * x[q.outlier_cols[o]];
+    }
+    out[r] = result;
+  }
+}
+
+std::size_t BlockInt4::storage_bytes() const noexcept {
+  return packed.size() + block_scale.size() * sizeof(fp16_t);
+}
+
+namespace {
+constexpr std::int8_t kInt4Min = -8;
+constexpr std::int8_t kInt4Max = 7;
+
+std::int8_t unpack_lo(std::uint8_t byte) {
+  return static_cast<std::int8_t>(static_cast<std::int8_t>(byte << 4) >> 4);
+}
+std::int8_t unpack_hi(std::uint8_t byte) { return static_cast<std::int8_t>(byte) >> 4; }
+}  // namespace
+
+BlockInt4 quantize_block_int4(std::span<const float> weights, std::size_t rows,
+                              std::size_t cols) {
+  ORINSIM_CHECK(weights.size() == rows * cols, "int4 quantize: shape mismatch");
+  ORINSIM_CHECK(cols % kInt4Block == 0, "int4 quantize: cols must be a multiple of 32");
+  BlockInt4 q;
+  q.rows = rows;
+  q.cols = cols;
+  q.blocks_per_row = cols / kInt4Block;
+  q.packed.assign(rows * cols / 2, 0);
+  q.block_scale.assign(rows * q.blocks_per_row, fp16_t{0});
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* w = weights.data() + r * cols;
+    for (std::size_t b = 0; b < q.blocks_per_row; ++b) {
+      const float* blk = w + b * kInt4Block;
+      float absmax = 0.0f;
+      for (std::size_t i = 0; i < kInt4Block; ++i) absmax = std::max(absmax, std::fabs(blk[i]));
+      const float scale = absmax > 0.0f ? absmax / 8.0f : 1.0f;
+      q.block_scale[r * q.blocks_per_row + b] = float_to_fp16(scale);
+      const float dec_scale = fp16_to_float(q.block_scale[r * q.blocks_per_row + b]);
+      for (std::size_t i = 0; i < kInt4Block; i += 2) {
+        auto encode = [&](float v) {
+          const int code = static_cast<int>(std::lround(v / dec_scale));
+          return static_cast<std::int8_t>(
+              std::clamp(code, static_cast<int>(kInt4Min), static_cast<int>(kInt4Max)));
+        };
+        const std::int8_t lo = encode(blk[i]);
+        const std::int8_t hi = encode(blk[i + 1]);
+        q.packed[(r * cols + b * kInt4Block + i) / 2] =
+            static_cast<std::uint8_t>((static_cast<std::uint8_t>(hi) << 4) |
+                                      (static_cast<std::uint8_t>(lo) & 0x0F));
+      }
+    }
+  }
+  return q;
+}
+
+void dequantize_row(const BlockInt4& q, std::size_t row, std::span<float> out) {
+  ORINSIM_CHECK(row < q.rows && out.size() == q.cols, "int4 dequant: shape mismatch");
+  for (std::size_t b = 0; b < q.blocks_per_row; ++b) {
+    const float scale = fp16_to_float(q.block_scale[row * q.blocks_per_row + b]);
+    for (std::size_t i = 0; i < kInt4Block; i += 2) {
+      const std::uint8_t byte = q.packed[(row * q.cols + b * kInt4Block + i) / 2];
+      out[b * kInt4Block + i] = static_cast<float>(unpack_lo(byte)) * scale;
+      out[b * kInt4Block + i + 1] = static_cast<float>(unpack_hi(byte)) * scale;
+    }
+  }
+}
+
+void matvec_int4(const BlockInt4& q, std::span<const float> x, std::span<float> out) {
+  ORINSIM_CHECK(x.size() == q.cols && out.size() == q.rows, "int4 matvec: shape mismatch");
+#pragma omp parallel for if (q.rows >= 256)
+  for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
+    const auto r = static_cast<std::size_t>(rs);
+    float acc = 0.0f;
+    for (std::size_t b = 0; b < q.blocks_per_row; ++b) {
+      const float scale = fp16_to_float(q.block_scale[r * q.blocks_per_row + b]);
+      float blk_acc = 0.0f;
+      const float* xb = x.data() + b * kInt4Block;
+      for (std::size_t i = 0; i < kInt4Block; i += 2) {
+        const std::uint8_t byte = q.packed[(r * q.cols + b * kInt4Block + i) / 2];
+        blk_acc += static_cast<float>(unpack_lo(byte)) * xb[i];
+        blk_acc += static_cast<float>(unpack_hi(byte)) * xb[i + 1];
+      }
+      acc += blk_acc * scale;
+    }
+    out[r] = acc;
+  }
+}
+
+std::vector<fp16_t> quantize_fp16(std::span<const float> weights) {
+  std::vector<fp16_t> out(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) out[i] = float_to_fp16(weights[i]);
+  return out;
+}
+
+QuantError measure_error(std::span<const float> original,
+                         std::span<const float> reconstructed) {
+  ORINSIM_CHECK(original.size() == reconstructed.size(), "measure_error: size mismatch");
+  QuantError e;
+  double se = 0.0, ref_sq = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double d = static_cast<double>(original[i]) - reconstructed[i];
+    e.max_abs = std::max(e.max_abs, std::fabs(d));
+    se += d * d;
+    ref_sq += static_cast<double>(original[i]) * original[i];
+  }
+  if (!original.empty()) e.rmse = std::sqrt(se / static_cast<double>(original.size()));
+  e.relative_fro = ref_sq > 0.0 ? std::sqrt(se / ref_sq) : 0.0;
+  return e;
+}
+
+}  // namespace orinsim::quant

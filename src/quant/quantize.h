@@ -1,0 +1,84 @@
+// Quantization codecs used by the study.
+//
+//  - RowwiseInt8: per-row absmax symmetric INT8, with optional outlier-column
+//    decomposition following LLM.int8() (Dettmers et al., NeurIPS 2022): any
+//    column whose magnitude anywhere exceeds `outlier_threshold` is removed
+//    from the int8 matrix and kept at full FP16 precision; the matmul adds
+//    the two parts. This is the codec BitsAndBytes applies in the paper.
+//  - BlockInt4: per-32-element-block absmax symmetric INT4 (Q4-style),
+//    two codes per byte plus an FP16 scale per block.
+//
+// Both codecs quantize *weights*; activations are quantized per-token inside
+// the INT8 matmul (dynamic absmax), as LLM.int8() does.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/fp16.h"
+
+namespace orinsim::quant {
+
+// Per-row absmax INT8 matrix of shape [rows, cols_kept] plus FP16 outlier
+// columns. Weight layout is [out_features, in_features].
+struct RowwiseInt8 {
+  std::size_t rows = 0;
+  std::size_t cols = 0;                  // original column count
+  std::vector<std::int8_t> codes;        // [rows, cols] with outlier cols zeroed
+  std::vector<float> row_scale;          // [rows]; dequant w = code * scale
+  std::vector<std::uint32_t> outlier_cols;  // sorted column indices kept in fp16
+  std::vector<fp16_t> outlier_values;    // [rows, outlier_cols.size()] column-major-by-row
+
+  std::size_t storage_bytes() const noexcept;
+};
+
+// outlier_threshold: columns with any |w| >= threshold become fp16 outliers.
+// LLM.int8() uses 6.0 on activations; for weights we use a multiple of the
+// per-matrix stddev, passed in by the caller. threshold <= 0 disables the
+// outlier path (plain rowwise int8).
+RowwiseInt8 quantize_rowwise_int8(std::span<const float> weights, std::size_t rows,
+                                  std::size_t cols, float outlier_threshold);
+
+// Dequantize a single row (including outliers) into out[cols].
+void dequantize_row(const RowwiseInt8& q, std::size_t row, std::span<float> out);
+
+// out[r] = sum_c W[r,c] * x[c] over the int8 + outlier parts.
+// The int8 part quantizes x per-call with absmax (dynamic activation
+// quantization) and accumulates in int32, faithfully mimicking LLM.int8().
+void matvec_int8(const RowwiseInt8& q, std::span<const float> x, std::span<float> out);
+
+// Block-wise INT4. Each block of kInt4Block consecutive weights (within a
+// row) shares one FP16 absmax scale; codes are signed 4-bit in [-8, 7].
+inline constexpr std::size_t kInt4Block = 32;
+
+struct BlockInt4 {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t blocks_per_row = 0;
+  std::vector<std::uint8_t> packed;  // two codes per byte, row-major blocks
+  std::vector<fp16_t> block_scale;   // [rows * blocks_per_row]
+
+  std::size_t storage_bytes() const noexcept;
+};
+
+BlockInt4 quantize_block_int4(std::span<const float> weights, std::size_t rows,
+                              std::size_t cols);
+
+void dequantize_row(const BlockInt4& q, std::size_t row, std::span<float> out);
+
+void matvec_int4(const BlockInt4& q, std::span<const float> x, std::span<float> out);
+
+// FP16 cast of a full matrix (round-to-nearest-even).
+std::vector<fp16_t> quantize_fp16(std::span<const float> weights);
+
+// Quantization error metrics (for tests and the quantization_explorer example).
+struct QuantError {
+  double max_abs = 0.0;
+  double rmse = 0.0;
+  double relative_fro = 0.0;  // ||W - What||_F / ||W||_F
+};
+
+QuantError measure_error(std::span<const float> original, std::span<const float> reconstructed);
+
+}  // namespace orinsim::quant

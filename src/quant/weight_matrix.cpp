@@ -1,0 +1,133 @@
+#include "quant/weight_matrix.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace orinsim::quant {
+
+WeightMatrix WeightMatrix::create(std::span<const float> weights, std::size_t out_features,
+                                  std::size_t in_features, DType dtype, float outlier_sigma) {
+  ORINSIM_CHECK(weights.size() == out_features * in_features, "WeightMatrix: shape mismatch");
+  WeightMatrix w;
+  w.out_features_ = out_features;
+  w.in_features_ = in_features;
+  w.dtype_ = dtype;
+  switch (dtype) {
+    case DType::kF32:
+      w.f32_.assign(weights.begin(), weights.end());
+      break;
+    case DType::kF16:
+      w.f16_ = quantize_fp16(weights);
+      break;
+    case DType::kI8: {
+      float threshold = 0.0f;
+      if (outlier_sigma > 0.0f) {
+        double sum = 0.0, sq = 0.0;
+        for (float v : weights) {
+          sum += v;
+          sq += static_cast<double>(v) * v;
+        }
+        const double n = static_cast<double>(weights.size());
+        const double var = sq / n - (sum / n) * (sum / n);
+        threshold = outlier_sigma * static_cast<float>(std::sqrt(std::max(var, 0.0)));
+      }
+      w.i8_ = quantize_rowwise_int8(weights, out_features, in_features, threshold);
+      break;
+    }
+    case DType::kI4:
+      w.i4_ = quantize_block_int4(weights, out_features, in_features);
+      break;
+  }
+  return w;
+}
+
+void WeightMatrix::matvec(std::span<const float> x, std::span<float> out) const {
+  ORINSIM_CHECK(x.size() == in_features_ && out.size() == out_features_,
+                "WeightMatrix::matvec shape mismatch");
+  switch (dtype_) {
+    case DType::kF32: {
+#pragma omp parallel for if (out_features_ >= 256)
+      for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(out_features_); ++rs) {
+        const auto r = static_cast<std::size_t>(rs);
+        const float* wr = f32_.data() + r * in_features_;
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < in_features_; ++c) acc += wr[c] * x[c];
+        out[r] = acc;
+      }
+      break;
+    }
+    case DType::kF16: {
+#pragma omp parallel for if (out_features_ >= 256)
+      for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(out_features_); ++rs) {
+        const auto r = static_cast<std::size_t>(rs);
+        const fp16_t* wr = f16_.data() + r * in_features_;
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < in_features_; ++c) acc += fp16_to_float(wr[c]) * x[c];
+        out[r] = acc;
+      }
+      break;
+    }
+    case DType::kI8:
+      matvec_int8(i8_, x, out);
+      break;
+    case DType::kI4:
+      matvec_int4(i4_, x, out);
+      break;
+  }
+}
+
+void WeightMatrix::matmul(std::span<const float> x, std::span<float> y,
+                          std::size_t tokens) const {
+  ORINSIM_CHECK(x.size() == tokens * in_features_ && y.size() == tokens * out_features_,
+                "WeightMatrix::matmul shape mismatch");
+#pragma omp parallel for if (tokens >= 4)
+  for (std::ptrdiff_t ts = 0; ts < static_cast<std::ptrdiff_t>(tokens); ++ts) {
+    const auto t = static_cast<std::size_t>(ts);
+    // Per-token matvec; the inner matvec's own omp-for is inactive inside
+    // this parallel region (no nested parallelism), so no oversubscription.
+    matvec(std::span<const float>(x.data() + t * in_features_, in_features_),
+           std::span<float>(y.data() + t * out_features_, out_features_));
+  }
+}
+
+void WeightMatrix::dequantize_row(std::size_t r, std::span<float> out) const {
+  ORINSIM_CHECK(r < out_features_ && out.size() == in_features_,
+                "dequantize_row: shape mismatch");
+  switch (dtype_) {
+    case DType::kF32:
+      for (std::size_t c = 0; c < in_features_; ++c) out[c] = f32_[r * in_features_ + c];
+      break;
+    case DType::kF16:
+      for (std::size_t c = 0; c < in_features_; ++c) {
+        out[c] = fp16_to_float(f16_[r * in_features_ + c]);
+      }
+      break;
+    case DType::kI8:
+      quant::dequantize_row(i8_, r, out);
+      break;
+    case DType::kI4:
+      quant::dequantize_row(i4_, r, out);
+      break;
+  }
+}
+
+std::size_t WeightMatrix::storage_bytes() const noexcept {
+  switch (dtype_) {
+    case DType::kF32:
+      return f32_.size() * sizeof(float);
+    case DType::kF16:
+      return f16_.size() * sizeof(fp16_t);
+    case DType::kI8:
+      return i8_.storage_bytes();
+    case DType::kI4:
+      return i4_.storage_bytes();
+  }
+  return 0;
+}
+
+std::size_t WeightMatrix::outlier_column_count() const noexcept {
+  return dtype_ == DType::kI8 ? i8_.outlier_cols.size() : 0;
+}
+
+}  // namespace orinsim::quant

@@ -1,0 +1,60 @@
+// WeightMatrix: a [out_features, in_features] weight matrix whose storage
+// precision is chosen at load time (FP32 / FP16 / INT8 / INT4), exposing a
+// uniform matvec interface to the transformer engine. This is the C++
+// analogue of loading a HuggingFace checkpoint through BitsAndBytes at a
+// given quantization level.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "quant/quantize.h"
+#include "tensor/dtype.h"
+#include "tensor/fp16.h"
+
+namespace orinsim::quant {
+
+class WeightMatrix {
+ public:
+  WeightMatrix() = default;
+
+  // Quantizes fp32 source weights into the requested storage precision.
+  // outlier_sigma: for INT8, columns with |w| >= outlier_sigma * stddev(W)
+  // are kept in FP16 (LLM.int8() decomposition); pass 0 to disable.
+  static WeightMatrix create(std::span<const float> weights, std::size_t out_features,
+                             std::size_t in_features, DType dtype,
+                             float outlier_sigma = 6.0f);
+
+  std::size_t out_features() const noexcept { return out_features_; }
+  std::size_t in_features() const noexcept { return in_features_; }
+  DType dtype() const noexcept { return dtype_; }
+
+  // out[r] = sum_c W[r,c] * x[c]; dispatches on storage precision.
+  void matvec(std::span<const float> x, std::span<float> out) const;
+
+  // Y[t, :] = W * X[t, :] for t in [0, tokens); X is [tokens, in], Y is
+  // [tokens, out]. Parallel over tokens for batch prefill.
+  void matmul(std::span<const float> x, std::span<float> y, std::size_t tokens) const;
+
+  // Reconstruct row r at fp32 (reference path for tests and error analysis).
+  void dequantize_row(std::size_t r, std::span<float> out) const;
+
+  // Actual bytes held by this matrix's storage (codes + scales + outliers).
+  std::size_t storage_bytes() const noexcept;
+
+  // Number of INT8 outlier columns (0 unless dtype == kI8 with outliers).
+  std::size_t outlier_column_count() const noexcept;
+
+ private:
+  std::size_t out_features_ = 0;
+  std::size_t in_features_ = 0;
+  DType dtype_ = DType::kF32;
+
+  std::vector<float> f32_;
+  std::vector<fp16_t> f16_;
+  RowwiseInt8 i8_;
+  BlockInt4 i4_;
+};
+
+}  // namespace orinsim::quant

@@ -1,0 +1,101 @@
+#include "serving/batch_scheduler.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/stats.h"
+
+namespace orinsim::serving {
+
+double ScheduleResult::mean_latency_s() const {
+  std::vector<double> lat;
+  lat.reserve(requests.size());
+  for (const auto& r : requests) lat.push_back(r.total_latency_s());
+  return mean(lat);
+}
+
+double ScheduleResult::p95_latency_s() const {
+  std::vector<double> lat;
+  lat.reserve(requests.size());
+  for (const auto& r : requests) lat.push_back(r.total_latency_s());
+  return percentile(lat, 95.0);
+}
+
+double ScheduleResult::achieved_rps() const {
+  return makespan_s > 0.0 ? static_cast<double>(requests.size()) / makespan_s : 0.0;
+}
+
+ScheduleResult simulate_serving(const SimSession& session, const SchedulerConfig& config) {
+  ORINSIM_CHECK(config.total_requests > 0, "scheduler: no requests");
+  ORINSIM_CHECK(config.arrival_rate_rps > 0.0, "scheduler: arrival rate must be positive");
+  std::vector<double> arrivals(config.total_requests);
+  const double spacing = 1.0 / config.arrival_rate_rps;
+  for (std::size_t i = 0; i < config.total_requests; ++i) {
+    arrivals[i] = static_cast<double>(i) * spacing;
+  }
+  return simulate_serving(session, config, arrivals);
+}
+
+ScheduleResult simulate_serving(const SimSession& session, const SchedulerConfig& config,
+                                const std::vector<double>& arrival_times) {
+  ORINSIM_CHECK(config.max_batch > 0, "scheduler: max_batch must be positive");
+  ORINSIM_CHECK(!arrival_times.empty(), "scheduler: no requests");
+  for (std::size_t i = 1; i < arrival_times.size(); ++i) {
+    ORINSIM_CHECK(arrival_times[i] >= arrival_times[i - 1],
+                  "scheduler: arrivals must be non-decreasing");
+  }
+
+  ScheduleResult result;
+  result.requests.resize(arrival_times.size());
+  for (std::size_t i = 0; i < arrival_times.size(); ++i) {
+    result.requests[i].arrival_s = arrival_times[i];
+  }
+
+  // Cache batch latencies/energies per occupancy (latency depends only on
+  // the batch size for fixed sequence config).
+  std::vector<double> latency_by_bs(config.max_batch + 1, -1.0);
+  std::vector<double> energy_by_bs(config.max_batch + 1, 0.0);
+  auto batch_cost = [&](std::size_t bs) {
+    if (latency_by_bs[bs] < 0.0) {
+      BatchRequest br;
+      br.batch = bs;
+      br.seq = config.seq;
+      const BatchResult r = session.run(br);
+      ORINSIM_CHECK(!r.oom, "scheduler: batch config OOMs on device");
+      latency_by_bs[bs] = r.latency_s;
+      energy_by_bs[bs] = r.energy_j;
+    }
+    return latency_by_bs[bs];
+  };
+
+  const std::size_t total = result.requests.size();
+  double now = 0.0;
+  std::size_t next = 0;  // first unscheduled request
+  double occupancy_sum = 0.0;
+  while (next < total) {
+    // Wait until at least one request has arrived.
+    now = std::max(now, result.requests[next].arrival_s);
+    // Take everything that has arrived by `now`, up to max_batch.
+    std::size_t take = 0;
+    while (next + take < total && take < config.max_batch &&
+           result.requests[next + take].arrival_s <= now) {
+      ++take;
+    }
+    const double latency = batch_cost(take);
+    result.total_energy_j += energy_by_bs[take];
+    for (std::size_t i = 0; i < take; ++i) {
+      result.requests[next + i].start_s = now;
+      result.requests[next + i].finish_s = now + latency;
+    }
+    occupancy_sum += static_cast<double>(take);
+    now += latency;
+    next += take;
+    ++result.batches_run;
+  }
+  result.makespan_s = now;
+  result.mean_batch_occupancy =
+      result.batches_run > 0 ? occupancy_sum / static_cast<double>(result.batches_run) : 0.0;
+  return result;
+}
+
+}  // namespace orinsim::serving

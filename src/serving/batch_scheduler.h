@@ -1,0 +1,56 @@
+// A request-level batching simulator on top of SimSession: models an edge
+// serving deployment where prompts arrive over time, are grouped into
+// batches of at most max_batch, and each batch runs to completion before the
+// next starts (the paper's static-batching regime).
+//
+// Used by the edge_serving_planner example to explore the batch-size
+// latency/throughput trade-off of §3.1 at the request level: larger batches
+// raise throughput but delay each request's time-to-last-token.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serving/session.h"
+
+namespace orinsim::serving {
+
+struct SchedulerConfig {
+  std::size_t max_batch = 32;
+  // Requests arriving while a batch runs queue up; a new batch launches as
+  // soon as the device frees up and at least one request is waiting.
+  double arrival_rate_rps = 2.0;    // Poisson-ish deterministic spacing
+  std::size_t total_requests = 64;
+  workload::SeqConfig seq = workload::seq_config_default();
+};
+
+struct RequestStats {
+  double arrival_s = 0.0;
+  double start_s = 0.0;     // when its batch launched
+  double finish_s = 0.0;    // when its batch completed
+  double queueing_s() const { return start_s - arrival_s; }
+  double total_latency_s() const { return finish_s - arrival_s; }
+};
+
+struct ScheduleResult {
+  std::vector<RequestStats> requests;
+  std::size_t batches_run = 0;
+  double makespan_s = 0.0;
+  double total_energy_j = 0.0;
+  double mean_batch_occupancy = 0.0;
+
+  double mean_latency_s() const;
+  double p95_latency_s() const;
+  double achieved_rps() const;
+};
+
+// Simulates the schedule; deterministic given the session and config.
+ScheduleResult simulate_serving(const SimSession& session, const SchedulerConfig& config);
+
+// Variant with explicit arrival timestamps (e.g. from
+// workload::generate_arrivals for Poisson or bursty streams). config's
+// arrival_rate_rps and total_requests are ignored in favour of the list.
+ScheduleResult simulate_serving(const SimSession& session, const SchedulerConfig& config,
+                                const std::vector<double>& arrival_times);
+
+}  // namespace orinsim::serving

@@ -1,0 +1,133 @@
+#include "serving/continuous_batching.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/error.h"
+#include "core/stats.h"
+
+namespace orinsim::serving {
+
+double ContinuousResult::mean_latency_s() const { return mean(latencies_s); }
+
+double ContinuousResult::p95_latency_s() const { return percentile(latencies_s, 95.0); }
+
+double ContinuousResult::throughput_tps(const ContinuousConfig& config) const {
+  if (makespan_s <= 0.0) return 0.0;
+  return static_cast<double>(latencies_s.size()) *
+         static_cast<double>(config.seq.total) / makespan_s;
+}
+
+namespace {
+
+struct ActiveSeq {
+  double arrival_s = 0.0;
+  std::size_t ctx = 0;        // tokens already in the KV cache
+  std::size_t remaining = 0;  // output tokens still to produce
+};
+
+}  // namespace
+
+ContinuousResult simulate_continuous(const ContinuousConfig& config) {
+  ORINSIM_CHECK(config.total_requests > 0 && config.max_concurrency > 0 &&
+                    config.arrival_rate_rps > 0,
+                "continuous: degenerate config");
+
+  const sim::ModelSpec& model = sim::model_by_key(config.model_key);
+  const sim::InferenceSim sim;
+  const sim::RooflineEngine& roofline = sim.roofline();
+  const sim::PowerModel& power = sim.power_model();
+
+  // Memory gate: the steady-state working set is max_concurrency sequences
+  // at the full sequence length.
+  const sim::MemoryBreakdown mem = sim.memory_model().workload_memory(
+      model, config.dtype, config.max_concurrency, config.seq.input, config.seq.output);
+  ORINSIM_CHECK(!sim.memory_model().workload_oom(mem) &&
+                    !sim.memory_model().model_oom(model, config.dtype),
+                "continuous: concurrency does not fit in device memory");
+
+  ContinuousResult result;
+  result.latencies_s.reserve(config.total_requests);
+
+  const double spacing = 1.0 / config.arrival_rate_rps;
+  std::deque<ActiveSeq> waiting;
+  std::vector<ActiveSeq> active;
+  active.reserve(config.max_concurrency);
+
+  double now = 0.0;
+  std::size_t arrived = 0;
+  double active_time_integral = 0.0;
+
+  auto admit_arrivals = [&] {
+    while (arrived < config.total_requests &&
+           static_cast<double>(arrived) * spacing <= now) {
+      waiting.push_back(
+          ActiveSeq{static_cast<double>(arrived) * spacing, 0, config.seq.output});
+      ++arrived;
+    }
+  };
+
+  while (result.latencies_s.size() < config.total_requests) {
+    admit_arrivals();
+
+    // Idle: jump to the next arrival.
+    if (active.empty() && waiting.empty()) {
+      ORINSIM_CHECK(arrived < config.total_requests, "continuous: starved scheduler");
+      now = static_cast<double>(arrived) * spacing;
+      admit_arrivals();
+    }
+
+    // Admit from the queue up to the concurrency cap, paying prefill for the
+    // batch of newly admitted prompts.
+    std::size_t admitted = 0;
+    while (!waiting.empty() && active.size() < config.max_concurrency) {
+      ActiveSeq seq = waiting.front();
+      waiting.pop_front();
+      seq.ctx = config.seq.input;
+      active.push_back(seq);
+      ++admitted;
+    }
+    if (admitted > 0) {
+      const double prefill =
+          roofline.prefill_s(model, config.dtype, admitted, config.seq.input,
+                             config.power_mode);
+      const double watts =
+          power.prefill_power(model, config.dtype, config.power_mode).total_w();
+      result.energy_j += watts * prefill;
+      active_time_integral += static_cast<double>(active.size()) * prefill;
+      now += prefill;
+    }
+
+    // One decode step for the active set at its mean context.
+    double mean_ctx = 0.0;
+    for (const auto& s : active) mean_ctx += static_cast<double>(s.ctx);
+    mean_ctx /= static_cast<double>(active.size());
+    const sim::StepBreakdown step = roofline.decode_step(
+        model, config.dtype, active.size(), mean_ctx, config.power_mode);
+    const double dt = step.total_s();
+    const double watts =
+        power.decode_power(model, config.dtype, step, config.power_mode).total_w();
+    result.energy_j += watts * dt;
+    active_time_integral += static_cast<double>(active.size()) * dt;
+    now += dt;
+    ++result.decode_steps;
+
+    // Advance every active sequence by one token; retire finished ones.
+    for (auto it = active.begin(); it != active.end();) {
+      ++it->ctx;
+      --it->remaining;
+      if (it->remaining == 0) {
+        result.latencies_s.push_back(now - it->arrival_s);
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  result.makespan_s = now;
+  result.mean_active = now > 0.0 ? active_time_integral / now : 0.0;
+  return result;
+}
+
+}  // namespace orinsim::serving

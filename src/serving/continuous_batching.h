@@ -1,0 +1,53 @@
+// Continuous (token-level) batching on the simulated Orin AGX.
+//
+// The paper measures *static* batching: a batch is formed, prefilled, and
+// decoded to completion before the next batch starts, so early-finishing
+// requests wait for the batch's last token. Modern inference engines (Orca,
+// vLLM) instead admit and retire requests at decode-step granularity. The
+// paper's conclusion names "dedicated inference engines" as the next step;
+// this module quantifies what that buys on the same hardware model.
+//
+// The simulator walks decode steps: at each step boundary it admits waiting
+// requests (paying their prefill), charges one roofline decode step for the
+// currently active set, accrues energy from the power model, and retires
+// sequences that have produced their quota. Same arrival process and
+// workload shape as the static scheduler, so the two are directly
+// comparable (see bench_ext_continuous_batching).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/inference_sim.h"
+#include "workload/prompt_pool.h"
+
+namespace orinsim::serving {
+
+struct ContinuousConfig {
+  std::string model_key = "llama3";
+  DType dtype = DType::kF16;
+  std::size_t max_concurrency = 32;  // max sequences decoding together
+  double arrival_rate_rps = 2.0;
+  std::size_t total_requests = 64;
+  workload::SeqConfig seq = workload::seq_config_default();
+  sim::PowerMode power_mode = sim::power_mode_maxn();
+};
+
+struct ContinuousResult {
+  std::vector<double> latencies_s;  // per request, arrival -> last token
+  double makespan_s = 0.0;
+  double energy_j = 0.0;
+  double mean_active = 0.0;   // time-weighted mean concurrent sequences
+  std::size_t decode_steps = 0;
+
+  double mean_latency_s() const;
+  double p95_latency_s() const;
+  double throughput_tps(const ContinuousConfig& config) const;
+};
+
+// Simulates the schedule. Throws if max_concurrency at the workload's
+// sequence length cannot fit in device memory.
+ContinuousResult simulate_continuous(const ContinuousConfig& config);
+
+}  // namespace orinsim::serving

@@ -1,0 +1,22 @@
+#include "serving/metrics.h"
+
+#include "core/error.h"
+
+namespace orinsim::serving {
+
+double token_throughput_tps(std::size_t batch, std::size_t input_tokens,
+                            std::size_t output_tokens, double batch_latency_s) {
+  return token_throughput_tps(batch * (input_tokens + output_tokens), batch_latency_s);
+}
+
+double token_throughput_tps(std::size_t total_tokens, double batch_latency_s) {
+  ORINSIM_CHECK(batch_latency_s > 0.0, "throughput: latency must be positive");
+  return static_cast<double>(total_tokens) / batch_latency_s;
+}
+
+double incremental_memory_gb(double peak_gb, double baseline_gb) {
+  ORINSIM_CHECK(peak_gb >= baseline_gb, "incremental memory: peak below baseline");
+  return peak_gb - baseline_gb;
+}
+
+}  // namespace orinsim::serving

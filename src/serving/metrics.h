@@ -1,0 +1,20 @@
+// The paper's evaluation metrics (§2, "Evaluation Metrics").
+#pragma once
+
+#include <cstddef>
+
+namespace orinsim::serving {
+
+// Token throughput: TP = sum over the batch of (input + output tokens),
+// divided by the batch latency (time to last token for the batch).
+double token_throughput_tps(std::size_t batch, std::size_t input_tokens,
+                            std::size_t output_tokens, double batch_latency_s);
+
+// Ragged-batch variant: total token count over all sequences.
+double token_throughput_tps(std::size_t total_tokens, double batch_latency_s);
+
+// Incremental peak memory: peak during the run minus baseline before the
+// model loads.
+double incremental_memory_gb(double peak_gb, double baseline_gb);
+
+}  // namespace orinsim::serving

@@ -1,0 +1,150 @@
+#include "serving/offload.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/stats.h"
+
+namespace orinsim::serving {
+
+double CloudEndpoint::request_latency_s(std::size_t in_tokens,
+                                        std::size_t out_tokens) const {
+  const double upload_bits = static_cast<double>(in_tokens) * bytes_per_token * 8.0;
+  const double upload_s = upload_bits / (uplink_mbps * 1e6);
+  const double prefill_s = static_cast<double>(in_tokens) / prefill_tps;
+  const double decode_s = static_cast<double>(out_tokens) / decode_tps;
+  return rtt_s + upload_s + provider_queue_s + prefill_s + decode_s;
+}
+
+double CloudEndpoint::request_cost_usd(std::size_t in_tokens,
+                                       std::size_t out_tokens) const {
+  return static_cast<double>(in_tokens + out_tokens) / 1000.0 * usd_per_1k_tokens;
+}
+
+std::string offload_policy_name(OffloadPolicy policy) {
+  switch (policy) {
+    case OffloadPolicy::kEdgeOnly:
+      return "edge-only";
+    case OffloadPolicy::kCloudOnly:
+      return "cloud-only";
+    case OffloadPolicy::kQueueDepth:
+      return "queue-depth";
+    case OffloadPolicy::kLatencyThreshold:
+      return "latency-threshold";
+  }
+  return "?";
+}
+
+double HybridResult::mean_latency_s() const { return mean(latencies_s); }
+
+double HybridResult::p95_latency_s() const { return percentile(latencies_s, 95.0); }
+
+HybridResult simulate_hybrid(const SimSession& session, const HybridConfig& config) {
+  const SchedulerConfig& sc = config.scheduler;
+  ORINSIM_CHECK(sc.total_requests > 0 && sc.max_batch > 0 && sc.arrival_rate_rps > 0,
+                "hybrid: degenerate scheduler config");
+
+  HybridResult result;
+  result.latencies_s.reserve(sc.total_requests);
+  const double spacing = 1.0 / sc.arrival_rate_rps;
+
+  // Cached edge batch costs by occupancy.
+  std::vector<double> latency_by_bs(sc.max_batch + 1, -1.0);
+  std::vector<double> energy_by_bs(sc.max_batch + 1, 0.0);
+  auto edge_batch = [&](std::size_t bs) {
+    if (latency_by_bs[bs] < 0.0) {
+      BatchRequest br;
+      br.batch = bs;
+      br.seq = sc.seq;
+      const BatchResult r = session.run(br);
+      ORINSIM_CHECK(!r.oom, "hybrid: edge batch config OOMs");
+      latency_by_bs[bs] = r.latency_s;
+      energy_by_bs[bs] = r.energy_j;
+    }
+    return latency_by_bs[bs];
+  };
+
+  double edge_free_at = 0.0;
+  std::size_t next = 0;  // next unrouted request index
+  double last_completion = 0.0;
+
+  auto route_to_cloud = [&](double arrival) {
+    const double latency = config.cloud.request_latency_s(sc.seq.input, sc.seq.output);
+    result.latencies_s.push_back(latency);
+    result.cloud_cost_usd += config.cloud.request_cost_usd(sc.seq.input, sc.seq.output);
+    ++result.cloud_requests;
+    last_completion = std::max(last_completion, arrival + latency);
+  };
+
+  while (next < sc.total_requests) {
+    const double arrival = static_cast<double>(next) * spacing;
+
+    if (config.policy == OffloadPolicy::kCloudOnly) {
+      route_to_cloud(arrival);
+      ++next;
+      continue;
+    }
+
+    // Requests waiting when the edge device frees up (or now, if idle).
+    const double dispatch_at = std::max(arrival, edge_free_at);
+    std::size_t waiting = 0;
+    while (next + waiting < sc.total_requests &&
+           static_cast<double>(next + waiting) * spacing <= dispatch_at) {
+      ++waiting;
+    }
+    waiting = std::max<std::size_t>(waiting, 1);
+
+    // Policy decisions before forming the edge batch.
+    if (config.policy == OffloadPolicy::kQueueDepth && waiting > config.queue_threshold) {
+      // Overflow beyond one full batch goes to the cloud (newest requests).
+      std::size_t to_edge = std::min(waiting, sc.max_batch);
+      std::size_t overflow = waiting - to_edge;
+      for (std::size_t i = 0; i < overflow; ++i) {
+        route_to_cloud(static_cast<double>(next + to_edge + i) * spacing);
+      }
+      const double batch_latency = edge_batch(to_edge);
+      result.edge_energy_j += energy_by_bs[to_edge];
+      for (std::size_t i = 0; i < to_edge; ++i) {
+        const double req_arrival = static_cast<double>(next + i) * spacing;
+        result.latencies_s.push_back(dispatch_at + batch_latency - req_arrival);
+      }
+      result.edge_requests += to_edge;
+      edge_free_at = dispatch_at + batch_latency;
+      last_completion = std::max(last_completion, edge_free_at);
+      next += waiting;
+      continue;
+    }
+
+    const std::size_t take = std::min(waiting, sc.max_batch);
+    const double batch_latency = edge_batch(take);
+
+    if (config.policy == OffloadPolicy::kLatencyThreshold) {
+      // Route the whole wave to the cloud if the edge would miss the SLO for
+      // its oldest member.
+      const double oldest_arrival = static_cast<double>(next) * spacing;
+      const double predicted = dispatch_at + batch_latency - oldest_arrival;
+      if (predicted > config.latency_slo_s) {
+        for (std::size_t i = 0; i < take; ++i) {
+          route_to_cloud(static_cast<double>(next + i) * spacing);
+        }
+        next += take;
+        continue;
+      }
+    }
+
+    result.edge_energy_j += energy_by_bs[take];
+    for (std::size_t i = 0; i < take; ++i) {
+      const double req_arrival = static_cast<double>(next + i) * spacing;
+      result.latencies_s.push_back(dispatch_at + batch_latency - req_arrival);
+    }
+    result.edge_requests += take;
+    edge_free_at = dispatch_at + batch_latency;
+    last_completion = std::max(last_completion, edge_free_at);
+    next += take;
+  }
+
+  result.makespan_s = last_completion;
+  return result;
+}
+
+}  // namespace orinsim::serving

@@ -1,0 +1,228 @@
+#include "sim/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/logging.h"
+#include "sim/paper_reference.h"
+#include "sim/roofline.h"
+
+namespace orinsim::sim {
+
+namespace {
+
+struct Anchors {
+  double latency_bs1 = 0.0;
+  double latency_bs128 = 0.0;
+  double latency_seq = 0.0;
+  std::size_t seq_total = 1024;
+};
+
+Anchors anchors_for(const std::string& key) {
+  const std::size_t idx = reference_model_index(key);
+  Anchors a;
+  for (const auto& row : table4_batch_wikitext2()) {
+    if (row.batch_size == 1) a.latency_bs1 = row.latency_s[idx];
+    if (row.batch_size == 128) a.latency_bs128 = row.latency_s[idx];
+  }
+  // Phi-2 OOMs beyond sl=256; its KV-overhead anchor uses sl=256.
+  a.seq_total = (key == "phi2") ? 256 : 1024;
+  for (const auto& row : table7_seq_wikitext2()) {
+    if (row.seq_total == a.seq_total) a.latency_seq = row.latency_s[idx];
+  }
+  ORINSIM_CHECK(a.latency_bs1 > 0 && a.latency_bs128 > 0 && a.latency_seq > 0,
+                "missing anchors for " + key);
+  return a;
+}
+
+double latency_with(const ModelSpec& m, DType dt, std::size_t bs, std::size_t in,
+                    std::size_t out) {
+  return simulated_batch_latency_s(m, dt, bs, in, out, power_mode_maxn());
+}
+
+// The paper's A = B + C splits (input + output tokens) for each total
+// sequence length. Mirrors workload::seq_config_for_total without taking a
+// dependency on the workload library.
+struct SeqSplit {
+  std::size_t input;
+  std::size_t output;
+};
+
+SeqSplit seq_split(std::size_t total) {
+  switch (total) {
+    case 96:
+      return {32, 64};
+    case 128:
+      return {32, 96};
+    case 256:
+      return {64, 192};
+    case 512:
+      return {128, 384};
+    case 1024:
+      return {256, 768};
+    default:
+      ORINSIM_CHECK(false, "no sequence split for total " + std::to_string(total));
+  }
+  return {32, 64};
+}
+
+// Solve bw_efficiency so the bs=1 anchor is exact (bisection: latency is
+// strictly decreasing in bandwidth efficiency).
+void solve_bw_efficiency(ModelSpec& m, DType dt, const Anchors& a) {
+  constexpr std::size_t kIn = 32, kOut = 64;
+  double lo = 0.05, hi = 0.95;
+  const double target = a.latency_bs1;
+  ModelSpec probe = m;
+  probe.bw_efficiency = hi;
+  if (latency_with(probe, dt, 1, kIn, kOut) > target) {
+    m.bw_efficiency = hi;
+    return;
+  }
+  probe.bw_efficiency = lo;
+  if (latency_with(probe, dt, 1, kIn, kOut) < target) {
+    m.bw_efficiency = lo;
+    return;
+  }
+  for (int iter = 0; iter < 48; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    probe.bw_efficiency = mid;
+    if (latency_with(probe, dt, 1, kIn, kOut) > target) {
+      lo = mid;  // too slow -> need more bandwidth
+    } else {
+      hi = mid;
+    }
+  }
+  m.bw_efficiency = 0.5 * (lo + hi);
+}
+
+// Solve compute_efficiency so the bs=128 anchor matches (bisection: latency
+// decreases monotonically in compute_efficiency).
+void solve_compute_efficiency(ModelSpec& m, DType dt, const Anchors& a) {
+  constexpr std::size_t kIn = 32, kOut = 64;
+  double lo = 0.05, hi = 0.95;
+  const double target = a.latency_bs128;
+  ModelSpec probe = m;
+  probe.compute_efficiency = hi;
+  if (latency_with(probe, dt, 128, kIn, kOut) > target) {
+    m.compute_efficiency = hi;  // even at best efficiency we are slower: clamp
+    return;
+  }
+  probe.compute_efficiency = lo;
+  if (latency_with(probe, dt, 128, kIn, kOut) < target) {
+    m.compute_efficiency = lo;
+    return;
+  }
+  for (int iter = 0; iter < 48; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    probe.compute_efficiency = mid;
+    if (latency_with(probe, dt, 128, kIn, kOut) > target) {
+      lo = mid;  // too slow -> need more efficiency
+    } else {
+      hi = mid;
+    }
+  }
+  m.compute_efficiency = 0.5 * (lo + hi);
+}
+
+// Solve attn_kv_overhead so the sequence-length anchor matches (latency is
+// linear in the overhead factor).
+void solve_kv_overhead(ModelSpec& m, DType dt, const Anchors& a) {
+  const SeqSplit sc = seq_split(a.seq_total);
+  ModelSpec probe = m;
+  probe.attn_kv_overhead = 0.0;
+  const double base = latency_with(probe, dt, 32, sc.input, sc.output);
+  probe.attn_kv_overhead = 10.0;
+  const double with10 = latency_with(probe, dt, 32, sc.input, sc.output);
+  const double per_unit = (with10 - base) / 10.0;
+  ORINSIM_CHECK(per_unit > 0, "kv overhead has no effect for " + m.key);
+  m.attn_kv_overhead = std::clamp((a.latency_seq - base) / per_unit, 0.0, 120.0);
+}
+
+double& slot_ref(ModelSpec& m, DType dt) {
+  return dt == DType::kI8 ? m.quant_slowdown_i8 : m.quant_slowdown_i4;
+}
+
+// Solve the quantization slowdown so the end-to-end latency ratio at the
+// paper's default workload (bs=32, sl=96) matches the target.
+void solve_quant_slowdown(ModelSpec& m, DType baseline_dt, DType quant_dt,
+                          double target_ratio) {
+  constexpr std::size_t kIn = 32, kOut = 64;
+  const double baseline = latency_with(m, baseline_dt, 32, kIn, kOut);
+  const double target = target_ratio * baseline;
+  // Latency is affine in the slowdown: evaluate at s=1 and s=2.
+  ModelSpec probe = m;
+  auto eval = [&](double s) {
+    slot_ref(probe, quant_dt) = s;
+    return latency_with(probe, quant_dt, 32, kIn, kOut);
+  };
+  const double at1 = eval(1.0);
+  const double at2 = eval(2.0);
+  const double per_unit = at2 - at1;
+  ORINSIM_CHECK(per_unit > 0, "quant slowdown has no effect for " + m.key);
+  slot_ref(m, quant_dt) = std::clamp(1.0 + (target - at1) / per_unit, 1.0, 12.0);
+}
+
+}  // namespace
+
+double simulated_batch_latency_s(const ModelSpec& m, DType dt, std::size_t batch,
+                                 std::size_t in_tokens, std::size_t out_tokens,
+                                 const PowerMode& pm) {
+  static const RooflineEngine engine;
+  const double prefill = engine.prefill_s(m, dt, batch, in_tokens, pm);
+  const double decode = engine.decode_phase(m, dt, batch, in_tokens, out_tokens, pm).total_s();
+  return engine.run_overhead_s() + prefill + decode;
+}
+
+void calibrate_catalog(std::vector<ModelSpec>& catalog) {
+  const auto& ratios = quant_latency_ratios();
+  for (auto& m : catalog) {
+    const Anchors a = anchors_for(m.key);
+    const DType dt = m.default_dtype;
+    // For DeepSeek-Qwen the anchors are INT8 runs: its INT8 slowdown must be
+    // 1.0 (the inefficiency is folded into the fitted efficiencies).
+    if (dt == DType::kI8) m.quant_slowdown_i8 = 1.0;
+
+    // The three fits interact (kv overhead appears in the bs anchors, the
+    // efficiencies in the seq anchor); a few fixed-point rounds converge.
+    for (int round = 0; round < 6; ++round) {
+      solve_bw_efficiency(m, dt, a);
+      solve_compute_efficiency(m, dt, a);
+      solve_kv_overhead(m, dt, a);
+    }
+
+    // Quantization slowdowns from the latency-ratio targets.
+    for (const auto& r : ratios) {
+      if (r.model_key != m.key) continue;
+      if (dt == DType::kF16) {
+        solve_quant_slowdown(m, DType::kF16, DType::kI8, r.int8_vs_fp16);
+        solve_quant_slowdown(m, DType::kF16, DType::kI4, r.int4_vs_fp16);
+      } else {
+        // DeepSeek: INT4 target is relative to INT8.
+        solve_quant_slowdown(m, DType::kI8, DType::kI4, r.int4_vs_fp16);
+      }
+    }
+    LOG_DEBUG << "calibrated " << m.key << ": bw_eff=" << m.bw_efficiency
+              << " compute_eff=" << m.compute_efficiency
+              << " kv_overhead=" << m.attn_kv_overhead << " s8=" << m.quant_slowdown_i8
+              << " s4=" << m.quant_slowdown_i4;
+  }
+}
+
+std::vector<CalibrationResidual> calibration_residuals() {
+  std::vector<CalibrationResidual> out;
+  for (const auto& m : model_catalog()) {
+    const Anchors a = anchors_for(m.key);
+    const DType dt = m.default_dtype;
+    CalibrationResidual r;
+    r.model_key = m.key;
+    r.bs1_rel_error = latency_with(m, dt, 1, 32, 64) / a.latency_bs1 - 1.0;
+    r.bs128_rel_error = latency_with(m, dt, 128, 32, 64) / a.latency_bs128 - 1.0;
+    const SeqSplit sc = seq_split(a.seq_total);
+    r.seq_rel_error = latency_with(m, dt, 32, sc.input, sc.output) / a.latency_seq - 1.0;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace orinsim::sim

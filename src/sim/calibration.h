@@ -1,0 +1,45 @@
+// Catalog calibration: fits each model's efficiency constants against a
+// small, fixed set of paper measurements. Everything else the simulator
+// produces is a prediction.
+//
+// Fitted (per model, from the paper's appendix):
+//   bw_efficiency      <- Table 4 latency at bs=1   (decode is weight-bound)
+//   compute_efficiency <- Table 4 latency at bs=128 (decode turns compute-bound)
+//   attn_kv_overhead   <- Table 7 latency at sl=1024 (sl=256 for Phi-2, which
+//                         OOMs beyond that)
+//   quant_slowdown_i8/i4 <- the Fig 3 / appendix A.3 latency ratios
+// Fixed priors (not fitted): launch_ms = 0.08ms * n_layers, prefill
+// efficiency boost, run overhead, CPU sensitivities.
+//
+// Predicted (used for EXPERIMENTS.md validation): every other batch size,
+// sequence length, dataset, power mode, and the LongBench tables.
+#pragma once
+
+#include <vector>
+
+#include "sim/model_catalog.h"
+#include "sim/power_mode.h"
+
+namespace orinsim::sim {
+
+struct CalibrationResidual {
+  std::string model_key;
+  double bs1_rel_error = 0.0;    // (sim - paper) / paper at the bs=1 anchor
+  double bs128_rel_error = 0.0;  // at the bs=128 anchor
+  double seq_rel_error = 0.0;    // at the sequence-length anchor
+};
+
+// Fits the calibration slots of every ModelSpec in place.
+void calibrate_catalog(std::vector<ModelSpec>& catalog);
+
+// Re-simulates the anchors with the calibrated catalog and reports the
+// residuals (used by tests to guarantee the fit converged).
+std::vector<CalibrationResidual> calibration_residuals();
+
+// End-to-end simulated latency for one batch, seconds (overhead + prefill +
+// decode). Shared by calibration and InferenceSim so both see the same model.
+double simulated_batch_latency_s(const ModelSpec& m, DType dt, std::size_t batch,
+                                 std::size_t in_tokens, std::size_t out_tokens,
+                                 const PowerMode& pm);
+
+}  // namespace orinsim::sim

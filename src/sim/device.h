@@ -1,0 +1,69 @@
+// Hardware description of the NVIDIA Jetson Orin AGX Developer Kit 64GB,
+// the platform of the paper's study.
+//
+// Sources for the constants:
+//  - 2048 CUDA cores (Ampere, 16 SMs) at 1301 MHz max GPU clock
+//  - 64 tensor cores; dense FP16 tensor-core throughput ~21.2 TFLOPS at max
+//    clock (85 INT8 sparse TOPS => 42.5 dense INT8 => 21.2 dense FP16)
+//  - 12-core Arm Cortex-A78AE at 2.2 GHz
+//  - 256-bit LPDDR5 at 3200 MHz -> 204.8 GB/s peak bandwidth
+//  - 64 GB RAM shared between CPU and GPU; JetPack 6 + desktop + CUDA
+//    context reserve a few GB before any model loads.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace orinsim::sim {
+
+struct DeviceSpec {
+  std::string name = "NVIDIA Jetson Orin AGX 64GB";
+
+  // GPU
+  double gpu_cuda_cores = 2048;
+  double gpu_max_freq_mhz = 1301.0;
+  double gpu_fp16_tflops_max = 21.2;  // tensor-core dense FP16 at max clock
+  double gpu_fp32_tflops_max = 5.33;  // CUDA-core FMA at max clock
+
+  // CPU
+  int cpu_cores = 12;
+  double cpu_max_freq_ghz = 2.2;
+
+  // Memory
+  double mem_max_freq_mhz = 3200.0;
+  double mem_bus_bytes = 32.0;  // 256-bit interface
+  // Peak bandwidth scales with DDR frequency; the effective-bandwidth
+  // exponent >1 models the efficiency loss at low memory clocks (timing
+  // overheads do not scale down), which the paper's PM-H latencies expose.
+  double mem_bw_freq_exponent = 1.2;
+
+  // Shared RAM
+  double total_ram_gb = 64.0;
+  // OS + desktop + JetPack services + CUDA context before any model loads.
+  double os_reserved_gb = 3.5;
+
+  double peak_bw_gbps(double mem_freq_mhz) const {
+    // LPDDR5 double data rate: 2 transfers/cycle * bus bytes.
+    const double peak_at_max = 2.0 * mem_max_freq_mhz * 1e6 * mem_bus_bytes / 1e9;
+    double ratio = mem_freq_mhz / mem_max_freq_mhz;
+    if (ratio > 1.0) ratio = 1.0;
+    double scaled = peak_at_max;
+    if (ratio < 1.0) {
+      scaled = peak_at_max * std::pow(ratio, mem_bw_freq_exponent);
+    }
+    return scaled;
+  }
+
+  double peak_fp16_tflops(double gpu_freq_mhz) const {
+    return gpu_fp16_tflops_max * (gpu_freq_mhz / gpu_max_freq_mhz);
+  }
+
+  double usable_ram_gb() const { return total_ram_gb - os_reserved_gb; }
+};
+
+inline const DeviceSpec& orin_agx_64gb() {
+  static const DeviceSpec spec;
+  return spec;
+}
+
+}  // namespace orinsim::sim

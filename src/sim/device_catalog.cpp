@@ -1,0 +1,117 @@
+#include "sim/device_catalog.h"
+
+#include "core/error.h"
+
+namespace orinsim::sim {
+
+namespace {
+
+std::vector<DeviceEntry> build_catalog() {
+  std::vector<DeviceEntry> catalog;
+
+  {
+    DeviceEntry e;
+    e.key = "orin-agx-64";
+    e.spec = orin_agx_64gb();
+    e.price_usd = 2200.0;  // per the paper's introduction
+    catalog.push_back(e);
+  }
+  {
+    // Orin AGX 32GB: same Ampere GPU family with 1792 CUDA cores, 204.8 GB/s,
+    // half the RAM. The device Seymour et al. evaluate.
+    DeviceEntry e;
+    e.key = "orin-agx-32";
+    e.spec = orin_agx_64gb();
+    e.spec.name = "NVIDIA Jetson Orin AGX 32GB";
+    e.spec.gpu_cuda_cores = 1792;
+    e.spec.gpu_fp16_tflops_max = 21.2 * 1792.0 / 2048.0;
+    e.spec.gpu_fp32_tflops_max = 5.33 * 1792.0 / 2048.0;
+    e.spec.total_ram_gb = 32.0;
+    e.spec.os_reserved_gb = 3.2;
+    e.price_usd = 1600.0;
+    catalog.push_back(e);
+  }
+  {
+    // Xavier AGX 32GB (Volta, 512 CUDA cores + 64 tensor cores, LPDDR4x
+    // 136.5 GB/s): the authors' prior-poster device.
+    DeviceEntry e;
+    e.key = "xavier-agx-32";
+    e.spec.name = "NVIDIA Jetson Xavier AGX 32GB";
+    e.spec.gpu_cuda_cores = 512;
+    e.spec.gpu_max_freq_mhz = 1377.0;
+    e.spec.gpu_fp16_tflops_max = 11.0;  // Volta tensor cores, dense FP16
+    e.spec.gpu_fp32_tflops_max = 1.41;
+    e.spec.cpu_cores = 8;  // Carmel
+    e.spec.cpu_max_freq_ghz = 2.26;
+    e.spec.mem_max_freq_mhz = 2133.0;
+    e.spec.mem_bus_bytes = 32.0;  // 256-bit LPDDR4x -> 136.5 GB/s
+    e.spec.total_ram_gb = 32.0;
+    e.spec.os_reserved_gb = 3.0;
+    e.price_usd = 999.0;
+    catalog.push_back(e);
+  }
+  {
+    // Orin NX 16GB: 1024 CUDA cores, 128-bit LPDDR5 (102.4 GB/s).
+    DeviceEntry e;
+    e.key = "orin-nx-16";
+    e.spec.name = "NVIDIA Jetson Orin NX 16GB";
+    e.spec.gpu_cuda_cores = 1024;
+    e.spec.gpu_max_freq_mhz = 918.0;
+    e.spec.gpu_fp16_tflops_max = 21.2 * (1024.0 / 2048.0) * (918.0 / 1301.0);
+    e.spec.gpu_fp32_tflops_max = 5.33 * (1024.0 / 2048.0) * (918.0 / 1301.0);
+    e.spec.cpu_cores = 8;
+    e.spec.cpu_max_freq_ghz = 2.0;
+    e.spec.mem_max_freq_mhz = 3200.0;
+    e.spec.mem_bus_bytes = 16.0;  // 128-bit
+    e.spec.total_ram_gb = 16.0;
+    e.spec.os_reserved_gb = 2.5;
+    e.price_usd = 699.0;
+    catalog.push_back(e);
+  }
+  {
+    // Orin Nano 8GB: 1024 CUDA cores at a lower clock, 68 GB/s.
+    DeviceEntry e;
+    e.key = "orin-nano-8";
+    e.spec.name = "NVIDIA Jetson Orin Nano 8GB";
+    e.spec.gpu_cuda_cores = 1024;
+    e.spec.gpu_max_freq_mhz = 625.0;
+    e.spec.gpu_fp16_tflops_max = 21.2 * (1024.0 / 2048.0) * (625.0 / 1301.0);
+    e.spec.gpu_fp32_tflops_max = 5.33 * (1024.0 / 2048.0) * (625.0 / 1301.0);
+    e.spec.cpu_cores = 6;
+    e.spec.cpu_max_freq_ghz = 1.5;
+    e.spec.mem_max_freq_mhz = 2133.0;
+    e.spec.mem_bus_bytes = 16.0;  // 128-bit LPDDR5 -> 68.3 GB/s
+    e.spec.total_ram_gb = 8.0;
+    e.spec.os_reserved_gb = 2.0;
+    e.price_usd = 499.0;
+    catalog.push_back(e);
+  }
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<DeviceEntry>& device_catalog() {
+  static const std::vector<DeviceEntry> kCatalog = build_catalog();
+  return kCatalog;
+}
+
+PowerMode max_power_mode_for(const DeviceSpec& spec) {
+  PowerMode pm;
+  pm.name = "MaxN";
+  pm.gpu_freq_mhz = spec.gpu_max_freq_mhz;
+  pm.cpu_freq_ghz = spec.cpu_max_freq_ghz;
+  pm.cpu_cores_online = spec.cpu_cores;
+  pm.mem_freq_mhz = spec.mem_max_freq_mhz;
+  return pm;
+}
+
+const DeviceEntry& device_by_key(const std::string& key) {
+  for (const auto& e : device_catalog()) {
+    if (e.key == key) return e;
+  }
+  ORINSIM_CHECK(false, "unknown device key: " + key);
+  return device_catalog().front();
+}
+
+}  // namespace orinsim::sim

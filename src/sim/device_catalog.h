@@ -1,0 +1,37 @@
+// Catalog of Jetson-class edge accelerators beyond the paper's Orin AGX
+// 64GB. This extends the study the way its related-work section frames the
+// landscape:
+//  - Orin AGX 32GB: the device of Seymour et al. (arXiv 2412.15352), which
+//    could not run models larger than ~14B;
+//  - Xavier AGX 32GB: the authors' own prior poster (HiPCW 2024);
+//  - Orin NX 16GB / Orin Nano 8GB: the smaller Jetson tier, for the
+//    feasibility frontier.
+//
+// Cross-device predictions reuse the per-model efficiency constants
+// calibrated on the Orin AGX 64GB. That is an explicit modeling assumption
+// (kernel efficiency travels with the model, peaks travel with the device);
+// it is exact for the memory-fit verdicts, which depend only on capacity,
+// and first-order for latency/energy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/power_mode.h"
+
+namespace orinsim::sim {
+
+struct DeviceEntry {
+  std::string key;  // "orin-agx-64", "orin-agx-32", "xavier-agx-32", ...
+  DeviceSpec spec;
+  double price_usd = 0.0;  // launch-era developer-kit pricing, for $/tok
+};
+
+const std::vector<DeviceEntry>& device_catalog();
+const DeviceEntry& device_by_key(const std::string& key);
+
+// The device's own MaxN-equivalent mode (its maximum clocks and all cores).
+PowerMode max_power_mode_for(const DeviceSpec& spec);
+
+}  // namespace orinsim::sim

@@ -1,0 +1,52 @@
+#include "sim/dla.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "sim/device.h"
+#include "sim/roofline.h"
+
+namespace orinsim::sim {
+
+DlaCoExecution estimate_dla_coexecution(const ModelSpec& big, DType big_dtype,
+                                        const ModelSpec& small, const DlaSpec& dla,
+                                        const PowerMode& pm) {
+  ORINSIM_CHECK(dla.cores >= 1, "dla: need at least one core");
+  ORINSIM_CHECK(dla.efficiency > 0.0 && dla.dram_share > 0.0, "dla: degenerate spec");
+  const DeviceSpec& device = orin_agx_64gb();
+  const RooflineEngine roofline;
+
+  DlaCoExecution result;
+
+  // Small model on one DLA core, INT8 weights, single-stream decode.
+  const double peak_bw = device.peak_bw_gbps(pm.mem_freq_mhz) * 1e9;
+  const double dla_bw = peak_bw * dla.dram_share;
+  const double weight_bytes = small.weight_gb(DType::kI8) * 1e9;
+  const double mem_s = weight_bytes / dla_bw;
+  const double compute_s =
+      small.flops_per_token() / (dla.int8_tops_per_core * 1e12 * dla.efficiency);
+  result.dla_step_s = std::max(mem_s, compute_s);
+  result.dla_memory_bound = mem_s >= compute_s;
+  result.dla_tps = 1.0 / result.dla_step_s;
+
+  // Big model on the GPU, with and without the bandwidth contention.
+  const std::size_t bs = 32, in = 32, out = 64;
+  const double alone =
+      roofline.prefill_s(big, big_dtype, bs, in, pm) +
+      roofline.decode_phase(big, big_dtype, bs, in, out, pm).total_s();
+  ModelSpec contended = big;
+  contended.bw_efficiency *= (1.0 - dla.gpu_bw_penalty);
+  const RooflineEngine engine2;
+  const double shared =
+      engine2.prefill_s(contended, big_dtype, bs, in, pm) +
+      engine2.decode_phase(contended, big_dtype, bs, in, out, pm).total_s();
+
+  const double tokens = static_cast<double>(bs) * static_cast<double>(in + out);
+  result.gpu_tps_alone = tokens / alone;
+  result.gpu_tps_shared = tokens / shared;
+  result.gpu_degradation = 1.0 - result.gpu_tps_shared / result.gpu_tps_alone;
+  result.added_power_w = dla.power_w_per_core;  // one active core
+  return result;
+}
+
+}  // namespace orinsim::sim

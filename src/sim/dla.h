@@ -1,0 +1,49 @@
+// DLA co-execution: the Orin AGX carries two NVDLA v2 cores alongside the
+// GPU — the "accelerators like DLAs" the paper's conclusion points to. They
+// are INT8-native, draw a few watts, and share the LPDDR5 interface with
+// the GPU.
+//
+// The natural LLM use is heterogeneous serving: keep the big model on the
+// GPU and pin a small INT8 model (a Phi-2-class assistant, or a speculative
+// draft) to a DLA. This module estimates
+//  - the small model's decode throughput on a DLA (memory-bound against its
+//    DRAM share, compute-bound against its INT8 TOPS), and
+//  - the big model's slowdown from sharing DRAM bandwidth,
+// with the power cost of lighting the DLA up.
+//
+// DLA transformer support in the real stack is partial (no flash attention,
+// limited ops); the `efficiency` factor is deliberately conservative.
+#pragma once
+
+#include "sim/model_catalog.h"
+#include "sim/power_mode.h"
+
+namespace orinsim::sim {
+
+struct DlaSpec {
+  int cores = 2;
+  double int8_tops_per_core = 26.0;   // dense INT8 at max clock
+  double efficiency = 0.30;           // achievable fraction on matvec decode
+  double dram_share = 0.30;           // DRAM bandwidth a busy DLA can claim
+  double gpu_bw_penalty = 0.10;       // GPU bandwidth lost to the contention
+  double power_w_per_core = 5.0;      // active power per DLA core
+};
+
+struct DlaCoExecution {
+  double dla_tps = 0.0;            // small model tokens/s on one DLA core
+  double dla_step_s = 0.0;
+  bool dla_memory_bound = false;
+  double gpu_tps_alone = 0.0;      // big model throughput without contention
+  double gpu_tps_shared = 0.0;     // with the DLA streaming weights
+  double gpu_degradation = 0.0;    // 1 - shared/alone
+  double added_power_w = 0.0;
+};
+
+// Small model must fit the DLA path at INT8. The big model runs its default
+// workload (bs=32, sl=96) on the GPU.
+DlaCoExecution estimate_dla_coexecution(const ModelSpec& big, DType big_dtype,
+                                        const ModelSpec& small,
+                                        const DlaSpec& dla = DlaSpec{},
+                                        const PowerMode& pm = power_mode_maxn());
+
+}  // namespace orinsim::sim

@@ -1,0 +1,131 @@
+#include "sim/inference_sim.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "sim/calibration.h"
+
+namespace orinsim::sim {
+
+telemetry::PowerSignal InferenceSim::build_signal(const ModelSpec& m,
+                                                  const SimRequest& request,
+                                                  double* latency_out, double* prefill_out,
+                                                  StepBreakdown* mean_step_out) const {
+  const DType dt = request.dtype;
+  const PowerMode& pm = request.power_mode;
+
+  telemetry::PowerSignal signal;
+
+  // Host-side setup (tokenization, buffer allocation) at idle-ish power.
+  const double overhead = roofline_.run_overhead_s() * request.latency_scale;
+  signal.append(overhead, power_.idle_w() + 4.0);
+
+  // Prefill phase: compute-saturated.
+  const double prefill =
+      roofline_.prefill_s(m, dt, request.batch, request.in_tokens, pm) *
+      request.latency_scale;
+  signal.append(prefill, power_.prefill_power(m, dt, pm).total_w());
+
+  // Decode phase: one segment per output token; power drifts as the KV share
+  // of the step grows with context.
+  StepBreakdown mean_step{};
+  for (std::size_t t = 0; t < request.out_tokens; ++t) {
+    const double ctx = static_cast<double>(request.in_tokens + t);
+    const StepBreakdown step =
+        roofline_.decode_step(m, dt, request.batch, ctx, pm, request.kv_cache_int8);
+    const double watts = power_.decode_power(m, dt, step, pm).total_w();
+    signal.append(step.total_s() * request.latency_scale, watts);
+    mean_step.weight_s += step.weight_s;
+    mean_step.kv_s += step.kv_s;
+    mean_step.compute_s += step.compute_s;
+    mean_step.launch_s += step.launch_s;
+    mean_step.quant_extra_s += step.quant_extra_s;
+    mean_step.cpu_stretch_s += step.cpu_stretch_s;
+  }
+  const double n = static_cast<double>(request.out_tokens);
+  mean_step.weight_s /= n;
+  mean_step.kv_s /= n;
+  mean_step.compute_s /= n;
+  mean_step.launch_s /= n;
+  mean_step.quant_extra_s /= n;
+  mean_step.cpu_stretch_s /= n;
+
+  if (latency_out != nullptr) *latency_out = signal.duration_s();
+  if (prefill_out != nullptr) *prefill_out = prefill;
+  if (mean_step_out != nullptr) *mean_step_out = mean_step;
+  return signal;
+}
+
+SimResult InferenceSim::run(const SimRequest& request) const {
+  ORINSIM_CHECK(request.batch > 0 && request.in_tokens > 0 && request.out_tokens > 0,
+                "SimRequest: batch/in/out must be positive");
+  ORINSIM_CHECK(request.runs > 0, "SimRequest: need at least one measured run");
+  const ModelSpec& m = model_by_key(request.model_key);
+
+  SimResult result;
+  result.memory = memory_.workload_memory(m, request.dtype, request.batch,
+                                          request.in_tokens, request.out_tokens,
+                                          request.kv_cache_int8);
+  result.model_load_oom = memory_.model_oom(m, request.dtype);
+  result.oom = result.model_load_oom || memory_.workload_oom(result.memory);
+  if (result.oom) return result;
+
+  double base_latency = 0.0;
+  double prefill = 0.0;
+  StepBreakdown mean_step{};
+  const telemetry::PowerSignal signal =
+      build_signal(m, request, &base_latency, &prefill, &mean_step);
+  result.prefill_s = prefill;
+  result.mean_decode_step = mean_step;
+  // Time to first token: setup + prefill + the first decode step.
+  result.ttft_s =
+      roofline_.run_overhead_s() * request.latency_scale + prefill +
+      roofline_
+          .decode_step(m, request.dtype, request.batch,
+                       static_cast<double>(request.in_tokens), request.power_mode,
+                       request.kv_cache_int8)
+          .total_s() *
+          request.latency_scale;
+
+  Rng rng(request.seed);
+  const telemetry::PowerSampler sampler(2.0, request.noise_sigma);
+  telemetry::RunAggregator agg(/*warmup_runs=*/1);
+
+  const std::size_t total_runs = request.runs + 1;  // + warm-up
+  const double total_tokens =
+      static_cast<double>(request.batch) *
+      static_cast<double>(request.in_tokens + request.out_tokens);
+
+  for (std::size_t r = 0; r < total_runs; ++r) {
+    // Run-to-run latency jitter (background load, thermal state). The warm-up
+    // run is slower: model pages in from SSD and CUDA kernels JIT.
+    double jitter = 1.0 + request.noise_sigma * rng.normal();
+    if (r == 0) jitter *= 1.3;
+    jitter = std::max(0.5, jitter);
+
+    telemetry::PowerSignal run_signal = signal;
+    for (auto& t : run_signal.t_s) t *= jitter;
+
+    const telemetry::SampledTrace trace = sampler.sample(run_signal, rng);
+    const telemetry::BatchPowerStats stats = telemetry::summarize(trace);
+
+    telemetry::RunMetrics metrics;
+    metrics.latency_s = run_signal.duration_s();
+    metrics.throughput_tps = total_tokens / metrics.latency_s;
+    metrics.median_power_w = stats.median_power_w;
+    metrics.energy_j = stats.energy_j;
+    agg.add(metrics);
+
+    if (r == 1) result.trace = trace;  // first measured run
+  }
+
+  const telemetry::RunMetrics mean = agg.mean();
+  result.latency_s = mean.latency_s;
+  result.throughput_tps = mean.throughput_tps;
+  result.median_power_w = mean.median_power_w;
+  result.energy_j = mean.energy_j;
+  return result;
+}
+
+}  // namespace orinsim::sim

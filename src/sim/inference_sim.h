@@ -1,0 +1,80 @@
+// End-to-end simulated inference runs on the Orin AGX: ties together the
+// memory model (OOM detection), the roofline timing model, the power model,
+// and the jtop-style telemetry pipeline, following the paper's measurement
+// protocol (1 warm-up + N runs, averaged).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/memory_model.h"
+#include "sim/model_catalog.h"
+#include "sim/power_mode.h"
+#include "sim/power_model.h"
+#include "sim/roofline.h"
+#include "telemetry/power_sampler.h"
+#include "telemetry/run_report.h"
+
+namespace orinsim::sim {
+
+struct SimRequest {
+  std::string model_key = "llama3";
+  DType dtype = DType::kF16;
+  std::size_t batch = 32;
+  std::size_t in_tokens = 32;
+  std::size_t out_tokens = 64;
+  PowerMode power_mode = power_mode_maxn();
+  std::size_t runs = 5;    // measured runs after one warm-up
+  // Extension axis: quantize the KV cache to INT8 (halves KV memory and
+  // traffic at a small dequant overhead).
+  bool kv_cache_int8 = false;
+  // Multiplier on run latency capturing dataset-level variation (the paper
+  // sees ~4-10% between WikiText2 and LongBench for identical configs).
+  double latency_scale = 1.0;
+  // 0 disables run-to-run noise entirely (used by calibration tests).
+  double noise_sigma = 0.015;
+  std::uint64_t seed = 7;
+};
+
+struct SimResult {
+  bool oom = false;             // workload does not fit in shared RAM
+  bool model_load_oom = false;  // even the weights do not fit
+  MemoryBreakdown memory;
+
+  // Aggregates across measured runs (paper protocol).
+  double latency_s = 0.0;        // end-to-end time to last token for the batch
+  double ttft_s = 0.0;           // time to first token (setup + prefill + 1 step)
+  double throughput_tps = 0.0;   // TP = batch * (in + out) / latency
+  double median_power_w = 0.0;
+  double energy_j = 0.0;         // per batch, trapezoid of 2s samples
+  double prefill_s = 0.0;
+  StepBreakdown mean_decode_step;  // cost decomposition at mean context
+
+  // One measured run's sampled power trace (for plots / energy tests).
+  telemetry::SampledTrace trace;
+};
+
+class InferenceSim {
+ public:
+  explicit InferenceSim(const DeviceSpec& device = orin_agx_64gb())
+      : device_(device), roofline_(device), memory_(device), power_(device) {}
+
+  SimResult run(const SimRequest& request) const;
+
+  const RooflineEngine& roofline() const noexcept { return roofline_; }
+  const MemoryModel& memory_model() const noexcept { return memory_; }
+  const PowerModel& power_model() const noexcept { return power_; }
+
+ private:
+  // Builds the piecewise-constant power signal of one batch run.
+  telemetry::PowerSignal build_signal(const ModelSpec& m, const SimRequest& request,
+                                      double* latency_out, double* prefill_out,
+                                      StepBreakdown* mean_step_out) const;
+
+  DeviceSpec device_;
+  RooflineEngine roofline_;
+  MemoryModel memory_;
+  PowerModel power_;
+};
+
+}  // namespace orinsim::sim

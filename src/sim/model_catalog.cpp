@@ -1,0 +1,198 @@
+#include "sim/model_catalog.h"
+
+#include "core/error.h"
+#include "sim/calibration.h"
+
+namespace orinsim::sim {
+
+double ModelSpec::weight_gb(DType dt) const {
+  switch (dt) {
+    case DType::kF32:
+      return weight_gb_f32;
+    case DType::kF16:
+      return weight_gb_f16;
+    case DType::kI8:
+      return weight_gb_i8;
+    case DType::kI4:
+      return weight_gb_i4;
+  }
+  return weight_gb_f16;
+}
+
+double ModelSpec::kv_bytes_per_token(bool int8_cache) const {
+  const double kv_dim = static_cast<double>(n_kv_heads) * (d_model / n_heads);
+  const double bytes_per_element = int8_cache ? 1.0 : 2.0;
+  const double scale_overhead = int8_cache ? 4.0 /*fp32 scale per vector*/ : 0.0;
+  return 2.0 /*K+V*/ * static_cast<double>(n_layers) *
+         (kv_dim * bytes_per_element + scale_overhead);
+}
+
+double ModelSpec::flops_per_token() const { return 2.0 * params_b * 1e9; }
+
+double ModelSpec::derived_weight_gb(DType dt) const {
+  // Body parameters quantize; embeddings (tied or not, ~vocab*d_model) stay
+  // FP16 under BitsAndBytes; INT8/INT4 carry scale metadata (~1/64 and ~1/16
+  // overhead respectively).
+  const double embed_params = static_cast<double>(vocab) * static_cast<double>(d_model);
+  const double body_params = params_b * 1e9 - embed_params;
+  double body_bytes = 0.0;
+  switch (dt) {
+    case DType::kF32:
+      return (params_b * 1e9) * 4.0 / 1e9;
+    case DType::kF16:
+      return (params_b * 1e9) * 2.0 / 1e9;
+    case DType::kI8:
+      body_bytes = body_params * 1.0 * (1.0 + 1.0 / 64.0);
+      break;
+    case DType::kI4:
+      body_bytes = body_params * 0.5 * (1.0 + 1.0 / 16.0);
+      break;
+  }
+  return (body_bytes + embed_params * 2.0) / 1e9;
+}
+
+double ModelSpec::quant_slowdown(DType dt) const {
+  switch (dt) {
+    case DType::kF32:
+    case DType::kF16:
+      return 1.0;
+    case DType::kI8:
+      return quant_slowdown_i8;
+    case DType::kI4:
+      return quant_slowdown_i4;
+  }
+  return 1.0;
+}
+
+double ModelSpec::gpu_activity(DType dt) const {
+  switch (dt) {
+    case DType::kF32:
+    case DType::kF16:
+      return 1.0;
+    case DType::kI8:
+      return gpu_activity_i8;
+    case DType::kI4:
+      return gpu_activity_i4;
+  }
+  return 1.0;
+}
+
+namespace {
+
+std::vector<ModelSpec> build_catalog() {
+  std::vector<ModelSpec> catalog;
+
+  {
+    ModelSpec m;
+    m.key = "phi2";
+    m.display = "MS-Phi2";
+    m.hf_name = "microsoft/phi-2";
+    m.params_b = 2.78;
+    m.n_layers = 32;
+    m.d_model = 2560;
+    m.n_heads = 32;
+    m.n_kv_heads = 32;  // full MHA
+    m.d_ff = 10240;
+    m.vocab = 51200;
+    m.weight_gb_f32 = 11.2;
+    m.weight_gb_f16 = 5.6;
+    m.weight_gb_i8 = 3.0;
+    m.weight_gb_i4 = 1.8;
+    m.default_dtype = DType::kF16;
+    // HF's Phi-2 uses the eager attention path: fp32 score tensors persist
+    // for every layer during prefill. This is what drives its OOM at
+    // bs=32, sl=512 despite a 5.6 GB model (Table 6).
+    m.attn_quad_layers = 32.0;
+    m.act_mb_per_seq = 6.0;
+    m.fixed_overhead_gb = 0.45;
+    catalog.push_back(m);
+  }
+  {
+    ModelSpec m;
+    m.key = "llama3";
+    m.display = "Llama3";
+    m.hf_name = "meta-llama/Llama-3.1-8B";
+    m.params_b = 8.03;
+    m.n_layers = 32;
+    m.d_model = 4096;
+    m.n_heads = 32;
+    m.n_kv_heads = 8;  // GQA 4:1
+    m.d_ff = 14336;
+    m.vocab = 128256;
+    m.weight_gb_f32 = 32.2;
+    m.weight_gb_f16 = 16.1;
+    m.weight_gb_i8 = 9.1;
+    m.weight_gb_i4 = 5.6;
+    m.default_dtype = DType::kF16;
+    // SDPA math backend on Jetson still materializes scores for ~2 layers'
+    // worth at peak.
+    m.attn_quad_layers = 2.0;
+    m.act_mb_per_seq = 8.0;
+    m.fixed_overhead_gb = 0.25;
+    catalog.push_back(m);
+  }
+  {
+    ModelSpec m;
+    m.key = "mistral";
+    m.display = "Mistral-Base";
+    m.hf_name = "mistralai/Mistral-Small-24B-Base-2501";
+    m.params_b = 23.6;
+    m.n_layers = 40;
+    m.d_model = 5120;
+    m.n_heads = 32;
+    m.n_kv_heads = 8;
+    m.d_ff = 32768;
+    m.vocab = 131072;
+    m.weight_gb_f32 = 94.2;
+    m.weight_gb_f16 = 47.1;
+    m.weight_gb_i8 = 24.9;
+    m.weight_gb_i4 = 13.8;
+    m.default_dtype = DType::kF16;
+    m.attn_quad_layers = 0.5;
+    m.act_mb_per_seq = 6.0;
+    m.fixed_overhead_gb = 0.2;
+    catalog.push_back(m);
+  }
+  {
+    ModelSpec m;
+    m.key = "deepseek-qwen";
+    m.display = "Deepseek-Qwen";
+    m.hf_name = "deepseek-ai/DeepSeek-R1-Distill-Qwen-32B";
+    m.params_b = 32.8;
+    m.n_layers = 64;
+    m.d_model = 5120;
+    m.n_heads = 40;
+    m.n_kv_heads = 8;
+    m.d_ff = 27648;
+    m.vocab = 152064;
+    m.weight_gb_f32 = 124.0;
+    m.weight_gb_f16 = 62.0;
+    m.weight_gb_i8 = 34.3;
+    m.weight_gb_i4 = 18.7;
+    m.default_dtype = DType::kI8;  // only precision that fits
+    m.attn_quad_layers = 1.0;
+    m.act_mb_per_seq = 40.0;  // LLM.int8() fp16 activation copies + buffers
+    m.fixed_overhead_gb = 0.3;
+    catalog.push_back(m);
+  }
+
+  calibrate_catalog(catalog);
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<ModelSpec>& model_catalog() {
+  static const std::vector<ModelSpec> kCatalog = build_catalog();
+  return kCatalog;
+}
+
+const ModelSpec& model_by_key(const std::string& key) {
+  for (const auto& m : model_catalog()) {
+    if (m.key == key) return m;
+  }
+  ORINSIM_CHECK(false, "unknown model key: " + key);
+  return model_catalog().front();
+}
+
+}  // namespace orinsim::sim

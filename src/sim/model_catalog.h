@@ -1,0 +1,92 @@
+// Catalog of the four models the paper evaluates (Table 1), with their true
+// architecture hyper-parameters and measured on-device weight memory, plus
+// the calibration constants the timing/memory/power models consume.
+//
+// Calibration slots are populated by sim::calibrate_catalog() from the
+// paper's appendix anchors (see calibration.cpp for the exact procedure and
+// which measurements are fitted vs predicted).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/dtype.h"
+
+namespace orinsim::sim {
+
+struct ModelSpec {
+  // Identity
+  std::string key;      // "phi2", "llama3", "mistral", "deepseek-qwen"
+  std::string display;  // paper's label, e.g. "MS-Phi2"
+  std::string hf_name;  // HuggingFace model id
+
+  // Architecture (true values for the released checkpoints)
+  double params_b = 0.0;  // total parameters, billions
+  std::size_t n_layers = 0;
+  std::size_t d_model = 0;
+  std::size_t n_heads = 0;
+  std::size_t n_kv_heads = 0;
+  std::size_t d_ff = 0;
+  std::size_t vocab = 0;
+
+  // Peak weight memory on device, GB (paper Table 1; red estimates included).
+  double weight_gb_f32 = 0.0;
+  double weight_gb_f16 = 0.0;
+  double weight_gb_i8 = 0.0;
+  double weight_gb_i4 = 0.0;
+
+  // The precision the paper runs this model at in the performance studies
+  // (FP16 for all but DeepSeek-Qwen, which only fits at INT8).
+  DType default_dtype = DType::kF16;
+
+  // ---- Memory-model calibration ----
+  // Attention-score materialization expressed in "live layers": HF's eager
+  // attention path (Phi-2) keeps fp32 score tensors for every layer during
+  // prefill, SDPA-based models only a couple. Bytes modeled as
+  //   batch * n_heads * seq^2 * 4 * attn_quad_layers * 2 (scores + probs).
+  double attn_quad_layers = 1.0;
+  // Residual activation/workspace per sequence in the batch (MB).
+  double act_mb_per_seq = 8.0;
+  // Fixed allocator/CUDA-workspace growth when a workload starts (GB).
+  double fixed_overhead_gb = 0.3;
+
+  // ---- Timing calibration (filled by calibrate_catalog) ----
+  double bw_efficiency = 0.7;       // fraction of peak DRAM BW in decode
+  double compute_efficiency = 0.5;  // fraction of peak FP16 TFLOPS
+  double launch_ms = 3.0;           // per-decode-step host/launch cost at MaxN
+  double attn_kv_overhead = 10.0;   // eager-attention KV traffic multiplier
+  // End-to-end slowdown multipliers applied to (weight + compute) time,
+  // relative to FP16 at the same byte counts. FP32 is 1.0 (its cost shows up
+  // through doubled weight traffic); INT8/INT4 carry the BitsAndBytes
+  // dequantization overhead the paper measures (Fig 3: +62% for small
+  // models, ~+2% for Mistral).
+  double quant_slowdown_i8 = 2.0;
+  double quant_slowdown_i4 = 3.0;
+
+  // GPU utilization factor while computing under each quantization; the
+  // paper observes INT8 at ~60% GPU and INT4 at 100%, which drives the
+  // power gap between them (Fig 4).
+  double gpu_activity_i8 = 0.60;
+  double gpu_activity_i4 = 1.00;
+
+  double weight_gb(DType dt) const;
+  // KV-cache bytes per token per sequence. Default is the fp16 cache HF
+  // uses; int8_cache halves it (one byte per element plus per-vector
+  // scales), the extension study's KV-quantization axis.
+  double kv_bytes_per_token(bool int8_cache = false) const;
+  // FLOPs per token in a forward pass (~2 * params).
+  double flops_per_token() const;
+  // Approximate weight memory computed from the architecture (used by tests
+  // to validate the Table 1 numbers, not by the simulator itself).
+  double derived_weight_gb(DType dt) const;
+
+  double quant_slowdown(DType dt) const;
+  double gpu_activity(DType dt) const;
+};
+
+// The four-model catalog with calibration already applied.
+const std::vector<ModelSpec>& model_catalog();
+
+const ModelSpec& model_by_key(const std::string& key);
+
+}  // namespace orinsim::sim

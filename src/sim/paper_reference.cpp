@@ -1,0 +1,138 @@
+#include "sim/paper_reference.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/error.h"
+
+namespace orinsim::sim {
+
+namespace {
+constexpr double kOOM = std::numeric_limits<double>::quiet_NaN();
+}
+
+const std::vector<std::string>& reference_model_keys() {
+  static const std::vector<std::string> kKeys = {"phi2", "llama3", "mistral",
+                                                 "deepseek-qwen"};
+  return kKeys;
+}
+
+std::size_t reference_model_index(const std::string& key) {
+  const auto& keys = reference_model_keys();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] == key) return i;
+  }
+  ORINSIM_CHECK(false, "unknown reference model key: " + key);
+  return 0;
+}
+
+const std::vector<BatchSweepRow>& table4_batch_wikitext2() {
+  // Table 4: WikiText2, MaxN, sl=96 (32 in + 64 out), FP16 (DeepQ INT8).
+  static const std::vector<BatchSweepRow> kRows = {
+      {1, {6.18, 16.38, 47.33, 34.82}, {3.73, 6.37, 18.51, 43.25}, {25.45, 15.08, 5.19, 2.22}},
+      {2, {6.24, 16.42, 47.36, 35.24}, {3.95, 6.66, 18.30, 46.97}, {48.66, 28.82, 8.96, 4.09}},
+      {4, {6.36, 16.45, 47.44, 35.72}, {3.95, 6.87, 18.74, 48.97}, {96.24, 55.91, 20.49, 7.84}},
+      {8, {6.48, 16.53, 47.59, 36.76}, {3.95, 7.37, 19.54, 47.73}, {194.59, 104.27, 39.30, 16.09}},
+      {16, {6.87, 16.72, 47.74, 38.25}, {4.09, 8.33, 21.29, 69.81}, {375.88, 184.39, 72.16, 22.00}},
+      {32, {8.05, 17.12, 47.99, 40.87}, {5.19, 9.96, 39.12, 47.92}, {591.68, 308.47, 78.52, 64.11}},
+      {64, {11.57, 17.91, 48.77, 43.23}, {7.59, 14.04, 48.84, 61.05}, {809.96, 437.47, 125.79, 100.65}},
+      {128, {20.53, 19.26, 50.08, 44.35}, {12.85, 21.99, 66.53, 83.69}, {956.61, 558.87, 184.69, 146.83}},
+  };
+  return kRows;
+}
+
+const std::vector<BatchSweepRow>& table5_batch_longbench() {
+  // Table 5: LongBench, same configuration as Table 4.
+  static const std::vector<BatchSweepRow> kRows = {
+      {1, {6.09, 16.37, 47.77, 34.74}, {3.62, 6.36, 18.53, 43.42}, {26.54, 15.08, 5.18, 2.21}},
+      {2, {6.10, 16.46, 47.73, 35.11}, {3.64, 6.59, 18.30, 46.58}, {52.73, 29.13, 10.49, 4.12}},
+      {4, {6.13, 16.46, 47.89, 35.72}, {3.63, 6.77, 18.63, 48.11}, {105.72, 56.69, 20.61, 7.98}},
+      {8, {6.13, 16.53, 48.03, 36.94}, {3.65, 7.26, 19.43, 47.01}, {210.17, 105.84, 39.53, 16.34}},
+      {16, {6.22, 16.73, 48.18, 37.97}, {3.85, 8.19, 21.14, 69.13}, {398.99, 187.59, 72.66, 22.22}},
+      {32, {7.42, 17.14, 48.40, 39.76}, {4.93, 9.76, 39.05, 46.52}, {623.20, 314.60, 78.67, 66.04}},
+      {64, {10.94, 17.91, 49.10, 41.90}, {7.12, 13.65, 48.44, 58.86}, {863.01, 450.12, 126.83, 104.39}},
+      {128, {19.91, 19.27, 50.55, 43.06}, {11.97, 21.21, 65.83, 80.61}, {1026.76, 579.40, 186.67, 152.43}},
+  };
+  return kRows;
+}
+
+const std::vector<SeqSweepRow>& table6_seq_longbench() {
+  // Table 6: LongBench, bs=32, MaxN. Phi-2 OOM for sl >= 512.
+  static const std::vector<SeqSweepRow> kRows = {
+      {128, {6.97, 17.24, 48.24, 34.56}, {7.74, 15.09, 57.51, 97.72}, {529.04, 271.50, 71.22, 41.91}},
+      {256, {20.70, 18.26, 49.00, 39.58}, {21.26, 37.37, 123.64, 257.02}, {385.32, 219.21, 66.26, 31.88}},
+      {512, {kOOM, 21.17, 50.86, 42.17}, {kOOM, 101.02, 281.30, 679.31}, {kOOM, 162.18, 58.24, 24.12}},
+      {1024, {kOOM, 29.37, 54.48, 46.91}, {kOOM, 305.36, 694.74, 1646.36}, {kOOM, 107.31, 47.17, 19.90}},
+  };
+  return kRows;
+}
+
+const std::vector<SeqSweepRow>& table7_seq_wikitext2() {
+  // Table 7: WikiText2, bs=32, MaxN.
+  static const std::vector<SeqSweepRow> kRows = {
+      {128, {9.19, 17.20, 48.15, 40.49}, {7.74, 14.99, 57.35, 93.04}, {529.31, 273.18, 71.42, 44.03}},
+      {256, {19.98, 18.77, 49.00, 41.38}, {21.03, 37.23, 123.31, 249.24}, {389.48, 220.02, 66.43, 32.87}},
+      {512, {kOOM, 20.99, 50.81, 43.28}, {kOOM, 100.69, 280.48, 667.08}, {kOOM, 162.71, 58.41, 24.56}},
+      {1024, {kOOM, 29.13, 54.66, 46.10}, {kOOM, 304.33, 693.13, 1681.75}, {kOOM, 107.67, 47.28, 19.48}},
+  };
+  return kRows;
+}
+
+const std::vector<WeightMemoryRow>& table1_weight_memory() {
+  static const std::vector<WeightMemoryRow> kRows = {
+      {"phi2", {11.2, 5.6, 3.0, 1.8}},
+      {"llama3", {32.2, 16.1, 9.1, 5.6}},
+      {"mistral", {94.2, 47.1, 24.9, 13.8}},
+      {"deepseek-qwen", {124.0, 62.0, 34.3, 18.7}},
+  };
+  return kRows;
+}
+
+const std::vector<PerplexityRow>& table3_perplexity() {
+  static const std::vector<PerplexityRow> kRows = {
+      {"phi2", {9.12, 9.12, 9.34, 9.69}, {7.35, 7.35, 7.47, 7.65}},
+      {"llama3", {5.91, 5.91, 6.00, 6.30}, {5.77, 5.77, 5.80, 5.99}},
+      {"mistral", {kOOM, 4.99, 5.00, 5.08}, {kOOM, 4.95, 4.97, 5.11}},
+      {"deepseek-qwen", {kOOM, kOOM, 6.36, 6.48}, {kOOM, kOOM, 6.42, 6.53}},
+  };
+  return kRows;
+}
+
+const std::vector<QuantLatencyRatio>& quant_latency_ratios() {
+  // §3.3: "INT8 ... is slower by 62% than FP16" for Phi-2 and Llama;
+  // "For the larger Mistral-Base-24B, INT8 is within 2% of FP16 latency".
+  // INT4 ratios are derived from the appendix A.3 energy relations assuming
+  // comparable power draw between FP16 and INT4 (the paper reports INT4 at
+  // 100% GPU utilization, FP16 similar):
+  //   Llama: FP16 energy ~ 78% below INT4 median  => INT4 ~ 4.5x FP16 time.
+  //   Phi-2: INT8 energy 24% below FP16 and 55% below INT4
+  //          => INT4 ~ 1.69x FP16 time.
+  //   Mistral: INT4 energy ~ +57% vs FP16        => INT4 ~ 1.57x FP16 time.
+  // DeepSeek-Qwen cannot run FP16; its ratios are expressed vs INT8
+  // (int8_vs_fp16 slot holds 1.0 by convention, int4 slot holds the INT4/INT8
+  // ratio ~3.5x from the A.3 relation E4 = 4.5*E8 with P4/P8 = 1/0.77).
+  static const std::vector<QuantLatencyRatio> kRows = {
+      {"phi2", 1.62, 1.69},
+      {"llama3", 1.62, 4.50},
+      {"mistral", 1.02, 1.57},
+      {"deepseek-qwen", 1.00, 3.47},
+  };
+  return kRows;
+}
+
+const std::vector<PowerModeClaim>& fig5_power_mode_claims() {
+  // §3.4, Llama-3.1-8B, bs=32, sl=96.
+  static const std::vector<PowerModeClaim> kClaims = {
+      {"A", -0.28, +0.26},  // lower GPU freq: less power, modest slowdown
+      {"B", -0.51, +0.60},  // latency delta not quoted; energy rises vs MaxN
+      {"C", -0.30, +0.25},
+      {"D", -0.30, +0.25},  // paper groups C/D: "reduces power by 30%, latency +25%"
+      {"E", 0.00, +0.01},   // negligible
+      {"F", 0.00, +0.02},   // negligible
+      {"G", -0.20, +0.30},  // not quoted; intermediate between MaxN and H
+      {"H", -0.52, +3.70},
+  };
+  return kClaims;
+}
+
+}  // namespace orinsim::sim

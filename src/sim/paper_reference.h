@@ -1,0 +1,82 @@
+// Measured values transcribed from the paper, used for (a) calibrating the
+// simulator's per-model efficiency constants and (b) paper-vs-simulated
+// comparison columns in every bench binary and in EXPERIMENTS.md.
+//
+// Sources: Table 1 (weight memory), Tables 4/5 (batch sweep, WikiText2 /
+// LongBench), Tables 6/7 (sequence-length sweep, LongBench / WikiText2),
+// Table 3 (perplexity), and the quantitative claims of §3.3/§3.4 and the
+// appendix (quantization latency ratios, power-mode deltas).
+//
+// NaN marks OOM / not-measured cells.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace orinsim::sim {
+
+struct BatchSweepRow {
+  std::size_t batch_size;
+  // Per model (order: phi2, llama3, mistral, deepseek-qwen):
+  double ram_gb[4];
+  double latency_s[4];
+  double throughput_tps[4];
+};
+
+struct SeqSweepRow {
+  std::size_t seq_total;
+  double ram_gb[4];
+  double latency_s[4];
+  double throughput_tps[4];
+};
+
+// Order of the model columns in all reference tables.
+const std::vector<std::string>& reference_model_keys();
+std::size_t reference_model_index(const std::string& key);
+
+// Table 4 (WikiText2) / Table 5 (LongBench): bs = 1..128, sl = 96 (32+64),
+// MaxN, FP16 (DeepQ INT8). Latencies are seconds (the tables' "ms" header is
+// a typo; the text quotes the same numbers in seconds).
+const std::vector<BatchSweepRow>& table4_batch_wikitext2();
+const std::vector<BatchSweepRow>& table5_batch_longbench();
+
+// Table 6 (LongBench) / Table 7 (WikiText2): bs = 32, sl in {128,256,512,1024}.
+const std::vector<SeqSweepRow>& table6_seq_longbench();
+const std::vector<SeqSweepRow>& table7_seq_wikitext2();
+
+// Table 1: peak weight memory (GB) per precision, FP32/FP16/INT8/INT4.
+struct WeightMemoryRow {
+  std::string model_key;
+  double gb[4];  // F32, F16, I8, I4
+};
+const std::vector<WeightMemoryRow>& table1_weight_memory();
+
+// Table 3: perplexity per precision (FP32, FP16, INT8, INT4), NaN = OOM.
+struct PerplexityRow {
+  std::string model_key;
+  double wikitext2[4];
+  double longbench[4];
+};
+const std::vector<PerplexityRow>& table3_perplexity();
+
+// Quantization end-to-end latency ratios at bs=32, sl=96 relative to FP16
+// (from §3.3 and appendix A.3 energy/power relations). NaN = OOM at FP16
+// (DeepSeek ratios are relative to INT8 instead; see comment in .cpp).
+struct QuantLatencyRatio {
+  std::string model_key;
+  double int8_vs_fp16;
+  double int4_vs_fp16;
+};
+const std::vector<QuantLatencyRatio>& quant_latency_ratios();
+
+// §3.4 power-mode claims for Llama (relative to MaxN): instantaneous power
+// delta and latency delta. Used as shape targets, not calibration anchors.
+struct PowerModeClaim {
+  std::string mode;
+  double power_delta;    // e.g. -0.28 => 28% lower median power
+  double latency_delta;  // e.g. +0.26 => 26% higher latency
+};
+const std::vector<PowerModeClaim>& fig5_power_mode_claims();
+
+}  // namespace orinsim::sim

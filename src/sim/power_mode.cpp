@@ -1,0 +1,37 @@
+#include "sim/power_mode.h"
+
+#include <cctype>
+
+#include "core/error.h"
+
+namespace orinsim::sim {
+
+PowerMode power_mode_maxn() { return PowerMode{"MaxN", 1301.0, 2.2, 12, 3200.0}; }
+
+const std::vector<PowerMode>& all_power_modes() {
+  static const std::vector<PowerMode> kModes = {
+      {"MaxN", 1301.0, 2.2, 12, 3200.0},  //
+      {"A", 800.0, 2.2, 12, 3200.0},      // lower GPU freq
+      {"B", 400.0, 2.2, 12, 3200.0},      // lowest GPU freq
+      {"C", 1301.0, 1.7, 12, 3200.0},     // lower CPU freq
+      {"D", 1301.0, 1.2, 12, 3200.0},     // lowest CPU freq
+      {"E", 1301.0, 2.2, 8, 3200.0},      // fewer CPU cores
+      {"F", 1301.0, 2.2, 4, 3200.0},      // fewest CPU cores
+      {"G", 1301.0, 2.2, 12, 2133.0},     // lower memory freq
+      {"H", 1301.0, 2.2, 12, 665.0},      // lowest memory freq
+  };
+  return kModes;
+}
+
+PowerMode power_mode_by_name(const std::string& name) {
+  std::string upper;
+  for (char c : name) upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  if (upper == "MAXN" || upper == "MAX-N" || upper == "MAX") return power_mode_maxn();
+  for (const auto& pm : all_power_modes()) {
+    if (pm.name == upper) return pm;
+  }
+  ORINSIM_CHECK(false, "unknown power mode: " + name);
+  return power_mode_maxn();
+}
+
+}  // namespace orinsim::sim

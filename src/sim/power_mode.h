@@ -1,0 +1,28 @@
+// The nine power modes the paper evaluates (Table 2). Custom modes vary one
+// resource axis at a time against MaxN: GPU frequency (A, B), CPU frequency
+// (C, D), online CPU cores (E, F), and memory frequency (G, H).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace orinsim::sim {
+
+struct PowerMode {
+  std::string name;
+  double gpu_freq_mhz = 1301.0;
+  double cpu_freq_ghz = 2.2;
+  int cpu_cores_online = 12;
+  double mem_freq_mhz = 3200.0;
+};
+
+// MaxN (the default, fastest mode).
+PowerMode power_mode_maxn();
+
+// Mode by name: "MaxN", "A".."H" (case-insensitive).
+PowerMode power_mode_by_name(const std::string& name);
+
+// All nine modes in the paper's Table 2 order.
+const std::vector<PowerMode>& all_power_modes();
+
+}  // namespace orinsim::sim

@@ -1,0 +1,83 @@
+// DVFS power model of the Orin AGX under LLM inference.
+//
+// Total board power = idle + GPU + CPU + DRAM, with each dynamic component
+// scaled by its power-mode frequency and its activity during the phase:
+//
+//   gpu_w = gpu_dyn * (f_gpu/f_max)^gpu_exp *
+//           (compute_share * quant_activity + memory_share * stall_activity)
+//     - quant_activity: the paper observes INT8 kernels at ~60% GPU
+//       utilization vs 100% for INT4/FP16 (§3.3) — converted to a power
+//       activity via a superlinear utilization->power curve.
+//     - stall_activity: a memory-stalled GPU still burns scheduler power but
+//       far less than when executing (drives the PM-H power drop).
+//   cpu_w = cpu_dyn * (f_cpu/f_max)^cpu_exp * util * core_scale
+//     - util follows the model's CPU-boundness (the same sensitivity that
+//       stretches latency under PM-C/D).
+//   mem_w = mem_dyn * (f_mem/f_max) * (achieved bytes / peak bytes)
+//
+// Constants are chosen to land MaxN decode at ~45-55W (the Orin AGX's
+// envelope) and to reproduce the §3.4 relative deltas; see
+// tests/sim/power_model_test.cpp for the asserted targets.
+#pragma once
+
+#include "sim/device.h"
+#include "sim/model_catalog.h"
+#include "sim/power_mode.h"
+#include "sim/roofline.h"
+#include "tensor/dtype.h"
+
+namespace orinsim::sim {
+
+struct PowerModelParams {
+  double idle_w = 10.0;     // SoC + carrier board + RAM refresh + desktop
+  double gpu_dyn_w = 45.0;  // GPU dynamic power at max clock, full activity
+  double cpu_dyn_w = 22.0;  // 12-core cluster fully busy at 2.2 GHz
+  double mem_dyn_w = 9.0;   // DRAM interface at full bandwidth
+  double gpu_freq_exponent = 2.2;  // P ~ f V^2 with V roughly linear in f
+  double cpu_freq_exponent = 2.2;
+  double stall_activity = 0.30;      // GPU activity while memory-stalled
+  // Utilization -> power curve: 60%-utilized INT8 kernels must draw less
+  // than a memory-stalled FP16 pipeline (paper: INT8 power < FP16 at every
+  // batch size), hence 0.6^2.5 ~ 0.28 < stall_activity.
+  double activity_power_exponent = 2.5;
+  double board_cap_w = 62.0;         // thermal/electrical envelope
+};
+
+struct PowerEstimate {
+  double gpu_w = 0.0;
+  double cpu_w = 0.0;
+  double mem_w = 0.0;
+  double idle_w = 0.0;
+  double total_w() const { return gpu_w + cpu_w + mem_w + idle_w; }
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(const DeviceSpec& device = orin_agx_64gb(),
+                      PowerModelParams params = {})
+      : device_(device), params_(params) {}
+
+  const PowerModelParams& params() const noexcept { return params_; }
+
+  // Board power during a decode phase described by `step` (per-step
+  // breakdown at some context position). bytes_per_step: DRAM traffic per
+  // step (weights + KV), for the memory component.
+  PowerEstimate decode_power(const ModelSpec& m, DType dt, const StepBreakdown& step,
+                             const PowerMode& pm) const;
+
+  // Board power during prefill (compute-dominated, high GPU activity).
+  PowerEstimate prefill_power(const ModelSpec& m, DType dt, const PowerMode& pm) const;
+
+  // Idle power under a power mode (between runs).
+  double idle_w() const { return params_.idle_w; }
+
+ private:
+  double gpu_component(double compute_share, double mem_share, double quant_util,
+                       const PowerMode& pm) const;
+  double cpu_component(const ModelSpec& m, const PowerMode& pm, double util) const;
+
+  DeviceSpec device_;
+  PowerModelParams params_;
+};
+
+}  // namespace orinsim::sim

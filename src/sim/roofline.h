@@ -1,0 +1,99 @@
+// Roofline-style timing model of batched LLM inference on the Orin AGX.
+//
+// Decode (one token per sequence per step) is modeled as:
+//
+//   gpu_s  = (weight_s + compute_s) * quant_slowdown + kv_s + launch_s
+//   step_s = gpu_s * cpu_stretch(power_mode)
+//
+//   weight_s : all model weights stream from DRAM once per step (the
+//              defining property that makes decode memory-bound, §3.2/[11])
+//   kv_s     : KV-cache traffic, batch * kv_bytes/token * context position,
+//              multiplied by the calibrated eager-attention overhead factor
+//   compute_s: batch * 2*params FLOPs against the effective FP16 tensor-core
+//              throughput (FP32 runs on the CUDA-core peak instead)
+//   launch_s : per-step host/driver cost
+//   quant_slowdown: BitsAndBytes INT8/INT4 kernel inefficiency (§3.3)
+//   cpu_stretch: per-model sensitivity of step time to CPU frequency and
+//              online-core count (§3.4, PM-C/D/E/F)
+//
+// Prefill processes batch*input tokens in parallel GEMMs:
+//   prefill_s = max(flops / prefill_flops, weights / bw) * slowdown * stretch
+//
+// All efficiency constants live in ModelSpec and are fitted once by
+// calibration.cpp; see that file for what is anchored vs predicted.
+#pragma once
+
+#include "sim/device.h"
+#include "sim/model_catalog.h"
+#include "sim/power_mode.h"
+#include "tensor/dtype.h"
+
+namespace orinsim::sim {
+
+struct StepBreakdown {
+  double weight_s = 0.0;
+  double kv_s = 0.0;
+  double compute_s = 0.0;
+  double launch_s = 0.0;
+  double quant_extra_s = 0.0;  // extra time attributed to quantized kernels
+  double cpu_stretch_s = 0.0;  // extra time from CPU-side slowdown
+
+  double total_s() const {
+    return weight_s + kv_s + compute_s + launch_s + quant_extra_s + cpu_stretch_s;
+  }
+  // Fraction of the step spent moving bytes (used by the power model).
+  double memory_share() const {
+    const double t = total_s();
+    return t > 0.0 ? (weight_s + kv_s) / t : 0.0;
+  }
+  double compute_share() const {
+    const double t = total_s();
+    return t > 0.0 ? (compute_s + quant_extra_s) / t : 0.0;
+  }
+};
+
+// Per-model CPU sensitivity of step time (dimensionless, multiplies the
+// relative CPU slowdown). Catalog-level calibration data, exposed for tests.
+struct CpuSensitivity {
+  double freq = 0.4;   // step stretch per unit of (f_max/f - 1)
+  double cores = 0.01; // step stretch per unit of (12/cores - 1)
+};
+CpuSensitivity cpu_sensitivity(const ModelSpec& model);
+
+class RooflineEngine {
+ public:
+  explicit RooflineEngine(const DeviceSpec& device = orin_agx_64gb()) : device_(device) {}
+
+  const DeviceSpec& device() const noexcept { return device_; }
+
+  // Effective DRAM bandwidth (bytes/s) and compute throughput (FLOP/s) for a
+  // model under a power mode.
+  double effective_bw_bytes(const ModelSpec& m, const PowerMode& pm) const;
+  double effective_flops(const ModelSpec& m, DType dt, const PowerMode& pm) const;
+
+  // Multiplier >= 1 applied to step time from CPU frequency / core count.
+  double cpu_stretch(const ModelSpec& m, const PowerMode& pm) const;
+
+  // One decode step with every sequence at context position `ctx`.
+  // kv_cache_int8 halves KV traffic (at a small dequantization overhead).
+  StepBreakdown decode_step(const ModelSpec& m, DType dt, std::size_t batch, double ctx,
+                            const PowerMode& pm, bool kv_cache_int8 = false) const;
+
+  // Whole decode phase: out_tokens steps with context in_tokens..in+out-1.
+  // Uses the closed form for the KV sum (it is linear in position).
+  StepBreakdown decode_phase(const ModelSpec& m, DType dt, std::size_t batch,
+                             std::size_t in_tokens, std::size_t out_tokens,
+                             const PowerMode& pm, bool kv_cache_int8 = false) const;
+
+  // Prefill of batch*in_tokens prompt tokens.
+  double prefill_s(const ModelSpec& m, DType dt, std::size_t batch, std::size_t in_tokens,
+                   const PowerMode& pm) const;
+
+  // Fixed per-run overhead (tokenization, host setup), seconds.
+  double run_overhead_s() const { return 0.25; }
+
+ private:
+  DeviceSpec device_;
+};
+
+}  // namespace orinsim::sim

@@ -1,0 +1,50 @@
+#include "sim/speculative_sim.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "sim/roofline.h"
+
+namespace orinsim::sim {
+
+double expected_tokens_per_round(double acceptance, std::size_t draft_tokens) {
+  ORINSIM_CHECK(acceptance >= 0.0 && acceptance <= 1.0, "acceptance must be in [0,1]");
+  ORINSIM_CHECK(draft_tokens >= 1, "need at least one draft token");
+  if (acceptance >= 1.0) return static_cast<double>(draft_tokens) + 1.0;
+  // Sum_{i=0..K} a^i = (1 - a^(K+1)) / (1 - a): the accepted prefix plus the
+  // corrective/bonus token.
+  return (1.0 - std::pow(acceptance, static_cast<double>(draft_tokens) + 1.0)) /
+         (1.0 - acceptance);
+}
+
+SpeculativeEstimate estimate_speculative_speedup(const ModelSpec& target,
+                                                 DType target_dtype,
+                                                 const ModelSpec& draft,
+                                                 DType draft_dtype,
+                                                 std::size_t draft_tokens,
+                                                 double acceptance, double ctx,
+                                                 const PowerMode& pm) {
+  const RooflineEngine engine;
+  SpeculativeEstimate est;
+  est.tokens_per_round = expected_tokens_per_round(acceptance, draft_tokens);
+
+  // One plain target step (batch 1): the non-speculative baseline.
+  est.baseline_step_s = engine.decode_step(target, target_dtype, 1, ctx, pm).total_s();
+
+  // The verification pass evaluates K+1 positions of one sequence: same
+  // weight streaming, (K+1)x the compute and KV reads. decode_step with
+  // batch = K+1 has exactly that cost structure.
+  const double verify_s =
+      engine.decode_step(target, target_dtype, draft_tokens + 1, ctx, pm).total_s();
+  // K sequential draft steps.
+  const double draft_s =
+      static_cast<double>(draft_tokens) *
+      engine.decode_step(draft, draft_dtype, 1, ctx, pm).total_s();
+
+  est.round_cost_s = verify_s + draft_s;
+  est.draft_share = draft_s / est.round_cost_s;
+  est.speedup = est.tokens_per_round * est.baseline_step_s / est.round_cost_s;
+  return est;
+}
+
+}  // namespace orinsim::sim

@@ -1,0 +1,113 @@
+#include "sim/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace orinsim::sim {
+
+double ThermalModel::step_temperature(double temp_c, double power_w, double dt_s) const {
+  ORINSIM_CHECK(dt_s >= 0.0, "thermal step: negative dt");
+  // Exact solution of the linear RC over dt (stable for any dt).
+  const double t_eq = equilibrium_c(power_w);
+  const double alpha = std::exp(-dt_s / params_.tau_s);
+  return t_eq + (temp_c - t_eq) * alpha;
+}
+
+double ThermalModel::equilibrium_c(double power_w) const {
+  return params_.ambient_c + power_w * params_.r_th_c_per_w;
+}
+
+double ThermalModel::gpu_throttle(double temp_c) const {
+  if (temp_c <= params_.throttle_start_c) return 1.0;
+  if (temp_c >= params_.hard_limit_c) return params_.throttle_min_ratio;
+  const double span = params_.hard_limit_c - params_.throttle_start_c;
+  const double frac = (temp_c - params_.throttle_start_c) / span;
+  return 1.0 - frac * (1.0 - params_.throttle_min_ratio);
+}
+
+ThermalRunResult simulate_with_thermals(const SimRequest& request,
+                                        const ThermalParams& params,
+                                        double initial_temp_c) {
+  const ModelSpec& m = model_by_key(request.model_key);
+  const InferenceSim sim;
+  const RooflineEngine& roofline = sim.roofline();
+  const PowerModel& power = sim.power_model();
+  const ThermalModel thermal(params);
+
+  // Memory does not depend on thermals; take the OOM verdict and the ideal
+  // (non-thermal) latency from the plain simulator.
+  ThermalRunResult result;
+  {
+    SimRequest ideal = request;
+    ideal.noise_sigma = 0.0;
+    const SimResult r = sim.run(ideal);
+    ORINSIM_CHECK(!r.oom, "thermal run: workload OOMs");
+    result.ideal_latency_s = r.latency_s;
+  }
+
+  double temp = initial_temp_c < 0.0 ? params.ambient_c : initial_temp_c;
+  double now = 0.0;
+  double throttled_time = 0.0;
+  double next_sample = 0.0;
+
+  auto record = [&](double watts, double ratio) {
+    if (now >= next_sample) {
+      result.trace.push_back(ThermalSample{now, temp, watts, ratio});
+      next_sample += 2.0;
+    }
+    result.peak_temp_c = std::max(result.peak_temp_c, temp);
+  };
+
+  auto throttled_mode = [&](double ratio) {
+    PowerMode pm = request.power_mode;
+    pm.gpu_freq_mhz *= ratio;
+    return pm;
+  };
+
+  // Setup phase.
+  now += roofline.run_overhead_s();
+  temp = thermal.step_temperature(temp, power.idle_w() + 4.0, roofline.run_overhead_s());
+  record(power.idle_w() + 4.0, 1.0);
+
+  // Prefill under the current throttle (recomputed once; prefill is short
+  // relative to tau).
+  {
+    const double ratio = thermal.gpu_throttle(temp);
+    const PowerMode pm = throttled_mode(ratio);
+    const double dt = roofline.prefill_s(m, request.dtype, request.batch,
+                                         request.in_tokens, pm);
+    const double watts = power.prefill_power(m, request.dtype, pm).total_w();
+    result.energy_j += watts * dt;
+    temp = thermal.step_temperature(temp, watts, dt);
+    now += dt;
+    if (ratio < 1.0) throttled_time += dt;
+    record(watts, ratio);
+  }
+
+  // Decode: per-token feedback between temperature and throttle.
+  double decode_time = 0.0;
+  for (std::size_t t = 0; t < request.out_tokens; ++t) {
+    const double ratio = thermal.gpu_throttle(temp);
+    const PowerMode pm = throttled_mode(ratio);
+    const double ctx = static_cast<double>(request.in_tokens + t);
+    const StepBreakdown step = roofline.decode_step(m, request.dtype, request.batch, ctx,
+                                                    pm, request.kv_cache_int8);
+    const double dt = step.total_s();
+    const double watts = power.decode_power(m, request.dtype, step, pm).total_w();
+    result.energy_j += watts * dt;
+    temp = thermal.step_temperature(temp, watts, dt);
+    now += dt;
+    decode_time += dt;
+    if (ratio < 1.0) throttled_time += dt;
+    record(watts, ratio);
+  }
+
+  result.latency_s = now;
+  result.final_temp_c = temp;
+  result.throttled_fraction = decode_time > 0.0 ? throttled_time / (decode_time) : 0.0;
+  return result;
+}
+
+}  // namespace orinsim::sim

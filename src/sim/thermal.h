@@ -1,0 +1,89 @@
+// Thermal model: junction temperature dynamics and DVFS throttling under
+// sustained LLM inference load.
+//
+// The paper measures batches lasting up to ~28 minutes (DeepSeek at sl=1024,
+// Table 6) — long enough for the Orin's thermal state, not just its DVFS
+// setting, to shape latency. This extension models the junction with a
+// first-order RC network:
+//
+//     dT/dt = (P * R_th - (T - T_ambient)) / tau
+//
+// and a proportional throttle that scales the GPU clock down linearly once
+// the junction passes `throttle_start_c`, reaching `throttle_min_ratio` at
+// `hard_limit_c` (how nvpmodel/tegra thermal management behaves to first
+// order). Throttling feeds back: a slower GPU draws less power, which cools
+// the junction, which releases the throttle — the simulation converges to
+// the sustainable operating point.
+//
+// Two cooling presets bracket real deployments: the devkit's fan
+// (R_th ~ 1.0 C/W) and a fanless enclosure (R_th ~ 1.6 C/W), where MaxN LLM
+// load *does* throttle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/inference_sim.h"
+
+namespace orinsim::sim {
+
+struct ThermalParams {
+  double ambient_c = 25.0;
+  double r_th_c_per_w = 1.0;       // junction-to-ambient thermal resistance
+  double tau_s = 60.0;             // thermal time constant
+  double throttle_start_c = 85.0;  // soft-throttle onset
+  double hard_limit_c = 100.0;     // max junction temperature
+  double throttle_min_ratio = 0.4; // GPU clock floor under full throttle
+
+  static ThermalParams devkit_fan() { return ThermalParams{}; }
+  static ThermalParams fanless_enclosure() {
+    ThermalParams p;
+    p.r_th_c_per_w = 2.0;  // passive heatsink: ~40W sustained at 80C ambient delta
+    p.tau_s = 120.0;       // more thermal mass, slower to heat and cool
+    return p;
+  }
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalParams params = {}) : params_(params) {}
+
+  const ThermalParams& params() const noexcept { return params_; }
+
+  // One Euler step of the RC network.
+  double step_temperature(double temp_c, double power_w, double dt_s) const;
+
+  // Steady-state temperature at constant power.
+  double equilibrium_c(double power_w) const;
+
+  // GPU clock multiplier in [throttle_min_ratio, 1].
+  double gpu_throttle(double temp_c) const;
+
+ private:
+  ThermalParams params_;
+};
+
+struct ThermalSample {
+  double t_s = 0.0;
+  double temp_c = 0.0;
+  double power_w = 0.0;
+  double gpu_ratio = 1.0;
+};
+
+struct ThermalRunResult {
+  double latency_s = 0.0;        // thermally-throttled end-to-end latency
+  double ideal_latency_s = 0.0;  // what the non-thermal simulator predicts
+  double peak_temp_c = 0.0;
+  double final_temp_c = 0.0;
+  double throttled_fraction = 0.0;  // fraction of decode time spent throttled
+  double energy_j = 0.0;
+  std::vector<ThermalSample> trace;  // sampled every ~2s of simulated time
+};
+
+// Replays one batch run (prefill + decode) through the thermal feedback
+// loop, starting from ambient (cold start) or a given initial temperature.
+ThermalRunResult simulate_with_thermals(const SimRequest& request,
+                                        const ThermalParams& params,
+                                        double initial_temp_c = -1.0 /* ambient */);
+
+}  // namespace orinsim::sim

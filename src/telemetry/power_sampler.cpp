@@ -1,0 +1,69 @@
+#include "telemetry/power_sampler.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/stats.h"
+
+namespace orinsim::telemetry {
+
+void PowerSignal::append(double duration_s, double watts) {
+  ORINSIM_CHECK(duration_s >= 0.0, "PowerSignal: negative duration");
+  ORINSIM_CHECK(watts >= 0.0, "PowerSignal: negative power");
+  if (t_s.empty()) t_s.push_back(0.0);
+  if (duration_s == 0.0) return;
+  // Merge with the previous segment when power is identical.
+  if (!power_w.empty() && power_w.back() == watts) {
+    t_s.back() += duration_s;
+    return;
+  }
+  t_s.push_back(t_s.back() + duration_s);
+  power_w.push_back(watts);
+}
+
+double PowerSignal::duration_s() const { return t_s.empty() ? 0.0 : t_s.back(); }
+
+double PowerSignal::value_at(double t) const {
+  ORINSIM_CHECK(!power_w.empty(), "PowerSignal: empty");
+  if (t <= t_s.front()) return power_w.front();
+  if (t >= t_s.back()) return power_w.back();
+  // Find the segment containing t.
+  const auto it = std::upper_bound(t_s.begin(), t_s.end(), t);
+  const std::size_t seg = static_cast<std::size_t>(it - t_s.begin()) - 1;
+  return power_w[std::min(seg, power_w.size() - 1)];
+}
+
+double PowerSignal::exact_energy_j() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < power_w.size(); ++i) {
+    e += power_w[i] * (t_s[i + 1] - t_s[i]);
+  }
+  return e;
+}
+
+SampledTrace PowerSampler::sample(const PowerSignal& signal, Rng& rng) const {
+  ORINSIM_CHECK(period_s_ > 0.0, "PowerSampler: period must be positive");
+  SampledTrace trace;
+  const double end = signal.duration_s();
+  for (double t = 0.0; t < end; t += period_s_) {
+    double p = signal.value_at(t);
+    if (noise_sigma_ > 0.0) p *= 1.0 + noise_sigma_ * rng.normal();
+    trace.t_s.push_back(t);
+    trace.power_w.push_back(std::max(0.0, p));
+  }
+  // Always close the trace at the final instant.
+  double p_end = signal.value_at(end);
+  if (noise_sigma_ > 0.0) p_end *= 1.0 + noise_sigma_ * rng.normal();
+  trace.t_s.push_back(end);
+  trace.power_w.push_back(std::max(0.0, p_end));
+  return trace;
+}
+
+BatchPowerStats summarize(const SampledTrace& trace) {
+  BatchPowerStats stats;
+  stats.median_power_w = median(trace.power_w);
+  stats.energy_j = trapezoid_integral(trace.t_s, trace.power_w);
+  return stats;
+}
+
+}  // namespace orinsim::telemetry

@@ -1,0 +1,61 @@
+// jtop-style power telemetry over a (simulated or real) power signal.
+//
+// The paper's estimator pipeline, reproduced exactly:
+//  - power sampled every ~2 seconds during a batch
+//  - median power per batch reported as the power load
+//  - energy = trapezoidal integral of the samples over the batch, summed
+//    across batches
+// Gaussian measurement noise (seeded, deterministic) models sensor jitter so
+// the median/trapezoid estimators do real work in tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace orinsim::telemetry {
+
+// A piecewise-constant power signal: power_w[i] holds on [t_s[i], t_s[i+1]),
+// with one trailing timestamp marking the end of the signal.
+struct PowerSignal {
+  std::vector<double> t_s;      // segment boundaries, size = segments + 1
+  std::vector<double> power_w;  // size = segments
+
+  void append(double duration_s, double watts);
+  double duration_s() const;
+  double value_at(double t) const;
+  // Exact energy of the piecewise-constant signal (ground truth for tests).
+  double exact_energy_j() const;
+};
+
+struct SampledTrace {
+  std::vector<double> t_s;
+  std::vector<double> power_w;
+};
+
+class PowerSampler {
+ public:
+  // period_s: jtop default ~2s. noise_sigma: relative sensor noise (0.02 =
+  // 2%); pass 0 for exact sampling.
+  explicit PowerSampler(double period_s = 2.0, double noise_sigma = 0.02)
+      : period_s_(period_s), noise_sigma_(noise_sigma) {}
+
+  // Samples the signal at t = 0, period, 2*period, ..., always including the
+  // final instant so short batches still get >= 2 samples.
+  SampledTrace sample(const PowerSignal& signal, Rng& rng) const;
+
+ private:
+  double period_s_;
+  double noise_sigma_;
+};
+
+// The paper's reported statistics for one batch.
+struct BatchPowerStats {
+  double median_power_w = 0.0;
+  double energy_j = 0.0;  // trapezoid over the sampled trace
+};
+
+BatchPowerStats summarize(const SampledTrace& trace);
+
+}  // namespace orinsim::telemetry

@@ -1,0 +1,47 @@
+#include "telemetry/run_report.h"
+
+#include "core/error.h"
+
+namespace orinsim::telemetry {
+
+void RunAggregator::add(const RunMetrics& run) { runs_.push_back(run); }
+
+std::size_t RunAggregator::measured_count() const {
+  return runs_.size() > warmup_runs_ ? runs_.size() - warmup_runs_ : 0;
+}
+
+std::vector<RunMetrics> RunAggregator::measured() const {
+  if (runs_.size() <= warmup_runs_) return {};
+  return std::vector<RunMetrics>(runs_.begin() + static_cast<std::ptrdiff_t>(warmup_runs_),
+                                 runs_.end());
+}
+
+RunMetrics RunAggregator::mean() const {
+  const auto runs = measured();
+  ORINSIM_CHECK(!runs.empty(), "RunAggregator: no measured runs");
+  RunMetrics m;
+  for (const auto& r : runs) {
+    m.latency_s += r.latency_s;
+    m.throughput_tps += r.throughput_tps;
+    m.median_power_w += r.median_power_w;
+    m.energy_j += r.energy_j;
+  }
+  const double n = static_cast<double>(runs.size());
+  m.latency_s /= n;
+  m.throughput_tps /= n;
+  m.median_power_w /= n;
+  m.energy_j /= n;
+  return m;
+}
+
+double RunAggregator::latency_cv() const {
+  const auto runs = measured();
+  if (runs.size() < 2) return 0.0;
+  std::vector<double> lat;
+  lat.reserve(runs.size());
+  for (const auto& r : runs) lat.push_back(r.latency_s);
+  const double m = orinsim::mean(lat);
+  return m > 0.0 ? stddev(lat) / m : 0.0;
+}
+
+}  // namespace orinsim::telemetry

@@ -1,0 +1,42 @@
+// Aggregation of repeated measurement runs, mirroring the paper's protocol:
+// one warm-up run (discarded) followed by N measured runs, metrics averaged
+// across runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace orinsim::telemetry {
+
+struct RunMetrics {
+  double latency_s = 0.0;
+  double throughput_tps = 0.0;
+  double median_power_w = 0.0;
+  double energy_j = 0.0;
+};
+
+class RunAggregator {
+ public:
+  // warmup_runs are recorded but excluded from the aggregate.
+  explicit RunAggregator(std::size_t warmup_runs = 1) : warmup_runs_(warmup_runs) {}
+
+  void add(const RunMetrics& run);
+
+  std::size_t measured_count() const;
+  std::size_t total_count() const noexcept { return runs_.size(); }
+
+  // Mean metrics across measured (non-warmup) runs.
+  RunMetrics mean() const;
+  // Relative spread (stddev/mean) of latency across measured runs.
+  double latency_cv() const;
+
+ private:
+  std::vector<RunMetrics> measured() const;
+  std::size_t warmup_runs_;
+  std::vector<RunMetrics> runs_;
+};
+
+}  // namespace orinsim::telemetry

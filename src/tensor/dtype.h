@@ -1,0 +1,54 @@
+// Numeric precisions used throughout the study. Matches the paper's axis:
+// FP32, FP16, INT8 (LLM.int8() row-wise absmax) and INT4 (block-wise).
+#pragma once
+
+#include <string>
+
+#include "core/error.h"
+
+namespace orinsim {
+
+enum class DType { kF32, kF16, kI8, kI4 };
+
+// Bytes per weight element, fractional for INT4 (two weights per byte plus a
+// per-block scale amortized in QuantizedMatrix, not here).
+constexpr double dtype_bytes(DType dt) {
+  switch (dt) {
+    case DType::kF32:
+      return 4.0;
+    case DType::kF16:
+      return 2.0;
+    case DType::kI8:
+      return 1.0;
+    case DType::kI4:
+      return 0.5;
+  }
+  return 4.0;
+}
+
+inline std::string dtype_name(DType dt) {
+  switch (dt) {
+    case DType::kF32:
+      return "FP32";
+    case DType::kF16:
+      return "FP16";
+    case DType::kI8:
+      return "INT8";
+    case DType::kI4:
+      return "INT4";
+  }
+  return "?";
+}
+
+inline DType parse_dtype(const std::string& name) {
+  if (name == "FP32" || name == "fp32" || name == "f32") return DType::kF32;
+  if (name == "FP16" || name == "fp16" || name == "f16") return DType::kF16;
+  if (name == "INT8" || name == "int8" || name == "i8") return DType::kI8;
+  if (name == "INT4" || name == "int4" || name == "i4") return DType::kI4;
+  ORINSIM_CHECK(false, "unknown dtype: " + name);
+  return DType::kF32;
+}
+
+inline constexpr DType kAllDTypes[] = {DType::kF32, DType::kF16, DType::kI8, DType::kI4};
+
+}  // namespace orinsim

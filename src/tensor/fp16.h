@@ -1,0 +1,75 @@
+// Software IEEE-754 binary16 ("half") conversion.
+//
+// The functional engine stores FP16 weights as raw uint16 and converts at the
+// kernel boundary, matching how a GPU runtime would stream half weights
+// through fp32 accumulators. Conversion is round-to-nearest-even with proper
+// subnormal, infinity and NaN handling.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace orinsim {
+
+using fp16_t = std::uint16_t;
+
+constexpr fp16_t float_to_fp16(float value) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t exp = (bits >> 23) & 0xFFu;
+  std::uint32_t mant = bits & 0x7FFFFFu;
+
+  if (exp == 0xFF) {  // Inf / NaN
+    return static_cast<fp16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+  // Re-bias exponent: fp32 bias 127 -> fp16 bias 15.
+  const int new_exp = static_cast<int>(exp) - 127 + 15;
+  if (new_exp >= 0x1F) {  // overflow -> inf
+    return static_cast<fp16_t>(sign | 0x7C00u);
+  }
+  if (new_exp <= 0) {  // subnormal or zero
+    if (new_exp < -10) return static_cast<fp16_t>(sign);  // underflow to zero
+    mant |= 0x800000u;                                    // implicit leading 1
+    const int shift = 14 - new_exp;                       // 14..24
+    std::uint32_t half_mant = mant >> shift;
+    // Round to nearest even on the bits shifted out.
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<fp16_t>(sign | half_mant);
+  }
+  // Normal case: keep top 10 mantissa bits, round to nearest even.
+  std::uint32_t half = sign | (static_cast<std::uint32_t>(new_exp) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;  // may carry into exponent: OK
+  return static_cast<fp16_t>(half);
+}
+
+constexpr float fp16_to_float(fp16_t half) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(half) & 0x8000u) << 16;
+  const std::uint32_t exp = (half >> 10) & 0x1Fu;
+  const std::uint32_t mant = half & 0x3FFu;
+
+  std::uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // +-0
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1F) {
+    bits = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+}  // namespace orinsim

@@ -1,0 +1,193 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace orinsim::kernels {
+
+namespace {
+// Rows below this threshold run serially; OpenMP fork/join costs more than it
+// saves on tiny batches.
+constexpr std::size_t kParallelRowThreshold = 8;
+}  // namespace
+
+void add_bias(std::span<float> x, std::span<const float> bias, std::size_t rows,
+              std::size_t cols) {
+  ORINSIM_CHECK(x.size() == rows * cols && bias.size() == cols, "add_bias: shape mismatch");
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* xr = x.data() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) xr[c] += bias[c];
+  }
+}
+
+void add_inplace(std::span<float> y, std::span<const float> x) {
+  ORINSIM_CHECK(y.size() == x.size(), "add_inplace: size mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += x[i];
+}
+
+void scale_inplace(std::span<float> x, float factor) {
+  for (auto& v : x) v *= factor;
+}
+
+void softmax_rows(std::span<float> x, std::size_t rows, std::size_t cols) {
+  ORINSIM_CHECK(x.size() == rows * cols, "softmax: shape mismatch");
+#pragma omp parallel for if (rows >= kParallelRowThreshold)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+    float* xr = x.data() + static_cast<std::size_t>(r) * cols;
+    float mx = xr[0];
+    for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      xr[c] = std::exp(xr[c] - mx);
+      sum += xr[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t c = 0; c < cols; ++c) xr[c] *= inv;
+  }
+}
+
+void rmsnorm_rows(std::span<const float> x, std::span<const float> gain, std::span<float> y,
+                  std::size_t rows, std::size_t cols, float eps) {
+  ORINSIM_CHECK(x.size() == rows * cols && y.size() == x.size() && gain.size() == cols,
+                "rmsnorm: shape mismatch");
+#pragma omp parallel for if (rows >= kParallelRowThreshold)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+    const float* xr = x.data() + static_cast<std::size_t>(r) * cols;
+    float* yr = y.data() + static_cast<std::size_t>(r) * cols;
+    double ss = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) ss += static_cast<double>(xr[c]) * xr[c];
+    const float inv_rms =
+        1.0f / std::sqrt(static_cast<float>(ss / static_cast<double>(cols)) + eps);
+    for (std::size_t c = 0; c < cols; ++c) yr[c] = xr[c] * inv_rms * gain[c];
+  }
+}
+
+void layernorm_rows(std::span<const float> x, std::span<const float> gain,
+                    std::span<const float> bias, std::span<float> y, std::size_t rows,
+                    std::size_t cols, float eps) {
+  ORINSIM_CHECK(x.size() == rows * cols && y.size() == x.size() && gain.size() == cols &&
+                    bias.size() == cols,
+                "layernorm: shape mismatch");
+#pragma omp parallel for if (rows >= kParallelRowThreshold)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+    const float* xr = x.data() + static_cast<std::size_t>(r) * cols;
+    float* yr = y.data() + static_cast<std::size_t>(r) * cols;
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) sum += xr[c];
+    const double m = sum / static_cast<double>(cols);
+    double var = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) var += (xr[c] - m) * (xr[c] - m);
+    var /= static_cast<double>(cols);
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    for (std::size_t c = 0; c < cols; ++c) {
+      yr[c] = (xr[c] - static_cast<float>(m)) * inv * gain[c] + bias[c];
+    }
+  }
+}
+
+void silu_inplace(std::span<float> x) {
+  for (auto& v : x) v = v / (1.0f + std::exp(-v));
+}
+
+void gelu_inplace(std::span<float> x) {
+  constexpr float kSqrt2OverPi = 0.7978845608f;
+  for (auto& v : x) {
+    const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+    v = 0.5f * v * (1.0f + std::tanh(inner));
+  }
+}
+
+void swiglu(std::span<const float> gate, std::span<const float> up, std::span<float> out) {
+  ORINSIM_CHECK(gate.size() == up.size() && out.size() == gate.size(), "swiglu: size mismatch");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float g = gate[i] / (1.0f + std::exp(-gate[i]));
+    out[i] = g * up[i];
+  }
+}
+
+void rope_inplace(std::span<float> qk, std::size_t heads, std::size_t head_dim,
+                  std::size_t pos, float theta_base) {
+  ORINSIM_CHECK(qk.size() == heads * head_dim, "rope: shape mismatch");
+  ORINSIM_CHECK(head_dim % 2 == 0, "rope: head_dim must be even");
+  for (std::size_t h = 0; h < heads; ++h) {
+    float* v = qk.data() + h * head_dim;
+    for (std::size_t i = 0; i < head_dim; i += 2) {
+      const float freq =
+          std::pow(theta_base, -static_cast<float>(i) / static_cast<float>(head_dim));
+      const float angle = static_cast<float>(pos) * freq;
+      const float cs = std::cos(angle);
+      const float sn = std::sin(angle);
+      const float x0 = v[i];
+      const float x1 = v[i + 1];
+      v[i] = x0 * cs - x1 * sn;
+      v[i + 1] = x0 * sn + x1 * cs;
+    }
+  }
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  ORINSIM_DCHECK(a.size() == b.size(), "dot: size mismatch");
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void matvec(std::span<const float> a, std::span<const float> x, std::span<float> out,
+            std::size_t rows, std::size_t cols) {
+  ORINSIM_CHECK(a.size() == rows * cols && x.size() == cols && out.size() == rows,
+                "matvec: shape mismatch");
+#pragma omp parallel for if (rows >= 64)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+    const float* ar = a.data() + static_cast<std::size_t>(r) * cols;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) acc += ar[c] * x[c];
+    out[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
+          std::size_t m, std::size_t k, std::size_t n) {
+  ORINSIM_CHECK(a.size() == m * k && b.size() == k * n && c.size() == m * n,
+                "gemm: shape mismatch");
+  std::fill(c.begin(), c.end(), 0.0f);
+  constexpr std::size_t kBlock = 64;
+#pragma omp parallel for if (m >= kParallelRowThreshold)
+  for (std::ptrdiff_t i0s = 0; i0s < static_cast<std::ptrdiff_t>(m); i0s += kBlock) {
+    const std::size_t i0 = static_cast<std::size_t>(i0s);
+    const std::size_t i_end = std::min(i0 + kBlock, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
+      const std::size_t p_end = std::min(p0 + kBlock, k);
+      for (std::size_t i = i0; i < i_end; ++i) {
+        const float* ai = a.data() + i * k;
+        float* ci = c.data() + i * n;
+        for (std::size_t p = p0; p < p_end; ++p) {
+          const float av = ai[p];
+          const float* bp = b.data() + p * n;
+          for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+        }
+      }
+    }
+  }
+}
+
+std::size_t argmax(std::span<const float> x) {
+  ORINSIM_CHECK(!x.empty(), "argmax of empty span");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+double logsumexp(std::span<const float> x) {
+  ORINSIM_CHECK(!x.empty(), "logsumexp of empty span");
+  float mx = x[0];
+  for (float v : x) mx = std::max(mx, v);
+  double sum = 0.0;
+  for (float v : x) sum += std::exp(static_cast<double>(v) - mx);
+  return static_cast<double>(mx) + std::log(sum);
+}
+
+}  // namespace orinsim::kernels

@@ -1,0 +1,71 @@
+// FP32 compute kernels for the functional transformer engine.
+//
+// Conventions:
+//  - Activations are row-major [tokens, features] spans.
+//  - All kernels are pure functions over spans; OpenMP-parallel over rows
+//    where the row count justifies it.
+//  - Weight matmuls live in quant/ (they dispatch on storage precision);
+//    these kernels cover everything else in a transformer block.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace orinsim::kernels {
+
+// y = x + b (broadcast bias over rows). x: [rows, cols], b: [cols].
+void add_bias(std::span<float> x, std::span<const float> bias, std::size_t rows,
+              std::size_t cols);
+
+// Element-wise y += x.
+void add_inplace(std::span<float> y, std::span<const float> x);
+
+// Element-wise scale.
+void scale_inplace(std::span<float> x, float factor);
+
+// In-place row-wise softmax over [rows, cols] with numerical stabilization.
+void softmax_rows(std::span<float> x, std::size_t rows, std::size_t cols);
+
+// RMSNorm (Llama-style): y = x / rms(x) * gain, per row.
+void rmsnorm_rows(std::span<const float> x, std::span<const float> gain,
+                  std::span<float> y, std::size_t rows, std::size_t cols, float eps = 1e-5f);
+
+// LayerNorm (Phi-style): y = (x - mean) / sqrt(var + eps) * gain + bias, per row.
+void layernorm_rows(std::span<const float> x, std::span<const float> gain,
+                    std::span<const float> bias, std::span<float> y, std::size_t rows,
+                    std::size_t cols, float eps = 1e-5f);
+
+// SiLU (x * sigmoid(x)) applied element-wise.
+void silu_inplace(std::span<float> x);
+
+// GELU (tanh approximation) applied element-wise.
+void gelu_inplace(std::span<float> x);
+
+// SwiGLU gating: out[i] = silu(gate[i]) * up[i].
+void swiglu(std::span<const float> gate, std::span<const float> up, std::span<float> out);
+
+// Rotary position embedding applied in-place to a [heads, head_dim] block for
+// one token at absolute position pos. head_dim must be even; rotates pairs
+// (2i, 2i+1) with theta-base frequencies (Llama convention).
+void rope_inplace(std::span<float> qk, std::size_t heads, std::size_t head_dim,
+                  std::size_t pos, float theta_base = 10000.0f);
+
+// Dot product (fp32 accumulate).
+float dot(std::span<const float> a, std::span<const float> b);
+
+// out[r] = sum_c a[r,c]*b[c]; generic fp32 matvec used in attention.
+void matvec(std::span<const float> a, std::span<const float> x, std::span<float> out,
+            std::size_t rows, std::size_t cols);
+
+// Plain fp32 GEMM: C[m,n] = A[m,k] * B[k,n]. Blocked + OpenMP. Used by tests
+// as the reference for quantized matmuls and by the trainer.
+void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
+          std::size_t m, std::size_t k, std::size_t n);
+
+// argmax over a span; ties resolve to the lowest index.
+std::size_t argmax(std::span<const float> x);
+
+// log-sum-exp of a span (stable); building block for cross-entropy.
+double logsumexp(std::span<const float> x);
+
+}  // namespace orinsim::kernels

@@ -1,0 +1,57 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+
+namespace orinsim {
+
+void Tensor::reshape(std::span<const std::size_t> dims) {
+  ORINSIM_CHECK(dims.size() >= 1 && dims.size() <= kMaxRank, "tensor rank must be 1..4");
+  std::size_t total = 1;
+  for (std::size_t d : dims) {
+    ORINSIM_CHECK(d > 0, "tensor dims must be positive");
+    total *= d;
+  }
+  rank_ = dims.size();
+  std::copy(dims.begin(), dims.end(), dims_.begin());
+  data_.assign(total, 0.0f);
+}
+
+std::span<float> Tensor::row(std::size_t r) {
+  ORINSIM_CHECK(rank_ == 2, "row() requires a 2-D tensor");
+  ORINSIM_CHECK(r < dims_[0], "row out of range");
+  return std::span<float>(data_.data() + r * dims_[1], dims_[1]);
+}
+
+std::span<const float> Tensor::row(std::size_t r) const {
+  ORINSIM_CHECK(rank_ == 2, "row() requires a 2-D tensor");
+  ORINSIM_CHECK(r < dims_[0], "row out of range");
+  return std::span<const float>(data_.data() + r * dims_[1], dims_[1]);
+}
+
+float& Tensor::at2(std::size_t i0, std::size_t i1) {
+  ORINSIM_DCHECK(rank_ == 2, "at2 requires rank 2");
+  return data_[check_index(i0 * dims_[1] + i1)];
+}
+
+float Tensor::at2(std::size_t i0, std::size_t i1) const {
+  ORINSIM_DCHECK(rank_ == 2, "at2 requires rank 2");
+  return data_[check_index(i0 * dims_[1] + i1)];
+}
+
+float& Tensor::at3(std::size_t i0, std::size_t i1, std::size_t i2) {
+  ORINSIM_DCHECK(rank_ == 3, "at3 requires rank 3");
+  return data_[check_index((i0 * dims_[1] + i1) * dims_[2] + i2)];
+}
+
+float Tensor::at3(std::size_t i0, std::size_t i1, std::size_t i2) const {
+  ORINSIM_DCHECK(rank_ == 3, "at3 requires rank 3");
+  return data_[check_index((i0 * dims_[1] + i1) * dims_[2] + i2)];
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::randn(Rng& rng, float stddev) {
+  for (auto& v : data_) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+}  // namespace orinsim

@@ -1,0 +1,73 @@
+// A minimal dense FP32 tensor for the functional engine's activations.
+//
+// Weights are NOT stored here — they live in quant::WeightMatrix, which owns
+// per-precision storage. Activations always compute in FP32 (the LLM.int8()
+// convention: quantized weights, higher-precision accumulation), so a single
+// float container with shape bookkeeping suffices and keeps kernels simple.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace orinsim {
+
+class Tensor {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Tensor() = default;
+  explicit Tensor(std::initializer_list<std::size_t> dims) { reshape(dims); }
+  explicit Tensor(std::span<const std::size_t> dims) { reshape(dims); }
+
+  void reshape(std::initializer_list<std::size_t> dims) {
+    reshape(std::span<const std::size_t>(dims.begin(), dims.size()));
+  }
+  void reshape(std::span<const std::size_t> dims);
+
+  std::size_t rank() const noexcept { return rank_; }
+  std::size_t dim(std::size_t i) const {
+    ORINSIM_DCHECK(i < rank_, "dim index out of range");
+    return dims_[i];
+  }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+  float* raw() noexcept { return data_.data(); }
+  const float* raw() const noexcept { return data_.data(); }
+
+  // Row view for 2-D tensors: row r of a [rows, cols] tensor.
+  std::span<float> row(std::size_t r);
+  std::span<const float> row(std::size_t r) const;
+
+  float& at(std::size_t i0) { return data_[check_index(i0)]; }
+  float at(std::size_t i0) const { return data_[check_index(i0)]; }
+  float& at2(std::size_t i0, std::size_t i1);
+  float at2(std::size_t i0, std::size_t i1) const;
+  float& at3(std::size_t i0, std::size_t i1, std::size_t i2);
+  float at3(std::size_t i0, std::size_t i1, std::size_t i2) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+  // Gaussian init with given stddev (transformer-style init).
+  void randn(Rng& rng, float stddev);
+
+ private:
+  std::size_t check_index(std::size_t i) const {
+    ORINSIM_DCHECK(i < data_.size(), "tensor index out of range");
+    return i;
+  }
+
+  std::array<std::size_t, kMaxRank> dims_ = {};
+  std::size_t rank_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace orinsim

@@ -1,0 +1,103 @@
+#include "tokenizer/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/error.h"
+
+namespace orinsim {
+
+std::vector<std::string> Tokenizer::pretokenize(std::string_view text) {
+  std::vector<std::string> pieces;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      pieces.push_back(current);
+      current.clear();
+    }
+  };
+  for (char ch : text) {
+    const auto uc = static_cast<unsigned char>(ch);
+    if (std::isspace(uc)) {
+      flush();
+    } else if (std::isalnum(uc) || ch == '\'' || ch == '-') {
+      current.push_back(ch);
+    } else {
+      // Punctuation becomes its own piece.
+      flush();
+      pieces.emplace_back(1, ch);
+    }
+  }
+  flush();
+  return pieces;
+}
+
+Tokenizer Tokenizer::train(std::string_view corpus, std::size_t max_words) {
+  std::unordered_map<std::string, std::size_t> counts;
+  for (auto& piece : pretokenize(corpus)) ++counts[piece];
+
+  std::vector<std::pair<std::string, std::size_t>> ranked(counts.begin(), counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  if (ranked.size() > max_words) ranked.resize(max_words);
+
+  Tokenizer t;
+  t.words_.reserve(ranked.size());
+  for (auto& [word, _] : ranked) {
+    t.word_to_id_.emplace(word, static_cast<TokenId>(kWordBase + t.words_.size()));
+    t.words_.push_back(word);
+  }
+  return t;
+}
+
+std::vector<TokenId> Tokenizer::encode(std::string_view text, bool add_bos) const {
+  std::vector<TokenId> out;
+  if (add_bos) out.push_back(kBos);
+  for (auto& piece : pretokenize(text)) {
+    auto it = word_to_id_.find(piece);
+    if (it != word_to_id_.end()) {
+      out.push_back(it->second);
+    } else {
+      for (char ch : piece) {
+        out.push_back(kByteBase + static_cast<unsigned char>(ch));
+      }
+    }
+  }
+  return out;
+}
+
+std::string Tokenizer::decode(const std::vector<TokenId>& tokens) const {
+  std::string out;
+  bool pending_space = false;
+  bool prev_was_byte = false;
+  for (TokenId id : tokens) {
+    if (id == kBos || id == kEos || id == kUnk) continue;
+    const std::string piece = token_text(id);
+    const bool is_byte = id >= kByteBase && id < kWordBase;
+    const bool is_punct =
+        piece.size() == 1 && !std::isalnum(static_cast<unsigned char>(piece[0]));
+    // Byte-fallback runs re-join without spaces (they were one word piece).
+    const bool glue = is_byte && prev_was_byte;
+    if (pending_space && !is_punct && !glue) out.push_back(' ');
+    out += piece;
+    pending_space = true;
+    prev_was_byte = is_byte;
+  }
+  return out;
+}
+
+std::string Tokenizer::token_text(TokenId id) const {
+  if (id == kUnk) return "<unk>";
+  if (id == kBos) return "<bos>";
+  if (id == kEos) return "<eos>";
+  if (id < kWordBase) {
+    return std::string(1, static_cast<char>(id - kByteBase));
+  }
+  const std::size_t idx = id - kWordBase;
+  ORINSIM_CHECK(idx < words_.size(), "token id out of range");
+  return words_[idx];
+}
+
+}  // namespace orinsim

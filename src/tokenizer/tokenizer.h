@@ -1,0 +1,56 @@
+// Word-level tokenizer with byte fallback, built from a training corpus.
+//
+// The study's datasets enter the pipeline as token streams; a full BPE is
+// unnecessary because the synthetic corpora have a closed vocabulary. The
+// tokenizer still handles out-of-vocabulary text by falling back to byte
+// tokens so encode() is total over arbitrary strings.
+//
+// Token id layout:
+//   [0]                      <unk>   (never produced by encode; reserved)
+//   [1]                      <bos>
+//   [2]                      <eos>
+//   [3 .. 3+255]             byte fallback tokens
+//   [259 .. 259+vocab-1]     learned word tokens (most frequent first)
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace orinsim {
+
+using TokenId = std::uint32_t;
+
+class Tokenizer {
+ public:
+  static constexpr TokenId kUnk = 0;
+  static constexpr TokenId kBos = 1;
+  static constexpr TokenId kEos = 2;
+  static constexpr TokenId kByteBase = 3;
+  static constexpr TokenId kWordBase = 3 + 256;
+
+  // Builds a vocabulary of the max_words most frequent whitespace-separated
+  // words in the corpus (punctuation is split off as separate words).
+  static Tokenizer train(std::string_view corpus, std::size_t max_words);
+
+  std::size_t vocab_size() const noexcept { return kWordBase + words_.size(); }
+  std::size_t word_count() const noexcept { return words_.size(); }
+
+  std::vector<TokenId> encode(std::string_view text, bool add_bos = false) const;
+  std::string decode(const std::vector<TokenId>& tokens) const;
+
+  // The surface form of a single token (bytes render as latin-1 chars).
+  std::string token_text(TokenId id) const;
+
+  bool is_word(TokenId id) const noexcept { return id >= kWordBase; }
+
+  // Splits text into word-ish pieces (words, numbers, punctuation runs).
+  static std::vector<std::string> pretokenize(std::string_view text);
+
+ private:
+  std::vector<std::string> words_;                       // id - kWordBase -> text
+  std::unordered_map<std::string, TokenId> word_to_id_;  // text -> id
+};
+
+}  // namespace orinsim

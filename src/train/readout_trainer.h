@@ -1,0 +1,55 @@
+// Readout training: turns a random-body transformer into a genuine language
+// model over the synthetic corpora (reservoir-computing style).
+//
+// The transformer body stays frozen; the LM head is trained with Adam on
+// next-token cross-entropy, using hidden features extracted once from the
+// FP32 body. This yields models whose perplexity (a) beats the unigram
+// baseline (the body's contextual features carry information) and (b)
+// degrades measurably when the body is then quantized — exactly the effect
+// Table 3 of the paper measures on pretrained LLMs.
+//
+// Why not full backprop? The paper needs a *trained predictor whose features
+// shift under weight quantization*; how the predictor was trained is
+// irrelevant to the quantization study, and a frozen-body readout trains in
+// seconds on CPU while exercising the same inference path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace orinsim::train {
+
+struct TrainConfig {
+  std::size_t epochs = 8;
+  std::size_t minibatch = 64;
+  float learning_rate = 0.003f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 1e-4f;
+  std::size_t max_tokens = 24000;   // training stream truncation
+  std::size_t context_window = 192; // feature-extraction window (fresh cache per window)
+  std::uint64_t seed = 1234;
+};
+
+struct TrainReport {
+  std::vector<double> epoch_loss;   // mean cross-entropy per epoch (nats)
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+  std::size_t train_tokens = 0;
+};
+
+// Trains master.lm_head in place. The FP32 body of `master` provides the
+// features; later Models built from this master (at any precision) share the
+// trained head.
+TrainReport train_readout(MasterWeights& master, const std::vector<TokenId>& tokens,
+                          const TrainConfig& config);
+
+// Mean cross-entropy (nats/token) of the *unigram* distribution of `tokens`
+// over a vocab of the given size (Laplace-smoothed). exp() of this is the
+// perplexity floor any contextual model should beat.
+double unigram_cross_entropy(const std::vector<TokenId>& tokens, std::size_t vocab);
+
+}  // namespace orinsim::train

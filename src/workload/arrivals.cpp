@@ -1,0 +1,86 @@
+#include "workload/arrivals.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/stats.h"
+
+namespace orinsim::workload {
+
+namespace {
+
+double exponential(Rng& rng, double rate) {
+  double u = rng.uniform();
+  while (u <= 1e-15) u = rng.uniform();
+  return -std::log(u) / rate;
+}
+
+}  // namespace
+
+std::vector<double> generate_arrivals(const ArrivalSpec& spec, std::size_t count) {
+  ORINSIM_CHECK(spec.rate_rps > 0.0, "arrivals: rate must be positive");
+  ORINSIM_CHECK(spec.burst_factor >= 1.0, "arrivals: burst factor must be >= 1");
+  std::vector<double> out;
+  out.reserve(count);
+  Rng rng(spec.seed);
+
+  switch (spec.kind) {
+    case ArrivalKind::kDeterministic: {
+      const double spacing = 1.0 / spec.rate_rps;
+      for (std::size_t i = 0; i < count; ++i) out.push_back(static_cast<double>(i) * spacing);
+      break;
+    }
+    case ArrivalKind::kPoisson: {
+      double t = 0.0;
+      for (std::size_t i = 0; i < count; ++i) {
+        t += exponential(rng, spec.rate_rps);
+        out.push_back(t);
+      }
+      break;
+    }
+    case ArrivalKind::kBursty: {
+      // Two-phase MMPP. Phase rates are chosen so their time-weighted mean
+      // (equal mean phase durations) equals spec.rate_rps and their ratio is
+      // burst_factor: hi = 2rb/(b+1), lo = 2r/(b+1).
+      const double hi =
+          2.0 * spec.rate_rps * spec.burst_factor / (spec.burst_factor + 1.0);
+      const double lo = 2.0 * spec.rate_rps / (spec.burst_factor + 1.0);
+      double t = 0.0;
+      bool burst = rng.bernoulli(0.5);
+      double phase_end = exponential(rng, 1.0 / spec.mean_phase_s);
+      while (out.size() < count) {
+        const double rate = burst ? hi : std::max(lo, 1e-6);
+        const double dt = exponential(rng, rate);
+        if (t + dt > phase_end) {
+          t = phase_end;
+          phase_end += exponential(rng, 1.0 / spec.mean_phase_s);
+          burst = !burst;
+          continue;
+        }
+        t += dt;
+        out.push_back(t);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+ArrivalStats analyze_arrivals(const std::vector<double>& arrivals) {
+  ArrivalStats stats;
+  if (arrivals.size() < 2) return stats;
+  std::vector<double> gaps;
+  gaps.reserve(arrivals.size() - 1);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back(arrivals[i] - arrivals[i - 1]);
+  }
+  const double m = mean(gaps);
+  const double sd = stddev(gaps);
+  if (m > 0.0) {
+    stats.mean_rate_rps = 1.0 / m;
+    stats.interarrival_scv = (sd / m) * (sd / m);
+  }
+  return stats;
+}
+
+}  // namespace orinsim::workload

@@ -1,0 +1,42 @@
+// Request arrival processes for the serving simulators.
+//
+// The paper's methodology forms batches from a pool (a closed system); a
+// deployed endpoint sees an open arrival stream. Three standard processes:
+//  - kDeterministic: fixed spacing (the schedulers' original behaviour)
+//  - kPoisson: exponential inter-arrivals at the same mean rate
+//  - kBursty: Markov-modulated Poisson, alternating quiet and burst phases
+//    (mean rate preserved; burstiness is what stresses tail latency).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace orinsim::workload {
+
+enum class ArrivalKind { kDeterministic, kPoisson, kBursty };
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kDeterministic;
+  double rate_rps = 2.0;
+  // kBursty: the burst phase runs at burst_factor x rate, the quiet phase at
+  // rate / burst_factor; phases alternate with these mean durations.
+  double burst_factor = 4.0;
+  double mean_phase_s = 10.0;
+  std::uint64_t seed = 42;
+};
+
+// `count` arrival timestamps, non-decreasing, starting at t >= 0.
+std::vector<double> generate_arrivals(const ArrivalSpec& spec, std::size_t count);
+
+// Sample statistics used by tests: mean rate and squared coefficient of
+// variation of the inter-arrival times (1 for Poisson, ~0 deterministic,
+// > 1 bursty).
+struct ArrivalStats {
+  double mean_rate_rps = 0.0;
+  double interarrival_scv = 0.0;
+};
+ArrivalStats analyze_arrivals(const std::vector<double>& arrivals);
+
+}  // namespace orinsim::workload

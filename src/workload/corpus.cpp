@@ -1,0 +1,172 @@
+#include "workload/corpus.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/error.h"
+
+namespace orinsim::workload {
+
+std::string dataset_name(Dataset d) {
+  return d == Dataset::kWikiText2 ? "WikiText2" : "LongBench";
+}
+
+Dataset parse_dataset(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "wikitext2" || lower == "wikitext" || lower == "wiki") return Dataset::kWikiText2;
+  if (lower == "longbench" || lower == "long") return Dataset::kLongBench;
+  ORINSIM_CHECK(false, "unknown dataset: " + name);
+  return Dataset::kWikiText2;
+}
+
+CorpusSpec CorpusSpec::wikitext2(std::uint64_t seed) {
+  CorpusSpec s;
+  s.dataset = Dataset::kWikiText2;
+  s.seed = seed;
+  return s;
+}
+
+CorpusSpec CorpusSpec::longbench(std::uint64_t seed) {
+  CorpusSpec s;
+  s.dataset = Dataset::kLongBench;
+  s.vocab_words = 800;
+  s.n_topics = 8;
+  // Stronger topical concentration -> lower entropy, like LongBench's lower
+  // perplexities in the paper.
+  s.topic_word_fraction = 0.8;
+  s.zipf_s = 1.15;
+  s.seed = seed;
+  return s;
+}
+
+namespace {
+
+// Pronounceable pseudo-words, deterministic per id; id 0.. map to distinct
+// strings so the vocabulary is exactly spec.vocab_words types.
+std::string make_word(std::size_t id) {
+  static const char* kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "h",  "j",  "k",
+                                  "l",  "m",  "n",  "p",  "r",  "s",  "t",  "v",
+                                  "br", "cr", "dr", "st", "tr", "pl", "gr", "sk"};
+  static const char* kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ea", "ou"};
+  static const char* kCodas[] = {"",  "n",  "r",  "s",  "t",  "l",  "m",  "d",
+                                 "nd", "st", "rk", "nt", "ck", "sh", "th", "ng"};
+  constexpr std::size_t kO = std::size(kOnsets);
+  constexpr std::size_t kN = std::size(kNuclei);
+  constexpr std::size_t kC = std::size(kCodas);
+  std::string w;
+  std::size_t x = id;
+  do {
+    w += kOnsets[x % kO];
+    x /= kO;
+    w += kNuclei[x % kN];
+    x /= kN;
+    w += kCodas[x % kC];
+    x /= kC;
+  } while (x > 0);
+  return w;
+}
+
+class TopicModel {
+ public:
+  TopicModel(const CorpusSpec& spec, Rng& rng)
+      : spec_(spec),
+        global_sampler_(spec.vocab_words, spec.zipf_s),
+        topic_sampler_(topic_vocab_size(spec), spec.zipf_s) {
+    // Each topic owns a contiguous slice of word ids, with random offset so
+    // topics overlap partially (shared function words).
+    topic_offsets_.reserve(spec.n_topics);
+    for (std::size_t t = 0; t < spec.n_topics; ++t) {
+      topic_offsets_.push_back(rng.uniform_index(spec.vocab_words));
+    }
+  }
+
+  std::size_t sample_word(std::size_t topic, Rng& rng) const {
+    if (rng.uniform() < spec_.topic_word_fraction) {
+      const std::size_t r = topic_sampler_.sample(rng);
+      return (topic_offsets_[topic] + r) % spec_.vocab_words;
+    }
+    return global_sampler_.sample(rng);
+  }
+
+ private:
+  static std::size_t topic_vocab_size(const CorpusSpec& spec) {
+    return std::max<std::size_t>(20, spec.vocab_words / spec.n_topics);
+  }
+
+  const CorpusSpec& spec_;
+  ZipfSampler global_sampler_;
+  ZipfSampler topic_sampler_;
+  std::vector<std::size_t> topic_offsets_;
+};
+
+std::string make_sentence(const TopicModel& topics, std::size_t topic, Rng& rng,
+                          std::size_t words) {
+  std::string s;
+  for (std::size_t i = 0; i < words; ++i) {
+    std::string w = make_word(topics.sample_word(topic, rng));
+    if (i == 0) w[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(w[0])));
+    if (i) s.push_back(' ');
+    s += w;
+    // Occasional mid-sentence comma.
+    if (i + 1 < words && rng.bernoulli(0.08)) s.push_back(',');
+  }
+  s.push_back('.');
+  return s;
+}
+
+std::string make_paragraph(const TopicModel& topics, std::size_t topic, Rng& rng,
+                           std::size_t target_words) {
+  std::string p;
+  std::size_t written = 0;
+  while (written < target_words) {
+    const std::size_t len = 5 + rng.uniform_index(18);
+    if (!p.empty()) p.push_back(' ');
+    p += make_sentence(topics, topic, rng, len);
+    written += len;
+  }
+  return p;
+}
+
+}  // namespace
+
+Corpus generate_corpus(const CorpusSpec& spec) {
+  ORINSIM_CHECK(spec.vocab_words >= 50, "corpus vocab too small");
+  ORINSIM_CHECK(spec.n_topics >= 1, "corpus needs at least one topic");
+  Corpus corpus;
+  corpus.spec = spec;
+  Rng rng(spec.seed);
+  TopicModel topics(spec, rng);
+
+  if (spec.dataset == Dataset::kWikiText2) {
+    corpus.paragraphs.reserve(spec.paragraphs);
+    for (std::size_t i = 0; i < spec.paragraphs; ++i) {
+      const std::size_t topic = rng.uniform_index(spec.n_topics);
+      const std::size_t words = 120 + rng.uniform_index(300);
+      corpus.paragraphs.push_back(make_paragraph(topics, topic, rng, words));
+    }
+  } else {
+    // LongBench-like: each document is passage paragraphs + a question and
+    // answer line, all within one topic (strong local repetition).
+    corpus.paragraphs.reserve(spec.documents * 4);
+    for (std::size_t d = 0; d < spec.documents; ++d) {
+      const std::size_t topic = rng.uniform_index(spec.n_topics);
+      const std::size_t passages = 2 + rng.uniform_index(3);
+      for (std::size_t p = 0; p < passages; ++p) {
+        const std::size_t words = 300 + rng.uniform_index(500);
+        corpus.paragraphs.push_back(make_paragraph(topics, topic, rng, words));
+      }
+      std::string qa = "Question: " + make_sentence(topics, topic, rng, 10);
+      qa += " Answer: " + make_sentence(topics, topic, rng, 14);
+      corpus.paragraphs.push_back(std::move(qa));
+    }
+  }
+
+  for (std::size_t i = 0; i < corpus.paragraphs.size(); ++i) {
+    if (i) corpus.text += "\n\n";
+    corpus.text += corpus.paragraphs[i];
+  }
+  return corpus;
+}
+
+}  // namespace orinsim::workload

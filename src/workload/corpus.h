@@ -1,0 +1,57 @@
+// Synthetic stand-ins for the paper's two datasets.
+//
+// The paper uses WikiText2 and LongBench purely as (a) pools of >=256-token
+// prompt paragraphs and (b) text for perplexity. What matters for both uses
+// is the token statistics, not the semantics, so each corpus is generated
+// with a topic-conditioned Zipfian word model:
+//
+//  - WikiText2-like: encyclopedia-style paragraphs of 120..420 words, many
+//    distinct topics, moderate topical repetition -> higher entropy text.
+//  - LongBench-like: long multi-paragraph documents (QA-flavoured: passage
+//    then question/answer lines) with strong entity repetition within a
+//    document -> lower entropy, matching the paper's lower perplexities on
+//    LongBench (Table 3).
+//
+// Topic conditioning gives the corpora learnable structure: within a topic,
+// word choice concentrates on that topic's sub-vocabulary, so a trained
+// readout achieves perplexity well below the unigram baseline and
+// quantization-induced degradation is measurable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace orinsim::workload {
+
+enum class Dataset { kWikiText2, kLongBench };
+
+std::string dataset_name(Dataset d);
+Dataset parse_dataset(const std::string& name);
+
+struct CorpusSpec {
+  Dataset dataset = Dataset::kWikiText2;
+  std::size_t vocab_words = 800;       // distinct word types
+  std::size_t n_topics = 12;           // topic clusters
+  double zipf_s = 1.05;                // within-topic Zipf exponent
+  double topic_word_fraction = 0.65;   // P(word drawn from topic vocab)
+  std::size_t paragraphs = 160;        // WikiText2: paragraph count
+  std::size_t documents = 24;          // LongBench: document count
+  std::uint64_t seed = 42;
+
+  static CorpusSpec wikitext2(std::uint64_t seed = 42);
+  static CorpusSpec longbench(std::uint64_t seed = 43);
+};
+
+struct Corpus {
+  CorpusSpec spec;
+  std::string text;                          // full concatenated text
+  std::vector<std::string> paragraphs;       // individual paragraphs
+};
+
+// Deterministic generation from spec.seed.
+Corpus generate_corpus(const CorpusSpec& spec);
+
+}  // namespace orinsim::workload

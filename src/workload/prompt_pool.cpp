@@ -1,0 +1,60 @@
+#include "workload/prompt_pool.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace orinsim::workload {
+
+SeqConfig seq_config_default() { return SeqConfig{96, 32, 64}; }
+
+std::vector<SeqConfig> seq_config_sweep() {
+  return {
+      SeqConfig{128, 32, 96},
+      SeqConfig{256, 64, 192},
+      SeqConfig{512, 128, 384},
+      SeqConfig{1024, 256, 768},
+  };
+}
+
+SeqConfig seq_config_for_total(std::size_t total) {
+  if (total == 96) return seq_config_default();
+  for (const auto& c : seq_config_sweep()) {
+    if (c.total == total) return c;
+  }
+  ORINSIM_CHECK(false, "no sequence config for total " + std::to_string(total));
+  return {};
+}
+
+PromptPool::PromptPool(const Corpus& corpus, const Tokenizer& tokenizer,
+                       std::size_t min_tokens) {
+  for (const auto& paragraph : corpus.paragraphs) {
+    auto tokens = tokenizer.encode(paragraph);
+    if (tokens.size() >= min_tokens) prompts_.push_back(std::move(tokens));
+  }
+  ORINSIM_CHECK(!prompts_.empty(),
+                "prompt pool is empty: corpus has no paragraph with >= " +
+                    std::to_string(min_tokens) + " tokens");
+}
+
+std::vector<std::vector<TokenId>> PromptPool::sample_batch(std::size_t batch_size,
+                                                           std::size_t input_tokens,
+                                                           Rng& rng) const {
+  ORINSIM_CHECK(batch_size > 0 && input_tokens > 0, "sample_batch: empty request");
+  std::vector<std::vector<TokenId>> batch;
+  batch.reserve(batch_size);
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    std::vector<TokenId> prompt;
+    prompt.reserve(input_tokens);
+    while (prompt.size() < input_tokens) {
+      const auto& source = prompts_[rng.uniform_index(prompts_.size())];
+      const std::size_t need = input_tokens - prompt.size();
+      const std::size_t take = std::min(need, source.size());
+      prompt.insert(prompt.end(), source.begin(), source.begin() + take);
+    }
+    batch.push_back(std::move(prompt));
+  }
+  return batch;
+}
+
+}  // namespace orinsim::workload

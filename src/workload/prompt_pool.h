@@ -1,0 +1,53 @@
+// Prompt pool and batch sampling, following the paper's methodology:
+// "We extract paragraphs with >=256 tokens as a pool of valid prompts. For
+//  each inference batch, we randomly sample the required number of prompts."
+// and for sequence-length experiments: "We use a diverse subset or multiples
+// of the 256-token prompts to form a single input, and limit the output
+// tokens to the remaining sequence length."
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "tokenizer/tokenizer.h"
+#include "workload/corpus.h"
+
+namespace orinsim::workload {
+
+// Sequence-length configuration A = B + C (total = input + output), exactly
+// the splits the paper evaluates.
+struct SeqConfig {
+  std::size_t total = 96;
+  std::size_t input = 32;
+  std::size_t output = 64;
+};
+
+// The paper's default (sl=96: 32 in + 64 out) and the four sweep points.
+SeqConfig seq_config_default();
+std::vector<SeqConfig> seq_config_sweep();
+// total must be one of {96, 128, 256, 512, 1024}.
+SeqConfig seq_config_for_total(std::size_t total);
+
+class PromptPool {
+ public:
+  // Tokenizes every corpus paragraph and keeps those with >= min_tokens.
+  PromptPool(const Corpus& corpus, const Tokenizer& tokenizer,
+             std::size_t min_tokens = 256);
+
+  std::size_t size() const noexcept { return prompts_.size(); }
+  const std::vector<TokenId>& prompt(std::size_t i) const { return prompts_.at(i); }
+
+  // Random batch of prompts truncated/stitched to exactly input_tokens each.
+  // Prompts longer than input_tokens are truncated; if a pool prompt is
+  // shorter (input_tokens > 256), multiple sampled prompts are concatenated,
+  // per the paper's "subset or multiples" rule.
+  std::vector<std::vector<TokenId>> sample_batch(std::size_t batch_size,
+                                                 std::size_t input_tokens, Rng& rng) const;
+
+ private:
+  std::vector<std::vector<TokenId>> prompts_;
+};
+
+}  // namespace orinsim::workload

@@ -1,0 +1,58 @@
+#include "core/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliTest, EqualsSyntax) {
+  const CliArgs args = make({"--model=llama3", "--batch=32"});
+  EXPECT_EQ(args.get("model", ""), "llama3");
+  EXPECT_EQ(args.get_int("batch", 0), 32);
+}
+
+TEST(CliTest, SpaceSyntax) {
+  const CliArgs args = make({"--dataset", "longbench"});
+  EXPECT_EQ(args.get("dataset", ""), "longbench");
+}
+
+TEST(CliTest, BooleanFlags) {
+  const CliArgs args = make({"--verbose", "--no-color"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("color", true));
+}
+
+TEST(CliTest, DefaultsWhenMissing) {
+  const CliArgs args = make({});
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_TRUE(args.get_bool("flag", true));
+}
+
+TEST(CliTest, PositionalArguments) {
+  const CliArgs args = make({"first", "--k=v", "second"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "first");
+  EXPECT_EQ(args.positional()[1], "second");
+}
+
+TEST(CliTest, DoubleParsing) {
+  const CliArgs args = make({"--scale=0.96"});
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 0.96);
+}
+
+TEST(CliTest, HasDetectsPresence) {
+  const CliArgs args = make({"--present"});
+  EXPECT_TRUE(args.has("present"));
+  EXPECT_FALSE(args.has("absent"));
+}
+
+}  // namespace
+}  // namespace orinsim

@@ -1,0 +1,43 @@
+#include "core/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace orinsim {
+namespace {
+
+TEST(ErrorTest, CheckPassesOnTrue) { ORINSIM_CHECK(1 + 1 == 2, "math works"); }
+
+TEST(ErrorTest, CheckThrowsWithLocation) {
+  try {
+    ORINSIM_CHECK(false, "custom message");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom message"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, ExpectedHoldsValue) {
+  Expected<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+}
+
+TEST(ErrorTest, ExpectedHoldsError) {
+  auto bad = Expected<int>::failure("went wrong");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "went wrong");
+  EXPECT_THROW(bad.value(), ContractViolation);
+}
+
+TEST(ErrorTest, ExpectedTake) {
+  Expected<std::string> ok(std::string("movable"));
+  const std::string v = std::move(ok).take();
+  EXPECT_EQ(v, "movable");
+}
+
+}  // namespace
+}  // namespace orinsim

@@ -1,0 +1,63 @@
+#include "core/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stopwatch.h"
+
+namespace orinsim {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, ParseNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);  // safe default
+}
+
+TEST_F(LoggingTest, SuppressedLevelsDoNotEvaluate) {
+  set_log_level(LogLevel::kError);
+  bool evaluated = false;
+  auto side_effect = [&] {
+    evaluated = true;
+    return "msg";
+  };
+  LOG_DEBUG << side_effect();
+  EXPECT_FALSE(evaluated);  // the macro short-circuits below the level
+  LOG_ERROR << side_effect();
+  EXPECT_TRUE(evaluated);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  bool evaluated = false;
+  LOG_ERROR << (evaluated = true);
+  EXPECT_FALSE(evaluated);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i);
+  const double first = watch.elapsed_s();
+  EXPECT_GT(first, 0.0);
+  EXPECT_GE(watch.elapsed_ms(), first * 1e3 * 0.99);
+  watch.reset();
+  EXPECT_LT(watch.elapsed_s(), first + 1.0);
+}
+
+}  // namespace
+}  // namespace orinsim

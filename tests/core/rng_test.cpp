@@ -1,0 +1,106 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace orinsim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentlyDeterministic) {
+  Rng parent1(7);
+  Rng parent2(7);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 6.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.0);
+  }
+}
+
+TEST(RngTest, UniformIndexBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(17), 17u);
+  EXPECT_THROW(rng.uniform_index(0), ContractViolation);
+}
+
+TEST(RngTest, UniformIndexCoversAllValues) {
+  Rng rng(11);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) ++seen[rng.uniform_index(8)];
+  for (int count : seen) EXPECT_GT(count, 300);  // ~500 expected per bucket
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(123);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(77);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(ZipfSamplerTest, RankZeroIsMostFrequent) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(ZipfSamplerTest, FrequencyFollowsPowerLaw) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(6);
+  std::vector<double> counts(50, 0.0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[zipf.sample(rng)] += 1.0;
+  // count(rank 1) / count(rank 2) ~ 2 for s = 1.
+  EXPECT_NEAR(counts[0] / counts[1], 2.0, 0.3);
+}
+
+TEST(ZipfSamplerTest, RejectsDegenerateParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), ContractViolation);
+  EXPECT_THROW(ZipfSampler(10, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim

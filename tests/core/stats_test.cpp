@@ -1,0 +1,114 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+#include <cmath>
+#include <vector>
+
+namespace orinsim {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(StatsTest, MeanBasic) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  const std::vector<double> v = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 20.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_NEAR(percentile(v, 25.0), 2.5, 1e-12);
+}
+
+TEST(StatsTest, TrapezoidConstantSignal) {
+  // 10 W for 6 s => 60 J, regardless of sample spacing.
+  const std::vector<double> t = {0.0, 2.0, 5.0, 6.0};
+  const std::vector<double> p = {10.0, 10.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(trapezoid_integral(t, p), 60.0);
+}
+
+TEST(StatsTest, TrapezoidLinearRamp) {
+  // P(t) = t over [0, 4] => integral = 8.
+  const std::vector<double> t = {0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> p = {0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(trapezoid_integral(t, p), 8.0);
+}
+
+TEST(StatsTest, TrapezoidRejectsDecreasingTime) {
+  const std::vector<double> t = {0.0, 2.0, 1.0};
+  const std::vector<double> p = {1.0, 1.0, 1.0};
+  EXPECT_THROW(trapezoid_integral(t, p), ContractViolation);
+}
+
+TEST(StatsTest, TrapezoidSizeMismatchThrows) {
+  const std::vector<double> t = {0.0, 1.0};
+  const std::vector<double> p = {1.0};
+  EXPECT_THROW(trapezoid_integral(t, p), ContractViolation);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  RunningStats rs;
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+}
+
+TEST(StatsTest, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(StatsTest, MonotonicChecksRespectTolerance) {
+  const std::vector<double> rising = {1.0, 2.0, 1.99, 3.0};
+  EXPECT_FALSE(is_monotonic_increasing(rising));
+  EXPECT_TRUE(is_monotonic_increasing(rising, 0.01));
+  const std::vector<double> falling = {3.0, 2.0, 2.01, 1.0};
+  EXPECT_FALSE(is_monotonic_decreasing(falling));
+  EXPECT_TRUE(is_monotonic_decreasing(falling, 0.01));
+}
+
+TEST(StatsTest, GeomeanRatioOfIdenticalSeriesIsOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(geomean_ratio(a, a), 1.0);
+}
+
+TEST(StatsTest, GeomeanRatioDetectsScale) {
+  const std::vector<double> a = {2.0, 4.0, 8.0};
+  const std::vector<double> b = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(geomean_ratio(a, b), 2.0, 1e-12);
+}
+
+TEST(StatsTest, MinMaxStddev) {
+  const std::vector<double> v = {3.0, 1.0, 4.0, 1.5};
+  EXPECT_DOUBLE_EQ(min_value(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 4.0);
+  EXPECT_GT(stddev(v), 0.0);
+}
+
+}  // namespace
+}  // namespace orinsim

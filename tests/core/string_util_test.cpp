@@ -1,0 +1,59 @@
+#include "core/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+
+namespace orinsim {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilTest, SplitNoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, "-"), "x-y-z");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(StringUtilTest, ToLower) { EXPECT_EQ(to_lower("MaXn"), "maxn"); }
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(StringUtilTest, FormatBytesPicksUnits) {
+  EXPECT_EQ(format_bytes(16.1e9), "16.1 GB");
+  EXPECT_EQ(format_bytes(2.5e6), "2.5 MB");
+  EXPECT_EQ(format_bytes(3.0e3), "3.0 KB");
+  EXPECT_EQ(format_bytes(12), "12 B");
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_DOUBLE_EQ(gb_to_bytes(1.0), 1e9);
+  EXPECT_DOUBLE_EQ(bytes_to_gib(kGiB), 1.0);
+  EXPECT_DOUBLE_EQ(ms_to_s(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(joules_to_wh(3600.0), 1.0);
+  EXPECT_DOUBLE_EQ(mhz_to_hz(1301.0), 1.301e9);
+}
+
+}  // namespace
+}  // namespace orinsim

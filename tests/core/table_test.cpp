@@ -1,0 +1,53 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace orinsim {
+namespace {
+
+TEST(TableTest, MarkdownLayout) {
+  Table t({"A", "B"});
+  t.new_row().add_cell("1").add_cell("2");
+  t.new_row().add_number(3.14159, 2).add_oom();
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| A "), std::string::npos);
+  EXPECT_NE(md.find("3.14"), std::string::npos);
+  EXPECT_NE(md.find("OOM"), std::string::npos);
+  // header + separator + 2 rows = 4 lines
+  EXPECT_EQ(std::count(md.begin(), md.end(), '\n'), 4);
+}
+
+TEST(TableTest, CsvEscapesCommas) {
+  Table t({"x"});
+  t.new_row().add_cell("a,b");
+  EXPECT_NE(t.to_csv().find("\"a,b\""), std::string::npos);
+}
+
+TEST(TableTest, CellAccess) {
+  Table t({"c1", "c2"});
+  t.new_row().add_cell("v1").add_cell("v2");
+  EXPECT_EQ(t.cell(0, 0), "v1");
+  EXPECT_EQ(t.cell(0, 1), "v2");
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(TableTest, ContractViolations) {
+  Table t({"only"});
+  EXPECT_THROW(t.add_cell("no row yet"), ContractViolation);
+  t.new_row().add_cell("ok");
+  EXPECT_THROW(t.add_cell("too many"), ContractViolation);
+  EXPECT_THROW(t.cell(5, 0), ContractViolation);
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(TableTest, NumberFormatting) {
+  Table t({"n"});
+  t.new_row().add_number(1234.5678, 1);
+  EXPECT_EQ(t.cell(0, 0), "1234.6");
+}
+
+}  // namespace
+}  // namespace orinsim

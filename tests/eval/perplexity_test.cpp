@@ -1,0 +1,165 @@
+#include "eval/perplexity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/rng.h"
+#include "train/readout_trainer.h"
+#include "workload/corpus.h"
+
+namespace orinsim::eval {
+namespace {
+
+TransformerConfig small_config(std::size_t vocab) {
+  TransformerConfig c;
+  c.vocab = vocab;
+  c.d_model = 32;
+  c.n_layers = 2;
+  c.n_heads = 4;
+  c.n_kv_heads = 2;
+  c.d_ff = 64;
+  c.max_seq = 128;
+  c.validate();
+  return c;
+}
+
+std::vector<TokenId> bigram_stream(std::size_t pairs, std::size_t vocab, Rng& rng) {
+  std::vector<TokenId> out;
+  const std::size_t half = vocab / 2;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const auto a = static_cast<TokenId>(rng.uniform_index(half) * 2);
+    out.push_back(a);
+    out.push_back(a + 1);
+  }
+  return out;
+}
+
+TEST(PerplexityTest, UntrainedModelNearUniform) {
+  const std::size_t vocab = 64;
+  auto master = MasterWeights::init_random(small_config(vocab), 3);
+  Model model(master, DType::kF32);
+  Rng rng(1);
+  std::vector<TokenId> tokens;
+  for (int i = 0; i < 300; ++i) tokens.push_back(static_cast<TokenId>(rng.uniform_index(vocab)));
+  PerplexityConfig pc;
+  pc.window = 64;
+  pc.stride = 32;
+  const PerplexityResult r = evaluate_perplexity(model, tokens, pc);
+  // Small random logits: perplexity within a factor ~2 of the vocab size.
+  EXPECT_GT(r.perplexity, 30.0);
+  EXPECT_LT(r.perplexity, 130.0);
+}
+
+TEST(PerplexityTest, TrainedModelBeatsUnigram) {
+  const std::size_t vocab = 32;
+  Rng rng(2);
+  const auto tokens = bigram_stream(1500, vocab, rng);
+  auto master = MasterWeights::init_random(small_config(vocab), 5);
+  train::TrainConfig tc;
+  tc.epochs = 6;
+  tc.max_tokens = tokens.size();
+  train::train_readout(*master, tokens, tc);
+  Model model(master, DType::kF32);
+  PerplexityConfig pc;
+  pc.window = 64;
+  pc.stride = 32;
+  pc.max_tokens = 600;
+  const PerplexityResult r = evaluate_perplexity(model, tokens, pc);
+  const double unigram_ppl = std::exp(train::unigram_cross_entropy(tokens, vocab));
+  EXPECT_LT(r.perplexity, unigram_ppl * 0.8);
+}
+
+TEST(PerplexityTest, QuantizationOrdering) {
+  // Table 3's shape: FP32 == FP16 <= INT8 < INT4.
+  const std::size_t vocab = 32;
+  Rng rng(4);
+  const auto tokens = bigram_stream(1200, vocab, rng);
+  auto master = MasterWeights::init_random(small_config(vocab), 7);
+  train::TrainConfig tc;
+  tc.epochs = 5;
+  tc.max_tokens = tokens.size();
+  train::train_readout(*master, tokens, tc);
+
+  PerplexityConfig pc;
+  pc.window = 64;
+  pc.stride = 32;
+  pc.max_tokens = 500;
+  std::map<DType, double> ppl;
+  for (DType dt : {DType::kF32, DType::kF16, DType::kI8, DType::kI4}) {
+    Model model(master, dt);
+    ppl[dt] = evaluate_perplexity(model, tokens, pc).perplexity;
+  }
+  EXPECT_NEAR(ppl[DType::kF16] / ppl[DType::kF32], 1.0, 0.02);
+  EXPECT_GE(ppl[DType::kI8], ppl[DType::kF32] * 0.999);
+  EXPECT_GT(ppl[DType::kI4], ppl[DType::kI8]);
+}
+
+TEST(PerplexityTest, WindowingCountsEveryTokenOnce) {
+  const std::size_t vocab = 16;
+  auto master = MasterWeights::init_random(small_config(vocab), 9);
+  Model model(master, DType::kF32);
+  Rng rng(5);
+  std::vector<TokenId> tokens;
+  for (int i = 0; i < 200; ++i) tokens.push_back(static_cast<TokenId>(rng.uniform_index(vocab)));
+  PerplexityConfig pc;
+  pc.window = 64;
+  pc.stride = 32;
+  const PerplexityResult r = evaluate_perplexity(model, tokens, pc);
+  // All tokens except the very first are predicted exactly once.
+  EXPECT_EQ(r.scored_tokens, tokens.size() - 1);
+  EXPECT_GT(r.windows, 1u);
+}
+
+TEST(PerplexityTest, StrideEqualsWindowNoOverlap) {
+  const std::size_t vocab = 16;
+  auto master = MasterWeights::init_random(small_config(vocab), 11);
+  Model model(master, DType::kF32);
+  std::vector<TokenId> tokens(100, 3);
+  PerplexityConfig pc;
+  pc.window = 50;
+  pc.stride = 50;
+  const PerplexityResult r = evaluate_perplexity(model, tokens, pc);
+  EXPECT_GT(r.windows, 1u);
+  EXPECT_GT(r.scored_tokens, 90u);
+}
+
+TEST(PerplexityTest, ConstantStreamIsEasilyLearnedByContext) {
+  // A constant token stream: even an untrained transformer body gives the
+  // readout trainer a trivially learnable signal.
+  const std::size_t vocab = 16;
+  auto master = MasterWeights::init_random(small_config(vocab), 13);
+  std::vector<TokenId> tokens(400, 7);
+  train::TrainConfig tc;
+  tc.epochs = 3;
+  tc.max_tokens = tokens.size();
+  train::train_readout(*master, tokens, tc);
+  Model model(master, DType::kF32);
+  PerplexityConfig pc;
+  pc.window = 64;
+  pc.stride = 64;
+  const PerplexityResult r = evaluate_perplexity(model, tokens, pc);
+  // Weight decay keeps the head from absolute certainty; anything below 2
+  // (vs the vocab-size-16 uniform floor) means the structure was learned.
+  EXPECT_LT(r.perplexity, 2.0);
+}
+
+TEST(PerplexityTest, InvalidConfigsRejected) {
+  const std::size_t vocab = 16;
+  auto master = MasterWeights::init_random(small_config(vocab), 15);
+  Model model(master, DType::kF32);
+  std::vector<TokenId> tokens(100, 1);
+  PerplexityConfig pc;
+  pc.window = 1;
+  EXPECT_THROW(evaluate_perplexity(model, tokens, pc), ContractViolation);
+  pc = PerplexityConfig{};
+  pc.stride = pc.window + 1;
+  EXPECT_THROW(evaluate_perplexity(model, tokens, pc), ContractViolation);
+  pc = PerplexityConfig{};
+  pc.window = 256;  // exceeds model max_seq (128)
+  EXPECT_THROW(evaluate_perplexity(model, tokens, pc), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::eval

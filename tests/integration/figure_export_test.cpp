@@ -1,0 +1,50 @@
+#include "harness/figure_export.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace orinsim::harness {
+namespace {
+
+TEST(FigureExportTest, WritesAllSeries) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "orinsim_fig_test").string();
+  std::filesystem::remove_all(dir);
+  const ExportResult result = export_figure_data(dir);
+
+  // 4 models x fig1 + 4 x fig2 + fig3 + 3 dtypes x fig4 + fig5 + manifest.
+  EXPECT_EQ(result.files.size(), 4u + 4u + 1u + 3u + 1u + 1u);
+  for (const auto& f : result.files) {
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / f)) << f;
+  }
+
+  // fig1_llama3.dat parses: 8 batch rows, 4 numeric columns.
+  std::ifstream in(std::filesystem::path(dir) / "fig1_llama3.dat");
+  std::string line;
+  std::getline(in, line);  // header comment
+  EXPECT_EQ(line[0], '#');
+  int rows = 0;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    double bs = 0, tput = 0, lat = 0, ram = 0;
+    ASSERT_TRUE(static_cast<bool>(ss >> bs >> tput >> lat >> ram)) << line;
+    EXPECT_GT(tput, 0.0);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 8);
+
+  // Phi-2's fig2 series has only the two non-OOM sequence lengths.
+  std::ifstream phi(std::filesystem::path(dir) / "fig2_phi2.dat");
+  std::getline(phi, line);
+  int phi_rows = 0;
+  while (std::getline(phi, line)) ++phi_rows;
+  EXPECT_EQ(phi_rows, 2);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace orinsim::harness

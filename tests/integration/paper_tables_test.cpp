@@ -1,0 +1,135 @@
+// Quantitative paper-vs-simulated comparison over the full appendix tables:
+// the simulator was calibrated on 3 points per model; every other cell is a
+// prediction and must track the paper within the documented bands.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/stats.h"
+#include "harness/experiments.h"
+#include "sim/paper_reference.h"
+
+namespace orinsim::harness {
+namespace {
+
+// Geometric-mean ratio of simulated to paper latency across a sweep.
+double sweep_geomean(const std::vector<double>& sim, const std::vector<double>& paper) {
+  return geomean_ratio(sim, paper);
+}
+
+TEST(PaperTablesTest, Table4LatenciesTrackWithinBand) {
+  const BatchSweep sweep = run_batch_sweep(workload::Dataset::kWikiText2);
+  const auto& rows = sim::table4_batch_wikitext2();
+  const auto& catalog = sim::model_catalog();
+  for (std::size_t mi = 0; mi < catalog.size(); ++mi) {
+    std::vector<double> sim_lat, paper_lat;
+    for (std::size_t b = 0; b < sweep.batch_sizes.size(); ++b) {
+      if (sweep.cells[mi][b].oom) continue;
+      sim_lat.push_back(sweep.cells[mi][b].latency_s);
+      paper_lat.push_back(rows[b].latency_s[mi]);
+    }
+    const double gm = sweep_geomean(sim_lat, paper_lat);
+    // DeepSeek's appendix rows are internally noisy (bs=16 slower than
+    // bs=32); allow a wider band there.
+    const double band = catalog[mi].key == "deepseek-qwen" ? 0.40 : 0.20;
+    EXPECT_NEAR(gm, 1.0, band) << catalog[mi].key;
+  }
+}
+
+TEST(PaperTablesTest, Table4ThroughputsTrackWithinBand) {
+  const BatchSweep sweep = run_batch_sweep(workload::Dataset::kWikiText2);
+  const auto& rows = sim::table4_batch_wikitext2();
+  const auto& catalog = sim::model_catalog();
+  for (std::size_t mi = 0; mi < catalog.size(); ++mi) {
+    std::vector<double> sim_tp, paper_tp;
+    for (std::size_t b = 0; b < sweep.batch_sizes.size(); ++b) {
+      if (sweep.cells[mi][b].oom) continue;
+      sim_tp.push_back(sweep.cells[mi][b].throughput_tps);
+      paper_tp.push_back(rows[b].throughput_tps[mi]);
+    }
+    const double band = catalog[mi].key == "deepseek-qwen" ? 0.40 : 0.20;
+    EXPECT_NEAR(sweep_geomean(sim_tp, paper_tp), 1.0, band) << catalog[mi].key;
+  }
+}
+
+TEST(PaperTablesTest, Table7SeqLatenciesTrackWithinBand) {
+  const SeqSweep sweep = run_seq_sweep(workload::Dataset::kWikiText2);
+  const auto& rows = sim::table7_seq_wikitext2();
+  const auto& catalog = sim::model_catalog();
+  for (std::size_t mi = 0; mi < catalog.size(); ++mi) {
+    std::vector<double> sim_lat, paper_lat;
+    for (std::size_t s = 0; s < sweep.seq_configs.size(); ++s) {
+      if (sweep.cells[mi][s].oom || std::isnan(rows[s].latency_s[mi])) continue;
+      sim_lat.push_back(sweep.cells[mi][s].latency_s);
+      paper_lat.push_back(rows[s].latency_s[mi]);
+    }
+    ASSERT_FALSE(sim_lat.empty()) << catalog[mi].key;
+    EXPECT_NEAR(sweep_geomean(sim_lat, paper_lat), 1.0, 0.25) << catalog[mi].key;
+  }
+}
+
+TEST(PaperTablesTest, OomCellsMatchTable7) {
+  const SeqSweep sweep = run_seq_sweep(workload::Dataset::kWikiText2);
+  const auto& rows = sim::table7_seq_wikitext2();
+  for (std::size_t mi = 0; mi < sweep.cells.size(); ++mi) {
+    for (std::size_t s = 0; s < sweep.seq_configs.size(); ++s) {
+      EXPECT_EQ(sweep.cells[mi][s].oom, std::isnan(rows[s].latency_s[mi]))
+          << "model " << mi << " sl=" << sweep.seq_configs[s].total;
+    }
+  }
+}
+
+TEST(PaperTablesTest, Table5LongBenchWithinTenPercentOfTable4) {
+  // The paper: "throughput variation remains within ~10%" between datasets.
+  const BatchSweep wiki = run_batch_sweep(workload::Dataset::kWikiText2);
+  const BatchSweep lb = run_batch_sweep(workload::Dataset::kLongBench);
+  for (std::size_t mi = 0; mi < wiki.cells.size(); ++mi) {
+    for (std::size_t b = 0; b < wiki.batch_sizes.size(); ++b) {
+      if (wiki.cells[mi][b].oom) continue;
+      const double ratio =
+          lb.cells[mi][b].throughput_tps / wiki.cells[mi][b].throughput_tps;
+      EXPECT_NEAR(ratio, 1.0, 0.10);
+    }
+  }
+}
+
+TEST(PaperTablesTest, HeadlineClaimLlamaBatchThroughputGain) {
+  // §3.1: Llama improves "by 203% from 184 to 558 tok/s" from bs=32 to 128
+  // (the quoted 184 is from a different run than Table 4's 308; we assert
+  // the Table 4 version: 308 -> 558, a ~1.8x gain, and require >= 1.6x).
+  const BatchSweep sweep = run_batch_sweep(workload::Dataset::kWikiText2);
+  const std::size_t llama = 1;
+  const double t32 = sweep.cells[llama][5].throughput_tps;
+  const double t128 = sweep.cells[llama][7].throughput_tps;
+  EXPECT_GT(t128 / t32, 1.6);
+}
+
+TEST(PaperTablesTest, HeadlineClaimLlamaSeqThroughputDrop) {
+  // §3.2: Llama drops from 271 to 107 tok/s as sl grows 128 -> 1024.
+  const SeqSweep sweep = run_seq_sweep(workload::Dataset::kLongBench);
+  const std::size_t llama = 1;
+  const double t128 = sweep.cells[llama][0].throughput_tps;
+  const double t1024 = sweep.cells[llama][3].throughput_tps;
+  EXPECT_NEAR(t128, 271.5, 271.5 * 0.25);
+  EXPECT_NEAR(t1024, 107.3, 107.3 * 0.25);
+  EXPECT_GT(t128 / t1024, 2.0);
+}
+
+TEST(PaperTablesTest, Table1MemoryReproducedExactly) {
+  const QuantStudy study = run_quant_study();
+  const auto& catalog = sim::model_catalog();
+  for (std::size_t mi = 0; mi < catalog.size(); ++mi) {
+    for (std::size_t d = 0; d < study.dtypes.size(); ++d) {
+      if (study.cells[mi][d].oom) continue;
+      const double weights = catalog[mi].weight_gb(study.dtypes[d]);
+      // Total RAM = weights + incremental; weights must match Table 1.
+      EXPECT_NEAR(study.cells[mi][d].ram_total_gb -
+                      study.cells[mi][d].ram_incremental_gb,
+                  weights, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace orinsim::harness

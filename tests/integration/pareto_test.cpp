@@ -1,0 +1,105 @@
+#include "harness/pareto.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim::harness {
+namespace {
+
+class ParetoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ParetoOptions options;
+    options.model_key = "llama3";
+    options.batch_sizes = {1, 32};
+    options.power_modes = {"MaxN", "A", "H"};
+    points_ = new std::vector<ConfigPoint>(enumerate_configs(options));
+  }
+  static void TearDownTestSuite() { delete points_; }
+  static std::vector<ConfigPoint>* points_;
+};
+
+std::vector<ConfigPoint>* ParetoTest::points_ = nullptr;
+
+TEST_F(ParetoTest, EnumerationSkipsOom) {
+  // 3 dtypes x 2 batches x 3 modes x 2 kv = 36 candidates; all Llama configs
+  // fit, so all are present.
+  EXPECT_EQ(points_->size(), 36u);
+  for (const auto& p : *points_) {
+    EXPECT_GT(p.latency_per_token_ms, 0.0);
+    EXPECT_GT(p.energy_per_token_j, 0.0);
+    EXPECT_GT(p.ram_gb, 0.0);
+  }
+}
+
+TEST_F(ParetoTest, FrontierIsNonDominatedAndNonEmpty) {
+  const auto frontier = pareto_frontier(*points_);
+  ASSERT_FALSE(frontier.empty());
+  EXPECT_LT(frontier.size(), points_->size());
+  for (const auto& f : frontier) {
+    for (const auto& other : *points_) {
+      const bool dominates = other.latency_per_token_ms <= f.latency_per_token_ms &&
+                             other.energy_per_token_j <= f.energy_per_token_j &&
+                             other.ram_gb <= f.ram_gb &&
+                             (other.latency_per_token_ms < f.latency_per_token_ms ||
+                              other.energy_per_token_j < f.energy_per_token_j ||
+                              other.ram_gb < f.ram_gb);
+      EXPECT_FALSE(dominates) << other.label() << " dominates " << f.label();
+    }
+  }
+}
+
+TEST_F(ParetoTest, FrontierContainsExpectedArchetypes) {
+  // INT4 at some configuration must be on the frontier (smallest RAM), and
+  // some large-batch FP16 point (best latency/token).
+  const auto frontier = pareto_frontier(*points_);
+  bool has_int4 = false, has_fp16_batch32 = false;
+  for (const auto& f : frontier) {
+    if (f.dtype == DType::kI4) has_int4 = true;
+    if (f.dtype == DType::kF16 && f.batch == 32) has_fp16_batch32 = true;
+  }
+  EXPECT_TRUE(has_int4);
+  EXPECT_TRUE(has_fp16_batch32);
+}
+
+TEST_F(ParetoTest, ConstraintsFilter) {
+  Constraints power_cap;
+  power_cap.max_power_w = 30.0;
+  const auto best = best_config(*points_, power_cap, Objective::kEnergyPerToken);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_LE(best->median_power_w, 30.0);
+
+  Constraints impossible;
+  impossible.max_latency_s = 0.001;
+  EXPECT_FALSE(best_config(*points_, impossible, Objective::kThroughput).has_value());
+}
+
+TEST_F(ParetoTest, ObjectivesPickDifferentWinners) {
+  Constraints none;
+  const auto fastest = best_config(*points_, none, Objective::kLatencyPerToken);
+  const auto frugal = best_config(*points_, none, Objective::kEnergyPerToken);
+  const auto dense = best_config(*points_, none, Objective::kThroughput);
+  ASSERT_TRUE(fastest && frugal && dense);
+  // Throughput winner is the latency/token winner by construction; energy
+  // winner differs (it prefers a lower power mode).
+  EXPECT_EQ(dense->label(), fastest->label());
+  EXPECT_NE(frugal->label(), fastest->label());
+}
+
+TEST_F(ParetoTest, Int8KvOnlyEverHelps) {
+  // For identical (dtype, batch, mode), the kv8 variant never has more RAM
+  // or higher latency (it halves KV traffic at tiny overhead).
+  for (const auto& a : *points_) {
+    if (a.kv_cache_int8) continue;
+    for (const auto& b : *points_) {
+      if (!b.kv_cache_int8 || b.dtype != a.dtype || b.batch != a.batch ||
+          b.power_mode != a.power_mode) {
+        continue;
+      }
+      EXPECT_LE(b.ram_gb, a.ram_gb + 1e-9);
+      EXPECT_LE(b.latency_s, a.latency_s * 1.02);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace orinsim::harness

@@ -1,0 +1,56 @@
+// The reproduction's definition of success: every qualitative finding of the
+// paper must hold in the simulator. These are the same checks the bench
+// binaries print.
+#include "harness/shape_checks.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim::harness {
+namespace {
+
+void expect_all(const std::vector<CheckResult>& checks) {
+  for (const auto& c : checks) {
+    EXPECT_TRUE(c.passed) << c.name << " " << c.detail;
+  }
+}
+
+TEST(ShapeChecksTest, BatchSweepWikiText2) {
+  expect_all(check_batch_sweep(run_batch_sweep(workload::Dataset::kWikiText2)));
+}
+
+TEST(ShapeChecksTest, BatchSweepLongBench) {
+  expect_all(check_batch_sweep(run_batch_sweep(workload::Dataset::kLongBench)));
+}
+
+TEST(ShapeChecksTest, SeqSweepLongBench) {
+  expect_all(check_seq_sweep(run_seq_sweep(workload::Dataset::kLongBench)));
+}
+
+TEST(ShapeChecksTest, SeqSweepWikiText2) {
+  expect_all(check_seq_sweep(run_seq_sweep(workload::Dataset::kWikiText2)));
+}
+
+TEST(ShapeChecksTest, QuantizationStudy) { expect_all(check_quant_study(run_quant_study())); }
+
+TEST(ShapeChecksTest, PowerEnergyLlama) {
+  expect_all(check_power_energy(run_power_energy("llama3")));
+}
+
+TEST(ShapeChecksTest, PowerEnergyOtherModels) {
+  // Fig 10 extends the power/energy study to all models.
+  expect_all(check_power_energy(run_power_energy("phi2")));
+  expect_all(check_power_energy(run_power_energy("mistral")));
+}
+
+TEST(ShapeChecksTest, PowerModes) { expect_all(check_power_modes(run_power_modes())); }
+
+TEST(ShapeChecksTest, FormatterMarksFailures) {
+  std::vector<CheckResult> checks = {{"good", true, ""}, {"bad", false, "why"}};
+  const std::string text = format_checks(checks);
+  EXPECT_NE(text.find("[PASS] good"), std::string::npos);
+  EXPECT_NE(text.find("[FAIL] bad"), std::string::npos);
+  EXPECT_FALSE(all_passed(checks));
+}
+
+}  // namespace
+}  // namespace orinsim::harness

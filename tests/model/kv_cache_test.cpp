@@ -1,0 +1,115 @@
+#include "model/kv_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.h"
+#include "model/config.h"
+
+namespace orinsim {
+namespace {
+
+TransformerConfig tiny_config() {
+  TransformerConfig c;
+  c.vocab = 50;
+  c.d_model = 16;
+  c.n_layers = 2;
+  c.n_heads = 4;
+  c.n_kv_heads = 2;
+  c.d_ff = 32;
+  c.max_seq = 64;
+  c.validate();
+  return c;
+}
+
+TEST(KVCacheTest, AppendCommitReadBack) {
+  const auto cfg = tiny_config();
+  KVCache cache(cfg, 2, 8);
+  const std::size_t kv = cfg.kv_dim();
+  std::vector<float> k(kv, 1.5f), v(kv, -2.5f);
+
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+    EXPECT_EQ(cache.append(l, 0, k, v), 0u);
+  }
+  cache.commit(0);
+  EXPECT_EQ(cache.seq_len(0), 1u);
+  EXPECT_EQ(cache.seq_len(1), 0u);
+  EXPECT_EQ(cache.key(1, 0, 0)[0], 1.5f);
+  EXPECT_EQ(cache.value(0, 0, 0)[kv - 1], -2.5f);
+}
+
+TEST(KVCacheTest, StagedEntryReadableBeforeCommit) {
+  const auto cfg = tiny_config();
+  KVCache cache(cfg, 1, 4);
+  const std::size_t kv = cfg.kv_dim();
+  std::vector<float> k(kv, 3.0f), v(kv, 4.0f);
+  cache.append(0, 0, k, v);
+  // pos == seq_len(b) reads the staged entry.
+  EXPECT_EQ(cache.key(0, 0, 0)[0], 3.0f);
+}
+
+TEST(KVCacheTest, PerSequenceLengthsIndependent) {
+  const auto cfg = tiny_config();
+  KVCache cache(cfg, 3, 8);
+  const std::size_t kv = cfg.kv_dim();
+  std::vector<float> k(kv, 0.0f), v(kv, 0.0f);
+  for (int step = 0; step < 3; ++step) {
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, 1, k, v);
+    cache.commit(1);
+  }
+  EXPECT_EQ(cache.seq_len(0), 0u);
+  EXPECT_EQ(cache.seq_len(1), 3u);
+}
+
+TEST(KVCacheTest, OverflowRejected) {
+  const auto cfg = tiny_config();
+  KVCache cache(cfg, 1, 2);
+  const std::size_t kv = cfg.kv_dim();
+  std::vector<float> k(kv), v(kv);
+  for (int i = 0; i < 2; ++i) {
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, 0, k, v);
+    cache.commit(0);
+  }
+  EXPECT_THROW(cache.append(0, 0, k, v), ContractViolation);
+  EXPECT_THROW(cache.commit(0), ContractViolation);
+}
+
+TEST(KVCacheTest, BytesAccounting) {
+  const auto cfg = tiny_config();
+  KVCache cache(cfg, 2, 8);
+  // 2 layers * K+V * batch 2 * seq 8 * kv_dim * 4 bytes.
+  EXPECT_EQ(cache.bytes(), cfg.n_layers * 2 * 2 * 8 * cfg.kv_dim() * sizeof(float));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  const std::size_t kv = cfg.kv_dim();
+  std::vector<float> k(kv), v(kv);
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, 0, k, v);
+  cache.commit(0);
+  EXPECT_EQ(cache.used_bytes(), cfg.n_layers * 2 * kv * sizeof(float));
+}
+
+TEST(KVCacheTest, ResetClearsLengths) {
+  const auto cfg = tiny_config();
+  KVCache cache(cfg, 1, 4);
+  const std::size_t kv = cfg.kv_dim();
+  std::vector<float> k(kv), v(kv);
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, 0, k, v);
+  cache.commit(0);
+  cache.reset();
+  EXPECT_EQ(cache.seq_len(0), 0u);
+}
+
+TEST(KVCacheTest, DimensionMismatchRejected) {
+  const auto cfg = tiny_config();
+  KVCache cache(cfg, 1, 4);
+  std::vector<float> wrong(cfg.kv_dim() + 1);
+  EXPECT_THROW(cache.append(0, 0, wrong, wrong), ContractViolation);
+}
+
+TEST(KVCacheTest, MaxSeqBeyondModelRejected) {
+  const auto cfg = tiny_config();
+  EXPECT_THROW(KVCache(cfg, 1, cfg.max_seq + 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim

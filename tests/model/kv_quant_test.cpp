@@ -1,0 +1,109 @@
+// INT8 KV-cache storage: quantization fidelity, memory accounting, and
+// end-to-end impact on the functional engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/transformer.h"
+
+namespace orinsim {
+namespace {
+
+TransformerConfig kv_test_config() {
+  TransformerConfig c;
+  c.vocab = 97;
+  c.d_model = 32;
+  c.n_layers = 2;
+  c.n_heads = 4;
+  c.n_kv_heads = 2;
+  c.d_ff = 64;
+  c.max_seq = 64;
+  c.validate();
+  return c;
+}
+
+TEST(KVQuantTest, RoundTripWithinAbsmaxBound) {
+  const auto cfg = kv_test_config();
+  KVCache cache(cfg, 1, 4, KVStorage::kI8);
+  Rng rng(3);
+  std::vector<float> k(cfg.kv_dim()), v(cfg.kv_dim());
+  float absmax = 0.0f;
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    k[i] = static_cast<float>(rng.normal(0.0, 2.0));
+    v[i] = static_cast<float>(rng.normal(0.0, 0.5));
+    absmax = std::max(absmax, std::fabs(k[i]));
+  }
+  cache.append(0, 0, k, v);
+  const auto k_back = cache.key(0, 0, 0);
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    EXPECT_NEAR(k_back[i], k[i], absmax / 127.0f + 1e-6f);
+  }
+}
+
+TEST(KVQuantTest, Int8CacheHalvesMemory) {
+  const auto cfg = kv_test_config();
+  KVCache f32(cfg, 2, 16, KVStorage::kF32);
+  KVCache i8(cfg, 2, 16, KVStorage::kI8);
+  EXPECT_LT(i8.bytes(), f32.bytes() / 2);  // int8 + per-vector fp32 scale
+  EXPECT_GT(i8.bytes(), f32.bytes() / 8);
+}
+
+TEST(KVQuantTest, UsedBytesTracksStorage) {
+  const auto cfg = kv_test_config();
+  KVCache i8(cfg, 1, 8, KVStorage::kI8);
+  std::vector<float> k(cfg.kv_dim(), 1.0f), v(cfg.kv_dim(), -1.0f);
+  EXPECT_EQ(i8.used_bytes(), 0u);
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) i8.append(l, 0, k, v);
+  i8.commit(0);
+  EXPECT_EQ(i8.used_bytes(),
+            cfg.n_layers * 2 * (cfg.kv_dim() * sizeof(std::int8_t) + sizeof(float)));
+}
+
+TEST(KVQuantTest, HiddenStatesCloseToFp32Cache) {
+  const auto cfg = kv_test_config();
+  auto master = MasterWeights::init_random(cfg, 17);
+  Model exact(master, DType::kF32, KVStorage::kF32);
+  Model quant(master, DType::kF32, KVStorage::kI8);
+
+  KVCache c_exact(cfg, 1, 16, KVStorage::kF32);
+  KVCache c_quant(cfg, 1, 16, KVStorage::kI8);
+  std::vector<float> h_exact(cfg.d_model), h_quant(cfg.d_model);
+  for (TokenId t : {3u, 9u, 27u, 81u, 12u, 36u}) {
+    exact.forward_token(t, 0, c_exact, h_exact);
+    quant.forward_token(t, 0, c_quant, h_quant);
+  }
+  double err = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < h_exact.size(); ++i) {
+    err += (h_exact[i] - h_quant[i]) * static_cast<double>(h_exact[i] - h_quant[i]);
+    norm += static_cast<double>(h_exact[i]) * h_exact[i];
+  }
+  EXPECT_LT(std::sqrt(err / norm), 0.05);  // per-vector absmax is accurate
+  EXPECT_GT(err, 0.0);                     // but not exact
+}
+
+TEST(KVQuantTest, GenerationStillDeterministic) {
+  const auto cfg = kv_test_config();
+  auto master = MasterWeights::init_random(cfg, 19);
+  Model a(master, DType::kF16, KVStorage::kI8);
+  Model b(master, DType::kF16, KVStorage::kI8);
+  const std::vector<std::vector<TokenId>> prompts = {{5, 6, 7}};
+  EXPECT_EQ(a.generate(prompts, 8).outputs, b.generate(prompts, 8).outputs);
+  EXPECT_EQ(a.kv_storage(), KVStorage::kI8);
+}
+
+TEST(KVQuantTest, NllDegradesGracefully) {
+  const auto cfg = kv_test_config();
+  auto master = MasterWeights::init_random(cfg, 23);
+  Model exact(master, DType::kF32, KVStorage::kF32);
+  Model quant(master, DType::kF32, KVStorage::kI8);
+  std::vector<TokenId> tokens;
+  for (int i = 0; i < 32; ++i) tokens.push_back(static_cast<TokenId>((i * 7) % cfg.vocab));
+  const double nll_exact = exact.sequence_nll(tokens, 1).total_nll;
+  const double nll_quant = quant.sequence_nll(tokens, 1).total_nll;
+  // Within 2% for an untrained model; the trained-model delta is measured in
+  // bench_ext_kv_cache.
+  EXPECT_NEAR(nll_quant / nll_exact, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace orinsim

@@ -1,0 +1,79 @@
+#include "model/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.h"
+
+namespace orinsim {
+namespace {
+
+TEST(SamplerTest, ZeroTemperatureIsGreedy) {
+  Sampler sampler({0.0f, 0, 1.0f});
+  const std::vector<float> logits = {0.1f, 5.0f, -2.0f, 4.9f};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.sample(logits), 1u);
+}
+
+TEST(SamplerTest, DeterministicForSeed) {
+  const std::vector<float> logits = {1.0f, 1.1f, 0.9f, 1.05f};
+  Sampler a({1.0f, 0, 1.0f}, 42), b({1.0f, 0, 1.0f}, 42);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.sample(logits), b.sample(logits));
+}
+
+TEST(SamplerTest, TemperatureSamplesProportionally) {
+  // Two tokens with logit gap ln(3): P(t0)/P(t1) = 3 at temperature 1.
+  Sampler sampler({1.0f, 0, 1.0f}, 7);
+  const std::vector<float> logits = {std::log(3.0f), 0.0f};
+  int count0 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) count0 += sampler.sample(logits) == 0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(count0) / n, 0.75, 0.02);
+}
+
+TEST(SamplerTest, LowTemperatureSharpens) {
+  Sampler hot({2.0f, 0, 1.0f}, 9);
+  Sampler cold({0.25f, 0, 1.0f}, 9);
+  const std::vector<float> logits = {1.0f, 0.0f};
+  auto frequency_of_best = [&](Sampler& s) {
+    int hits = 0;
+    for (int i = 0; i < 5000; ++i) hits += s.sample(logits) == 0 ? 1 : 0;
+    return static_cast<double>(hits) / 5000.0;
+  };
+  EXPECT_GT(frequency_of_best(cold), frequency_of_best(hot));
+}
+
+TEST(SamplerTest, TopKExcludesTail) {
+  Sampler sampler({1.0f, 2, 1.0f}, 11);
+  const std::vector<float> logits = {3.0f, 2.0f, -10.0f, 1.0f};
+  // top_k=2 keeps tokens 0 and 1 only.
+  for (int i = 0; i < 200; ++i) {
+    const TokenId t = sampler.sample(logits);
+    EXPECT_TRUE(t == 0u || t == 1u) << t;
+  }
+}
+
+TEST(SamplerTest, TopPExcludesTail) {
+  // Token 0 holds ~88% of the mass; top_p=0.5 keeps only it.
+  Sampler sampler({1.0f, 0, 0.5f}, 13);
+  const std::vector<float> logits = {2.0f, 0.0f, 0.0f};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(sampler.sample(logits), 0u);
+}
+
+TEST(SamplerTest, InvalidConfigsRejected) {
+  EXPECT_THROW(Sampler({-1.0f, 0, 1.0f}), ContractViolation);
+  EXPECT_THROW(Sampler({1.0f, 0, 0.0f}), ContractViolation);
+  EXPECT_THROW(Sampler({1.0f, 0, 1.5f}), ContractViolation);
+  Sampler ok({1.0f, 0, 1.0f});
+  EXPECT_THROW(ok.sample({}), ContractViolation);
+}
+
+TEST(SamplerTest, SingleCandidateAlwaysReturned) {
+  Sampler sampler({1.0f, 1, 1.0f}, 15);
+  const std::vector<float> logits = {0.5f, 5.0f, 0.2f};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sampler.sample(logits), 1u);
+}
+
+}  // namespace
+}  // namespace orinsim

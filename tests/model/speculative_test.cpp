@@ -1,0 +1,135 @@
+#include "model/speculative.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace orinsim {
+namespace {
+
+TransformerConfig spec_config(std::size_t vocab, std::size_t d_model = 32) {
+  TransformerConfig c;
+  c.vocab = vocab;
+  c.d_model = d_model;
+  c.n_layers = 2;
+  c.n_heads = 4;
+  c.n_kv_heads = 2;
+  c.d_ff = 2 * d_model;
+  c.max_seq = 128;
+  c.validate();
+  return c;
+}
+
+class SpeculativeTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kVocab = 61;
+
+  // d_model 64: a multiple of the INT4 block so the quantized-draft pairing
+  // works.
+  SpeculativeTest()
+      : target_master_(MasterWeights::init_random(spec_config(kVocab, 64), 5)),
+        draft_master_(MasterWeights::init_random(spec_config(kVocab, 16), 9)) {}
+
+  std::shared_ptr<MasterWeights> target_master_;
+  std::shared_ptr<MasterWeights> draft_master_;
+};
+
+TEST_F(SpeculativeTest, OutputIdenticalToTargetGreedy) {
+  // The defining property: speculative decoding never changes the output.
+  Model target(target_master_, DType::kF32);
+  Model target_ref(target_master_, DType::kF32);
+  Model draft(draft_master_, DType::kF32);
+  const std::vector<TokenId> prompt = {3, 7, 11, 13};
+
+  const auto reference = target_ref.generate({prompt}, 24);
+  SpeculativeStats stats;
+  const auto spec = speculative_generate(target, draft, prompt, 24, {4}, &stats);
+  EXPECT_EQ(spec.outputs[0], reference.outputs[0]);
+  EXPECT_EQ(spec.output_tokens, 24u);
+  EXPECT_EQ(stats.emitted, 24u);
+}
+
+TEST_F(SpeculativeTest, SelfDraftAcceptsEverything) {
+  // Draft == target: every proposal is accepted; target forwards collapse to
+  // ~ out/(K+1) rounds worth of parallel verification.
+  Model target(target_master_, DType::kF32);
+  Model draft(target_master_, DType::kF32);
+  const std::vector<TokenId> prompt = {2, 4, 6};
+  SpeculativeStats stats;
+  const auto spec = speculative_generate(target, draft, prompt, 20, {4}, &stats);
+  EXPECT_EQ(spec.output_tokens, 20u);
+  EXPECT_DOUBLE_EQ(stats.acceptance_rate(), 1.0);
+  EXPECT_GE(stats.tokens_per_round(), 4.0);  // K accepted + bonus, minus tail
+}
+
+TEST_F(SpeculativeTest, RandomDraftStillCorrect) {
+  // A draft that disagrees almost always: acceptance near zero, output still
+  // exactly the target's.
+  Model target(target_master_, DType::kF32);
+  Model target_ref(target_master_, DType::kF32);
+  auto unrelated = MasterWeights::init_random(spec_config(kVocab, 16), 777);
+  Model draft(unrelated, DType::kF32);
+  const std::vector<TokenId> prompt = {1, 2, 3};
+  SpeculativeStats stats;
+  const auto spec = speculative_generate(target, draft, prompt, 16, {3}, &stats);
+  EXPECT_EQ(spec.outputs[0], target_ref.generate({prompt}, 16).outputs[0]);
+  EXPECT_LT(stats.acceptance_rate(), 0.9);
+}
+
+TEST_F(SpeculativeTest, QuantizedDraftOfSameFamily) {
+  // A realistic pairing: the INT8-quantized target acts as its own draft.
+  // (Untrained logits are nearly flat, so even small quantization noise
+  // flips argmax often; INT8 stays close, INT4 would not — trained-model
+  // acceptance is measured in bench_ext_speculative.)
+  Model target(target_master_, DType::kF32);
+  Model target_ref(target_master_, DType::kF32);
+  Model draft(target_master_, DType::kI8);
+  const std::vector<TokenId> prompt = {9, 18, 27};
+  SpeculativeStats stats;
+  const auto spec = speculative_generate(target, draft, prompt, 20, {4}, &stats);
+  EXPECT_EQ(spec.outputs[0], target_ref.generate({prompt}, 20).outputs[0]);
+  EXPECT_GT(stats.acceptance_rate(), 0.5);
+}
+
+TEST_F(SpeculativeTest, StatsAreConsistent) {
+  Model target(target_master_, DType::kF32);
+  Model draft(draft_master_, DType::kF32);
+  SpeculativeStats stats;
+  speculative_generate(target, draft, {5, 10, 15}, 20, {4}, &stats);
+  EXPECT_LE(stats.accepted, stats.proposed);
+  EXPECT_GE(stats.rounds, 1u);
+  EXPECT_EQ(stats.emitted, 20u);
+  // Target forwards <= prompt + emitted + rounds (each round costs at most
+  // one extra forward beyond the tokens it retires).
+  EXPECT_LE(stats.target_forwards, 3u + 20u + stats.rounds);
+}
+
+TEST_F(SpeculativeTest, KvTruncateSupportsRollback) {
+  const auto cfg = spec_config(kVocab);
+  KVCache cache(cfg, 1, 16);
+  std::vector<float> k(cfg.kv_dim(), 1.0f), v(cfg.kv_dim(), 2.0f);
+  for (int t = 0; t < 5; ++t) {
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, 0, k, v);
+    cache.commit(0);
+  }
+  cache.truncate(0, 2);
+  EXPECT_EQ(cache.seq_len(0), 2u);
+  EXPECT_THROW(cache.truncate(0, 10), ContractViolation);
+  // Growth after rollback reuses the slots.
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, 0, k, v);
+  cache.commit(0);
+  EXPECT_EQ(cache.seq_len(0), 3u);
+}
+
+TEST_F(SpeculativeTest, InvalidConfigsRejected) {
+  Model target(target_master_, DType::kF32);
+  Model draft(draft_master_, DType::kF32);
+  EXPECT_THROW(speculative_generate(target, draft, {}, 8), ContractViolation);
+  EXPECT_THROW(speculative_generate(target, draft, {1}, 8, {0}), ContractViolation);
+  auto other_vocab = MasterWeights::init_random(spec_config(kVocab + 3, 16), 4);
+  Model mismatched(other_vocab, DType::kF32);
+  EXPECT_THROW(speculative_generate(target, mismatched, {1}, 8), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim

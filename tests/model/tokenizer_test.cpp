@@ -1,0 +1,74 @@
+#include "tokenizer/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim {
+namespace {
+
+TEST(TokenizerTest, TrainBuildsFrequencyRankedVocab) {
+  const Tokenizer t = Tokenizer::train("the cat and the dog and the bird", 10);
+  // "the" (3) ranks before "and" (2) before singletons.
+  EXPECT_EQ(t.token_text(Tokenizer::kWordBase), "the");
+  EXPECT_EQ(t.token_text(Tokenizer::kWordBase + 1), "and");
+  EXPECT_EQ(t.word_count(), 5u);
+}
+
+TEST(TokenizerTest, EncodeDecodeRoundTrip) {
+  const Tokenizer t = Tokenizer::train("alpha beta gamma delta", 10);
+  const auto ids = t.encode("alpha gamma beta");
+  EXPECT_EQ(t.decode(ids), "alpha gamma beta");
+}
+
+TEST(TokenizerTest, ByteFallbackForUnknownWords) {
+  const Tokenizer t = Tokenizer::train("known words only", 10);
+  const auto ids = t.encode("xyz");
+  ASSERT_EQ(ids.size(), 3u);  // three byte tokens
+  for (TokenId id : ids) {
+    EXPECT_GE(id, Tokenizer::kByteBase);
+    EXPECT_LT(id, Tokenizer::kWordBase);
+  }
+  EXPECT_EQ(t.decode(ids), "xyz");
+}
+
+TEST(TokenizerTest, PunctuationSplitsOff) {
+  const auto pieces = Tokenizer::pretokenize("Hello, world! (ok)");
+  const std::vector<std::string> expected = {"Hello", ",", "world", "!", "(", "ok", ")"};
+  EXPECT_EQ(pieces, expected);
+}
+
+TEST(TokenizerTest, BosPrepended) {
+  const Tokenizer t = Tokenizer::train("a b", 4);
+  const auto ids = t.encode("a", /*add_bos=*/true);
+  ASSERT_GE(ids.size(), 2u);
+  EXPECT_EQ(ids[0], Tokenizer::kBos);
+}
+
+TEST(TokenizerTest, VocabCapRespected) {
+  const Tokenizer t = Tokenizer::train("a b c d e f g h", 3);
+  EXPECT_EQ(t.word_count(), 3u);
+  EXPECT_EQ(t.vocab_size(), Tokenizer::kWordBase + 3);
+}
+
+TEST(TokenizerTest, SpecialTokenTexts) {
+  const Tokenizer t = Tokenizer::train("x", 1);
+  EXPECT_EQ(t.token_text(Tokenizer::kUnk), "<unk>");
+  EXPECT_EQ(t.token_text(Tokenizer::kBos), "<bos>");
+  EXPECT_EQ(t.token_text(Tokenizer::kEos), "<eos>");
+}
+
+TEST(TokenizerTest, DeterministicTieBreak) {
+  // Equal-frequency words rank lexicographically, so training twice gives
+  // identical vocabularies.
+  const Tokenizer a = Tokenizer::train("zeta alpha zeta alpha", 4);
+  const Tokenizer b = Tokenizer::train("zeta alpha zeta alpha", 4);
+  EXPECT_EQ(a.token_text(Tokenizer::kWordBase), b.token_text(Tokenizer::kWordBase));
+  EXPECT_EQ(a.token_text(Tokenizer::kWordBase), "alpha");
+}
+
+TEST(TokenizerTest, DecodeSkipsSpecials) {
+  const Tokenizer t = Tokenizer::train("w", 1);
+  EXPECT_EQ(t.decode({Tokenizer::kBos, Tokenizer::kWordBase, Tokenizer::kEos}), "w");
+}
+
+}  // namespace
+}  // namespace orinsim

@@ -1,0 +1,205 @@
+#include "quant/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace orinsim::quant {
+namespace {
+
+std::vector<float> random_weights(std::size_t n, Rng& rng, double scale = 0.1) {
+  std::vector<float> w(n);
+  for (auto& v : w) v = static_cast<float>(rng.normal(0.0, scale));
+  return w;
+}
+
+TEST(Int8Test, RoundTripErrorBounded) {
+  Rng rng(1);
+  const std::size_t rows = 16, cols = 64;
+  auto w = random_weights(rows * cols, rng);
+  const RowwiseInt8 q = quantize_rowwise_int8(w, rows, cols, 0.0f);
+  std::vector<float> rec(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    dequantize_row(q, r, rec);
+    float absmax = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      absmax = std::max(absmax, std::fabs(w[r * cols + c]));
+    }
+    // Rounding error <= scale/2 = absmax / 254.
+    for (std::size_t c = 0; c < cols; ++c) {
+      EXPECT_LE(std::fabs(rec[c] - w[r * cols + c]), absmax / 254.0f + 1e-7f);
+    }
+  }
+}
+
+TEST(Int8Test, OutlierColumnsExactInFp16) {
+  Rng rng(2);
+  const std::size_t rows = 8, cols = 32;
+  auto w = random_weights(rows * cols, rng, 0.05);
+  // Plant outliers in column 5.
+  for (std::size_t r = 0; r < rows; ++r) w[r * cols + 5] = 4.0f + static_cast<float>(r);
+  const RowwiseInt8 q = quantize_rowwise_int8(w, rows, cols, 1.0f);
+  ASSERT_EQ(q.outlier_cols.size(), 1u);
+  EXPECT_EQ(q.outlier_cols[0], 5u);
+  std::vector<float> rec(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    dequantize_row(q, r, rec);
+    // fp16 stores these values with ~0.1% error.
+    EXPECT_NEAR(rec[5], w[r * cols + 5], 0.01f);
+  }
+}
+
+TEST(Int8Test, OutliersDoNotPolluteRowScale) {
+  Rng rng(3);
+  const std::size_t rows = 4, cols = 32;
+  auto w = random_weights(rows * cols, rng, 0.05);
+  w[7] = 100.0f;  // enormous outlier in row 0
+  const RowwiseInt8 with_outliers = quantize_rowwise_int8(w, rows, cols, 1.0f);
+  const RowwiseInt8 without = quantize_rowwise_int8(w, rows, cols, 0.0f);
+  // With the outlier absorbed into fp16, the int8 scale stays small and the
+  // other columns keep precision; without, the scale explodes.
+  EXPECT_LT(with_outliers.row_scale[0], without.row_scale[0] / 10.0f);
+}
+
+TEST(Int8Test, MatvecMatchesDequantizedReference) {
+  Rng rng(4);
+  const std::size_t rows = 48, cols = 64;
+  auto w = random_weights(rows * cols, rng);
+  w[3] = 2.5f;  // trigger the outlier path too
+  const RowwiseInt8 q = quantize_rowwise_int8(w, rows, cols, 0.5f);
+  auto x = random_weights(cols, rng, 1.0);
+  std::vector<float> out(rows), ref(rows, 0.0f), rec(cols);
+  matvec_int8(q, x, out);
+  for (std::size_t r = 0; r < rows; ++r) {
+    dequantize_row(q, r, rec);
+    for (std::size_t c = 0; c < cols; ++c) ref[r] += rec[c] * x[c];
+  }
+  // Activation quantization adds error ~ |x|max/127 per term.
+  for (std::size_t r = 0; r < rows; ++r) EXPECT_NEAR(out[r], ref[r], 0.05f);
+}
+
+TEST(Int8Test, StorageBytesAccounting) {
+  Rng rng(5);
+  const std::size_t rows = 10, cols = 32;
+  auto w = random_weights(rows * cols, rng);
+  const RowwiseInt8 q = quantize_rowwise_int8(w, rows, cols, 0.0f);
+  EXPECT_EQ(q.storage_bytes(), rows * cols * 1 + rows * sizeof(float));
+}
+
+TEST(Int8Test, ZeroMatrixHandled) {
+  std::vector<float> w(8 * 32, 0.0f);
+  const RowwiseInt8 q = quantize_rowwise_int8(w, 8, 32, 0.0f);
+  std::vector<float> rec(32);
+  dequantize_row(q, 0, rec);
+  for (float v : rec) EXPECT_EQ(v, 0.0f);
+  std::vector<float> x(32, 1.0f), out(8);
+  matvec_int8(q, x, out);
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Int4Test, RoundTripErrorBounded) {
+  Rng rng(6);
+  const std::size_t rows = 8, cols = 64;
+  auto w = random_weights(rows * cols, rng);
+  const BlockInt4 q = quantize_block_int4(w, rows, cols);
+  std::vector<float> rec(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    dequantize_row(q, r, rec);
+    for (std::size_t b = 0; b < cols / kInt4Block; ++b) {
+      float absmax = 0.0f;
+      for (std::size_t i = 0; i < kInt4Block; ++i) {
+        absmax = std::max(absmax, std::fabs(w[r * cols + b * kInt4Block + i]));
+      }
+      for (std::size_t i = 0; i < kInt4Block; ++i) {
+        // Rounding error is scale/2 = absmax/16, except at +absmax where the
+        // symmetric code range [-8, 7] clamps and the error reaches absmax/8.
+        const std::size_t c = b * kInt4Block + i;
+        EXPECT_LE(std::fabs(rec[c] - w[r * cols + c]), absmax / 8.0f + 5e-3f);
+      }
+    }
+  }
+}
+
+TEST(Int4Test, CodesStayInSignedRange) {
+  // Values at +absmax must clamp to 7 (not wrap); -absmax encodes as -8.
+  std::vector<float> w(kInt4Block, 0.0f);
+  w[0] = 1.0f;
+  w[1] = -1.0f;
+  const BlockInt4 q = quantize_block_int4(w, 1, kInt4Block);
+  std::vector<float> rec(kInt4Block);
+  dequantize_row(q, 0, rec);
+  EXPECT_GT(rec[0], 0.8f);
+  EXPECT_LT(rec[1], -0.8f);
+}
+
+TEST(Int4Test, MatvecMatchesDequantizedReference) {
+  Rng rng(7);
+  const std::size_t rows = 20, cols = 96;
+  auto w = random_weights(rows * cols, rng);
+  const BlockInt4 q = quantize_block_int4(w, rows, cols);
+  auto x = random_weights(cols, rng, 1.0);
+  std::vector<float> out(rows), rec(cols);
+  matvec_int4(q, x, out);
+  for (std::size_t r = 0; r < rows; ++r) {
+    dequantize_row(q, r, rec);
+    float ref = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) ref += rec[c] * x[c];
+    EXPECT_NEAR(out[r], ref, 1e-3f);
+  }
+}
+
+TEST(Int4Test, RequiresBlockAlignedCols) {
+  std::vector<float> w(2 * 33, 0.0f);
+  EXPECT_THROW(quantize_block_int4(w, 2, 33), ContractViolation);
+}
+
+TEST(Int4Test, StorageIsHalfByteIsh) {
+  Rng rng(8);
+  const std::size_t rows = 4, cols = 128;
+  auto w = random_weights(rows * cols, rng);
+  const BlockInt4 q = quantize_block_int4(w, rows, cols);
+  EXPECT_EQ(q.packed.size(), rows * cols / 2);
+  EXPECT_EQ(q.block_scale.size(), rows * cols / kInt4Block);
+}
+
+TEST(QuantErrorTest, OrderingAcrossPrecisions) {
+  // INT4 must lose more than INT8 on the same matrix; FP16 less than both.
+  Rng rng(9);
+  const std::size_t rows = 32, cols = 128;
+  auto w = random_weights(rows * cols, rng);
+  auto reconstruct_int8 = [&] {
+    const RowwiseInt8 q = quantize_rowwise_int8(w, rows, cols, 0.0f);
+    std::vector<float> rec(rows * cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      dequantize_row(q, r, std::span<float>(rec.data() + r * cols, cols));
+    }
+    return rec;
+  };
+  auto reconstruct_int4 = [&] {
+    const BlockInt4 q = quantize_block_int4(w, rows, cols);
+    std::vector<float> rec(rows * cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      dequantize_row(q, r, std::span<float>(rec.data() + r * cols, cols));
+    }
+    return rec;
+  };
+  auto f16 = quantize_fp16(w);
+  std::vector<float> rec16(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) rec16[i] = fp16_to_float(f16[i]);
+
+  const QuantError e16 = measure_error(w, rec16);
+  const QuantError e8 = measure_error(w, reconstruct_int8());
+  const QuantError e4 = measure_error(w, reconstruct_int4());
+  EXPECT_LT(e16.rmse, e8.rmse);
+  EXPECT_LT(e8.rmse, e4.rmse);
+  EXPECT_LT(e16.relative_fro, 0.001);
+  EXPECT_LT(e8.relative_fro, 0.01);
+  EXPECT_LT(e4.relative_fro, 0.1);
+}
+
+}  // namespace
+}  // namespace orinsim::quant

@@ -1,0 +1,106 @@
+#include "quant/weight_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/kernels.h"
+
+namespace orinsim::quant {
+namespace {
+
+std::vector<float> random_weights(std::size_t n, Rng& rng, double scale = 0.1) {
+  std::vector<float> w(n);
+  for (auto& v : w) v = static_cast<float>(rng.normal(0.0, scale));
+  return w;
+}
+
+class WeightMatrixParamTest : public ::testing::TestWithParam<DType> {};
+
+TEST_P(WeightMatrixParamTest, MatvecCloseToFp32Reference) {
+  Rng rng(11);
+  const std::size_t out_f = 40, in_f = 64;
+  auto w = random_weights(out_f * in_f, rng);
+  const WeightMatrix wm = WeightMatrix::create(w, out_f, in_f, GetParam());
+  auto x = random_weights(in_f, rng, 1.0);
+  std::vector<float> out(out_f), ref(out_f);
+  wm.matvec(x, out);
+  kernels::matvec(w, x, ref, out_f, in_f);
+  // Tolerance scales with precision.
+  double tol = 1e-4;
+  if (GetParam() == DType::kF16) tol = 5e-3;
+  if (GetParam() == DType::kI8) tol = 5e-2;
+  if (GetParam() == DType::kI4) tol = 0.4;
+  for (std::size_t r = 0; r < out_f; ++r) EXPECT_NEAR(out[r], ref[r], tol);
+}
+
+TEST_P(WeightMatrixParamTest, MatmulMatchesPerTokenMatvec) {
+  Rng rng(12);
+  const std::size_t out_f = 24, in_f = 32, tokens = 5;
+  auto w = random_weights(out_f * in_f, rng);
+  const WeightMatrix wm = WeightMatrix::create(w, out_f, in_f, GetParam());
+  auto x = random_weights(tokens * in_f, rng, 1.0);
+  std::vector<float> y(tokens * out_f), y_ref(tokens * out_f);
+  wm.matmul(x, y, tokens);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    wm.matvec(std::span<const float>(x.data() + t * in_f, in_f),
+              std::span<float>(y_ref.data() + t * out_f, out_f));
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-5f);
+}
+
+TEST_P(WeightMatrixParamTest, DequantizeRowCloseToSource) {
+  Rng rng(13);
+  const std::size_t out_f = 8, in_f = 32;
+  auto w = random_weights(out_f * in_f, rng);
+  const WeightMatrix wm = WeightMatrix::create(w, out_f, in_f, GetParam());
+  std::vector<float> rec(in_f);
+  double tol = 1e-7;
+  if (GetParam() == DType::kF16) tol = 1e-3;
+  if (GetParam() == DType::kI8) tol = 5e-3;
+  if (GetParam() == DType::kI4) tol = 5e-2;
+  for (std::size_t r = 0; r < out_f; ++r) {
+    wm.dequantize_row(r, rec);
+    for (std::size_t c = 0; c < in_f; ++c) EXPECT_NEAR(rec[c], w[r * in_f + c], tol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, WeightMatrixParamTest,
+                         ::testing::Values(DType::kF32, DType::kF16, DType::kI8,
+                                           DType::kI4),
+                         [](const auto& info) { return dtype_name(info.param); });
+
+TEST(WeightMatrixTest, StorageShrinksWithPrecision) {
+  Rng rng(14);
+  const std::size_t out_f = 64, in_f = 128;
+  auto w = random_weights(out_f * in_f, rng);
+  const auto f32 = WeightMatrix::create(w, out_f, in_f, DType::kF32);
+  const auto f16 = WeightMatrix::create(w, out_f, in_f, DType::kF16);
+  const auto i8 = WeightMatrix::create(w, out_f, in_f, DType::kI8);
+  const auto i4 = WeightMatrix::create(w, out_f, in_f, DType::kI4);
+  EXPECT_EQ(f32.storage_bytes(), out_f * in_f * 4);
+  EXPECT_EQ(f16.storage_bytes(), out_f * in_f * 2);
+  EXPECT_LT(i8.storage_bytes(), f16.storage_bytes());
+  EXPECT_LT(i4.storage_bytes(), i8.storage_bytes());
+}
+
+TEST(WeightMatrixTest, OutlierColumnsReportedForInt8) {
+  Rng rng(15);
+  const std::size_t out_f = 16, in_f = 64;
+  auto w = random_weights(out_f * in_f, rng, 0.05);
+  w[10] = 3.0f;  // column 10 becomes an outlier under the 6-sigma rule
+  const auto i8 = WeightMatrix::create(w, out_f, in_f, DType::kI8, 6.0f);
+  EXPECT_GE(i8.outlier_column_count(), 1u);
+  const auto f16 = WeightMatrix::create(w, out_f, in_f, DType::kF16);
+  EXPECT_EQ(f16.outlier_column_count(), 0u);
+}
+
+TEST(WeightMatrixTest, ShapeMismatchRejected) {
+  std::vector<float> w(10, 0.0f);
+  EXPECT_THROW(WeightMatrix::create(w, 3, 4, DType::kF32), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::quant

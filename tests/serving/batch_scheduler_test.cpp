@@ -1,0 +1,124 @@
+#include "serving/batch_scheduler.h"
+
+#include "workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim::serving {
+namespace {
+
+SchedulerConfig base_config() {
+  SchedulerConfig c;
+  c.max_batch = 8;
+  c.arrival_rate_rps = 4.0;
+  c.total_requests = 32;
+  return c;
+}
+
+TEST(BatchSchedulerTest, AllRequestsServed) {
+  SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  const ScheduleResult r = simulate_serving(session, base_config());
+  ASSERT_EQ(r.requests.size(), 32u);
+  for (const auto& req : r.requests) {
+    EXPECT_GE(req.start_s, req.arrival_s);
+    EXPECT_GT(req.finish_s, req.start_s);
+  }
+  EXPECT_GT(r.batches_run, 0u);
+  EXPECT_GT(r.total_energy_j, 0.0);
+}
+
+TEST(BatchSchedulerTest, LargerMaxBatchFewerBatches) {
+  SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  SchedulerConfig small = base_config();
+  small.max_batch = 2;
+  SchedulerConfig large = base_config();
+  large.max_batch = 16;
+  const ScheduleResult rs = simulate_serving(session, small);
+  const ScheduleResult rl = simulate_serving(session, large);
+  EXPECT_GT(rs.batches_run, rl.batches_run);
+}
+
+TEST(BatchSchedulerTest, HigherArrivalRateRaisesOccupancy) {
+  SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  SchedulerConfig slow = base_config();
+  slow.arrival_rate_rps = 0.05;  // trickle: batches mostly run singly
+  SchedulerConfig fast = base_config();
+  fast.arrival_rate_rps = 50.0;  // flood: batches fill to max
+  const ScheduleResult r_slow = simulate_serving(session, slow);
+  const ScheduleResult r_fast = simulate_serving(session, fast);
+  EXPECT_GT(r_fast.mean_batch_occupancy, r_slow.mean_batch_occupancy);
+}
+
+TEST(BatchSchedulerTest, LatencyStatsOrdered) {
+  SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  const ScheduleResult r = simulate_serving(session, base_config());
+  EXPECT_GT(r.mean_latency_s(), 0.0);
+  EXPECT_GE(r.p95_latency_s(), r.mean_latency_s() * 0.5);
+  EXPECT_GT(r.achieved_rps(), 0.0);
+}
+
+TEST(BatchSchedulerTest, InvalidConfigsRejected) {
+  SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  SchedulerConfig bad = base_config();
+  bad.max_batch = 0;
+  EXPECT_THROW(simulate_serving(session, bad), ContractViolation);
+  bad = base_config();
+  bad.total_requests = 0;
+  EXPECT_THROW(simulate_serving(session, bad), ContractViolation);
+}
+
+TEST(BatchSchedulerTest, OomConfigRejected) {
+  SimSession session("deepseek-qwen", DType::kF16, workload::Dataset::kWikiText2);
+  EXPECT_THROW(simulate_serving(session, base_config()), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::serving
+
+namespace orinsim::serving {
+namespace {
+
+TEST(BatchSchedulerArrivalsTest, PoissonStreamServed) {
+  SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  workload::ArrivalSpec spec;
+  spec.kind = workload::ArrivalKind::kPoisson;
+  spec.rate_rps = 4.0;
+  const auto arrivals = workload::generate_arrivals(spec, 32);
+  SchedulerConfig config;
+  config.max_batch = 8;
+  const ScheduleResult r = simulate_serving(session, config, arrivals);
+  ASSERT_EQ(r.requests.size(), 32u);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(r.requests[i].arrival_s, arrivals[i]);
+    EXPECT_GE(r.requests[i].start_s, r.requests[i].arrival_s);
+  }
+}
+
+TEST(BatchSchedulerArrivalsTest, BurstyTailWorseThanDeterministic) {
+  // Same mean rate: the bursty stream's p95 latency must be no better than
+  // the evenly spaced one (queueing theory's basic lesson).
+  SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  SchedulerConfig config;
+  config.max_batch = 8;
+  config.arrival_rate_rps = 3.0;
+  config.total_requests = 64;
+  const ScheduleResult even = simulate_serving(session, config);
+
+  workload::ArrivalSpec spec;
+  spec.kind = workload::ArrivalKind::kBursty;
+  spec.rate_rps = 3.0;
+  spec.burst_factor = 8.0;
+  const auto arrivals = workload::generate_arrivals(spec, 64);
+  const ScheduleResult bursty = simulate_serving(session, config, arrivals);
+  EXPECT_GE(bursty.p95_latency_s(), even.p95_latency_s() * 0.9);
+}
+
+TEST(BatchSchedulerArrivalsTest, DecreasingArrivalsRejected) {
+  SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  SchedulerConfig config;
+  const std::vector<double> bad = {1.0, 0.5};
+  EXPECT_THROW(simulate_serving(session, config, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::serving

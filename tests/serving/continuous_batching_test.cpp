@@ -1,0 +1,101 @@
+#include "serving/continuous_batching.h"
+
+#include <gtest/gtest.h>
+
+#include "serving/batch_scheduler.h"
+
+namespace orinsim::serving {
+namespace {
+
+ContinuousConfig base_config() {
+  ContinuousConfig c;
+  c.model_key = "llama3";
+  c.max_concurrency = 16;
+  c.arrival_rate_rps = 2.0;
+  c.total_requests = 32;
+  return c;
+}
+
+TEST(ContinuousBatchingTest, AllRequestsComplete) {
+  const ContinuousResult r = simulate_continuous(base_config());
+  EXPECT_EQ(r.latencies_s.size(), 32u);
+  for (double l : r.latencies_s) EXPECT_GT(l, 0.0);
+  EXPECT_GT(r.makespan_s, 0.0);
+  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_GE(r.decode_steps, 64u);  // at least out_tokens steps
+}
+
+TEST(ContinuousBatchingTest, Deterministic) {
+  const ContinuousResult a = simulate_continuous(base_config());
+  const ContinuousResult b = simulate_continuous(base_config());
+  EXPECT_EQ(a.latencies_s, b.latencies_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+}
+
+TEST(ContinuousBatchingTest, OccupancyBoundedByCap) {
+  ContinuousConfig c = base_config();
+  c.arrival_rate_rps = 100.0;  // flood
+  const ContinuousResult r = simulate_continuous(c);
+  EXPECT_LE(r.mean_active, static_cast<double>(c.max_concurrency) + 1e-9);
+  EXPECT_GT(r.mean_active, 4.0);  // flood keeps the device busy
+}
+
+TEST(ContinuousBatchingTest, SingleRequestLatencyNearBsOne) {
+  // A lone request should see roughly the bs=1 static latency (prefill +
+  // 64 decode steps), with no batching delay.
+  ContinuousConfig c = base_config();
+  c.total_requests = 1;
+  c.arrival_rate_rps = 1.0;
+  const ContinuousResult r = simulate_continuous(c);
+  ASSERT_EQ(r.latencies_s.size(), 1u);
+  EXPECT_GT(r.latencies_s[0], 4.0);
+  EXPECT_LT(r.latencies_s[0], 9.0);  // paper bs=1: 6.37s minus run overhead
+}
+
+TEST(ContinuousBatchingTest, BeatsStaticMeanLatencyUnderLoad) {
+  // Same arrival process, same concurrency budget: continuous batching must
+  // cut mean time-to-last-token (no waiting for batch formation/stragglers).
+  const double rps = 5.0;
+  const std::size_t n = 48;
+
+  SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  SchedulerConfig sc;
+  sc.max_batch = 16;
+  sc.arrival_rate_rps = rps;
+  sc.total_requests = n;
+  const ScheduleResult stat = simulate_serving(session, sc);
+
+  ContinuousConfig cc = base_config();
+  cc.arrival_rate_rps = rps;
+  cc.total_requests = n;
+  const ContinuousResult cont = simulate_continuous(cc);
+
+  EXPECT_LT(cont.mean_latency_s(), stat.mean_latency_s());
+}
+
+TEST(ContinuousBatchingTest, EnergyScalesWithWork) {
+  ContinuousConfig c = base_config();
+  const ContinuousResult small = simulate_continuous(c);
+  c.total_requests *= 2;
+  const ContinuousResult large = simulate_continuous(c);
+  EXPECT_GT(large.energy_j, small.energy_j * 1.5);
+}
+
+TEST(ContinuousBatchingTest, MemoryGateEnforced) {
+  ContinuousConfig c = base_config();
+  c.model_key = "deepseek-qwen";
+  c.dtype = DType::kF16;  // 62 GB, does not fit
+  EXPECT_THROW(simulate_continuous(c), ContractViolation);
+}
+
+TEST(ContinuousBatchingTest, DegenerateConfigsRejected) {
+  ContinuousConfig c = base_config();
+  c.total_requests = 0;
+  EXPECT_THROW(simulate_continuous(c), ContractViolation);
+  c = base_config();
+  c.max_concurrency = 0;
+  EXPECT_THROW(simulate_continuous(c), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::serving

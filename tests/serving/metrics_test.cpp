@@ -1,0 +1,30 @@
+#include "serving/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace orinsim::serving {
+namespace {
+
+TEST(MetricsTest, PaperThroughputFormula) {
+  // Table 4 cross-check: Llama at bs=32 processes 32*96 tokens in 9.96 s
+  // => 308.4 tokens/s (the table reports 308.47).
+  EXPECT_NEAR(token_throughput_tps(32, 32, 64, 9.96), 308.4, 0.2);
+}
+
+TEST(MetricsTest, RaggedOverload) {
+  EXPECT_DOUBLE_EQ(token_throughput_tps(960, 4.0), 240.0);
+}
+
+TEST(MetricsTest, ZeroLatencyRejected) {
+  EXPECT_THROW(token_throughput_tps(32, 32, 64, 0.0), ContractViolation);
+}
+
+TEST(MetricsTest, IncrementalMemory) {
+  EXPECT_DOUBLE_EQ(incremental_memory_gb(20.53, 5.6), 14.93);
+  EXPECT_THROW(incremental_memory_gb(5.0, 6.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::serving

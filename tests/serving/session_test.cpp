@@ -1,0 +1,88 @@
+#include "serving/session.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim::serving {
+namespace {
+
+TEST(SimSessionTest, RunsDefaultWorkload) {
+  SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  BatchRequest rq;
+  const BatchResult r = session.run(rq);
+  ASSERT_FALSE(r.oom);
+  EXPECT_GT(r.latency_s, 0.0);
+  EXPECT_GT(r.throughput_tps, 0.0);
+  EXPECT_GT(r.median_power_w, 0.0);
+  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_GT(r.total_ram_gb, r.incremental_ram_gb);
+}
+
+TEST(SimSessionTest, LongBenchSlightlyFaster) {
+  // Tables 4 vs 5: LongBench runs a few percent faster on identical configs.
+  BatchRequest rq;
+  SimSession wiki("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  SimSession lb("llama3", DType::kF16, workload::Dataset::kLongBench);
+  EXPECT_LT(lb.run(rq).latency_s, wiki.run(rq).latency_s);
+}
+
+TEST(SimSessionTest, OomPropagates) {
+  SimSession session("deepseek-qwen", DType::kF16, workload::Dataset::kWikiText2);
+  const BatchResult r = session.run(BatchRequest{});
+  EXPECT_TRUE(r.oom);
+}
+
+TEST(SimSessionTest, PowerModeChangesResults) {
+  BatchRequest rq;
+  SimSession maxn("llama3", DType::kF16, workload::Dataset::kWikiText2,
+                  sim::power_mode_maxn());
+  SimSession pm_h("llama3", DType::kF16, workload::Dataset::kWikiText2,
+                  sim::power_mode_by_name("H"));
+  const BatchResult a = maxn.run(rq);
+  const BatchResult b = pm_h.run(rq);
+  EXPECT_GT(b.latency_s, a.latency_s * 3.0);
+  EXPECT_LT(b.median_power_w, a.median_power_w);
+}
+
+TEST(SimSessionTest, DatasetScaleFactors) {
+  EXPECT_DOUBLE_EQ(dataset_latency_scale(workload::Dataset::kWikiText2), 1.0);
+  EXPECT_LT(dataset_latency_scale(workload::Dataset::kLongBench), 1.0);
+}
+
+class FunctionalSessionTest : public ::testing::Test {
+ protected:
+  FunctionalSessionTest()
+      : corpus_(workload::generate_corpus(workload::CorpusSpec::wikitext2())),
+        tokenizer_(Tokenizer::train(corpus_.text, 400)),
+        pool_(corpus_, tokenizer_, 256),
+        master_(MasterWeights::init_random(make_nano_config("llama3", tokenizer_.vocab_size()),
+                                           17)) {}
+
+  workload::Corpus corpus_;
+  Tokenizer tokenizer_;
+  workload::PromptPool pool_;
+  std::shared_ptr<MasterWeights> master_;
+};
+
+TEST_F(FunctionalSessionTest, RealGenerationProducesMetrics) {
+  FunctionalSession session(master_, DType::kF32, pool_);
+  BatchRequest rq;
+  rq.batch = 2;
+  rq.seq = workload::SeqConfig{24, 8, 16};
+  const BatchResult r = session.run(rq);
+  EXPECT_FALSE(r.oom);
+  EXPECT_GT(r.latency_s, 0.0);
+  // 2 * 24 tokens over the measured latency.
+  EXPECT_NEAR(r.throughput_tps * r.latency_s, 48.0, 1.0);
+  EXPECT_GT(r.total_ram_gb, 0.0);
+}
+
+TEST_F(FunctionalSessionTest, RejectsSequencesBeyondModelLimit) {
+  FunctionalSession session(master_, DType::kF32, pool_);
+  BatchRequest rq;
+  rq.batch = 1;
+  rq.seq = workload::SeqConfig{4096, 1024, 3072};
+  EXPECT_THROW(session.run(rq), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::serving

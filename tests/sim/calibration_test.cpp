@@ -1,0 +1,112 @@
+#include "sim/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/paper_reference.h"
+
+namespace orinsim::sim {
+namespace {
+
+TEST(CalibrationTest, AnchorsReproducedTightly) {
+  // bs=1 and the sequence anchor are solved exactly; bs=128 can clamp at the
+  // efficiency ceiling for DeepSeek-Qwen (whose appendix rows are visibly
+  // noisy: its bs=16 latency exceeds its bs=32 latency).
+  for (const auto& r : calibration_residuals()) {
+    EXPECT_LT(std::fabs(r.bs1_rel_error), 0.01) << r.model_key;
+    EXPECT_LT(std::fabs(r.seq_rel_error), 0.01) << r.model_key;
+    if (r.model_key != "deepseek-qwen") {
+      EXPECT_LT(std::fabs(r.bs128_rel_error), 0.10) << r.model_key;
+    } else {
+      EXPECT_LT(std::fabs(r.bs128_rel_error), 0.50) << r.model_key;
+    }
+  }
+}
+
+TEST(CalibrationTest, EfficienciesPhysicallyPlausible) {
+  for (const auto& m : model_catalog()) {
+    EXPECT_GT(m.bw_efficiency, 0.05) << m.key;
+    EXPECT_LE(m.bw_efficiency, 0.95) << m.key;
+    EXPECT_GT(m.compute_efficiency, 0.05) << m.key;
+    EXPECT_LE(m.compute_efficiency, 0.95) << m.key;
+    EXPECT_GE(m.attn_kv_overhead, 0.0) << m.key;
+    EXPECT_LE(m.attn_kv_overhead, 120.0) << m.key;
+    EXPECT_GE(m.quant_slowdown_i8, 1.0) << m.key;
+    EXPECT_GE(m.quant_slowdown_i4, 1.0) << m.key;
+  }
+}
+
+TEST(CalibrationTest, SmallModelsLessBandwidthEfficient) {
+  // Phi-2's small matvecs cannot saturate DRAM the way Llama/Mistral do —
+  // this is what the bs=1 anchors imply and a core paper observation.
+  EXPECT_LT(model_by_key("phi2").bw_efficiency, model_by_key("llama3").bw_efficiency);
+  EXPECT_LT(model_by_key("phi2").bw_efficiency, model_by_key("mistral").bw_efficiency);
+}
+
+TEST(CalibrationTest, DeepseekInt8InefficiencyFoldedIn) {
+  // DeepSeek's anchors are INT8 runs; its slowdown slot must stay 1.0 and
+  // the inefficiency must appear as a low fitted bandwidth efficiency.
+  const ModelSpec& deepq = model_by_key("deepseek-qwen");
+  EXPECT_DOUBLE_EQ(deepq.quant_slowdown_i8, 1.0);
+  EXPECT_LT(deepq.bw_efficiency, 0.5);
+}
+
+TEST(CalibrationTest, QuantRatioTargetsReproduced) {
+  // End-to-end INT8/FP16 latency ratio at bs=32, sl=96 must match the §3.3
+  // claims: +62% for Phi-2/Llama, ~+2% for Mistral.
+  const PowerMode maxn = power_mode_maxn();
+  for (const auto& target : quant_latency_ratios()) {
+    const ModelSpec& m = model_by_key(target.model_key);
+    if (m.default_dtype != DType::kF16) continue;
+    const double f16 = simulated_batch_latency_s(m, DType::kF16, 32, 32, 64, maxn);
+    const double i8 = simulated_batch_latency_s(m, DType::kI8, 32, 32, 64, maxn);
+    const double i4 = simulated_batch_latency_s(m, DType::kI4, 32, 32, 64, maxn);
+    EXPECT_NEAR(i8 / f16, target.int8_vs_fp16, 0.06) << target.model_key;
+    EXPECT_NEAR(i4 / f16, target.int4_vs_fp16, 0.15) << target.model_key;
+  }
+  // DeepSeek: INT4 vs INT8 ratio.
+  {
+    const ModelSpec& deepq = model_by_key("deepseek-qwen");
+    const double i8 = simulated_batch_latency_s(deepq, DType::kI8, 32, 32, 64, maxn);
+    const double i4 = simulated_batch_latency_s(deepq, DType::kI4, 32, 32, 64, maxn);
+    EXPECT_NEAR(i4 / i8, 3.47, 0.2);
+  }
+}
+
+TEST(CalibrationTest, InterpolatedBatchSizesPredictedWell) {
+  // bs=2..64 were NOT fitted; they must interpolate within ~25% of Table 4
+  // (geometric mean across the sweep much tighter than any single point).
+  const PowerMode maxn = power_mode_maxn();
+  for (const auto& row : table4_batch_wikitext2()) {
+    if (row.batch_size == 1 || row.batch_size == 128) continue;
+    for (const char* key : {"phi2", "llama3", "mistral"}) {
+      const ModelSpec& m = model_by_key(key);
+      const std::size_t idx = reference_model_index(key);
+      const double sim =
+          simulated_batch_latency_s(m, m.default_dtype, row.batch_size, 32, 64, maxn);
+      EXPECT_NEAR(sim / row.latency_s[idx], 1.0, 0.35)
+          << key << " bs=" << row.batch_size;
+    }
+  }
+}
+
+TEST(CalibrationTest, InterpolatedSeqLengthsPredictedWell) {
+  // sl=128/256/512 for Llama/Mistral were not fitted (only sl=1024 was).
+  const PowerMode maxn = power_mode_maxn();
+  for (const auto& row : table7_seq_wikitext2()) {
+    if (row.seq_total == 1024) continue;
+    for (const char* key : {"llama3", "mistral"}) {
+      const ModelSpec& m = model_by_key(key);
+      const std::size_t idx = reference_model_index(key);
+      const std::size_t in = row.seq_total / 4;
+      const std::size_t out = row.seq_total - in;
+      const double sim = simulated_batch_latency_s(m, m.default_dtype, 32, in, out, maxn);
+      EXPECT_NEAR(sim / row.latency_s[idx], 1.0, 0.35)
+          << key << " sl=" << row.seq_total;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace orinsim::sim

@@ -1,0 +1,90 @@
+#include "sim/device_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "sim/inference_sim.h"
+
+namespace orinsim::sim {
+namespace {
+
+TEST(DeviceCatalogTest, FiveDevices) {
+  ASSERT_EQ(device_catalog().size(), 5u);
+  EXPECT_EQ(device_catalog().front().key, "orin-agx-64");
+}
+
+TEST(DeviceCatalogTest, PaperDeviceIsTheReference) {
+  const DeviceEntry& e = device_by_key("orin-agx-64");
+  EXPECT_DOUBLE_EQ(e.spec.total_ram_gb, 64.0);
+  EXPECT_NEAR(e.spec.peak_bw_gbps(e.spec.mem_max_freq_mhz), 204.8, 1e-9);
+  EXPECT_DOUBLE_EQ(e.price_usd, 2200.0);  // per the paper's introduction
+}
+
+TEST(DeviceCatalogTest, BandwidthOrdering) {
+  // AGX (256-bit LPDDR5) > Xavier (LPDDR4x) > NX (128-bit) > Nano.
+  auto bw = [](const char* key) {
+    const DeviceSpec& s = device_by_key(key).spec;
+    return s.peak_bw_gbps(s.mem_max_freq_mhz);
+  };
+  EXPECT_GT(bw("orin-agx-64"), bw("xavier-agx-32"));
+  EXPECT_GT(bw("xavier-agx-32"), bw("orin-nx-16"));
+  EXPECT_GT(bw("orin-nx-16"), bw("orin-nano-8"));
+}
+
+TEST(DeviceCatalogTest, MaxPowerModeMatchesDevice) {
+  const DeviceSpec& xavier = device_by_key("xavier-agx-32").spec;
+  const PowerMode pm = max_power_mode_for(xavier);
+  EXPECT_DOUBLE_EQ(pm.gpu_freq_mhz, xavier.gpu_max_freq_mhz);
+  EXPECT_EQ(pm.cpu_cores_online, xavier.cpu_cores);
+}
+
+TEST(DeviceCatalogTest, OnlyThe64GbOrinHostsTheLargeModels) {
+  // The paper's motivating claim: 24-32B models need the 64GB device.
+  for (const auto& dev : device_catalog()) {
+    const MemoryModel mm(dev.spec);
+    const bool hosts_mistral_fp16 = !mm.model_oom(model_by_key("mistral"), DType::kF16);
+    const bool hosts_deepq_int8 =
+        !mm.model_oom(model_by_key("deepseek-qwen"), DType::kI8);
+    if (dev.key == "orin-agx-64") {
+      EXPECT_TRUE(hosts_mistral_fp16);
+      EXPECT_TRUE(hosts_deepq_int8);
+    } else {
+      EXPECT_FALSE(hosts_mistral_fp16) << dev.key;
+      EXPECT_FALSE(hosts_deepq_int8) << dev.key;
+    }
+  }
+}
+
+TEST(DeviceCatalogTest, SmallDevicesStillRunQuantizedSmallModels) {
+  // Orin Nano 8GB: Phi-2 INT4 (1.8 GB weights) fits; Llama FP16 does not.
+  const MemoryModel nano(device_by_key("orin-nano-8").spec);
+  EXPECT_FALSE(nano.model_oom(model_by_key("phi2"), DType::kI4));
+  EXPECT_TRUE(nano.model_oom(model_by_key("llama3"), DType::kF16));
+}
+
+TEST(DeviceCatalogTest, SlowerDevicesPredictSlowerDecode) {
+  // Same model, best-fit precision, each device's own MaxN: decode gets
+  // slower as bandwidth shrinks.
+  auto latency_on = [](const char* key) {
+    const DeviceEntry& dev = device_by_key(key);
+    const InferenceSim sim(dev.spec);
+    SimRequest rq;
+    rq.model_key = "phi2";
+    rq.dtype = DType::kI8;  // 3.0 GB: fits even the 8GB Nano's usable RAM
+    rq.batch = 1;
+    rq.power_mode = max_power_mode_for(dev.spec);
+    rq.noise_sigma = 0.0;
+    const SimResult r = sim.run(rq);
+    EXPECT_FALSE(r.oom) << key;
+    return r.latency_s;
+  };
+  EXPECT_LT(latency_on("orin-agx-64"), latency_on("xavier-agx-32"));
+  EXPECT_LT(latency_on("xavier-agx-32"), latency_on("orin-nano-8"));
+}
+
+TEST(DeviceCatalogTest, UnknownKeyRejected) {
+  EXPECT_THROW(device_by_key("tpu-v5"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::sim

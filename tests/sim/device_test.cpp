@@ -1,0 +1,43 @@
+#include "sim/device.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim::sim {
+namespace {
+
+TEST(DeviceTest, OrinPeakBandwidth) {
+  const DeviceSpec& d = orin_agx_64gb();
+  // 256-bit LPDDR5 @ 3200 MHz DDR => 204.8 GB/s.
+  EXPECT_NEAR(d.peak_bw_gbps(3200.0), 204.8, 1e-9);
+}
+
+TEST(DeviceTest, BandwidthScalesSuperlinearlyDown) {
+  const DeviceSpec& d = orin_agx_64gb();
+  const double at_full = d.peak_bw_gbps(3200.0);
+  const double at_fifth = d.peak_bw_gbps(665.0);
+  // Sub-proportional bandwidth at low clocks: less than the frequency ratio.
+  EXPECT_LT(at_fifth / at_full, 665.0 / 3200.0 + 1e-9);
+  EXPECT_GT(at_fifth, 0.0);
+}
+
+TEST(DeviceTest, BandwidthClampedAtMax) {
+  const DeviceSpec& d = orin_agx_64gb();
+  EXPECT_DOUBLE_EQ(d.peak_bw_gbps(4000.0), d.peak_bw_gbps(3200.0));
+}
+
+TEST(DeviceTest, Fp16TflopsScaleWithClock) {
+  const DeviceSpec& d = orin_agx_64gb();
+  EXPECT_NEAR(d.peak_fp16_tflops(1301.0), 21.2, 1e-9);
+  EXPECT_NEAR(d.peak_fp16_tflops(650.5), 10.6, 1e-9);
+}
+
+TEST(DeviceTest, UsableRamBelowTotal) {
+  const DeviceSpec& d = orin_agx_64gb();
+  EXPECT_LT(d.usable_ram_gb(), d.total_ram_gb);
+  EXPECT_GT(d.usable_ram_gb(), 58.0);
+  // DeepSeek-Qwen FP16 (62 GB) must NOT fit, per Table 1's red estimate.
+  EXPECT_LT(d.usable_ram_gb(), 62.0);
+}
+
+}  // namespace
+}  // namespace orinsim::sim

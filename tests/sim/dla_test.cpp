@@ -1,0 +1,60 @@
+#include "sim/dla.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim::sim {
+namespace {
+
+TEST(DlaTest, Phi2OnDlaIsMemoryBoundAndUsable) {
+  const DlaCoExecution r = estimate_dla_coexecution(
+      model_by_key("llama3"), DType::kF16, model_by_key("phi2"));
+  // 3 GB of INT8 weights against ~61 GB/s of shared DRAM: ~20 tok/s.
+  EXPECT_TRUE(r.dla_memory_bound);
+  EXPECT_GT(r.dla_tps, 5.0);
+  EXPECT_LT(r.dla_tps, 60.0);
+}
+
+TEST(DlaTest, GpuDegradationMatchesPenalty) {
+  const DlaSpec dla;
+  const DlaCoExecution r = estimate_dla_coexecution(model_by_key("llama3"), DType::kF16,
+                                                    model_by_key("phi2"), dla);
+  EXPECT_GT(r.gpu_degradation, 0.0);
+  // Decode is mostly bandwidth-bound, so losing 10% bandwidth costs <= ~10%.
+  EXPECT_LT(r.gpu_degradation, dla.gpu_bw_penalty + 0.02);
+  EXPECT_LT(r.gpu_tps_shared, r.gpu_tps_alone);
+}
+
+TEST(DlaTest, AddedPowerIsSmall) {
+  const DlaCoExecution r = estimate_dla_coexecution(model_by_key("mistral"), DType::kF16,
+                                                    model_by_key("phi2"));
+  EXPECT_GT(r.added_power_w, 0.0);
+  EXPECT_LE(r.added_power_w, 10.0);
+}
+
+TEST(DlaTest, ComputeBoundWhenBandwidthGenerous) {
+  DlaSpec generous;
+  generous.dram_share = 0.95;
+  generous.efficiency = 0.01;  // pathological kernel support
+  const DlaCoExecution r = estimate_dla_coexecution(
+      model_by_key("llama3"), DType::kF16, model_by_key("phi2"), generous);
+  EXPECT_FALSE(r.dla_memory_bound);
+}
+
+TEST(DlaTest, BiggerSmallModelIsSlowerOnDla) {
+  const DlaCoExecution phi = estimate_dla_coexecution(model_by_key("mistral"),
+                                                      DType::kF16, model_by_key("phi2"));
+  const DlaCoExecution llama = estimate_dla_coexecution(
+      model_by_key("mistral"), DType::kF16, model_by_key("llama3"));
+  EXPECT_GT(phi.dla_tps, llama.dla_tps);
+}
+
+TEST(DlaTest, DegenerateSpecsRejected) {
+  DlaSpec bad;
+  bad.cores = 0;
+  EXPECT_THROW(estimate_dla_coexecution(model_by_key("llama3"), DType::kF16,
+                                        model_by_key("phi2"), bad),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::sim

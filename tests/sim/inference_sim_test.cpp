@@ -1,0 +1,123 @@
+#include "sim/inference_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace orinsim::sim {
+namespace {
+
+class InferenceSimTest : public ::testing::Test {
+ protected:
+  InferenceSim sim_;
+
+  SimRequest base_request() {
+    SimRequest rq;
+    rq.model_key = "llama3";
+    rq.dtype = DType::kF16;
+    rq.batch = 32;
+    rq.in_tokens = 32;
+    rq.out_tokens = 64;
+    return rq;
+  }
+};
+
+TEST_F(InferenceSimTest, ThroughputConsistentWithLatency) {
+  const SimResult r = sim_.run(base_request());
+  ASSERT_FALSE(r.oom);
+  // TP = bs * (in + out) / latency (paper formula).
+  EXPECT_NEAR(r.throughput_tps, 32.0 * 96.0 / r.latency_s, r.throughput_tps * 0.05);
+}
+
+TEST_F(InferenceSimTest, DeterministicForSameSeed) {
+  const SimResult a = sim_.run(base_request());
+  const SimResult b = sim_.run(base_request());
+  EXPECT_DOUBLE_EQ(a.latency_s, b.latency_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_DOUBLE_EQ(a.median_power_w, b.median_power_w);
+}
+
+TEST_F(InferenceSimTest, NoiseAveragedAcrossRuns) {
+  SimRequest rq = base_request();
+  rq.noise_sigma = 0.0;
+  const SimResult exact = sim_.run(rq);
+  rq.noise_sigma = 0.03;
+  const SimResult noisy = sim_.run(rq);
+  // Averaging five runs keeps the estimate within a few percent of exact.
+  EXPECT_NEAR(noisy.latency_s / exact.latency_s, 1.0, 0.05);
+}
+
+TEST_F(InferenceSimTest, EnergyApproximatesPowerTimesLatency) {
+  const SimResult r = sim_.run(base_request());
+  EXPECT_NEAR(r.energy_j, r.median_power_w * r.latency_s, r.energy_j * 0.25);
+}
+
+TEST_F(InferenceSimTest, TraceCoversWholeRun) {
+  const SimResult r = sim_.run(base_request());
+  ASSERT_GE(r.trace.t_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.trace.t_s.front(), 0.0);
+  // jtop samples every 2s: sample count ~ latency / 2.
+  EXPECT_NEAR(static_cast<double>(r.trace.t_s.size()),
+              r.trace.t_s.back() / 2.0 + 1.0, 2.0);
+}
+
+TEST_F(InferenceSimTest, OomRequestsShortCircuit) {
+  SimRequest rq = base_request();
+  rq.model_key = "deepseek-qwen";
+  rq.dtype = DType::kF16;  // 62 GB: does not fit
+  const SimResult r = sim_.run(rq);
+  EXPECT_TRUE(r.oom);
+  EXPECT_TRUE(r.model_load_oom);
+  EXPECT_EQ(r.latency_s, 0.0);
+}
+
+TEST_F(InferenceSimTest, WorkloadOomWithoutModelOom) {
+  SimRequest rq = base_request();
+  rq.model_key = "phi2";
+  rq.in_tokens = 128;
+  rq.out_tokens = 384;  // sl=512: Phi-2's eager attention blows shared RAM
+  const SimResult r = sim_.run(rq);
+  EXPECT_TRUE(r.oom);
+  EXPECT_FALSE(r.model_load_oom);
+}
+
+TEST_F(InferenceSimTest, LatencyScaleAppliesLinearly) {
+  SimRequest rq = base_request();
+  rq.noise_sigma = 0.0;
+  const SimResult base = sim_.run(rq);
+  rq.latency_scale = 0.96;
+  const SimResult scaled = sim_.run(rq);
+  EXPECT_NEAR(scaled.latency_s / base.latency_s, 0.96, 1e-6);
+}
+
+TEST_F(InferenceSimTest, PrefillReportedAndSmallerThanTotal) {
+  const SimResult r = sim_.run(base_request());
+  EXPECT_GT(r.prefill_s, 0.0);
+  EXPECT_LT(r.prefill_s, r.latency_s);
+}
+
+TEST_F(InferenceSimTest, MeanDecodeStepDecomposition) {
+  const SimResult r = sim_.run(base_request());
+  const StepBreakdown& s = r.mean_decode_step;
+  EXPECT_GT(s.weight_s, 0.0);
+  EXPECT_GT(s.compute_s, 0.0);
+  EXPECT_GT(s.kv_s, 0.0);
+  // 64 steps of mean step + prefill + overhead ~ latency.
+  EXPECT_NEAR(64.0 * s.total_s() + r.prefill_s + 0.25, r.latency_s,
+              r.latency_s * 0.05);
+}
+
+TEST_F(InferenceSimTest, InvalidRequestsRejected) {
+  SimRequest rq = base_request();
+  rq.batch = 0;
+  EXPECT_THROW(sim_.run(rq), ContractViolation);
+  rq = base_request();
+  rq.runs = 0;
+  EXPECT_THROW(sim_.run(rq), ContractViolation);
+  rq = base_request();
+  rq.model_key = "nonexistent";
+  EXPECT_THROW(sim_.run(rq), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::sim

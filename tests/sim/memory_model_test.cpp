@@ -1,0 +1,114 @@
+#include "sim/memory_model.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim::sim {
+namespace {
+
+class MemoryModelTest : public ::testing::Test {
+ protected:
+  MemoryModel mm_;
+};
+
+TEST_F(MemoryModelTest, ModelLoadOomPattern) {
+  // Table 1: FP32 OOM for Mistral (94.2) and DeepQ (124); FP16 OOM for DeepQ
+  // (62); everything else fits.
+  EXPECT_FALSE(mm_.model_oom(model_by_key("phi2"), DType::kF32));
+  EXPECT_FALSE(mm_.model_oom(model_by_key("llama3"), DType::kF32));
+  EXPECT_TRUE(mm_.model_oom(model_by_key("mistral"), DType::kF32));
+  EXPECT_TRUE(mm_.model_oom(model_by_key("deepseek-qwen"), DType::kF32));
+  EXPECT_TRUE(mm_.model_oom(model_by_key("deepseek-qwen"), DType::kF16));
+  EXPECT_FALSE(mm_.model_oom(model_by_key("deepseek-qwen"), DType::kI8));
+  EXPECT_FALSE(mm_.model_oom(model_by_key("mistral"), DType::kF16));
+}
+
+TEST_F(MemoryModelTest, IncrementalGrowsWithBatch) {
+  const ModelSpec& m = model_by_key("llama3");
+  double prev = 0.0;
+  for (std::size_t bs : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const MemoryBreakdown mem = mm_.workload_memory(m, DType::kF16, bs, 32, 64);
+    EXPECT_GT(mem.incremental_gb(), prev);
+    prev = mem.incremental_gb();
+  }
+}
+
+TEST_F(MemoryModelTest, IncrementalGrowsWithSeqLen) {
+  const ModelSpec& m = model_by_key("llama3");
+  double prev = 0.0;
+  for (std::size_t sl : {128, 256, 512, 1024}) {
+    const MemoryBreakdown mem =
+        mm_.workload_memory(m, DType::kF16, 32, sl / 4, sl * 3 / 4);
+    EXPECT_GT(mem.incremental_gb(), prev);
+    prev = mem.incremental_gb();
+  }
+}
+
+TEST_F(MemoryModelTest, Phi2OomAtLongSequences) {
+  // Table 6: Phi-2 (bs=32) runs at sl=128/256 but OOMs at sl=512/1024
+  // because eager attention materializes per-layer fp32 score tensors.
+  const ModelSpec& phi2 = model_by_key("phi2");
+  EXPECT_FALSE(
+      mm_.workload_oom(mm_.workload_memory(phi2, DType::kF16, 32, 32, 96)));
+  EXPECT_FALSE(
+      mm_.workload_oom(mm_.workload_memory(phi2, DType::kF16, 32, 64, 192)));
+  EXPECT_TRUE(
+      mm_.workload_oom(mm_.workload_memory(phi2, DType::kF16, 32, 128, 384)));
+  EXPECT_TRUE(
+      mm_.workload_oom(mm_.workload_memory(phi2, DType::kF16, 32, 256, 768)));
+}
+
+TEST_F(MemoryModelTest, OtherModelsSurviveLongSequences) {
+  for (const char* key : {"llama3", "mistral"}) {
+    const MemoryBreakdown mem =
+        mm_.workload_memory(model_by_key(key), DType::kF16, 32, 256, 768);
+    EXPECT_FALSE(mm_.workload_oom(mem)) << key;
+  }
+  const MemoryBreakdown deepq =
+      mm_.workload_memory(model_by_key("deepseek-qwen"), DType::kI8, 32, 256, 768);
+  EXPECT_FALSE(mm_.workload_oom(deepq));
+}
+
+TEST_F(MemoryModelTest, BatchSweepTotalsTrackPaperWithin30Percent) {
+  // Compare simulated total RAM against Table 4 at the extremes.
+  struct Case {
+    const char* key;
+    DType dt;
+    std::size_t bs;
+    double paper_gb;
+  };
+  const Case cases[] = {
+      {"phi2", DType::kF16, 1, 6.18},     {"phi2", DType::kF16, 128, 20.53},
+      {"llama3", DType::kF16, 1, 16.38},  {"llama3", DType::kF16, 128, 19.26},
+      {"mistral", DType::kF16, 1, 47.33}, {"mistral", DType::kF16, 128, 50.08},
+      {"deepseek-qwen", DType::kI8, 1, 34.82},
+      {"deepseek-qwen", DType::kI8, 128, 44.35},
+  };
+  for (const auto& c : cases) {
+    const MemoryBreakdown mem =
+        mm_.workload_memory(model_by_key(c.key), c.dt, c.bs, 32, 64);
+    EXPECT_NEAR(mem.total_gb() / c.paper_gb, 1.0, 0.30)
+        << c.key << " bs=" << c.bs << ": sim " << mem.total_gb() << " vs paper "
+        << c.paper_gb;
+  }
+}
+
+TEST_F(MemoryModelTest, KvCacheComponentLinearInBatchAndSeq) {
+  const ModelSpec& m = model_by_key("llama3");
+  const auto a = mm_.workload_memory(m, DType::kF16, 16, 32, 64);
+  const auto b = mm_.workload_memory(m, DType::kF16, 32, 32, 64);
+  EXPECT_NEAR(b.kv_gb / a.kv_gb, 2.0, 1e-9);
+  const auto c = mm_.workload_memory(m, DType::kF16, 16, 64, 128);
+  EXPECT_NEAR(c.kv_gb / a.kv_gb, 2.0, 1e-9);
+}
+
+TEST_F(MemoryModelTest, BreakdownComponentsSumToTotal) {
+  const ModelSpec& m = model_by_key("mistral");
+  const MemoryBreakdown mem = mm_.workload_memory(m, DType::kI8, 32, 32, 64);
+  EXPECT_NEAR(mem.total_gb(),
+              mem.weights_gb + mem.kv_gb + mem.attn_quad_gb + mem.logits_gb +
+                  mem.act_gb + mem.fixed_gb,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace orinsim::sim

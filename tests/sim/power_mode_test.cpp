@@ -1,0 +1,54 @@
+#include "sim/power_mode.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace orinsim::sim {
+namespace {
+
+TEST(PowerModeTest, TableHasNineModes) {
+  EXPECT_EQ(all_power_modes().size(), 9u);
+  EXPECT_EQ(all_power_modes().front().name, "MaxN");
+}
+
+TEST(PowerModeTest, MaxNMatchesPaperTable2) {
+  const PowerMode m = power_mode_maxn();
+  EXPECT_DOUBLE_EQ(m.gpu_freq_mhz, 1301.0);
+  EXPECT_DOUBLE_EQ(m.cpu_freq_ghz, 2.2);
+  EXPECT_EQ(m.cpu_cores_online, 12);
+  EXPECT_DOUBLE_EQ(m.mem_freq_mhz, 3200.0);
+}
+
+TEST(PowerModeTest, EachCustomModeVariesExactlyOneAxis) {
+  const PowerMode maxn = power_mode_maxn();
+  for (const auto& pm : all_power_modes()) {
+    if (pm.name == "MaxN") continue;
+    int varied = 0;
+    if (pm.gpu_freq_mhz != maxn.gpu_freq_mhz) ++varied;
+    if (pm.cpu_freq_ghz != maxn.cpu_freq_ghz) ++varied;
+    if (pm.cpu_cores_online != maxn.cpu_cores_online) ++varied;
+    if (pm.mem_freq_mhz != maxn.mem_freq_mhz) ++varied;
+    EXPECT_EQ(varied, 1) << pm.name;
+  }
+}
+
+TEST(PowerModeTest, Table2Values) {
+  EXPECT_DOUBLE_EQ(power_mode_by_name("A").gpu_freq_mhz, 800.0);
+  EXPECT_DOUBLE_EQ(power_mode_by_name("B").gpu_freq_mhz, 400.0);
+  EXPECT_DOUBLE_EQ(power_mode_by_name("C").cpu_freq_ghz, 1.7);
+  EXPECT_DOUBLE_EQ(power_mode_by_name("D").cpu_freq_ghz, 1.2);
+  EXPECT_EQ(power_mode_by_name("E").cpu_cores_online, 8);
+  EXPECT_EQ(power_mode_by_name("F").cpu_cores_online, 4);
+  EXPECT_DOUBLE_EQ(power_mode_by_name("G").mem_freq_mhz, 2133.0);
+  EXPECT_DOUBLE_EQ(power_mode_by_name("H").mem_freq_mhz, 665.0);
+}
+
+TEST(PowerModeTest, LookupIsCaseInsensitive) {
+  EXPECT_EQ(power_mode_by_name("maxn").name, "MaxN");
+  EXPECT_EQ(power_mode_by_name("h").name, "H");
+  EXPECT_THROW(power_mode_by_name("Z"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::sim

@@ -1,0 +1,94 @@
+#include "sim/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim::sim {
+namespace {
+
+class PowerModelTest : public ::testing::Test {
+ protected:
+  RooflineEngine roofline_;
+  PowerModel power_;
+  PowerMode maxn_ = power_mode_maxn();
+
+  PowerEstimate decode_power(const std::string& key, DType dt, const PowerMode& pm,
+                             std::size_t bs = 32) {
+    const ModelSpec& m = model_by_key(key);
+    const StepBreakdown step = roofline_.decode_step(m, dt, bs, 48, pm);
+    return power_.decode_power(m, dt, step, pm);
+  }
+};
+
+TEST_F(PowerModelTest, MaxnDecodeWithinBoardEnvelope) {
+  for (const auto& m : model_catalog()) {
+    const StepBreakdown step = roofline_.decode_step(m, m.default_dtype, 32, 48, maxn_);
+    const PowerEstimate p = power_.decode_power(m, m.default_dtype, step, maxn_);
+    EXPECT_GT(p.total_w(), 20.0) << m.key;
+    EXPECT_LE(p.total_w(), power_.params().board_cap_w + 1e-9) << m.key;
+  }
+}
+
+TEST_F(PowerModelTest, ComponentsNonNegative) {
+  const PowerEstimate p = decode_power("llama3", DType::kF16, maxn_);
+  EXPECT_GE(p.gpu_w, 0.0);
+  EXPECT_GE(p.cpu_w, 0.0);
+  EXPECT_GE(p.mem_w, 0.0);
+  EXPECT_GT(p.idle_w, 0.0);
+}
+
+TEST_F(PowerModelTest, GpuFrequencyReducesPower) {
+  const double maxn = decode_power("llama3", DType::kF16, maxn_).total_w();
+  const double a = decode_power("llama3", DType::kF16, power_mode_by_name("A")).total_w();
+  const double b = decode_power("llama3", DType::kF16, power_mode_by_name("B")).total_w();
+  // §3.4: PM-A ~-28%, PM-B ~-51% instantaneous power.
+  EXPECT_LT(a, maxn * 0.85);
+  EXPECT_LT(b, a);
+  EXPECT_LT(b, maxn * 0.70);
+}
+
+TEST_F(PowerModelTest, MemoryFrequencyReducesPowerSharply) {
+  const double maxn = decode_power("llama3", DType::kF16, maxn_).total_w();
+  const double h = decode_power("llama3", DType::kF16, power_mode_by_name("H")).total_w();
+  // §3.4: PM-H power load drops by ~52%.
+  EXPECT_LT(h / maxn, 0.60);
+}
+
+TEST_F(PowerModelTest, Int8DrawsLessPowerThanFp16AndInt4) {
+  // §3.3: INT8 runs the GPU at ~60% utilization -> lower power than FP16;
+  // INT4 saturates the GPU -> the highest power.
+  const double f16 = decode_power("llama3", DType::kF16, maxn_).total_w();
+  const double i8 = decode_power("llama3", DType::kI8, maxn_).total_w();
+  const double i4 = decode_power("llama3", DType::kI4, maxn_).total_w();
+  EXPECT_LT(i8, f16);
+  EXPECT_GT(i4, i8);
+}
+
+TEST_F(PowerModelTest, PrefillDrawsMoreThanDecode) {
+  const ModelSpec& m = model_by_key("llama3");
+  const StepBreakdown step = roofline_.decode_step(m, DType::kF16, 32, 48, maxn_);
+  const double decode = power_.decode_power(m, DType::kF16, step, maxn_).total_w();
+  const double prefill = power_.prefill_power(m, DType::kF16, maxn_).total_w();
+  EXPECT_GT(prefill, decode);
+}
+
+TEST_F(PowerModelTest, CpuFrequencyReducesCpuComponent) {
+  const PowerEstimate maxn = decode_power("llama3", DType::kF16, maxn_);
+  const PowerEstimate d = decode_power("llama3", DType::kF16, power_mode_by_name("D"));
+  EXPECT_LT(d.cpu_w, maxn.cpu_w);
+}
+
+TEST_F(PowerModelTest, StalledPipelineIdlesTheHost) {
+  // At PM-H the same per-step host work spreads over ~5x the time; CPU power
+  // must drop accordingly.
+  const PowerEstimate maxn = decode_power("llama3", DType::kF16, maxn_);
+  const PowerEstimate h = decode_power("llama3", DType::kF16, power_mode_by_name("H"));
+  EXPECT_LT(h.cpu_w, maxn.cpu_w * 0.5);
+}
+
+TEST_F(PowerModelTest, IdleFloorRespected) {
+  const PowerEstimate p = decode_power("phi2", DType::kF16, power_mode_by_name("H"), 1);
+  EXPECT_GE(p.total_w(), power_.params().idle_w * 0.9);
+}
+
+}  // namespace
+}  // namespace orinsim::sim

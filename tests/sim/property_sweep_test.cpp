@@ -1,0 +1,144 @@
+// Property sweeps over the simulator's whole configuration space:
+// (model x precision x batch x sequence x power mode). These assert the
+// invariants any measurement of a real device would satisfy, so a model
+// regression that breaks physics fails hundreds of combinations at once.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "sim/inference_sim.h"
+
+namespace orinsim::sim {
+namespace {
+
+using SweepParam = std::tuple<std::string /*model*/, DType, std::size_t /*batch*/>;
+
+class SimSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static SimRequest request_for(const SweepParam& p) {
+    SimRequest rq;
+    rq.model_key = std::get<0>(p);
+    rq.dtype = std::get<1>(p);
+    rq.batch = std::get<2>(p);
+    rq.noise_sigma = 0.0;
+    return rq;
+  }
+  InferenceSim sim_;
+};
+
+TEST_P(SimSweepTest, PhysicalInvariants) {
+  const SimRequest rq = request_for(GetParam());
+  const SimResult r = sim_.run(rq);
+  if (r.oom) {
+    // OOM must be explainable by the memory breakdown.
+    EXPECT_GT(r.memory.total_gb(), sim_.memory_model().usable_gb());
+    return;
+  }
+  // Throughput identity.
+  const double tokens = static_cast<double>(rq.batch) * 96.0;
+  EXPECT_NEAR(r.throughput_tps, tokens / r.latency_s, 1e-6);
+  // Latency decomposes into overhead + prefill + decode.
+  EXPECT_GT(r.latency_s, r.prefill_s);
+  // Power bounded by the board envelope and above idle.
+  EXPECT_GE(r.median_power_w, sim_.power_model().params().idle_w * 0.9);
+  EXPECT_LE(r.median_power_w, sim_.power_model().params().board_cap_w + 1e-9);
+  // Energy consistent with median power x latency within sampling error.
+  EXPECT_NEAR(r.energy_j, r.median_power_w * r.latency_s, 0.30 * r.energy_j);
+  // Memory components all non-negative.
+  EXPECT_GE(r.memory.kv_gb, 0.0);
+  EXPECT_GE(r.memory.attn_quad_gb, 0.0);
+  EXPECT_GE(r.memory.incremental_gb(), 0.0);
+}
+
+TEST_P(SimSweepTest, BatchMonotonicity) {
+  // Doubling the batch never reduces latency or memory, never reduces
+  // throughput (no model in the sweep is past its saturation point by 2x).
+  SimRequest rq = request_for(GetParam());
+  const SimResult r1 = sim_.run(rq);
+  rq.batch *= 2;
+  const SimResult r2 = sim_.run(rq);
+  if (r1.oom) {
+    EXPECT_TRUE(r2.oom);
+    return;
+  }
+  if (r2.oom) return;  // larger batch may OOM; that is fine
+  EXPECT_GE(r2.latency_s, r1.latency_s * 0.999);
+  EXPECT_GE(r2.memory.total_gb(), r1.memory.total_gb());
+  EXPECT_GE(r2.throughput_tps, r1.throughput_tps * 0.999);
+}
+
+TEST_P(SimSweepTest, PowerModeLatencyNeverBeatsMaxN) {
+  SimRequest rq = request_for(GetParam());
+  const SimResult maxn = sim_.run(rq);
+  if (maxn.oom) return;
+  for (const auto& pm : all_power_modes()) {
+    rq.power_mode = pm;
+    const SimResult r = sim_.run(rq);
+    ASSERT_FALSE(r.oom) << pm.name;  // power modes do not change memory
+    EXPECT_GE(r.latency_s, maxn.latency_s * 0.999) << pm.name;
+    EXPECT_LE(r.median_power_w, maxn.median_power_w * 1.02) << pm.name;
+  }
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  std::string model = std::get<0>(info.param);
+  for (auto& c : model) {
+    if (c == '-') c = '_';
+  }
+  return model + "_" + dtype_name(std::get<1>(info.param)) + "_bs" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimSweepTest,
+    ::testing::Combine(::testing::Values("phi2", "llama3", "mistral", "deepseek-qwen"),
+                       ::testing::Values(DType::kF16, DType::kI8, DType::kI4),
+                       ::testing::Values(std::size_t{1}, std::size_t{8},
+                                         std::size_t{32})),
+    sweep_name);
+
+// Sequence-length properties at fixed batch.
+class SeqSweepPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {};
+
+TEST_P(SeqSweepPropertyTest, LongerSequencesSlowerAndHungrier) {
+  const auto& [model, total] = GetParam();
+  InferenceSim sim;
+  const ModelSpec& spec = model_by_key(model);
+  auto run_at = [&](std::size_t t) {
+    SimRequest rq;
+    rq.model_key = model;
+    rq.dtype = spec.default_dtype;
+    rq.in_tokens = t / 4;
+    rq.out_tokens = t - t / 4;
+    rq.noise_sigma = 0.0;
+    return sim.run(rq);
+  };
+  const SimResult shorter = run_at(total);
+  const SimResult longer = run_at(total * 2);
+  if (shorter.oom) {
+    EXPECT_TRUE(longer.oom);
+    return;
+  }
+  EXPECT_GT(longer.memory.total_gb(), shorter.memory.total_gb());
+  if (longer.oom) return;
+  EXPECT_GT(longer.latency_s, shorter.latency_s);
+  EXPECT_LT(longer.throughput_tps, shorter.throughput_tps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SeqSweepPropertyTest,
+    ::testing::Combine(::testing::Values("phi2", "llama3", "mistral", "deepseek-qwen"),
+                       ::testing::Values(std::size_t{128}, std::size_t{256},
+                                         std::size_t{512})),
+    [](const auto& info) {
+      std::string model = std::get<0>(info.param);
+      for (auto& c : model) {
+        if (c == '-') c = '_';
+      }
+      return model + "_sl" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace orinsim::sim

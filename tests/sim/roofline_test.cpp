@@ -1,0 +1,133 @@
+#include "sim/roofline.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim::sim {
+namespace {
+
+class RooflineTest : public ::testing::Test {
+ protected:
+  RooflineEngine engine_;
+  PowerMode maxn_ = power_mode_maxn();
+};
+
+TEST_F(RooflineTest, DecodeStepIsWeightBoundAtBatchOne) {
+  // §3.2: decode is memory-bound — at bs=1 the weight-streaming term must
+  // dominate every model's step time.
+  for (const auto& m : model_catalog()) {
+    const StepBreakdown s = engine_.decode_step(m, m.default_dtype, 1, 48, maxn_);
+    EXPECT_GT(s.weight_s, s.compute_s) << m.key;
+    EXPECT_GT(s.weight_s / s.total_s(), 0.4) << m.key;
+  }
+}
+
+TEST_F(RooflineTest, ComputeShareGrowsWithBatch) {
+  const ModelSpec& m = model_by_key("llama3");
+  const StepBreakdown s1 = engine_.decode_step(m, DType::kF16, 1, 48, maxn_);
+  const StepBreakdown s128 = engine_.decode_step(m, DType::kF16, 128, 48, maxn_);
+  EXPECT_GT(s128.compute_share(), s1.compute_share());
+  // Weight time does not depend on batch (weights stream once per step).
+  EXPECT_DOUBLE_EQ(s1.weight_s, s128.weight_s);
+  // Compute scales linearly with batch.
+  EXPECT_NEAR(s128.compute_s / s1.compute_s, 128.0, 1e-6);
+}
+
+TEST_F(RooflineTest, KvTimeLinearInContextAndBatch) {
+  const ModelSpec& m = model_by_key("llama3");
+  const StepBreakdown a = engine_.decode_step(m, DType::kF16, 8, 100, maxn_);
+  const StepBreakdown b = engine_.decode_step(m, DType::kF16, 8, 200, maxn_);
+  EXPECT_NEAR(b.kv_s / a.kv_s, 2.0, 1e-9);
+  const StepBreakdown c = engine_.decode_step(m, DType::kF16, 16, 100, maxn_);
+  EXPECT_NEAR(c.kv_s / a.kv_s, 2.0, 1e-9);
+}
+
+TEST_F(RooflineTest, DecodePhaseMatchesStepSum) {
+  const ModelSpec& m = model_by_key("mistral");
+  const std::size_t in = 32, out = 64;
+  const StepBreakdown phase = engine_.decode_phase(m, DType::kF16, 4, in, out, maxn_);
+  double manual = 0.0;
+  for (std::size_t t = 0; t < out; ++t) {
+    manual += engine_.decode_step(m, DType::kF16, 4, in + t, maxn_).total_s();
+  }
+  EXPECT_NEAR(phase.total_s(), manual, 1e-9);
+}
+
+TEST_F(RooflineTest, QuantSlowdownExtendsStep) {
+  const ModelSpec& m = model_by_key("llama3");
+  const StepBreakdown f16 = engine_.decode_step(m, DType::kF16, 32, 48, maxn_);
+  const StepBreakdown i8 = engine_.decode_step(m, DType::kI8, 32, 48, maxn_);
+  // INT8 halves weight traffic but the dequant overhead more than makes up
+  // for it (the paper's +62% effect is asserted end-to-end elsewhere).
+  EXPECT_LT(i8.weight_s, f16.weight_s);
+  EXPECT_GT(i8.quant_extra_s, 0.0);
+  EXPECT_GT(i8.total_s(), f16.total_s());
+}
+
+TEST_F(RooflineTest, Fp32UsesCudaCoresAndDoubleTraffic) {
+  const ModelSpec& m = model_by_key("llama3");
+  const StepBreakdown f16 = engine_.decode_step(m, DType::kF16, 32, 48, maxn_);
+  const StepBreakdown f32 = engine_.decode_step(m, DType::kF32, 32, 48, maxn_);
+  EXPECT_NEAR(f32.weight_s / f16.weight_s, 2.0, 1e-9);
+  EXPECT_GT(f32.compute_s, f16.compute_s * 3.0);  // 5.33 vs 21.2 TFLOPS
+}
+
+TEST_F(RooflineTest, GpuFrequencySlowsComputeAndBandwidth) {
+  const ModelSpec& m = model_by_key("llama3");
+  const PowerMode a = power_mode_by_name("A");
+  const StepBreakdown maxn = engine_.decode_step(m, DType::kF16, 32, 48, maxn_);
+  const StepBreakdown pm_a = engine_.decode_step(m, DType::kF16, 32, 48, a);
+  EXPECT_GT(pm_a.compute_s, maxn.compute_s * 1.5);
+  EXPECT_GT(pm_a.weight_s, maxn.weight_s);  // SM issue-rate coupling
+}
+
+TEST_F(RooflineTest, MemoryFrequencyDominatesPmH) {
+  const ModelSpec& m = model_by_key("llama3");
+  const PowerMode h = power_mode_by_name("H");
+  const StepBreakdown maxn = engine_.decode_step(m, DType::kF16, 32, 48, maxn_);
+  const StepBreakdown pm_h = engine_.decode_step(m, DType::kF16, 32, 48, h);
+  // Paper: +370% latency at PM-H.
+  EXPECT_GT(pm_h.total_s() / maxn.total_s(), 3.5);
+  EXPECT_DOUBLE_EQ(pm_h.compute_s, maxn.compute_s);  // GPU clock unchanged
+}
+
+TEST_F(RooflineTest, CpuStretchOrdering) {
+  const ModelSpec& llama = model_by_key("llama3");
+  const double c = engine_.cpu_stretch(llama, power_mode_by_name("C"));
+  const double d = engine_.cpu_stretch(llama, power_mode_by_name("D"));
+  const double e = engine_.cpu_stretch(llama, power_mode_by_name("E"));
+  const double f = engine_.cpu_stretch(llama, power_mode_by_name("F"));
+  EXPECT_GT(c, 1.0);
+  EXPECT_GT(d, c);
+  // Core-count modes: negligible (paper §3.4).
+  EXPECT_LT(e, 1.05);
+  EXPECT_LT(f, 1.05);
+}
+
+TEST_F(RooflineTest, CpuSensitivityPerModelOrdering) {
+  // Phi-2 is nearly CPU-insensitive (+1.3% at PM-C); DeepSeek the most
+  // sensitive (INT8 CPU assist).
+  const double phi2 = cpu_sensitivity(model_by_key("phi2")).freq;
+  const double llama = cpu_sensitivity(model_by_key("llama3")).freq;
+  const double deepq = cpu_sensitivity(model_by_key("deepseek-qwen")).freq;
+  EXPECT_LT(phi2, 0.1);
+  EXPECT_GT(deepq, llama);
+}
+
+TEST_F(RooflineTest, PrefillFasterThanEquivalentDecode) {
+  // Prefilling N tokens batches them through GEMMs; decoding N tokens
+  // streams the weights N times.
+  const ModelSpec& m = model_by_key("llama3");
+  const double prefill = engine_.prefill_s(m, DType::kF16, 1, 64, maxn_);
+  const StepBreakdown decode = engine_.decode_phase(m, DType::kF16, 1, 0, 64, maxn_);
+  EXPECT_LT(prefill, decode.total_s() / 10.0);
+}
+
+TEST_F(RooflineTest, InvalidArgsRejected) {
+  const ModelSpec& m = model_by_key("llama3");
+  EXPECT_THROW(engine_.decode_step(m, DType::kF16, 0, 10, maxn_), ContractViolation);
+  EXPECT_THROW(engine_.decode_phase(m, DType::kF16, 1, 10, 0, maxn_), ContractViolation);
+  EXPECT_THROW(engine_.prefill_s(m, DType::kF16, 1, 0, maxn_), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::sim

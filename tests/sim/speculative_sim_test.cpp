@@ -1,0 +1,66 @@
+#include "sim/speculative_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace orinsim::sim {
+namespace {
+
+TEST(SpeculativeSimTest, ExpectedTokensClosedForm) {
+  // a=0: only the corrective token.
+  EXPECT_DOUBLE_EQ(expected_tokens_per_round(0.0, 4), 1.0);
+  // a=1: all K plus the bonus.
+  EXPECT_DOUBLE_EQ(expected_tokens_per_round(1.0, 4), 5.0);
+  // a=0.5, K=2: 1 + 0.5 + 0.25 = 1.75.
+  EXPECT_NEAR(expected_tokens_per_round(0.5, 2), 1.75, 1e-12);
+  EXPECT_THROW(expected_tokens_per_round(1.5, 2), ContractViolation);
+  EXPECT_THROW(expected_tokens_per_round(0.5, 0), ContractViolation);
+}
+
+TEST(SpeculativeSimTest, MonotoneInAcceptanceAndK) {
+  const ModelSpec& llama = model_by_key("llama3");
+  const ModelSpec& phi2 = model_by_key("phi2");
+  double prev = 0.0;
+  for (double a : {0.3, 0.5, 0.7, 0.9}) {
+    const auto e = estimate_speculative_speedup(llama, DType::kF16, phi2, DType::kF16, 4, a);
+    EXPECT_GT(e.speedup, prev);
+    prev = e.speedup;
+  }
+}
+
+TEST(SpeculativeSimTest, HighAcceptanceBigTargetWins) {
+  // Phi-2 drafting for Mistral-24B at 90% acceptance: clearly > 1.5x.
+  const auto e = estimate_speculative_speedup(model_by_key("mistral"), DType::kF16,
+                                              model_by_key("phi2"), DType::kF16, 4, 0.9);
+  EXPECT_GT(e.speedup, 1.5);
+  EXPECT_LT(e.speedup, 5.0);
+  EXPECT_LT(e.draft_share, 0.5);
+}
+
+TEST(SpeculativeSimTest, ZeroAcceptanceIsALoss) {
+  const auto e = estimate_speculative_speedup(model_by_key("llama3"), DType::kF16,
+                                              model_by_key("phi2"), DType::kF16, 4, 0.0);
+  EXPECT_LT(e.speedup, 1.0);
+}
+
+TEST(SpeculativeSimTest, SelfDraftNeverHelps) {
+  // Draft as big as the target: even perfect acceptance cannot beat the
+  // drafting cost by much, and low acceptance is a disaster.
+  const ModelSpec& llama = model_by_key("llama3");
+  const auto perfect =
+      estimate_speculative_speedup(llama, DType::kF16, llama, DType::kF16, 4, 1.0);
+  EXPECT_LT(perfect.speedup, 1.3);
+}
+
+TEST(SpeculativeSimTest, VerificationNearlyFreeWhenWeightBound) {
+  // The key device property: verifying 5 positions costs < 1.6x one step.
+  const ModelSpec& llama = model_by_key("llama3");
+  const auto e = estimate_speculative_speedup(llama, DType::kF16, model_by_key("phi2"),
+                                              DType::kF16, 4, 0.8);
+  const double verify_over_step = (e.round_cost_s * (1.0 - e.draft_share)) / e.baseline_step_s;
+  EXPECT_LT(verify_over_step, 1.6);
+}
+
+}  // namespace
+}  // namespace orinsim::sim

@@ -1,0 +1,114 @@
+#include "sim/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace orinsim::sim {
+namespace {
+
+TEST(ThermalModelTest, EquilibriumFromPowerAndResistance) {
+  ThermalModel tm(ThermalParams::devkit_fan());
+  EXPECT_DOUBLE_EQ(tm.equilibrium_c(0.0), 25.0);
+  EXPECT_DOUBLE_EQ(tm.equilibrium_c(50.0), 75.0);  // 25 + 50 * 1.0
+}
+
+TEST(ThermalModelTest, StepConvergesToEquilibrium) {
+  ThermalModel tm;
+  double temp = 25.0;
+  for (int i = 0; i < 600; ++i) temp = tm.step_temperature(temp, 40.0, 1.0);
+  EXPECT_NEAR(temp, tm.equilibrium_c(40.0), 0.1);
+}
+
+TEST(ThermalModelTest, StepIsExactExponential) {
+  const ThermalParams p;
+  ThermalModel tm(p);
+  const double t0 = 30.0, power = 50.0, dt = 37.0;
+  const double expected = tm.equilibrium_c(power) +
+                          (t0 - tm.equilibrium_c(power)) * std::exp(-dt / p.tau_s);
+  EXPECT_NEAR(tm.step_temperature(t0, power, dt), expected, 1e-9);
+  // One big step equals many small steps (exact integrator).
+  double temp = t0;
+  for (int i = 0; i < 37; ++i) temp = tm.step_temperature(temp, power, 1.0);
+  EXPECT_NEAR(temp, expected, 1e-9);
+}
+
+TEST(ThermalModelTest, ThrottleCurve) {
+  ThermalModel tm;  // start 85, hard 100, min 0.4
+  EXPECT_DOUBLE_EQ(tm.gpu_throttle(60.0), 1.0);
+  EXPECT_DOUBLE_EQ(tm.gpu_throttle(85.0), 1.0);
+  EXPECT_NEAR(tm.gpu_throttle(92.5), 0.7, 1e-9);
+  EXPECT_DOUBLE_EQ(tm.gpu_throttle(100.0), 0.4);
+  EXPECT_DOUBLE_EQ(tm.gpu_throttle(150.0), 0.4);
+}
+
+TEST(ThermalRunTest, FanKeepsShortRunsCool) {
+  SimRequest rq;
+  rq.model_key = "llama3";
+  const ThermalRunResult r = simulate_with_thermals(rq, ThermalParams::devkit_fan());
+  EXPECT_EQ(r.throttled_fraction, 0.0);
+  EXPECT_LT(r.peak_temp_c, 85.0);
+  // Cold start + fan: thermal latency equals the ideal prediction.
+  EXPECT_NEAR(r.latency_s, r.ideal_latency_s, r.ideal_latency_s * 0.02);
+}
+
+TEST(ThermalRunTest, FanlessLongRunThrottles) {
+  SimRequest rq;
+  rq.model_key = "llama3";
+  rq.in_tokens = 256;
+  rq.out_tokens = 768;  // ~5 minute run: reaches thermal steady state
+  const ThermalRunResult r =
+      simulate_with_thermals(rq, ThermalParams::fanless_enclosure());
+  EXPECT_GT(r.peak_temp_c, 85.0);
+  EXPECT_GT(r.throttled_fraction, 0.2);
+  // Latency penalty is small: memory-bound decode barely feels a GPU-clock
+  // throttle (the same coupling that makes PM-A cheap in Fig 5).
+  EXPECT_GT(r.latency_s, r.ideal_latency_s * 1.005);
+  EXPECT_LT(r.latency_s, r.ideal_latency_s * 1.20);
+}
+
+TEST(ThermalRunTest, HotStartWorseThanColdStart) {
+  SimRequest rq;
+  rq.model_key = "llama3";
+  rq.in_tokens = 64;
+  rq.out_tokens = 192;
+  const ThermalParams p = ThermalParams::fanless_enclosure();
+  const ThermalRunResult cold = simulate_with_thermals(rq, p);
+  const ThermalRunResult hot = simulate_with_thermals(rq, p, 88.0);
+  EXPECT_GT(hot.latency_s, cold.latency_s);
+  EXPECT_GE(hot.throttled_fraction, cold.throttled_fraction);
+}
+
+TEST(ThermalRunTest, LowerPowerModeAvoidsThrottle) {
+  SimRequest rq;
+  rq.model_key = "llama3";
+  rq.in_tokens = 256;
+  rq.out_tokens = 768;
+  const ThermalParams p = ThermalParams::fanless_enclosure();
+  rq.power_mode = sim::power_mode_by_name("A");
+  const ThermalRunResult pm_a = simulate_with_thermals(rq, p);
+  EXPECT_LT(pm_a.throttled_fraction, 0.05);
+}
+
+TEST(ThermalRunTest, TraceSampledAndMonotonic) {
+  SimRequest rq;
+  rq.model_key = "llama3";
+  const ThermalRunResult r = simulate_with_thermals(rq, ThermalParams::devkit_fan());
+  ASSERT_GE(r.trace.size(), 2u);
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_GT(r.trace[i].t_s, r.trace[i - 1].t_s);
+  }
+  // Cold start: temperature rises during the run.
+  EXPECT_GT(r.final_temp_c, 25.0);
+}
+
+TEST(ThermalRunTest, OomStillRejected) {
+  SimRequest rq;
+  rq.model_key = "deepseek-qwen";
+  rq.dtype = DType::kF16;
+  EXPECT_THROW(simulate_with_thermals(rq, ThermalParams::devkit_fan()),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::sim

@@ -1,0 +1,56 @@
+#include "telemetry/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace orinsim::telemetry {
+namespace {
+
+RunMetrics make_run(double latency) {
+  RunMetrics m;
+  m.latency_s = latency;
+  m.throughput_tps = 96.0 / latency;
+  m.median_power_w = 45.0;
+  m.energy_j = 45.0 * latency;
+  return m;
+}
+
+TEST(RunAggregatorTest, WarmupExcluded) {
+  RunAggregator agg(1);
+  agg.add(make_run(100.0));  // warm-up outlier (paper: first run discarded)
+  agg.add(make_run(10.0));
+  agg.add(make_run(12.0));
+  EXPECT_EQ(agg.measured_count(), 2u);
+  EXPECT_EQ(agg.total_count(), 3u);
+  EXPECT_DOUBLE_EQ(agg.mean().latency_s, 11.0);
+}
+
+TEST(RunAggregatorTest, MeanAveragesAllMetrics) {
+  RunAggregator agg(0);
+  agg.add(make_run(10.0));
+  agg.add(make_run(20.0));
+  const RunMetrics m = agg.mean();
+  EXPECT_DOUBLE_EQ(m.latency_s, 15.0);
+  EXPECT_DOUBLE_EQ(m.energy_j, 45.0 * 15.0);
+}
+
+TEST(RunAggregatorTest, NoMeasuredRunsRejected) {
+  RunAggregator agg(1);
+  agg.add(make_run(10.0));  // warm-up only
+  EXPECT_EQ(agg.measured_count(), 0u);
+  EXPECT_THROW(agg.mean(), ContractViolation);
+}
+
+TEST(RunAggregatorTest, LatencyCv) {
+  RunAggregator agg(0);
+  agg.add(make_run(10.0));
+  agg.add(make_run(10.0));
+  EXPECT_DOUBLE_EQ(agg.latency_cv(), 0.0);
+  agg.add(make_run(13.0));
+  EXPECT_GT(agg.latency_cv(), 0.0);
+  EXPECT_LT(agg.latency_cv(), 0.5);
+}
+
+}  // namespace
+}  // namespace orinsim::telemetry

@@ -1,0 +1,81 @@
+#include "tensor/fp16.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/rng.h"
+
+namespace orinsim {
+namespace {
+
+TEST(Fp16Test, ExactValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -0.25f, 1024.0f, 0.125f}) {
+    EXPECT_EQ(fp16_to_float(float_to_fp16(v)), v) << v;
+  }
+}
+
+TEST(Fp16Test, SignedZero) {
+  EXPECT_EQ(float_to_fp16(0.0f), 0x0000);
+  EXPECT_EQ(float_to_fp16(-0.0f), 0x8000);
+}
+
+TEST(Fp16Test, KnownEncodings) {
+  EXPECT_EQ(float_to_fp16(1.0f), 0x3C00);
+  EXPECT_EQ(float_to_fp16(-2.0f), 0xC000);
+  EXPECT_EQ(float_to_fp16(65504.0f), 0x7BFF);  // max finite half
+}
+
+TEST(Fp16Test, OverflowBecomesInfinity) {
+  EXPECT_EQ(float_to_fp16(70000.0f), 0x7C00);
+  EXPECT_EQ(float_to_fp16(-70000.0f), 0xFC00);
+  EXPECT_TRUE(std::isinf(fp16_to_float(0x7C00)));
+}
+
+TEST(Fp16Test, InfinityAndNanPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isinf(fp16_to_float(float_to_fp16(inf))));
+  EXPECT_TRUE(std::isnan(fp16_to_float(float_to_fp16(std::nanf("")))));
+}
+
+TEST(Fp16Test, SubnormalsRepresented) {
+  // Smallest positive half subnormal is 2^-24 ~ 5.96e-8.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(fp16_to_float(float_to_fp16(tiny)), tiny);
+  // Below half the smallest subnormal underflows to zero.
+  EXPECT_EQ(fp16_to_float(float_to_fp16(std::ldexp(1.0f, -26))), 0.0f);
+}
+
+TEST(Fp16Test, RelativeErrorBounded) {
+  // Round-to-nearest gives relative error <= 2^-11 for normal halves.
+  Rng rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-1000.0, 1000.0));
+    if (std::fabs(v) < 1e-3) continue;
+    const float back = fp16_to_float(float_to_fp16(v));
+    EXPECT_LE(std::fabs(back - v) / std::fabs(v), 1.0 / 2048.0 + 1e-7) << v;
+  }
+}
+
+TEST(Fp16Test, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10);
+  // round-to-even goes down to 1.0.
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(fp16_to_float(float_to_fp16(halfway)), 1.0f);
+  // 1 + 3*2^-11 is halfway between (1+2^-10) and (1+2^-9): rounds up to even.
+  const float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(fp16_to_float(float_to_fp16(halfway2)), 1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Fp16Test, MonotonicOverSamples) {
+  float prev = -2000.0f;
+  for (float v = -2000.0f; v <= 2000.0f; v += 13.7f) {
+    const float cur = fp16_to_float(float_to_fp16(v));
+    EXPECT_GE(cur, fp16_to_float(float_to_fp16(prev)) - 1e-6f);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace orinsim

@@ -1,0 +1,76 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "tensor/dtype.h"
+
+namespace orinsim {
+namespace {
+
+TEST(TensorTest, ReshapeAllocatesZeroed) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, RowView) {
+  Tensor t({2, 4});
+  t.at2(1, 2) = 5.0f;
+  auto row = t.row(1);
+  EXPECT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[2], 5.0f);
+  EXPECT_THROW(t.row(2), ContractViolation);
+}
+
+TEST(TensorTest, IndexingConsistency) {
+  Tensor t({2, 3, 4});
+  t.at3(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t.data()[(1 * 3 + 2) * 4 + 3], 9.0f);
+}
+
+TEST(TensorTest, FillAndZero) {
+  Tensor t({5});
+  t.fill(2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+  t.zero();
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Tensor t({64, 64});
+  Rng rng(5);
+  t.randn(rng, 0.1f);
+  double sum = 0.0, sq = 0.0;
+  for (float v : t.data()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(t.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(sq / n), 0.1, 0.01);
+}
+
+TEST(TensorTest, InvalidShapesRejected) {
+  EXPECT_THROW(Tensor({0}), ContractViolation);
+  Tensor t;
+  std::vector<std::size_t> too_many = {1, 2, 3, 4, 5};
+  EXPECT_THROW(t.reshape(std::span<const std::size_t>(too_many)), ContractViolation);
+}
+
+TEST(DTypeTest, BytesAndNames) {
+  EXPECT_DOUBLE_EQ(dtype_bytes(DType::kF32), 4.0);
+  EXPECT_DOUBLE_EQ(dtype_bytes(DType::kF16), 2.0);
+  EXPECT_DOUBLE_EQ(dtype_bytes(DType::kI8), 1.0);
+  EXPECT_DOUBLE_EQ(dtype_bytes(DType::kI4), 0.5);
+  EXPECT_EQ(dtype_name(DType::kI8), "INT8");
+  EXPECT_EQ(parse_dtype("fp16"), DType::kF16);
+  EXPECT_EQ(parse_dtype("INT4"), DType::kI4);
+  EXPECT_THROW(parse_dtype("fp8"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim

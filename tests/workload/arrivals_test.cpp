@@ -1,0 +1,77 @@
+#include "workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim::workload {
+namespace {
+
+TEST(ArrivalsTest, DeterministicSpacing) {
+  ArrivalSpec spec;
+  spec.rate_rps = 4.0;
+  const auto arrivals = generate_arrivals(spec, 9);
+  ASSERT_EQ(arrivals.size(), 9u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(arrivals[i] - arrivals[i - 1], 0.25);
+  }
+  const ArrivalStats stats = analyze_arrivals(arrivals);
+  EXPECT_NEAR(stats.mean_rate_rps, 4.0, 1e-9);
+  EXPECT_NEAR(stats.interarrival_scv, 0.0, 1e-12);
+}
+
+TEST(ArrivalsTest, PoissonRateAndVariability) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kPoisson;
+  spec.rate_rps = 5.0;
+  const auto arrivals = generate_arrivals(spec, 20000);
+  const ArrivalStats stats = analyze_arrivals(arrivals);
+  EXPECT_NEAR(stats.mean_rate_rps, 5.0, 0.2);
+  // Exponential inter-arrivals: SCV = 1.
+  EXPECT_NEAR(stats.interarrival_scv, 1.0, 0.1);
+}
+
+TEST(ArrivalsTest, BurstyIsOverdispersed) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kBursty;
+  spec.rate_rps = 5.0;
+  spec.burst_factor = 6.0;
+  const auto arrivals = generate_arrivals(spec, 20000);
+  const ArrivalStats stats = analyze_arrivals(arrivals);
+  EXPECT_GT(stats.interarrival_scv, 1.3);  // burstier than Poisson
+  // Mean rate within a factor ~1.5 of nominal (phase randomness).
+  EXPECT_NEAR(stats.mean_rate_rps, 5.0, 2.5);
+}
+
+TEST(ArrivalsTest, MonotonicTimestamps) {
+  for (ArrivalKind kind :
+       {ArrivalKind::kDeterministic, ArrivalKind::kPoisson, ArrivalKind::kBursty}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    const auto arrivals = generate_arrivals(spec, 500);
+    ASSERT_EQ(arrivals.size(), 500u);
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+      EXPECT_GE(arrivals[i], arrivals[i - 1]);
+    }
+    EXPECT_GE(arrivals.front(), 0.0);
+  }
+}
+
+TEST(ArrivalsTest, DeterministicForSeed) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kPoisson;
+  spec.seed = 77;
+  EXPECT_EQ(generate_arrivals(spec, 100), generate_arrivals(spec, 100));
+  spec.seed = 78;
+  EXPECT_NE(generate_arrivals(spec, 100), generate_arrivals(ArrivalSpec{}, 100));
+}
+
+TEST(ArrivalsTest, InvalidSpecsRejected) {
+  ArrivalSpec spec;
+  spec.rate_rps = 0.0;
+  EXPECT_THROW(generate_arrivals(spec, 10), ContractViolation);
+  spec = ArrivalSpec{};
+  spec.burst_factor = 0.5;
+  EXPECT_THROW(generate_arrivals(spec, 10), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::workload

@@ -1,0 +1,95 @@
+#include "workload/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "tokenizer/tokenizer.h"
+
+namespace orinsim::workload {
+namespace {
+
+TEST(CorpusTest, DeterministicFromSeed) {
+  const Corpus a = generate_corpus(CorpusSpec::wikitext2(7));
+  const Corpus b = generate_corpus(CorpusSpec::wikitext2(7));
+  EXPECT_EQ(a.text, b.text);
+}
+
+TEST(CorpusTest, DifferentSeedsDiffer) {
+  const Corpus a = generate_corpus(CorpusSpec::wikitext2(1));
+  const Corpus b = generate_corpus(CorpusSpec::wikitext2(2));
+  EXPECT_NE(a.text, b.text);
+}
+
+TEST(CorpusTest, WikiTextParagraphCount) {
+  CorpusSpec spec = CorpusSpec::wikitext2();
+  spec.paragraphs = 30;
+  const Corpus c = generate_corpus(spec);
+  EXPECT_EQ(c.paragraphs.size(), 30u);
+}
+
+TEST(CorpusTest, LongBenchHasQaStructure) {
+  const Corpus c = generate_corpus(CorpusSpec::longbench());
+  EXPECT_NE(c.text.find("Question:"), std::string::npos);
+  EXPECT_NE(c.text.find("Answer:"), std::string::npos);
+}
+
+TEST(CorpusTest, LongBenchParagraphsLonger) {
+  const Corpus wiki = generate_corpus(CorpusSpec::wikitext2());
+  const Corpus lb = generate_corpus(CorpusSpec::longbench());
+  auto mean_len = [](const Corpus& c) {
+    std::size_t total = 0;
+    std::size_t counted = 0;
+    for (const auto& p : c.paragraphs) {
+      if (p.rfind("Question:", 0) == 0) continue;  // skip QA lines
+      total += p.size();
+      ++counted;
+    }
+    return static_cast<double>(total) / static_cast<double>(counted);
+  };
+  EXPECT_GT(mean_len(lb), mean_len(wiki) * 1.3);
+}
+
+TEST(CorpusTest, LongBenchLowerEntropyThanWikiText) {
+  // Stronger topic concentration => lower unigram entropy, mirroring the
+  // paper's lower perplexities on LongBench (Table 3).
+  const Corpus wiki = generate_corpus(CorpusSpec::wikitext2());
+  const Corpus lb = generate_corpus(CorpusSpec::longbench());
+  auto unigram_entropy = [](const Corpus& c) {
+    const Tokenizer tok = Tokenizer::train(c.text, 800);
+    auto ids = tok.encode(c.text);
+    std::vector<double> counts(tok.vocab_size(), 0.0);
+    for (auto id : ids) counts[id] += 1.0;
+    double h = 0.0;
+    for (double n : counts) {
+      if (n == 0.0) continue;
+      const double p = n / static_cast<double>(ids.size());
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  EXPECT_LT(unigram_entropy(lb), unigram_entropy(wiki));
+}
+
+TEST(CorpusTest, SentencesCapitalizedAndTerminated) {
+  const Corpus c = generate_corpus(CorpusSpec::wikitext2());
+  const std::string& p = c.paragraphs.front();
+  EXPECT_TRUE(std::isupper(static_cast<unsigned char>(p.front())));
+  EXPECT_EQ(p.back(), '.');
+}
+
+TEST(CorpusTest, DatasetNamesRoundTrip) {
+  EXPECT_EQ(dataset_name(Dataset::kWikiText2), "WikiText2");
+  EXPECT_EQ(dataset_name(Dataset::kLongBench), "LongBench");
+  EXPECT_EQ(parse_dataset("wikitext2"), Dataset::kWikiText2);
+  EXPECT_EQ(parse_dataset("LongBench"), Dataset::kLongBench);
+  EXPECT_THROW(parse_dataset("imagenet"), ContractViolation);
+}
+
+TEST(CorpusTest, RejectsDegenerateSpecs) {
+  CorpusSpec spec = CorpusSpec::wikitext2();
+  spec.vocab_words = 10;
+  EXPECT_THROW(generate_corpus(spec), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::workload

@@ -1,0 +1,90 @@
+#include "workload/prompt_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.h"
+#include "workload/corpus.h"
+
+namespace orinsim::workload {
+namespace {
+
+class PromptPoolTest : public ::testing::Test {
+ protected:
+  PromptPoolTest()
+      : corpus_(generate_corpus(CorpusSpec::wikitext2())),
+        tokenizer_(Tokenizer::train(corpus_.text, 800)),
+        pool_(corpus_, tokenizer_, 256) {}
+
+  Corpus corpus_;
+  Tokenizer tokenizer_;
+  PromptPool pool_;
+};
+
+TEST_F(PromptPoolTest, PoolOnlyKeepsLongParagraphs) {
+  ASSERT_GT(pool_.size(), 0u);
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    EXPECT_GE(pool_.prompt(i).size(), 256u);
+  }
+}
+
+TEST_F(PromptPoolTest, SampleBatchExactLengths) {
+  Rng rng(3);
+  const auto batch = pool_.sample_batch(8, 32, rng);
+  ASSERT_EQ(batch.size(), 8u);
+  for (const auto& prompt : batch) EXPECT_EQ(prompt.size(), 32u);
+}
+
+TEST_F(PromptPoolTest, LongInputsStitchMultiplePrompts) {
+  // input_tokens beyond any single pool paragraph: the paper's "multiples of
+  // the 256-token prompts" rule.
+  Rng rng(4);
+  std::size_t longest = 0;
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    longest = std::max(longest, pool_.prompt(i).size());
+  }
+  const std::size_t target = longest + 100;
+  const auto batch = pool_.sample_batch(2, target, rng);
+  for (const auto& prompt : batch) EXPECT_EQ(prompt.size(), target);
+}
+
+TEST_F(PromptPoolTest, SamplingIsRandomButSeedDeterministic) {
+  Rng r1(5), r2(5), r3(6);
+  const auto a = pool_.sample_batch(4, 64, r1);
+  const auto b = pool_.sample_batch(4, 64, r2);
+  const auto c = pool_.sample_batch(4, 64, r3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(PromptPoolTest, EmptyRequestsRejected) {
+  Rng rng(7);
+  EXPECT_THROW(pool_.sample_batch(0, 32, rng), ContractViolation);
+  EXPECT_THROW(pool_.sample_batch(4, 0, rng), ContractViolation);
+}
+
+TEST(PromptPoolStandaloneTest, EmptyPoolRejected) {
+  Corpus tiny;
+  tiny.spec = CorpusSpec::wikitext2();
+  tiny.paragraphs = {"short paragraph."};
+  tiny.text = tiny.paragraphs[0];
+  const Tokenizer tok = Tokenizer::train(tiny.text, 100);
+  EXPECT_THROW(PromptPool(tiny, tok, 256), ContractViolation);
+}
+
+TEST(SeqConfigTest, PaperSplits) {
+  const SeqConfig def = seq_config_default();
+  EXPECT_EQ(def.total, 96u);
+  EXPECT_EQ(def.input, 32u);
+  EXPECT_EQ(def.output, 64u);
+  const auto sweep = seq_config_sweep();
+  ASSERT_EQ(sweep.size(), 4u);
+  for (const auto& c : sweep) EXPECT_EQ(c.total, c.input + c.output);
+  EXPECT_EQ(seq_config_for_total(512).input, 128u);
+  EXPECT_EQ(seq_config_for_total(1024).output, 768u);
+  EXPECT_THROW(seq_config_for_total(333), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::workload
