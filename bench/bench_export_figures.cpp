@@ -1,10 +1,15 @@
 // Writes gnuplot-ready data files for every paper figure into ./figure_data/
 // (override with --dir=...). Run after any simulator change to refresh the
 // plotting inputs.
+//
+// --with-trace additionally exports the execution timeline of the paper's
+// headline cell (llama3, FP16, bs=32) as <dir>/llama3_fp16_b32.jsonl and
+// .trace.json via the trace spine.
 #include <cstdio>
 
 #include "core/cli.h"
 #include "harness/figure_export.h"
+#include "serving/session.h"
 
 int main(int argc, char** argv) {
   const orinsim::CliArgs args(argc, argv);
@@ -12,5 +17,15 @@ int main(int argc, char** argv) {
   const auto result = orinsim::harness::export_figure_data(dir);
   std::printf("wrote %zu files to %s/\n", result.files.size(), result.directory.c_str());
   for (const auto& f : result.files) std::printf("  %s\n", f.c_str());
+
+  if (args.get_bool("with-trace", false)) {
+    using namespace orinsim;
+    serving::SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+    trace::ExecutionTimeline timeline;
+    session.run(serving::BatchRequest{}, &timeline);
+    const auto traces =
+        harness::export_timeline_artifacts(timeline, dir, "llama3_fp16_b32");
+    for (const auto& f : traces.files) std::printf("  %s\n", f.c_str());
+  }
   return 0;
 }

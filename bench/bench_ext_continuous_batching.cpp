@@ -8,6 +8,7 @@
 #include "core/table.h"
 #include "serving/batch_scheduler.h"
 #include "serving/continuous_batching.h"
+#include "trace/export.h"
 
 using namespace orinsim;
 using namespace orinsim::serving;
@@ -17,6 +18,10 @@ int main(int argc, char** argv) {
   const std::string model = args.get("model", "llama3");
   const auto requests = static_cast<std::size_t>(args.get_int("requests", 96));
   const bool csv = args.get_bool("csv", false);
+  // --trace-out=BASE writes BASE.jsonl and BASE.trace.json for the last
+  // continuous-batching run (the full StepEvent stream the table is
+  // derived from).
+  const std::string trace_out = args.get("trace-out", "");
 
   std::printf("== Extension: static vs continuous batching (%s, FP16, sl=96) ==\n\n",
               model.c_str());
@@ -53,11 +58,20 @@ int main(int argc, char** argv) {
         .add_cell("continuous c<=32")
         .add_number(r.mean_latency_s(), 2)
         .add_number(r.p95_latency_s(), 2)
-        .add_number(r.throughput_tps(cc), 1)
+        .add_number(r.throughput_tps(), 1)
         .add_number(r.energy_j / static_cast<double>(requests), 0)
         .add_number(r.mean_active, 1);
+    if (!trace_out.empty()) {
+      trace::write_jsonl(r.timeline, trace_out + ".jsonl");
+      trace::write_chrome_trace(r.timeline, trace_out + ".trace.json",
+                                "continuous:" + model);
+    }
   }
   std::fputs((csv ? table.to_csv() : table.to_markdown()).c_str(), stdout);
+  if (!trace_out.empty()) {
+    std::printf("\nwrote %s.jsonl and %s.trace.json\n", trace_out.c_str(),
+                trace_out.c_str());
+  }
 
   std::printf("\nReading: under load, continuous batching removes the paper's core\n");
   std::printf("batch-size dilemma (Fig 1) — requests no longer wait for a batch to\n");

@@ -4,11 +4,15 @@
 //   --dataset=wikitext2 (default, Table 4) | longbench (Table 5) | both
 //   --metric=all | ram | latency | throughput
 //   --csv
+//   --trace-out=BASE   write BASE.jsonl + BASE.trace.json for the paper's
+//                      headline cell (llama3, FP16, bs=32)
 #include <cstdio>
 
 #include "core/cli.h"
 #include "harness/experiments.h"
 #include "harness/shape_checks.h"
+#include "serving/session.h"
+#include "trace/export.h"
 
 using namespace orinsim;
 using namespace orinsim::harness;
@@ -48,6 +52,19 @@ int main(int argc, char** argv) {
     run_dataset(workload::Dataset::kLongBench, metric, csv);
   } else {
     run_dataset(workload::parse_dataset(dataset), metric, csv);
+  }
+
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) {
+    serving::SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+    serving::BatchRequest rq;
+    rq.batch = 32;
+    trace::ExecutionTimeline timeline;
+    session.run(rq, &timeline);
+    trace::write_jsonl(timeline, trace_out + ".jsonl");
+    trace::write_chrome_trace(timeline, trace_out + ".trace.json", "llama3-fp16-b32");
+    std::printf("\nwrote %s.jsonl and %s.trace.json\n", trace_out.c_str(),
+                trace_out.c_str());
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "core/error.h"
 #include "harness/experiments.h"
 #include "sim/model_catalog.h"
+#include "trace/export.h"
 
 namespace orinsim::harness {
 
@@ -125,6 +126,20 @@ ExportResult export_figure_data(const std::string& directory) {
         << "fig4_<dtype>.dat      : bs power_w energy_j (Llama-3.1-8B)\n"
         << "fig5_power_modes.dat  : model mode latency power energy (bs=32, sl=96)\n";
   }
+  return result;
+}
+
+ExportResult export_timeline_artifacts(const trace::ExecutionTimeline& timeline,
+                                       const std::string& directory,
+                                       const std::string& base) {
+  std::filesystem::create_directories(directory);
+  ExportResult result;
+  result.directory = directory;
+  const std::filesystem::path dir(directory);
+  trace::write_jsonl(timeline, (dir / (base + ".jsonl")).string());
+  result.files.push_back(base + ".jsonl");
+  trace::write_chrome_trace(timeline, (dir / (base + ".trace.json")).string(), base);
+  result.files.push_back(base + ".trace.json");
   return result;
 }
 

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "trace/timeline.h"
+
 namespace orinsim::harness {
 
 struct ExportResult {
@@ -23,5 +25,13 @@ struct ExportResult {
 //   MANIFEST.txt
 // The directory is created if missing. Returns the file list.
 ExportResult export_figure_data(const std::string& directory);
+
+// Writes one execution timeline next to the figure data:
+//   <base>.jsonl       one JSON object per StepEvent
+//   <base>.trace.json  Chrome trace_event JSON (chrome://tracing, Perfetto)
+// Kept separate from export_figure_data so the figure manifest stays stable.
+ExportResult export_timeline_artifacts(const trace::ExecutionTimeline& timeline,
+                                       const std::string& directory,
+                                       const std::string& base);
 
 }  // namespace orinsim::harness

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/rng.h"
+#include "core/stopwatch.h"
 #include "tensor/kernels.h"
 
 namespace orinsim {
@@ -250,7 +251,8 @@ void Model::prefill(std::span<const TokenId> prompt, std::size_t b, KVCache& cac
 }
 
 Model::GenerateResult Model::generate(const std::vector<std::vector<TokenId>>& prompts,
-                                      std::size_t max_new_tokens, Sampler* sampler) {
+                                      std::size_t max_new_tokens, Sampler* sampler,
+                                      trace::ExecutionTimeline* timeline) {
   ORINSIM_CHECK(!prompts.empty(), "generate: no prompts");
   const TransformerConfig& c = master_->config;
   std::size_t max_prompt = 0;
@@ -272,21 +274,36 @@ Model::GenerateResult Model::generate(const std::vector<std::vector<TokenId>>& p
                               : static_cast<TokenId>(kernels::argmax(l));
   };
 
+  Stopwatch watch;
   for (std::size_t b = 0; b < prompts.size(); ++b) {
     prefill(prompts[b], b, cache, hidden);
     logits_from_hidden(hidden, logits);
     last[b] = pick(logits);
     result.input_tokens += prompts[b].size();
   }
+  if (timeline != nullptr) {
+    timeline->emit(trace::Phase::kPrefill, watch.elapsed_s(), prompts.size(),
+                   static_cast<double>(result.input_tokens) /
+                       static_cast<double>(prompts.size()));
+  }
   for (std::size_t step = 0; step < max_new_tokens; ++step) {
+    watch.reset();
+    std::size_t active = 0;
     for (std::size_t b = 0; b < prompts.size(); ++b) {
       if (cache.seq_len(b) >= max_seq) continue;
+      ++active;
       result.outputs[b].push_back(last[b]);
       ++result.output_tokens;
       if (step + 1 == max_new_tokens) continue;  // no need to forward the final token
       forward_token(last[b], b, cache, hidden);
       logits_from_hidden(hidden, logits);
       last[b] = pick(logits);
+    }
+    if (timeline != nullptr) {
+      timeline->emit(trace::Phase::kDecode, watch.elapsed_s(), active,
+                     static_cast<double>(result.input_tokens) /
+                             static_cast<double>(prompts.size()) +
+                         static_cast<double>(step));
     }
   }
   return result;

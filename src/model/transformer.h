@@ -21,6 +21,7 @@
 #include "model/sampler.h"
 #include "quant/weight_matrix.h"
 #include "tokenizer/tokenizer.h"
+#include "trace/timeline.h"
 
 namespace orinsim {
 
@@ -88,8 +89,12 @@ class Model {
 
   // Batched generation: each prompt is prefilled, then max_new_tokens are
   // decoded per sequence. sampler == nullptr means greedy argmax.
+  // A non-null `timeline` receives real wall-clock StepEvents (one kPrefill
+  // covering prompt ingestion, one kDecode per step) with power unset: this
+  // host has no board sensor, so the simulator owns power.
   GenerateResult generate(const std::vector<std::vector<TokenId>>& prompts,
-                          std::size_t max_new_tokens, Sampler* sampler = nullptr);
+                          std::size_t max_new_tokens, Sampler* sampler = nullptr,
+                          trace::ExecutionTimeline* timeline = nullptr);
 
   // Sum of negative log-likelihoods of tokens[i] given tokens[0..i) for
   // i in [predict_from, tokens.size()), plus the count of predicted tokens.

@@ -3,40 +3,44 @@
 #include <algorithm>
 
 #include "core/error.h"
-#include "core/stats.h"
 
 namespace orinsim::serving {
 
-double ScheduleResult::mean_latency_s() const {
+namespace {
+
+std::vector<double> request_latencies(const ScheduleResult& r) {
   std::vector<double> lat;
-  lat.reserve(requests.size());
-  for (const auto& r : requests) lat.push_back(r.total_latency_s());
-  return mean(lat);
+  lat.reserve(r.requests.size());
+  for (const auto& req : r.requests) lat.push_back(req.total_latency_s());
+  return lat;
+}
+
+}  // namespace
+
+double ScheduleResult::mean_latency_s() const {
+  return trace::LatencySummary::from(request_latencies(*this)).mean_s;
 }
 
 double ScheduleResult::p95_latency_s() const {
-  std::vector<double> lat;
-  lat.reserve(requests.size());
-  for (const auto& r : requests) lat.push_back(r.total_latency_s());
-  return percentile(lat, 95.0);
+  return trace::LatencySummary::from(request_latencies(*this)).p95_s;
 }
 
 double ScheduleResult::achieved_rps() const {
   return makespan_s > 0.0 ? static_cast<double>(requests.size()) / makespan_s : 0.0;
 }
 
-ScheduleResult simulate_serving(const SimSession& session, const SchedulerConfig& config) {
+ScheduleResult simulate_serving(InferenceBackend& backend, const SchedulerConfig& config) {
   ORINSIM_CHECK(config.total_requests > 0, "scheduler: no requests");
   ORINSIM_CHECK(config.arrival_rate_rps > 0.0, "scheduler: arrival rate must be positive");
-  std::vector<double> arrivals(config.total_requests);
-  const double spacing = 1.0 / config.arrival_rate_rps;
-  for (std::size_t i = 0; i < config.total_requests; ++i) {
-    arrivals[i] = static_cast<double>(i) * spacing;
-  }
-  return simulate_serving(session, config, arrivals);
+  workload::ArrivalSpec spec;
+  spec.kind = config.arrival_kind;
+  spec.rate_rps = config.arrival_rate_rps;
+  spec.seed = config.arrival_seed;
+  return simulate_serving(backend, config,
+                          workload::generate_arrivals(spec, config.total_requests));
 }
 
-ScheduleResult simulate_serving(const SimSession& session, const SchedulerConfig& config,
+ScheduleResult simulate_serving(InferenceBackend& backend, const SchedulerConfig& config,
                                 const std::vector<double>& arrival_times) {
   ORINSIM_CHECK(config.max_batch > 0, "scheduler: max_batch must be positive");
   ORINSIM_CHECK(!arrival_times.empty(), "scheduler: no requests");
@@ -46,10 +50,8 @@ ScheduleResult simulate_serving(const SimSession& session, const SchedulerConfig
   }
 
   ScheduleResult result;
-  result.requests.resize(arrival_times.size());
-  for (std::size_t i = 0; i < arrival_times.size(); ++i) {
-    result.requests[i].arrival_s = arrival_times[i];
-  }
+  trace::ExecutionTimeline& timeline = result.timeline;
+  for (double arrival : arrival_times) timeline.begin_request(arrival);
 
   // Cache batch latencies/energies per occupancy (latency depends only on
   // the batch size for fixed sequence config).
@@ -60,7 +62,7 @@ ScheduleResult simulate_serving(const SimSession& session, const SchedulerConfig
       BatchRequest br;
       br.batch = bs;
       br.seq = config.seq;
-      const BatchResult r = session.run(br);
+      const BatchResult r = backend.execute(br);
       ORINSIM_CHECK(!r.oom, "scheduler: batch config OOMs on device");
       latency_by_bs[bs] = r.latency_s;
       energy_by_bs[bs] = r.energy_j;
@@ -68,33 +70,42 @@ ScheduleResult simulate_serving(const SimSession& session, const SchedulerConfig
     return latency_by_bs[bs];
   };
 
-  const std::size_t total = result.requests.size();
-  double now = 0.0;
+  const std::size_t total = arrival_times.size();
   std::size_t next = 0;  // first unscheduled request
-  double occupancy_sum = 0.0;
   while (next < total) {
     // Wait until at least one request has arrived.
-    now = std::max(now, result.requests[next].arrival_s);
+    timeline.stall_until(arrival_times[next]);
+    const double now = timeline.now();
     // Take everything that has arrived by `now`, up to max_batch.
     std::size_t take = 0;
     while (next + take < total && take < config.max_batch &&
-           result.requests[next + take].arrival_s <= now) {
+           arrival_times[next + take] <= now) {
       ++take;
     }
     const double latency = batch_cost(take);
-    result.total_energy_j += energy_by_bs[take];
+    // One batch-granularity event; mean power reproduces the backend-reported
+    // batch energy exactly (power * duration == energy).
+    const double power =
+        latency > 0.0 ? energy_by_bs[take] / latency : trace::kPowerUnset;
+    timeline.emit(trace::Phase::kDecode, latency, take,
+                  static_cast<double>(config.seq.total), power);
     for (std::size_t i = 0; i < take; ++i) {
-      result.requests[next + i].start_s = now;
-      result.requests[next + i].finish_s = now + latency;
+      timeline.start_request(next + i, now);
+      timeline.finish_request(next + i, timeline.now());
     }
-    occupancy_sum += static_cast<double>(take);
-    now += latency;
     next += take;
-    ++result.batches_run;
   }
-  result.makespan_s = now;
-  result.mean_batch_occupancy =
-      result.batches_run > 0 ? occupancy_sum / static_cast<double>(result.batches_run) : 0.0;
+
+  // Everything below is read off the event stream.
+  result.requests.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const trace::RequestRecord& rec = timeline.requests()[i];
+    result.requests[i] = RequestStats{rec.arrival_s, rec.start_s, rec.finish_s};
+  }
+  result.batches_run = timeline.count(trace::Phase::kDecode);
+  result.makespan_s = timeline.now();
+  result.total_energy_j = timeline.total_energy_j();
+  result.mean_batch_occupancy = timeline.mean_batch(trace::Phase::kDecode);
   return result;
 }
 

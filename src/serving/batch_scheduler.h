@@ -1,7 +1,13 @@
-// A request-level batching simulator on top of SimSession: models an edge
-// serving deployment where prompts arrive over time, are grouped into
-// batches of at most max_batch, and each batch runs to completion before the
-// next starts (the paper's static-batching regime).
+// A request-level batching simulator on top of an InferenceBackend: models
+// an edge serving deployment where prompts arrive over time, are grouped
+// into batches of at most max_batch, and each batch runs to completion
+// before the next starts (the paper's static-batching regime).
+//
+// The scheduler is a pure event emitter: it walks the arrival stream,
+// decides batch boundaries, and emits StepEvents (one kDecode per batch,
+// kStall for idle gaps) plus request bookkeeping into a
+// trace::ExecutionTimeline. Every reported metric — makespan, energy,
+// occupancy, per-request latencies — is derived from that timeline.
 //
 // Used by the edge_serving_planner example to explore the batch-size
 // latency/throughput trade-off of §3.1 at the request level: larger batches
@@ -12,6 +18,8 @@
 #include <vector>
 
 #include "serving/session.h"
+#include "trace/timeline.h"
+#include "workload/arrivals.h"
 
 namespace orinsim::serving {
 
@@ -19,7 +27,12 @@ struct SchedulerConfig {
   std::size_t max_batch = 32;
   // Requests arriving while a batch runs queue up; a new batch launches as
   // soon as the device frees up and at least one request is waiting.
-  double arrival_rate_rps = 2.0;    // Poisson-ish deterministic spacing
+  // Arrivals come from workload::generate_arrivals so static, continuous and
+  // offload schedulers share one seeded arrival model; kDeterministic keeps
+  // the original fixed spacing of 1/arrival_rate_rps.
+  workload::ArrivalKind arrival_kind = workload::ArrivalKind::kDeterministic;
+  double arrival_rate_rps = 2.0;
+  std::uint64_t arrival_seed = 42;
   std::size_t total_requests = 64;
   workload::SeqConfig seq = workload::seq_config_default();
 };
@@ -39,18 +52,21 @@ struct ScheduleResult {
   double total_energy_j = 0.0;
   double mean_batch_occupancy = 0.0;
 
+  // The full event stream the metrics above are derived from.
+  trace::ExecutionTimeline timeline;
+
   double mean_latency_s() const;
   double p95_latency_s() const;
   double achieved_rps() const;
 };
 
-// Simulates the schedule; deterministic given the session and config.
-ScheduleResult simulate_serving(const SimSession& session, const SchedulerConfig& config);
+// Simulates the schedule; deterministic given the backend and config.
+ScheduleResult simulate_serving(InferenceBackend& backend, const SchedulerConfig& config);
 
 // Variant with explicit arrival timestamps (e.g. from
 // workload::generate_arrivals for Poisson or bursty streams). config's
-// arrival_rate_rps and total_requests are ignored in favour of the list.
-ScheduleResult simulate_serving(const SimSession& session, const SchedulerConfig& config,
+// arrival fields and total_requests are ignored in favour of the list.
+ScheduleResult simulate_serving(InferenceBackend& backend, const SchedulerConfig& config,
                                 const std::vector<double>& arrival_times);
 
 }  // namespace orinsim::serving

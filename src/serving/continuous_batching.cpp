@@ -4,24 +4,26 @@
 #include <deque>
 
 #include "core/error.h"
-#include "core/stats.h"
 
 namespace orinsim::serving {
 
-double ContinuousResult::mean_latency_s() const { return mean(latencies_s); }
+double ContinuousResult::mean_latency_s() const {
+  return trace::LatencySummary::from(latencies_s).mean_s;
+}
 
-double ContinuousResult::p95_latency_s() const { return percentile(latencies_s, 95.0); }
+double ContinuousResult::p95_latency_s() const {
+  return trace::LatencySummary::from(latencies_s).p95_s;
+}
 
-double ContinuousResult::throughput_tps(const ContinuousConfig& config) const {
+double ContinuousResult::throughput_tps() const {
   if (makespan_s <= 0.0) return 0.0;
-  return static_cast<double>(latencies_s.size()) *
-         static_cast<double>(config.seq.total) / makespan_s;
+  return static_cast<double>(total_tokens) / makespan_s;
 }
 
 namespace {
 
 struct ActiveSeq {
-  double arrival_s = 0.0;
+  std::size_t id = 0;         // request index on the timeline
   std::size_t ctx = 0;        // tokens already in the KV cache
   std::size_t remaining = 0;  // output tokens still to produce
 };
@@ -29,8 +31,19 @@ struct ActiveSeq {
 }  // namespace
 
 ContinuousResult simulate_continuous(const ContinuousConfig& config) {
-  ORINSIM_CHECK(config.total_requests > 0 && config.max_concurrency > 0 &&
-                    config.arrival_rate_rps > 0,
+  ORINSIM_CHECK(config.total_requests > 0 && config.arrival_rate_rps > 0,
+                "continuous: degenerate config");
+  workload::ArrivalSpec spec;
+  spec.kind = config.arrival_kind;
+  spec.rate_rps = config.arrival_rate_rps;
+  spec.seed = config.arrival_seed;
+  return simulate_continuous(config,
+                             workload::generate_arrivals(spec, config.total_requests));
+}
+
+ContinuousResult simulate_continuous(const ContinuousConfig& config,
+                                     const std::vector<double>& arrival_times) {
+  ORINSIM_CHECK(!arrival_times.empty() && config.max_concurrency > 0,
                 "continuous: degenerate config");
 
   const sim::ModelSpec& model = sim::model_by_key(config.model_key);
@@ -47,33 +60,32 @@ ContinuousResult simulate_continuous(const ContinuousConfig& config) {
                 "continuous: concurrency does not fit in device memory");
 
   ContinuousResult result;
-  result.latencies_s.reserve(config.total_requests);
+  trace::ExecutionTimeline& timeline = result.timeline;
+  const std::size_t total = arrival_times.size();
+  for (double arrival : arrival_times) timeline.begin_request(arrival);
 
-  const double spacing = 1.0 / config.arrival_rate_rps;
   std::deque<ActiveSeq> waiting;
   std::vector<ActiveSeq> active;
   active.reserve(config.max_concurrency);
 
-  double now = 0.0;
   std::size_t arrived = 0;
-  double active_time_integral = 0.0;
+  std::size_t retired = 0;
 
   auto admit_arrivals = [&] {
-    while (arrived < config.total_requests &&
-           static_cast<double>(arrived) * spacing <= now) {
-      waiting.push_back(
-          ActiveSeq{static_cast<double>(arrived) * spacing, 0, config.seq.output});
+    while (arrived < total && arrival_times[arrived] <= timeline.now()) {
+      waiting.push_back(ActiveSeq{arrived, 0, config.seq.output});
       ++arrived;
     }
   };
 
-  while (result.latencies_s.size() < config.total_requests) {
+  while (retired < total) {
     admit_arrivals();
 
-    // Idle: jump to the next arrival.
+    // Idle: jump to the next arrival (an explicit stall event keeps the
+    // trace gap-free).
     if (active.empty() && waiting.empty()) {
-      ORINSIM_CHECK(arrived < config.total_requests, "continuous: starved scheduler");
-      now = static_cast<double>(arrived) * spacing;
+      ORINSIM_CHECK(arrived < total, "continuous: starved scheduler");
+      timeline.stall_until(arrival_times[arrived]);
       admit_arrivals();
     }
 
@@ -84,6 +96,7 @@ ContinuousResult simulate_continuous(const ContinuousConfig& config) {
       ActiveSeq seq = waiting.front();
       waiting.pop_front();
       seq.ctx = config.seq.input;
+      timeline.start_request(seq.id, timeline.now());
       active.push_back(seq);
       ++admitted;
     }
@@ -93,9 +106,10 @@ ContinuousResult simulate_continuous(const ContinuousConfig& config) {
                              config.power_mode);
       const double watts =
           power.prefill_power(model, config.dtype, config.power_mode).total_w();
-      result.energy_j += watts * prefill;
-      active_time_integral += static_cast<double>(active.size()) * prefill;
-      now += prefill;
+      // Batch carries the post-admission active count: the concurrency
+      // integral weighs the prefill at the level the device now sustains.
+      timeline.emit(trace::Phase::kPrefill, prefill, active.size(),
+                    static_cast<double>(config.seq.input), watts);
     }
 
     // One decode step for the active set at its mean context.
@@ -104,20 +118,18 @@ ContinuousResult simulate_continuous(const ContinuousConfig& config) {
     mean_ctx /= static_cast<double>(active.size());
     const sim::StepBreakdown step = roofline.decode_step(
         model, config.dtype, active.size(), mean_ctx, config.power_mode);
-    const double dt = step.total_s();
     const double watts =
         power.decode_power(model, config.dtype, step, config.power_mode).total_w();
-    result.energy_j += watts * dt;
-    active_time_integral += static_cast<double>(active.size()) * dt;
-    now += dt;
-    ++result.decode_steps;
+    timeline.emit(trace::Phase::kDecode, step.total_s(), active.size(), mean_ctx,
+                  watts, step);
 
     // Advance every active sequence by one token; retire finished ones.
     for (auto it = active.begin(); it != active.end();) {
       ++it->ctx;
       --it->remaining;
       if (it->remaining == 0) {
-        result.latencies_s.push_back(now - it->arrival_s);
+        timeline.finish_request(it->id, timeline.now());
+        ++retired;
         it = active.erase(it);
       } else {
         ++it;
@@ -125,8 +137,13 @@ ContinuousResult simulate_continuous(const ContinuousConfig& config) {
     }
   }
 
-  result.makespan_s = now;
-  result.mean_active = now > 0.0 ? active_time_integral / now : 0.0;
+  // Everything below is read off the event stream.
+  result.latencies_s = timeline.request_latencies();
+  result.makespan_s = timeline.now();
+  result.energy_j = timeline.total_energy_j();
+  result.mean_active = timeline.time_weighted_batch();
+  result.decode_steps = timeline.count(trace::Phase::kDecode);
+  result.total_tokens = result.latencies_s.size() * config.seq.total;
   return result;
 }
 

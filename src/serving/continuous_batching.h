@@ -7,12 +7,15 @@
 // paper's conclusion names "dedicated inference engines" as the next step;
 // this module quantifies what that buys on the same hardware model.
 //
-// The simulator walks decode steps: at each step boundary it admits waiting
-// requests (paying their prefill), charges one roofline decode step for the
-// currently active set, accrues energy from the power model, and retires
-// sequences that have produced their quota. Same arrival process and
-// workload shape as the static scheduler, so the two are directly
-// comparable (see bench_ext_continuous_batching).
+// The simulator walks decode steps and emits the schedule as StepEvents
+// into a trace::ExecutionTimeline: at each step boundary it admits waiting
+// requests (a kPrefill event for the newly admitted prompts), charges one
+// roofline decode step for the currently active set (a kDecode event with
+// the power model's wattage), and retires sequences that have produced
+// their quota. Energy, makespan, mean concurrency and per-request latencies
+// are all read off the timeline. Same arrival process and workload shape as
+// the static scheduler, so the two are directly comparable (see
+// bench_ext_continuous_batching).
 #pragma once
 
 #include <cstddef>
@@ -20,6 +23,8 @@
 #include <vector>
 
 #include "sim/inference_sim.h"
+#include "trace/timeline.h"
+#include "workload/arrivals.h"
 #include "workload/prompt_pool.h"
 
 namespace orinsim::serving {
@@ -28,7 +33,11 @@ struct ContinuousConfig {
   std::string model_key = "llama3";
   DType dtype = DType::kF16;
   std::size_t max_concurrency = 32;  // max sequences decoding together
+  // Shared arrival model (workload::arrivals); kDeterministic reproduces the
+  // original fixed spacing of 1/arrival_rate_rps.
+  workload::ArrivalKind arrival_kind = workload::ArrivalKind::kDeterministic;
   double arrival_rate_rps = 2.0;
+  std::uint64_t arrival_seed = 42;
   std::size_t total_requests = 64;
   workload::SeqConfig seq = workload::seq_config_default();
   sim::PowerMode power_mode = sim::power_mode_maxn();
@@ -40,14 +49,26 @@ struct ContinuousResult {
   double energy_j = 0.0;
   double mean_active = 0.0;   // time-weighted mean concurrent sequences
   std::size_t decode_steps = 0;
+  std::size_t total_tokens = 0;  // prompt + generated tokens processed
+
+  // The full event stream the metrics above are derived from.
+  trace::ExecutionTimeline timeline;
 
   double mean_latency_s() const;
   double p95_latency_s() const;
-  double throughput_tps(const ContinuousConfig& config) const;
+  // Tokens/s over the whole schedule. Self-contained: the result records the
+  // token volume, so no config needs to be threaded back in.
+  double throughput_tps() const;
 };
 
 // Simulates the schedule. Throws if max_concurrency at the workload's
 // sequence length cannot fit in device memory.
 ContinuousResult simulate_continuous(const ContinuousConfig& config);
+
+// Variant with explicit arrival timestamps (e.g. from
+// workload::generate_arrivals for Poisson or bursty streams). config's
+// arrival fields and total_requests are ignored in favour of the list.
+ContinuousResult simulate_continuous(const ContinuousConfig& config,
+                                     const std::vector<double>& arrival_times);
 
 }  // namespace orinsim::serving

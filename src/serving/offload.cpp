@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "core/error.h"
-#include "core/stats.h"
 
 namespace orinsim::serving {
 
@@ -35,18 +34,29 @@ std::string offload_policy_name(OffloadPolicy policy) {
   return "?";
 }
 
-double HybridResult::mean_latency_s() const { return mean(latencies_s); }
+double HybridResult::mean_latency_s() const {
+  return trace::LatencySummary::from(latencies_s).mean_s;
+}
 
-double HybridResult::p95_latency_s() const { return percentile(latencies_s, 95.0); }
+double HybridResult::p95_latency_s() const {
+  return trace::LatencySummary::from(latencies_s).p95_s;
+}
 
-HybridResult simulate_hybrid(const SimSession& session, const HybridConfig& config) {
+HybridResult simulate_hybrid(InferenceBackend& backend, const HybridConfig& config) {
   const SchedulerConfig& sc = config.scheduler;
   ORINSIM_CHECK(sc.total_requests > 0 && sc.max_batch > 0 && sc.arrival_rate_rps > 0,
                 "hybrid: degenerate scheduler config");
 
+  workload::ArrivalSpec spec;
+  spec.kind = sc.arrival_kind;
+  spec.rate_rps = sc.arrival_rate_rps;
+  spec.seed = sc.arrival_seed;
+  const std::vector<double> arrivals =
+      workload::generate_arrivals(spec, sc.total_requests);
+
   HybridResult result;
-  result.latencies_s.reserve(sc.total_requests);
-  const double spacing = 1.0 / sc.arrival_rate_rps;
+  trace::ExecutionTimeline& timeline = result.timeline;
+  for (double arrival : arrivals) timeline.begin_request(arrival);
 
   // Cached edge batch costs by occupancy.
   std::vector<double> latency_by_bs(sc.max_batch + 1, -1.0);
@@ -56,7 +66,7 @@ HybridResult simulate_hybrid(const SimSession& session, const HybridConfig& conf
       BatchRequest br;
       br.batch = bs;
       br.seq = sc.seq;
-      const BatchResult r = session.run(br);
+      const BatchResult r = backend.execute(br);
       ORINSIM_CHECK(!r.oom, "hybrid: edge batch config OOMs");
       latency_by_bs[bs] = r.latency_s;
       energy_by_bs[bs] = r.energy_j;
@@ -64,32 +74,51 @@ HybridResult simulate_hybrid(const SimSession& session, const HybridConfig& conf
     return latency_by_bs[bs];
   };
 
-  double edge_free_at = 0.0;
   std::size_t next = 0;  // next unrouted request index
-  double last_completion = 0.0;
 
-  auto route_to_cloud = [&](double arrival) {
+  // Cloud work overlaps the edge device: the event is pinned at the arrival
+  // instant, off the sequential cursor. Power stays unset — the cloud's
+  // joules are not the edge board's energy.
+  auto route_to_cloud = [&](std::size_t id) {
+    const double arrival = arrivals[id];
     const double latency = config.cloud.request_latency_s(sc.seq.input, sc.seq.output);
-    result.latencies_s.push_back(latency);
+    timeline.append_at(arrival, trace::Phase::kOffload, latency, 1,
+                       static_cast<double>(sc.seq.total));
+    timeline.start_request(id, arrival);
+    timeline.finish_request(id, arrival + latency);
     result.cloud_cost_usd += config.cloud.request_cost_usd(sc.seq.input, sc.seq.output);
-    ++result.cloud_requests;
-    last_completion = std::max(last_completion, arrival + latency);
+  };
+
+  // Runs the batch [next, next+take) on the edge at `dispatch_at`.
+  auto run_on_edge = [&](double dispatch_at, std::size_t take) {
+    timeline.stall_until(dispatch_at);
+    const double batch_latency = edge_batch(take);
+    // Mean power reproduces the backend-reported batch energy exactly
+    // (power * duration == energy).
+    const double power = batch_latency > 0.0 ? energy_by_bs[take] / batch_latency
+                                             : trace::kPowerUnset;
+    timeline.emit(trace::Phase::kDecode, batch_latency, take,
+                  static_cast<double>(sc.seq.total), power);
+    for (std::size_t i = 0; i < take; ++i) {
+      timeline.start_request(next + i, dispatch_at);
+      timeline.finish_request(next + i, timeline.now());
+    }
   };
 
   while (next < sc.total_requests) {
-    const double arrival = static_cast<double>(next) * spacing;
+    const double arrival = arrivals[next];
 
     if (config.policy == OffloadPolicy::kCloudOnly) {
-      route_to_cloud(arrival);
+      route_to_cloud(next);
       ++next;
       continue;
     }
 
     // Requests waiting when the edge device frees up (or now, if idle).
-    const double dispatch_at = std::max(arrival, edge_free_at);
+    const double dispatch_at = std::max(arrival, timeline.now());
     std::size_t waiting = 0;
     while (next + waiting < sc.total_requests &&
-           static_cast<double>(next + waiting) * spacing <= dispatch_at) {
+           arrivals[next + waiting] <= dispatch_at) {
       ++waiting;
     }
     waiting = std::max<std::size_t>(waiting, 1);
@@ -100,17 +129,9 @@ HybridResult simulate_hybrid(const SimSession& session, const HybridConfig& conf
       std::size_t to_edge = std::min(waiting, sc.max_batch);
       std::size_t overflow = waiting - to_edge;
       for (std::size_t i = 0; i < overflow; ++i) {
-        route_to_cloud(static_cast<double>(next + to_edge + i) * spacing);
+        route_to_cloud(next + to_edge + i);
       }
-      const double batch_latency = edge_batch(to_edge);
-      result.edge_energy_j += energy_by_bs[to_edge];
-      for (std::size_t i = 0; i < to_edge; ++i) {
-        const double req_arrival = static_cast<double>(next + i) * spacing;
-        result.latencies_s.push_back(dispatch_at + batch_latency - req_arrival);
-      }
-      result.edge_requests += to_edge;
-      edge_free_at = dispatch_at + batch_latency;
-      last_completion = std::max(last_completion, edge_free_at);
+      run_on_edge(dispatch_at, to_edge);
       next += waiting;
       continue;
     }
@@ -121,29 +142,24 @@ HybridResult simulate_hybrid(const SimSession& session, const HybridConfig& conf
     if (config.policy == OffloadPolicy::kLatencyThreshold) {
       // Route the whole wave to the cloud if the edge would miss the SLO for
       // its oldest member.
-      const double oldest_arrival = static_cast<double>(next) * spacing;
-      const double predicted = dispatch_at + batch_latency - oldest_arrival;
+      const double predicted = dispatch_at + batch_latency - arrivals[next];
       if (predicted > config.latency_slo_s) {
-        for (std::size_t i = 0; i < take; ++i) {
-          route_to_cloud(static_cast<double>(next + i) * spacing);
-        }
+        for (std::size_t i = 0; i < take; ++i) route_to_cloud(next + i);
         next += take;
         continue;
       }
     }
 
-    result.edge_energy_j += energy_by_bs[take];
-    for (std::size_t i = 0; i < take; ++i) {
-      const double req_arrival = static_cast<double>(next + i) * spacing;
-      result.latencies_s.push_back(dispatch_at + batch_latency - req_arrival);
-    }
-    result.edge_requests += take;
-    edge_free_at = dispatch_at + batch_latency;
-    last_completion = std::max(last_completion, edge_free_at);
+    run_on_edge(dispatch_at, take);
     next += take;
   }
 
-  result.makespan_s = last_completion;
+  // Everything below is read off the event stream.
+  result.latencies_s = timeline.request_latencies();
+  result.cloud_requests = timeline.count(trace::Phase::kOffload);
+  result.edge_requests = result.latencies_s.size() - result.cloud_requests;
+  result.edge_energy_j = timeline.total_energy_j();
+  result.makespan_s = timeline.makespan_s();
   return result;
 }
 

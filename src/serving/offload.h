@@ -12,8 +12,12 @@
 //   kLatencyThreshold      : route to the cloud when the predicted edge
 //                            completion time exceeds `latency_slo_s`
 //
-// Outputs separate edge energy (joules, from the power model) from cloud
-// cost (USD, from the endpoint price) so the trade-off the paper motivates —
+// The schedule is emitted as one trace::ExecutionTimeline: edge batches are
+// sequential kDecode events on the device cursor, cloud requests are
+// overlapping kOffload events placed at their arrival time (power unset —
+// cloud joules are not the edge board's). Counts, latencies, energy and
+// makespan are derived from the timeline, which keeps edge energy (joules)
+// separate from cloud cost (USD) so the trade-off the paper motivates —
 // privacy/cost vs latency — is quantified per policy.
 #pragma once
 
@@ -23,6 +27,7 @@
 
 #include "serving/batch_scheduler.h"
 #include "serving/session.h"
+#include "trace/timeline.h"
 
 namespace orinsim::serving {
 
@@ -63,10 +68,14 @@ struct HybridResult {
   double cloud_cost_usd = 0.0;
   double makespan_s = 0.0;
 
+  // The full event stream the metrics above are derived from (cloud work as
+  // overlapping kOffload events, edge batches on the sequential cursor).
+  trace::ExecutionTimeline timeline;
+
   double mean_latency_s() const;
   double p95_latency_s() const;
 };
 
-HybridResult simulate_hybrid(const SimSession& session, const HybridConfig& config);
+HybridResult simulate_hybrid(InferenceBackend& backend, const HybridConfig& config);
 
 }  // namespace orinsim::serving

@@ -20,7 +20,8 @@ SimSession::SimSession(std::string model_key, DType dtype, workload::Dataset dat
 
 const sim::ModelSpec& SimSession::model() const { return sim::model_by_key(model_key_); }
 
-BatchResult SimSession::run(const BatchRequest& request) const {
+BatchResult SimSession::run(const BatchRequest& request,
+                            trace::ExecutionTimeline* timeline) const {
   sim::SimRequest sr;
   sr.model_key = model_key_;
   sr.dtype = dtype_;
@@ -35,6 +36,11 @@ BatchResult SimSession::run(const BatchRequest& request) const {
   BatchResult out;
   out.oom = r.oom;
   if (r.oom) return out;
+  if (timeline != nullptr) {
+    for (const auto& e : r.timeline.events()) {
+      timeline->emit(e.phase, e.duration_s, e.batch, e.ctx, e.power_w, e.breakdown);
+    }
+  }
   out.latency_s = r.latency_s;
   out.throughput_tps = r.throughput_tps;
   out.incremental_ram_gb = r.memory.incremental_gb();
@@ -49,13 +55,15 @@ FunctionalSession::FunctionalSession(std::shared_ptr<const MasterWeights> master
                                      std::uint64_t seed)
     : model_(std::move(master), dtype), pool_(pool), rng_(seed) {}
 
-BatchResult FunctionalSession::run(const BatchRequest& request) {
+BatchResult FunctionalSession::run(const BatchRequest& request,
+                                   trace::ExecutionTimeline* timeline) {
   ORINSIM_CHECK(request.seq.total <= model_.config().max_seq,
                 "sequence exceeds functional model max_seq");
   const auto prompts = pool_.sample_batch(request.batch, request.seq.input, rng_);
 
   Stopwatch watch;
-  const Model::GenerateResult gen = model_.generate(prompts, request.seq.output);
+  const Model::GenerateResult gen =
+      model_.generate(prompts, request.seq.output, nullptr, timeline);
   const double latency = watch.elapsed_s();
 
   BatchResult out;

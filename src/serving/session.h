@@ -17,6 +17,7 @@
 
 #include "model/transformer.h"
 #include "sim/inference_sim.h"
+#include "trace/timeline.h"
 #include "workload/corpus.h"
 #include "workload/prompt_pool.h"
 
@@ -37,17 +38,39 @@ struct BatchResult {
   double energy_j = 0.0;        // simulator only
 };
 
+// The polymorphic execution backend the serving/harness/bench layers program
+// against: run one batch, optionally emitting its StepEvents (t = 0-based)
+// into a caller-provided timeline. SimSession emits modeled events with
+// power; FunctionalSession emits measured wall-clock events with power unset.
+class InferenceBackend {
+ public:
+  virtual ~InferenceBackend() = default;
+
+  virtual BatchResult execute(const BatchRequest& request,
+                              trace::ExecutionTimeline* timeline = nullptr) = 0;
+  virtual std::string backend_name() const = 0;
+};
+
 // Dataset-level latency factor: the paper measures LongBench ~4% faster than
 // WikiText2 on identical configs (Tables 4 vs 5) and attributes it to
 // dataset/model-specific factors and measurement variation.
 double dataset_latency_scale(workload::Dataset dataset);
 
-class SimSession {
+class SimSession : public InferenceBackend {
  public:
   SimSession(std::string model_key, DType dtype, workload::Dataset dataset,
              sim::PowerMode power_mode = sim::power_mode_maxn(), std::uint64_t seed = 7);
 
-  BatchResult run(const BatchRequest& request) const;
+  // If `timeline` is non-null, the run's modeled event stream (setup,
+  // prefill, per-token decode, with power) is appended to it.
+  BatchResult run(const BatchRequest& request,
+                  trace::ExecutionTimeline* timeline = nullptr) const;
+
+  BatchResult execute(const BatchRequest& request,
+                      trace::ExecutionTimeline* timeline = nullptr) override {
+    return run(request, timeline);
+  }
+  std::string backend_name() const override { return "sim:" + model_key_; }
 
   const sim::ModelSpec& model() const;
   DType dtype() const noexcept { return dtype_; }
@@ -61,15 +84,23 @@ class SimSession {
   sim::InferenceSim sim_;
 };
 
-class FunctionalSession {
+class FunctionalSession : public InferenceBackend {
  public:
   // The session owns a Model view of `master` at `dtype` and samples prompts
   // from `pool` (both must outlive the session).
   FunctionalSession(std::shared_ptr<const MasterWeights> master, DType dtype,
                     const workload::PromptPool& pool, std::uint64_t seed = 11);
 
-  // Runs one real batched generation and measures wall-clock metrics.
-  BatchResult run(const BatchRequest& request);
+  // Runs one real batched generation and measures wall-clock metrics. A
+  // non-null `timeline` receives measured StepEvents (power unset).
+  BatchResult run(const BatchRequest& request,
+                  trace::ExecutionTimeline* timeline = nullptr);
+
+  BatchResult execute(const BatchRequest& request,
+                      trace::ExecutionTimeline* timeline = nullptr) override {
+    return run(request, timeline);
+  }
+  std::string backend_name() const override { return "functional"; }
 
   Model& model() noexcept { return model_; }
 

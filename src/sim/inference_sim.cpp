@@ -8,53 +8,43 @@
 
 namespace orinsim::sim {
 
-telemetry::PowerSignal InferenceSim::build_signal(const ModelSpec& m,
-                                                  const SimRequest& request,
-                                                  double* latency_out, double* prefill_out,
-                                                  StepBreakdown* mean_step_out) const {
+trace::ExecutionTimeline InferenceSim::build_timeline(const ModelSpec& m,
+                                                      const SimRequest& request) const {
   const DType dt = request.dtype;
   const PowerMode& pm = request.power_mode;
+  const double scale = request.latency_scale;
 
-  telemetry::PowerSignal signal;
+  trace::ExecutionTimeline timeline;
 
   // Host-side setup (tokenization, buffer allocation) at idle-ish power.
-  const double overhead = roofline_.run_overhead_s() * request.latency_scale;
-  signal.append(overhead, power_.idle_w() + 4.0);
+  const double overhead = roofline_.run_overhead_s() * scale;
+  timeline.emit(trace::Phase::kSetup, overhead, request.batch, 0.0,
+                power_.idle_w() + 4.0);
 
   // Prefill phase: compute-saturated.
   const double prefill =
-      roofline_.prefill_s(m, dt, request.batch, request.in_tokens, pm) *
-      request.latency_scale;
-  signal.append(prefill, power_.prefill_power(m, dt, pm).total_w());
+      roofline_.prefill_s(m, dt, request.batch, request.in_tokens, pm) * scale;
+  timeline.emit(trace::Phase::kPrefill, prefill, request.batch,
+                static_cast<double>(request.in_tokens),
+                power_.prefill_power(m, dt, pm).total_w());
 
-  // Decode phase: one segment per output token; power drifts as the KV share
+  // Decode phase: one event per output token; power drifts as the KV share
   // of the step grows with context.
-  StepBreakdown mean_step{};
   for (std::size_t t = 0; t < request.out_tokens; ++t) {
     const double ctx = static_cast<double>(request.in_tokens + t);
-    const StepBreakdown step =
+    StepBreakdown step =
         roofline_.decode_step(m, dt, request.batch, ctx, pm, request.kv_cache_int8);
     const double watts = power_.decode_power(m, dt, step, pm).total_w();
-    signal.append(step.total_s() * request.latency_scale, watts);
-    mean_step.weight_s += step.weight_s;
-    mean_step.kv_s += step.kv_s;
-    mean_step.compute_s += step.compute_s;
-    mean_step.launch_s += step.launch_s;
-    mean_step.quant_extra_s += step.quant_extra_s;
-    mean_step.cpu_stretch_s += step.cpu_stretch_s;
+    const double duration = step.total_s() * scale;
+    step.weight_s *= scale;
+    step.kv_s *= scale;
+    step.compute_s *= scale;
+    step.launch_s *= scale;
+    step.quant_extra_s *= scale;
+    step.cpu_stretch_s *= scale;
+    timeline.emit(trace::Phase::kDecode, duration, request.batch, ctx, watts, step);
   }
-  const double n = static_cast<double>(request.out_tokens);
-  mean_step.weight_s /= n;
-  mean_step.kv_s /= n;
-  mean_step.compute_s /= n;
-  mean_step.launch_s /= n;
-  mean_step.quant_extra_s /= n;
-  mean_step.cpu_stretch_s /= n;
-
-  if (latency_out != nullptr) *latency_out = signal.duration_s();
-  if (prefill_out != nullptr) *prefill_out = prefill;
-  if (mean_step_out != nullptr) *mean_step_out = mean_step;
-  return signal;
+  return timeline;
 }
 
 SimResult InferenceSim::run(const SimRequest& request) const {
@@ -71,22 +61,16 @@ SimResult InferenceSim::run(const SimRequest& request) const {
   result.oom = result.model_load_oom || memory_.workload_oom(result.memory);
   if (result.oom) return result;
 
-  double base_latency = 0.0;
-  double prefill = 0.0;
-  StepBreakdown mean_step{};
-  const telemetry::PowerSignal signal =
-      build_signal(m, request, &base_latency, &prefill, &mean_step);
-  result.prefill_s = prefill;
-  result.mean_decode_step = mean_step;
+  // One noise-free run as an event stream; everything below derives from it.
+  result.timeline = build_timeline(m, request);
+  const telemetry::PowerSignal signal = result.timeline.power_signal();
+  result.prefill_s = result.timeline.phase_time_s(trace::Phase::kPrefill);
+  result.mean_decode_step = result.timeline.mean_breakdown(trace::Phase::kDecode);
   // Time to first token: setup + prefill + the first decode step.
-  result.ttft_s =
-      roofline_.run_overhead_s() * request.latency_scale + prefill +
-      roofline_
-          .decode_step(m, request.dtype, request.batch,
-                       static_cast<double>(request.in_tokens), request.power_mode,
-                       request.kv_cache_int8)
-          .total_s() *
-          request.latency_scale;
+  {
+    const auto& events = result.timeline.events();
+    result.ttft_s = events[0].duration_s + events[1].duration_s + events[2].duration_s;
+  }
 
   Rng rng(request.seed);
   const telemetry::PowerSampler sampler(2.0, request.noise_sigma);

@@ -14,6 +14,7 @@
 #include "sim/roofline.h"
 #include "telemetry/power_sampler.h"
 #include "telemetry/run_report.h"
+#include "trace/timeline.h"
 
 namespace orinsim::sim {
 
@@ -52,6 +53,11 @@ struct SimResult {
 
   // One measured run's sampled power trace (for plots / energy tests).
   telemetry::SampledTrace trace;
+
+  // The noise-free run's full event stream (setup, prefill, one event per
+  // decode step). Latency/prefill/mean-step/power-signal above are derived
+  // from it; exporters (trace/export.h) serialize it.
+  trace::ExecutionTimeline timeline;
 };
 
 class InferenceSim {
@@ -66,10 +72,10 @@ class InferenceSim {
   const PowerModel& power_model() const noexcept { return power_; }
 
  private:
-  // Builds the piecewise-constant power signal of one batch run.
-  telemetry::PowerSignal build_signal(const ModelSpec& m, const SimRequest& request,
-                                      double* latency_out, double* prefill_out,
-                                      StepBreakdown* mean_step_out) const;
+  // Emits one noise-free batch run (setup, prefill, per-token decode) into a
+  // timeline; every downstream metric is derived from the events.
+  trace::ExecutionTimeline build_timeline(const ModelSpec& m,
+                                          const SimRequest& request) const;
 
   DeviceSpec device_;
   RooflineEngine roofline_;

@@ -27,30 +27,14 @@
 #include "sim/model_catalog.h"
 #include "sim/power_mode.h"
 #include "tensor/dtype.h"
+#include "trace/step_event.h"
 
 namespace orinsim::sim {
 
-struct StepBreakdown {
-  double weight_s = 0.0;
-  double kv_s = 0.0;
-  double compute_s = 0.0;
-  double launch_s = 0.0;
-  double quant_extra_s = 0.0;  // extra time attributed to quantized kernels
-  double cpu_stretch_s = 0.0;  // extra time from CPU-side slowdown
-
-  double total_s() const {
-    return weight_s + kv_s + compute_s + launch_s + quant_extra_s + cpu_stretch_s;
-  }
-  // Fraction of the step spent moving bytes (used by the power model).
-  double memory_share() const {
-    const double t = total_s();
-    return t > 0.0 ? (weight_s + kv_s) / t : 0.0;
-  }
-  double compute_share() const {
-    const double t = total_s();
-    return t > 0.0 ? (compute_s + quant_extra_s) / t : 0.0;
-  }
-};
+// The step decomposition now lives in the trace spine (trace/step_event.h)
+// so StepEvents can carry it without the trace layer depending on the
+// simulator; this alias keeps the historical sim::StepBreakdown name.
+using StepBreakdown = trace::StepBreakdown;
 
 // Per-model CPU sensitivity of step time (dimensionless, multiplies the
 // relative CPU slowdown). Catalog-level calibration data, exposed for tests.

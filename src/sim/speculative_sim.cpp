@@ -31,18 +31,23 @@ SpeculativeEstimate estimate_speculative_speedup(const ModelSpec& target,
   // One plain target step (batch 1): the non-speculative baseline.
   est.baseline_step_s = engine.decode_step(target, target_dtype, 1, ctx, pm).total_s();
 
-  // The verification pass evaluates K+1 positions of one sequence: same
-  // weight streaming, (K+1)x the compute and KV reads. decode_step with
-  // batch = K+1 has exactly that cost structure.
-  const double verify_s =
-      engine.decode_step(target, target_dtype, draft_tokens + 1, ctx, pm).total_s();
-  // K sequential draft steps.
-  const double draft_s =
-      static_cast<double>(draft_tokens) *
-      engine.decode_step(draft, draft_dtype, 1, ctx, pm).total_s();
+  // Emit one round as events and derive its cost from the timeline: K
+  // sequential draft steps, then the verification pass. Verification
+  // evaluates K+1 positions of one sequence: same weight streaming, (K+1)x
+  // the compute and KV reads — decode_step with batch = K+1 has exactly that
+  // cost structure.
+  const StepBreakdown draft_step = engine.decode_step(draft, draft_dtype, 1, ctx, pm);
+  for (std::size_t k = 0; k < draft_tokens; ++k) {
+    est.round_timeline.emit(trace::Phase::kDraft, draft_step.total_s(), 1, ctx,
+                            trace::kPowerUnset, draft_step);
+  }
+  const StepBreakdown verify_step =
+      engine.decode_step(target, target_dtype, draft_tokens + 1, ctx, pm);
+  est.round_timeline.emit(trace::Phase::kVerify, verify_step.total_s(), draft_tokens + 1,
+                          ctx, trace::kPowerUnset, verify_step);
 
-  est.round_cost_s = verify_s + draft_s;
-  est.draft_share = draft_s / est.round_cost_s;
+  est.round_cost_s = est.round_timeline.now();
+  est.draft_share = est.round_timeline.phase_time_s(trace::Phase::kDraft) / est.round_cost_s;
   est.speedup = est.tokens_per_round * est.baseline_step_s / est.round_cost_s;
   return est;
 }

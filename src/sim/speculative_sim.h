@@ -17,6 +17,7 @@
 
 #include "sim/model_catalog.h"
 #include "sim/power_mode.h"
+#include "trace/timeline.h"
 
 namespace orinsim::sim {
 
@@ -26,6 +27,10 @@ struct SpeculativeEstimate {
   double baseline_step_s = 0.0;  // target's plain per-token decode cost
   double speedup = 0.0;          // > 1 means speculative decoding wins
   double draft_share = 0.0;      // fraction of the round spent drafting
+
+  // One speculative round as events: K kDraft steps then one kVerify pass.
+  // round_cost_s and draft_share are derived from this stream.
+  trace::ExecutionTimeline round_timeline;
 };
 
 // Expected emitted tokens per round for greedy speculative decoding with

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.h"
+#include "trace/timeline.h"
 
 namespace orinsim::sim {
 
@@ -48,13 +49,17 @@ ThermalRunResult simulate_with_thermals(const SimRequest& request,
   }
 
   double temp = initial_temp_c < 0.0 ? params.ambient_c : initial_temp_c;
-  double now = 0.0;
   double throttled_time = 0.0;
   double next_sample = 0.0;
 
+  // The thermal loop is a scheduler like any other: it emits StepEvents into
+  // a timeline and latency/energy are derived from the event stream. Only
+  // the temperature/throttle feedback state stays local.
+  trace::ExecutionTimeline timeline;
+
   auto record = [&](double watts, double ratio) {
-    if (now >= next_sample) {
-      result.trace.push_back(ThermalSample{now, temp, watts, ratio});
+    if (timeline.now() >= next_sample) {
+      result.trace.push_back(ThermalSample{timeline.now(), temp, watts, ratio});
       next_sample += 2.0;
     }
     result.peak_temp_c = std::max(result.peak_temp_c, temp);
@@ -66,8 +71,10 @@ ThermalRunResult simulate_with_thermals(const SimRequest& request,
     return pm;
   };
 
-  // Setup phase.
-  now += roofline.run_overhead_s();
+  // Setup phase. No power attached: the seed accounting never charged setup
+  // energy to the thermal budget, and deriving energy from the timeline must
+  // not change that.
+  timeline.emit(trace::Phase::kSetup, roofline.run_overhead_s(), request.batch);
   temp = thermal.step_temperature(temp, power.idle_w() + 4.0, roofline.run_overhead_s());
   record(power.idle_w() + 4.0, 1.0);
 
@@ -79,15 +86,14 @@ ThermalRunResult simulate_with_thermals(const SimRequest& request,
     const double dt = roofline.prefill_s(m, request.dtype, request.batch,
                                          request.in_tokens, pm);
     const double watts = power.prefill_power(m, request.dtype, pm).total_w();
-    result.energy_j += watts * dt;
+    timeline.emit(trace::Phase::kPrefill, dt, request.batch,
+                  static_cast<double>(request.in_tokens), watts);
     temp = thermal.step_temperature(temp, watts, dt);
-    now += dt;
     if (ratio < 1.0) throttled_time += dt;
     record(watts, ratio);
   }
 
   // Decode: per-token feedback between temperature and throttle.
-  double decode_time = 0.0;
   for (std::size_t t = 0; t < request.out_tokens; ++t) {
     const double ratio = thermal.gpu_throttle(temp);
     const PowerMode pm = throttled_mode(ratio);
@@ -96,17 +102,17 @@ ThermalRunResult simulate_with_thermals(const SimRequest& request,
                                                     pm, request.kv_cache_int8);
     const double dt = step.total_s();
     const double watts = power.decode_power(m, request.dtype, step, pm).total_w();
-    result.energy_j += watts * dt;
+    timeline.emit(trace::Phase::kDecode, dt, request.batch, ctx, watts, step);
     temp = thermal.step_temperature(temp, watts, dt);
-    now += dt;
-    decode_time += dt;
     if (ratio < 1.0) throttled_time += dt;
     record(watts, ratio);
   }
 
-  result.latency_s = now;
+  const double decode_time = timeline.phase_time_s(trace::Phase::kDecode);
+  result.latency_s = timeline.now();
+  result.energy_j = timeline.total_energy_j();
   result.final_temp_c = temp;
-  result.throttled_fraction = decode_time > 0.0 ? throttled_time / (decode_time) : 0.0;
+  result.throttled_fraction = decode_time > 0.0 ? throttled_time / decode_time : 0.0;
   return result;
 }
 

@@ -1,0 +1,95 @@
+#include "trace/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace orinsim::trace {
+
+namespace {
+
+// Shortest round-trip-safe double rendering; JSON has no Inf/NaN, but trace
+// values are finite by construction (checked on emission).
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void event_fields(std::ostringstream& out, const StepEvent& e) {
+  out << "\"phase\":\"" << phase_name(e.phase) << "\",\"t_start_s\":" << num(e.t_start_s)
+      << ",\"duration_s\":" << num(e.duration_s) << ",\"batch\":" << e.batch
+      << ",\"ctx\":" << num(e.ctx);
+  if (e.has_power()) {
+    out << ",\"power_w\":" << num(e.power_w);
+  } else {
+    out << ",\"power_w\":null";
+  }
+  const StepBreakdown& b = e.breakdown;
+  if (b.total_s() > 0.0) {
+    out << ",\"breakdown\":{\"weight_s\":" << num(b.weight_s)
+        << ",\"kv_s\":" << num(b.kv_s) << ",\"compute_s\":" << num(b.compute_s)
+        << ",\"launch_s\":" << num(b.launch_s)
+        << ",\"quant_extra_s\":" << num(b.quant_extra_s)
+        << ",\"cpu_stretch_s\":" << num(b.cpu_stretch_s) << "}";
+  }
+}
+
+}  // namespace
+
+std::string to_jsonl(const ExecutionTimeline& timeline) {
+  std::ostringstream out;
+  for (const auto& e : timeline.events()) {
+    out << "{";
+    event_fields(out, e);
+    out << "}\n";
+  }
+  return out.str();
+}
+
+std::string to_chrome_trace_json(const ExecutionTimeline& timeline,
+                                 const std::string& process_name) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\""
+      << process_name << "\"}}";
+  for (const auto& e : timeline.events()) {
+    // Overlapping events (cloud offload) go on their own track so Chrome's
+    // flame view does not interleave them with the device timeline.
+    const int tid = e.phase == Phase::kOffload ? 1 : 0;
+    out << ",{\"name\":\"" << phase_name(e.phase) << "\",\"cat\":\"" << phase_name(e.phase)
+        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << tid
+        << ",\"ts\":" << num(e.t_start_s * 1e6) << ",\"dur\":" << num(e.duration_s * 1e6)
+        << ",\"args\":{";
+    std::ostringstream fields;
+    event_fields(fields, e);
+    out << fields.str() << "}}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+namespace {
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  ORINSIM_CHECK(out.good(), "trace export: cannot write " + path);
+  out << content;
+  ORINSIM_CHECK(out.good(), "trace export: write failed for " + path);
+}
+
+}  // namespace
+
+void write_jsonl(const ExecutionTimeline& timeline, const std::string& path) {
+  write_file(path, to_jsonl(timeline));
+}
+
+void write_chrome_trace(const ExecutionTimeline& timeline, const std::string& path,
+                        const std::string& process_name) {
+  write_file(path, to_chrome_trace_json(timeline, process_name));
+}
+
+}  // namespace orinsim::trace

@@ -1,0 +1,23 @@
+// Trace observability: serialize an ExecutionTimeline as
+//  - JSONL: one JSON object per StepEvent (grep/jq-friendly, streamable)
+//  - Chrome trace_event JSON: loads directly in chrome://tracing or Perfetto
+//    ("X" complete events, microsecond timestamps).
+#pragma once
+
+#include <string>
+
+#include "trace/timeline.h"
+
+namespace orinsim::trace {
+
+// In-memory renderings (used by tests and by the writers below).
+std::string to_jsonl(const ExecutionTimeline& timeline);
+std::string to_chrome_trace_json(const ExecutionTimeline& timeline,
+                                 const std::string& process_name = "orinsim");
+
+// File writers; throw ContractViolation if the path is not writable.
+void write_jsonl(const ExecutionTimeline& timeline, const std::string& path);
+void write_chrome_trace(const ExecutionTimeline& timeline, const std::string& path,
+                        const std::string& process_name = "orinsim");
+
+}  // namespace orinsim::trace

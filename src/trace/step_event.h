@@ -1,0 +1,76 @@
+// The execution-trace spine: one event vocabulary shared by every scheduler
+// and backend in the repo.
+//
+// The paper's contribution is a measurement methodology — per-batch latency
+// decomposition, jtop-style power sampling, trapezoidal energy — and before
+// this module existed that accounting was re-implemented by every simulation
+// loop. Now a loop *emits* StepEvents into an ExecutionTimeline (timeline.h)
+// and every reported metric (latency, makespan, energy, power signal,
+// occupancy) is *derived* from the one event stream, so a new scheduler or
+// backend gets the whole measurement pipeline for free.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace orinsim::trace {
+
+// What the device (or a remote endpoint) was doing during an event.
+//  kSetup   : host-side run overhead (tokenization, allocation)
+//  kPrefill : prompt ingestion, compute-saturated
+//  kDecode  : autoregressive decode steps (or a whole static batch at
+//             batch granularity, for request-level schedulers)
+//  kStall   : device idle, waiting for arrivals
+//  kOffload : request executing on a remote/cloud endpoint (may overlap the
+//             local timeline)
+//  kDraft   : speculative decoding, draft-model step
+//  kVerify  : speculative decoding, target-model verification pass
+enum class Phase { kSetup, kPrefill, kDecode, kStall, kOffload, kDraft, kVerify };
+
+std::string phase_name(Phase phase);
+
+// Cost decomposition of one decode step (roofline model terms). Owned by the
+// trace layer so both the simulator and the telemetry consumers can speak it
+// without depending on each other; sim::StepBreakdown aliases this type.
+struct StepBreakdown {
+  double weight_s = 0.0;
+  double kv_s = 0.0;
+  double compute_s = 0.0;
+  double launch_s = 0.0;
+  double quant_extra_s = 0.0;  // extra time attributed to quantized kernels
+  double cpu_stretch_s = 0.0;  // extra time from CPU-side slowdown
+
+  double total_s() const {
+    return weight_s + kv_s + compute_s + launch_s + quant_extra_s + cpu_stretch_s;
+  }
+  // Fraction of the step spent moving bytes (used by the power model).
+  double memory_share() const {
+    const double t = total_s();
+    return t > 0.0 ? (weight_s + kv_s) / t : 0.0;
+  }
+  double compute_share() const {
+    const double t = total_s();
+    return t > 0.0 ? (compute_s + quant_extra_s) / t : 0.0;
+  }
+};
+
+// Power is optional: the functional (wall-clock) backend and cloud endpoints
+// have no board sensor, so their events carry no power and contribute no
+// energy. Negative means unset.
+inline constexpr double kPowerUnset = -1.0;
+
+struct StepEvent {
+  double t_start_s = 0.0;
+  double duration_s = 0.0;
+  Phase phase = Phase::kDecode;
+  std::size_t batch = 0;        // sequences active during the event
+  double ctx = 0.0;             // context position (decode) / prompt tokens (prefill)
+  StepBreakdown breakdown;      // zero unless the emitter models step cost
+  double power_w = kPowerUnset;
+
+  bool has_power() const { return power_w >= 0.0; }
+  double t_end_s() const { return t_start_s + duration_s; }
+  double energy_j() const { return has_power() ? power_w * duration_s : 0.0; }
+};
+
+}  // namespace orinsim::trace

@@ -1,0 +1,201 @@
+#include "trace/timeline.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/stats.h"
+
+namespace orinsim::trace {
+
+std::string phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kSetup:
+      return "setup";
+    case Phase::kPrefill:
+      return "prefill";
+    case Phase::kDecode:
+      return "decode";
+    case Phase::kStall:
+      return "stall";
+    case Phase::kOffload:
+      return "offload";
+    case Phase::kDraft:
+      return "draft";
+    case Phase::kVerify:
+      return "verify";
+  }
+  return "?";
+}
+
+LatencySummary LatencySummary::from(std::span<const double> latencies_s) {
+  LatencySummary s;
+  s.count = latencies_s.size();
+  s.mean_s = mean(latencies_s);
+  s.p95_s = percentile(latencies_s, 95.0);
+  return s;
+}
+
+std::size_t ExecutionTimeline::emit(Phase phase, double duration_s, std::size_t batch,
+                                    double ctx, double power_w,
+                                    const StepBreakdown& breakdown) {
+  ORINSIM_CHECK(duration_s >= 0.0, "timeline: negative event duration");
+  StepEvent e;
+  e.t_start_s = now_;
+  e.duration_s = duration_s;
+  e.phase = phase;
+  e.batch = batch;
+  e.ctx = ctx;
+  e.power_w = power_w;
+  e.breakdown = breakdown;
+  now_ += duration_s;
+  events_.push_back(e);
+  return events_.size() - 1;
+}
+
+void ExecutionTimeline::stall_until(double t) {
+  if (t > now_) {
+    emit(Phase::kStall, t - now_, 0);
+    // Pin the cursor to the requested instant: now + (t - now) can land one
+    // ulp off t, which would perturb arrival comparisons downstream.
+    now_ = t;
+  }
+}
+
+std::size_t ExecutionTimeline::append_at(double t_start_s, Phase phase,
+                                         double duration_s, std::size_t batch,
+                                         double ctx, double power_w,
+                                         const StepBreakdown& breakdown) {
+  ORINSIM_CHECK(duration_s >= 0.0, "timeline: negative event duration");
+  ORINSIM_CHECK(t_start_s >= 0.0, "timeline: negative event start");
+  StepEvent e;
+  e.t_start_s = t_start_s;
+  e.duration_s = duration_s;
+  e.phase = phase;
+  e.batch = batch;
+  e.ctx = ctx;
+  e.power_w = power_w;
+  e.breakdown = breakdown;
+  events_.push_back(e);
+  return events_.size() - 1;
+}
+
+std::size_t ExecutionTimeline::begin_request(double arrival_s) {
+  RequestRecord r;
+  r.arrival_s = arrival_s;
+  requests_.push_back(r);
+  return requests_.size() - 1;
+}
+
+void ExecutionTimeline::start_request(std::size_t id, double t) {
+  ORINSIM_CHECK(id < requests_.size(), "timeline: bad request id");
+  requests_[id].start_s = t;
+  requests_[id].started = true;
+}
+
+void ExecutionTimeline::finish_request(std::size_t id, double t) {
+  ORINSIM_CHECK(id < requests_.size(), "timeline: bad request id");
+  ORINSIM_CHECK(!requests_[id].completed, "timeline: request finished twice");
+  requests_[id].finish_s = t;
+  requests_[id].completed = true;
+  latencies_.push_back(t - requests_[id].arrival_s);
+}
+
+double ExecutionTimeline::makespan_s() const {
+  double end = 0.0;
+  for (const auto& e : events_) end = std::max(end, e.t_end_s());
+  return end;
+}
+
+double ExecutionTimeline::duration_sum_s() const {
+  double sum = 0.0;
+  for (const auto& e : events_) sum += e.duration_s;
+  return sum;
+}
+
+double ExecutionTimeline::busy_s() const {
+  double sum = 0.0;
+  for (const auto& e : events_) {
+    if (e.phase != Phase::kStall) sum += e.duration_s;
+  }
+  return sum;
+}
+
+double ExecutionTimeline::total_energy_j() const {
+  double e_j = 0.0;
+  for (const auto& e : events_) {
+    if (e.has_power()) e_j += e.power_w * e.duration_s;
+  }
+  return e_j;
+}
+
+telemetry::PowerSignal ExecutionTimeline::power_signal() const {
+  telemetry::PowerSignal signal;
+  for (const auto& e : events_) {
+    if (e.has_power()) signal.append(e.duration_s, e.power_w);
+  }
+  return signal;
+}
+
+double ExecutionTimeline::phase_time_s(Phase phase) const {
+  double sum = 0.0;
+  for (const auto& e : events_) {
+    if (e.phase == phase) sum += e.duration_s;
+  }
+  return sum;
+}
+
+std::size_t ExecutionTimeline::count(Phase phase) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.phase == phase) ++n;
+  }
+  return n;
+}
+
+double ExecutionTimeline::mean_batch(Phase phase) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.phase == phase) {
+      sum += static_cast<double>(e.batch);
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+StepBreakdown ExecutionTimeline::mean_breakdown(Phase phase) const {
+  StepBreakdown acc{};
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.phase != phase) continue;
+    acc.weight_s += e.breakdown.weight_s;
+    acc.kv_s += e.breakdown.kv_s;
+    acc.compute_s += e.breakdown.compute_s;
+    acc.launch_s += e.breakdown.launch_s;
+    acc.quant_extra_s += e.breakdown.quant_extra_s;
+    acc.cpu_stretch_s += e.breakdown.cpu_stretch_s;
+    ++n;
+  }
+  if (n == 0) return acc;
+  const double d = static_cast<double>(n);
+  acc.weight_s /= d;
+  acc.kv_s /= d;
+  acc.compute_s /= d;
+  acc.launch_s /= d;
+  acc.quant_extra_s /= d;
+  acc.cpu_stretch_s /= d;
+  return acc;
+}
+
+double ExecutionTimeline::time_weighted_batch() const {
+  const double span = makespan_s();
+  if (span <= 0.0) return 0.0;
+  double integral = 0.0;
+  for (const auto& e : events_) {
+    integral += static_cast<double>(e.batch) * e.duration_s;
+  }
+  return integral / span;
+}
+
+}  // namespace orinsim::trace

@@ -1,0 +1,119 @@
+// ExecutionTimeline: the accumulator every simulation loop writes into and
+// every metric is read out of.
+//
+// Emission model:
+//  - emit() appends an event at the sequential cursor (`now`) and advances
+//    it — the common case for a device executing one thing at a time.
+//  - stall_until() fills idle gaps with explicit kStall events so the sum of
+//    event durations always equals the makespan (trace conservation, tested).
+//  - append_at() places an event at an arbitrary start without moving the
+//    cursor — for work overlapping the local device (cloud offload).
+//
+// Request bookkeeping rides on the same object: begin/start/finish_request
+// record per-request arrival → dispatch → completion, from which latencies
+// and queueing delays are derived.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "telemetry/power_sampler.h"
+#include "trace/step_event.h"
+
+namespace orinsim::trace {
+
+// Shared mean/p95 summary of a latency population (one implementation for
+// every scheduler result type; built on core/stats).
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_s = 0.0;
+  double p95_s = 0.0;
+
+  static LatencySummary from(std::span<const double> latencies_s);
+};
+
+struct RequestRecord {
+  double arrival_s = 0.0;
+  double start_s = 0.0;   // when its batch/step first executed
+  double finish_s = 0.0;  // when its last token completed
+  bool started = false;
+  bool completed = false;
+
+  double queueing_s() const { return start_s - arrival_s; }
+  double latency_s() const { return finish_s - arrival_s; }
+};
+
+class ExecutionTimeline {
+ public:
+  // --- emission ---------------------------------------------------------
+
+  // Appends at the sequential cursor and advances it. Returns the event id.
+  std::size_t emit(Phase phase, double duration_s, std::size_t batch, double ctx = 0.0,
+                   double power_w = kPowerUnset, const StepBreakdown& breakdown = {});
+
+  // Emits a kStall (batch 0, no power) covering [now, t) if t > now.
+  void stall_until(double t);
+
+  // Places an event at an explicit start time without moving the cursor
+  // (overlapping work, e.g. cloud offload).
+  std::size_t append_at(double t_start_s, Phase phase, double duration_s,
+                        std::size_t batch, double ctx = 0.0,
+                        double power_w = kPowerUnset,
+                        const StepBreakdown& breakdown = {});
+
+  // Sequential cursor: end of the last emit()/stall_until() event.
+  double now() const noexcept { return now_; }
+
+  // --- request bookkeeping ---------------------------------------------
+
+  std::size_t begin_request(double arrival_s);
+  void start_request(std::size_t id, double t);
+  // Completion order is preserved: request_latencies() lists latencies in
+  // the order finish_request was called (retirement order).
+  void finish_request(std::size_t id, double t);
+
+  // --- derived metrics --------------------------------------------------
+
+  const std::vector<StepEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+
+  // Max event end over all events (cloud events may outlive the cursor).
+  double makespan_s() const;
+  // Sum of all event durations (== makespan for gap-free sequential traces).
+  double duration_sum_s() const;
+  // Sum of durations excluding stalls.
+  double busy_s() const;
+
+  // Energy over events that carry power: sum(power * duration), accumulated
+  // in emission order (bit-stable vs the former per-loop accounting).
+  double total_energy_j() const;
+
+  // Piecewise-constant power signal of the powered events, in emission
+  // order, feeding the jtop-style sampling pipeline. Events without power
+  // are skipped (they contribute no sensor-visible segment).
+  telemetry::PowerSignal power_signal() const;
+
+  double phase_time_s(Phase phase) const;
+  std::size_t count(Phase phase) const;
+  // Mean batch size over events of `phase` (e.g. static-batch occupancy).
+  double mean_batch(Phase phase) const;
+  // Component-wise mean breakdown over events of `phase`.
+  StepBreakdown mean_breakdown(Phase phase) const;
+  // Time-weighted mean of `batch` across all events, normalized by the
+  // makespan (continuous batching's mean concurrency; stalls weigh zero).
+  double time_weighted_batch() const;
+
+  const std::vector<RequestRecord>& requests() const noexcept { return requests_; }
+  // Latencies of completed requests, in retirement order.
+  const std::vector<double>& request_latencies() const noexcept { return latencies_; }
+  LatencySummary latency_summary() const { return LatencySummary::from(latencies_); }
+
+ private:
+  std::vector<StepEvent> events_;
+  std::vector<RequestRecord> requests_;
+  std::vector<double> latencies_;
+  double now_ = 0.0;
+};
+
+}  // namespace orinsim::trace

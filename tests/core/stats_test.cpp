@@ -110,5 +110,33 @@ TEST(StatsTest, MinMaxStddev) {
   EXPECT_GT(stddev(v), 0.0);
 }
 
+TEST(StatsTest, PercentileSingleElementIsThatElement) {
+  const std::vector<double> v = {7.25};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.25);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 7.25);
+  EXPECT_DOUBLE_EQ(percentile(v, 95.0), 7.25);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 7.25);
+}
+
+TEST(StatsTest, PercentileOfEmptyIsZero) {
+  EXPECT_EQ(percentile({}, 0.0), 0.0);
+  EXPECT_EQ(percentile({}, 100.0), 0.0);
+}
+
+TEST(StatsTest, PercentileExtremesHitMinAndMax) {
+  // p=0 and p=100 must land exactly on the extremes, independent of order.
+  const std::vector<double> v = {20.0, 5.0, 40.0, 10.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), min_value(v));
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), max_value(v));
+}
+
+TEST(StatsTest, PercentileOutOfRangeRejected) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW(percentile(v, -0.001), ContractViolation);
+  EXPECT_THROW(percentile(v, 100.001), ContractViolation);
+}
+
 }  // namespace
 }  // namespace orinsim

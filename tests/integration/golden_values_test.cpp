@@ -1,0 +1,47 @@
+// Golden-value guard for the paper's headline cell: Llama-3.1-8B, FP16,
+// bs=32, sl=96 (32 in + 64 out), MaxN, WikiText2 — the configuration behind
+// Fig 1/4 and Table 4's central column.
+//
+// The values are pinned to the repository's pre-trace-spine accounting (the
+// seed implementation's per-loop latency/energy sums). Any refactor of the
+// simulator, the timeline, or the telemetry pipeline that shifts these
+// numbers beyond ulp-level noise is a behavior change, not a refactor, and
+// must update this file deliberately.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "serving/session.h"
+
+namespace orinsim {
+namespace {
+
+void expect_golden(double actual, double expected) {
+  // Tight relative tolerance: allows FP-contraction differences across
+  // compilers/build types, rejects any real accounting drift.
+  EXPECT_NEAR(actual, expected, std::abs(expected) * 1e-9);
+}
+
+TEST(GoldenValuesTest, Llama3Fp16Batch32HeadlineCell) {
+  serving::SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  serving::BatchRequest rq;  // defaults: bs=32, sl=96
+  ASSERT_EQ(rq.batch, 32u);
+  ASSERT_EQ(rq.seq.total, 96u);
+
+  trace::ExecutionTimeline timeline;
+  const serving::BatchResult r = session.run(rq, &timeline);
+  ASSERT_FALSE(r.oom);
+
+  expect_golden(r.latency_s, 10.293658045026268);
+  expect_golden(r.throughput_tps, 298.56408594100878);
+  expect_golden(r.median_power_w, 53.468640533222313);
+  expect_golden(r.energy_j, 514.35562863154303);
+  expect_golden(r.total_ram_gb, 17.192481664000002);
+
+  // The modeled schedule: setup + prefill + 64 decode steps.
+  EXPECT_EQ(timeline.events().size(), 66u);
+  EXPECT_EQ(timeline.count(trace::Phase::kDecode), 64u);
+}
+
+}  // namespace
+}  // namespace orinsim

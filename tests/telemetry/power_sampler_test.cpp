@@ -86,6 +86,24 @@ TEST(PowerSamplerTest, NoiseIsZeroMeanish) {
   EXPECT_NEAR(stats.energy_j, s.exact_energy_j(), s.exact_energy_j() * 0.02);
 }
 
+TEST(PowerSignalTest, ValueAtSegmentBoundaries) {
+  // Segments: [0,1) at 5 W, [1,3) at 7 W. A boundary instant belongs to the
+  // segment that starts there; past-the-end clamps to the last segment.
+  PowerSignal s;
+  s.append(1.0, 5.0);
+  s.append(2.0, 7.0);
+  EXPECT_DOUBLE_EQ(s.value_at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.value_at(0.999), 5.0);
+  EXPECT_DOUBLE_EQ(s.value_at(1.0), 7.0);  // boundary -> starting segment
+  EXPECT_DOUBLE_EQ(s.value_at(3.0), 7.0);  // final boundary -> last segment
+  EXPECT_DOUBLE_EQ(s.value_at(-1.0), 5.0);  // before start clamps to first
+}
+
+TEST(PowerSignalTest, ValueAtOnEmptySignalRejected) {
+  const PowerSignal s;
+  EXPECT_THROW(s.value_at(0.0), ContractViolation);
+}
+
 TEST(PowerSamplerTest, ShortBatchStillGetsTwoSamples) {
   PowerSignal s;
   s.append(0.5, 33.0);  // shorter than one period

@@ -1,0 +1,176 @@
+// Trace-conservation properties: every metric the simulators report must be
+// re-derivable from their StepEvent stream, and the stream itself must be
+// gap-free (durations sum to the makespan). These are the invariants that
+// make the timeline the single source of truth.
+#include <gtest/gtest.h>
+
+#include "serving/batch_scheduler.h"
+#include "serving/continuous_batching.h"
+#include "serving/offload.h"
+#include "sim/inference_sim.h"
+#include "sim/speculative_sim.h"
+#include "trace/timeline.h"
+
+namespace orinsim {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+void expect_near_rel(double actual, double expected) {
+  EXPECT_NEAR(actual, expected, std::abs(expected) * kRelTol + 1e-12);
+}
+
+TEST(TraceConservationTest, SimRunDurationsSumToLatency) {
+  sim::InferenceSim simulator;
+  sim::SimRequest rq;
+  rq.model_key = "llama3";
+  rq.dtype = DType::kF16;
+  rq.batch = 32;
+  rq.noise_sigma = 0.0;  // exact mode: reported latency == modeled schedule
+  rq.runs = 1;
+  const sim::SimResult r = simulator.run(rq);
+  ASSERT_FALSE(r.oom);
+  const trace::ExecutionTimeline& tl = r.timeline;
+  // setup + prefill + one event per output token
+  EXPECT_EQ(tl.events().size(), 2u + rq.out_tokens);
+  // Sequential, gap-free: durations sum to the makespan.
+  expect_near_rel(tl.duration_sum_s(), tl.makespan_s());
+  // Every event is powered, so the power signal spans the whole run and the
+  // reported exact-mode latency equals the event-duration sum.
+  EXPECT_DOUBLE_EQ(tl.power_signal().duration_s(), tl.duration_sum_s());
+  EXPECT_DOUBLE_EQ(r.latency_s, tl.duration_sum_s());
+  // Timeline energy == exact integral of the derived power signal.
+  expect_near_rel(tl.total_energy_j(), tl.power_signal().exact_energy_j());
+  // Phase view: prefill time + decode time + setup time == latency.
+  expect_near_rel(tl.phase_time_s(trace::Phase::kSetup) +
+                      tl.phase_time_s(trace::Phase::kPrefill) +
+                      tl.phase_time_s(trace::Phase::kDecode),
+                  r.latency_s);
+}
+
+TEST(TraceConservationTest, SchedulerMetricsMatchTimeline) {
+  serving::SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  serving::SchedulerConfig config;
+  config.max_batch = 8;
+  config.arrival_rate_rps = 4.0;
+  config.total_requests = 32;
+  const serving::ScheduleResult r = simulate_serving(session, config);
+  const trace::ExecutionTimeline& tl = r.timeline;
+
+  // Gap-free device schedule: stalls + batches tile the makespan.
+  expect_near_rel(tl.duration_sum_s(), r.makespan_s);
+  EXPECT_DOUBLE_EQ(tl.total_energy_j(), r.total_energy_j);
+  EXPECT_EQ(tl.count(trace::Phase::kDecode), r.batches_run);
+
+  // Request bookkeeping is consistent between views.
+  ASSERT_EQ(tl.requests().size(), r.requests.size());
+  for (std::size_t i = 0; i < r.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tl.requests()[i].latency_s(), r.requests[i].total_latency_s());
+  }
+  const trace::LatencySummary summary = tl.latency_summary();
+  EXPECT_DOUBLE_EQ(summary.mean_s, r.mean_latency_s());
+  EXPECT_DOUBLE_EQ(summary.p95_s, r.p95_latency_s());
+}
+
+TEST(TraceConservationTest, ContinuousMetricsMatchTimeline) {
+  serving::ContinuousConfig config;
+  config.max_concurrency = 16;
+  config.arrival_rate_rps = 2.0;
+  config.total_requests = 32;
+  const serving::ContinuousResult r = simulate_continuous(config);
+  const trace::ExecutionTimeline& tl = r.timeline;
+
+  expect_near_rel(tl.duration_sum_s(), r.makespan_s);
+  EXPECT_DOUBLE_EQ(tl.total_energy_j(), r.energy_j);
+  expect_near_rel(tl.total_energy_j(), tl.power_signal().exact_energy_j());
+  EXPECT_EQ(tl.count(trace::Phase::kDecode), r.decode_steps);
+  EXPECT_DOUBLE_EQ(tl.time_weighted_batch(), r.mean_active);
+  ASSERT_EQ(tl.request_latencies().size(), r.latencies_s.size());
+}
+
+TEST(TraceConservationTest, HybridEdgeOnlyMatchesStaticScheduler) {
+  // The same arrival stream through the hybrid simulator with cloud disabled
+  // must reproduce the static scheduler's energy and latency stats exactly —
+  // both are derived from equivalent event streams.
+  serving::SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  serving::SchedulerConfig sc;
+  sc.max_batch = 16;
+  sc.arrival_rate_rps = 4.0;
+  sc.total_requests = 48;
+  const serving::ScheduleResult stat = simulate_serving(session, sc);
+
+  serving::HybridConfig hc;
+  hc.scheduler = sc;
+  hc.policy = serving::OffloadPolicy::kEdgeOnly;
+  const serving::HybridResult hybrid = simulate_hybrid(session, hc);
+
+  EXPECT_EQ(hybrid.edge_requests, sc.total_requests);
+  EXPECT_DOUBLE_EQ(hybrid.edge_energy_j, stat.total_energy_j);
+  EXPECT_DOUBLE_EQ(hybrid.mean_latency_s(), stat.mean_latency_s());
+  EXPECT_DOUBLE_EQ(hybrid.makespan_s, stat.makespan_s);
+}
+
+TEST(TraceConservationTest, HybridCloudEventsOverlapOffDevice) {
+  serving::SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  serving::HybridConfig hc;
+  hc.scheduler.max_batch = 16;
+  hc.scheduler.arrival_rate_rps = 50.0;  // flood -> spill
+  hc.scheduler.total_requests = 48;
+  hc.policy = serving::OffloadPolicy::kQueueDepth;
+  hc.queue_threshold = 4;
+  const serving::HybridResult r = simulate_hybrid(session, hc);
+  const trace::ExecutionTimeline& tl = r.timeline;
+
+  ASSERT_GT(r.cloud_requests, 0u);
+  EXPECT_EQ(tl.count(trace::Phase::kOffload), r.cloud_requests);
+  // Offload events carry no power: the edge energy is the powered subset.
+  EXPECT_DOUBLE_EQ(tl.total_energy_j(), r.edge_energy_j);
+  for (const auto& e : tl.events()) {
+    if (e.phase == trace::Phase::kOffload) EXPECT_FALSE(e.has_power());
+  }
+  // Makespan covers both tracks.
+  EXPECT_GE(r.makespan_s, tl.now());
+}
+
+TEST(TraceConservationTest, SpeculativeRoundTimelineSumsToRoundCost) {
+  const std::size_t draft_tokens = 4;
+  const sim::SpeculativeEstimate est = sim::estimate_speculative_speedup(
+      sim::model_by_key("llama3"), DType::kF16, sim::model_by_key("phi2"),
+      DType::kF16, draft_tokens, 0.7);
+  const trace::ExecutionTimeline& tl = est.round_timeline;
+  EXPECT_EQ(tl.count(trace::Phase::kDraft), draft_tokens);
+  EXPECT_EQ(tl.count(trace::Phase::kVerify), 1u);
+  expect_near_rel(tl.duration_sum_s(), est.round_cost_s);
+}
+
+TEST(TraceConservationTest, FunctionalBackendEmitsUnpoweredEvents) {
+  // The functional engine measures wall-clock steps; it has no power sensor,
+  // so its events must never claim energy.
+  workload::CorpusSpec spec = workload::CorpusSpec::wikitext2(77);
+  spec.paragraphs = 20;
+  const workload::Corpus corpus = workload::generate_corpus(spec);
+  const Tokenizer tok = Tokenizer::train(corpus.text, 400);
+  const auto master = MasterWeights::init_random(
+      make_nano_config("llama3", tok.vocab_size()), 303);
+  workload::PromptPool pool(corpus, tok, 16);
+  serving::FunctionalSession session(master, DType::kF32, pool);
+
+  trace::ExecutionTimeline tl;
+  serving::BatchRequest rq;
+  rq.batch = 2;
+  rq.seq.input = 8;
+  rq.seq.output = 4;
+  rq.seq.total = 12;
+  const serving::BatchResult r = session.run(rq, &tl);
+  ASSERT_FALSE(r.oom);
+  EXPECT_EQ(tl.count(trace::Phase::kPrefill), 1u);
+  EXPECT_EQ(tl.count(trace::Phase::kDecode), rq.seq.output);
+  EXPECT_DOUBLE_EQ(tl.total_energy_j(), 0.0);
+  for (const auto& e : tl.events()) EXPECT_FALSE(e.has_power());
+  // Measured wall-clock events cover real time.
+  EXPECT_GT(tl.duration_sum_s(), 0.0);
+  EXPECT_LE(tl.duration_sum_s(), r.latency_s + 1e-3);
+}
+
+}  // namespace
+}  // namespace orinsim

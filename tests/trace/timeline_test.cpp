@@ -1,0 +1,170 @@
+#include "trace/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/error.h"
+#include "trace/export.h"
+
+namespace orinsim::trace {
+namespace {
+
+TEST(TimelineTest, EmitAdvancesCursor) {
+  ExecutionTimeline tl;
+  tl.emit(Phase::kPrefill, 2.0, 4);
+  tl.emit(Phase::kDecode, 0.5, 4);
+  EXPECT_DOUBLE_EQ(tl.now(), 2.5);
+  ASSERT_EQ(tl.events().size(), 2u);
+  EXPECT_DOUBLE_EQ(tl.events()[0].t_start_s, 0.0);
+  EXPECT_DOUBLE_EQ(tl.events()[1].t_start_s, 2.0);
+  EXPECT_DOUBLE_EQ(tl.events()[1].t_end_s(), 2.5);
+}
+
+TEST(TimelineTest, StallUntilFillsGapAndPinsCursor) {
+  ExecutionTimeline tl;
+  tl.emit(Phase::kDecode, 1.0, 1);
+  tl.stall_until(3.0);
+  EXPECT_DOUBLE_EQ(tl.now(), 3.0);
+  ASSERT_EQ(tl.events().size(), 2u);
+  EXPECT_EQ(tl.events()[1].phase, Phase::kStall);
+  EXPECT_DOUBLE_EQ(tl.events()[1].duration_s, 2.0);
+  EXPECT_EQ(tl.events()[1].batch, 0u);
+  EXPECT_FALSE(tl.events()[1].has_power());
+  // A target at or before the cursor is a no-op.
+  tl.stall_until(2.0);
+  EXPECT_EQ(tl.events().size(), 2u);
+}
+
+TEST(TimelineTest, AppendAtDoesNotMoveCursor) {
+  ExecutionTimeline tl;
+  tl.emit(Phase::kDecode, 1.0, 1);
+  tl.append_at(0.25, Phase::kOffload, 10.0, 1);
+  EXPECT_DOUBLE_EQ(tl.now(), 1.0);
+  // But the overlapping event extends the makespan.
+  EXPECT_DOUBLE_EQ(tl.makespan_s(), 10.25);
+}
+
+TEST(TimelineTest, PhaseAccounting) {
+  ExecutionTimeline tl;
+  tl.emit(Phase::kPrefill, 2.0, 8);
+  tl.emit(Phase::kDecode, 1.0, 8);
+  tl.emit(Phase::kDecode, 1.0, 4);
+  tl.stall_until(5.0);
+  EXPECT_DOUBLE_EQ(tl.phase_time_s(Phase::kDecode), 2.0);
+  EXPECT_DOUBLE_EQ(tl.phase_time_s(Phase::kPrefill), 2.0);
+  EXPECT_EQ(tl.count(Phase::kDecode), 2u);
+  EXPECT_DOUBLE_EQ(tl.mean_batch(Phase::kDecode), 6.0);
+  EXPECT_DOUBLE_EQ(tl.busy_s(), 4.0);
+  EXPECT_DOUBLE_EQ(tl.duration_sum_s(), 5.0);
+  // (8*2 + 8*1 + 4*1 + 0*1) / 5.
+  EXPECT_DOUBLE_EQ(tl.time_weighted_batch(), 28.0 / 5.0);
+}
+
+TEST(TimelineTest, EnergyOnlyCountsPoweredEvents) {
+  ExecutionTimeline tl;
+  tl.emit(Phase::kPrefill, 2.0, 1, 0.0, 50.0);
+  tl.emit(Phase::kDecode, 1.0, 1);  // no power (functional backend)
+  tl.emit(Phase::kDecode, 4.0, 1, 0.0, 25.0);
+  EXPECT_DOUBLE_EQ(tl.total_energy_j(), 2.0 * 50.0 + 4.0 * 25.0);
+  const telemetry::PowerSignal signal = tl.power_signal();
+  // The unpowered event contributes no sensor-visible segment.
+  EXPECT_DOUBLE_EQ(signal.duration_s(), 6.0);
+  EXPECT_DOUBLE_EQ(signal.exact_energy_j(), tl.total_energy_j());
+}
+
+TEST(TimelineTest, RequestLatenciesInRetirementOrder) {
+  ExecutionTimeline tl;
+  const std::size_t a = tl.begin_request(0.0);
+  const std::size_t b = tl.begin_request(1.0);
+  tl.start_request(a, 2.0);
+  tl.start_request(b, 2.0);
+  // b retires first.
+  tl.finish_request(b, 5.0);
+  tl.finish_request(a, 6.0);
+  ASSERT_EQ(tl.request_latencies().size(), 2u);
+  EXPECT_DOUBLE_EQ(tl.request_latencies()[0], 4.0);  // b: 5 - 1
+  EXPECT_DOUBLE_EQ(tl.request_latencies()[1], 6.0);  // a: 6 - 0
+  EXPECT_DOUBLE_EQ(tl.requests()[a].queueing_s(), 2.0);
+  const LatencySummary summary = tl.latency_summary();
+  EXPECT_EQ(summary.count, 2u);
+  EXPECT_DOUBLE_EQ(summary.mean_s, 5.0);
+}
+
+TEST(TimelineTest, ContractViolations) {
+  ExecutionTimeline tl;
+  EXPECT_THROW(tl.emit(Phase::kDecode, -1.0, 1), ContractViolation);
+  EXPECT_THROW(tl.start_request(0, 1.0), ContractViolation);
+  const std::size_t id = tl.begin_request(0.0);
+  tl.finish_request(id, 1.0);
+  EXPECT_THROW(tl.finish_request(id, 2.0), ContractViolation);
+}
+
+TEST(LatencySummaryTest, EmptyAndSingle) {
+  const LatencySummary empty = LatencySummary::from({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.mean_s, 0.0);
+  EXPECT_EQ(empty.p95_s, 0.0);
+  const std::vector<double> one = {3.5};
+  const LatencySummary single = LatencySummary::from(one);
+  EXPECT_EQ(single.count, 1u);
+  EXPECT_DOUBLE_EQ(single.mean_s, 3.5);
+  EXPECT_DOUBLE_EQ(single.p95_s, 3.5);
+}
+
+class ExportTest : public ::testing::Test {
+ protected:
+  ExportTest() {
+    timeline_.emit(Phase::kPrefill, 0.5, 32, 32.0, 55.0);
+    StepBreakdown b;
+    b.weight_s = 0.03;
+    b.kv_s = 0.01;
+    timeline_.emit(Phase::kDecode, 0.05, 32, 33.0, 52.0, b);
+    timeline_.append_at(0.1, Phase::kOffload, 2.0, 1, 96.0);
+  }
+  ExecutionTimeline timeline_;
+};
+
+TEST_F(ExportTest, JsonlOneLinePerEvent) {
+  const std::string jsonl = to_jsonl(timeline_);
+  std::size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, timeline_.events().size());
+  EXPECT_NE(jsonl.find("\"phase\":\"prefill\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"phase\":\"offload\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"breakdown\":{"), std::string::npos);
+  // The offload event carries no power.
+  EXPECT_NE(jsonl.find("\"power_w\":null"), std::string::npos);
+}
+
+TEST_F(ExportTest, ChromeTraceShape) {
+  const std::string json = to_chrome_trace_json(timeline_, "unit-test");
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\""), 0u);
+  EXPECT_NE(json.find("\"name\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Offload rides its own track; device events are on tid 0.
+  EXPECT_NE(json.find("\"name\":\"offload\",\"cat\":\"offload\",\"ph\":\"X\","
+                      "\"pid\":0,\"tid\":1"),
+            std::string::npos);
+  // Microsecond timestamps: the 0.5 s prefill renders as dur=500000.
+  EXPECT_NE(json.find("\"dur\":500000"), std::string::npos);
+}
+
+TEST_F(ExportTest, WritersProduceFiles) {
+  const auto dir = std::filesystem::temp_directory_path() / "orinsim_trace_test";
+  std::filesystem::create_directories(dir);
+  const std::string jsonl_path = (dir / "t.jsonl").string();
+  const std::string chrome_path = (dir / "t.trace.json").string();
+  write_jsonl(timeline_, jsonl_path);
+  write_chrome_trace(timeline_, chrome_path);
+  EXPECT_GT(std::filesystem::file_size(jsonl_path), 0u);
+  EXPECT_GT(std::filesystem::file_size(chrome_path), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ExportTest, UnwritablePathRejected) {
+  EXPECT_THROW(write_jsonl(timeline_, "/nonexistent-dir/t.jsonl"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::trace
