@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <memory>
 
 #include "core/error.h"
 
@@ -42,39 +43,75 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+
+// Shared between the caller and the helper shards it submits. Owned by
+// shared_ptr so a helper that is still queued when the caller returns (all
+// indices already drained) runs harmlessly against live state and frees it
+// when the last reference drops.
+struct ParallelForState {
+  std::function<void(std::size_t, std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+  std::size_t total = 0;
+  std::atomic<std::size_t> completed{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr first_error;
+};
+
+void run_shard(const std::shared_ptr<ParallelForState>& st, std::size_t shard) {
+  for (;;) {
+    const std::size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= st->end) break;
+    try {
+      st->fn(shard, i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(st->mutex);
+      if (!st->first_error) st->first_error = std::current_exception();
+    }
+    if (st->completed.fetch_add(1, std::memory_order_acq_rel) + 1 == st->total) {
+      // Empty critical section pairs with the predicate check under the lock
+      // in the caller's wait, closing the check-then-sleep window.
+      { std::lock_guard<std::mutex> lock(st->mutex); }
+      st->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
-  if (begin >= end) return;
-  std::atomic<std::size_t> next{begin};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  const std::size_t shards = std::min<std::size_t>(workers_.size(), end - begin);
-  std::atomic<std::size_t> done{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  parallel_for(begin, end,
+               [&fn](std::size_t /*shard*/, std::size_t i) { fn(i); });
+}
 
-  for (std::size_t s = 0; s < shards; ++s) {
-    submit([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= end) break;
-        try {
-          fn(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-      }
-      {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        ++done;
-      }
-      done_cv.notify_one();
-    });
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  ORINSIM_CHECK(fn != nullptr, "parallel_for: null body");
+  auto st = std::make_shared<ParallelForState>();
+  st->fn = fn;  // copied: queued helpers may outlive the caller's frame
+  st->next.store(begin, std::memory_order_relaxed);
+  st->end = end;
+  st->total = end - begin;
+
+  // Shard 0 is the caller; helpers occupy at most one shard per worker.
+  const std::size_t shards = std::min<std::size_t>(shard_count(), st->total);
+  for (std::size_t s = 1; s < shards; ++s) {
+    submit([st, s] { run_shard(st, s); });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done.load() == shards; });
-  if (first_error) std::rethrow_exception(first_error);
+  run_shard(st, 0);
+
+  // Wait on index completion, not helper completion: helpers stuck in the
+  // queue (e.g. behind the caller's own task in a nested call) are not
+  // needed once every index has been claimed and finished.
+  std::unique_lock<std::mutex> lock(st->mutex);
+  st->cv.wait(lock, [&] {
+    return st->completed.load(std::memory_order_acquire) == st->total;
+  });
+  if (st->first_error) std::rethrow_exception(st->first_error);
 }
 
 void ThreadPool::worker_loop() {

@@ -33,8 +33,25 @@ class ThreadPool {
 
   // Run fn(i) for i in [begin, end) across the pool and wait. Exceptions
   // thrown by fn are rethrown (first one wins) after all indices complete.
+  //
+  // The calling thread executes shard work inline, so parallel_for is safe
+  // to invoke from inside a pool worker: even if every queued helper shard
+  // sits behind the caller's own task, the caller drains the index range
+  // itself and only waits for indices already claimed by running helpers.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
+
+  // Like parallel_for, but fn(shard, i) also receives the identity of the
+  // executing shard: a stable value in [0, shard_count()) for the duration of
+  // the call, with at most one index running per shard at a time. Callers use
+  // it to index per-shard scratch (e.g. one InferenceWorkspace per worker).
+  // Shard 0 is always the calling thread.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // Upper bound on the shard index parallel_for passes to fn: the workers
+  // plus the calling thread.
+  std::size_t shard_count() const noexcept { return workers_.size() + 1; }
 
  private:
   void worker_loop();

@@ -32,8 +32,6 @@ KVCache::KVCache(const TransformerConfig& config, std::size_t batch, std::size_t
       key_scales_[l].assign(batch_ * max_seq_, 0.0f);
       value_scales_[l].assign(batch_ * max_seq_, 0.0f);
     }
-    key_scratch_.assign(kv_dim_, 0.0f);
-    value_scratch_.assign(kv_dim_, 0.0f);
   }
   lengths_.assign(batch_, 0);
 }
@@ -74,33 +72,36 @@ void KVCache::commit(std::size_t b) {
   ++lengths_[b];
 }
 
-std::span<const float> KVCache::key(std::size_t layer, std::size_t b, std::size_t pos) const {
+std::span<const float> KVCache::key(std::size_t layer, std::size_t b, std::size_t pos,
+                                    std::span<float> scratch) const {
   ORINSIM_CHECK(layer < n_layers_ && b < batch_ && pos <= lengths_[b] && pos < max_seq_,
                 "KVCache::key out of range");
   if (storage_ == KVStorage::kF32) {
     return std::span<const float>(keys_[layer].data() + offset(b, pos), kv_dim_);
   }
+  ORINSIM_CHECK(scratch.size() >= kv_dim_, "KVCache::key needs kv_dim scratch floats");
   const std::int8_t* codes = key_codes_[layer].data() + offset(b, pos);
   const float scale = key_scales_[layer][scale_offset(b, pos)];
   for (std::size_t i = 0; i < kv_dim_; ++i) {
-    key_scratch_[i] = static_cast<float>(codes[i]) * scale;
+    scratch[i] = static_cast<float>(codes[i]) * scale;
   }
-  return key_scratch_;
+  return scratch.first(kv_dim_);
 }
 
-std::span<const float> KVCache::value(std::size_t layer, std::size_t b,
-                                      std::size_t pos) const {
+std::span<const float> KVCache::value(std::size_t layer, std::size_t b, std::size_t pos,
+                                      std::span<float> scratch) const {
   ORINSIM_CHECK(layer < n_layers_ && b < batch_ && pos <= lengths_[b] && pos < max_seq_,
                 "KVCache::value out of range");
   if (storage_ == KVStorage::kF32) {
     return std::span<const float>(values_[layer].data() + offset(b, pos), kv_dim_);
   }
+  ORINSIM_CHECK(scratch.size() >= kv_dim_, "KVCache::value needs kv_dim scratch floats");
   const std::int8_t* codes = value_codes_[layer].data() + offset(b, pos);
   const float scale = value_scales_[layer][scale_offset(b, pos)];
   for (std::size_t i = 0; i < kv_dim_; ++i) {
-    value_scratch_[i] = static_cast<float>(codes[i]) * scale;
+    scratch[i] = static_cast<float>(codes[i]) * scale;
   }
-  return value_scratch_;
+  return scratch.first(kv_dim_);
 }
 
 void KVCache::truncate(std::size_t b, std::size_t new_len) {

@@ -29,6 +29,7 @@ class KVCache {
 
   std::size_t batch() const noexcept { return batch_; }
   std::size_t max_seq() const noexcept { return max_seq_; }
+  std::size_t kv_dim() const noexcept { return kv_dim_; }
   std::size_t seq_len(std::size_t b) const { return lengths_.at(b); }
 
   // Appends one position worth of K/V for sequence b in layer l; returns the
@@ -48,11 +49,15 @@ class KVCache {
   // the entry staged by append() before commit() (each layer reads its own
   // staged K/V for the token currently being processed).
   //
-  // With INT8 storage the returned span points into a per-cache scratch
-  // buffer that is overwritten by the next key()/value() call — consume it
-  // before the next access (the attention loop does).
-  std::span<const float> key(std::size_t layer, std::size_t b, std::size_t pos) const;
-  std::span<const float> value(std::size_t layer, std::size_t b, std::size_t pos) const;
+  // FP32 storage returns a span into the cache itself and ignores `scratch`.
+  // INT8 storage dequantizes into the caller-supplied `scratch` (>= kv_dim()
+  // floats) and returns a view of it. The cache holds no mutable state of
+  // its own, so concurrent readers with distinct scratch buffers are safe —
+  // this is the design fix for the former shared-scratch aliasing bug.
+  std::span<const float> key(std::size_t layer, std::size_t b, std::size_t pos,
+                             std::span<float> scratch) const;
+  std::span<const float> value(std::size_t layer, std::size_t b, std::size_t pos,
+                               std::span<float> scratch) const;
 
   KVStorage storage() const noexcept { return storage_; }
 
@@ -89,8 +94,6 @@ class KVCache {
   std::vector<std::vector<std::int8_t>> value_codes_;
   std::vector<std::vector<float>> key_scales_;    // [layer][batch * max_seq]
   std::vector<std::vector<float>> value_scales_;  // [layer][batch * max_seq]
-  mutable std::vector<float> key_scratch_;
-  mutable std::vector<float> value_scratch_;
 
   std::vector<std::size_t> lengths_;  // per sequence
 };

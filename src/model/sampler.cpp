@@ -22,47 +22,88 @@ TokenId Sampler::sample(std::span<const float> logits) {
     return static_cast<TokenId>(kernels::argmax(logits));
   }
 
-  // Candidate set, sorted by logit descending.
-  std::vector<std::size_t> order(logits.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return logits[a] > logits[b]; });
-  std::size_t candidates = order.size();
-  if (config_.top_k > 0) candidates = std::min(candidates, config_.top_k);
-
-  // Softmax over the temperature-scaled candidate logits.
+  const std::size_t vocab = logits.size();
   const float inv_t = 1.0f / config_.temperature;
-  const float max_logit = logits[order[0]];
-  std::vector<double> probs(candidates);
-  double total = 0.0;
-  for (std::size_t i = 0; i < candidates; ++i) {
-    probs[i] = std::exp(static_cast<double>(logits[order[i]] - max_logit) * inv_t);
-    total += probs[i];
+  float max_logit = logits[0];
+  for (float l : logits) max_logit = std::max(max_logit, l);
+  auto weight = [&](std::size_t c) {
+    return std::exp(static_cast<double>(logits[c] - max_logit) * inv_t);
+  };
+
+  // Fast path: no truncation configured. The categorical draw needs no
+  // ordering at all — inverse-CDF in index order, O(V) instead of the old
+  // full O(V log V) sort of the vocabulary on every decoded token.
+  if (config_.top_k == 0 && config_.top_p >= 1.0f) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < vocab; ++c) total += weight(c);
+    const double u = rng_.uniform() * total;
+    double cum = 0.0;
+    for (std::size_t c = 0; c < vocab; ++c) {
+      cum += weight(c);
+      if (u < cum) return static_cast<TokenId>(c);
+    }
+    return static_cast<TokenId>(vocab - 1);
   }
-  for (auto& p : probs) p /= total;
+
+  // Truncated paths need the head of the distribution in descending-logit
+  // order (ties broken by index so the candidate order is deterministic).
+  // partial_sort bounded by top_k — or by a doubling guess at the nucleus
+  // cutoff — replaces the former full vocabulary sort.
+  std::vector<std::size_t> order(vocab);
+  std::iota(order.begin(), order.end(), 0);
+  const auto by_logit_desc = [&](std::size_t a, std::size_t b) {
+    if (logits[a] != logits[b]) return logits[a] > logits[b];
+    return a < b;
+  };
+
+  std::size_t candidates = 0;  // ordered prefix the draw happens over
+  double denom = 0.0;          // normalizer of the pre-nucleus distribution
+  if (config_.top_k > 0) {
+    candidates = std::min(vocab, config_.top_k);
+    std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(candidates),
+                      order.end(), by_logit_desc);
+    for (std::size_t i = 0; i < candidates; ++i) denom += weight(order[i]);
+  } else {
+    // top_k disabled, nucleus active: probabilities are normalized over the
+    // FULL vocabulary, and we need the smallest sorted prefix holding top_p
+    // of that mass. Grow the sorted head until it covers the nucleus.
+    double total = 0.0;
+    for (std::size_t c = 0; c < vocab; ++c) total += weight(c);
+    const double need = static_cast<double>(config_.top_p) * total;
+    std::size_t m = std::min<std::size_t>(vocab, 64);
+    for (;;) {
+      std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(m),
+                        order.end(), by_logit_desc);
+      double head = 0.0;
+      for (std::size_t i = 0; i < m; ++i) head += weight(order[i]);
+      if (head >= need || m == vocab) break;
+      m = std::min(vocab, m * 2);
+    }
+    candidates = m;
+    denom = total;
+  }
 
   // Nucleus truncation: smallest prefix with cumulative mass >= top_p.
   if (config_.top_p < 1.0f) {
     double cum = 0.0;
     std::size_t cutoff = candidates;
     for (std::size_t i = 0; i < candidates; ++i) {
-      cum += probs[i];
+      cum += weight(order[i]) / denom;
       if (cum >= config_.top_p) {
         cutoff = i + 1;
         break;
       }
     }
     candidates = cutoff;
-    double renorm = 0.0;
-    for (std::size_t i = 0; i < candidates; ++i) renorm += probs[i];
-    for (std::size_t i = 0; i < candidates; ++i) probs[i] /= renorm;
   }
 
-  // Inverse-CDF draw.
-  const double u = rng_.uniform();
+  // Inverse-CDF draw over the (renormalized) candidate prefix.
+  double renorm = 0.0;
+  for (std::size_t i = 0; i < candidates; ++i) renorm += weight(order[i]);
+  const double u = rng_.uniform() * renorm;
   double cum = 0.0;
   for (std::size_t i = 0; i < candidates; ++i) {
-    cum += probs[i];
+    cum += weight(order[i]);
     if (u < cum) return static_cast<TokenId>(order[i]);
   }
   return static_cast<TokenId>(order[candidates - 1]);

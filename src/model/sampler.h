@@ -27,7 +27,9 @@ class Sampler {
   explicit Sampler(SamplerConfig config, std::uint64_t seed = 99);
 
   // Picks the next token from raw logits (not softmaxed). Deterministic for
-  // a given seed and call sequence.
+  // a given seed and call sequence. Decode-hot-path friendly: the
+  // untruncated default is O(V), and truncated modes partial_sort only the
+  // candidate head instead of sorting the whole vocabulary.
   TokenId sample(std::span<const float> logits);
 
   const SamplerConfig& config() const noexcept { return config_; }

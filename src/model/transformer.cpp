@@ -75,10 +75,19 @@ std::shared_ptr<MasterWeights> MasterWeights::init_random(const TransformerConfi
   return mw;
 }
 
+namespace {
+const MasterWeights& checked_master(const std::shared_ptr<const MasterWeights>& m) {
+  ORINSIM_CHECK(m != nullptr, "Model requires master weights");
+  return *m;
+}
+}  // namespace
+
 Model::Model(std::shared_ptr<const MasterWeights> master, DType dtype,
              KVStorage kv_storage)
-    : master_(std::move(master)), dtype_(dtype), kv_storage_(kv_storage) {
-  ORINSIM_CHECK(master_ != nullptr, "Model requires master weights");
+    : master_(std::move(master)),
+      dtype_(dtype),
+      kv_storage_(kv_storage),
+      default_ws_(checked_master(master_).config) {
   const TransformerConfig& c = master_->config;
   const std::size_t d = c.d_model;
   const std::size_t kv = c.kv_dim();
@@ -101,19 +110,6 @@ Model::Model(std::shared_ptr<const MasterWeights> master, DType dtype,
     }
     layers_.push_back(std::move(lq));
   }
-
-  x_.resize(d);
-  normed_.resize(d);
-  q_.resize(d);
-  k_.resize(kv);
-  v_.resize(kv);
-  attn_.resize(d);
-  attn_proj_.resize(d);
-  gate_.resize(ff);
-  up_.resize(ff);
-  ff_.resize(ff);
-  mlp_out_.resize(d);
-  scores_.resize(c.max_seq);
 }
 
 std::size_t Model::weight_bytes() const noexcept {
@@ -139,93 +135,95 @@ std::size_t Model::outlier_columns() const noexcept {
 }
 
 void Model::attention(std::size_t layer, std::size_t b, KVCache& cache,
-                      std::span<const float> normed, std::span<float> out) {
+                      std::span<const float> normed, std::span<float> out,
+                      InferenceWorkspace& ws) {
   const TransformerConfig& c = master_->config;
   const std::size_t head_dim = c.head_dim();
   const std::size_t group = c.n_heads / c.n_kv_heads;
 
-  layers_[layer].wq.matvec(normed, q_);
-  layers_[layer].wk.matvec(normed, k_);
-  layers_[layer].wv.matvec(normed, v_);
+  // Fused QKV: INT8 weights quantize the shared activation once.
+  quant::matvec_qkv(layers_[layer].wq, layers_[layer].wk, layers_[layer].wv, normed,
+                    ws.q, ws.k, ws.v, ws.act8);
 
   const std::size_t pos = cache.seq_len(b);
-  kernels::rope_inplace(q_, c.n_heads, head_dim, pos, c.rope_theta);
-  kernels::rope_inplace(k_, c.n_kv_heads, head_dim, pos, c.rope_theta);
-  cache.append(layer, b, k_, v_);
+  kernels::rope_inplace(ws.q, c.n_heads, head_dim, pos, c.rope_theta);
+  kernels::rope_inplace(ws.k, c.n_kv_heads, head_dim, pos, c.rope_theta);
+  cache.append(layer, b, ws.k, ws.v);
 
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim));
   std::fill(out.begin(), out.end(), 0.0f);
   for (std::size_t h = 0; h < c.n_heads; ++h) {
     const std::size_t g = h / group;
-    const std::span<const float> qh(q_.data() + h * head_dim, head_dim);
+    const std::span<const float> qh(ws.q.data() + h * head_dim, head_dim);
     // Scores over positions 0..pos (inclusive: staged entry readable).
     for (std::size_t p = 0; p <= pos; ++p) {
-      const auto key = cache.key(layer, b, p);
-      scores_[p] =
+      const auto key = cache.key(layer, b, p, ws.kv_key);
+      ws.scores[p] =
           kernels::dot(qh, key.subspan(g * head_dim, head_dim)) * inv_sqrt_d;
     }
-    kernels::softmax_rows(std::span<float>(scores_.data(), pos + 1), 1, pos + 1);
+    kernels::softmax_rows(std::span<float>(ws.scores.data(), pos + 1), 1, pos + 1);
     float* oh = out.data() + h * head_dim;
     for (std::size_t p = 0; p <= pos; ++p) {
-      const auto val = cache.value(layer, b, p);
+      const auto val = cache.value(layer, b, p, ws.kv_value);
       const float* vp = val.data() + g * head_dim;
-      const float s = scores_[p];
+      const float s = ws.scores[p];
       for (std::size_t i = 0; i < head_dim; ++i) oh[i] += s * vp[i];
     }
   }
 }
 
 void Model::mlp_swiglu(std::size_t layer, std::span<const float> normed,
-                       std::span<float> out) {
-  layers_[layer].w_gate.matvec(normed, gate_);
-  layers_[layer].w_up.matvec(normed, up_);
-  kernels::swiglu(gate_, up_, ff_);
-  layers_[layer].w_down.matvec(ff_, out);
+                       std::span<float> out, InferenceWorkspace& ws) {
+  layers_[layer].w_gate.matvec(normed, ws.gate);
+  layers_[layer].w_up.matvec(normed, ws.up);
+  kernels::swiglu(ws.gate, ws.up, ws.ff);
+  layers_[layer].w_down.matvec(ws.ff, out);
 }
 
-void Model::mlp_gelu(std::size_t layer, std::span<const float> normed, std::span<float> out) {
-  layers_[layer].w_gate.matvec(normed, ff_);  // fc1
-  kernels::gelu_inplace(std::span<float>(ff_));
-  layers_[layer].w_down.matvec(ff_, out);  // fc2
+void Model::mlp_gelu(std::size_t layer, std::span<const float> normed, std::span<float> out,
+                     InferenceWorkspace& ws) {
+  layers_[layer].w_gate.matvec(normed, ws.ff);  // fc1
+  kernels::gelu_inplace(std::span<float>(ws.ff));
+  layers_[layer].w_down.matvec(ws.ff, out);  // fc2
 }
 
 void Model::forward_token(TokenId token, std::size_t b, KVCache& cache,
-                          std::span<float> hidden_out) {
+                          std::span<float> hidden_out, InferenceWorkspace& ws) {
   const TransformerConfig& c = master_->config;
   const std::size_t d = c.d_model;
   ORINSIM_CHECK(token < c.vocab, "token id out of vocab range");
   ORINSIM_CHECK(hidden_out.size() == d, "hidden_out must be d_model");
 
   const float* emb = master_->embedding.data() + static_cast<std::size_t>(token) * d;
-  std::copy(emb, emb + d, x_.begin());
+  std::copy(emb, emb + d, ws.x.begin());
 
   for (std::size_t l = 0; l < c.n_layers; ++l) {
     const LayerMaster& lm = master_->layers[l];
     if (c.style == BlockStyle::kPreNormSwiGLU) {
-      kernels::rmsnorm_rows(x_, lm.norm_gain, normed_, 1, d);
-      attention(l, b, cache, normed_, attn_);
-      layers_[l].wo.matvec(attn_, attn_proj_);
-      kernels::add_inplace(std::span<float>(x_), attn_proj_);
+      kernels::rmsnorm_rows(ws.x, lm.norm_gain, ws.normed, 1, d);
+      attention(l, b, cache, ws.normed, ws.attn, ws);
+      layers_[l].wo.matvec(ws.attn, ws.attn_proj);
+      kernels::add_inplace(std::span<float>(ws.x), ws.attn_proj);
 
-      kernels::rmsnorm_rows(x_, lm.norm2_gain, normed_, 1, d);
-      mlp_swiglu(l, normed_, mlp_out_);
-      kernels::add_inplace(std::span<float>(x_), mlp_out_);
+      kernels::rmsnorm_rows(ws.x, lm.norm2_gain, ws.normed, 1, d);
+      mlp_swiglu(l, ws.normed, ws.mlp_out, ws);
+      kernels::add_inplace(std::span<float>(ws.x), ws.mlp_out);
     } else {
       // Phi-2 parallel block: one LayerNorm feeds both attention and MLP.
-      kernels::layernorm_rows(x_, lm.norm_gain, lm.norm_bias, normed_, 1, d);
-      attention(l, b, cache, normed_, attn_);
-      layers_[l].wo.matvec(attn_, attn_proj_);
-      mlp_gelu(l, normed_, mlp_out_);
-      kernels::add_inplace(std::span<float>(x_), attn_proj_);
-      kernels::add_inplace(std::span<float>(x_), mlp_out_);
+      kernels::layernorm_rows(ws.x, lm.norm_gain, lm.norm_bias, ws.normed, 1, d);
+      attention(l, b, cache, ws.normed, ws.attn, ws);
+      layers_[l].wo.matvec(ws.attn, ws.attn_proj);
+      mlp_gelu(l, ws.normed, ws.mlp_out, ws);
+      kernels::add_inplace(std::span<float>(ws.x), ws.attn_proj);
+      kernels::add_inplace(std::span<float>(ws.x), ws.mlp_out);
     }
   }
   cache.commit(b);
 
   if (c.style == BlockStyle::kPreNormSwiGLU) {
-    kernels::rmsnorm_rows(x_, master_->final_norm_gain, hidden_out, 1, d);
+    kernels::rmsnorm_rows(ws.x, master_->final_norm_gain, hidden_out, 1, d);
   } else {
-    kernels::layernorm_rows(x_, master_->final_norm_gain, master_->final_norm_bias,
+    kernels::layernorm_rows(ws.x, master_->final_norm_gain, master_->final_norm_bias,
                             hidden_out, 1, d);
   }
 }
@@ -238,72 +236,112 @@ void Model::logits_from_hidden(std::span<const float> hidden, std::span<float> l
 }
 
 void Model::prefill(std::span<const TokenId> prompt, std::size_t b, KVCache& cache,
-                    std::span<float> last_hidden) {
+                    std::span<float> last_hidden, InferenceWorkspace& ws) {
   ORINSIM_CHECK(!prompt.empty(), "prefill: empty prompt");
-  std::vector<float> hidden(master_->config.d_model);
   for (std::size_t i = 0; i < prompt.size(); ++i) {
-    forward_token(prompt[i], b, cache, hidden);
+    forward_token(prompt[i], b, cache, ws.hidden, ws);
   }
   if (!last_hidden.empty()) {
-    ORINSIM_CHECK(last_hidden.size() == hidden.size(), "last_hidden size mismatch");
-    std::copy(hidden.begin(), hidden.end(), last_hidden.begin());
+    ORINSIM_CHECK(last_hidden.size() == ws.hidden.size(), "last_hidden size mismatch");
+    std::copy(ws.hidden.begin(), ws.hidden.end(), last_hidden.begin());
   }
 }
 
 Model::GenerateResult Model::generate(const std::vector<std::vector<TokenId>>& prompts,
-                                      std::size_t max_new_tokens, Sampler* sampler,
-                                      trace::ExecutionTimeline* timeline) {
+                                      std::size_t max_new_tokens,
+                                      const GenerateOptions& options) {
   ORINSIM_CHECK(!prompts.empty(), "generate: no prompts");
   const TransformerConfig& c = master_->config;
+  const std::size_t lanes = prompts.size();
   std::size_t max_prompt = 0;
   for (const auto& p : prompts) {
     ORINSIM_CHECK(!p.empty(), "generate: empty prompt");
     max_prompt = std::max(max_prompt, p.size());
   }
   const std::size_t max_seq = std::min(c.max_seq, max_prompt + max_new_tokens);
-  KVCache cache(c, prompts.size(), max_seq, kv_storage_);
+  KVCache cache(c, lanes, max_seq, kv_storage_);
 
   GenerateResult result;
-  result.outputs.resize(prompts.size());
-  std::vector<float> hidden(c.d_model);
-  std::vector<float> logits(c.vocab);
-  std::vector<TokenId> last(prompts.size());
+  result.outputs.resize(lanes);
+  std::vector<TokenId> last(lanes);
+  // Per-lane logits so sampling can be replayed serially in lane order after
+  // each parallel section (identical RNG sequence regardless of workers).
+  std::vector<float> logits(lanes * c.vocab);
+  auto lane_logits = [&](std::size_t b) {
+    return std::span<float>(logits.data() + b * c.vocab, c.vocab);
+  };
+
+  // One workspace per shard; shard identity comes from parallel_for, with at
+  // most one lane running per shard at a time. Serial runs use shard 0 only.
+  const std::size_t shard_count =
+      options.pool != nullptr ? std::min(options.pool->shard_count(), lanes) : 1;
+  std::vector<InferenceWorkspace> ws;
+  ws.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) ws.emplace_back(c);
+
+  // Runs body(workspace, lane) for every lane; lanes touch disjoint cache
+  // sequences and per-lane logits, so this is safe to shard.
+  auto for_each_lane = [&](const std::function<void(InferenceWorkspace&, std::size_t)>& body) {
+    if (options.pool != nullptr) {
+      options.pool->parallel_for(
+          0, lanes, [&](std::size_t shard, std::size_t b) { body(ws[shard], b); });
+    } else {
+      for (std::size_t b = 0; b < lanes; ++b) body(ws[0], b);
+    }
+  };
 
   auto pick = [&](std::span<const float> l) {
-    return sampler != nullptr ? sampler->sample(l)
-                              : static_cast<TokenId>(kernels::argmax(l));
+    return options.sampler != nullptr ? options.sampler->sample(l)
+                                      : static_cast<TokenId>(kernels::argmax(l));
   };
 
   Stopwatch watch;
-  for (std::size_t b = 0; b < prompts.size(); ++b) {
-    prefill(prompts[b], b, cache, hidden);
-    logits_from_hidden(hidden, logits);
-    last[b] = pick(logits);
+  for_each_lane([&](InferenceWorkspace& w, std::size_t b) {
+    prefill(prompts[b], b, cache, {}, w);
+    logits_from_hidden(w.hidden, lane_logits(b));
+  });
+  for (std::size_t b = 0; b < lanes; ++b) {
+    last[b] = pick(lane_logits(b));
     result.input_tokens += prompts[b].size();
   }
-  if (timeline != nullptr) {
-    timeline->emit(trace::Phase::kPrefill, watch.elapsed_s(), prompts.size(),
-                   static_cast<double>(result.input_tokens) /
-                       static_cast<double>(prompts.size()));
+  if (options.timeline != nullptr) {
+    options.timeline->emit(trace::Phase::kPrefill, watch.elapsed_s(), lanes,
+                           static_cast<double>(result.input_tokens) /
+                               static_cast<double>(lanes));
   }
+  std::vector<char> lane_active(lanes, 0);
   for (std::size_t step = 0; step < max_new_tokens; ++step) {
     watch.reset();
     std::size_t active = 0;
-    for (std::size_t b = 0; b < prompts.size(); ++b) {
-      if (cache.seq_len(b) >= max_seq) continue;
-      ++active;
+    for (std::size_t b = 0; b < lanes; ++b) {
+      lane_active[b] = cache.seq_len(b) < max_seq ? 1 : 0;
+      active += lane_active[b];
+    }
+    // Every lane at capacity: spinning further steps would only emit
+    // zero-active decode events — stop the timeline and the loop here.
+    if (active == 0) break;
+    for (std::size_t b = 0; b < lanes; ++b) {
+      if (!lane_active[b]) continue;
       result.outputs[b].push_back(last[b]);
       ++result.output_tokens;
-      if (step + 1 == max_new_tokens) continue;  // no need to forward the final token
-      forward_token(last[b], b, cache, hidden);
-      logits_from_hidden(hidden, logits);
-      last[b] = pick(logits);
     }
-    if (timeline != nullptr) {
-      timeline->emit(trace::Phase::kDecode, watch.elapsed_s(), active,
-                     static_cast<double>(result.input_tokens) /
-                             static_cast<double>(prompts.size()) +
-                         static_cast<double>(step));
+    if (step + 1 < max_new_tokens) {  // no need to forward the final token
+      for_each_lane([&](InferenceWorkspace& w, std::size_t b) {
+        if (!lane_active[b]) return;
+        forward_token(last[b], b, cache, w.hidden, w);
+        logits_from_hidden(w.hidden, lane_logits(b));
+      });
+      // Sampling replays serially in lane order: the same sequence of
+      // sampler->sample() calls as a fully serial run.
+      for (std::size_t b = 0; b < lanes; ++b) {
+        if (lane_active[b]) last[b] = pick(lane_logits(b));
+      }
+    }
+    if (options.timeline != nullptr) {
+      options.timeline->emit(trace::Phase::kDecode, watch.elapsed_s(), active,
+                             static_cast<double>(result.input_tokens) /
+                                     static_cast<double>(lanes) +
+                                 static_cast<double>(step));
     }
   }
   return result;

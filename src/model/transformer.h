@@ -8,17 +8,23 @@
 // Building FP16/INT8/INT4 models from one master is the engine's analogue of
 // loading the same HuggingFace checkpoint at different quantization levels.
 //
-// Model is NOT thread-safe: it owns scratch buffers sized for one forward
-// pass. Use one Model per thread (they can share the master).
+// Threading model: a Model's weights are immutable after construction and
+// shared-read; all mutable forward-pass state lives in an InferenceWorkspace.
+// The workspace-taking overloads are re-entrant — concurrent callers need one
+// workspace each (and distinct KVCache sequences). The convenience overloads
+// without a workspace use a single Model-owned default workspace and are NOT
+// thread-safe. See DESIGN.md "Threading model".
 #pragma once
 
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "model/config.h"
 #include "model/kv_cache.h"
 #include "model/sampler.h"
+#include "model/workspace.h"
 #include "quant/weight_matrix.h"
 #include "tokenizer/tokenizer.h"
 #include "trace/timeline.h"
@@ -70,16 +76,26 @@ class Model {
 
   // Process one token for sequence b: extends the cache by one position and
   // writes the final hidden state (post final-norm) to hidden_out [d_model].
+  // The workspace-taking overload is re-entrant: concurrent callers must use
+  // distinct workspaces and distinct cache sequences b.
   void forward_token(TokenId token, std::size_t b, KVCache& cache,
-                     std::span<float> hidden_out);
+                     std::span<float> hidden_out, InferenceWorkspace& ws);
+  void forward_token(TokenId token, std::size_t b, KVCache& cache,
+                     std::span<float> hidden_out) {
+    forward_token(token, b, cache, hidden_out, default_ws_);
+  }
 
-  // logits [vocab] from a final hidden state.
+  // logits [vocab] from a final hidden state. Re-entrant (reads weights only).
   void logits_from_hidden(std::span<const float> hidden, std::span<float> logits) const;
 
   // Feed a whole prompt for sequence b; hidden of the last position lands in
   // last_hidden (pass empty span to discard).
   void prefill(std::span<const TokenId> prompt, std::size_t b, KVCache& cache,
-               std::span<float> last_hidden);
+               std::span<float> last_hidden, InferenceWorkspace& ws);
+  void prefill(std::span<const TokenId> prompt, std::size_t b, KVCache& cache,
+               std::span<float> last_hidden) {
+    prefill(prompt, b, cache, last_hidden, default_ws_);
+  }
 
   struct GenerateResult {
     std::vector<std::vector<TokenId>> outputs;  // generated tokens per sequence
@@ -87,14 +103,32 @@ class Model {
     std::size_t output_tokens = 0;
   };
 
-  // Batched generation: each prompt is prefilled, then max_new_tokens are
-  // decoded per sequence. sampler == nullptr means greedy argmax.
+  struct GenerateOptions {
+    Sampler* sampler = nullptr;               // nullptr: greedy argmax
+    trace::ExecutionTimeline* timeline = nullptr;
+    // Non-null: prefill and per-step decode run lanes in parallel on the
+    // pool with one workspace per shard. Sampling stays serialized in lane
+    // order after each parallel section, so outputs are bit-identical to a
+    // serial run (pool == nullptr) for any worker count.
+    ThreadPool* pool = nullptr;
+  };
+
+  // Batched generation: each prompt is prefilled, then up to max_new_tokens
+  // are decoded per sequence; the decode loop exits early once every lane
+  // has hit the cache limit (no zero-active steps).
   // A non-null `timeline` receives real wall-clock StepEvents (one kPrefill
   // covering prompt ingestion, one kDecode per step) with power unset: this
   // host has no board sensor, so the simulator owns power.
   GenerateResult generate(const std::vector<std::vector<TokenId>>& prompts,
+                          std::size_t max_new_tokens, const GenerateOptions& options);
+  GenerateResult generate(const std::vector<std::vector<TokenId>>& prompts,
                           std::size_t max_new_tokens, Sampler* sampler = nullptr,
-                          trace::ExecutionTimeline* timeline = nullptr);
+                          trace::ExecutionTimeline* timeline = nullptr) {
+    GenerateOptions options;
+    options.sampler = sampler;
+    options.timeline = timeline;
+    return generate(prompts, max_new_tokens, options);
+  }
 
   // Sum of negative log-likelihoods of tokens[i] given tokens[0..i) for
   // i in [predict_from, tokens.size()), plus the count of predicted tokens.
@@ -112,18 +146,20 @@ class Model {
   };
 
   void attention(std::size_t layer, std::size_t b, KVCache& cache,
-                 std::span<const float> normed, std::span<float> out);
-  void mlp_swiglu(std::size_t layer, std::span<const float> normed, std::span<float> out);
-  void mlp_gelu(std::size_t layer, std::span<const float> normed, std::span<float> out);
+                 std::span<const float> normed, std::span<float> out,
+                 InferenceWorkspace& ws);
+  void mlp_swiglu(std::size_t layer, std::span<const float> normed, std::span<float> out,
+                  InferenceWorkspace& ws);
+  void mlp_gelu(std::size_t layer, std::span<const float> normed, std::span<float> out,
+                InferenceWorkspace& ws);
 
   std::shared_ptr<const MasterWeights> master_;
   DType dtype_;
   KVStorage kv_storage_ = KVStorage::kF32;
   std::vector<LayerQuant> layers_;
 
-  // Scratch (one token). Members to avoid per-call allocation.
-  std::vector<float> x_, normed_, q_, k_, v_, attn_, attn_proj_, gate_, up_, ff_, mlp_out_,
-      scores_;
+  // Scratch for the convenience overloads (one serial caller at a time).
+  InferenceWorkspace default_ws_;
 };
 
 }  // namespace orinsim

@@ -1,0 +1,47 @@
+// Per-forward-pass scratch for the functional transformer engine.
+//
+// A Model shares immutable quantized weights; everything a forward pass
+// mutates lives here. One workspace per concurrently-executing lane/worker
+// makes forward_token re-entrant: the batched decode loop runs lanes in
+// parallel on a ThreadPool with one workspace per shard, while serial
+// callers use the Model's built-in default workspace.
+#pragma once
+
+#include <vector>
+
+#include "model/config.h"
+#include "quant/quantize.h"
+
+namespace orinsim {
+
+struct InferenceWorkspace {
+  explicit InferenceWorkspace(const TransformerConfig& c)
+      : x(c.d_model),
+        normed(c.d_model),
+        q(c.d_model),
+        k(c.kv_dim()),
+        v(c.kv_dim()),
+        attn(c.d_model),
+        attn_proj(c.d_model),
+        gate(c.d_ff),
+        up(c.d_ff),
+        ff(c.d_ff),
+        mlp_out(c.d_model),
+        scores(c.max_seq),
+        kv_key(c.kv_dim()),
+        kv_value(c.kv_dim()),
+        hidden(c.d_model) {}
+
+  // One-token block scratch (residual stream, projections, MLP, attention
+  // scores), sized once so the hot loop never allocates.
+  std::vector<float> x, normed, q, k, v, attn, attn_proj, gate, up, ff, mlp_out, scores;
+  // Caller-side scratch for quantized KVCache::key()/value() reads: each
+  // reader dequantizes into its own buffer (no shared cache-side state).
+  std::vector<float> kv_key, kv_value;
+  // Final hidden state of the lane currently being advanced.
+  std::vector<float> hidden;
+  // Reused INT8 activation codes for the fused QKV projection.
+  quant::ActivationInt8 act8;
+};
+
+}  // namespace orinsim

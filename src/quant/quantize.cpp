@@ -71,19 +71,24 @@ void dequantize_row(const RowwiseInt8& q, std::size_t row, std::span<float> out)
   }
 }
 
-void matvec_int8(const RowwiseInt8& q, std::span<const float> x, std::span<float> out) {
-  ORINSIM_CHECK(x.size() == q.cols && out.size() == q.rows, "int8 matvec: shape mismatch");
-
-  // Dynamic per-token activation quantization (absmax over non-outlier dims).
+void quantize_activation_int8(std::span<const float> x, ActivationInt8& act) {
   float x_absmax = 0.0f;
-  for (std::size_t c = 0; c < q.cols; ++c) x_absmax = std::max(x_absmax, std::fabs(x[c]));
-  const float x_scale = x_absmax > 0.0f ? x_absmax / 127.0f : 1.0f;
-  std::vector<std::int8_t> xq(q.cols);
-  for (std::size_t c = 0; c < q.cols; ++c) {
-    const int v = static_cast<int>(std::lround(x[c] / x_scale));
-    xq[c] = static_cast<std::int8_t>(std::clamp(v, -127, 127));
+  for (float v : x) x_absmax = std::max(x_absmax, std::fabs(v));
+  act.scale = x_absmax > 0.0f ? x_absmax / 127.0f : 1.0f;
+  act.codes.resize(x.size());
+  for (std::size_t c = 0; c < x.size(); ++c) {
+    const int v = static_cast<int>(std::lround(x[c] / act.scale));
+    act.codes[c] = static_cast<std::int8_t>(std::clamp(v, -127, 127));
   }
+}
 
+void matvec_int8(const RowwiseInt8& q, std::span<const float> x,
+                 const ActivationInt8& act, std::span<float> out) {
+  ORINSIM_CHECK(x.size() == q.cols && out.size() == q.rows, "int8 matvec: shape mismatch");
+  ORINSIM_CHECK(act.codes.size() == q.cols, "int8 matvec: activation shape mismatch");
+
+  const std::int8_t* xq = act.codes.data();
+  const float x_scale = act.scale;
   const std::size_t n_out = q.outlier_cols.size();
 #pragma omp parallel for if (q.rows >= 256)
   for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
@@ -99,6 +104,47 @@ void matvec_int8(const RowwiseInt8& q, std::span<const float> x, std::span<float
       result += fp16_to_float(q.outlier_values[r * n_out + o]) * x[q.outlier_cols[o]];
     }
     out[r] = result;
+  }
+}
+
+void matvec_int8(const RowwiseInt8& q, std::span<const float> x, std::span<float> out) {
+  ORINSIM_CHECK(x.size() == q.cols && out.size() == q.rows, "int8 matvec: shape mismatch");
+  // Dynamic per-token activation quantization (absmax over all dims).
+  ActivationInt8 act;
+  quantize_activation_int8(x, act);
+  matvec_int8(q, x, act, out);
+}
+
+void matmul_int8(const RowwiseInt8& q, std::span<const float> x, std::span<float> y,
+                 std::size_t tokens) {
+  ORINSIM_CHECK(x.size() == tokens * q.cols && y.size() == tokens * q.rows,
+                "int8 matmul: shape mismatch");
+  // Quantize every token's activation once up front.
+  std::vector<ActivationInt8> acts(tokens);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    quantize_activation_int8(std::span<const float>(x.data() + t * q.cols, q.cols), acts[t]);
+  }
+
+  const std::size_t n_out = q.outlier_cols.size();
+#pragma omp parallel for if (q.rows >= 256)
+  for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
+    const auto r = static_cast<std::size_t>(rs);
+    const std::int8_t* codes = q.codes.data() + r * q.cols;
+    // One pass over the weight row serves all tokens (the row stays hot in
+    // cache instead of being re-streamed per token).
+    for (std::size_t t = 0; t < tokens; ++t) {
+      const std::int8_t* xq = acts[t].codes.data();
+      std::int64_t acc = 0;
+      for (std::size_t c = 0; c < q.cols; ++c) {
+        acc += static_cast<std::int32_t>(codes[c]) * static_cast<std::int32_t>(xq[c]);
+      }
+      float result = static_cast<float>(acc) * q.row_scale[r] * acts[t].scale;
+      const float* xt = x.data() + t * q.cols;
+      for (std::size_t o = 0; o < n_out; ++o) {
+        result += fp16_to_float(q.outlier_values[r * n_out + o]) * xt[q.outlier_cols[o]];
+      }
+      y[t * q.rows + r] = result;
+    }
   }
 }
 
@@ -183,6 +229,39 @@ void matvec_int4(const BlockInt4& q, std::span<const float> x, std::span<float> 
       acc += blk_acc * scale;
     }
     out[r] = acc;
+  }
+}
+
+void matmul_int4(const BlockInt4& q, std::span<const float> x, std::span<float> y,
+                 std::size_t tokens) {
+  ORINSIM_CHECK(x.size() == tokens * q.cols && y.size() == tokens * q.rows,
+                "int4 matmul: shape mismatch");
+  // Tile tokens so per-token block accumulators live in registers/stack while
+  // each packed weight byte is unpacked exactly once per tile.
+  constexpr std::size_t kTokenTile = 8;
+#pragma omp parallel for if (q.rows >= 256)
+  for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
+    const auto r = static_cast<std::size_t>(rs);
+    for (std::size_t t0 = 0; t0 < tokens; t0 += kTokenTile) {
+      const std::size_t tile = std::min(kTokenTile, tokens - t0);
+      float acc[kTokenTile] = {};
+      for (std::size_t b = 0; b < q.blocks_per_row; ++b) {
+        const float scale = fp16_to_float(q.block_scale[r * q.blocks_per_row + b]);
+        float blk_acc[kTokenTile] = {};
+        for (std::size_t i = 0; i < kInt4Block; i += 2) {
+          const std::uint8_t byte = q.packed[(r * q.cols + b * kInt4Block + i) / 2];
+          const float lo = static_cast<float>(unpack_lo(byte));
+          const float hi = static_cast<float>(unpack_hi(byte));
+          for (std::size_t t = 0; t < tile; ++t) {
+            const float* xb = x.data() + (t0 + t) * q.cols + b * kInt4Block;
+            blk_acc[t] += lo * xb[i];
+            blk_acc[t] += hi * xb[i + 1];
+          }
+        }
+        for (std::size_t t = 0; t < tile; ++t) acc[t] += blk_acc[t] * scale;
+      }
+      for (std::size_t t = 0; t < tile; ++t) y[(t0 + t) * q.rows + r] = acc[t];
+    }
   }
 }
 

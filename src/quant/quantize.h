@@ -48,6 +48,34 @@ void dequantize_row(const RowwiseInt8& q, std::size_t row, std::span<float> out)
 // quantization) and accumulates in int32, faithfully mimicking LLM.int8().
 void matvec_int8(const RowwiseInt8& q, std::span<const float> x, std::span<float> out);
 
+// A dynamically-quantized activation vector: absmax INT8 codes plus the
+// original FP32 view (the outlier columns multiply against full precision).
+// Quantizing once and reusing it across several matrices amortizes the
+// per-token activation pass — the QKV projections all consume one normed
+// input, so the decode hot path quantizes it once instead of three times.
+struct ActivationInt8 {
+  std::vector<std::int8_t> codes;
+  float scale = 1.0f;
+};
+
+// Encodes x into act (absmax over all dims, codes clamped to [-127, 127]).
+// Bit-identical to the quantization matvec_int8 performs internally.
+void quantize_activation_int8(std::span<const float> x, ActivationInt8& act);
+
+// matvec_int8 against a pre-quantized activation; `x` must be the FP32
+// vector act was built from (outlier columns read it directly).
+void matvec_int8(const RowwiseInt8& q, std::span<const float> x,
+                 const ActivationInt8& act, std::span<float> out);
+
+// Blocked multi-token variants: X is [tokens, cols] row-major, Y is
+// [tokens, rows]. Each token's activation is quantized once, and every
+// weight row is streamed through the cache a single time for all tokens
+// (instead of `tokens` times via repeated matvecs) — the batched-decode /
+// prefill amortization the multi-lane engine relies on. Per-token results
+// are bit-identical to the corresponding matvec.
+void matmul_int8(const RowwiseInt8& q, std::span<const float> x, std::span<float> y,
+                 std::size_t tokens);
+
 // Block-wise INT4. Each block of kInt4Block consecutive weights (within a
 // row) shares one FP16 absmax scale; codes are signed 4-bit in [-8, 7].
 inline constexpr std::size_t kInt4Block = 32;
@@ -68,6 +96,11 @@ BlockInt4 quantize_block_int4(std::span<const float> weights, std::size_t rows,
 void dequantize_row(const BlockInt4& q, std::size_t row, std::span<float> out);
 
 void matvec_int4(const BlockInt4& q, std::span<const float> x, std::span<float> out);
+
+// Blocked multi-token INT4 matmul (layouts as matmul_int8): each packed
+// weight block is unpacked once and applied to every token.
+void matmul_int4(const BlockInt4& q, std::span<const float> x, std::span<float> y,
+                 std::size_t tokens);
 
 // FP16 cast of a full matrix (round-to-nearest-even).
 std::vector<fp16_t> quantize_fp16(std::span<const float> weights);

@@ -81,6 +81,14 @@ void WeightMatrix::matmul(std::span<const float> x, std::span<float> y,
                           std::size_t tokens) const {
   ORINSIM_CHECK(x.size() == tokens * in_features_ && y.size() == tokens * out_features_,
                 "WeightMatrix::matmul shape mismatch");
+  if (dtype_ == DType::kI8) {
+    matmul_int8(i8_, x, y, tokens);
+    return;
+  }
+  if (dtype_ == DType::kI4) {
+    matmul_int4(i4_, x, y, tokens);
+    return;
+  }
 #pragma omp parallel for if (tokens >= 4)
   for (std::ptrdiff_t ts = 0; ts < static_cast<std::ptrdiff_t>(tokens); ++ts) {
     const auto t = static_cast<std::size_t>(ts);
@@ -128,6 +136,27 @@ std::size_t WeightMatrix::storage_bytes() const noexcept {
 
 std::size_t WeightMatrix::outlier_column_count() const noexcept {
   return dtype_ == DType::kI8 ? i8_.outlier_cols.size() : 0;
+}
+
+void matvec_qkv(const WeightMatrix& wq, const WeightMatrix& wk, const WeightMatrix& wv,
+                std::span<const float> x, std::span<float> q, std::span<float> k,
+                std::span<float> v, ActivationInt8& act_scratch) {
+  if (wq.dtype_ == DType::kI8 && wk.dtype_ == DType::kI8 && wv.dtype_ == DType::kI8) {
+    ORINSIM_CHECK(wq.in_features_ == x.size() && wk.in_features_ == x.size() &&
+                      wv.in_features_ == x.size(),
+                  "matvec_qkv: input shape mismatch");
+    ORINSIM_CHECK(q.size() == wq.out_features_ && k.size() == wk.out_features_ &&
+                      v.size() == wv.out_features_,
+                  "matvec_qkv: output shape mismatch");
+    quantize_activation_int8(x, act_scratch);
+    matvec_int8(wq.i8_, x, act_scratch, q);
+    matvec_int8(wk.i8_, x, act_scratch, k);
+    matvec_int8(wv.i8_, x, act_scratch, v);
+    return;
+  }
+  wq.matvec(x, q);
+  wk.matvec(x, k);
+  wv.matvec(x, v);
 }
 
 }  // namespace orinsim::quant

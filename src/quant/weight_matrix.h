@@ -34,7 +34,9 @@ class WeightMatrix {
   void matvec(std::span<const float> x, std::span<float> out) const;
 
   // Y[t, :] = W * X[t, :] for t in [0, tokens); X is [tokens, in], Y is
-  // [tokens, out]. Parallel over tokens for batch prefill.
+  // [tokens, out]. INT8/INT4 use the blocked multi-token kernels (each
+  // weight row streamed once for all tokens, activations quantized once per
+  // token); other precisions run per-token matvecs parallel over tokens.
   void matmul(std::span<const float> x, std::span<float> y, std::size_t tokens) const;
 
   // Reconstruct row r at fp32 (reference path for tests and error analysis).
@@ -47,6 +49,11 @@ class WeightMatrix {
   std::size_t outlier_column_count() const noexcept;
 
  private:
+  friend void matvec_qkv(const WeightMatrix& wq, const WeightMatrix& wk,
+                         const WeightMatrix& wv, std::span<const float> x,
+                         std::span<float> q, std::span<float> k, std::span<float> v,
+                         ActivationInt8& act_scratch);
+
   std::size_t out_features_ = 0;
   std::size_t in_features_ = 0;
   DType dtype_ = DType::kF32;
@@ -56,5 +63,15 @@ class WeightMatrix {
   RowwiseInt8 i8_;
   BlockInt4 i4_;
 };
+
+// Fused QKV projection: q = Wq·x, k = Wk·x, v = Wv·x. When all three
+// matrices are INT8, the shared activation x is dynamically quantized ONCE
+// into act_scratch and reused (amortizing the per-token activation pass the
+// three separate matvecs would each repeat); results are bit-identical to
+// three independent matvec calls. Other precisions fall through to matvec.
+// act_scratch is caller-owned so the decode hot loop does not allocate.
+void matvec_qkv(const WeightMatrix& wq, const WeightMatrix& wk, const WeightMatrix& wv,
+                std::span<const float> x, std::span<float> q, std::span<float> k,
+                std::span<float> v, ActivationInt8& act_scratch);
 
 }  // namespace orinsim::quant

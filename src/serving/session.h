@@ -87,9 +87,14 @@ class SimSession : public InferenceBackend {
 class FunctionalSession : public InferenceBackend {
  public:
   // The session owns a Model view of `master` at `dtype` and samples prompts
-  // from `pool` (both must outlive the session).
+  // from `pool` (both must outlive the session). decode_workers > 0 creates
+  // a session-owned ThreadPool of that many threads and decodes batch lanes
+  // in parallel; 0 keeps the single-threaded decode loop. Outputs are
+  // bit-identical either way (the engine serializes sampling in lane order),
+  // only the measured wall-clock changes.
   FunctionalSession(std::shared_ptr<const MasterWeights> master, DType dtype,
-                    const workload::PromptPool& pool, std::uint64_t seed = 11);
+                    const workload::PromptPool& pool, std::uint64_t seed = 11,
+                    std::size_t decode_workers = 0);
 
   // Runs one real batched generation and measures wall-clock metrics. A
   // non-null `timeline` receives measured StepEvents (power unset).
@@ -108,6 +113,7 @@ class FunctionalSession : public InferenceBackend {
   Model model_;
   const workload::PromptPool& pool_;
   Rng rng_;
+  std::unique_ptr<ThreadPool> decode_pool_;  // null: serial decode
 };
 
 }  // namespace orinsim::serving

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "core/error.h"
@@ -59,6 +60,80 @@ TEST(ThreadPoolTest, SizeMatchesRequest) {
 TEST(ThreadPoolTest, NullTaskRejected) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.submit(nullptr), ContractViolation);
+}
+
+// Regression: parallel_for used to deadlock when invoked from a pool worker
+// (the inner call waited for helper shards stuck behind the caller's own
+// task). The caller now drains the index range inline, so nesting completes
+// even when every helper shard is queued behind the outer tasks.
+TEST(ThreadPoolTest, NestedParallelForFromWorkerCompletes) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(0, 4, [&](std::size_t outer) {
+    pool.parallel_for(0, 16, [&](std::size_t inner) {
+      hits[outer * 16 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Worst case for the old deadlock: one worker, whose only thread is busy
+// running the outer task when the nested call arrives.
+TEST(ThreadPoolTest, NestedParallelForSingleWorkerCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 3, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 3 * 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromSubmittedTaskCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ShardOverloadCoversAllIndicesWithValidShards) {
+  ThreadPool pool(3);
+  ASSERT_EQ(pool.shard_count(), 4u);
+  std::vector<std::atomic<int>> hits(200);
+  std::atomic<bool> shard_in_range{true};
+  pool.parallel_for(0, hits.size(), [&](std::size_t shard, std::size_t i) {
+    if (shard >= pool.shard_count()) shard_in_range.store(false);
+    hits[i].fetch_add(1);
+  });
+  EXPECT_TRUE(shard_in_range.load());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// At most one index runs per shard at a time, so unsynchronized per-shard
+// accumulators are safe — the property per-worker workspaces rely on.
+TEST(ThreadPoolTest, ShardOverloadSerializesWithinShard) {
+  ThreadPool pool(4);
+  std::vector<long long> per_shard(pool.shard_count(), 0);  // no atomics
+  const std::size_t n = 5000;
+  pool.parallel_for(0, n, [&](std::size_t shard, std::size_t i) {
+    per_shard[shard] += static_cast<long long>(i);
+  });
+  const long long total = std::accumulate(per_shard.begin(), per_shard.end(), 0LL);
+  EXPECT_EQ(total, static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ShardZeroIsCallingThread) {
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<bool> shard0_is_caller{true};
+  pool.parallel_for(0, 100, [&](std::size_t shard, std::size_t) {
+    if (shard == 0 && std::this_thread::get_id() != caller) {
+      shard0_is_caller.store(false);
+    }
+  });
+  EXPECT_TRUE(shard0_is_caller.load());
 }
 
 }  // namespace

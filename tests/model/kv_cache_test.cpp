@@ -35,8 +35,9 @@ TEST(KVCacheTest, AppendCommitReadBack) {
   cache.commit(0);
   EXPECT_EQ(cache.seq_len(0), 1u);
   EXPECT_EQ(cache.seq_len(1), 0u);
-  EXPECT_EQ(cache.key(1, 0, 0)[0], 1.5f);
-  EXPECT_EQ(cache.value(0, 0, 0)[kv - 1], -2.5f);
+  std::vector<float> scratch(kv);
+  EXPECT_EQ(cache.key(1, 0, 0, scratch)[0], 1.5f);
+  EXPECT_EQ(cache.value(0, 0, 0, scratch)[kv - 1], -2.5f);
 }
 
 TEST(KVCacheTest, StagedEntryReadableBeforeCommit) {
@@ -46,7 +47,8 @@ TEST(KVCacheTest, StagedEntryReadableBeforeCommit) {
   std::vector<float> k(kv, 3.0f), v(kv, 4.0f);
   cache.append(0, 0, k, v);
   // pos == seq_len(b) reads the staged entry.
-  EXPECT_EQ(cache.key(0, 0, 0)[0], 3.0f);
+  std::vector<float> scratch(kv);
+  EXPECT_EQ(cache.key(0, 0, 0, scratch)[0], 3.0f);
 }
 
 TEST(KVCacheTest, PerSequenceLengthsIndependent) {

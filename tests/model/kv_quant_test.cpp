@@ -2,7 +2,9 @@
 // end-to-end impact on the functional engine.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "model/transformer.h"
 
@@ -34,10 +36,74 @@ TEST(KVQuantTest, RoundTripWithinAbsmaxBound) {
     absmax = std::max(absmax, std::fabs(k[i]));
   }
   cache.append(0, 0, k, v);
-  const auto k_back = cache.key(0, 0, 0);
+  std::vector<float> scratch(cfg.kv_dim());
+  const auto k_back = cache.key(0, 0, 0, scratch);
   for (std::size_t i = 0; i < k.size(); ++i) {
     EXPECT_NEAR(k_back[i], k[i], absmax / 127.0f + 1e-6f);
   }
+}
+
+// Regression: the quantized accessors used to dequantize into cache-owned
+// mutable scratch, so the span returned for one position was silently
+// overwritten by the next read. With caller-supplied scratch, two positions
+// can be held live at once.
+TEST(KVQuantTest, TwoPositionsReadableSimultaneously) {
+  const auto cfg = kv_test_config();
+  KVCache cache(cfg, 1, 4, KVStorage::kI8);
+  std::vector<float> k0(cfg.kv_dim(), 2.0f), k1(cfg.kv_dim(), -3.0f);
+  std::vector<float> v(cfg.kv_dim(), 0.5f);
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, 0, k0, v);
+  cache.commit(0);
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, 0, k1, v);
+  cache.commit(0);
+
+  std::vector<float> s0(cfg.kv_dim()), s1(cfg.kv_dim());
+  const auto a = cache.key(0, 0, 0, s0);
+  const auto b = cache.key(0, 0, 1, s1);  // must not clobber `a`
+  EXPECT_NEAR(a[0], 2.0f, 0.05f);
+  EXPECT_NEAR(b[0], -3.0f, 0.05f);
+}
+
+// Quantized reads with per-thread scratch are const and race-free; this is
+// the access pattern of parallel decode lanes sharing one cache. Run under
+// TSan (ORINSIM_TSAN) to certify.
+TEST(KVQuantTest, ConcurrentReadsWithPrivateScratch) {
+  const auto cfg = kv_test_config();
+  KVCache cache(cfg, 1, 8, KVStorage::kI8);
+  Rng rng(5);
+  std::vector<float> k(cfg.kv_dim()), v(cfg.kv_dim());
+  for (int pos = 0; pos < 8; ++pos) {
+    for (std::size_t i = 0; i < k.size(); ++i) {
+      k[i] = static_cast<float>(rng.normal(0.0, 1.0));
+      v[i] = static_cast<float>(rng.normal(0.0, 1.0));
+    }
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, 0, k, v);
+    cache.commit(0);
+  }
+
+  std::vector<std::thread> readers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&cache, &cfg, &mismatches] {
+      std::vector<float> ks(cfg.kv_dim()), vs(cfg.kv_dim());
+      std::vector<float> ref(cfg.kv_dim());
+      for (int iter = 0; iter < 50; ++iter) {
+        for (std::size_t pos = 0; pos < 8; ++pos) {
+          const auto kb = cache.key(0, 0, pos, ks);
+          const auto vb = cache.value(1, 0, pos, vs);
+          // Re-read into a second buffer: concurrent readers must see stable
+          // values (dequantization is pure).
+          const auto kb2 = cache.key(0, 0, pos, ref);
+          for (std::size_t i = 0; i < cfg.kv_dim(); ++i) {
+            if (kb[i] != kb2[i]) mismatches.fetch_add(1);
+          }
+          (void)vb;
+        }
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(KVQuantTest, Int8CacheHalvesMemory) {

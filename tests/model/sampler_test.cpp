@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <vector>
 
 #include "core/error.h"
+#include "core/rng.h"
 
 namespace orinsim {
 namespace {
@@ -73,6 +76,103 @@ TEST(SamplerTest, SingleCandidateAlwaysReturned) {
   Sampler sampler({1.0f, 1, 1.0f}, 15);
   const std::vector<float> logits = {0.5f, 5.0f, 0.2f};
   for (int i = 0; i < 50; ++i) EXPECT_EQ(sampler.sample(logits), 1u);
+}
+
+// Reference sampler: the pre-optimization algorithm — full O(V log V) sort of
+// the vocabulary, truncate, inverse-CDF draw. The production sampler replaced
+// the full sort with an O(V) untruncated path and head-bounded partial sorts;
+// this pin proves the draw sequence is unchanged for a given seed.
+TokenId reference_sample(const SamplerConfig& cfg, Rng& rng,
+                         std::span<const float> logits) {
+  const std::size_t vocab = logits.size();
+  const double inv_t = 1.0 / cfg.temperature;
+  float max_logit = logits[0];
+  for (float l : logits) max_logit = std::max(max_logit, l);
+  auto weight = [&](std::size_t c) {
+    return std::exp(static_cast<double>(logits[c] - max_logit) * inv_t);
+  };
+
+  // Untruncated: the documented semantics is an inverse-CDF draw in index
+  // order (no ordering of the vocabulary at all).
+  if (cfg.top_k == 0 && cfg.top_p >= 1.0f) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < vocab; ++c) total += weight(c);
+    const double u = rng.uniform() * total;
+    double cum = 0.0;
+    for (std::size_t c = 0; c < vocab; ++c) {
+      cum += weight(c);
+      if (u < cum) return static_cast<TokenId>(c);
+    }
+    return static_cast<TokenId>(vocab - 1);
+  }
+
+  std::vector<std::size_t> order(vocab);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (logits[a] != logits[b]) return logits[a] > logits[b];
+    return a < b;
+  });
+
+  std::size_t candidates = cfg.top_k > 0 ? std::min(vocab, cfg.top_k) : vocab;
+  double denom = 0.0;
+  if (cfg.top_k > 0) {
+    for (std::size_t i = 0; i < candidates; ++i) denom += weight(order[i]);
+  } else {
+    for (std::size_t c = 0; c < vocab; ++c) denom += weight(c);
+  }
+  if (cfg.top_p < 1.0f) {
+    double cum = 0.0;
+    std::size_t cutoff = candidates;
+    for (std::size_t i = 0; i < candidates; ++i) {
+      cum += weight(order[i]) / denom;
+      if (cum >= cfg.top_p) {
+        cutoff = i + 1;
+        break;
+      }
+    }
+    candidates = cutoff;
+  }
+  double renorm = 0.0;
+  for (std::size_t i = 0; i < candidates; ++i) renorm += weight(order[i]);
+  const double u = rng.uniform() * renorm;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < candidates; ++i) {
+    cum += weight(order[i]);
+    if (u < cum) return static_cast<TokenId>(order[i]);
+  }
+  return static_cast<TokenId>(order[candidates - 1]);
+}
+
+std::vector<float> pin_logits(std::size_t vocab, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> logits(vocab);
+  for (auto& l : logits) l = static_cast<float>(rng.normal(0.0, 2.0));
+  // Duplicate a few logits so the deterministic tie-break is exercised.
+  logits[10] = logits[3];
+  logits[200] = logits[3];
+  logits[77] = logits[78];
+  return logits;
+}
+
+TEST(SamplerTest, MatchesFullSortReference) {
+  const auto logits = pin_logits(512, 101);
+  const SamplerConfig configs[] = {
+      {0.7f, 0, 1.0f},   // untruncated O(V) path
+      {0.7f, 5, 1.0f},   // top-k partial_sort path
+      {0.7f, 0, 0.9f},   // nucleus doubling-partial_sort path
+      {0.7f, 0, 0.05f},  // tiny nucleus: cutoff within the first head guess
+      {1.3f, 40, 0.8f},  // top-k and nucleus combined
+      {0.7f, 1000, 1.0f},  // top_k > vocab clamps to vocab
+  };
+  for (const auto& cfg : configs) {
+    Sampler sampler(cfg, 555);
+    Rng ref_rng(555);
+    for (int i = 0; i < 300; ++i) {
+      const TokenId expected = reference_sample(cfg, ref_rng, logits);
+      EXPECT_EQ(sampler.sample(logits), expected)
+          << "top_k=" << cfg.top_k << " top_p=" << cfg.top_p << " draw " << i;
+    }
+  }
 }
 
 }  // namespace
