@@ -34,6 +34,7 @@ KVCache::KVCache(const TransformerConfig& config, std::size_t batch, std::size_t
     }
   }
   lengths_.assign(batch_, 0);
+  staged_.assign(batch_, 0);
 }
 
 void KVCache::store_quantized(std::vector<std::int8_t>& codes, std::vector<float>& scales,
@@ -63,18 +64,42 @@ std::size_t KVCache::append(std::size_t layer, std::size_t b, std::span<const fl
     store_quantized(key_codes_[layer], key_scales_[layer], b, pos, k);
     store_quantized(value_codes_[layer], value_scales_[layer], b, pos, v);
   }
+  staged_[b] = std::max<std::size_t>(staged_[b], 1);
   return pos;
 }
 
-void KVCache::commit(std::size_t b) {
+std::size_t KVCache::append_many(std::size_t layer, std::size_t b, std::span<const float> k,
+                                 std::span<const float> v, std::size_t count) {
+  ORINSIM_CHECK(layer < n_layers_ && b < batch_, "KVCache::append_many out of range");
+  ORINSIM_CHECK(count > 0 && k.size() == count * kv_dim_ && v.size() == k.size(),
+                "KVCache::append_many dim mismatch");
+  const std::size_t first = lengths_[b];
+  ORINSIM_CHECK(first + count <= max_seq_, "KVCache overflow: sequence exceeds max_seq");
+  if (storage_ == KVStorage::kF32) {
+    std::copy(k.begin(), k.end(), keys_[layer].begin() + offset(b, first));
+    std::copy(v.begin(), v.end(), values_[layer].begin() + offset(b, first));
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      store_quantized(key_codes_[layer], key_scales_[layer], b, first + i,
+                      k.subspan(i * kv_dim_, kv_dim_));
+      store_quantized(value_codes_[layer], value_scales_[layer], b, first + i,
+                      v.subspan(i * kv_dim_, kv_dim_));
+    }
+  }
+  staged_[b] = std::max(staged_[b], count);
+  return first;
+}
+
+void KVCache::commit(std::size_t b, std::size_t count) {
   ORINSIM_CHECK(b < batch_, "KVCache::commit out of range");
-  ORINSIM_CHECK(lengths_[b] < max_seq_, "KVCache::commit overflow");
-  ++lengths_[b];
+  ORINSIM_CHECK(count > 0 && lengths_[b] + count <= max_seq_, "KVCache::commit overflow");
+  lengths_[b] += count;
+  staged_[b] = 0;
 }
 
 std::span<const float> KVCache::key(std::size_t layer, std::size_t b, std::size_t pos,
                                     std::span<float> scratch) const {
-  ORINSIM_CHECK(layer < n_layers_ && b < batch_ && pos <= lengths_[b] && pos < max_seq_,
+  ORINSIM_CHECK(layer < n_layers_ && b < batch_ && pos <= staged_end(b) && pos < max_seq_,
                 "KVCache::key out of range");
   if (storage_ == KVStorage::kF32) {
     return std::span<const float>(keys_[layer].data() + offset(b, pos), kv_dim_);
@@ -90,7 +115,7 @@ std::span<const float> KVCache::key(std::size_t layer, std::size_t b, std::size_
 
 std::span<const float> KVCache::value(std::size_t layer, std::size_t b, std::size_t pos,
                                       std::span<float> scratch) const {
-  ORINSIM_CHECK(layer < n_layers_ && b < batch_ && pos <= lengths_[b] && pos < max_seq_,
+  ORINSIM_CHECK(layer < n_layers_ && b < batch_ && pos <= staged_end(b) && pos < max_seq_,
                 "KVCache::value out of range");
   if (storage_ == KVStorage::kF32) {
     return std::span<const float>(values_[layer].data() + offset(b, pos), kv_dim_);
@@ -104,14 +129,54 @@ std::span<const float> KVCache::value(std::size_t layer, std::size_t b, std::siz
   return scratch.first(kv_dim_);
 }
 
+std::span<const float> KVCache::key_rows(std::size_t layer, std::size_t b, std::size_t count,
+                                         std::span<float> scratch) const {
+  ORINSIM_CHECK(layer < n_layers_ && b < batch_ && count > 0 && count - 1 <= staged_end(b) &&
+                    count <= max_seq_,
+                "KVCache::key_rows out of range");
+  if (storage_ == KVStorage::kF32) {
+    return std::span<const float>(keys_[layer].data() + offset(b, 0), count * kv_dim_);
+  }
+  ORINSIM_CHECK(scratch.size() >= count * kv_dim_,
+                "KVCache::key_rows needs count*kv_dim scratch floats");
+  for (std::size_t p = 0; p < count; ++p) {
+    const std::int8_t* codes = key_codes_[layer].data() + offset(b, p);
+    const float scale = key_scales_[layer][scale_offset(b, p)];
+    float* out = scratch.data() + p * kv_dim_;
+    for (std::size_t i = 0; i < kv_dim_; ++i) out[i] = static_cast<float>(codes[i]) * scale;
+  }
+  return scratch.first(count * kv_dim_);
+}
+
+std::span<const float> KVCache::value_rows(std::size_t layer, std::size_t b, std::size_t count,
+                                           std::span<float> scratch) const {
+  ORINSIM_CHECK(layer < n_layers_ && b < batch_ && count > 0 && count - 1 <= staged_end(b) &&
+                    count <= max_seq_,
+                "KVCache::value_rows out of range");
+  if (storage_ == KVStorage::kF32) {
+    return std::span<const float>(values_[layer].data() + offset(b, 0), count * kv_dim_);
+  }
+  ORINSIM_CHECK(scratch.size() >= count * kv_dim_,
+                "KVCache::value_rows needs count*kv_dim scratch floats");
+  for (std::size_t p = 0; p < count; ++p) {
+    const std::int8_t* codes = value_codes_[layer].data() + offset(b, p);
+    const float scale = value_scales_[layer][scale_offset(b, p)];
+    float* out = scratch.data() + p * kv_dim_;
+    for (std::size_t i = 0; i < kv_dim_; ++i) out[i] = static_cast<float>(codes[i]) * scale;
+  }
+  return scratch.first(count * kv_dim_);
+}
+
 void KVCache::truncate(std::size_t b, std::size_t new_len) {
   ORINSIM_CHECK(b < batch_, "KVCache::truncate out of range");
   ORINSIM_CHECK(new_len <= lengths_[b], "KVCache::truncate cannot extend");
   lengths_[b] = new_len;
+  staged_[b] = 0;
 }
 
 void KVCache::reset() {
   std::fill(lengths_.begin(), lengths_.end(), 0);
+  std::fill(staged_.begin(), staged_.end(), 0);
 }
 
 std::size_t KVCache::bytes() const noexcept {

@@ -11,6 +11,7 @@
 // same way the paper's incremental-memory metric counts KV growth.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -37,9 +38,16 @@ class KVCache {
   std::size_t append(std::size_t layer, std::size_t b, std::span<const float> k,
                      std::span<const float> v);
 
-  // Advance the per-sequence length by one after all layers appended.
-  // (append() writes at the *current* length; commit() bumps it.)
-  void commit(std::size_t b);
+  // Stages `count` consecutive positions of K/V for sequence b in layer l:
+  // k and v are row-major [count, kv_dim] and land at positions
+  // seq_len(b) .. seq_len(b)+count-1. Chunked prefill appends a whole chunk
+  // per layer, then commits once. Returns the first position written.
+  std::size_t append_many(std::size_t layer, std::size_t b, std::span<const float> k,
+                          std::span<const float> v, std::size_t count);
+
+  // Advance the per-sequence length by `count` after all layers appended.
+  // (append()/append_many() write at the *current* length; commit() bumps it.)
+  void commit(std::size_t b, std::size_t count = 1);
 
   // Roll sequence b back to new_len tokens (speculative-decoding rejection:
   // discard the KV entries of unaccepted draft tokens).
@@ -58,6 +66,17 @@ class KVCache {
                              std::span<float> scratch) const;
   std::span<const float> value(std::size_t layer, std::size_t b, std::size_t pos,
                                std::span<float> scratch) const;
+
+  // All K/V rows for positions [0, count) of sequence b in layer l as one
+  // row-major [count, kv_dim] block. FP32 storage returns a direct span
+  // (positions are contiguous per sequence); INT8 dequantizes every row into
+  // `scratch` (>= count * kv_dim floats) with the exact per-element math of
+  // key()/value(). Hoists the per-(head, position) dequantization out of the
+  // attention inner loop — under GQA the old path repeated it group times.
+  std::span<const float> key_rows(std::size_t layer, std::size_t b, std::size_t count,
+                                  std::span<float> scratch) const;
+  std::span<const float> value_rows(std::size_t layer, std::size_t b, std::size_t count,
+                                    std::span<float> scratch) const;
 
   KVStorage storage() const noexcept { return storage_; }
 
@@ -95,7 +114,14 @@ class KVCache {
   std::vector<std::vector<float>> key_scales_;    // [layer][batch * max_seq]
   std::vector<std::vector<float>> value_scales_;  // [layer][batch * max_seq]
 
-  std::vector<std::size_t> lengths_;  // per sequence
+  // Highest readable position for sequence b: committed length plus any
+  // entries staged by append()/append_many() but not yet committed.
+  std::size_t staged_end(std::size_t b) const {
+    return lengths_[b] + std::max<std::size_t>(staged_[b], 1) - 1;
+  }
+
+  std::vector<std::size_t> lengths_;  // per sequence, committed
+  std::vector<std::size_t> staged_;   // per sequence, appended-not-committed
 };
 
 }  // namespace orinsim

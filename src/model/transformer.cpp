@@ -87,7 +87,9 @@ Model::Model(std::shared_ptr<const MasterWeights> master, DType dtype,
     : master_(std::move(master)),
       dtype_(dtype),
       kv_storage_(kv_storage),
-      default_ws_(checked_master(master_).config) {
+      rope_(checked_master(master_).config.max_seq, master_->config.head_dim(),
+            master_->config.rope_theta),
+      default_ws_(master_->config) {
   const TransformerConfig& c = master_->config;
   const std::size_t d = c.d_model;
   const std::size_t kv = c.kv_dim();
@@ -140,34 +142,94 @@ void Model::attention(std::size_t layer, std::size_t b, KVCache& cache,
   const TransformerConfig& c = master_->config;
   const std::size_t head_dim = c.head_dim();
   const std::size_t group = c.n_heads / c.n_kv_heads;
+  const std::size_t kv_dim = c.kv_dim();
 
   // Fused QKV: INT8 weights quantize the shared activation once.
   quant::matvec_qkv(layers_[layer].wq, layers_[layer].wk, layers_[layer].wv, normed,
                     ws.q, ws.k, ws.v, ws.act8);
 
   const std::size_t pos = cache.seq_len(b);
-  kernels::rope_inplace(ws.q, c.n_heads, head_dim, pos, c.rope_theta);
-  kernels::rope_inplace(ws.k, c.n_kv_heads, head_dim, pos, c.rope_theta);
+  rope_.apply(ws.q, c.n_heads, head_dim, pos);
+  rope_.apply(ws.k, c.n_kv_heads, head_dim, pos);
   cache.append(layer, b, ws.k, ws.v);
+
+  // Dequantize the whole K/V prefix once (positions 0..pos, the staged entry
+  // included). The former per-(head, position) key()/value() reads repeated
+  // the full-row dequantization n_heads times under quantized storage; FP32
+  // storage returns a zero-copy view either way.
+  const auto keys = cache.key_rows(layer, b, pos + 1, ws.kv_rows_k);
+  const auto values = cache.value_rows(layer, b, pos + 1, ws.kv_rows_v);
 
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim));
   std::fill(out.begin(), out.end(), 0.0f);
   for (std::size_t h = 0; h < c.n_heads; ++h) {
     const std::size_t g = h / group;
     const std::span<const float> qh(ws.q.data() + h * head_dim, head_dim);
-    // Scores over positions 0..pos (inclusive: staged entry readable).
     for (std::size_t p = 0; p <= pos; ++p) {
-      const auto key = cache.key(layer, b, p, ws.kv_key);
       ws.scores[p] =
-          kernels::dot(qh, key.subspan(g * head_dim, head_dim)) * inv_sqrt_d;
+          kernels::dot(qh, keys.subspan(p * kv_dim + g * head_dim, head_dim)) * inv_sqrt_d;
     }
     kernels::softmax_rows(std::span<float>(ws.scores.data(), pos + 1), 1, pos + 1);
     float* oh = out.data() + h * head_dim;
     for (std::size_t p = 0; p <= pos; ++p) {
-      const auto val = cache.value(layer, b, p, ws.kv_value);
-      const float* vp = val.data() + g * head_dim;
+      const float* vp = values.data() + p * kv_dim + g * head_dim;
       const float s = ws.scores[p];
       for (std::size_t i = 0; i < head_dim; ++i) oh[i] += s * vp[i];
+    }
+  }
+}
+
+void Model::attention_chunk(std::size_t layer, std::size_t b, KVCache& cache,
+                            std::span<const float> normed, std::span<float> out,
+                            std::size_t tokens, InferenceWorkspace& ws) {
+  const TransformerConfig& c = master_->config;
+  const std::size_t head_dim = c.head_dim();
+  const std::size_t group = c.n_heads / c.n_kv_heads;
+  const std::size_t kv_dim = c.kv_dim();
+  const std::size_t d = c.d_model;
+
+  // Fused chunk QKV: INT8 weights quantize the whole chunk's activations once.
+  quant::matmul_qkv(layers_[layer].wq, layers_[layer].wk, layers_[layer].wv, normed,
+                    std::span<float>(ws.cq.data(), tokens * d),
+                    std::span<float>(ws.ck.data(), tokens * kv_dim),
+                    std::span<float>(ws.cv.data(), tokens * kv_dim), tokens, ws.act8_chunk);
+
+  const std::size_t first = cache.seq_len(b);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    rope_.apply(std::span<float>(ws.cq.data() + t * d, d), c.n_heads, head_dim, first + t);
+    rope_.apply(std::span<float>(ws.ck.data() + t * kv_dim, kv_dim), c.n_kv_heads, head_dim,
+                first + t);
+  }
+  // Stage the chunk's K/V rows; forward_chunk commits once after all layers.
+  cache.append_many(layer, b, std::span<const float>(ws.ck.data(), tokens * kv_dim),
+                    std::span<const float>(ws.cv.data(), tokens * kv_dim), tokens);
+
+  const std::size_t total = first + tokens;
+  const auto keys = cache.key_rows(layer, b, total, ws.kv_rows_k);
+  const auto values = cache.value_rows(layer, b, total, ws.kv_rows_v);
+
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t h = 0; h < c.n_heads; ++h) {
+    const std::size_t g = h / group;
+    // Causal scores matrix for this head: chunk row t attends to positions
+    // 0..first+t. Rows are ragged, so the softmax runs per row over exactly
+    // the valid prefix — the same op sequence as the one-token path.
+    for (std::size_t t = 0; t < tokens; ++t) {
+      const std::size_t n_pos = first + t + 1;
+      const std::span<const float> qh(ws.cq.data() + t * d + h * head_dim, head_dim);
+      float* srow = ws.cscores.data() + t * c.max_seq;
+      for (std::size_t p = 0; p < n_pos; ++p) {
+        srow[p] =
+            kernels::dot(qh, keys.subspan(p * kv_dim + g * head_dim, head_dim)) * inv_sqrt_d;
+      }
+      kernels::softmax_rows(std::span<float>(srow, n_pos), 1, n_pos);
+      float* oh = out.data() + t * d + h * head_dim;
+      for (std::size_t p = 0; p < n_pos; ++p) {
+        const float* vp = values.data() + p * kv_dim + g * head_dim;
+        const float s = srow[p];
+        for (std::size_t i = 0; i < head_dim; ++i) oh[i] += s * vp[i];
+      }
     }
   }
 }
@@ -185,6 +247,28 @@ void Model::mlp_gelu(std::size_t layer, std::span<const float> normed, std::span
   layers_[layer].w_gate.matvec(normed, ws.ff);  // fc1
   kernels::gelu_inplace(std::span<float>(ws.ff));
   layers_[layer].w_down.matvec(ws.ff, out);  // fc2
+}
+
+void Model::mlp_swiglu_chunk(std::size_t layer, std::span<const float> normed,
+                             std::span<float> out, std::size_t tokens,
+                             InferenceWorkspace& ws) {
+  const std::size_t ff = master_->config.d_ff;
+  const std::span<float> gate(ws.cgate.data(), tokens * ff);
+  const std::span<float> up(ws.cup.data(), tokens * ff);
+  const std::span<float> act(ws.cff.data(), tokens * ff);
+  layers_[layer].w_gate.matmul(normed, gate, tokens);
+  layers_[layer].w_up.matmul(normed, up, tokens);
+  kernels::swiglu(gate, up, act);
+  layers_[layer].w_down.matmul(act, out, tokens);
+}
+
+void Model::mlp_gelu_chunk(std::size_t layer, std::span<const float> normed,
+                           std::span<float> out, std::size_t tokens, InferenceWorkspace& ws) {
+  const std::size_t ff = master_->config.d_ff;
+  const std::span<float> act(ws.cff.data(), tokens * ff);
+  layers_[layer].w_gate.matmul(normed, act, tokens);  // fc1
+  kernels::gelu_inplace(act);
+  layers_[layer].w_down.matmul(act, out, tokens);  // fc2
 }
 
 void Model::forward_token(TokenId token, std::size_t b, KVCache& cache,
@@ -228,6 +312,63 @@ void Model::forward_token(TokenId token, std::size_t b, KVCache& cache,
   }
 }
 
+void Model::forward_chunk(std::span<const TokenId> tokens, std::size_t b, KVCache& cache,
+                          std::span<float> hidden_rows, InferenceWorkspace& ws) {
+  const TransformerConfig& c = master_->config;
+  const std::size_t d = c.d_model;
+  const std::size_t n = tokens.size();
+  ORINSIM_CHECK(n > 0, "forward_chunk: empty chunk");
+  ORINSIM_CHECK(hidden_rows.empty() || hidden_rows.size() == d || hidden_rows.size() == n * d,
+                "forward_chunk: hidden_rows must be empty, [d_model], or [tokens, d_model]");
+  ws.ensure_chunk(c, n);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    ORINSIM_CHECK(tokens[t] < c.vocab, "token id out of vocab range");
+    const float* emb = master_->embedding.data() + static_cast<std::size_t>(tokens[t]) * d;
+    std::copy(emb, emb + d, ws.cx.begin() + static_cast<std::ptrdiff_t>(t * d));
+  }
+
+  const std::span<float> cx(ws.cx.data(), n * d);
+  const std::span<float> cnormed(ws.cnormed.data(), n * d);
+  const std::span<float> cattn(ws.cattn.data(), n * d);
+  const std::span<float> cattn_proj(ws.cattn_proj.data(), n * d);
+  const std::span<float> cmlp_out(ws.cmlp_out.data(), n * d);
+
+  for (std::size_t l = 0; l < c.n_layers; ++l) {
+    const LayerMaster& lm = master_->layers[l];
+    if (c.style == BlockStyle::kPreNormSwiGLU) {
+      kernels::rmsnorm_rows(cx, lm.norm_gain, cnormed, n, d);
+      attention_chunk(l, b, cache, cnormed, cattn, n, ws);
+      layers_[l].wo.matmul(cattn, cattn_proj, n);
+      kernels::add_inplace(cx, cattn_proj);
+
+      kernels::rmsnorm_rows(cx, lm.norm2_gain, cnormed, n, d);
+      mlp_swiglu_chunk(l, cnormed, cmlp_out, n, ws);
+      kernels::add_inplace(cx, cmlp_out);
+    } else {
+      // Phi-2 parallel block: one LayerNorm feeds both attention and MLP.
+      kernels::layernorm_rows(cx, lm.norm_gain, lm.norm_bias, cnormed, n, d);
+      attention_chunk(l, b, cache, cnormed, cattn, n, ws);
+      layers_[l].wo.matmul(cattn, cattn_proj, n);
+      mlp_gelu_chunk(l, cnormed, cmlp_out, n, ws);
+      kernels::add_inplace(cx, cattn_proj);
+      kernels::add_inplace(cx, cmlp_out);
+    }
+  }
+  cache.commit(b, n);
+
+  if (hidden_rows.empty()) return;
+  const std::size_t out_rows = hidden_rows.size() / d;
+  const std::size_t first_row = n - out_rows;  // 0 (all rows) or n-1 (last only)
+  const std::span<const float> x_rows(ws.cx.data() + first_row * d, out_rows * d);
+  if (c.style == BlockStyle::kPreNormSwiGLU) {
+    kernels::rmsnorm_rows(x_rows, master_->final_norm_gain, hidden_rows, out_rows, d);
+  } else {
+    kernels::layernorm_rows(x_rows, master_->final_norm_gain, master_->final_norm_bias,
+                            hidden_rows, out_rows, d);
+  }
+}
+
 void Model::logits_from_hidden(std::span<const float> hidden, std::span<float> logits) const {
   const TransformerConfig& c = master_->config;
   ORINSIM_CHECK(hidden.size() == c.d_model && logits.size() == c.vocab,
@@ -238,8 +379,19 @@ void Model::logits_from_hidden(std::span<const float> hidden, std::span<float> l
 void Model::prefill(std::span<const TokenId> prompt, std::size_t b, KVCache& cache,
                     std::span<float> last_hidden, InferenceWorkspace& ws) {
   ORINSIM_CHECK(!prompt.empty(), "prefill: empty prompt");
-  for (std::size_t i = 0; i < prompt.size(); ++i) {
-    forward_token(prompt[i], b, cache, ws.hidden, ws);
+  if (prefill_chunk_ >= 2) {
+    // Chunked multi-token prefill: the prompt flows through the batched layer
+    // ops in prefill_chunk_-token chunks (plus a remainder chunk). Each chunk
+    // leaves its last position's hidden state in ws.hidden, so after the loop
+    // ws.hidden holds the prompt's final hidden exactly like the token path.
+    for (std::size_t start = 0; start < prompt.size(); start += prefill_chunk_) {
+      const std::size_t n = std::min(prefill_chunk_, prompt.size() - start);
+      forward_chunk(prompt.subspan(start, n), b, cache, ws.hidden, ws);
+    }
+  } else {
+    for (std::size_t i = 0; i < prompt.size(); ++i) {
+      forward_token(prompt[i], b, cache, ws.hidden, ws);
+    }
   }
   if (!last_hidden.empty()) {
     ORINSIM_CHECK(last_hidden.size() == ws.hidden.size(), "last_hidden size mismatch");
@@ -307,7 +459,9 @@ Model::GenerateResult Model::generate(const std::vector<std::vector<TokenId>>& p
   if (options.timeline != nullptr) {
     options.timeline->emit(trace::Phase::kPrefill, watch.elapsed_s(), lanes,
                            static_cast<double>(result.input_tokens) /
-                               static_cast<double>(lanes));
+                               static_cast<double>(lanes),
+                           trace::kPowerUnset, {},
+                           prefill_chunk_ >= 2 ? prefill_chunk_ : 0);
   }
   std::vector<char> lane_active(lanes, 0);
   for (std::size_t step = 0; step < max_new_tokens; ++step) {
@@ -356,19 +510,40 @@ Model::NllResult Model::sequence_nll(std::span<const TokenId> tokens,
   ORINSIM_CHECK(tokens.size() <= c.max_seq, "sequence exceeds model max_seq");
 
   KVCache cache(c, 1, tokens.size(), kv_storage_);
-  std::vector<float> hidden(c.d_model);
   std::vector<float> logits(c.vocab);
 
   NllResult result;
-  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
-    forward_token(tokens[i], 0, cache, hidden);
+  // Scores the prediction of tokens[i+1] from the hidden state after feeding
+  // tokens[i]. Accumulation stays in ascending i regardless of chunking.
+  auto score = [&](std::span<const float> hidden, std::size_t i) {
     const std::size_t target_index = i + 1;
-    if (target_index < predict_from) continue;
+    if (target_index < predict_from) return;
     logits_from_hidden(hidden, logits);
     const double lse = kernels::logsumexp(logits);
     const double log_p = static_cast<double>(logits[tokens[target_index]]) - lse;
     result.total_nll -= log_p;
     ++result.predicted;
+  };
+
+  const std::size_t n_fwd = tokens.size() - 1;  // feed tokens[0..n_fwd)
+  if (prefill_chunk_ >= 2) {
+    const std::size_t d = c.d_model;
+    std::vector<float> hidden_rows(std::min(prefill_chunk_, n_fwd) * d);
+    for (std::size_t start = 0; start < n_fwd; start += prefill_chunk_) {
+      const std::size_t n = std::min(prefill_chunk_, n_fwd - start);
+      hidden_rows.resize(n * d);
+      forward_chunk(tokens.subspan(start, n), 0, cache,
+                    std::span<float>(hidden_rows.data(), n * d), default_ws_);
+      for (std::size_t t = 0; t < n; ++t) {
+        score(std::span<const float>(hidden_rows.data() + t * d, d), start + t);
+      }
+    }
+  } else {
+    std::vector<float> hidden(c.d_model);
+    for (std::size_t i = 0; i < n_fwd; ++i) {
+      forward_token(tokens[i], 0, cache, hidden);
+      score(hidden, i);
+    }
   }
   return result;
 }

@@ -26,6 +26,7 @@
 #include "model/sampler.h"
 #include "model/workspace.h"
 #include "quant/weight_matrix.h"
+#include "tensor/kernels.h"
 #include "tokenizer/tokenizer.h"
 #include "trace/timeline.h"
 
@@ -88,8 +89,30 @@ class Model {
   // logits [vocab] from a final hidden state. Re-entrant (reads weights only).
   void logits_from_hidden(std::span<const float> hidden, std::span<float> logits) const;
 
+  // Process `tokens` consecutive prompt tokens for sequence b as one batched
+  // pass: every layer op runs over the whole [tokens, features] chunk (GEMM
+  // projections, multi-row norms/activations, causal-masked batched
+  // attention, one append_many + commit per layer chunk). Under
+  // ORINSIM_KERNELS=scalar the result is bit-identical to feeding the tokens
+  // through forward_token one at a time.
+  //
+  // hidden_rows receives the final-norm hidden states: pass an empty span to
+  // discard, a [d_model] span for the last position only, or a
+  // [tokens, d_model] span for every position (perplexity scoring).
+  void forward_chunk(std::span<const TokenId> tokens, std::size_t b, KVCache& cache,
+                     std::span<float> hidden_rows, InferenceWorkspace& ws);
+
+  // Default number of prompt tokens per chunked-prefill pass.
+  static constexpr std::size_t kDefaultPrefillChunk = 32;
+
+  // Chunk size used by prefill()/generate()/sequence_nll(); 0 or 1 selects
+  // the token-at-a-time path.
+  std::size_t prefill_chunk() const noexcept { return prefill_chunk_; }
+  void set_prefill_chunk(std::size_t chunk) noexcept { prefill_chunk_ = chunk; }
+
   // Feed a whole prompt for sequence b; hidden of the last position lands in
-  // last_hidden (pass empty span to discard).
+  // last_hidden (pass empty span to discard). Processes the prompt in
+  // prefill_chunk()-token chunks (plus a remainder chunk).
   void prefill(std::span<const TokenId> prompt, std::size_t b, KVCache& cache,
                std::span<float> last_hidden, InferenceWorkspace& ws);
   void prefill(std::span<const TokenId> prompt, std::size_t b, KVCache& cache,
@@ -153,10 +176,23 @@ class Model {
   void mlp_gelu(std::size_t layer, std::span<const float> normed, std::span<float> out,
                 InferenceWorkspace& ws);
 
+  // Chunked counterparts: `normed` is [tokens, d_model] row-major.
+  void attention_chunk(std::size_t layer, std::size_t b, KVCache& cache,
+                       std::span<const float> normed, std::span<float> out,
+                       std::size_t tokens, InferenceWorkspace& ws);
+  void mlp_swiglu_chunk(std::size_t layer, std::span<const float> normed,
+                        std::span<float> out, std::size_t tokens, InferenceWorkspace& ws);
+  void mlp_gelu_chunk(std::size_t layer, std::span<const float> normed, std::span<float> out,
+                      std::size_t tokens, InferenceWorkspace& ws);
+
   std::shared_ptr<const MasterWeights> master_;
   DType dtype_;
   KVStorage kv_storage_ = KVStorage::kF32;
   std::vector<LayerQuant> layers_;
+
+  // Precomputed RoPE cos/sin for every (position, pair) of this config.
+  kernels::RopeTable rope_;
+  std::size_t prefill_chunk_ = kDefaultPrefillChunk;
 
   // Scratch for the convenience overloads (one serial caller at a time).
   InferenceWorkspace default_ws_;

@@ -30,7 +30,29 @@ struct InferenceWorkspace {
         scores(c.max_seq),
         kv_key(c.kv_dim()),
         kv_value(c.kv_dim()),
+        kv_rows_k(c.max_seq * c.kv_dim()),
+        kv_rows_v(c.max_seq * c.kv_dim()),
         hidden(c.d_model) {}
+
+  // Grow the chunked-prefill buffers to hold `chunk` tokens (no-op once
+  // sized; vectors never shrink, so alternating chunk sizes stay
+  // allocation-free after the first pass).
+  void ensure_chunk(const TransformerConfig& c, std::size_t chunk) {
+    if (chunk <= chunk_capacity) return;
+    cx.resize(chunk * c.d_model);
+    cnormed.resize(chunk * c.d_model);
+    cq.resize(chunk * c.d_model);
+    ck.resize(chunk * c.kv_dim());
+    cv.resize(chunk * c.kv_dim());
+    cattn.resize(chunk * c.d_model);
+    cattn_proj.resize(chunk * c.d_model);
+    cgate.resize(chunk * c.d_ff);
+    cup.resize(chunk * c.d_ff);
+    cff.resize(chunk * c.d_ff);
+    cmlp_out.resize(chunk * c.d_model);
+    cscores.resize(chunk * c.max_seq);
+    chunk_capacity = chunk;
+  }
 
   // One-token block scratch (residual stream, projections, MLP, attention
   // scores), sized once so the hot loop never allocates.
@@ -38,10 +60,23 @@ struct InferenceWorkspace {
   // Caller-side scratch for quantized KVCache::key()/value() reads: each
   // reader dequantizes into its own buffer (no shared cache-side state).
   std::vector<float> kv_key, kv_value;
+  // Whole-prefix dequantization scratch for KVCache::key_rows()/value_rows():
+  // attention dequantizes the full K/V prefix once per layer instead of once
+  // per (head, position).
+  std::vector<float> kv_rows_k, kv_rows_v;
   // Final hidden state of the lane currently being advanced.
   std::vector<float> hidden;
   // Reused INT8 activation codes for the fused QKV projection.
   quant::ActivationInt8 act8;
+
+  // Chunked-prefill scratch: row-major [chunk, features] views of the same
+  // quantities as the one-token buffers above, sized by ensure_chunk().
+  std::vector<float> cx, cnormed, cq, ck, cv, cattn, cattn_proj, cgate, cup, cff, cmlp_out;
+  // Per-head causal score rows for one chunk: [chunk, max_seq].
+  std::vector<float> cscores;
+  // Reused INT8 activation codes for the fused chunk QKV projection.
+  quant::ActivationBatchInt8 act8_chunk;
+  std::size_t chunk_capacity = 0;
 };
 
 }  // namespace orinsim

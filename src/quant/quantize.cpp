@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.h"
+#include "tensor/simd.h"
 
 namespace orinsim::quant {
 
@@ -94,10 +95,7 @@ void matvec_int8(const RowwiseInt8& q, std::span<const float> x,
   for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
     const auto r = static_cast<std::size_t>(rs);
     const std::int8_t* codes = q.codes.data() + r * q.cols;
-    std::int64_t acc = 0;
-    for (std::size_t c = 0; c < q.cols; ++c) {
-      acc += static_cast<std::int32_t>(codes[c]) * static_cast<std::int32_t>(xq[c]);
-    }
+    const std::int64_t acc = simd::dot_i8(codes, xq, q.cols);
     float result = static_cast<float>(acc) * q.row_scale[r] * x_scale;
     // Outlier part in full precision with the *original* activations.
     for (std::size_t o = 0; o < n_out; ++o) {
@@ -115,37 +113,90 @@ void matvec_int8(const RowwiseInt8& q, std::span<const float> x, std::span<float
   matvec_int8(q, x, act, out);
 }
 
+void quantize_activations_int8(std::span<const float> x, std::size_t tokens,
+                               std::size_t cols, ActivationBatchInt8& acts) {
+  ORINSIM_CHECK(x.size() == tokens * cols, "activation batch quantize: shape mismatch");
+  acts.tokens = tokens;
+  acts.cols = cols;
+  acts.codes.resize(tokens * cols);
+  acts.scales.resize(tokens);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    const float* xt = x.data() + t * cols;
+    float x_absmax = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) x_absmax = std::max(x_absmax, std::fabs(xt[c]));
+    const float scale = x_absmax > 0.0f ? x_absmax / 127.0f : 1.0f;
+    acts.scales[t] = scale;
+    std::int8_t* codes = acts.codes.data() + t * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const int v = static_cast<int>(std::lround(xt[c] / scale));
+      codes[c] = static_cast<std::int8_t>(std::clamp(v, -127, 127));
+    }
+  }
+}
+
+void matmul_int8(const RowwiseInt8& q, std::span<const float> x,
+                 const ActivationBatchInt8& acts, std::span<float> y, std::size_t tokens) {
+  ORINSIM_CHECK(x.size() == tokens * q.cols && y.size() == tokens * q.rows,
+                "int8 matmul: shape mismatch");
+  ORINSIM_CHECK(acts.tokens == tokens && acts.cols == q.cols,
+                "int8 matmul: activation batch shape mismatch");
+
+  const std::size_t n_out = q.outlier_cols.size();
+  // Pack the outlier-column activations once per chunk: the per-(row, token)
+  // fp16 correction then walks two contiguous arrays instead of gathering
+  // columns and converting fp16 weights inside the hot loop. (With the
+  // heavy-tailed init most columns of a large matrix carry at least one
+  // outlier element, so this loop rivals the int8 dots in work.) The
+  // accumulation order per (row, token) is unchanged, so results stay
+  // bit-identical to matvec_int8.
+  std::vector<float> x_out(tokens * n_out);
+  for (std::size_t t = 0; t < tokens && n_out > 0; ++t) {
+    const float* xt = x.data() + t * q.cols;
+    float* dst = x_out.data() + t * n_out;
+    for (std::size_t o = 0; o < n_out; ++o) dst[o] = xt[q.outlier_cols[o]];
+  }
+#pragma omp parallel if (q.rows >= 256)
+  {
+    std::vector<float> w_out(n_out);
+#pragma omp for
+    for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
+      const auto r = static_cast<std::size_t>(rs);
+      const std::int8_t* codes = q.codes.data() + r * q.cols;
+      // Convert this row's fp16 outlier weights once for all tokens.
+      for (std::size_t o = 0; o < n_out; ++o) {
+        w_out[o] = fp16_to_float(q.outlier_values[r * n_out + o]);
+      }
+      // One pass over the weight row serves all tokens (the row stays hot in
+      // cache instead of being re-streamed per token).
+      for (std::size_t t = 0; t < tokens; ++t) {
+        const std::int8_t* xq = acts.codes.data() + t * q.cols;
+        const std::int64_t acc = simd::dot_i8(codes, xq, q.cols);
+        float result = static_cast<float>(acc) * q.row_scale[r] * acts.scales[t];
+        const float* xo = x_out.data() + t * n_out;
+        if (simd::active_level() == simd::Level::kNative) {
+          // Native may reassociate (determinism contract: tolerance, not
+          // bits); the packed arrays make the correction one SIMD dot.
+          result += simd::dot_f32(w_out.data(), xo, n_out);
+        } else {
+          // Scalar keeps the exact matvec_int8 accumulation order.
+          for (std::size_t o = 0; o < n_out; ++o) {
+            result += w_out[o] * xo[o];
+          }
+        }
+        y[t * q.rows + r] = result;
+      }
+    }
+  }
+}
+
 void matmul_int8(const RowwiseInt8& q, std::span<const float> x, std::span<float> y,
                  std::size_t tokens) {
   ORINSIM_CHECK(x.size() == tokens * q.cols && y.size() == tokens * q.rows,
                 "int8 matmul: shape mismatch");
   // Quantize every token's activation once up front.
-  std::vector<ActivationInt8> acts(tokens);
-  for (std::size_t t = 0; t < tokens; ++t) {
-    quantize_activation_int8(std::span<const float>(x.data() + t * q.cols, q.cols), acts[t]);
-  }
-
-  const std::size_t n_out = q.outlier_cols.size();
-#pragma omp parallel for if (q.rows >= 256)
-  for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
-    const auto r = static_cast<std::size_t>(rs);
-    const std::int8_t* codes = q.codes.data() + r * q.cols;
-    // One pass over the weight row serves all tokens (the row stays hot in
-    // cache instead of being re-streamed per token).
-    for (std::size_t t = 0; t < tokens; ++t) {
-      const std::int8_t* xq = acts[t].codes.data();
-      std::int64_t acc = 0;
-      for (std::size_t c = 0; c < q.cols; ++c) {
-        acc += static_cast<std::int32_t>(codes[c]) * static_cast<std::int32_t>(xq[c]);
-      }
-      float result = static_cast<float>(acc) * q.row_scale[r] * acts[t].scale;
-      const float* xt = x.data() + t * q.cols;
-      for (std::size_t o = 0; o < n_out; ++o) {
-        result += fp16_to_float(q.outlier_values[r * n_out + o]) * xt[q.outlier_cols[o]];
-      }
-      y[t * q.rows + r] = result;
-    }
-  }
+  ActivationBatchInt8 acts;
+  quantize_activations_int8(x, tokens, q.cols, acts);
+  matmul_int8(q, x, acts, y, tokens);
 }
 
 std::size_t BlockInt4::storage_bytes() const noexcept {

@@ -67,6 +67,23 @@ void quantize_activation_int8(std::span<const float> x, ActivationInt8& act);
 void matvec_int8(const RowwiseInt8& q, std::span<const float> x,
                  const ActivationInt8& act, std::span<float> out);
 
+// A chunk of dynamically-quantized activations: [tokens, cols] codes with one
+// absmax scale per token. Reused across the QKV/O/MLP projections of a
+// prefill chunk so each chunk is quantized once per consuming matrix shape
+// instead of once per (matrix, token).
+struct ActivationBatchInt8 {
+  std::vector<std::int8_t> codes;  // [tokens, cols]
+  std::vector<float> scales;       // [tokens]
+  std::size_t tokens = 0;
+  std::size_t cols = 0;
+};
+
+// Encodes x ([tokens, cols] row-major) into acts. Each row is quantized with
+// the exact math of quantize_activation_int8, so per-token codes/scales are
+// bit-identical to `tokens` independent single-vector quantizations.
+void quantize_activations_int8(std::span<const float> x, std::size_t tokens,
+                               std::size_t cols, ActivationBatchInt8& acts);
+
 // Blocked multi-token variants: X is [tokens, cols] row-major, Y is
 // [tokens, rows]. Each token's activation is quantized once, and every
 // weight row is streamed through the cache a single time for all tokens
@@ -75,6 +92,12 @@ void matvec_int8(const RowwiseInt8& q, std::span<const float> x,
 // are bit-identical to the corresponding matvec.
 void matmul_int8(const RowwiseInt8& q, std::span<const float> x, std::span<float> y,
                  std::size_t tokens);
+
+// Same, against a pre-quantized activation chunk (`x` must be the FP32 block
+// acts was built from; outlier columns read it directly). The variant above
+// quantizes into a scratch batch and forwards here.
+void matmul_int8(const RowwiseInt8& q, std::span<const float> x,
+                 const ActivationBatchInt8& acts, std::span<float> y, std::size_t tokens);
 
 // Block-wise INT4. Each block of kInt4Block consecutive weights (within a
 // row) shares one FP16 absmax scale; codes are signed 4-bit in [-8, 7].

@@ -1,8 +1,10 @@
 #include "quant/weight_matrix.h"
 
 #include <cmath>
+#include <vector>
 
 #include "core/error.h"
+#include "tensor/simd.h"
 
 namespace orinsim::quant {
 
@@ -51,9 +53,7 @@ void WeightMatrix::matvec(std::span<const float> x, std::span<float> out) const 
       for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(out_features_); ++rs) {
         const auto r = static_cast<std::size_t>(rs);
         const float* wr = f32_.data() + r * in_features_;
-        float acc = 0.0f;
-        for (std::size_t c = 0; c < in_features_; ++c) acc += wr[c] * x[c];
-        out[r] = acc;
+        out[r] = simd::dot_f32(wr, x.data(), in_features_);
       }
       break;
     }
@@ -77,25 +77,53 @@ void WeightMatrix::matvec(std::span<const float> x, std::span<float> out) const 
   }
 }
 
+void WeightMatrix::matvec(std::span<const float> x, std::span<float> out,
+                          ActivationInt8& act_scratch) const {
+  if (dtype_ == DType::kI8) {
+    ORINSIM_CHECK(x.size() == in_features_ && out.size() == out_features_,
+                  "WeightMatrix::matvec shape mismatch");
+    quantize_activation_int8(x, act_scratch);
+    matvec_int8(i8_, x, act_scratch, out);
+    return;
+  }
+  matvec(x, out);
+}
+
 void WeightMatrix::matmul(std::span<const float> x, std::span<float> y,
                           std::size_t tokens) const {
   ORINSIM_CHECK(x.size() == tokens * in_features_ && y.size() == tokens * out_features_,
                 "WeightMatrix::matmul shape mismatch");
-  if (dtype_ == DType::kI8) {
-    matmul_int8(i8_, x, y, tokens);
-    return;
-  }
-  if (dtype_ == DType::kI4) {
-    matmul_int4(i4_, x, y, tokens);
-    return;
-  }
-#pragma omp parallel for if (tokens >= 4)
-  for (std::ptrdiff_t ts = 0; ts < static_cast<std::ptrdiff_t>(tokens); ++ts) {
-    const auto t = static_cast<std::size_t>(ts);
-    // Per-token matvec; the inner matvec's own omp-for is inactive inside
-    // this parallel region (no nested parallelism), so no oversubscription.
-    matvec(std::span<const float>(x.data() + t * in_features_, in_features_),
-           std::span<float>(y.data() + t * out_features_, out_features_));
+  switch (dtype_) {
+    case DType::kI8:
+      matmul_int8(i8_, x, y, tokens);
+      return;
+    case DType::kI4:
+      matmul_int4(i4_, x, y, tokens);
+      return;
+    case DType::kF32:
+      // One weight-row pass serves every token in the chunk (compute-bound
+      // under the SIMD microkernel instead of re-streaming W per token).
+      simd::gemm_nt_f32(x.data(), f32_.data(), y.data(), tokens, in_features_, out_features_);
+      return;
+    case DType::kF16: {
+      // Dequantize each weight row once, then dot it against every token.
+      // The per-(token, row) float sequence matches the fp16 matvec exactly.
+#pragma omp parallel if (out_features_ >= 64)
+      {
+        std::vector<float> row(in_features_);
+#pragma omp for
+        for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(out_features_); ++rs) {
+          const auto r = static_cast<std::size_t>(rs);
+          const fp16_t* wr = f16_.data() + r * in_features_;
+          for (std::size_t c = 0; c < in_features_; ++c) row[c] = fp16_to_float(wr[c]);
+          for (std::size_t t = 0; t < tokens; ++t) {
+            y[t * out_features_ + r] = simd::dot_f32(x.data() + t * in_features_,
+                                                     row.data(), in_features_);
+          }
+        }
+      }
+      return;
+    }
   }
 }
 
@@ -157,6 +185,28 @@ void matvec_qkv(const WeightMatrix& wq, const WeightMatrix& wk, const WeightMatr
   wq.matvec(x, q);
   wk.matvec(x, k);
   wv.matvec(x, v);
+}
+
+void matmul_qkv(const WeightMatrix& wq, const WeightMatrix& wk, const WeightMatrix& wv,
+                std::span<const float> x, std::span<float> q, std::span<float> k,
+                std::span<float> v, std::size_t tokens, ActivationBatchInt8& act_scratch) {
+  if (wq.dtype_ == DType::kI8 && wk.dtype_ == DType::kI8 && wv.dtype_ == DType::kI8) {
+    ORINSIM_CHECK(x.size() == tokens * wq.in_features_ && wk.in_features_ == wq.in_features_ &&
+                      wv.in_features_ == wq.in_features_,
+                  "matmul_qkv: input shape mismatch");
+    ORINSIM_CHECK(q.size() == tokens * wq.out_features_ &&
+                      k.size() == tokens * wk.out_features_ &&
+                      v.size() == tokens * wv.out_features_,
+                  "matmul_qkv: output shape mismatch");
+    quantize_activations_int8(x, tokens, wq.in_features_, act_scratch);
+    matmul_int8(wq.i8_, x, act_scratch, q, tokens);
+    matmul_int8(wk.i8_, x, act_scratch, k, tokens);
+    matmul_int8(wv.i8_, x, act_scratch, v, tokens);
+    return;
+  }
+  wq.matmul(x, q, tokens);
+  wk.matmul(x, k, tokens);
+  wv.matmul(x, v, tokens);
 }
 
 }  // namespace orinsim::quant

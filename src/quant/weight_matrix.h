@@ -33,6 +33,12 @@ class WeightMatrix {
   // out[r] = sum_c W[r,c] * x[c]; dispatches on storage precision.
   void matvec(std::span<const float> x, std::span<float> out) const;
 
+  // As above, but INT8 quantizes the activation into caller-owned scratch
+  // instead of allocating per call (the decode hot path passes the workspace
+  // buffer). Other precisions ignore the scratch.
+  void matvec(std::span<const float> x, std::span<float> out,
+              ActivationInt8& act_scratch) const;
+
   // Y[t, :] = W * X[t, :] for t in [0, tokens); X is [tokens, in], Y is
   // [tokens, out]. INT8/INT4 use the blocked multi-token kernels (each
   // weight row streamed once for all tokens, activations quantized once per
@@ -53,6 +59,10 @@ class WeightMatrix {
                          const WeightMatrix& wv, std::span<const float> x,
                          std::span<float> q, std::span<float> k, std::span<float> v,
                          ActivationInt8& act_scratch);
+  friend void matmul_qkv(const WeightMatrix& wq, const WeightMatrix& wk,
+                         const WeightMatrix& wv, std::span<const float> x,
+                         std::span<float> q, std::span<float> k, std::span<float> v,
+                         std::size_t tokens, ActivationBatchInt8& act_scratch);
 
   std::size_t out_features_ = 0;
   std::size_t in_features_ = 0;
@@ -73,5 +83,14 @@ class WeightMatrix {
 void matvec_qkv(const WeightMatrix& wq, const WeightMatrix& wk, const WeightMatrix& wv,
                 std::span<const float> x, std::span<float> q, std::span<float> k,
                 std::span<float> v, ActivationInt8& act_scratch);
+
+// Chunked counterpart of matvec_qkv: X is [tokens, in], Q/K/V are
+// [tokens, out_q/k/v]. When all three matrices are INT8 the chunk is
+// quantized ONCE into act_scratch and reused; per-token results are
+// bit-identical to three independent matmul calls. Other precisions fall
+// through to matmul.
+void matmul_qkv(const WeightMatrix& wq, const WeightMatrix& wk, const WeightMatrix& wv,
+                std::span<const float> x, std::span<float> q, std::span<float> k,
+                std::span<float> v, std::size_t tokens, ActivationBatchInt8& act_scratch);
 
 }  // namespace orinsim::quant

@@ -52,12 +52,15 @@ BatchResult SimSession::run(const BatchRequest& request,
 
 FunctionalSession::FunctionalSession(std::shared_ptr<const MasterWeights> master,
                                      DType dtype, const workload::PromptPool& pool,
-                                     std::uint64_t seed, std::size_t decode_workers)
+                                     std::uint64_t seed, std::size_t decode_workers,
+                                     std::size_t prefill_chunk)
     : model_(std::move(master), dtype),
       pool_(pool),
       rng_(seed),
       decode_pool_(decode_workers > 0 ? std::make_unique<ThreadPool>(decode_workers)
-                                      : nullptr) {}
+                                      : nullptr) {
+  model_.set_prefill_chunk(prefill_chunk);
+}
 
 BatchResult FunctionalSession::run(const BatchRequest& request,
                                    trace::ExecutionTimeline* timeline) {

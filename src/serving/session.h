@@ -91,10 +91,14 @@ class FunctionalSession : public InferenceBackend {
   // a session-owned ThreadPool of that many threads and decodes batch lanes
   // in parallel; 0 keeps the single-threaded decode loop. Outputs are
   // bit-identical either way (the engine serializes sampling in lane order),
-  // only the measured wall-clock changes.
+  // only the measured wall-clock changes. prefill_chunk sets the batched
+  // prompt-ingestion chunk size (0/1: token-at-a-time; see
+  // Model::set_prefill_chunk — chunked output is bit-identical under the
+  // scalar kernel level).
   FunctionalSession(std::shared_ptr<const MasterWeights> master, DType dtype,
                     const workload::PromptPool& pool, std::uint64_t seed = 11,
-                    std::size_t decode_workers = 0);
+                    std::size_t decode_workers = 0,
+                    std::size_t prefill_chunk = Model::kDefaultPrefillChunk);
 
   // Runs one real batched generation and measures wall-clock metrics. A
   // non-null `timeline` receives measured StepEvents (power unset).

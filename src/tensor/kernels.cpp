@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.h"
+#include "tensor/simd.h"
 
 namespace orinsim::kernels {
 
@@ -127,11 +128,47 @@ void rope_inplace(std::span<float> qk, std::size_t heads, std::size_t head_dim,
   }
 }
 
+RopeTable::RopeTable(std::size_t max_seq, std::size_t head_dim, float theta_base)
+    : max_seq_(max_seq), head_dim_(head_dim) {
+  ORINSIM_CHECK(head_dim % 2 == 0, "rope: head_dim must be even");
+  const std::size_t half = head_dim / 2;
+  cos_.resize(max_seq * half);
+  sin_.resize(max_seq * half);
+  for (std::size_t pos = 0; pos < max_seq; ++pos) {
+    for (std::size_t i = 0; i < head_dim; i += 2) {
+      // Identical expressions to rope_inplace so table lookups are bit-exact.
+      const float freq =
+          std::pow(theta_base, -static_cast<float>(i) / static_cast<float>(head_dim));
+      const float angle = static_cast<float>(pos) * freq;
+      cos_[pos * half + i / 2] = std::cos(angle);
+      sin_[pos * half + i / 2] = std::sin(angle);
+    }
+  }
+}
+
+void RopeTable::apply(std::span<float> qk, std::size_t heads, std::size_t head_dim,
+                      std::size_t pos) const {
+  ORINSIM_CHECK(qk.size() == heads * head_dim, "rope: shape mismatch");
+  ORINSIM_CHECK(head_dim == head_dim_ && pos < max_seq_, "rope table: out of range");
+  const std::size_t half = head_dim / 2;
+  const float* cs_row = cos_.data() + pos * half;
+  const float* sn_row = sin_.data() + pos * half;
+  for (std::size_t h = 0; h < heads; ++h) {
+    float* v = qk.data() + h * head_dim;
+    for (std::size_t i = 0; i < head_dim; i += 2) {
+      const float cs = cs_row[i / 2];
+      const float sn = sn_row[i / 2];
+      const float x0 = v[i];
+      const float x1 = v[i + 1];
+      v[i] = x0 * cs - x1 * sn;
+      v[i + 1] = x0 * sn + x1 * cs;
+    }
+  }
+}
+
 float dot(std::span<const float> a, std::span<const float> b) {
   ORINSIM_DCHECK(a.size() == b.size(), "dot: size mismatch");
-  float acc = 0.0f;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::dot_f32(a.data(), b.data(), a.size());
 }
 
 void matvec(std::span<const float> a, std::span<const float> x, std::span<float> out,
@@ -141,9 +178,7 @@ void matvec(std::span<const float> a, std::span<const float> x, std::span<float>
 #pragma omp parallel for if (rows >= 64)
   for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
     const float* ar = a.data() + static_cast<std::size_t>(r) * cols;
-    float acc = 0.0f;
-    for (std::size_t c = 0; c < cols; ++c) acc += ar[c] * x[c];
-    out[static_cast<std::size_t>(r)] = acc;
+    out[static_cast<std::size_t>(r)] = simd::dot_f32(ar, x.data(), cols);
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 namespace orinsim::kernels {
 
@@ -49,6 +50,29 @@ void swiglu(std::span<const float> gate, std::span<const float> up, std::span<fl
 // (2i, 2i+1) with theta-base frequencies (Llama convention).
 void rope_inplace(std::span<float> qk, std::size_t heads, std::size_t head_dim,
                   std::size_t pos, float theta_base = 10000.0f);
+
+// Precomputed RoPE cos/sin tables for one (max_seq, head_dim, theta_base)
+// triple. Entries are computed with the exact float expressions of
+// rope_inplace, so apply() is bit-identical to it while skipping the
+// per-token-per-pair pow/cos/sin.
+class RopeTable {
+ public:
+  RopeTable() = default;
+  RopeTable(std::size_t max_seq, std::size_t head_dim, float theta_base);
+
+  // Rotate a [heads, head_dim] block for one token at absolute position pos.
+  void apply(std::span<float> qk, std::size_t heads, std::size_t head_dim,
+             std::size_t pos) const;
+
+  std::size_t max_seq() const { return max_seq_; }
+
+ private:
+  std::size_t max_seq_ = 0;
+  std::size_t head_dim_ = 0;
+  // [max_seq, head_dim/2] each.
+  std::vector<float> cos_;
+  std::vector<float> sin_;
+};
 
 // Dot product (fp32 accumulate).
 float dot(std::span<const float> a, std::span<const float> b);

@@ -1,0 +1,223 @@
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/error.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define ORINSIM_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define ORINSIM_SIMD_X86 0
+#endif
+
+namespace orinsim::simd {
+
+namespace {
+
+bool cpu_has_avx2_fma() {
+#if ORINSIM_SIMD_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Level resolve_from_env() {
+  const char* env = std::getenv("ORINSIM_KERNELS");
+  const std::string v = env == nullptr ? "" : env;
+  if (v == "scalar") return Level::kScalar;
+  if (v == "native") {
+    ORINSIM_CHECK(cpu_has_avx2_fma(), "ORINSIM_KERNELS=native but CPU lacks AVX2/FMA");
+    return Level::kNative;
+  }
+  ORINSIM_CHECK(v.empty(), "ORINSIM_KERNELS must be 'scalar', 'native', or unset");
+  return cpu_has_avx2_fma() ? Level::kNative : Level::kScalar;
+}
+
+std::atomic<Level>& level_storage() {
+  static std::atomic<Level> level{resolve_from_env()};
+  return level;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These loops ARE the determinism contract: they
+// match the accumulation order of the original kernels::dot / matvec code.
+
+float dot_f32_scalar(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+std::int64_t dot_i8_scalar(const std::int8_t* a, const std::int8_t* b, std::size_t n) {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<std::int64_t>(a[i]) * static_cast<std::int64_t>(b[i]);
+  }
+  return acc;
+}
+
+#if ORINSIM_SIMD_X86
+// ---------------------------------------------------------------------------
+// AVX2/FMA kernels. Per-function target attributes keep the rest of the
+// binary free of AVX instructions, so auto-dispatch is safe on older CPUs.
+
+__attribute__((target("avx2,fma"))) float dot_f32_avx2(const float* a, const float* b,
+                                                       std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+  }
+  acc0 = _mm256_add_ps(acc0, acc1);
+  __m128 lo = _mm256_castps256_ps128(acc0);
+  __m128 hi = _mm256_extractf128_ps(acc0, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 0x55));
+  float acc = _mm_cvtss_f32(lo);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// u8×s8 trick: maddubs requires one unsigned operand, so move the sign of a
+// onto b (abs(a) * sign(b, a) == a * b element-wise). Pair sums fit i16:
+// 2 * 127 * 127 = 32258 < 32767. i32 lanes are flushed to i64 every
+// kFlushIters iterations; each madd lane is <= 2 * 32258 = 64516, so the i32
+// bound 2^31 / 64516 ~= 33k iterations is never approached.
+__attribute__((target("avx2"))) std::int64_t dot_i8_avx2(const std::int8_t* a,
+                                                         const std::int8_t* b, std::size_t n) {
+  constexpr std::size_t kFlushIters = 16384;
+  const __m256i ones = _mm256_set1_epi16(1);
+  std::int64_t total = 0;
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  std::size_t iters_since_flush = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i abs_a = _mm256_abs_epi8(va);
+    const __m256i sgn_b = _mm256_sign_epi8(vb, va);
+    const __m256i pairs = _mm256_maddubs_epi16(abs_a, sgn_b);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones));
+    if (++iters_since_flush == kFlushIters) {
+      alignas(32) std::int32_t lanes[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+      for (std::int32_t lane : lanes) total += lane;
+      acc = _mm256_setzero_si256();
+      iters_since_flush = 0;
+    }
+  }
+  alignas(32) std::int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  for (std::int32_t lane : lanes) total += lane;
+  for (; i < n; ++i) {
+    total += static_cast<std::int64_t>(a[i]) * static_cast<std::int64_t>(b[i]);
+  }
+  return total;
+}
+
+// One pass over a weight row serves 8 tokens: 8 ymm accumulators + 1 weight
+// load per 8 input columns turns the memory-bound matvec sweep into a
+// compute-bound block. Tail tokens fall back to the single-vector dot.
+__attribute__((target("avx2,fma"))) void gemm_nt_row_avx2(const float* x, const float* w_row,
+                                                          float* y, std::size_t tokens,
+                                                          std::size_t k, std::size_t rows,
+                                                          std::size_t r) {
+  std::size_t t0 = 0;
+  for (; t0 + 8 <= tokens; t0 += 8) {
+    __m256 acc[8];
+    for (auto& v : acc) v = _mm256_setzero_ps();
+    std::size_t c = 0;
+    for (; c + 8 <= k; c += 8) {
+      const __m256 wv = _mm256_loadu_ps(w_row + c);
+      for (std::size_t t = 0; t < 8; ++t) {
+        acc[t] = _mm256_fmadd_ps(_mm256_loadu_ps(x + (t0 + t) * k + c), wv, acc[t]);
+      }
+    }
+    for (std::size_t t = 0; t < 8; ++t) {
+      __m128 lo = _mm256_castps256_ps128(acc[t]);
+      __m128 hi = _mm256_extractf128_ps(acc[t], 1);
+      lo = _mm_add_ps(lo, hi);
+      lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+      lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 0x55));
+      float sum = _mm_cvtss_f32(lo);
+      const float* xt = x + (t0 + t) * k;
+      for (std::size_t cc = c; cc < k; ++cc) sum += xt[cc] * w_row[cc];
+      y[(t0 + t) * rows + r] = sum;
+    }
+  }
+  for (; t0 < tokens; ++t0) {
+    y[t0 * rows + r] = dot_f32_avx2(x + t0 * k, w_row, k);
+  }
+}
+#endif  // ORINSIM_SIMD_X86
+
+}  // namespace
+
+Level active_level() { return level_storage().load(std::memory_order_relaxed); }
+
+bool native_available() { return cpu_has_avx2_fma(); }
+
+void set_level(Level level) {
+  if (level == Level::kNative) {
+    ORINSIM_CHECK(cpu_has_avx2_fma(), "set_level(kNative): CPU lacks AVX2/FMA");
+  }
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kNative: return "native";
+  }
+  return "?";
+}
+
+float dot_f32(const float* a, const float* b, std::size_t n) {
+#if ORINSIM_SIMD_X86
+  if (active_level() == Level::kNative) return dot_f32_avx2(a, b, n);
+#endif
+  return dot_f32_scalar(a, b, n);
+}
+
+std::int64_t dot_i8(const std::int8_t* a, const std::int8_t* b, std::size_t n) {
+#if ORINSIM_SIMD_X86
+  if (active_level() == Level::kNative) return dot_i8_avx2(a, b, n);
+#endif
+  return dot_i8_scalar(a, b, n);
+}
+
+void gemm_nt_f32(const float* x, const float* w, float* y, std::size_t tokens, std::size_t k,
+                 std::size_t rows) {
+#if ORINSIM_SIMD_X86
+  if (active_level() == Level::kNative) {
+#pragma omp parallel for if (rows >= 64)
+    for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+      gemm_nt_row_avx2(x, w + static_cast<std::size_t>(r) * k, y, tokens, k, rows,
+                       static_cast<std::size_t>(r));
+    }
+    return;
+  }
+#endif
+  // Scalar: each output entry is the exact dot_f32_scalar float sequence, so
+  // chunked projections match token-at-a-time matvecs bit-for-bit.
+#pragma omp parallel for if (rows >= 64)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+    const float* wr = w + static_cast<std::size_t>(r) * k;
+    for (std::size_t t = 0; t < tokens; ++t) {
+      y[t * rows + static_cast<std::size_t>(r)] = dot_f32_scalar(x + t * k, wr, k);
+    }
+  }
+}
+
+}  // namespace orinsim::simd

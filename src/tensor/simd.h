@@ -1,0 +1,57 @@
+// Runtime-dispatched SIMD kernels.
+//
+// Every kernel here has two implementations: a scalar reference (the exact
+// accumulation order the engine has always used — bit-for-bit reproducible on
+// any host) and, on x86-64, an AVX2/FMA variant compiled with per-function
+// target attributes so the translation unit builds without global -march
+// flags. The active implementation is chosen once, at first use:
+//
+//   ORINSIM_KERNELS=scalar   force the scalar reference
+//   ORINSIM_KERNELS=native   force SIMD (fails fast if the CPU lacks AVX2)
+//   unset / empty            auto: native when the CPU supports AVX2+FMA
+//
+// Determinism contract: `scalar` is the bit-exact reference; `native` is
+// numerically equivalent within FMA/reassociation tolerance for fp32 kernels
+// and bit-exact for integer kernels (dot_i8 does the same exact integer math
+// in a different order).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace orinsim::simd {
+
+enum class Level {
+  kScalar,  // portable reference, bit-exact accumulation order
+  kNative,  // AVX2/FMA
+};
+
+// Currently active level (env-resolved on first call, set_level thereafter).
+Level active_level();
+
+// True when this CPU can run the kNative kernels (AVX2 + FMA).
+bool native_available();
+
+// Override the active level at runtime (benches/tests toggle both paths in
+// one process). Setting kNative on a CPU without AVX2 is a fatal error.
+void set_level(Level level);
+
+const char* level_name(Level level);
+
+// Dot product, fp32 accumulate. Scalar: acc += a[i]*b[i] in index order.
+float dot_f32(const float* a, const float* b, std::size_t n);
+
+// Dot product over int8 codes, exact i64 result (both levels bit-identical).
+// Domain: codes in [-127, 127] — the absmax quantizers' clamp range. -128 is
+// outside the contract (the AVX2 sign trick would wrap on abs(-128)).
+std::int64_t dot_i8(const std::int8_t* a, const std::int8_t* b, std::size_t n);
+
+// y[t, r] = dot(x[t, :], w[r, :]).  x: [tokens, k] row-major activations,
+// w: [rows, k] row-major weights (the WeightMatrix layout — "nt" because w is
+// used transposed), y: [tokens, rows]. Under kScalar each (t, r) entry is the
+// same float sequence as dot_f32, so a chunked projection is bit-identical to
+// `tokens` independent matvecs.
+void gemm_nt_f32(const float* x, const float* w, float* y, std::size_t tokens,
+                 std::size_t k, std::size_t rows);
+
+}  // namespace orinsim::simd

@@ -22,6 +22,9 @@ void event_fields(std::ostringstream& out, const StepEvent& e) {
   out << "\"phase\":\"" << phase_name(e.phase) << "\",\"t_start_s\":" << num(e.t_start_s)
       << ",\"duration_s\":" << num(e.duration_s) << ",\"batch\":" << e.batch
       << ",\"ctx\":" << num(e.ctx);
+  // Conditional so traces without chunked prefill (simulator, seed traces)
+  // serialize byte-identically to before the field existed.
+  if (e.chunk != 0) out << ",\"chunk\":" << e.chunk;
   if (e.has_power()) {
     out << ",\"power_w\":" << num(e.power_w);
   } else {

@@ -65,6 +65,7 @@ struct StepEvent {
   Phase phase = Phase::kDecode;
   std::size_t batch = 0;        // sequences active during the event
   double ctx = 0.0;             // context position (decode) / prompt tokens (prefill)
+  std::size_t chunk = 0;        // prefill chunk size (0: token-at-a-time or n/a)
   StepBreakdown breakdown;      // zero unless the emitter models step cost
   double power_w = kPowerUnset;
 

@@ -37,7 +37,7 @@ LatencySummary LatencySummary::from(std::span<const double> latencies_s) {
 
 std::size_t ExecutionTimeline::emit(Phase phase, double duration_s, std::size_t batch,
                                     double ctx, double power_w,
-                                    const StepBreakdown& breakdown) {
+                                    const StepBreakdown& breakdown, std::size_t chunk) {
   ORINSIM_CHECK(duration_s >= 0.0, "timeline: negative event duration");
   StepEvent e;
   e.t_start_s = now_;
@@ -45,6 +45,7 @@ std::size_t ExecutionTimeline::emit(Phase phase, double duration_s, std::size_t 
   e.phase = phase;
   e.batch = batch;
   e.ctx = ctx;
+  e.chunk = chunk;
   e.power_w = power_w;
   e.breakdown = breakdown;
   now_ += duration_s;
@@ -64,7 +65,7 @@ void ExecutionTimeline::stall_until(double t) {
 std::size_t ExecutionTimeline::append_at(double t_start_s, Phase phase,
                                          double duration_s, std::size_t batch,
                                          double ctx, double power_w,
-                                         const StepBreakdown& breakdown) {
+                                         const StepBreakdown& breakdown, std::size_t chunk) {
   ORINSIM_CHECK(duration_s >= 0.0, "timeline: negative event duration");
   ORINSIM_CHECK(t_start_s >= 0.0, "timeline: negative event start");
   StepEvent e;
@@ -73,6 +74,7 @@ std::size_t ExecutionTimeline::append_at(double t_start_s, Phase phase,
   e.phase = phase;
   e.batch = batch;
   e.ctx = ctx;
+  e.chunk = chunk;
   e.power_w = power_w;
   e.breakdown = breakdown;
   events_.push_back(e);

@@ -49,8 +49,11 @@ class ExecutionTimeline {
   // --- emission ---------------------------------------------------------
 
   // Appends at the sequential cursor and advances it. Returns the event id.
+  // `chunk` annotates prefill events with the chunk size of the batched
+  // prompt pass (0 = token-at-a-time / not applicable).
   std::size_t emit(Phase phase, double duration_s, std::size_t batch, double ctx = 0.0,
-                   double power_w = kPowerUnset, const StepBreakdown& breakdown = {});
+                   double power_w = kPowerUnset, const StepBreakdown& breakdown = {},
+                   std::size_t chunk = 0);
 
   // Emits a kStall (batch 0, no power) covering [now, t) if t > now.
   void stall_until(double t);
@@ -60,7 +63,7 @@ class ExecutionTimeline {
   std::size_t append_at(double t_start_s, Phase phase, double duration_s,
                         std::size_t batch, double ctx = 0.0,
                         double power_w = kPowerUnset,
-                        const StepBreakdown& breakdown = {});
+                        const StepBreakdown& breakdown = {}, std::size_t chunk = 0);
 
   // Sequential cursor: end of the last emit()/stall_until() event.
   double now() const noexcept { return now_; }

@@ -113,5 +113,122 @@ TEST(KVCacheTest, MaxSeqBeyondModelRejected) {
   EXPECT_THROW(KVCache(cfg, 1, cfg.max_seq + 1), ContractViolation);
 }
 
+// Row-major [count, kv_dim] block with distinct per-element values.
+std::vector<float> ramp_rows(std::size_t count, std::size_t kv, float base) {
+  std::vector<float> rows(count * kv);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = base + 0.25f * static_cast<float>(i);
+  }
+  return rows;
+}
+
+TEST(KVCacheTest, AppendManyMatchesSequentialAppends) {
+  const auto cfg = tiny_config();
+  const std::size_t kv = cfg.kv_dim();
+  const std::size_t count = 3;
+  const auto ks = ramp_rows(count, kv, 1.0f);
+  const auto vs = ramp_rows(count, kv, -2.0f);
+
+  for (KVStorage storage : {KVStorage::kF32, KVStorage::kI8}) {
+    KVCache bulk(cfg, 1, 8, storage);
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+      EXPECT_EQ(bulk.append_many(l, 0, ks, vs, count), 0u);
+    }
+    bulk.commit(0, count);
+
+    KVCache seq(cfg, 1, 8, storage);
+    for (std::size_t p = 0; p < count; ++p) {
+      for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+        seq.append(l, 0, std::span<const float>(ks.data() + p * kv, kv),
+                   std::span<const float>(vs.data() + p * kv, kv));
+      }
+      seq.commit(0);
+    }
+
+    EXPECT_EQ(bulk.seq_len(0), count);
+    EXPECT_EQ(seq.seq_len(0), count);
+    std::vector<float> s1(kv), s2(kv);
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+      for (std::size_t p = 0; p < count; ++p) {
+        const auto k1 = bulk.key(l, 0, p, s1);
+        const auto k2 = seq.key(l, 0, p, s2);
+        for (std::size_t i = 0; i < kv; ++i) EXPECT_EQ(k1[i], k2[i]);
+        const auto v1 = bulk.value(l, 0, p, s1);
+        const auto v2 = seq.value(l, 0, p, s2);
+        for (std::size_t i = 0; i < kv; ++i) EXPECT_EQ(v1[i], v2[i]);
+      }
+    }
+  }
+}
+
+TEST(KVCacheTest, StagedBlockReadableBeforeCommit) {
+  // Chunked attention reads the whole staged block before the commit.
+  const auto cfg = tiny_config();
+  const std::size_t kv = cfg.kv_dim();
+  KVCache cache(cfg, 1, 8);
+  const auto ks = ramp_rows(3, kv, 5.0f);
+  const auto vs = ramp_rows(3, kv, 7.0f);
+  cache.append_many(0, 0, ks, vs, 3);
+  EXPECT_EQ(cache.seq_len(0), 0u);
+  std::vector<float> scratch(kv);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(cache.key(0, 0, p, scratch)[0], ks[p * kv]);
+  }
+  // Positions beyond the staged block remain out of range.
+  EXPECT_THROW(cache.key(0, 0, 3, scratch), ContractViolation);
+}
+
+TEST(KVCacheTest, CommitManyOverflowRejected) {
+  const auto cfg = tiny_config();
+  KVCache cache(cfg, 1, 4);
+  const std::size_t kv = cfg.kv_dim();
+  const auto ks = ramp_rows(3, kv, 0.0f);
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append_many(l, 0, ks, ks, 3);
+  cache.commit(0, 3);
+  EXPECT_THROW(cache.commit(0, 2), ContractViolation);  // 3 + 2 > 4
+}
+
+TEST(KVCacheTest, AppendManyBeyondCapacityRejected) {
+  const auto cfg = tiny_config();
+  KVCache cache(cfg, 1, 2);
+  const std::size_t kv = cfg.kv_dim();
+  const auto rows = ramp_rows(3, kv, 0.0f);
+  EXPECT_THROW(cache.append_many(0, 0, rows, rows, 3), ContractViolation);
+}
+
+TEST(KVCacheTest, KeyRowsValueRowsMatchPerPositionReads) {
+  const auto cfg = tiny_config();
+  const std::size_t kv = cfg.kv_dim();
+  const std::size_t count = 4;
+  const auto ks = ramp_rows(count, kv, 2.0f);
+  const auto vs = ramp_rows(count, kv, -3.0f);
+
+  for (KVStorage storage : {KVStorage::kF32, KVStorage::kI8}) {
+    KVCache cache(cfg, 1, 8, storage);
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+      cache.append_many(l, 0, ks, vs, count);
+    }
+    cache.commit(0, count);
+
+    std::vector<float> block(count * kv), scratch(kv);
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) {
+      const auto krows = cache.key_rows(l, 0, count, block);
+      for (std::size_t p = 0; p < count; ++p) {
+        const auto kref = cache.key(l, 0, p, scratch);
+        for (std::size_t i = 0; i < kv; ++i) {
+          EXPECT_EQ(krows[p * kv + i], kref[i]) << "l=" << l << " p=" << p;
+        }
+      }
+      const auto vrows = cache.value_rows(l, 0, count, block);
+      for (std::size_t p = 0; p < count; ++p) {
+        const auto vref = cache.value(l, 0, p, scratch);
+        for (std::size_t i = 0; i < kv; ++i) {
+          EXPECT_EQ(vrows[p * kv + i], vref[i]) << "l=" << l << " p=" << p;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace orinsim

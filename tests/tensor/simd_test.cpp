@@ -1,0 +1,196 @@
+// Scalar-vs-native parity for every runtime-dispatched SIMD kernel.
+//
+// The determinism contract (DESIGN.md "Kernel dispatch & chunked prefill"):
+// the scalar level is the bit-exact reference; the native level must agree
+// within FMA-reassociation tolerance on fp32 kernels and bit-exactly on
+// integer kernels.
+#include "tensor/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/kernels.h"
+
+namespace orinsim {
+namespace {
+
+// Restores the dispatch level on scope exit so test order never leaks state.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(simd::Level level) : prev_(simd::active_level()) {
+    simd::set_level(level);
+  }
+  ~ScopedLevel() { simd::set_level(prev_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  simd::Level prev_;
+};
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.0, 1.0));
+  return v;
+}
+
+std::vector<std::int8_t> random_codes(std::size_t n, Rng& rng) {
+  std::vector<std::int8_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<std::int8_t>(static_cast<int>(rng.uniform() * 255.0) - 127);
+  }
+  return v;
+}
+
+TEST(SimdTest, LevelNamesAndAvailability) {
+  EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::kNative), "native");
+  // Whatever the environment resolved to must be runnable.
+  if (simd::active_level() == simd::Level::kNative) {
+    EXPECT_TRUE(simd::native_available());
+  }
+}
+
+TEST(SimdTest, SetLevelRoundTrips) {
+  const simd::Level original = simd::active_level();
+  {
+    ScopedLevel scalar(simd::Level::kScalar);
+    EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  }
+  EXPECT_EQ(simd::active_level(), original);
+}
+
+TEST(SimdTest, DotF32ScalarIsIndexOrderReference) {
+  ScopedLevel scalar(simd::Level::kScalar);
+  // Exact reference: acc += a[i] * b[i] in index order.
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> b = {0.5f, -1.0f, 2.0f, 0.25f};
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  EXPECT_EQ(simd::dot_f32(a.data(), b.data(), a.size()), acc);
+}
+
+TEST(SimdTest, DotF32NativeMatchesScalarWithinTolerance) {
+  if (!simd::native_available()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  Rng rng(7);
+  // Cover vector-body, dual-accumulator, and tail lengths.
+  for (std::size_t n : {1u, 7u, 8u, 15u, 16u, 33u, 100u, 512u, 1000u}) {
+    const auto a = random_vec(n, rng);
+    const auto b = random_vec(n, rng);
+    float ref = 0.0f, native = 0.0f;
+    {
+      ScopedLevel scalar(simd::Level::kScalar);
+      ref = simd::dot_f32(a.data(), b.data(), n);
+    }
+    {
+      ScopedLevel nat(simd::Level::kNative);
+      native = simd::dot_f32(a.data(), b.data(), n);
+    }
+    // FMA reorders the accumulation; allow relative error vs the magnitude.
+    const float tol = 1e-4f * (std::fabs(ref) + static_cast<float>(n));
+    EXPECT_NEAR(native, ref, tol) << "n=" << n;
+  }
+}
+
+TEST(SimdTest, DotI8NativeIsBitExact) {
+  if (!simd::native_available()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  Rng rng(11);
+  // Integer math must agree exactly at every length. Codes stay in the
+  // kernel's documented [-127, 127] domain (every quantizer in the repo
+  // clamps to ±127): the AVX2 sign trick wraps on -128.
+  for (std::size_t n : {1u, 31u, 32u, 33u, 64u, 127u, 1024u, 4096u}) {
+    auto a = random_codes(n, rng);
+    auto b = random_codes(n, rng);
+    a[0] = -127;
+    b[n - 1] = -127;
+    std::int64_t ref = 0, native = 0;
+    {
+      ScopedLevel scalar(simd::Level::kScalar);
+      ref = simd::dot_i8(a.data(), b.data(), n);
+    }
+    {
+      ScopedLevel nat(simd::Level::kNative);
+      native = simd::dot_i8(a.data(), b.data(), n);
+    }
+    EXPECT_EQ(native, ref) << "n=" << n;
+  }
+}
+
+TEST(SimdTest, GemmNtScalarMatchesPerTokenMatvecBitwise) {
+  ScopedLevel scalar(simd::Level::kScalar);
+  Rng rng(13);
+  const std::size_t tokens = 9, k = 37, rows = 12;
+  const auto x = random_vec(tokens * k, rng);
+  const auto w = random_vec(rows * k, rng);
+  std::vector<float> y(tokens * rows);
+  simd::gemm_nt_f32(x.data(), w.data(), y.data(), tokens, k, rows);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    std::vector<float> out(rows);
+    kernels::matvec(std::span<const float>(w.data(), rows * k),
+                    std::span<const float>(x.data() + t * k, k), out, rows, k);
+    for (std::size_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(y[t * rows + r], out[r]) << "t=" << t << " r=" << r;
+    }
+  }
+}
+
+TEST(SimdTest, GemmNtNativeMatchesScalarWithinTolerance) {
+  if (!simd::native_available()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  Rng rng(17);
+  // Token counts straddling the 8-token microkernel block and k tails.
+  for (std::size_t tokens : {1u, 3u, 8u, 9u, 16u, 17u}) {
+    const std::size_t k = 67, rows = 19;
+    const auto x = random_vec(tokens * k, rng);
+    const auto w = random_vec(rows * k, rng);
+    std::vector<float> ref(tokens * rows), native(tokens * rows);
+    {
+      ScopedLevel scalar(simd::Level::kScalar);
+      simd::gemm_nt_f32(x.data(), w.data(), ref.data(), tokens, k, rows);
+    }
+    {
+      ScopedLevel nat(simd::Level::kNative);
+      simd::gemm_nt_f32(x.data(), w.data(), native.data(), tokens, k, rows);
+    }
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const float tol = 1e-4f * (std::fabs(ref[i]) + static_cast<float>(k));
+      EXPECT_NEAR(native[i], ref[i], tol) << "tokens=" << tokens << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdTest, KernelsDotRoutesThroughDispatch) {
+  // kernels::dot must agree with simd::dot_f32 at the active level.
+  Rng rng(19);
+  const auto a = random_vec(73, rng);
+  const auto b = random_vec(73, rng);
+  EXPECT_EQ(kernels::dot(a, b), simd::dot_f32(a.data(), b.data(), a.size()));
+}
+
+TEST(RopeTableTest, BitExactAgainstRopeInplace) {
+  // Table entries are computed with the exact expressions of rope_inplace,
+  // so applying the table must be bit-identical at every position.
+  const std::size_t heads = 3, head_dim = 8, max_seq = 40;
+  for (float theta : {10000.0f, 500000.0f}) {
+    kernels::RopeTable table(max_seq, head_dim, theta);
+    Rng rng(23);
+    for (std::size_t pos : {0u, 1u, 7u, 39u}) {
+      std::vector<float> a(heads * head_dim), b(heads * head_dim);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = static_cast<float>(rng.normal(0.0, 1.0));
+        b[i] = a[i];
+      }
+      kernels::rope_inplace(a, heads, head_dim, pos, theta);
+      table.apply(b, heads, head_dim, pos);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << "theta=" << theta << " pos=" << pos << " i=" << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace orinsim
