@@ -34,8 +34,8 @@ int main(int argc, char** argv) {
     for (std::size_t max_batch : {std::size_t{8}, std::size_t{32}}) {
       SchedulerConfig sc;
       sc.max_batch = max_batch;
-      sc.arrival_rate_rps = rps;
-      sc.total_requests = requests;
+      sc.arrivals.rate_rps = rps;
+      sc.arrivals.total_requests = requests;
       const ScheduleResult r = simulate_serving(session, sc);
       table.new_row()
           .add_number(rps, 1)
@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
     // Continuous batching at the same concurrency cap.
     ContinuousConfig cc;
     cc.model_key = model;
-    cc.arrival_rate_rps = rps;
-    cc.total_requests = requests;
+    cc.arrivals.rate_rps = rps;
+    cc.arrivals.total_requests = requests;
     cc.max_concurrency = 32;
     const ContinuousResult r = simulate_continuous(cc);
     table.new_row()

@@ -1,32 +1,67 @@
 // Batched key-value cache for autoregressive decoding.
 //
-// Layout: per layer, K and V are [batch, max_seq, kv_dim] buffers. Storage
-// is either FP32 (exact) or INT8 (per-vector absmax quantization: each
-// appended K/V vector carries one scale). INT8 halves the cache footprint —
-// the extension study's KV-quantization axis — at a measurable accuracy
-// cost that the perplexity benches quantify.
+// Storage: per layer, K and V rows of kv_dim floats. Values are either FP32
+// (exact) or INT8 (per-vector absmax quantization: each appended K/V vector
+// carries one scale). INT8 halves the cache footprint — the extension
+// study's KV-quantization axis — at a measurable accuracy cost that the
+// perplexity benches quantify.
+//
+// Layout: rows are addressed through one of two mappings.
+//  - kDense reserves max_seq contiguous rows per sequence up front (the
+//    original layout; row = b * max_seq + pos).
+//  - kPaged (default) maps positions onto fixed-size blocks of
+//    block_tokens rows handed out by a ref-counted BlockAllocator. A block
+//    spans every layer's K and V for its positions, so one table per
+//    sequence drives all layers. Sequences grow block-by-block, forked
+//    sequences share their common prefix copy-on-write, and a bounded pool
+//    (max_blocks) lets a serving engine oversubscribe lanes and preempt on
+//    exhaustion instead of reserving worst-case memory per lane.
+// Values are copied bit-exactly in either mapping, so paged and dense
+// caches produce bit-identical attention outputs (pinned by tests).
 //
 // The cache tracks a per-sequence length so ragged batches (prompts of
-// different lengths) decode correctly. bytes() reports the allocation the
-// same way the paper's incremental-memory metric counts KV growth.
+// different lengths) decode correctly. bytes() reports actual allocation:
+// blocks in use times block bytes under paging, the full reservation under
+// the dense layout (the paper's incremental-memory metric counts KV growth
+// the same way).
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "model/block_allocator.h"
 #include "model/config.h"
 
 namespace orinsim {
 
 enum class KVStorage { kF32, kI8 };
+enum class KVLayout { kDense, kPaged };
+
+// Default block granularity: 16 tokens balances internal fragmentation
+// (last block half-empty on average) against table-walk overhead, matching
+// the block sizes vLLM ships on small models.
+inline constexpr std::size_t kDefaultKVBlockTokens = 16;
+
+struct KVCacheOptions {
+  KVStorage storage = KVStorage::kF32;
+  KVLayout layout = KVLayout::kPaged;
+  std::size_t block_tokens = kDefaultKVBlockTokens;
+  // Pool size in blocks. 0 = enough for `batch` sequences of max_seq tokens,
+  // so existing call sites keep their dense capacity guarantee and never see
+  // exhaustion; a serving engine passes a smaller pool to oversubscribe.
+  std::size_t max_blocks = 0;
+};
 
 class KVCache {
  public:
   KVCache(const TransformerConfig& config, std::size_t batch, std::size_t max_seq,
           KVStorage storage = KVStorage::kF32);
+  KVCache(const TransformerConfig& config, std::size_t batch, std::size_t max_seq,
+          const KVCacheOptions& options);
 
   std::size_t batch() const noexcept { return batch_; }
   std::size_t max_seq() const noexcept { return max_seq_; }
@@ -34,7 +69,9 @@ class KVCache {
   std::size_t seq_len(std::size_t b) const { return lengths_.at(b); }
 
   // Appends one position worth of K/V for sequence b in layer l; returns the
-  // position it was stored at.
+  // position it was stored at. Paged layout allocates the backing block on
+  // demand and throws ContractViolation when the pool is exhausted — callers
+  // that must not throw reserve ahead with try_reserve().
   std::size_t append(std::size_t layer, std::size_t b, std::span<const float> k,
                      std::span<const float> v);
 
@@ -50,8 +87,24 @@ class KVCache {
   void commit(std::size_t b, std::size_t count = 1);
 
   // Roll sequence b back to new_len tokens (speculative-decoding rejection:
-  // discard the KV entries of unaccepted draft tokens).
+  // discard the KV entries of unaccepted draft tokens). Paged layout returns
+  // the now-unused blocks to the pool.
   void truncate(std::size_t b, std::size_t new_len);
+
+  // Release every block of sequence b and zero its length (a retired or
+  // preempted request hands its memory back to the pool).
+  void free_sequence(std::size_t b) { truncate(b, 0); }
+
+  // Guarantees the next `count` appends to sequence b cannot fail for lack
+  // of blocks (all-or-nothing; no partial reservation). Returns false when
+  // the pool cannot cover them or max_seq would be exceeded — the serving
+  // engine's preemption trigger. Dense layout only checks max_seq.
+  bool try_reserve(std::size_t b, std::size_t count);
+
+  // Shares sequence src's committed prefix with empty sequence dst: blocks
+  // are ref-counted, not copied, and the first append into a shared block
+  // copies it (copy-on-write). Paged layout only.
+  void fork_sequence(std::size_t src, std::size_t dst);
 
   // K/V vectors for sequence b, position p, layer l. pos == seq_len(b) reads
   // the entry staged by append() before commit() (each layer reads its own
@@ -68,51 +121,81 @@ class KVCache {
                                std::span<float> scratch) const;
 
   // All K/V rows for positions [0, count) of sequence b in layer l as one
-  // row-major [count, kv_dim] block. FP32 storage returns a direct span
-  // (positions are contiguous per sequence); INT8 dequantizes every row into
-  // `scratch` (>= count * kv_dim floats) with the exact per-element math of
-  // key()/value(). Hoists the per-(head, position) dequantization out of the
-  // attention inner loop — under GQA the old path repeated it group times.
+  // row-major [count, kv_dim] block. FP32 storage returns a direct span when
+  // the rows are physically contiguous — always under the dense layout, and
+  // under paging whenever the sequence's blocks happen to be consecutive
+  // (the serial-decode common case) — otherwise it gathers whole-block runs
+  // into `scratch` (>= count * kv_dim floats). INT8 dequantizes every row
+  // into `scratch` with the exact per-element math of key()/value(). Hoists
+  // the per-(head, position) dequantization out of the attention inner loop —
+  // under GQA the old path repeated it group times.
   std::span<const float> key_rows(std::size_t layer, std::size_t b, std::size_t count,
                                   std::span<float> scratch) const;
   std::span<const float> value_rows(std::size_t layer, std::size_t b, std::size_t count,
                                     std::span<float> scratch) const;
 
   KVStorage storage() const noexcept { return storage_; }
+  KVLayout layout() const noexcept { return layout_; }
+  std::size_t block_tokens() const noexcept { return block_tokens_; }
 
   void reset();
 
-  // Total bytes allocated by this cache.
+  // Bytes actually allocated: blocks_in_use() * block_bytes() under paging,
+  // the full dense reservation otherwise.
   std::size_t bytes() const noexcept;
 
-  // Bytes logically in use given current sequence lengths.
+  // High-water mark of bytes(). Under the dense layout this is the (fixed)
+  // reservation itself.
+  std::size_t peak_bytes() const noexcept;
+
+  // Physical slab reservation backing the pool (what the process actually
+  // maps, as opposed to what the pool has handed out).
+  std::size_t reserved_bytes() const noexcept;
+
+  // Bytes logically in use given current committed sequence lengths.
   std::size_t used_bytes() const noexcept;
 
+  // Paged-pool introspection (serving engine occupancy metrics). All return
+  // the dense-equivalent single "block" when layout() == kDense.
+  std::size_t block_bytes() const noexcept;
+  std::size_t total_blocks() const noexcept;
+  std::size_t blocks_in_use() const noexcept;
+  std::size_t free_blocks() const noexcept;
+
  private:
-  std::size_t offset(std::size_t b, std::size_t pos) const {
-    ORINSIM_DCHECK(b < batch_ && pos < max_seq_, "kv cache index out of range");
-    return (b * max_seq_ + pos) * kv_dim_;
-  }
-  std::size_t scale_offset(std::size_t b, std::size_t pos) const {
-    return b * max_seq_ + pos;
-  }
+  // Physical row index of (sequence, position) under the active layout.
+  std::size_t row(std::size_t b, std::size_t pos) const;
+  // Paged: maps positions [first, first+count) to exclusively-owned blocks,
+  // allocating on demand (throws on exhaustion) and copying shared blocks
+  // before the write (copy-on-write). Dense: no-op.
+  void ensure_writable(std::size_t b, std::size_t first, std::size_t count);
+  void make_writable(std::size_t b, std::size_t block_index);
   void store_quantized(std::vector<std::int8_t>& codes, std::vector<float>& scales,
-                       std::size_t b, std::size_t pos, std::span<const float> data);
+                       std::size_t row_index, std::span<const float> data);
+  std::size_t bytes_per_row() const noexcept;
 
   std::size_t batch_ = 0;
   std::size_t max_seq_ = 0;
   std::size_t kv_dim_ = 0;
   std::size_t n_layers_ = 0;
   KVStorage storage_ = KVStorage::kF32;
+  KVLayout layout_ = KVLayout::kPaged;
+  std::size_t block_tokens_ = kDefaultKVBlockTokens;
 
-  // FP32 storage: [layer][batch * max_seq * kv_dim].
+  // Paged state: one block table per sequence (shared by every layer) over
+  // a ref-counted pool. Null under the dense layout.
+  std::unique_ptr<BlockAllocator> allocator_;
+  std::vector<std::vector<std::size_t>> tables_;
+
+  // FP32 storage: [layer][rows * kv_dim] slabs; rows = batch * max_seq
+  // (dense) or pool_blocks * block_tokens (paged).
   std::vector<std::vector<float>> keys_;
   std::vector<std::vector<float>> values_;
   // INT8 storage: codes same layout, one absmax scale per stored vector.
   std::vector<std::vector<std::int8_t>> key_codes_;
   std::vector<std::vector<std::int8_t>> value_codes_;
-  std::vector<std::vector<float>> key_scales_;    // [layer][batch * max_seq]
-  std::vector<std::vector<float>> value_scales_;  // [layer][batch * max_seq]
+  std::vector<std::vector<float>> key_scales_;    // [layer][rows]
+  std::vector<std::vector<float>> value_scales_;  // [layer][rows]
 
   // Highest readable position for sequence b: committed length plus any
   // entries staged by append()/append_many() but not yet committed.

@@ -411,7 +411,7 @@ Model::GenerateResult Model::generate(const std::vector<std::vector<TokenId>>& p
     max_prompt = std::max(max_prompt, p.size());
   }
   const std::size_t max_seq = std::min(c.max_seq, max_prompt + max_new_tokens);
-  KVCache cache(c, lanes, max_seq, kv_storage_);
+  KVCache cache(c, lanes, max_seq, kv_options());
 
   GenerateResult result;
   result.outputs.resize(lanes);
@@ -509,7 +509,7 @@ Model::NllResult Model::sequence_nll(std::span<const TokenId> tokens,
   const TransformerConfig& c = master_->config;
   ORINSIM_CHECK(tokens.size() <= c.max_seq, "sequence exceeds model max_seq");
 
-  KVCache cache(c, 1, tokens.size(), kv_storage_);
+  KVCache cache(c, 1, tokens.size(), kv_options());
   std::vector<float> logits(c.vocab);
 
   NllResult result;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "serving/engine.h"
 
 namespace orinsim::serving {
 
@@ -30,82 +31,41 @@ double ScheduleResult::achieved_rps() const {
 }
 
 ScheduleResult simulate_serving(InferenceBackend& backend, const SchedulerConfig& config) {
-  ORINSIM_CHECK(config.total_requests > 0, "scheduler: no requests");
-  ORINSIM_CHECK(config.arrival_rate_rps > 0.0, "scheduler: arrival rate must be positive");
-  workload::ArrivalSpec spec;
-  spec.kind = config.arrival_kind;
-  spec.rate_rps = config.arrival_rate_rps;
-  spec.seed = config.arrival_seed;
-  return simulate_serving(backend, config,
-                          workload::generate_arrivals(spec, config.total_requests));
+  ORINSIM_CHECK(config.arrivals.total_requests > 0, "scheduler: no requests");
+  ORINSIM_CHECK(config.arrivals.rate_rps > 0.0, "scheduler: arrival rate must be positive");
+  return simulate_serving(backend, config, config.arrivals.generate());
 }
 
+// Adapter over the unified engine: StaticBatchPolicy emits the identical
+// schedule the original standalone loop produced, so every metric below
+// (derived from the same event stream) is unchanged.
 ScheduleResult simulate_serving(InferenceBackend& backend, const SchedulerConfig& config,
                                 const std::vector<double>& arrival_times) {
   ORINSIM_CHECK(config.max_batch > 0, "scheduler: max_batch must be positive");
   ORINSIM_CHECK(!arrival_times.empty(), "scheduler: no requests");
-  for (std::size_t i = 1; i < arrival_times.size(); ++i) {
-    ORINSIM_CHECK(arrival_times[i] >= arrival_times[i - 1],
-                  "scheduler: arrivals must be non-decreasing");
+
+  std::vector<Request> requests(arrival_times.size());
+  for (std::size_t i = 0; i < arrival_times.size(); ++i) {
+    requests[i].id = i;
+    requests[i].arrival_s = arrival_times[i];
+    requests[i].prompt_tokens = config.seq.input;
+    requests[i].max_new_tokens = config.seq.output;
   }
+
+  StaticBatchPolicy policy(backend, config.max_batch, config.seq);
+  EngineResult run = policy.run(std::move(requests));
 
   ScheduleResult result;
-  trace::ExecutionTimeline& timeline = result.timeline;
-  for (double arrival : arrival_times) timeline.begin_request(arrival);
-
-  // Cache batch latencies/energies per occupancy (latency depends only on
-  // the batch size for fixed sequence config).
-  std::vector<double> latency_by_bs(config.max_batch + 1, -1.0);
-  std::vector<double> energy_by_bs(config.max_batch + 1, 0.0);
-  auto batch_cost = [&](std::size_t bs) {
-    if (latency_by_bs[bs] < 0.0) {
-      BatchRequest br;
-      br.batch = bs;
-      br.seq = config.seq;
-      const BatchResult r = backend.execute(br);
-      ORINSIM_CHECK(!r.oom, "scheduler: batch config OOMs on device");
-      latency_by_bs[bs] = r.latency_s;
-      energy_by_bs[bs] = r.energy_j;
-    }
-    return latency_by_bs[bs];
-  };
-
-  const std::size_t total = arrival_times.size();
-  std::size_t next = 0;  // first unscheduled request
-  while (next < total) {
-    // Wait until at least one request has arrived.
-    timeline.stall_until(arrival_times[next]);
-    const double now = timeline.now();
-    // Take everything that has arrived by `now`, up to max_batch.
-    std::size_t take = 0;
-    while (next + take < total && take < config.max_batch &&
-           arrival_times[next + take] <= now) {
-      ++take;
-    }
-    const double latency = batch_cost(take);
-    // One batch-granularity event; mean power reproduces the backend-reported
-    // batch energy exactly (power * duration == energy).
-    const double power =
-        latency > 0.0 ? energy_by_bs[take] / latency : trace::kPowerUnset;
-    timeline.emit(trace::Phase::kDecode, latency, take,
-                  static_cast<double>(config.seq.total), power);
-    for (std::size_t i = 0; i < take; ++i) {
-      timeline.start_request(next + i, now);
-      timeline.finish_request(next + i, timeline.now());
-    }
-    next += take;
-  }
-
-  // Everything below is read off the event stream.
-  result.requests.resize(total);
-  for (std::size_t i = 0; i < total; ++i) {
-    const trace::RequestRecord& rec = timeline.requests()[i];
+  result.timeline = std::move(run.timeline);
+  result.requests.resize(arrival_times.size());
+  for (std::size_t i = 0; i < arrival_times.size(); ++i) {
+    const trace::RequestRecord& rec = result.timeline.requests()[i];
     result.requests[i] = RequestStats{rec.arrival_s, rec.start_s, rec.finish_s};
   }
-  result.batches_run = timeline.count(trace::Phase::kDecode);
-  result.makespan_s = timeline.now();
-  result.total_energy_j = timeline.total_energy_j();
-  result.mean_batch_occupancy = timeline.mean_batch(trace::Phase::kDecode);
+  result.batches_run = run.decode_steps;
+  result.makespan_s = run.makespan_s;
+  result.total_energy_j = run.energy_j;
+  result.mean_batch_occupancy = result.timeline.mean_batch(trace::Phase::kDecode);
   return result;
 }
 

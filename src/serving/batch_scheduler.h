@@ -27,13 +27,10 @@ struct SchedulerConfig {
   std::size_t max_batch = 32;
   // Requests arriving while a batch runs queue up; a new batch launches as
   // soon as the device frees up and at least one request is waiting.
-  // Arrivals come from workload::generate_arrivals so static, continuous and
-  // offload schedulers share one seeded arrival model; kDeterministic keeps
-  // the original fixed spacing of 1/arrival_rate_rps.
-  workload::ArrivalKind arrival_kind = workload::ArrivalKind::kDeterministic;
-  double arrival_rate_rps = 2.0;
-  std::uint64_t arrival_seed = 42;
-  std::size_t total_requests = 64;
+  // The shared workload::ArrivalConfig seeds static, continuous and offload
+  // schedulers with one arrival model; kDeterministic keeps the original
+  // fixed spacing of 1/rate_rps.
+  workload::ArrivalConfig arrivals;
   workload::SeqConfig seq = workload::seq_config_default();
 };
 

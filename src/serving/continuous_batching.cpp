@@ -1,9 +1,9 @@
 #include "serving/continuous_batching.h"
 
 #include <algorithm>
-#include <deque>
 
 #include "core/error.h"
+#include "serving/engine.h"
 
 namespace orinsim::serving {
 
@@ -20,130 +20,60 @@ double ContinuousResult::throughput_tps() const {
   return static_cast<double>(total_tokens) / makespan_s;
 }
 
-namespace {
-
-struct ActiveSeq {
-  std::size_t id = 0;         // request index on the timeline
-  std::size_t ctx = 0;        // tokens already in the KV cache
-  std::size_t remaining = 0;  // output tokens still to produce
-};
-
-}  // namespace
-
 ContinuousResult simulate_continuous(const ContinuousConfig& config) {
-  ORINSIM_CHECK(config.total_requests > 0 && config.arrival_rate_rps > 0,
+  ORINSIM_CHECK(config.arrivals.total_requests > 0 && config.arrivals.rate_rps > 0,
                 "continuous: degenerate config");
-  workload::ArrivalSpec spec;
-  spec.kind = config.arrival_kind;
-  spec.rate_rps = config.arrival_rate_rps;
-  spec.seed = config.arrival_seed;
-  return simulate_continuous(config,
-                             workload::generate_arrivals(spec, config.total_requests));
+  return simulate_continuous(config, config.arrivals.generate());
 }
 
+// Adapter over the unified engine: ContinuousPolicy over a SimTokenBackend
+// with an unlimited block pool replays the original simulator's schedule
+// step for step (same admission order, same mean-context summation order,
+// same event stream), so every derived metric is bit-identical.
 ContinuousResult simulate_continuous(const ContinuousConfig& config,
                                      const std::vector<double>& arrival_times) {
   ORINSIM_CHECK(!arrival_times.empty() && config.max_concurrency > 0,
                 "continuous: degenerate config");
 
+  // Memory gate: the steady-state working set is max_concurrency sequences
+  // at the full sequence length. Lives here (not in the backend) because it
+  // is a property of this experiment's workload shape, not of the engine.
   const sim::ModelSpec& model = sim::model_by_key(config.model_key);
   const sim::InferenceSim sim;
-  const sim::RooflineEngine& roofline = sim.roofline();
-  const sim::PowerModel& power = sim.power_model();
-
-  // Memory gate: the steady-state working set is max_concurrency sequences
-  // at the full sequence length.
   const sim::MemoryBreakdown mem = sim.memory_model().workload_memory(
       model, config.dtype, config.max_concurrency, config.seq.input, config.seq.output);
   ORINSIM_CHECK(!sim.memory_model().workload_oom(mem) &&
                     !sim.memory_model().model_oom(model, config.dtype),
                 "continuous: concurrency does not fit in device memory");
 
-  ContinuousResult result;
-  trace::ExecutionTimeline& timeline = result.timeline;
-  const std::size_t total = arrival_times.size();
-  for (double arrival : arrival_times) timeline.begin_request(arrival);
-
-  std::deque<ActiveSeq> waiting;
-  std::vector<ActiveSeq> active;
-  active.reserve(config.max_concurrency);
-
-  std::size_t arrived = 0;
-  std::size_t retired = 0;
-
-  auto admit_arrivals = [&] {
-    while (arrived < total && arrival_times[arrived] <= timeline.now()) {
-      waiting.push_back(ActiveSeq{arrived, 0, config.seq.output});
-      ++arrived;
-    }
-  };
-
-  while (retired < total) {
-    admit_arrivals();
-
-    // Idle: jump to the next arrival (an explicit stall event keeps the
-    // trace gap-free).
-    if (active.empty() && waiting.empty()) {
-      ORINSIM_CHECK(arrived < total, "continuous: starved scheduler");
-      timeline.stall_until(arrival_times[arrived]);
-      admit_arrivals();
-    }
-
-    // Admit from the queue up to the concurrency cap, paying prefill for the
-    // batch of newly admitted prompts.
-    std::size_t admitted = 0;
-    while (!waiting.empty() && active.size() < config.max_concurrency) {
-      ActiveSeq seq = waiting.front();
-      waiting.pop_front();
-      seq.ctx = config.seq.input;
-      timeline.start_request(seq.id, timeline.now());
-      active.push_back(seq);
-      ++admitted;
-    }
-    if (admitted > 0) {
-      const double prefill =
-          roofline.prefill_s(model, config.dtype, admitted, config.seq.input,
-                             config.power_mode);
-      const double watts =
-          power.prefill_power(model, config.dtype, config.power_mode).total_w();
-      // Batch carries the post-admission active count: the concurrency
-      // integral weighs the prefill at the level the device now sustains.
-      timeline.emit(trace::Phase::kPrefill, prefill, active.size(),
-                    static_cast<double>(config.seq.input), watts);
-    }
-
-    // One decode step for the active set at its mean context.
-    double mean_ctx = 0.0;
-    for (const auto& s : active) mean_ctx += static_cast<double>(s.ctx);
-    mean_ctx /= static_cast<double>(active.size());
-    const sim::StepBreakdown step = roofline.decode_step(
-        model, config.dtype, active.size(), mean_ctx, config.power_mode);
-    const double watts =
-        power.decode_power(model, config.dtype, step, config.power_mode).total_w();
-    timeline.emit(trace::Phase::kDecode, step.total_s(), active.size(), mean_ctx,
-                  watts, step);
-
-    // Advance every active sequence by one token; retire finished ones.
-    for (auto it = active.begin(); it != active.end();) {
-      ++it->ctx;
-      --it->remaining;
-      if (it->remaining == 0) {
-        timeline.finish_request(it->id, timeline.now());
-        ++retired;
-        it = active.erase(it);
-      } else {
-        ++it;
-      }
-    }
+  std::vector<Request> requests(arrival_times.size());
+  for (std::size_t i = 0; i < arrival_times.size(); ++i) {
+    requests[i].id = i;
+    requests[i].arrival_s = arrival_times[i];
+    requests[i].prompt_tokens = config.seq.input;
+    requests[i].max_new_tokens = config.seq.output;
   }
 
-  // Everything below is read off the event stream.
-  result.latencies_s = timeline.request_latencies();
-  result.makespan_s = timeline.now();
-  result.energy_j = timeline.total_energy_j();
-  result.mean_active = timeline.time_weighted_batch();
-  result.decode_steps = timeline.count(trace::Phase::kDecode);
+  SimTokenBackend::Config bc;
+  bc.model_key = config.model_key;
+  bc.dtype = config.dtype;
+  bc.max_concurrency = config.max_concurrency;
+  bc.seq = config.seq;
+  bc.power_mode = config.power_mode;
+  bc.kv_blocks = 0;  // unlimited pool: exact legacy-simulator behaviour
+  SimTokenBackend backend(bc);
+
+  ContinuousPolicy policy(backend);
+  EngineResult run = policy.run(std::move(requests));
+
+  ContinuousResult result;
+  result.latencies_s = std::move(run.latencies_s);
+  result.makespan_s = run.makespan_s;
+  result.energy_j = run.energy_j;
+  result.mean_active = run.mean_active;
+  result.decode_steps = run.decode_steps;
   result.total_tokens = result.latencies_s.size() * config.seq.total;
+  result.timeline = std::move(run.timeline);
   return result;
 }
 

@@ -33,12 +33,9 @@ struct ContinuousConfig {
   std::string model_key = "llama3";
   DType dtype = DType::kF16;
   std::size_t max_concurrency = 32;  // max sequences decoding together
-  // Shared arrival model (workload::arrivals); kDeterministic reproduces the
-  // original fixed spacing of 1/arrival_rate_rps.
-  workload::ArrivalKind arrival_kind = workload::ArrivalKind::kDeterministic;
-  double arrival_rate_rps = 2.0;
-  std::uint64_t arrival_seed = 42;
-  std::size_t total_requests = 64;
+  // Shared arrival model (workload::ArrivalConfig); kDeterministic reproduces
+  // the original fixed spacing of 1/rate_rps.
+  workload::ArrivalConfig arrivals;
   workload::SeqConfig seq = workload::seq_config_default();
   sim::PowerMode power_mode = sim::power_mode_maxn();
 };

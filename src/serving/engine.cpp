@@ -1,0 +1,555 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/stopwatch.h"
+
+namespace orinsim::serving {
+
+namespace {
+
+std::size_t blocks_for(std::size_t tokens, std::size_t block_tokens) {
+  return (tokens + block_tokens - 1) / block_tokens;
+}
+
+// Pool occupancy annotation: only backends that track a block pool get
+// kv_blocks fields on their events (legacy traces stay byte-identical).
+void annotate_kv(trace::ExecutionTimeline& timeline, std::size_t event_id,
+                 const TokenBackend& backend) {
+  const TokenBackend::KVUsage usage = backend.kv_usage();
+  if (usage.total_blocks > 0) {
+    timeline.set_kv_blocks(event_id, usage.used_blocks, usage.total_blocks);
+  }
+}
+
+// Shared tail: every policy's result is read off the event stream.
+void finalize(EngineResult& result, std::vector<Request> requests,
+              const TokenBackend* backend) {
+  const trace::ExecutionTimeline& timeline = result.timeline;
+  result.latencies_s = timeline.request_latencies();
+  result.makespan_s = timeline.now();
+  result.energy_j = timeline.total_energy_j();
+  result.mean_active = timeline.time_weighted_batch();
+  result.decode_steps = timeline.count(trace::Phase::kDecode);
+  result.total_tokens = 0;
+  for (const Request& r : requests) result.total_tokens += r.prompt_tokens + r.generated;
+  result.mean_kv_utilization = timeline.mean_kv_utilization();
+  result.peak_kv_blocks = timeline.peak_kv_blocks();
+  if (backend != nullptr) {
+    result.peak_kv_bytes = result.peak_kv_blocks * backend->kv_usage().block_bytes;
+  }
+  result.requests = std::move(requests);
+}
+
+std::vector<std::size_t> descending_lane_list(std::size_t lanes) {
+  // Descending so pop_back hands out lane 0 first (deterministic order).
+  std::vector<std::size_t> free;
+  free.reserve(lanes);
+  for (std::size_t i = lanes; i > 0; --i) free.push_back(i - 1);
+  return free;
+}
+
+}  // namespace
+
+double EngineResult::mean_latency_s() const {
+  return trace::LatencySummary::from(latencies_s).mean_s;
+}
+
+double EngineResult::p95_latency_s() const {
+  return trace::LatencySummary::from(latencies_s).p95_s;
+}
+
+double EngineResult::throughput_tps() const {
+  if (makespan_s <= 0.0) return 0.0;
+  return static_cast<double>(total_tokens) / makespan_s;
+}
+
+// ---------------------------------------------------------------------------
+// ContinuousPolicy
+// ---------------------------------------------------------------------------
+
+EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
+  ORINSIM_CHECK(!requests.empty() && backend_.max_lanes() > 0,
+                "engine: degenerate continuous run");
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    ORINSIM_CHECK(requests[i].arrival_s >= requests[i - 1].arrival_s,
+                  "engine: arrivals must be non-decreasing");
+  }
+
+  EngineResult result;
+  trace::ExecutionTimeline& timeline = result.timeline;
+  for (const Request& r : requests) timeline.begin_request(r.arrival_s);
+
+  const std::size_t total = requests.size();
+  std::deque<std::size_t> waiting;
+  std::vector<std::size_t> active;
+  active.reserve(backend_.max_lanes());
+  std::size_t arrived = 0;
+  std::size_t retired = 0;
+
+  auto admit_arrivals = [&] {
+    while (arrived < total && requests[arrived].arrival_s <= timeline.now()) {
+      waiting.push_back(arrived);
+      ++arrived;
+    }
+  };
+
+  while (retired < total) {
+    admit_arrivals();
+
+    // Idle: jump to the next arrival (an explicit stall event keeps the
+    // trace gap-free).
+    if (active.empty() && waiting.empty()) {
+      ORINSIM_CHECK(arrived < total, "engine: starved scheduler");
+      timeline.stall_until(requests[arrived].arrival_s);
+      admit_arrivals();
+    }
+
+    // Admit FIFO up to the lane cap, stopping at the first request the
+    // backend cannot hold (no queue jumping; a preempted request re-queued
+    // at the front resumes before younger work).
+    std::vector<Request*> admitted;
+    while (!waiting.empty() && active.size() < backend_.max_lanes()) {
+      Request& req = requests[waiting.front()];
+      if (!backend_.try_admit(req)) {
+        ORINSIM_CHECK(!active.empty(),
+                      "engine: request does not fit even on an idle backend");
+        break;
+      }
+      waiting.pop_front();
+      req.state = RequestState::kPrefilling;
+      if (!timeline.requests()[req.id].started) {
+        timeline.start_request(req.id, timeline.now());
+      }
+      timeline.request_event(req.id, trace::RequestEventKind::kAdmit, timeline.now());
+      active.push_back(req.id);
+      admitted.push_back(&req);
+    }
+    if (!admitted.empty()) {
+      const StepCost cost = backend_.prefill(admitted, active.size());
+      // Batch carries the post-admission active count: the concurrency
+      // integral weighs the prefill at the level the device now sustains.
+      const std::size_t eid =
+          timeline.emit(trace::Phase::kPrefill, cost.seconds, active.size(), cost.ctx,
+                        cost.power_w, cost.breakdown);
+      annotate_kv(timeline, eid, backend_);
+      for (Request* r : admitted) r->state = RequestState::kDecoding;
+    }
+
+    // Every active request must be able to grow by one token before the
+    // step runs. On exhaustion, evict the youngest (recompute-on-resume)
+    // until the survivors fit.
+    while (true) {
+      bool all_fit = true;
+      for (std::size_t id : active) {
+        if (!backend_.try_extend(requests[id])) {
+          all_fit = false;
+          break;
+        }
+      }
+      if (all_fit) break;
+      ORINSIM_CHECK(active.size() > 1,
+                    "engine: a lone request cannot grow its KV allocation");
+      const std::size_t victim = active.back();
+      active.pop_back();
+      Request& evicted = requests[victim];
+      backend_.release(evicted);
+      evicted.state = RequestState::kPreempted;
+      ++evicted.preemptions;
+      ++result.preemptions;
+      waiting.push_front(victim);
+      timeline.request_event(victim, trace::RequestEventKind::kPreempt, timeline.now());
+    }
+
+    // One decode step for the active set.
+    std::vector<Request*> stepping;
+    stepping.reserve(active.size());
+    for (std::size_t id : active) stepping.push_back(&requests[id]);
+    const StepCost cost = backend_.decode_step(stepping);
+    const std::size_t eid = timeline.emit(trace::Phase::kDecode, cost.seconds,
+                                          active.size(), cost.ctx, cost.power_w,
+                                          cost.breakdown);
+    annotate_kv(timeline, eid, backend_);
+
+    // Retire finished sequences in active-list order.
+    for (auto it = active.begin(); it != active.end();) {
+      Request& r = requests[*it];
+      if (r.done()) {
+        timeline.finish_request(r.id, timeline.now());
+        timeline.request_event(r.id, trace::RequestEventKind::kRetire, timeline.now());
+        backend_.release(r);
+        r.state = RequestState::kFinished;
+        ++retired;
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  finalize(result, std::move(requests), &backend_);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// StaticBatchPolicy
+// ---------------------------------------------------------------------------
+
+EngineResult StaticBatchPolicy::run(std::vector<Request> requests) {
+  ORINSIM_CHECK(max_batch_ > 0, "static policy: max_batch must be positive");
+  ORINSIM_CHECK(!requests.empty(), "static policy: no requests");
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    ORINSIM_CHECK(requests[i].arrival_s >= requests[i - 1].arrival_s,
+                  "static policy: arrivals must be non-decreasing");
+  }
+
+  EngineResult result;
+  trace::ExecutionTimeline& timeline = result.timeline;
+  for (const Request& r : requests) timeline.begin_request(r.arrival_s);
+
+  // Cache batch latencies/energies per occupancy (latency depends only on
+  // the batch size for fixed sequence config).
+  std::vector<double> latency_by_bs(max_batch_ + 1, -1.0);
+  std::vector<double> energy_by_bs(max_batch_ + 1, 0.0);
+  auto batch_cost = [&](std::size_t bs) {
+    if (latency_by_bs[bs] < 0.0) {
+      BatchRequest br;
+      br.batch = bs;
+      br.seq = seq_;
+      const BatchResult r = backend_.execute(br);
+      ORINSIM_CHECK(!r.oom, "static policy: batch config OOMs on device");
+      latency_by_bs[bs] = r.latency_s;
+      energy_by_bs[bs] = r.energy_j;
+    }
+    return latency_by_bs[bs];
+  };
+
+  const std::size_t total = requests.size();
+  std::size_t next = 0;  // first unscheduled request
+  while (next < total) {
+    // Wait until at least one request has arrived.
+    timeline.stall_until(requests[next].arrival_s);
+    const double now = timeline.now();
+    // Take everything that has arrived by `now`, up to max_batch.
+    std::size_t take = 0;
+    while (next + take < total && take < max_batch_ &&
+           requests[next + take].arrival_s <= now) {
+      ++take;
+    }
+    const double latency = batch_cost(take);
+    // One batch-granularity event; mean power reproduces the backend-reported
+    // batch energy exactly (power * duration == energy).
+    const double power =
+        latency > 0.0 ? energy_by_bs[take] / latency : trace::kPowerUnset;
+    timeline.emit(trace::Phase::kDecode, latency, take,
+                  static_cast<double>(seq_.total), power);
+    for (std::size_t i = 0; i < take; ++i) {
+      Request& r = requests[next + i];
+      timeline.start_request(r.id, now);
+      timeline.request_event(r.id, trace::RequestEventKind::kAdmit, now);
+      timeline.finish_request(r.id, timeline.now());
+      timeline.request_event(r.id, trace::RequestEventKind::kRetire, timeline.now());
+      r.state = RequestState::kFinished;
+      r.generated = r.max_new_tokens;  // the batch runs to completion
+    }
+    next += take;
+  }
+
+  finalize(result, std::move(requests), nullptr);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// SimTokenBackend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t sim_pool_blocks(const SimTokenBackend::Config& c) {
+  if (c.kv_blocks > 0) return c.kv_blocks;
+  // Capacity for every lane at the full sequence length: never exhausts,
+  // reproducing the original (paging-free) continuous simulator.
+  return c.max_concurrency * blocks_for(c.seq.input + c.seq.output, c.block_tokens);
+}
+
+std::size_t sim_block_bytes(const SimTokenBackend::Config& c) {
+  const sim::ModelSpec& m = sim::model_by_key(c.model_key);
+  const double per_token = m.kv_bytes_per_token(/*int8_cache=*/false);
+  return static_cast<std::size_t>(per_token * static_cast<double>(c.block_tokens));
+}
+
+}  // namespace
+
+SimTokenBackend::SimTokenBackend(const Config& config)
+    : config_(config),
+      allocator_(sim_pool_blocks(config), sim_block_bytes(config)),
+      free_lanes_(descending_lane_list(config.max_concurrency)),
+      lane_blocks_(config.max_concurrency) {
+  ORINSIM_CHECK(config_.max_concurrency > 0, "sim backend: need at least one lane");
+}
+
+bool SimTokenBackend::reserve_blocks(std::size_t lane, std::size_t tokens) {
+  const std::size_t target = blocks_for(tokens, config_.block_tokens);
+  std::vector<std::size_t>& held = lane_blocks_[lane];
+  if (target <= held.size()) return true;
+  return allocator_.alloc_many(target - held.size(), held);
+}
+
+bool SimTokenBackend::try_admit(Request& req) {
+  if (free_lanes_.empty()) return false;
+  const std::size_t lane = free_lanes_.back();
+  if (!reserve_blocks(lane, req.context())) return false;
+  free_lanes_.pop_back();
+  req.lane = lane;
+  return true;
+}
+
+StepCost SimTokenBackend::prefill(const std::vector<Request*>& admitted,
+                                                   std::size_t active_after) {
+  const sim::ModelSpec& model = sim::model_by_key(config_.model_key);
+  StepCost cost;
+  // Resumed requests recharge the same prompt-length prefill: the roofline
+  // model does not distinguish recompute from first compute.
+  cost.seconds = sim_.roofline().prefill_s(model, config_.dtype, admitted.size(),
+                                           config_.seq.input, config_.power_mode);
+  cost.power_w =
+      sim_.power_model().prefill_power(model, config_.dtype, config_.power_mode).total_w();
+  cost.ctx = static_cast<double>(config_.seq.input);
+  (void)active_after;
+  return cost;
+}
+
+bool SimTokenBackend::try_extend(Request& req) {
+  ORINSIM_CHECK(req.lane != Request::kNoLane, "sim backend: extend on unadmitted request");
+  return reserve_blocks(req.lane, req.context() + 1);
+}
+
+StepCost SimTokenBackend::decode_step(const std::vector<Request*>& active) {
+  ORINSIM_CHECK(!active.empty(), "sim backend: decode over empty set");
+  const sim::ModelSpec& model = sim::model_by_key(config_.model_key);
+  double mean_ctx = 0.0;
+  for (const Request* r : active) mean_ctx += static_cast<double>(r->context());
+  mean_ctx /= static_cast<double>(active.size());
+  const sim::StepBreakdown step = sim_.roofline().decode_step(
+      model, config_.dtype, active.size(), mean_ctx, config_.power_mode);
+  StepCost cost;
+  cost.seconds = step.total_s();
+  cost.power_w =
+      sim_.power_model().decode_power(model, config_.dtype, step, config_.power_mode).total_w();
+  cost.breakdown = step;
+  cost.ctx = mean_ctx;
+  for (Request* r : active) ++r->generated;
+  return cost;
+}
+
+void SimTokenBackend::release(Request& req) {
+  ORINSIM_CHECK(req.lane != Request::kNoLane, "sim backend: release on unadmitted request");
+  for (std::size_t id : lane_blocks_[req.lane]) allocator_.release(id);
+  lane_blocks_[req.lane].clear();
+  free_lanes_.push_back(req.lane);
+  req.lane = Request::kNoLane;
+}
+
+SimTokenBackend::KVUsage SimTokenBackend::kv_usage() const {
+  // Only report occupancy when an explicit pool was configured: the
+  // unlimited default reproduces the legacy simulator, whose traces must
+  // keep serializing byte-identically (no kv fields).
+  if (config_.kv_blocks == 0) return {};
+  return KVUsage{allocator_.blocks_in_use(), allocator_.total_blocks(),
+                 allocator_.block_bytes()};
+}
+
+// ---------------------------------------------------------------------------
+// FunctionalTokenBackend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+KVCacheOptions functional_cache_options(const FunctionalTokenBackend::Config& c) {
+  KVCacheOptions o;
+  o.storage = c.kv_storage;
+  o.layout = KVLayout::kPaged;
+  o.block_tokens = c.block_tokens;
+  o.max_blocks = c.kv_blocks;
+  return o;
+}
+
+}  // namespace
+
+FunctionalTokenBackend::FunctionalTokenBackend(Model& model, const Config& config,
+                                               ThreadPool* pool)
+    : model_(model),
+      config_(config),
+      cache_(model.config(), config.max_lanes,
+             config.max_seq > 0 ? std::min(config.max_seq, model.config().max_seq)
+                                : model.config().max_seq,
+             functional_cache_options(config)),
+      pool_(pool),
+      free_lanes_(descending_lane_list(config.max_lanes)) {
+  ORINSIM_CHECK(config_.max_lanes > 0, "functional backend: need at least one lane");
+  const std::size_t shards = pool_ != nullptr ? pool_->shard_count() : 1;
+  workspaces_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) workspaces_.emplace_back(model_.config());
+  logits_.resize(config_.max_lanes * model_.config().vocab);
+}
+
+std::span<float> FunctionalTokenBackend::lane_logits(std::size_t lane) {
+  const std::size_t vocab = model_.config().vocab;
+  return std::span<float>(logits_.data() + lane * vocab, vocab);
+}
+
+template <typename Fn>
+void FunctionalTokenBackend::for_each(const std::vector<Request*>& reqs, const Fn& fn) {
+  if (pool_ != nullptr && reqs.size() > 1) {
+    pool_->parallel_for(0, reqs.size(), [&](std::size_t shard, std::size_t i) {
+      fn(workspaces_[shard], *reqs[i]);
+    });
+  } else {
+    for (Request* r : reqs) fn(workspaces_[0], *r);
+  }
+}
+
+bool FunctionalTokenBackend::try_admit(Request& req) {
+  ORINSIM_CHECK(!req.prompt.empty() && req.prompt.size() == req.prompt_tokens,
+                "functional backend: request needs real prompt tokens");
+  if (free_lanes_.empty()) return false;
+  const std::size_t lane = free_lanes_.back();
+  // Resume recomputes prompt + recorded output except the last token (the
+  // next decode step feeds that one).
+  const std::size_t history =
+      req.prompt.size() + (req.generated > 0 ? req.generated - 1 : 0);
+  if (!cache_.try_reserve(lane, history)) return false;
+  free_lanes_.pop_back();
+  req.lane = lane;
+  return true;
+}
+
+StepCost FunctionalTokenBackend::prefill(
+    const std::vector<Request*>& admitted, std::size_t active_after) {
+  (void)active_after;
+  Stopwatch watch;
+  for_each(admitted, [&](InferenceWorkspace& ws, Request& r) {
+    if (r.generated == 0) {
+      model_.prefill(r.prompt, r.lane, cache_, ws.hidden, ws);
+      model_.logits_from_hidden(ws.hidden, lane_logits(r.lane));
+    } else {
+      // Resume: rebuild the pre-preemption cache *bit-exactly* — the prompt
+      // through the same chunked prefill as the original admission, then the
+      // recorded output replayed token-at-a-time exactly as decode produced
+      // it (chunked and token-wise KV entries differ under SIMD kernels, so
+      // re-prefilling the whole history in one chunk would perturb later
+      // tokens). The last output token is not replayed: the next decode
+      // step feeds it.
+      model_.prefill(r.prompt, r.lane, cache_, {}, ws);
+      for (std::size_t j = 0; j + 1 < r.output.size(); ++j) {
+        model_.forward_token(r.output[j], r.lane, cache_, ws.hidden, ws);
+      }
+    }
+  });
+  // First-token sampling replays serially in admission order (bit-identical
+  // for any worker count). Greedy argmax: deterministic, so a preempted
+  // request's recompute reproduces its interrupted output exactly.
+  double mean_prompt = 0.0;
+  for (Request* r : admitted) {
+    if (r->generated == 0) {
+      r->output.push_back(static_cast<TokenId>(kernels::argmax(lane_logits(r->lane))));
+      r->generated = 1;
+    }
+    mean_prompt += static_cast<double>(r->prompt_tokens);
+  }
+  mean_prompt /= static_cast<double>(admitted.size());
+  StepCost cost;
+  cost.seconds = watch.elapsed_s();
+  cost.ctx = mean_prompt;
+  return cost;
+}
+
+bool FunctionalTokenBackend::try_extend(Request& req) {
+  ORINSIM_CHECK(req.lane != Request::kNoLane,
+                "functional backend: extend on unadmitted request");
+  return cache_.try_reserve(req.lane, 1);
+}
+
+StepCost FunctionalTokenBackend::decode_step(
+    const std::vector<Request*>& active) {
+  ORINSIM_CHECK(!active.empty(), "functional backend: decode over empty set");
+  Stopwatch watch;
+  double mean_ctx = 0.0;
+  for (const Request* r : active) mean_ctx += static_cast<double>(r->context());
+  mean_ctx /= static_cast<double>(active.size());
+  for_each(active, [&](InferenceWorkspace& ws, Request& r) {
+    model_.forward_token(r.output.back(), r.lane, cache_, ws.hidden, ws);
+    model_.logits_from_hidden(ws.hidden, lane_logits(r.lane));
+  });
+  // Sampling replays serially in active order after the parallel section.
+  for (Request* r : active) {
+    r->output.push_back(static_cast<TokenId>(kernels::argmax(lane_logits(r->lane))));
+    ++r->generated;
+  }
+  StepCost cost;
+  cost.seconds = watch.elapsed_s();
+  cost.ctx = mean_ctx;
+  return cost;
+}
+
+void FunctionalTokenBackend::release(Request& req) {
+  ORINSIM_CHECK(req.lane != Request::kNoLane,
+                "functional backend: release on unadmitted request");
+  cache_.free_sequence(req.lane);
+  free_lanes_.push_back(req.lane);
+  req.lane = Request::kNoLane;
+}
+
+FunctionalTokenBackend::KVUsage FunctionalTokenBackend::kv_usage() const {
+  return KVUsage{cache_.blocks_in_use(), cache_.total_blocks(), cache_.block_bytes()};
+}
+
+// ---------------------------------------------------------------------------
+// run_functional_continuous
+// ---------------------------------------------------------------------------
+
+EngineResult run_functional_continuous(std::shared_ptr<const MasterWeights> master,
+                                       DType dtype, const workload::PromptPool& pool,
+                                       const FunctionalEngineConfig& config) {
+  ORINSIM_CHECK(config.arrivals.total_requests > 0 && config.arrivals.rate_rps > 0 &&
+                    config.max_concurrency > 0,
+                "functional engine: degenerate config");
+  ORINSIM_CHECK(config.seq.input + config.seq.output <= master->config.max_seq,
+                "functional engine: sequence exceeds model max_seq");
+
+  const std::vector<double> arrivals = config.arrivals.generate();
+  Rng rng(config.prompt_seed);
+  const std::vector<std::vector<TokenId>> prompts =
+      pool.sample_batch(arrivals.size(), config.seq.input, rng);
+
+  std::vector<Request> requests(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    requests[i].id = i;
+    requests[i].arrival_s = arrivals[i];
+    requests[i].prompt = prompts[i];
+    requests[i].prompt_tokens = prompts[i].size();
+    requests[i].max_new_tokens = config.seq.output;
+  }
+
+  Model model(master, dtype);
+  std::unique_ptr<ThreadPool> decode_pool;
+  if (config.decode_workers > 0) {
+    decode_pool = std::make_unique<ThreadPool>(config.decode_workers);
+  }
+
+  FunctionalTokenBackend::Config bc;
+  bc.max_lanes = config.max_concurrency;
+  bc.max_seq = config.seq.input + config.seq.output;
+  bc.kv_blocks = config.kv_blocks;
+  bc.block_tokens = config.block_tokens;
+  bc.kv_storage = config.kv_storage;
+  FunctionalTokenBackend backend(model, bc, decode_pool.get());
+
+  ContinuousPolicy policy(backend);
+  return policy.run(std::move(requests));
+}
+
+}  // namespace orinsim::serving

@@ -1,0 +1,267 @@
+// The unified request-lifecycle serving engine.
+//
+// One scheduler spine runs every serving experiment in the repo:
+//
+//   RequestScheduler (policy)          TokenBackend (execution)
+//   ------------------------          -------------------------
+//   StaticBatchPolicy                  (drives an InferenceBackend directly)
+//   ContinuousPolicy          x        SimTokenBackend     (roofline + power)
+//                                      FunctionalTokenBackend (real decode
+//                                                         over a paged KVCache)
+//
+// Policies own the clock and the queue: they admit requests, charge step
+// costs into a trace::ExecutionTimeline (StepEvents plus per-request
+// admit/preempt/retire RequestEvents), and preempt on KV block exhaustion.
+// Backends own the work: claim KV capacity, run/charge a prefill wave or a
+// decode step, release capacity. Every metric the engine reports — latency
+// percentiles, makespan, energy, occupancy, KV-block utilization — is read
+// off the one event stream, never accumulated on the side.
+//
+// Preemption contract: when a running request cannot extend its KV
+// allocation by one token, the policy evicts the *youngest* active request
+// (releasing all its blocks) and re-queues it at the front of the waiting
+// queue. Eviction repeats until the survivors fit; a request that cannot
+// run alone is a configuration error (throws). Preempted requests resume by
+// recomputation: the functional backend re-prefills prompt + recorded
+// output, which under greedy decoding reproduces the interrupted sequence
+// exactly, so preemption changes latency but never tokens.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "model/transformer.h"
+#include "serving/request.h"
+#include "serving/session.h"
+#include "sim/inference_sim.h"
+#include "trace/timeline.h"
+#include "workload/arrivals.h"
+#include "workload/prompt_pool.h"
+
+namespace orinsim::serving {
+
+// Cost of one engine step (a prefill wave or a decode step), as reported by
+// the backend and charged into the timeline by the policy. Simulated
+// backends fill power/breakdown; the functional backend measures wall-clock
+// and leaves power unset (no board sensor on this host).
+struct StepCost {
+  double seconds = 0.0;
+  double power_w = trace::kPowerUnset;
+  trace::StepBreakdown breakdown;
+  double ctx = 0.0;  // context annotation for the StepEvent
+};
+
+// Token-level execution backend: the engine advances admitted requests one
+// decode step at a time through this interface.
+class TokenBackend {
+ public:
+  struct KVUsage {
+    std::size_t used_blocks = 0;
+    std::size_t total_blocks = 0;  // 0: backend tracks no block pool
+    std::size_t block_bytes = 0;
+  };
+
+  virtual ~TokenBackend() = default;
+
+  // Concurrency cap (lanes the backend can decode together).
+  virtual std::size_t max_lanes() const = 0;
+  // Claims a lane plus KV blocks for the request's current context (prompt,
+  // plus recorded output when resuming after preemption). All-or-nothing;
+  // false leaves the backend unchanged.
+  virtual bool try_admit(Request& req) = 0;
+  // Runs/charges one prefill wave over the just-admitted requests.
+  // `active_after` is the running-set size after admission (the concurrency
+  // the device sustains during the wave). The functional backend also
+  // samples each fresh request's first token here (generated becomes 1).
+  virtual StepCost prefill(const std::vector<Request*>& admitted,
+                           std::size_t active_after) = 0;
+  // Reserves KV room for one more token. Idempotent until the token is
+  // produced; false is the policy's preemption trigger.
+  virtual bool try_extend(Request& req) = 0;
+  // Runs/charges one decode step over the active set, appending one token to
+  // every request (callers guarantee try_extend succeeded for each).
+  virtual StepCost decode_step(const std::vector<Request*>& active) = 0;
+  // Releases the request's lane and KV blocks (retirement or preemption).
+  virtual void release(Request& req) = 0;
+
+  virtual KVUsage kv_usage() const { return {}; }
+  virtual std::string name() const = 0;
+};
+
+// Everything a serving run produces, derived from the event stream.
+struct EngineResult {
+  std::vector<Request> requests;      // final states, outputs included
+  std::vector<double> latencies_s;    // completed requests, retirement order
+  double makespan_s = 0.0;
+  double energy_j = 0.0;              // 0 when the backend reports no power
+  double mean_active = 0.0;           // time-weighted concurrent sequences
+  std::size_t decode_steps = 0;
+  std::size_t total_tokens = 0;       // prompt + generated across requests
+  std::size_t preemptions = 0;
+  double mean_kv_utilization = 0.0;   // 0 when the backend tracks no pool
+  std::size_t peak_kv_blocks = 0;
+  std::size_t peak_kv_bytes = 0;
+
+  // The full event stream the metrics above are derived from.
+  trace::ExecutionTimeline timeline;
+
+  double mean_latency_s() const;
+  double p95_latency_s() const;
+  double throughput_tps() const;
+};
+
+// A scheduling policy: consumes the request list (arrivals pre-filled) and
+// produces the executed schedule.
+class RequestScheduler {
+ public:
+  virtual ~RequestScheduler() = default;
+  virtual EngineResult run(std::vector<Request> requests) = 0;
+  virtual std::string policy_name() const = 0;
+};
+
+// Token-level admit/retire scheduling (Orca/vLLM style) over any
+// TokenBackend, with preemption on KV block exhaustion. Reproduces
+// simulate_continuous exactly when the backend never runs out of blocks.
+class ContinuousPolicy : public RequestScheduler {
+ public:
+  explicit ContinuousPolicy(TokenBackend& backend) : backend_(backend) {}
+
+  EngineResult run(std::vector<Request> requests) override;
+  std::string policy_name() const override { return "continuous"; }
+
+ private:
+  TokenBackend& backend_;
+};
+
+// The paper's static batching: wait for arrivals, take up to max_batch, run
+// the whole batch to completion through an InferenceBackend, repeat.
+// Identical schedule to simulate_serving (which now adapts onto this).
+class StaticBatchPolicy : public RequestScheduler {
+ public:
+  StaticBatchPolicy(InferenceBackend& backend, std::size_t max_batch,
+                    workload::SeqConfig seq)
+      : backend_(backend), max_batch_(max_batch), seq_(seq) {}
+
+  EngineResult run(std::vector<Request> requests) override;
+  std::string policy_name() const override { return "static"; }
+
+ private:
+  InferenceBackend& backend_;
+  std::size_t max_batch_ = 32;
+  workload::SeqConfig seq_;
+};
+
+// Roofline + power-model backend: charges the exact per-step costs of the
+// original continuous-batching simulator, plus block accounting so
+// preemption studies run without the functional engine. Resume-after-
+// preemption recharges prefill at the prompt length (the simulator does not
+// model partial-context recompute).
+class SimTokenBackend : public TokenBackend {
+ public:
+  struct Config {
+    std::string model_key = "llama3";
+    DType dtype = DType::kF16;
+    std::size_t max_concurrency = 32;
+    workload::SeqConfig seq = workload::seq_config_default();
+    sim::PowerMode power_mode = sim::power_mode_maxn();
+    // Block pool. 0 blocks = capacity for max_concurrency full sequences
+    // (never exhausts, exact simulate_continuous behaviour).
+    std::size_t kv_blocks = 0;
+    std::size_t block_tokens = kDefaultKVBlockTokens;
+  };
+
+  explicit SimTokenBackend(const Config& config);
+
+  std::size_t max_lanes() const override { return config_.max_concurrency; }
+  bool try_admit(Request& req) override;
+  StepCost prefill(const std::vector<Request*>& admitted,
+                   std::size_t active_after) override;
+  bool try_extend(Request& req) override;
+  StepCost decode_step(const std::vector<Request*>& active) override;
+  void release(Request& req) override;
+  KVUsage kv_usage() const override;
+  std::string name() const override { return "sim:" + config_.model_key; }
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  bool reserve_blocks(std::size_t lane, std::size_t tokens);
+
+  Config config_;
+  sim::InferenceSim sim_;
+  BlockAllocator allocator_;
+  std::vector<std::size_t> free_lanes_;              // LIFO, deterministic
+  std::vector<std::vector<std::size_t>> lane_blocks_;  // held block ids
+};
+
+// Real token-by-token decoding over a paged KVCache: Model::forward_token
+// per lane per step, greedy argmax sampling (deterministic, so preemption
+// recompute is lossless), measured wall-clock costs, optional lane-parallel
+// decode on a ThreadPool (one workspace per shard; sampling replayed
+// serially in lane order, so outputs are bit-identical for any worker
+// count — the same discipline as Model::generate).
+class FunctionalTokenBackend : public TokenBackend {
+ public:
+  struct Config {
+    std::size_t max_lanes = 4;
+    std::size_t max_seq = 0;  // 0: model max_seq
+    // Block pool across all lanes. 0 = full capacity (never exhausts);
+    // smaller pools oversubscribe lanes and trigger preemption.
+    std::size_t kv_blocks = 0;
+    std::size_t block_tokens = kDefaultKVBlockTokens;
+    KVStorage kv_storage = KVStorage::kF32;
+  };
+
+  // `model` must outlive the backend; `pool` may be null (serial decode).
+  FunctionalTokenBackend(Model& model, const Config& config, ThreadPool* pool = nullptr);
+
+  std::size_t max_lanes() const override { return config_.max_lanes; }
+  bool try_admit(Request& req) override;
+  StepCost prefill(const std::vector<Request*>& admitted,
+                   std::size_t active_after) override;
+  bool try_extend(Request& req) override;
+  StepCost decode_step(const std::vector<Request*>& active) override;
+  void release(Request& req) override;
+  KVUsage kv_usage() const override;
+  std::string name() const override { return "functional"; }
+
+  const KVCache& cache() const noexcept { return cache_; }
+
+ private:
+  template <typename Fn>
+  void for_each(const std::vector<Request*>& reqs, const Fn& fn);
+  std::span<float> lane_logits(std::size_t lane);
+
+  Model& model_;
+  Config config_;
+  KVCache cache_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<InferenceWorkspace> workspaces_;  // one per shard
+  std::vector<std::size_t> free_lanes_;         // LIFO, deterministic
+  std::vector<float> logits_;                   // [lanes, vocab]
+};
+
+// One-call functional continuous-batching run: builds requests from the
+// arrival model and prompt pool, runs ContinuousPolicy over a
+// FunctionalTokenBackend, returns the executed schedule. This is the
+// "dedicated inference engine" counterpart the paper's conclusion points
+// to, measured on the real engine rather than the roofline model.
+struct FunctionalEngineConfig {
+  workload::ArrivalConfig arrivals;
+  workload::SeqConfig seq = workload::seq_config_default();
+  std::size_t max_concurrency = 4;
+  std::size_t kv_blocks = 0;  // 0: never exhausts; small pools preempt
+  std::size_t block_tokens = kDefaultKVBlockTokens;
+  KVStorage kv_storage = KVStorage::kF32;
+  std::size_t decode_workers = 0;  // 0: serial decode loop
+  std::uint64_t prompt_seed = 11;
+};
+
+EngineResult run_functional_continuous(std::shared_ptr<const MasterWeights> master,
+                                       DType dtype, const workload::PromptPool& pool,
+                                       const FunctionalEngineConfig& config);
+
+}  // namespace orinsim::serving

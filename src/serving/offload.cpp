@@ -44,15 +44,11 @@ double HybridResult::p95_latency_s() const {
 
 HybridResult simulate_hybrid(InferenceBackend& backend, const HybridConfig& config) {
   const SchedulerConfig& sc = config.scheduler;
-  ORINSIM_CHECK(sc.total_requests > 0 && sc.max_batch > 0 && sc.arrival_rate_rps > 0,
+  ORINSIM_CHECK(sc.arrivals.total_requests > 0 && sc.max_batch > 0 &&
+                    sc.arrivals.rate_rps > 0,
                 "hybrid: degenerate scheduler config");
 
-  workload::ArrivalSpec spec;
-  spec.kind = sc.arrival_kind;
-  spec.rate_rps = sc.arrival_rate_rps;
-  spec.seed = sc.arrival_seed;
-  const std::vector<double> arrivals =
-      workload::generate_arrivals(spec, sc.total_requests);
+  const std::vector<double> arrivals = sc.arrivals.generate();
 
   HybridResult result;
   trace::ExecutionTimeline& timeline = result.timeline;
@@ -105,7 +101,7 @@ HybridResult simulate_hybrid(InferenceBackend& backend, const HybridConfig& conf
     }
   };
 
-  while (next < sc.total_requests) {
+  while (next < sc.arrivals.total_requests) {
     const double arrival = arrivals[next];
 
     if (config.policy == OffloadPolicy::kCloudOnly) {
@@ -117,7 +113,7 @@ HybridResult simulate_hybrid(InferenceBackend& backend, const HybridConfig& conf
     // Requests waiting when the edge device frees up (or now, if idle).
     const double dispatch_at = std::max(arrival, timeline.now());
     std::size_t waiting = 0;
-    while (next + waiting < sc.total_requests &&
+    while (next + waiting < sc.arrivals.total_requests &&
            arrivals[next + waiting] <= dispatch_at) {
       ++waiting;
     }

@@ -1,0 +1,47 @@
+// The unified request lifecycle every serving path speaks.
+//
+// A Request is one user prompt moving through Queued -> Prefilling ->
+// Decoding -> Finished, with Preempted as the detour a paged engine takes
+// when the KV block pool runs dry: the youngest running request releases its
+// blocks, re-queues, and is later recomputed from its recorded tokens
+// (greedy decoding makes the recompute lossless). Both the simulated and the
+// functional backends mutate the same struct, so per-request metrics
+// (latency, preemption count, tokens) read identically off either engine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tokenizer/tokenizer.h"
+
+namespace orinsim::serving {
+
+enum class RequestState { kQueued, kPrefilling, kDecoding, kFinished, kPreempted };
+
+struct Request {
+  static constexpr std::size_t kNoLane = static_cast<std::size_t>(-1);
+
+  std::size_t id = 0;       // index into the engine's request list / timeline
+  double arrival_s = 0.0;
+
+  // Prompt: real tokens for the functional backend; the simulator only needs
+  // the count (prompt stays empty, prompt_tokens carries the length).
+  std::vector<TokenId> prompt;
+  std::size_t prompt_tokens = 0;
+  std::size_t max_new_tokens = 0;
+
+  RequestState state = RequestState::kQueued;
+  // Generated so far. The functional backend records the actual tokens in
+  // `output` (output.size() == generated); the simulator only counts.
+  std::vector<TokenId> output;
+  std::size_t generated = 0;
+
+  std::size_t preemptions = 0;
+  std::size_t lane = kNoLane;  // backend lane while admitted
+
+  // Tokens in (or due in) the KV cache: prompt plus everything generated.
+  std::size_t context() const { return prompt_tokens + generated; }
+  bool done() const { return generated >= max_new_tokens; }
+};
+
+}  // namespace orinsim::serving

@@ -25,6 +25,12 @@ void event_fields(std::ostringstream& out, const StepEvent& e) {
   // Conditional so traces without chunked prefill (simulator, seed traces)
   // serialize byte-identically to before the field existed.
   if (e.chunk != 0) out << ",\"chunk\":" << e.chunk;
+  // Same contract for KV pool occupancy: only the paged serving engine sets
+  // it, so every other trace keeps its exact legacy serialization.
+  if (e.has_kv_occupancy()) {
+    out << ",\"kv_blocks_used\":" << e.kv_blocks_used
+        << ",\"kv_blocks_total\":" << e.kv_blocks_total;
+  }
   if (e.has_power()) {
     out << ",\"power_w\":" << num(e.power_w);
   } else {

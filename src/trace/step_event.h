@@ -69,7 +69,18 @@ struct StepEvent {
   StepBreakdown breakdown;      // zero unless the emitter models step cost
   double power_w = kPowerUnset;
 
+  // KV block-pool occupancy at the end of the event (paged serving engine);
+  // kv_blocks_total == 0 means the emitter doesn't track a pool.
+  std::size_t kv_blocks_used = 0;
+  std::size_t kv_blocks_total = 0;
+
   bool has_power() const { return power_w >= 0.0; }
+  bool has_kv_occupancy() const { return kv_blocks_total > 0; }
+  double kv_utilization() const {
+    return has_kv_occupancy() ? static_cast<double>(kv_blocks_used) /
+                                    static_cast<double>(kv_blocks_total)
+                              : 0.0;
+  }
   double t_end_s() const { return t_start_s + duration_s; }
   double energy_j() const { return has_power() ? power_w * duration_s : 0.0; }
 };

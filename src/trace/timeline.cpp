@@ -27,6 +27,18 @@ std::string phase_name(Phase phase) {
   return "?";
 }
 
+std::string request_event_name(RequestEventKind kind) {
+  switch (kind) {
+    case RequestEventKind::kAdmit:
+      return "admit";
+    case RequestEventKind::kPreempt:
+      return "preempt";
+    case RequestEventKind::kRetire:
+      return "retire";
+  }
+  return "?";
+}
+
 LatencySummary LatencySummary::from(std::span<const double> latencies_s) {
   LatencySummary s;
   s.count = latencies_s.size();
@@ -100,6 +112,44 @@ void ExecutionTimeline::finish_request(std::size_t id, double t) {
   requests_[id].finish_s = t;
   requests_[id].completed = true;
   latencies_.push_back(t - requests_[id].arrival_s);
+}
+
+void ExecutionTimeline::request_event(std::size_t id, RequestEventKind kind, double t) {
+  ORINSIM_CHECK(id < requests_.size(), "timeline: bad request id");
+  request_events_.push_back(RequestEvent{id, kind, t});
+}
+
+void ExecutionTimeline::set_kv_blocks(std::size_t event_id, std::size_t used,
+                                      std::size_t total) {
+  ORINSIM_CHECK(event_id < events_.size(), "timeline: bad event id");
+  ORINSIM_CHECK(total > 0 && used <= total, "timeline: bad kv block occupancy");
+  events_[event_id].kv_blocks_used = used;
+  events_[event_id].kv_blocks_total = total;
+}
+
+std::size_t ExecutionTimeline::request_event_count(RequestEventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : request_events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+double ExecutionTimeline::mean_kv_utilization() const {
+  double integral = 0.0;
+  double weight = 0.0;
+  for (const auto& e : events_) {
+    if (!e.has_kv_occupancy()) continue;
+    integral += e.kv_utilization() * e.duration_s;
+    weight += e.duration_s;
+  }
+  return weight > 0.0 ? integral / weight : 0.0;
+}
+
+std::size_t ExecutionTimeline::peak_kv_blocks() const {
+  std::size_t peak = 0;
+  for (const auto& e : events_) peak = std::max(peak, e.kv_blocks_used);
+  return peak;
 }
 
 double ExecutionTimeline::makespan_s() const {

@@ -33,6 +33,21 @@ struct LatencySummary {
   static LatencySummary from(std::span<const double> latencies_s);
 };
 
+// Request-lifecycle transitions emitted by the serving engine, alongside the
+// StepEvent stream: admission into the running set, preemption back to the
+// queue (KV block exhaustion), and retirement. RequestRecords keep the
+// arrival/start/finish scalars; these events capture *every* transition, so
+// a request preempted twice shows three admissions.
+enum class RequestEventKind { kAdmit, kPreempt, kRetire };
+
+std::string request_event_name(RequestEventKind kind);
+
+struct RequestEvent {
+  std::size_t request_id = 0;
+  RequestEventKind kind = RequestEventKind::kAdmit;
+  double t_s = 0.0;
+};
+
 struct RequestRecord {
   double arrival_s = 0.0;
   double start_s = 0.0;   // when its batch/step first executed
@@ -76,6 +91,15 @@ class ExecutionTimeline {
   // the order finish_request was called (retirement order).
   void finish_request(std::size_t id, double t);
 
+  // Records a lifecycle transition for request `id` at time t. Orthogonal to
+  // the scalar bookkeeping above: start/finish_request feed latencies,
+  // request_event() feeds the transition log.
+  void request_event(std::size_t id, RequestEventKind kind, double t);
+
+  // Annotates an already-emitted event (by the id emit()/append_at()
+  // returned) with KV block-pool occupancy.
+  void set_kv_blocks(std::size_t event_id, std::size_t used, std::size_t total);
+
   // --- derived metrics --------------------------------------------------
 
   const std::vector<StepEvent>& events() const noexcept { return events_; }
@@ -112,9 +136,22 @@ class ExecutionTimeline {
   const std::vector<double>& request_latencies() const noexcept { return latencies_; }
   LatencySummary latency_summary() const { return LatencySummary::from(latencies_); }
 
+  const std::vector<RequestEvent>& request_events() const noexcept {
+    return request_events_;
+  }
+  std::size_t request_event_count(RequestEventKind kind) const;
+
+  // Time-weighted mean KV pool utilization over events that carry occupancy
+  // (0 when none do). Weighted by event duration, not by makespan: stalls
+  // and non-annotated events don't dilute the signal.
+  double mean_kv_utilization() const;
+  // Max kv_blocks_used over all events (peak pool pressure).
+  std::size_t peak_kv_blocks() const;
+
  private:
   std::vector<StepEvent> events_;
   std::vector<RequestRecord> requests_;
+  std::vector<RequestEvent> request_events_;
   std::vector<double> latencies_;
   double now_ = 0.0;
 };

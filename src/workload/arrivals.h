@@ -30,6 +30,27 @@ struct ArrivalSpec {
 // `count` arrival timestamps, non-decreasing, starting at t >= 0.
 std::vector<double> generate_arrivals(const ArrivalSpec& spec, std::size_t count);
 
+// The arrival model every serving scheduler consumes. One struct instead of
+// the kind/rate/seed/count fields formerly copied across SchedulerConfig,
+// ContinuousConfig and the hybrid offload config, so a workload definition
+// moves between schedulers without field-by-field copying.
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kDeterministic;
+  double rate_rps = 2.0;
+  std::uint64_t seed = 42;
+  std::size_t total_requests = 64;
+
+  ArrivalSpec spec() const {
+    ArrivalSpec s;
+    s.kind = kind;
+    s.rate_rps = rate_rps;
+    s.seed = seed;
+    return s;
+  }
+  // The total_requests timestamps of this configuration.
+  std::vector<double> generate() const { return generate_arrivals(spec(), total_requests); }
+};
+
 // Sample statistics used by tests: mean rate and squared coefficient of
 // variation of the inter-arrival times (1 for Poisson, ~0 deterministic,
 // > 1 bursty).

@@ -107,8 +107,8 @@ TEST(SimulatedEndToEndTest, ServingPlannerFindsBatchTradeoff) {
   // throughput under load.
   serving::SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
   serving::SchedulerConfig config;
-  config.arrival_rate_rps = 20.0;
-  config.total_requests = 64;
+  config.arrivals.rate_rps = 20.0;
+  config.arrivals.total_requests = 64;
   config.max_batch = 1;
   const double rps_b1 = simulate_serving(session, config).achieved_rps();
   config.max_batch = 32;

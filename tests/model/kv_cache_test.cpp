@@ -77,17 +77,53 @@ TEST(KVCacheTest, OverflowRejected) {
   EXPECT_THROW(cache.commit(0), ContractViolation);
 }
 
-TEST(KVCacheTest, BytesAccounting) {
+TEST(KVCacheTest, BytesAccountingDense) {
   const auto cfg = tiny_config();
-  KVCache cache(cfg, 2, 8);
+  KVCacheOptions opts;
+  opts.layout = KVLayout::kDense;
+  KVCache cache(cfg, 2, 8, opts);
+  // Dense reserves everything up front:
   // 2 layers * K+V * batch 2 * seq 8 * kv_dim * 4 bytes.
   EXPECT_EQ(cache.bytes(), cfg.n_layers * 2 * 2 * 8 * cfg.kv_dim() * sizeof(float));
+  EXPECT_EQ(cache.bytes(), cache.reserved_bytes());
   EXPECT_EQ(cache.used_bytes(), 0u);
   const std::size_t kv = cfg.kv_dim();
   std::vector<float> k(kv), v(kv);
   for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, 0, k, v);
   cache.commit(0);
   EXPECT_EQ(cache.used_bytes(), cfg.n_layers * 2 * kv * sizeof(float));
+}
+
+TEST(KVCacheTest, BytesAccountingPagedTracksBlocksInUse) {
+  const auto cfg = tiny_config();
+  KVCacheOptions opts;
+  opts.block_tokens = 4;
+  KVCache cache(cfg, 2, 8, opts);  // default layout is paged
+  ASSERT_EQ(cache.layout(), KVLayout::kPaged);
+  // Nothing appended yet: no blocks handed out.
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.blocks_in_use(), 0u);
+  const std::size_t kv = cfg.kv_dim();
+  std::vector<float> k(kv), v(kv);
+  // One token maps one block for the sequence (shared by all layers).
+  for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, 0, k, v);
+  cache.commit(0);
+  EXPECT_EQ(cache.blocks_in_use(), 1u);
+  EXPECT_EQ(cache.bytes(), cache.block_bytes());
+  EXPECT_EQ(cache.used_bytes(), cfg.n_layers * 2 * kv * sizeof(float));
+  // Filling past block_tokens positions takes a second block.
+  for (std::size_t t = 1; t < 5; ++t) {
+    for (std::size_t l = 0; l < cfg.n_layers; ++l) cache.append(l, 0, k, v);
+    cache.commit(0);
+  }
+  EXPECT_EQ(cache.blocks_in_use(), 2u);
+  EXPECT_EQ(cache.bytes(), 2 * cache.block_bytes());
+  EXPECT_EQ(cache.peak_bytes(), 2 * cache.block_bytes());
+  // Truncating back into the first block returns the second to the pool,
+  // while the peak counter keeps the high-water mark.
+  cache.truncate(0, 2);
+  EXPECT_EQ(cache.blocks_in_use(), 1u);
+  EXPECT_EQ(cache.peak_bytes(), 2 * cache.block_bytes());
 }
 
 TEST(KVCacheTest, ResetClearsLengths) {

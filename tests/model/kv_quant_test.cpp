@@ -110,8 +110,10 @@ TEST(KVQuantTest, Int8CacheHalvesMemory) {
   const auto cfg = kv_test_config();
   KVCache f32(cfg, 2, 16, KVStorage::kF32);
   KVCache i8(cfg, 2, 16, KVStorage::kI8);
-  EXPECT_LT(i8.bytes(), f32.bytes() / 2);  // int8 + per-vector fp32 scale
-  EXPECT_GT(i8.bytes(), f32.bytes() / 8);
+  // int8 + per-vector fp32 scale, measured on the physical reservation
+  // (bytes() reports blocks in use, zero for both fresh caches).
+  EXPECT_LT(i8.reserved_bytes(), f32.reserved_bytes() / 2);
+  EXPECT_GT(i8.reserved_bytes(), f32.reserved_bytes() / 8);
 }
 
 TEST(KVQuantTest, UsedBytesTracksStorage) {

@@ -1,0 +1,183 @@
+// Paged KV cache: the block-table layout must be a pure re-addressing of
+// the dense layout. Generation outputs are pinned bit-identical across the
+// full weight-precision x KV-storage grid, serial and pooled; fork shares
+// blocks copy-on-write; try_reserve is the engine's non-throwing preemption
+// probe; unreserved growth past the pool throws.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "model/kv_cache.h"
+#include "model/transformer.h"
+
+namespace orinsim {
+namespace {
+
+TransformerConfig paged_test_config() {
+  TransformerConfig c;
+  c.vocab = 97;
+  c.d_model = 32;
+  c.n_layers = 2;
+  c.n_heads = 4;
+  c.n_kv_heads = 2;
+  c.d_ff = 64;
+  c.max_seq = 64;
+  c.validate();
+  return c;
+}
+
+std::vector<std::vector<TokenId>> paged_test_prompts() {
+  return {{3, 9, 27}, {81, 12, 36, 11}, {5, 6, 7, 8, 9}, {44, 2}};
+}
+
+Model::GenerateResult generate_with_layout(Model& model, KVLayout layout,
+                                           ThreadPool* pool = nullptr) {
+  model.set_kv_layout(layout);
+  Model::GenerateOptions options;
+  options.pool = pool;
+  return model.generate(paged_test_prompts(), 12, options);
+}
+
+struct GridCase {
+  DType dtype;
+  KVStorage storage;
+};
+
+class PagedVsDenseTest : public ::testing::TestWithParam<GridCase> {};
+
+// The acceptance grid: every weight precision x both KV storages. Paged
+// re-addresses the same bit-exact rows, so outputs must match exactly.
+TEST_P(PagedVsDenseTest, BitIdenticalSerialAndPooled) {
+  const auto cfg = paged_test_config();
+  auto master = MasterWeights::init_random(cfg, 61);
+  Model model(master, GetParam().dtype, GetParam().storage);
+
+  const auto dense = generate_with_layout(model, KVLayout::kDense);
+  ASSERT_EQ(dense.outputs.size(), 4u);
+  const auto paged = generate_with_layout(model, KVLayout::kPaged);
+  EXPECT_EQ(paged.outputs, dense.outputs);
+
+  ThreadPool pool(4);
+  const auto paged_pooled = generate_with_layout(model, KVLayout::kPaged, &pool);
+  EXPECT_EQ(paged_pooled.outputs, dense.outputs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PagedVsDenseTest,
+    ::testing::Values(GridCase{DType::kF32, KVStorage::kF32},
+                      GridCase{DType::kF32, KVStorage::kI8},
+                      GridCase{DType::kF16, KVStorage::kF32},
+                      GridCase{DType::kF16, KVStorage::kI8},
+                      GridCase{DType::kI8, KVStorage::kF32},
+                      GridCase{DType::kI8, KVStorage::kI8},
+                      GridCase{DType::kI4, KVStorage::kF32},
+                      GridCase{DType::kI4, KVStorage::kI8}),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      std::string name = dtype_name(info.param.dtype);
+      name += info.param.storage == KVStorage::kI8 ? "_kvI8" : "_kvF32";
+      for (char& ch : name) {
+        if (ch == '-' || ch == '.') ch = '_';
+      }
+      return name;
+    });
+
+TEST(PagedKVTest, PerplexityPathMatchesDense) {
+  const auto cfg = paged_test_config();
+  auto master = MasterWeights::init_random(cfg, 67);
+  Model model(master, DType::kF32, KVStorage::kF32);
+  const std::vector<TokenId> tokens = {5, 17, 3, 88, 21, 40, 9, 13, 2, 55};
+
+  model.set_kv_layout(KVLayout::kDense);
+  const auto dense = model.sequence_nll(tokens, 1);
+  model.set_kv_layout(KVLayout::kPaged);
+  const auto paged = model.sequence_nll(tokens, 1);
+  EXPECT_EQ(paged.predicted, dense.predicted);
+  EXPECT_EQ(paged.total_nll, dense.total_nll);  // bit-equal, not just close
+}
+
+KVCacheOptions small_pool(std::size_t block_tokens, std::size_t max_blocks) {
+  KVCacheOptions o;
+  o.layout = KVLayout::kPaged;
+  o.block_tokens = block_tokens;
+  o.max_blocks = max_blocks;
+  return o;
+}
+
+void append_all_layers(KVCache& cache, std::size_t b, float fill) {
+  std::vector<float> row(cache.kv_dim(), fill);
+  for (std::size_t l = 0; l < 2; ++l) cache.append(l, b, row, row);
+  cache.commit(b, 1);
+}
+
+TEST(PagedKVTest, ForkSharesBlocksThenCopiesOnWrite) {
+  const auto cfg = paged_test_config();
+  KVCache cache(cfg, /*batch=*/2, /*max_seq=*/16, small_pool(4, 8));
+
+  for (int i = 0; i < 6; ++i) append_all_layers(cache, 0, 1.0f + i);
+  EXPECT_EQ(cache.blocks_in_use(), 2u);  // 6 tokens over 4-token blocks
+
+  cache.fork_sequence(0, 1);
+  EXPECT_EQ(cache.seq_len(1), 6u);
+  EXPECT_EQ(cache.blocks_in_use(), 2u);  // shared, not copied
+
+  std::vector<float> scratch(cache.kv_dim());
+  const auto before = cache.key(0, 0, 5, scratch);
+  const float sentinel = before[0];
+
+  // Writing into the forked sequence's shared partial block copies it; the
+  // source's data must be untouched.
+  append_all_layers(cache, 1, -9.0f);
+  EXPECT_EQ(cache.blocks_in_use(), 3u);  // the shared tail block diverged
+  EXPECT_EQ(cache.key(0, 0, 5, scratch)[0], sentinel);
+  EXPECT_EQ(cache.key(0, 1, 6, scratch)[0], -9.0f);
+
+  // Releasing the fork returns only its exclusive blocks.
+  cache.free_sequence(1);
+  EXPECT_EQ(cache.blocks_in_use(), 2u);
+  EXPECT_EQ(cache.key(0, 0, 5, scratch)[0], sentinel);
+}
+
+TEST(PagedKVTest, TryReserveIsAllOrNothingAndExhaustionThrows) {
+  const auto cfg = paged_test_config();
+  // 3-block pool, 4 tokens per block, two sequences of up to 12 tokens.
+  KVCache cache(cfg, /*batch=*/2, /*max_seq=*/12, small_pool(4, 3));
+
+  EXPECT_TRUE(cache.try_reserve(0, 8));   // 2 blocks
+  EXPECT_EQ(cache.blocks_in_use(), 2u);
+  EXPECT_FALSE(cache.try_reserve(1, 8));  // needs 2, only 1 left
+  EXPECT_EQ(cache.blocks_in_use(), 2u);   // failed probe allocated nothing
+  EXPECT_TRUE(cache.try_reserve(1, 4));
+  EXPECT_EQ(cache.free_blocks(), 0u);
+  // Reserved capacity is idempotent: re-asking for covered room succeeds.
+  EXPECT_TRUE(cache.try_reserve(0, 8));
+  // Growth past the reservation with an empty pool throws.
+  for (int i = 0; i < 8; ++i) append_all_layers(cache, 0, 1.0f);
+  std::vector<float> row(cache.kv_dim(), 0.0f);
+  EXPECT_THROW(cache.append(0, 0, row, row), ContractViolation);
+  // Beyond max_seq is refused even if blocks exist.
+  cache.free_sequence(1);
+  EXPECT_FALSE(cache.try_reserve(0, 5));  // 8 committed + 5 > max_seq 12
+  EXPECT_TRUE(cache.try_reserve(0, 4));
+}
+
+TEST(PagedKVTest, TruncateReturnsBlocksToThePool) {
+  const auto cfg = paged_test_config();
+  KVCache cache(cfg, /*batch=*/1, /*max_seq=*/16, small_pool(4, 4));
+  for (int i = 0; i < 10; ++i) append_all_layers(cache, 0, 2.0f + i);
+  EXPECT_EQ(cache.blocks_in_use(), 3u);
+
+  std::vector<float> scratch(cache.kv_dim());
+  const float keep = cache.key(0, 0, 3, scratch)[0];
+  cache.truncate(0, 4);  // speculative rejection path
+  EXPECT_EQ(cache.blocks_in_use(), 1u);
+  EXPECT_EQ(cache.key(0, 0, 3, scratch)[0], keep);  // kept prefix intact
+
+  // The freed blocks are immediately reusable.
+  EXPECT_TRUE(cache.try_reserve(0, 12));
+}
+
+}  // namespace
+}  // namespace orinsim

@@ -10,8 +10,8 @@ namespace {
 SchedulerConfig base_config() {
   SchedulerConfig c;
   c.max_batch = 8;
-  c.arrival_rate_rps = 4.0;
-  c.total_requests = 32;
+  c.arrivals.rate_rps = 4.0;
+  c.arrivals.total_requests = 32;
   return c;
 }
 
@@ -41,9 +41,9 @@ TEST(BatchSchedulerTest, LargerMaxBatchFewerBatches) {
 TEST(BatchSchedulerTest, HigherArrivalRateRaisesOccupancy) {
   SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
   SchedulerConfig slow = base_config();
-  slow.arrival_rate_rps = 0.05;  // trickle: batches mostly run singly
+  slow.arrivals.rate_rps = 0.05;  // trickle: batches mostly run singly
   SchedulerConfig fast = base_config();
-  fast.arrival_rate_rps = 50.0;  // flood: batches fill to max
+  fast.arrivals.rate_rps = 50.0;  // flood: batches fill to max
   const ScheduleResult r_slow = simulate_serving(session, slow);
   const ScheduleResult r_fast = simulate_serving(session, fast);
   EXPECT_GT(r_fast.mean_batch_occupancy, r_slow.mean_batch_occupancy);
@@ -63,7 +63,7 @@ TEST(BatchSchedulerTest, InvalidConfigsRejected) {
   bad.max_batch = 0;
   EXPECT_THROW(simulate_serving(session, bad), ContractViolation);
   bad = base_config();
-  bad.total_requests = 0;
+  bad.arrivals.total_requests = 0;
   EXPECT_THROW(simulate_serving(session, bad), ContractViolation);
 }
 
@@ -100,8 +100,8 @@ TEST(BatchSchedulerArrivalsTest, BurstyTailWorseThanDeterministic) {
   SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
   SchedulerConfig config;
   config.max_batch = 8;
-  config.arrival_rate_rps = 3.0;
-  config.total_requests = 64;
+  config.arrivals.rate_rps = 3.0;
+  config.arrivals.total_requests = 64;
   const ScheduleResult even = simulate_serving(session, config);
 
   workload::ArrivalSpec spec;

@@ -11,8 +11,8 @@ ContinuousConfig base_config() {
   ContinuousConfig c;
   c.model_key = "llama3";
   c.max_concurrency = 16;
-  c.arrival_rate_rps = 2.0;
-  c.total_requests = 32;
+  c.arrivals.rate_rps = 2.0;
+  c.arrivals.total_requests = 32;
   return c;
 }
 
@@ -34,7 +34,7 @@ TEST(ContinuousBatchingTest, Deterministic) {
 
 TEST(ContinuousBatchingTest, OccupancyBoundedByCap) {
   ContinuousConfig c = base_config();
-  c.arrival_rate_rps = 100.0;  // flood
+  c.arrivals.rate_rps = 100.0;  // flood
   const ContinuousResult r = simulate_continuous(c);
   EXPECT_LE(r.mean_active, static_cast<double>(c.max_concurrency) + 1e-9);
   EXPECT_GT(r.mean_active, 4.0);  // flood keeps the device busy
@@ -44,8 +44,8 @@ TEST(ContinuousBatchingTest, SingleRequestLatencyNearBsOne) {
   // A lone request should see roughly the bs=1 static latency (prefill +
   // 64 decode steps), with no batching delay.
   ContinuousConfig c = base_config();
-  c.total_requests = 1;
-  c.arrival_rate_rps = 1.0;
+  c.arrivals.total_requests = 1;
+  c.arrivals.rate_rps = 1.0;
   const ContinuousResult r = simulate_continuous(c);
   ASSERT_EQ(r.latencies_s.size(), 1u);
   EXPECT_GT(r.latencies_s[0], 4.0);
@@ -61,13 +61,13 @@ TEST(ContinuousBatchingTest, BeatsStaticMeanLatencyUnderLoad) {
   SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
   SchedulerConfig sc;
   sc.max_batch = 16;
-  sc.arrival_rate_rps = rps;
-  sc.total_requests = n;
+  sc.arrivals.rate_rps = rps;
+  sc.arrivals.total_requests = n;
   const ScheduleResult stat = simulate_serving(session, sc);
 
   ContinuousConfig cc = base_config();
-  cc.arrival_rate_rps = rps;
-  cc.total_requests = n;
+  cc.arrivals.rate_rps = rps;
+  cc.arrivals.total_requests = n;
   const ContinuousResult cont = simulate_continuous(cc);
 
   EXPECT_LT(cont.mean_latency_s(), stat.mean_latency_s());
@@ -76,7 +76,7 @@ TEST(ContinuousBatchingTest, BeatsStaticMeanLatencyUnderLoad) {
 TEST(ContinuousBatchingTest, EnergyScalesWithWork) {
   ContinuousConfig c = base_config();
   const ContinuousResult small = simulate_continuous(c);
-  c.total_requests *= 2;
+  c.arrivals.total_requests *= 2;
   const ContinuousResult large = simulate_continuous(c);
   EXPECT_GT(large.energy_j, small.energy_j * 1.5);
 }
@@ -90,7 +90,7 @@ TEST(ContinuousBatchingTest, MemoryGateEnforced) {
 
 TEST(ContinuousBatchingTest, DegenerateConfigsRejected) {
   ContinuousConfig c = base_config();
-  c.total_requests = 0;
+  c.arrivals.total_requests = 0;
   EXPECT_THROW(simulate_continuous(c), ContractViolation);
   c = base_config();
   c.max_concurrency = 0;

@@ -52,8 +52,8 @@ TEST(TraceConservationTest, SchedulerMetricsMatchTimeline) {
   serving::SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
   serving::SchedulerConfig config;
   config.max_batch = 8;
-  config.arrival_rate_rps = 4.0;
-  config.total_requests = 32;
+  config.arrivals.rate_rps = 4.0;
+  config.arrivals.total_requests = 32;
   const serving::ScheduleResult r = simulate_serving(session, config);
   const trace::ExecutionTimeline& tl = r.timeline;
 
@@ -75,8 +75,8 @@ TEST(TraceConservationTest, SchedulerMetricsMatchTimeline) {
 TEST(TraceConservationTest, ContinuousMetricsMatchTimeline) {
   serving::ContinuousConfig config;
   config.max_concurrency = 16;
-  config.arrival_rate_rps = 2.0;
-  config.total_requests = 32;
+  config.arrivals.rate_rps = 2.0;
+  config.arrivals.total_requests = 32;
   const serving::ContinuousResult r = simulate_continuous(config);
   const trace::ExecutionTimeline& tl = r.timeline;
 
@@ -95,8 +95,8 @@ TEST(TraceConservationTest, HybridEdgeOnlyMatchesStaticScheduler) {
   serving::SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
   serving::SchedulerConfig sc;
   sc.max_batch = 16;
-  sc.arrival_rate_rps = 4.0;
-  sc.total_requests = 48;
+  sc.arrivals.rate_rps = 4.0;
+  sc.arrivals.total_requests = 48;
   const serving::ScheduleResult stat = simulate_serving(session, sc);
 
   serving::HybridConfig hc;
@@ -104,7 +104,7 @@ TEST(TraceConservationTest, HybridEdgeOnlyMatchesStaticScheduler) {
   hc.policy = serving::OffloadPolicy::kEdgeOnly;
   const serving::HybridResult hybrid = simulate_hybrid(session, hc);
 
-  EXPECT_EQ(hybrid.edge_requests, sc.total_requests);
+  EXPECT_EQ(hybrid.edge_requests, sc.arrivals.total_requests);
   EXPECT_DOUBLE_EQ(hybrid.edge_energy_j, stat.total_energy_j);
   EXPECT_DOUBLE_EQ(hybrid.mean_latency_s(), stat.mean_latency_s());
   EXPECT_DOUBLE_EQ(hybrid.makespan_s, stat.makespan_s);
@@ -114,8 +114,8 @@ TEST(TraceConservationTest, HybridCloudEventsOverlapOffDevice) {
   serving::SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
   serving::HybridConfig hc;
   hc.scheduler.max_batch = 16;
-  hc.scheduler.arrival_rate_rps = 50.0;  // flood -> spill
-  hc.scheduler.total_requests = 48;
+  hc.scheduler.arrivals.rate_rps = 50.0;  // flood -> spill
+  hc.scheduler.arrivals.total_requests = 48;
   hc.policy = serving::OffloadPolicy::kQueueDepth;
   hc.queue_threshold = 4;
   const serving::HybridResult r = simulate_hybrid(session, hc);
