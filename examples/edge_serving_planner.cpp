@@ -9,15 +9,23 @@
 //    hardware model. Sweep max concurrency; requests join and leave the
 //    running batch at decode-step granularity.
 //
+// The continuous path runs through the unified serving engine, so every row
+// also reports per-request energy attribution (J/request and J/token summed
+// off the event stream, conserving the timeline total). --power-cap-w puts
+// the engine's power governor in the loop: when a step exceeds the cap the
+// governor walks the Table 2 GPU-frequency ladder (MaxN -> A -> B) and the
+// step-down count shows up as its own column.
+//
 // Run: ./edge_serving_planner [--model=llama3] [--rps=2.0] [--slo-s=30]
 //                             [--requests=96] [--dtype=fp16]
-//                             [--policy=static|continuous]
+//                             [--policy=static|continuous] [--power-cap-w=0]
 #include <cstdio>
 
 #include "core/cli.h"
 #include "core/table.h"
 #include "serving/batch_scheduler.h"
 #include "serving/continuous_batching.h"
+#include "serving/engine.h"
 
 using namespace orinsim;
 using namespace orinsim::serving;
@@ -69,24 +77,23 @@ int plan_static(const std::string& model, DType dtype, double rps, double slo_s,
 }
 
 int plan_continuous(const std::string& model, DType dtype, double rps, double slo_s,
-                    std::size_t requests) {
+                    std::size_t requests, double power_cap_w) {
   Table table({"concurrency", "mean active", "p95 latency (s)", "achieved req/s",
-               "energy/request (J)", "meets SLO"});
+               "J/request", "J/token", "step-downs", "meets SLO"});
   std::size_t best_cap = 0;
   double best_energy = 1e99;
+  const sim::InferenceSim sim;
+  const sim::ModelSpec& spec = sim::model_by_key(model);
+  const workload::SeqConfig seq = workload::seq_config_default();
   for (std::size_t cap : {1, 2, 4, 8, 16, 32, 64}) {
-    ContinuousConfig config;
-    config.model_key = model;
-    config.dtype = dtype;
-    config.max_concurrency = cap;
-    config.arrivals.rate_rps = rps;
-    config.arrivals.total_requests = requests;
-    ContinuousResult r;
-    try {
-      r = simulate_continuous(config);
-    } catch (const ContractViolation&) {
+    // Memory gate: steady state is `cap` sequences at full length.
+    const sim::MemoryBreakdown mem =
+        sim.memory_model().workload_memory(spec, dtype, cap, seq.input, seq.output);
+    if (sim.memory_model().workload_oom(mem) || sim.memory_model().model_oom(spec, dtype)) {
       table.new_row()
           .add_cell(std::to_string(cap))
+          .add_cell("-")
+          .add_cell("-")
           .add_cell("-")
           .add_cell("-")
           .add_cell("-")
@@ -94,8 +101,30 @@ int plan_continuous(const std::string& model, DType dtype, double rps, double sl
           .add_cell("OOM");
       continue;  // this concurrency does not fit in device memory
     }
-    const double energy_per_req =
-        r.energy_j / static_cast<double>(r.latencies_s.size());
+    SimTokenBackend::Config bc;
+    bc.model_key = model;
+    bc.dtype = dtype;
+    bc.max_concurrency = cap;
+    bc.seq = seq;
+    SimTokenBackend backend(bc);
+    workload::ArrivalConfig arrivals;
+    arrivals.rate_rps = rps;
+    arrivals.total_requests = requests;
+    std::vector<Request> stream;
+    for (double t : arrivals.generate()) {
+      Request rq;
+      rq.id = stream.size();
+      rq.arrival_s = t;
+      rq.prompt_tokens = seq.input;
+      rq.max_new_tokens = seq.output;
+      stream.push_back(rq);
+    }
+    GovernorConfig gov;
+    gov.power_cap_w = power_cap_w;  // 0 leaves the governor off
+    const EngineResult r = ContinuousPolicy(backend, gov).run(std::move(stream));
+    // Energy columns come from per-request attribution off the event stream
+    // (their sum conserves the timeline total by construction).
+    const double energy_per_req = r.energy_per_request_j();
     const double achieved_rps =
         r.makespan_s > 0.0 ? static_cast<double>(r.latencies_s.size()) / r.makespan_s
                            : 0.0;
@@ -106,6 +135,8 @@ int plan_continuous(const std::string& model, DType dtype, double rps, double sl
         .add_number(r.p95_latency_s(), 1)
         .add_number(achieved_rps, 2)
         .add_number(energy_per_req, 0)
+        .add_number(r.energy_per_token_j(), 2)
+        .add_cell(std::to_string(r.governor_step_downs))
         .add_cell(meets ? "yes" : "no");
     if (meets && energy_per_req < best_energy) {
       best_energy = energy_per_req;
@@ -113,6 +144,12 @@ int plan_continuous(const std::string& model, DType dtype, double rps, double sl
     }
   }
   std::fputs(table.to_markdown().c_str(), stdout);
+  if (power_cap_w > 0.0) {
+    std::printf("\nGovernor active: steps exceeding %.0f W walk the GPU-frequency\n",
+                power_cap_w);
+    std::printf("ladder (MaxN -> A -> B); at the ladder floor admissions defer until\n");
+    std::printf("the batch shrinks under the cap.\n");
+  }
 
   if (best_cap == 0) {
     std::printf("\nNo concurrency cap meets the SLO at %.1f req/s. Lower the arrival\n",
@@ -138,11 +175,14 @@ int main(int argc, char** argv) {
   const double slo_s = args.get_double("slo-s", 30.0);
   const auto requests = static_cast<std::size_t>(args.get_int("requests", 96));
   const std::string policy = args.get("policy", "static");
+  const double power_cap_w = args.get_double("power-cap-w", 0.0);
 
   std::printf("Planning %s (%s) on Orin AGX: %.1f req/s arrivals, p95 SLO %.0f s, %s batching\n\n",
               model.c_str(), dtype_name(dtype).c_str(), rps, slo_s, policy.c_str());
 
-  if (policy == "continuous") return plan_continuous(model, dtype, rps, slo_s, requests);
+  if (policy == "continuous") {
+    return plan_continuous(model, dtype, rps, slo_s, requests, power_cap_w);
+  }
   if (policy == "static") return plan_static(model, dtype, rps, slo_s, requests);
   std::printf("Unknown --policy=%s (expected static or continuous)\n", policy.c_str());
   return 2;

@@ -4,7 +4,13 @@
 // deployments). Reproduces §3.4's operational guidance: PM-A-like modes for
 // energy, PM-B/H only under hard power caps, never PM-H for energy.
 //
+// --cap-w adds the §3.4 power-cap question: among modes whose median draw
+// fits under the board budget, which is fastest? This is the mode a serving
+// power governor should settle on (the engine's governor walks the
+// MaxN -> A -> B GPU-frequency ladder toward exactly this answer).
+//
 // Run: ./power_mode_advisor [--model=llama3] [--batch=32] [--objective=all]
+//                           [--cap-w=0]
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -77,6 +83,29 @@ int main(int argc, char** argv) {
               coolest.mode.name.c_str(), coolest.result.median_power_w);
   std::printf("  battery/energy   : %-5s (%.0f J per batch)\n", frugal.mode.name.c_str(),
               frugal.result.energy_j);
+  const double cap_w = args.get_double("cap-w", 0.0);
+  if (cap_w > 0.0) {
+    const ModeResult* capped = nullptr;
+    for (const auto& mr : results) {
+      if (mr.result.median_power_w > cap_w) continue;
+      if (capped == nullptr || mr.result.latency_s < capped->result.latency_s) {
+        capped = &mr;
+      }
+    }
+    if (capped != nullptr) {
+      std::printf("  under %.0f W cap  : %-5s (%.1f W, %.2f s)\n", cap_w,
+                  capped->mode.name.c_str(), capped->result.median_power_w,
+                  capped->result.latency_s);
+      std::printf("\nA serving governor capped at %.0f W should settle on %s: the\n", cap_w,
+                  capped->mode.name.c_str());
+      std::printf("fastest mode whose sustained draw fits the budget.\n");
+    } else {
+      std::printf("  under %.0f W cap  : none  (no mode's median draw fits; a governor\n",
+                  cap_w);
+      std::printf("                     must shrink the batch via admission deferral)\n");
+    }
+  }
+
   std::printf("\nPer the paper (section 3.4): down-clocking the GPU moderately (PM-A)\n");
   std::printf("saves energy, down-clocking it hard (PM-B) or starving memory (PM-H)\n");
   std::printf("only helps under instantaneous power caps and wastes energy overall.\n");

@@ -41,8 +41,104 @@ void finalize(EngineResult& result, std::vector<Request> requests,
   if (backend != nullptr) {
     result.peak_kv_bytes = result.peak_kv_blocks * backend->kv_usage().block_bytes;
   }
+  result.governor_step_downs =
+      timeline.governor_event_count(trace::GovernorEventKind::kPowerCapStepDown) +
+      timeline.governor_event_count(trace::GovernorEventKind::kThermalStepDown);
+  // Per-request attribution off the participant-annotated event stream. The
+  // engine indexes requests by id (requests[i].id == i, the same invariant
+  // the timeline bookkeeping relies on).
+  const std::vector<double> per_request = timeline.per_request_energy_j();
+  result.request_metrics.assign(per_request.size(), RequestMetrics{});
+  for (std::size_t i = 0; i < per_request.size(); ++i) {
+    RequestMetrics& m = result.request_metrics[i];
+    m.energy_j = per_request[i];
+    const trace::RequestRecord& rec = timeline.requests()[i];
+    if (rec.completed && rec.finish_s > rec.start_s) {
+      m.avg_power_w = m.energy_j / (rec.finish_s - rec.start_s);
+    }
+    const std::size_t tokens = requests[i].prompt_tokens + requests[i].generated;
+    if (tokens > 0) m.energy_per_token_j = m.energy_j / static_cast<double>(tokens);
+  }
   result.requests = std::move(requests);
 }
+
+// Runs the board power cap and the thermal RC loop over the policy's step
+// stream; owned by one ContinuousPolicy::run call. Monotone descent: modes
+// only step down within a run (no re-promotion chatter), admissions resume
+// as soon as the violation clears.
+class PowerGovernor {
+ public:
+  PowerGovernor(const GovernorConfig& config, TokenBackend& backend,
+                trace::ExecutionTimeline& timeline)
+      : config_(config),
+        backend_(backend),
+        timeline_(timeline),
+        thermal_(config.thermal),
+        temp_(config.initial_temp_c < 0.0 ? config.thermal.ambient_c
+                                          : config.initial_temp_c) {
+    if (config_.enabled() && config_.ladder.empty()) {
+      config_.ladder = sim::gpu_frequency_ladder();
+    }
+  }
+
+  bool defer_admissions() const { return deferring_; }
+
+  // Device idle (stall): the junction cools toward the idle equilibrium.
+  void observe_idle(double duration_s) {
+    if (!config_.thermal_enabled || duration_s <= 0.0) return;
+    temp_ = thermal_.step_temperature(temp_, backend_.idle_power_w(), duration_s);
+  }
+
+  // One emitted prefill/decode step. Called after the event lands, so
+  // timeline_.now() is the event end — the timestamp actions carry.
+  void observe_step(double power_w, double duration_s) {
+    if (!config_.enabled()) return;
+    const bool powered = power_w >= 0.0;
+    if (config_.thermal_enabled) {
+      temp_ = thermal_.step_temperature(
+          temp_, powered ? power_w : backend_.idle_power_w(), duration_s);
+    }
+    const bool over_cap =
+        config_.power_cap_w > 0.0 && powered && power_w > config_.power_cap_w;
+    const bool over_temp =
+        config_.thermal_enabled && temp_ >= config_.thermal.throttle_start_c;
+    const double temp_out = config_.thermal_enabled ? temp_ : 0.0;
+    if (over_cap || over_temp) {
+      if (next_mode_ < config_.ladder.size() &&
+          backend_.set_power_mode(config_.ladder[next_mode_])) {
+        timeline_.governor_event(over_cap
+                                     ? trace::GovernorEventKind::kPowerCapStepDown
+                                     : trace::GovernorEventKind::kThermalStepDown,
+                                 timeline_.now(), config_.ladder[next_mode_].name,
+                                 power_w, temp_out);
+        ++next_mode_;
+      } else if (config_.defer_admissions && !deferring_) {
+        // Ladder floor (or a backend without DVFS): shrink the batch instead.
+        deferring_ = true;
+        timeline_.governor_event(trace::GovernorEventKind::kAdmitDefer,
+                                 timeline_.now(), mode_name(), power_w, temp_out);
+      }
+    } else if (deferring_) {
+      deferring_ = false;
+      timeline_.governor_event(trace::GovernorEventKind::kAdmitResume,
+                               timeline_.now(), mode_name(), power_w, temp_out);
+    }
+  }
+
+ private:
+  std::string mode_name() const {
+    if (config_.ladder.empty()) return "?";
+    return config_.ladder[next_mode_ > 0 ? next_mode_ - 1 : 0].name;
+  }
+
+  GovernorConfig config_;
+  TokenBackend& backend_;
+  trace::ExecutionTimeline& timeline_;
+  sim::ThermalModel thermal_;
+  double temp_;
+  std::size_t next_mode_ = 1;  // ladder[0] is the backend's starting mode
+  bool deferring_ = false;
+};
 
 std::vector<std::size_t> descending_lane_list(std::size_t lanes) {
   // Descending so pop_back hands out lane 0 first (deterministic order).
@@ -67,6 +163,16 @@ double EngineResult::throughput_tps() const {
   return static_cast<double>(total_tokens) / makespan_s;
 }
 
+double EngineResult::energy_per_request_j() const {
+  if (requests.empty()) return 0.0;
+  return energy_j / static_cast<double>(requests.size());
+}
+
+double EngineResult::energy_per_token_j() const {
+  if (total_tokens == 0) return 0.0;
+  return energy_j / static_cast<double>(total_tokens);
+}
+
 // ---------------------------------------------------------------------------
 // ContinuousPolicy
 // ---------------------------------------------------------------------------
@@ -82,6 +188,7 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
   EngineResult result;
   trace::ExecutionTimeline& timeline = result.timeline;
   for (const Request& r : requests) timeline.begin_request(r.arrival_s);
+  PowerGovernor governor(governor_, backend_, timeline);
 
   const std::size_t total = requests.size();
   std::deque<std::size_t> waiting;
@@ -104,15 +211,20 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
     // trace gap-free).
     if (active.empty() && waiting.empty()) {
       ORINSIM_CHECK(arrived < total, "engine: starved scheduler");
+      const double idle_from = timeline.now();
       timeline.stall_until(requests[arrived].arrival_s);
+      governor.observe_idle(timeline.now() - idle_from);
       admit_arrivals();
     }
 
     // Admit FIFO up to the lane cap, stopping at the first request the
     // backend cannot hold (no queue jumping; a preempted request re-queued
-    // at the front resumes before younger work).
+    // at the front resumes before younger work). A deferring governor blocks
+    // admissions while work is in flight — the batch shrinks by attrition
+    // until power recovers — but never starves an idle backend.
     std::vector<Request*> admitted;
-    while (!waiting.empty() && active.size() < backend_.max_lanes()) {
+    const bool defer = governor.defer_admissions() && !active.empty();
+    while (!defer && !waiting.empty() && active.size() < backend_.max_lanes()) {
       Request& req = requests[waiting.front()];
       if (!backend_.try_admit(req)) {
         ORINSIM_CHECK(!active.empty(),
@@ -136,6 +248,8 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
           timeline.emit(trace::Phase::kPrefill, cost.seconds, active.size(), cost.ctx,
                         cost.power_w, cost.breakdown);
       annotate_kv(timeline, eid, backend_);
+      timeline.set_participants(eid, active);
+      governor.observe_step(cost.power_w, cost.seconds);
       for (Request* r : admitted) r->state = RequestState::kDecoding;
     }
 
@@ -173,6 +287,8 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
                                           active.size(), cost.ctx, cost.power_w,
                                           cost.breakdown);
     annotate_kv(timeline, eid, backend_);
+    timeline.set_participants(eid, active);
+    governor.observe_step(cost.power_w, cost.seconds);
 
     // Retire finished sequences in active-list order.
     for (auto it = active.begin(); it != active.end();) {
@@ -244,8 +360,11 @@ EngineResult StaticBatchPolicy::run(std::vector<Request> requests) {
     // batch energy exactly (power * duration == energy).
     const double power =
         latency > 0.0 ? energy_by_bs[take] / latency : trace::kPowerUnset;
-    timeline.emit(trace::Phase::kDecode, latency, take,
-                  static_cast<double>(seq_.total), power);
+    const std::size_t eid = timeline.emit(trace::Phase::kDecode, latency, take,
+                                          static_cast<double>(seq_.total), power);
+    std::vector<std::size_t> batch_ids(take);
+    for (std::size_t i = 0; i < take; ++i) batch_ids[i] = requests[next + i].id;
+    timeline.set_participants(eid, batch_ids);
     for (std::size_t i = 0; i < take; ++i) {
       Request& r = requests[next + i];
       timeline.start_request(r.id, now);
@@ -353,6 +472,13 @@ void SimTokenBackend::release(Request& req) {
   req.lane = Request::kNoLane;
 }
 
+bool SimTokenBackend::set_power_mode(const sim::PowerMode& mode) {
+  config_.power_mode = mode;
+  return true;
+}
+
+double SimTokenBackend::idle_power_w() const { return sim_.power_model().idle_w(); }
+
 SimTokenBackend::KVUsage SimTokenBackend::kv_usage() const {
   // Only report occupancy when an explicit pool was configured: the
   // unlimited default reproduces the legacy simulator, whose traces must
@@ -388,7 +514,8 @@ FunctionalTokenBackend::FunctionalTokenBackend(Model& model, const Config& confi
                                 : model.config().max_seq,
              functional_cache_options(config)),
       pool_(pool),
-      free_lanes_(descending_lane_list(config.max_lanes)) {
+      free_lanes_(descending_lane_list(config.max_lanes)),
+      proxy_mode_(config.power_mode) {
   ORINSIM_CHECK(config_.max_lanes > 0, "functional backend: need at least one lane");
   const std::size_t shards = pool_ != nullptr ? pool_->shard_count() : 1;
   workspaces_.reserve(shards);
@@ -464,6 +591,7 @@ StepCost FunctionalTokenBackend::prefill(
   StepCost cost;
   cost.seconds = watch.elapsed_s();
   cost.ctx = mean_prompt;
+  if (has_power_proxy()) cost.power_w = proxy_prefill_power_w();
   return cost;
 }
 
@@ -492,7 +620,37 @@ StepCost FunctionalTokenBackend::decode_step(
   StepCost cost;
   cost.seconds = watch.elapsed_s();
   cost.ctx = mean_ctx;
+  if (has_power_proxy()) cost.power_w = proxy_decode_power_w(active.size(), mean_ctx);
   return cost;
+}
+
+double FunctionalTokenBackend::proxy_prefill_power_w() const {
+  const sim::ModelSpec& model = sim::model_by_key(config_.power_proxy_model);
+  return proxy_sim_.power_model()
+      .prefill_power(model, config_.power_proxy_dtype, proxy_mode_)
+      .total_w();
+}
+
+double FunctionalTokenBackend::proxy_decode_power_w(std::size_t batch,
+                                                    double mean_ctx) const {
+  const sim::ModelSpec& model = sim::model_by_key(config_.power_proxy_model);
+  const sim::StepBreakdown step = proxy_sim_.roofline().decode_step(
+      model, config_.power_proxy_dtype, batch, mean_ctx, proxy_mode_);
+  return proxy_sim_.power_model()
+      .decode_power(model, config_.power_proxy_dtype, step, proxy_mode_)
+      .total_w();
+}
+
+bool FunctionalTokenBackend::set_power_mode(const sim::PowerMode& mode) {
+  // Without the proxy there is no power model to apply the mode to; telling
+  // the governor so keeps it from logging step-downs that change nothing.
+  if (!has_power_proxy()) return false;
+  proxy_mode_ = mode;
+  return true;
+}
+
+double FunctionalTokenBackend::idle_power_w() const {
+  return has_power_proxy() ? proxy_sim_.power_model().idle_w() : 0.0;
 }
 
 void FunctionalTokenBackend::release(Request& req) {
@@ -546,9 +704,10 @@ EngineResult run_functional_continuous(std::shared_ptr<const MasterWeights> mast
   bc.kv_blocks = config.kv_blocks;
   bc.block_tokens = config.block_tokens;
   bc.kv_storage = config.kv_storage;
+  bc.power_proxy_model = config.power_proxy_model;
   FunctionalTokenBackend backend(model, bc, decode_pool.get());
 
-  ContinuousPolicy policy(backend);
+  ContinuousPolicy policy(backend, config.governor);
   return policy.run(std::move(requests));
 }
 

@@ -37,6 +37,7 @@
 #include "serving/request.h"
 #include "serving/session.h"
 #include "sim/inference_sim.h"
+#include "sim/thermal.h"
 #include "trace/timeline.h"
 #include "workload/arrivals.h"
 #include "workload/prompt_pool.h"
@@ -89,6 +90,39 @@ class TokenBackend {
 
   virtual KVUsage kv_usage() const { return {}; }
   virtual std::string name() const = 0;
+
+  // Power-mode control for the governor. A backend that models DVFS applies
+  // the mode to its subsequent per-step cost/power estimates and returns
+  // true; backends without a power model ignore the request (false), which
+  // tells the governor mode-stepping cannot help and admission deferral is
+  // its only lever.
+  virtual bool set_power_mode(const sim::PowerMode& mode) {
+    (void)mode;
+    return false;
+  }
+  // Board idle draw (W) the governor's thermal loop charges during stalls;
+  // 0 when the backend attaches no power.
+  virtual double idle_power_w() const { return 0.0; }
+};
+
+// Power/thermal governor for ContinuousPolicy. Observes every powered step
+// the policy emits; when the board power cap is exceeded or the thermal RC
+// loop crosses the throttle threshold, it steps the backend's power mode
+// down `ladder` (Table 2's GPU-frequency descent by default) and, once the
+// ladder floor is reached, defers new admissions until the violation clears.
+// Every action lands in the timeline as a GovernorEvent. Default-constructed
+// config = governor off: the policy's schedule and trace are untouched.
+struct GovernorConfig {
+  double power_cap_w = 0.0;     // board power cap; 0 disables the cap
+  bool thermal_enabled = false; // run the RC loop over step timestamps
+  sim::ThermalParams thermal;
+  double initial_temp_c = -1.0; // <0: start at ambient
+  // Descending power-mode ladder; index 0 must be the backend's configured
+  // mode. Empty selects sim::gpu_frequency_ladder() (MaxN -> A -> B).
+  std::vector<sim::PowerMode> ladder;
+  bool defer_admissions = true; // throttle admissions at the ladder floor
+
+  bool enabled() const { return power_cap_w > 0.0 || thermal_enabled; }
 };
 
 // Everything a serving run produces, derived from the event stream.
@@ -105,12 +139,22 @@ struct EngineResult {
   std::size_t peak_kv_blocks = 0;
   std::size_t peak_kv_bytes = 0;
 
+  // Per-request energy attribution, indexed by request id. Sums to energy_j
+  // (the conservation invariant, pinned by test): every powered step's
+  // energy is split across the requests active in that step.
+  std::vector<RequestMetrics> request_metrics;
+  // Power-mode step-downs the governor performed (0: governor off/quiet).
+  std::size_t governor_step_downs = 0;
+
   // The full event stream the metrics above are derived from.
   trace::ExecutionTimeline timeline;
 
   double mean_latency_s() const;
   double p95_latency_s() const;
   double throughput_tps() const;
+  // Mean attributed energy per request / per token (0 without power).
+  double energy_per_request_j() const;
+  double energy_per_token_j() const;
 };
 
 // A scheduling policy: consumes the request list (arrivals pre-filled) and
@@ -127,13 +171,15 @@ class RequestScheduler {
 // simulate_continuous exactly when the backend never runs out of blocks.
 class ContinuousPolicy : public RequestScheduler {
  public:
-  explicit ContinuousPolicy(TokenBackend& backend) : backend_(backend) {}
+  explicit ContinuousPolicy(TokenBackend& backend, GovernorConfig governor = {})
+      : backend_(backend), governor_(std::move(governor)) {}
 
   EngineResult run(std::vector<Request> requests) override;
   std::string policy_name() const override { return "continuous"; }
 
  private:
   TokenBackend& backend_;
+  GovernorConfig governor_;
 };
 
 // The paper's static batching: wait for arrivals, take up to max_batch, run
@@ -184,6 +230,9 @@ class SimTokenBackend : public TokenBackend {
   void release(Request& req) override;
   KVUsage kv_usage() const override;
   std::string name() const override { return "sim:" + config_.model_key; }
+  // Governor hook: subsequent roofline/power estimates use the new mode.
+  bool set_power_mode(const sim::PowerMode& mode) override;
+  double idle_power_w() const override;
 
   const Config& config() const noexcept { return config_; }
 
@@ -213,6 +262,16 @@ class FunctionalTokenBackend : public TokenBackend {
     std::size_t kv_blocks = 0;
     std::size_t block_tokens = kDefaultKVBlockTokens;
     KVStorage kv_storage = KVStorage::kF32;
+    // Calibrated power proxy: when non-empty, every measured prefill/decode
+    // step carries the PowerModel estimate for this paper-scale model at the
+    // step's batch and context under `power_mode` — served functional
+    // traffic then feeds the same energy / PowerSignal / PowerSampler
+    // pipeline as the simulator (this host has no board sensor, so wattage
+    // is modeled even though durations are measured). Empty: power unset,
+    // trace serialization identical to the proxy-free engine.
+    std::string power_proxy_model;
+    DType power_proxy_dtype = DType::kF16;
+    sim::PowerMode power_mode = sim::power_mode_maxn();
   };
 
   // `model` must outlive the backend; `pool` may be null (serial decode).
@@ -227,6 +286,9 @@ class FunctionalTokenBackend : public TokenBackend {
   void release(Request& req) override;
   KVUsage kv_usage() const override;
   std::string name() const override { return "functional"; }
+  // Governor hooks; no-ops (false / 0) unless the power proxy is configured.
+  bool set_power_mode(const sim::PowerMode& mode) override;
+  double idle_power_w() const override;
 
   const KVCache& cache() const noexcept { return cache_; }
 
@@ -234,6 +296,9 @@ class FunctionalTokenBackend : public TokenBackend {
   template <typename Fn>
   void for_each(const std::vector<Request*>& reqs, const Fn& fn);
   std::span<float> lane_logits(std::size_t lane);
+  bool has_power_proxy() const { return !config_.power_proxy_model.empty(); }
+  double proxy_prefill_power_w() const;
+  double proxy_decode_power_w(std::size_t batch, double mean_ctx) const;
 
   Model& model_;
   Config config_;
@@ -242,6 +307,8 @@ class FunctionalTokenBackend : public TokenBackend {
   std::vector<InferenceWorkspace> workspaces_;  // one per shard
   std::vector<std::size_t> free_lanes_;         // LIFO, deterministic
   std::vector<float> logits_;                   // [lanes, vocab]
+  sim::InferenceSim proxy_sim_;                 // power proxy estimates
+  sim::PowerMode proxy_mode_;                   // governor-adjustable
 };
 
 // One-call functional continuous-batching run: builds requests from the
@@ -258,6 +325,12 @@ struct FunctionalEngineConfig {
   KVStorage kv_storage = KVStorage::kF32;
   std::size_t decode_workers = 0;  // 0: serial decode loop
   std::uint64_t prompt_seed = 11;
+  // Pass-through to FunctionalTokenBackend::Config::power_proxy_model: name
+  // a paper-scale model ("llama3") to attach modeled power to the measured
+  // schedule; empty leaves power unset (legacy behaviour).
+  std::string power_proxy_model;
+  // Governor over the continuous policy (off by default).
+  GovernorConfig governor;
 };
 
 EngineResult run_functional_continuous(std::shared_ptr<const MasterWeights> master,

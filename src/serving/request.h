@@ -44,4 +44,19 @@ struct Request {
   bool done() const { return generated >= max_new_tokens; }
 };
 
+// Per-request energy attribution, derived from the engine's event stream:
+// every powered step's energy is split evenly across the requests active in
+// that step, so idle power is amortized over batch occupancy and the sum
+// over requests conserves the timeline's total energy. All zero when the
+// backend attaches no power (functional engine without a power proxy).
+struct RequestMetrics {
+  double energy_j = 0.0;
+  // Attributed energy over the request's residency (first dispatch to
+  // completion, queueing gaps after preemption included).
+  double avg_power_w = 0.0;
+  // energy_j / (prompt + generated) — the same token accounting as
+  // token_throughput_tps, per request instead of per run.
+  double energy_per_token_j = 0.0;
+};
+
 }  // namespace orinsim::serving

@@ -99,6 +99,7 @@ SimResult InferenceSim::run(const SimRequest& request) const {
     metrics.throughput_tps = total_tokens / metrics.latency_s;
     metrics.median_power_w = stats.median_power_w;
     metrics.energy_j = stats.energy_j;
+    if (total_tokens > 0.0) metrics.energy_per_token_j = stats.energy_j / total_tokens;
     agg.add(metrics);
 
     if (r == 1) result.trace = trace;  // first measured run

@@ -23,6 +23,15 @@ const std::vector<PowerMode>& all_power_modes() {
   return kModes;
 }
 
+const std::vector<PowerMode>& gpu_frequency_ladder() {
+  static const std::vector<PowerMode> kLadder = {
+      power_mode_by_name("MaxN"),
+      power_mode_by_name("A"),
+      power_mode_by_name("B"),
+  };
+  return kLadder;
+}
+
 PowerMode power_mode_by_name(const std::string& name) {
   std::string upper;
   for (char c : name) upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));

@@ -25,4 +25,10 @@ PowerMode power_mode_by_name(const std::string& name);
 // All nine modes in the paper's Table 2 order.
 const std::vector<PowerMode>& all_power_modes();
 
+// The GPU-frequency ladder MaxN -> A -> B: the one Table 2 axis where
+// stepping down monotonically lowers board power (§3.4 — the modes the
+// paper recommends under instantaneous power caps). This is the default
+// descent a power/thermal governor walks when a cap or throttle trips.
+const std::vector<PowerMode>& gpu_frequency_ladder();
+
 }  // namespace orinsim::sim

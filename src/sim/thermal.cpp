@@ -108,11 +108,15 @@ ThermalRunResult simulate_with_thermals(const SimRequest& request,
     record(watts, ratio);
   }
 
-  const double decode_time = timeline.phase_time_s(trace::Phase::kDecode);
+  // Powered time = prefill + decode: throttled prefill time counts in the
+  // numerator, so the denominator must cover the same window or a prefill-
+  // heavy hot-start run reports a fraction above 1.
+  const double powered_time = timeline.phase_time_s(trace::Phase::kPrefill) +
+                              timeline.phase_time_s(trace::Phase::kDecode);
   result.latency_s = timeline.now();
   result.energy_j = timeline.total_energy_j();
   result.final_temp_c = temp;
-  result.throttled_fraction = decode_time > 0.0 ? throttled_time / decode_time : 0.0;
+  result.throttled_fraction = powered_time > 0.0 ? throttled_time / powered_time : 0.0;
   return result;
 }
 

@@ -75,7 +75,8 @@ struct ThermalRunResult {
   double ideal_latency_s = 0.0;  // what the non-thermal simulator predicts
   double peak_temp_c = 0.0;
   double final_temp_c = 0.0;
-  double throttled_fraction = 0.0;  // fraction of decode time spent throttled
+  // Fraction of powered (prefill + decode) time spent throttled; in [0, 1].
+  double throttled_fraction = 0.0;
   double energy_j = 0.0;
   std::vector<ThermalSample> trace;  // sampled every ~2s of simulated time
 };

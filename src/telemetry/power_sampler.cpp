@@ -45,7 +45,17 @@ SampledTrace PowerSampler::sample(const PowerSignal& signal, Rng& rng) const {
   ORINSIM_CHECK(period_s_ > 0.0, "PowerSampler: period must be positive");
   SampledTrace trace;
   const double end = signal.duration_s();
-  for (double t = 0.0; t < end; t += period_s_) {
+  // Nothing to sample: a signal that never accrued a powered segment (empty,
+  // or only zero-duration appends) yields an empty trace, not a crash.
+  if (signal.power_w.empty() || end <= 0.0) return trace;
+  // Index-based grid (t = i * period) rather than an accumulating float, so
+  // rounding never drifts a grid point onto the closing sample; the epsilon
+  // guard drops a grid point landing within ~0 of the end, which would
+  // otherwise duplicate it.
+  const double tol = period_s_ * 1e-9;
+  for (std::size_t i = 0;; ++i) {
+    const double t = static_cast<double>(i) * period_s_;
+    if (t >= end - tol) break;
     double p = signal.value_at(t);
     if (noise_sigma_ > 0.0) p *= 1.0 + noise_sigma_ * rng.normal();
     trace.t_s.push_back(t);

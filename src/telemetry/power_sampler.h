@@ -42,7 +42,9 @@ class PowerSampler {
       : period_s_(period_s), noise_sigma_(noise_sigma) {}
 
   // Samples the signal at t = 0, period, 2*period, ..., always including the
-  // final instant so short batches still get >= 2 samples.
+  // final instant so short batches still get >= 2 samples. A grid point
+  // coinciding with the final instant is not duplicated, and an empty or
+  // zero-duration signal yields an empty trace.
   SampledTrace sample(const PowerSignal& signal, Rng& rng) const;
 
  private:

@@ -25,12 +25,14 @@ RunMetrics RunAggregator::mean() const {
     m.throughput_tps += r.throughput_tps;
     m.median_power_w += r.median_power_w;
     m.energy_j += r.energy_j;
+    m.energy_per_token_j += r.energy_per_token_j;
   }
   const double n = static_cast<double>(runs.size());
   m.latency_s /= n;
   m.throughput_tps /= n;
   m.median_power_w /= n;
   m.energy_j /= n;
+  m.energy_per_token_j /= n;
   return m;
 }
 

@@ -16,6 +16,7 @@ struct RunMetrics {
   double throughput_tps = 0.0;
   double median_power_w = 0.0;
   double energy_j = 0.0;
+  double energy_per_token_j = 0.0;  // energy_j / (prompt + generated tokens)
 };
 
 class RunAggregator {

@@ -46,6 +46,15 @@ void event_fields(std::ostringstream& out, const StepEvent& e) {
   }
 }
 
+// Governor actions ride after the step events (one JSON object per action).
+// Emitted only when a governor ran, so governor-free traces serialize
+// byte-identically to before the event type existed.
+void governor_fields(std::ostringstream& out, const GovernorEvent& e) {
+  out << "\"governor\":\"" << governor_event_name(e.kind) << "\",\"t_s\":" << num(e.t_s)
+      << ",\"mode\":\"" << e.mode << "\",\"power_w\":" << num(e.power_w);
+  if (e.temp_c > 0.0) out << ",\"temp_c\":" << num(e.temp_c);
+}
+
 }  // namespace
 
 std::string to_jsonl(const ExecutionTimeline& timeline) {
@@ -53,6 +62,11 @@ std::string to_jsonl(const ExecutionTimeline& timeline) {
   for (const auto& e : timeline.events()) {
     out << "{";
     event_fields(out, e);
+    out << "}\n";
+  }
+  for (const auto& g : timeline.governor_events()) {
+    out << "{";
+    governor_fields(out, g);
     out << "}\n";
   }
   return out.str();
@@ -75,6 +89,16 @@ std::string to_chrome_trace_json(const ExecutionTimeline& timeline,
         << ",\"args\":{";
     std::ostringstream fields;
     event_fields(fields, e);
+    out << fields.str() << "}}";
+  }
+  // Governor actions render as instant events on the device track, so a
+  // power-mode step-down is visible at the step where throttling bit.
+  for (const auto& g : timeline.governor_events()) {
+    out << ",{\"name\":\"governor:" << governor_event_name(g.kind)
+        << "\",\"cat\":\"governor\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":0"
+        << ",\"ts\":" << num(g.t_s * 1e6) << ",\"args\":{";
+    std::ostringstream fields;
+    governor_fields(fields, g);
     out << fields.str() << "}}";
   }
   out << "]}\n";

@@ -27,6 +27,20 @@ std::string phase_name(Phase phase) {
   return "?";
 }
 
+std::string governor_event_name(GovernorEventKind kind) {
+  switch (kind) {
+    case GovernorEventKind::kPowerCapStepDown:
+      return "power_cap_step_down";
+    case GovernorEventKind::kThermalStepDown:
+      return "thermal_step_down";
+    case GovernorEventKind::kAdmitDefer:
+      return "admit_defer";
+    case GovernorEventKind::kAdmitResume:
+      return "admit_resume";
+  }
+  return "?";
+}
+
 std::string request_event_name(RequestEventKind kind) {
   switch (kind) {
     case RequestEventKind::kAdmit:
@@ -119,6 +133,19 @@ void ExecutionTimeline::request_event(std::size_t id, RequestEventKind kind, dou
   request_events_.push_back(RequestEvent{id, kind, t});
 }
 
+void ExecutionTimeline::governor_event(GovernorEventKind kind, double t,
+                                       std::string mode, double power_w,
+                                       double temp_c) {
+  governor_events_.push_back(GovernorEvent{t, kind, std::move(mode), power_w, temp_c});
+}
+
+void ExecutionTimeline::set_participants(std::size_t event_id,
+                                         std::span<const std::size_t> request_ids) {
+  ORINSIM_CHECK(event_id < events_.size(), "timeline: bad event id");
+  if (participants_.size() <= event_id) participants_.resize(event_id + 1);
+  participants_[event_id].assign(request_ids.begin(), request_ids.end());
+}
+
 void ExecutionTimeline::set_kv_blocks(std::size_t event_id, std::size_t used,
                                       std::size_t total) {
   ORINSIM_CHECK(event_id < events_.size(), "timeline: bad event id");
@@ -133,6 +160,30 @@ std::size_t ExecutionTimeline::request_event_count(RequestEventKind kind) const 
     if (e.kind == kind) ++n;
   }
   return n;
+}
+
+std::size_t ExecutionTimeline::governor_event_count(GovernorEventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : governor_events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<double> ExecutionTimeline::per_request_energy_j() const {
+  std::vector<double> energy(requests_.size(), 0.0);
+  const std::size_t annotated = std::min(participants_.size(), events_.size());
+  for (std::size_t i = 0; i < annotated; ++i) {
+    const StepEvent& e = events_[i];
+    const std::vector<std::size_t>& ids = participants_[i];
+    if (!e.has_power() || ids.empty()) continue;
+    const double share = e.energy_j() / static_cast<double>(ids.size());
+    for (std::size_t id : ids) {
+      ORINSIM_CHECK(id < energy.size(), "timeline: participant id out of range");
+      energy[id] += share;
+    }
+  }
+  return energy;
 }
 
 double ExecutionTimeline::mean_kv_utilization() const {

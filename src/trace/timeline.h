@@ -48,6 +48,27 @@ struct RequestEvent {
   double t_s = 0.0;
 };
 
+// Power/thermal governor actions emitted by the serving engine so throttling
+// is visible in exported traces: a power-mode step down the Table 2 ladder
+// (triggered by a board power cap or the thermal RC loop), and admission
+// deferral toggles once the ladder floor is reached.
+enum class GovernorEventKind {
+  kPowerCapStepDown,
+  kThermalStepDown,
+  kAdmitDefer,
+  kAdmitResume,
+};
+
+std::string governor_event_name(GovernorEventKind kind);
+
+struct GovernorEvent {
+  double t_s = 0.0;
+  GovernorEventKind kind = GovernorEventKind::kPowerCapStepDown;
+  std::string mode;      // power mode in effect after the action
+  double power_w = 0.0;  // observed step power that triggered the action
+  double temp_c = 0.0;   // junction estimate at the action (0: thermals off)
+};
+
 struct RequestRecord {
   double arrival_s = 0.0;
   double start_s = 0.0;   // when its batch/step first executed
@@ -96,9 +117,19 @@ class ExecutionTimeline {
   // request_event() feeds the transition log.
   void request_event(std::size_t id, RequestEventKind kind, double t);
 
+  // Records a governor action (power-mode step down, admission deferral) at
+  // time t; serialized by the exporters only when present, so traces from
+  // governor-free runs keep their exact legacy serialization.
+  void governor_event(GovernorEventKind kind, double t, std::string mode,
+                      double power_w, double temp_c);
+
   // Annotates an already-emitted event (by the id emit()/append_at()
   // returned) with KV block-pool occupancy.
   void set_kv_blocks(std::size_t event_id, std::size_t used, std::size_t total);
+
+  // Annotates an already-emitted event with the ids of the requests active
+  // during it — the basis for per-request energy attribution. Not serialized.
+  void set_participants(std::size_t event_id, std::span<const std::size_t> request_ids);
 
   // --- derived metrics --------------------------------------------------
 
@@ -115,6 +146,15 @@ class ExecutionTimeline {
   // Energy over events that carry power: sum(power * duration), accumulated
   // in emission order (bit-stable vs the former per-loop accounting).
   double total_energy_j() const;
+
+  // Per-request energy attribution: each powered event's energy is split
+  // evenly across the requests recorded as its participants (idle power is
+  // thereby amortized over batch occupancy — a request sharing a step with
+  // N-1 others carries 1/N of the board draw). Returns one entry per
+  // begin_request() call. When every powered event carries participants (the
+  // serving engine guarantees this), the sum equals total_energy_j() up to
+  // rounding; powered events without participants contribute to no request.
+  std::vector<double> per_request_energy_j() const;
 
   // Piecewise-constant power signal of the powered events, in emission
   // order, feeding the jtop-style sampling pipeline. Events without power
@@ -141,6 +181,11 @@ class ExecutionTimeline {
   }
   std::size_t request_event_count(RequestEventKind kind) const;
 
+  const std::vector<GovernorEvent>& governor_events() const noexcept {
+    return governor_events_;
+  }
+  std::size_t governor_event_count(GovernorEventKind kind) const;
+
   // Time-weighted mean KV pool utilization over events that carry occupancy
   // (0 when none do). Weighted by event duration, not by makespan: stalls
   // and non-annotated events don't dilute the signal.
@@ -152,6 +197,10 @@ class ExecutionTimeline {
   std::vector<StepEvent> events_;
   std::vector<RequestRecord> requests_;
   std::vector<RequestEvent> request_events_;
+  std::vector<GovernorEvent> governor_events_;
+  // Sparse, indexed by event id (resized on first annotation); empty entry =
+  // no participants recorded for that event.
+  std::vector<std::vector<std::size_t>> participants_;
   std::vector<double> latencies_;
   double now_ = 0.0;
 };

@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 
 #include "serving/continuous_batching.h"
+#include "serving/session.h"
 #include "trace/export.h"
 #include "workload/corpus.h"
 
@@ -136,6 +138,244 @@ TEST(EngineSimTest, BlockExhaustionPreemptsInsteadOfFailing) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-request energy attribution (conservation invariant)
+// ---------------------------------------------------------------------------
+
+std::vector<Request> sim_request_stream(const SimTokenBackend::Config& bc,
+                                        const workload::ArrivalConfig& arrivals) {
+  std::vector<Request> requests;
+  for (double t : arrivals.generate()) {
+    Request r;
+    r.id = requests.size();
+    r.arrival_s = t;
+    r.prompt_tokens = bc.seq.input;
+    r.max_new_tokens = bc.seq.output;
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+double attributed_sum_j(const EngineResult& result) {
+  double sum = 0.0;
+  for (const RequestMetrics& m : result.request_metrics) sum += m.energy_j;
+  return sum;
+}
+
+TEST(EngineEnergyTest, SimContinuousAttributionConservesEnergy) {
+  SimTokenBackend::Config bc;
+  bc.max_concurrency = 8;
+  workload::ArrivalConfig arrivals;
+  arrivals.kind = workload::ArrivalKind::kPoisson;
+  arrivals.total_requests = 16;
+  SimTokenBackend backend(bc);
+  const EngineResult result =
+      ContinuousPolicy(backend).run(sim_request_stream(bc, arrivals));
+
+  EXPECT_GT(result.energy_j, 0.0);
+  ASSERT_EQ(result.request_metrics.size(), 16u);
+  EXPECT_NEAR(attributed_sum_j(result), result.energy_j, 1e-9);
+  for (const RequestMetrics& m : result.request_metrics) {
+    EXPECT_GT(m.energy_j, 0.0);
+    EXPECT_GT(m.avg_power_w, 0.0);
+    EXPECT_GT(m.energy_per_token_j, 0.0);
+  }
+  EXPECT_GT(result.energy_per_request_j(), 0.0);
+  EXPECT_GT(result.energy_per_token_j(), 0.0);
+}
+
+TEST(EngineEnergyTest, AttributionConservesEnergyUnderPreemption) {
+  SimTokenBackend::Config bc;
+  bc.max_concurrency = 8;
+  bc.block_tokens = 16;
+  bc.kv_blocks = 30;  // oversubscribed: forces eviction + recompute
+  SimTokenBackend backend(bc);
+  workload::ArrivalConfig arrivals;
+  arrivals.kind = workload::ArrivalKind::kPoisson;
+  arrivals.rate_rps = 8.0;
+  arrivals.total_requests = 32;
+  const EngineResult result =
+      ContinuousPolicy(backend).run(sim_request_stream(bc, arrivals));
+
+  // Preempted requests pay for their recompute prefills too; the split still
+  // conserves the timeline total.
+  EXPECT_GT(result.preemptions, 0u);
+  EXPECT_NEAR(attributed_sum_j(result), result.energy_j, 1e-9);
+}
+
+TEST(EngineEnergyTest, StaticPolicyAttributionConservesEnergy) {
+  SimSession session("llama3", DType::kF16, workload::Dataset::kWikiText2);
+  workload::ArrivalConfig arrivals;
+  arrivals.kind = workload::ArrivalKind::kPoisson;
+  arrivals.rate_rps = 0.5;
+  arrivals.total_requests = 12;
+  std::vector<Request> requests;
+  const workload::SeqConfig seq = workload::seq_config_default();
+  for (double t : arrivals.generate()) {
+    Request r;
+    r.id = requests.size();
+    r.arrival_s = t;
+    r.prompt_tokens = seq.input;
+    r.max_new_tokens = seq.output;
+    requests.push_back(r);
+  }
+  StaticBatchPolicy policy(session, /*max_batch=*/4, seq);
+  const EngineResult result = policy.run(std::move(requests));
+
+  EXPECT_GT(result.energy_j, 0.0);
+  ASSERT_EQ(result.request_metrics.size(), 12u);
+  EXPECT_NEAR(attributed_sum_j(result), result.energy_j, 1e-9);
+  // Batch-mates share the batch event evenly.
+  for (const RequestMetrics& m : result.request_metrics) EXPECT_GT(m.energy_j, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Power/thermal governor
+// ---------------------------------------------------------------------------
+
+double sim_decode_power_w(const std::string& model_key, DType dtype, std::size_t batch,
+                          double ctx, const sim::PowerMode& pm) {
+  const sim::InferenceSim sim;
+  const sim::ModelSpec& m = sim::model_by_key(model_key);
+  const sim::StepBreakdown step = sim.roofline().decode_step(m, dtype, batch, ctx, pm);
+  return sim.power_model().decode_power(m, dtype, step, pm).total_w();
+}
+
+TEST(EngineGovernorTest, PowerCapStepsDownLadderAndSustainsCap) {
+  SimTokenBackend::Config bc;
+  bc.max_concurrency = 8;
+  // Cap between mode-A and MaxN decode power at this batch: one ladder step
+  // clears the violation.
+  const double ctx_hi = static_cast<double>(bc.seq.input + bc.seq.output);
+  const double p_maxn = sim_decode_power_w(bc.model_key, bc.dtype, 8,
+                                           static_cast<double>(bc.seq.input),
+                                           sim::power_mode_maxn());
+  const double p_a =
+      sim_decode_power_w(bc.model_key, bc.dtype, 8, ctx_hi, sim::power_mode_by_name("A"));
+  ASSERT_LT(p_a, p_maxn);
+  GovernorConfig gov;
+  gov.power_cap_w = 0.5 * (p_a + p_maxn);
+
+  SimTokenBackend backend(bc);
+  workload::ArrivalConfig arrivals;
+  arrivals.kind = workload::ArrivalKind::kPoisson;
+  arrivals.rate_rps = 1000.0;  // flood: one prefill wave, then pure decode
+  arrivals.total_requests = 8;
+  const EngineResult result =
+      ContinuousPolicy(backend, gov).run(sim_request_stream(bc, arrivals));
+
+  EXPECT_EQ(result.latencies_s.size(), 8u);
+  EXPECT_GE(result.governor_step_downs, 1u);
+  const trace::ExecutionTimeline& tl = result.timeline;
+  EXPECT_GE(tl.governor_event_count(trace::GovernorEventKind::kPowerCapStepDown), 1u);
+
+  // Sustained compliance: every powered step after the last governor action
+  // runs at or below the cap.
+  const double last_action_t = tl.governor_events().back().t_s;
+  std::size_t steps_after = 0;
+  for (const trace::StepEvent& e : tl.events()) {
+    if (!e.has_power() || e.t_start_s < last_action_t) continue;
+    EXPECT_LE(e.power_w, gov.power_cap_w + 1e-9);
+    ++steps_after;
+  }
+  EXPECT_GT(steps_after, 0u);
+
+  // Governor actions reach the exported traces; attribution still conserves.
+  EXPECT_NE(trace::to_jsonl(tl).find("\"governor\""), std::string::npos);
+  EXPECT_NE(trace::to_chrome_trace_json(tl).find("governor:"), std::string::npos);
+  EXPECT_NEAR(attributed_sum_j(result), result.energy_j, 1e-9);
+}
+
+TEST(EngineGovernorTest, LadderFloorDefersAdmissionsThenResumes) {
+  SimTokenBackend::Config bc;
+  bc.max_concurrency = 4;
+  // Single-rung ladder (the starting mode only): the governor has no DVFS
+  // lever, so its only recourse is admission deferral.
+  const double ctx_hi = static_cast<double>(bc.seq.input + bc.seq.output);
+  const double p_b4 = sim_decode_power_w(bc.model_key, bc.dtype, 4,
+                                         static_cast<double>(bc.seq.input),
+                                         sim::power_mode_maxn());
+  const double p_b2 = sim_decode_power_w(bc.model_key, bc.dtype, 2, ctx_hi,
+                                         sim::power_mode_maxn());
+  ASSERT_LT(p_b2, p_b4);
+  GovernorConfig gov;
+  gov.power_cap_w = 0.5 * (p_b2 + p_b4);
+  gov.ladder = {sim::power_mode_maxn()};
+
+  SimTokenBackend backend(bc);
+  // Flood, staggered lengths: the batch shrinks by attrition while deferral
+  // holds, power falls under the cap, admissions resume.
+  std::vector<Request> requests;
+  for (std::size_t i = 0; i < 10; ++i) {
+    Request r;
+    r.id = i;
+    r.arrival_s = 0.0;
+    r.prompt_tokens = bc.seq.input;
+    r.max_new_tokens = 4 + 6 * i;
+    requests.push_back(r);
+  }
+  const EngineResult result = ContinuousPolicy(backend, gov).run(std::move(requests));
+
+  EXPECT_EQ(result.latencies_s.size(), 10u);
+  EXPECT_EQ(result.governor_step_downs, 0u);  // no rung to step to
+  const trace::ExecutionTimeline& tl = result.timeline;
+  EXPECT_GE(tl.governor_event_count(trace::GovernorEventKind::kAdmitDefer), 1u);
+  EXPECT_GE(tl.governor_event_count(trace::GovernorEventKind::kAdmitResume), 1u);
+  EXPECT_NEAR(attributed_sum_j(result), result.energy_j, 1e-9);
+}
+
+TEST(EngineGovernorTest, ThermalLoopStepsDownWhenHot) {
+  SimTokenBackend::Config bc;
+  bc.max_concurrency = 8;
+  GovernorConfig gov;
+  gov.thermal_enabled = true;
+  gov.thermal = sim::ThermalParams::fanless_enclosure();
+  // Hot start above the throttle threshold: the first observed step trips
+  // the thermal descent.
+  gov.initial_temp_c = gov.thermal.throttle_start_c + 5.0;
+
+  SimTokenBackend backend(bc);
+  workload::ArrivalConfig arrivals;
+  arrivals.kind = workload::ArrivalKind::kPoisson;
+  arrivals.rate_rps = 1000.0;
+  arrivals.total_requests = 8;
+  const EngineResult result =
+      ContinuousPolicy(backend, gov).run(sim_request_stream(bc, arrivals));
+
+  EXPECT_EQ(result.latencies_s.size(), 8u);
+  const trace::ExecutionTimeline& tl = result.timeline;
+  ASSERT_GE(tl.governor_event_count(trace::GovernorEventKind::kThermalStepDown), 1u);
+  for (const trace::GovernorEvent& e : tl.governor_events()) {
+    EXPECT_GT(e.temp_c, 0.0);  // thermal runs carry the junction estimate
+  }
+  EXPECT_GE(result.governor_step_downs, 1u);
+}
+
+TEST(EngineGovernorTest, DisabledGovernorLeavesScheduleAndTraceUntouched) {
+  SimTokenBackend::Config bc;
+  bc.max_concurrency = 8;
+  workload::ArrivalConfig arrivals;
+  arrivals.kind = workload::ArrivalKind::kPoisson;
+  arrivals.total_requests = 16;
+
+  SimTokenBackend plain(bc);
+  const EngineResult baseline =
+      ContinuousPolicy(plain).run(sim_request_stream(bc, arrivals));
+  SimTokenBackend gated(bc);
+  const EngineResult governed =
+      ContinuousPolicy(gated, GovernorConfig{}).run(sim_request_stream(bc, arrivals));
+
+  // Default config = governor off: byte-identical serialization, no events.
+  EXPECT_EQ(baseline.governor_step_downs, 0u);
+  EXPECT_EQ(governed.governor_step_downs, 0u);
+  EXPECT_TRUE(governed.timeline.governor_events().empty());
+  const std::string jsonl = trace::to_jsonl(governed.timeline);
+  EXPECT_EQ(jsonl.find("governor"), std::string::npos);
+  EXPECT_EQ(jsonl, trace::to_jsonl(baseline.timeline));
+  EXPECT_EQ(trace::to_chrome_trace_json(governed.timeline),
+            trace::to_chrome_trace_json(baseline.timeline));
+}
+
+// ---------------------------------------------------------------------------
 // Functional backend (real decoding over the paged cache)
 // ---------------------------------------------------------------------------
 
@@ -204,6 +444,46 @@ TEST_F(FunctionalEngineTest, ParallelDecodeMatchesSerialUnderPreemption) {
   // admission timing), but under a flooded queue both runs must hit pressure.
   EXPECT_GT(serial.preemptions, 0u);
   EXPECT_GT(pooled.preemptions, 0u);
+}
+
+TEST_F(FunctionalEngineTest, PowerProxyAttributesEnergyAndConservesUnderPreemption) {
+  FunctionalEngineConfig cfg;
+  cfg.arrivals.kind = workload::ArrivalKind::kPoisson;
+  cfg.arrivals.rate_rps = 1000.0;
+  cfg.arrivals.total_requests = 6;
+  cfg.seq = workload::SeqConfig{24, 8, 16};
+  cfg.max_concurrency = 3;
+  cfg.block_tokens = 4;
+  cfg.kv_blocks = 12;  // oversubscribed: preemption under the proxy too
+
+  // Without the proxy the measured engine has no board sensor: zero energy,
+  // zero attribution, legacy serialization.
+  const EngineResult plain = run_functional_continuous(master_, DType::kF32, pool_, cfg);
+  EXPECT_EQ(plain.energy_j, 0.0);
+  for (const RequestMetrics& m : plain.request_metrics) EXPECT_EQ(m.energy_j, 0.0);
+  // Legacy serialization: no sensor, every step exports "power_w":null.
+  EXPECT_NE(trace::to_jsonl(plain.timeline).find("\"power_w\":null"), std::string::npos);
+
+  // With the proxy every measured step carries the modeled wattage for the
+  // paper-scale model; served traffic now has a conserved energy account.
+  cfg.power_proxy_model = "llama3";
+  const EngineResult proxied = run_functional_continuous(master_, DType::kF32, pool_, cfg);
+  EXPECT_GT(proxied.preemptions, 0u);
+  EXPECT_GT(proxied.energy_j, 0.0);
+  ASSERT_EQ(proxied.request_metrics.size(), 6u);
+  EXPECT_NEAR(attributed_sum_j(proxied), proxied.energy_j, 1e-9);
+  for (const RequestMetrics& m : proxied.request_metrics) {
+    EXPECT_GT(m.energy_j, 0.0);
+    EXPECT_GT(m.energy_per_token_j, 0.0);
+  }
+  // The proxy only annotates: token streams stay bit-identical.
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(proxied.requests[i].output, plain.requests[i].output) << "request " << i;
+  }
+  // The proxied signal feeds the jtop sampling pipeline.
+  const telemetry::PowerSignal signal = proxied.timeline.power_signal();
+  EXPECT_GT(signal.duration_s(), 0.0);
+  EXPECT_NEAR(signal.exact_energy_j(), proxied.energy_j, 1e-9 * proxied.energy_j + 1e-12);
 }
 
 // The acceptance run: a 64-request Poisson stream on the real engine, lane

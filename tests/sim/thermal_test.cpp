@@ -90,6 +90,35 @@ TEST(ThermalRunTest, LowerPowerModeAvoidsThrottle) {
   EXPECT_LT(pm_a.throttled_fraction, 0.05);
 }
 
+TEST(ThermalRunTest, ThrottledFractionStaysWithinUnitInterval) {
+  // Prefill-heavy hot start: a long throttled prefill against a short decode.
+  // With the decode-only denominator this fraction exceeded 1; the fix
+  // normalizes by all powered (prefill + decode) time.
+  SimRequest rq;
+  rq.model_key = "llama3";
+  rq.batch = 32;
+  rq.in_tokens = 1000;
+  rq.out_tokens = 24;
+  const ThermalParams p = ThermalParams::fanless_enclosure();
+  const ThermalRunResult r = simulate_with_thermals(rq, p, /*initial_temp_c=*/95.0);
+  // The run starts above throttle_start_c, so prefill is throttled for sure.
+  EXPECT_GT(r.throttled_fraction, 0.0);
+  EXPECT_LE(r.throttled_fraction, 1.0);
+}
+
+TEST(ThermalRunTest, FullyThrottledRunReportsFractionOne) {
+  // Hot start with a fanless enclosure and a short run: the junction never
+  // cools below the throttle threshold, so every powered second is throttled.
+  SimRequest rq;
+  rq.model_key = "llama3";
+  rq.batch = 32;
+  rq.in_tokens = 64;
+  rq.out_tokens = 16;
+  const ThermalParams p = ThermalParams::fanless_enclosure();
+  const ThermalRunResult r = simulate_with_thermals(rq, p, /*initial_temp_c=*/97.0);
+  EXPECT_NEAR(r.throttled_fraction, 1.0, 1e-12);
+}
+
 TEST(ThermalRunTest, TraceSampledAndMonotonic) {
   SimRequest rq;
   rq.model_key = "llama3";

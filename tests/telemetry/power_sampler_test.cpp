@@ -114,5 +114,100 @@ TEST(PowerSamplerTest, ShortBatchStillGetsTwoSamples) {
   EXPECT_GT(summarize(trace).energy_j, 0.0);
 }
 
+TEST(PowerSamplerTest, EmptySignalYieldsEmptyTrace) {
+  const PowerSignal s;
+  Rng rng(6);
+  const PowerSampler sampler(2.0, 0.0);
+  const SampledTrace trace = sampler.sample(s, rng);
+  EXPECT_TRUE(trace.t_s.empty());
+  EXPECT_TRUE(trace.power_w.empty());
+}
+
+TEST(PowerSamplerTest, ZeroDurationOnlySignalYieldsEmptyTrace) {
+  // Zero-duration appends record no segment (power_w stays empty, t_s holds
+  // the origin); the sampler must treat that like an empty signal rather
+  // than crash on value_at.
+  PowerSignal s;
+  s.append(0.0, 40.0);
+  s.append(0.0, 55.0);
+  EXPECT_TRUE(s.power_w.empty());
+  EXPECT_DOUBLE_EQ(s.duration_s(), 0.0);
+  Rng rng(7);
+  const PowerSampler sampler(2.0, 0.0);
+  const SampledTrace trace = sampler.sample(s, rng);
+  EXPECT_TRUE(trace.t_s.empty());
+  EXPECT_TRUE(trace.power_w.empty());
+}
+
+TEST(PowerSamplerTest, GridPointOnSignalEndIsNotDuplicated) {
+  // Duration an exact multiple of the period: the last grid point coincides
+  // with the closing sample. The accumulating-float loop could emit both
+  // (a zero-width trapezoid slab and a skewed median); the index-based grid
+  // keeps exactly one sample per instant.
+  PowerSignal s;
+  s.append(10.0, 40.0);  // grid: 0, 2, 4, 6, 8 — and the end is t = 10
+  Rng rng(8);
+  const PowerSampler sampler(2.0, 0.0);
+  const SampledTrace trace = sampler.sample(s, rng);
+  ASSERT_EQ(trace.t_s.size(), 6u);
+  for (std::size_t i = 1; i < trace.t_s.size(); ++i) {
+    EXPECT_GT(trace.t_s[i], trace.t_s[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(trace.t_s.back(), 10.0);
+}
+
+TEST(PowerSamplerTest, FractionalPeriodGridHasStrictlyIncreasingTimes) {
+  // 0.7 s period over a 2.1 s signal: 3 * 0.7 is not exact in binary, the
+  // textbook case where t += period drifts a grid point to within 1e-16 of
+  // the end and duplicates the closing sample.
+  PowerSignal s;
+  s.append(2.1, 50.0);
+  Rng rng(9);
+  const PowerSampler sampler(0.7, 0.0);
+  const SampledTrace trace = sampler.sample(s, rng);
+  ASSERT_EQ(trace.t_s.size(), 4u);  // 0, 0.7, 1.4 + closing 2.1
+  for (std::size_t i = 1; i < trace.t_s.size(); ++i) {
+    EXPECT_GT(trace.t_s[i], trace.t_s[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(trace.t_s.back(), 2.1);
+}
+
+TEST(PowerSignalTest, ZeroDurationAppendBetweenSegmentsIsInvisible) {
+  PowerSignal a;
+  a.append(1.0, 30.0);
+  a.append(0.0, 99.0);  // no time passes: must not create a segment
+  a.append(1.0, 30.0);  // merges with the first segment
+  PowerSignal b;
+  b.append(2.0, 30.0);
+  EXPECT_EQ(a.power_w, b.power_w);
+  EXPECT_EQ(a.t_s, b.t_s);
+  EXPECT_DOUBLE_EQ(a.exact_energy_j(), b.exact_energy_j());
+}
+
+TEST(PowerSamplerTest, DenseSamplingTrapezoidApproachesExactEnergy) {
+  // A multi-segment signal sampled far below the segment scale: the
+  // trapezoid estimate converges to the piecewise-constant ground truth.
+  PowerSignal s;
+  s.append(3.0, 55.0);
+  s.append(10.0, 42.0);
+  s.append(5.0, 47.0);
+  Rng rng(10);
+  const PowerSampler dense(0.01, 0.0);
+  const BatchPowerStats stats = summarize(dense.sample(s, rng));
+  EXPECT_NEAR(stats.energy_j, s.exact_energy_j(), s.exact_energy_j() * 0.01);
+}
+
+TEST(PowerSignalTest, ValueAtOnEveryKnot) {
+  // Knots: 0, 2, 5, 9. A knot belongs to the segment starting there.
+  PowerSignal s;
+  s.append(2.0, 10.0);
+  s.append(3.0, 20.0);
+  s.append(4.0, 30.0);
+  EXPECT_DOUBLE_EQ(s.value_at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.value_at(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.value_at(5.0), 30.0);
+  EXPECT_DOUBLE_EQ(s.value_at(9.0), 30.0);  // end knot clamps to last
+}
+
 }  // namespace
 }  // namespace orinsim::telemetry

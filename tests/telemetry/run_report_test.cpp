@@ -13,6 +13,7 @@ RunMetrics make_run(double latency) {
   m.throughput_tps = 96.0 / latency;
   m.median_power_w = 45.0;
   m.energy_j = 45.0 * latency;
+  m.energy_per_token_j = m.energy_j / 96.0;
   return m;
 }
 
@@ -33,6 +34,7 @@ TEST(RunAggregatorTest, MeanAveragesAllMetrics) {
   const RunMetrics m = agg.mean();
   EXPECT_DOUBLE_EQ(m.latency_s, 15.0);
   EXPECT_DOUBLE_EQ(m.energy_j, 45.0 * 15.0);
+  EXPECT_DOUBLE_EQ(m.energy_per_token_j, 45.0 * 15.0 / 96.0);
 }
 
 TEST(RunAggregatorTest, NoMeasuredRunsRejected) {

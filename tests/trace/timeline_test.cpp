@@ -73,6 +73,62 @@ TEST(TimelineTest, EnergyOnlyCountsPoweredEvents) {
   EXPECT_DOUBLE_EQ(signal.exact_energy_j(), tl.total_energy_j());
 }
 
+TEST(TimelineTest, ParticipantsSplitEventEnergyEvenly) {
+  ExecutionTimeline tl;
+  const std::size_t a = tl.begin_request(0.0);
+  const std::size_t b = tl.begin_request(0.0);
+  const std::size_t c = tl.begin_request(0.0);
+  // 100 J shared by a+b, 60 J by all three, 40 J by c alone; one unpowered
+  // event and one powered-but-unannotated event contribute to nobody.
+  const std::vector<std::size_t> ab = {a, b};
+  const std::vector<std::size_t> abc = {a, b, c};
+  const std::vector<std::size_t> just_c = {c};
+  std::size_t e = tl.emit(Phase::kPrefill, 2.0, 2, 0.0, 50.0);
+  tl.set_participants(e, ab);
+  e = tl.emit(Phase::kDecode, 3.0, 3, 0.0, 20.0);
+  tl.set_participants(e, abc);
+  e = tl.emit(Phase::kDecode, 1.0, 1);  // no power
+  tl.set_participants(e, just_c);
+  tl.emit(Phase::kDecode, 4.0, 1, 0.0, 10.0);  // powered, no participants
+  e = tl.emit(Phase::kDecode, 2.0, 1, 0.0, 20.0);
+  tl.set_participants(e, just_c);
+
+  const std::vector<double> energy = tl.per_request_energy_j();
+  ASSERT_EQ(energy.size(), 3u);
+  EXPECT_DOUBLE_EQ(energy[a], 50.0 + 20.0);
+  EXPECT_DOUBLE_EQ(energy[b], 50.0 + 20.0);
+  EXPECT_DOUBLE_EQ(energy[c], 20.0 + 40.0);
+}
+
+TEST(TimelineTest, ParticipantOutOfRangeRejected) {
+  ExecutionTimeline tl;
+  tl.begin_request(0.0);
+  const std::size_t e = tl.emit(Phase::kDecode, 1.0, 1, 0.0, 10.0);
+  const std::vector<std::size_t> bogus = {7};
+  tl.set_participants(e, bogus);
+  EXPECT_THROW(tl.per_request_energy_j(), ContractViolation);
+}
+
+TEST(TimelineTest, GovernorEventsRecordedAndCounted) {
+  ExecutionTimeline tl;
+  tl.governor_event(GovernorEventKind::kPowerCapStepDown, 1.0, "A", 55.0, 0.0);
+  tl.governor_event(GovernorEventKind::kThermalStepDown, 2.0, "B", 48.0, 91.0);
+  tl.governor_event(GovernorEventKind::kAdmitDefer, 3.0, "B", 47.0, 0.0);
+  tl.governor_event(GovernorEventKind::kAdmitResume, 4.0, "B", 30.0, 0.0);
+  EXPECT_EQ(tl.governor_events().size(), 4u);
+  EXPECT_EQ(tl.governor_event_count(GovernorEventKind::kPowerCapStepDown), 1u);
+  EXPECT_EQ(tl.governor_event_count(GovernorEventKind::kThermalStepDown), 1u);
+  EXPECT_EQ(tl.governor_event_count(GovernorEventKind::kAdmitDefer), 1u);
+  EXPECT_EQ(tl.governor_event_count(GovernorEventKind::kAdmitResume), 1u);
+  EXPECT_EQ(governor_event_name(GovernorEventKind::kPowerCapStepDown),
+            "power_cap_step_down");
+  // Governor lines ride after the step events in JSONL; temp only when set.
+  const std::string jsonl = to_jsonl(tl);
+  EXPECT_NE(jsonl.find("\"governor\":\"thermal_step_down\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"temp_c\":91"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"mode\":\"A\""), std::string::npos);
+}
+
 TEST(TimelineTest, RequestLatenciesInRetirementOrder) {
   ExecutionTimeline tl;
   const std::size_t a = tl.begin_request(0.0);
