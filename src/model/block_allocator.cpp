@@ -9,6 +9,7 @@ BlockAllocator::BlockAllocator(std::size_t total_blocks, std::size_t block_bytes
   ORINSIM_CHECK(total_blocks > 0 && block_bytes > 0,
                 "BlockAllocator requires positive pool size and block bytes");
   refs_.assign(total_blocks, 0);
+  cached_.assign(total_blocks, 0);
   free_list_.reserve(total_blocks);
   // Descending ids so pop_back hands out block 0 first: the common serial
   // decode fills blocks 0,1,2,... and key_rows stays a zero-copy span.
@@ -67,11 +68,37 @@ void BlockAllocator::retain(std::size_t id) {
 
 void BlockAllocator::release(std::size_t id) {
   std::lock_guard<std::mutex> lock(mu_);
+  // A double release would decrement a zero refcount and corrupt the free
+  // list; the prefix cache's adopt/insert ref protocol makes this the most
+  // likely misuse, so the guard is always on.
   ORINSIM_CHECK(id < refs_.size() && refs_[id] > 0, "BlockAllocator::release on free block");
+  // Checked before the decrement so a violation leaves the pool untouched.
+  ORINSIM_CHECK(refs_[id] > 1 || !cached_[id],
+                "BlockAllocator::release would free a block still flagged cached");
   if (--refs_[id] == 0) {
     free_list_.push_back(id);
     --in_use_;
   }
+}
+
+std::size_t BlockAllocator::cached_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cached_count_;
+}
+
+void BlockAllocator::set_cached(std::size_t id, bool cached) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ORINSIM_CHECK(id < refs_.size() && refs_[id] > 0,
+                "BlockAllocator::set_cached on free block");
+  if (cached_[id] == static_cast<std::uint8_t>(cached)) return;
+  cached_[id] = static_cast<std::uint8_t>(cached);
+  cached ? ++cached_count_ : --cached_count_;
+}
+
+bool BlockAllocator::is_cached(std::size_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ORINSIM_CHECK(id < refs_.size(), "BlockAllocator::is_cached out of range");
+  return cached_[id] != 0;
 }
 
 std::size_t BlockAllocator::ref_count(std::size_t id) const {

@@ -36,6 +36,18 @@ class BlockAllocator {
   std::size_t bytes_in_use() const;
   std::size_t peak_bytes() const;
 
+  // Blocks currently flagged as held by a prefix cache (set_cached). Audits
+  // prefix-cache eviction accounting: cached + free + exclusively-held must
+  // tile the pool, and a cached block whose only reference is the cache's is
+  // reclaimable without preempting any request.
+  std::size_t cached_blocks() const;
+  // Flags an allocated block as (un)owned by a prefix cache. The cache must
+  // clear the flag before dropping its reference: a block returning to the
+  // free list while still flagged is a leak of the cache's accounting and
+  // trips a check in release().
+  void set_cached(std::size_t id, bool cached);
+  bool is_cached(std::size_t id) const;
+
   // One block with ref count 1, or kNoBlock when the pool is exhausted.
   std::size_t alloc();
   // `count` blocks atomically appended to `out`; false (and no allocation)
@@ -52,6 +64,8 @@ class BlockAllocator {
  private:
   mutable std::mutex mu_;
   std::vector<std::uint32_t> refs_;      // 0 = free
+  std::vector<std::uint8_t> cached_;     // 1 = a prefix cache holds a ref
+  std::size_t cached_count_ = 0;
   std::vector<std::size_t> free_list_;   // LIFO; back() is the next handout
   std::size_t in_use_ = 0;
   std::size_t peak_in_use_ = 0;

@@ -217,6 +217,56 @@ void KVCache::fork_sequence(std::size_t src, std::size_t dst) {
   lengths_[dst] = lengths_[src];
 }
 
+std::span<const std::size_t> KVCache::block_table(std::size_t b) const {
+  ORINSIM_CHECK(layout_ == KVLayout::kPaged, "KVCache::block_table requires paged layout");
+  ORINSIM_CHECK(b < batch_, "KVCache::block_table out of range");
+  return std::span<const std::size_t>(tables_[b]);
+}
+
+void KVCache::attach_prefix(std::size_t b, std::span<const std::size_t> blocks,
+                            std::size_t tokens) {
+  ORINSIM_CHECK(layout_ == KVLayout::kPaged, "KVCache::attach_prefix requires paged layout");
+  ORINSIM_CHECK(b < batch_, "KVCache::attach_prefix out of range");
+  ORINSIM_CHECK(lengths_[b] == 0 && staged_[b] == 0 && tables_[b].empty(),
+                "KVCache::attach_prefix target must be empty");
+  ORINSIM_CHECK(tokens == blocks.size() * block_tokens_,
+                "KVCache::attach_prefix requires an exactly full block chain");
+  ORINSIM_CHECK(tokens <= max_seq_, "KVCache::attach_prefix exceeds max_seq");
+  for (std::size_t id : blocks) {
+    ORINSIM_CHECK(allocator_->ref_count(id) > 0,
+                  "KVCache::attach_prefix adopts a reference on a live block");
+  }
+  tables_[b].assign(blocks.begin(), blocks.end());
+  lengths_[b] = tokens;
+}
+
+void KVCache::retain_block(std::size_t id) {
+  ORINSIM_CHECK(layout_ == KVLayout::kPaged, "KVCache::retain_block requires paged layout");
+  allocator_->retain(id);
+}
+
+void KVCache::release_block(std::size_t id) {
+  ORINSIM_CHECK(layout_ == KVLayout::kPaged, "KVCache::release_block requires paged layout");
+  allocator_->release(id);
+}
+
+std::size_t KVCache::block_ref_count(std::size_t id) const {
+  ORINSIM_CHECK(layout_ == KVLayout::kPaged,
+                "KVCache::block_ref_count requires paged layout");
+  return allocator_->ref_count(id);
+}
+
+void KVCache::mark_block_cached(std::size_t id, bool cached) {
+  ORINSIM_CHECK(layout_ == KVLayout::kPaged,
+                "KVCache::mark_block_cached requires paged layout");
+  allocator_->set_cached(id, cached);
+}
+
+std::size_t KVCache::cached_blocks() const noexcept {
+  if (layout_ == KVLayout::kPaged) return allocator_->cached_blocks();
+  return 0;
+}
+
 std::span<const float> KVCache::key(std::size_t layer, std::size_t b, std::size_t pos,
                                     std::span<float> scratch) const {
   ORINSIM_CHECK(layer < n_layers_ && b < batch_ && pos <= staged_end(b) && pos < max_seq_,

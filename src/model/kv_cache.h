@@ -106,6 +106,36 @@ class KVCache {
   // copies it (copy-on-write). Paged layout only.
   void fork_sequence(std::size_t src, std::size_t dst);
 
+  // --- Cross-request block sharing (serving-layer prefix cache). Paged only.
+
+  // Sequence b's committed block table. The ids stay valid while the caller
+  // holds a reference on them (retain_block); the prefix cache snapshots the
+  // full-block prefix of a retiring sequence this way.
+  std::span<const std::size_t> block_table(std::size_t b) const;
+
+  // Maps empty sequence b onto a ready-made chain of full blocks covering
+  // `tokens` committed positions. ADOPTS the caller's references on `blocks`
+  // (one per block — PrefixCache::match_and_retain takes them out); on the
+  // generalized fork_sequence path the donor chain can come from any retired
+  // sequence. `tokens` must fill the chain exactly (tokens == blocks.size()
+  // * block_tokens()), so the next append starts a fresh block and never
+  // copy-on-writes a shared one — the cache-hit decode path allocates
+  // instead of copying, and divergence below the attached prefix is
+  // impossible by construction.
+  void attach_prefix(std::size_t b, std::span<const std::size_t> blocks,
+                     std::size_t tokens);
+
+  // Block-level ref-count plumbing for an external (cross-sequence) holder
+  // such as the prefix cache. Thin forwarders onto the BlockAllocator so the
+  // cache never touches allocator internals directly.
+  void retain_block(std::size_t id);
+  void release_block(std::size_t id);
+  std::size_t block_ref_count(std::size_t id) const;
+  // Flags a block as held by the prefix cache (see BlockAllocator::set_cached)
+  // so eviction accounting is auditable: cached_blocks() counts them.
+  void mark_block_cached(std::size_t id, bool cached);
+  std::size_t cached_blocks() const noexcept;
+
   // K/V vectors for sequence b, position p, layer l. pos == seq_len(b) reads
   // the entry staged by append() before commit() (each layer reads its own
   // staged K/V for the token currently being processed).

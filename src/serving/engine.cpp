@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
 
 #include "core/error.h"
 #include "core/rng.h"
@@ -44,6 +45,28 @@ void finalize(EngineResult& result, std::vector<Request> requests,
   result.governor_step_downs =
       timeline.governor_event_count(trace::GovernorEventKind::kPowerCapStepDown) +
       timeline.governor_event_count(trace::GovernorEventKind::kThermalStepDown);
+  // Prefix-cache behaviour, read off the same event stream as every other
+  // metric — the counters and the exported trace cannot disagree.
+  for (const auto& e : timeline.prefix_cache_events()) {
+    switch (e.kind) {
+      case trace::PrefixCacheEventKind::kHit:
+        ++result.prefix_cache.lookups;
+        ++result.prefix_cache.hits;
+        result.prefix_cache.hit_tokens += e.tokens;
+        result.prefix_cache.bytes_saved += e.bytes_saved;
+        break;
+      case trace::PrefixCacheEventKind::kMiss:
+        ++result.prefix_cache.lookups;
+        ++result.prefix_cache.misses;
+        break;
+      case trace::PrefixCacheEventKind::kInsert:
+        result.prefix_cache.inserted_blocks += e.blocks;
+        break;
+      case trace::PrefixCacheEventKind::kEvict:
+        result.prefix_cache.evicted_blocks += e.blocks;
+        break;
+    }
+  }
   // Per-request attribution off the participant-annotated event stream. The
   // engine indexes requests by id (requests[i].id == i, the same invariant
   // the timeline bookkeeping relies on).
@@ -204,6 +227,25 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
     }
   };
 
+  // Prefix-cache event emission, gated on the backend actually running a
+  // cache so cache-free runs keep byte-identical traces. Insertions and
+  // evictions happen inside backend calls; delta-snapshotting the monotonic
+  // counters around those calls attributes them to the right instant.
+  const bool pc = backend_.prefix_cache_enabled();
+  const std::size_t pc_block_tokens = pc ? backend_.prefix_cache_stats().block_tokens : 0;
+  const std::size_t pc_block_bytes = pc ? backend_.kv_usage().block_bytes : 0;
+  auto pc_counter = [&](auto member) {
+    return pc ? backend_.prefix_cache_stats().*member : 0;
+  };
+  auto pc_emit_evictions = [&](std::size_t evicted_before) {
+    if (!pc) return;
+    const std::size_t d = pc_counter(&PrefixCacheStats::evicted_blocks) - evicted_before;
+    if (d > 0) {
+      timeline.prefix_cache_event(trace::PrefixCacheEventKind::kEvict, timeline.now(),
+                                  0, d * pc_block_tokens, d, 0);
+    }
+  };
+
   while (retired < total) {
     admit_arrivals();
 
@@ -224,6 +266,7 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
     // until power recovers — but never starves an idle backend.
     std::vector<Request*> admitted;
     const bool defer = governor.defer_admissions() && !active.empty();
+    const std::size_t evicted_pre_admit = pc_counter(&PrefixCacheStats::evicted_blocks);
     while (!defer && !waiting.empty() && active.size() < backend_.max_lanes()) {
       Request& req = requests[waiting.front()];
       if (!backend_.try_admit(req)) {
@@ -233,13 +276,28 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
       }
       waiting.pop_front();
       req.state = RequestState::kPrefilling;
-      if (!timeline.requests()[req.id].started) {
+      const bool fresh = !timeline.requests()[req.id].started;
+      if (fresh) {
         timeline.start_request(req.id, timeline.now());
       }
       timeline.request_event(req.id, trace::RequestEventKind::kAdmit, timeline.now());
+      // One lookup per fresh admission: hit with the attached token count, or
+      // miss. Resumed (preempted) requests recompute without a lookup.
+      if (pc && fresh) {
+        if (req.prefix_cached > 0) {
+          const std::size_t blocks = req.prefix_cached / pc_block_tokens;
+          timeline.prefix_cache_event(trace::PrefixCacheEventKind::kHit, timeline.now(),
+                                      req.id, req.prefix_cached, blocks,
+                                      blocks * pc_block_bytes);
+        } else {
+          timeline.prefix_cache_event(trace::PrefixCacheEventKind::kMiss,
+                                      timeline.now(), req.id, 0, 0, 0);
+        }
+      }
       active.push_back(req.id);
       admitted.push_back(&req);
     }
+    pc_emit_evictions(evicted_pre_admit);
     if (!admitted.empty()) {
       const StepCost cost = backend_.prefill(admitted, active.size());
       // Batch carries the post-admission active count: the concurrency
@@ -255,7 +313,10 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
 
     // Every active request must be able to grow by one token before the
     // step runs. On exhaustion, evict the youngest (recompute-on-resume)
-    // until the survivors fit.
+    // until the survivors fit. A prefix-cache-running backend reclaims
+    // cached-but-unreferenced blocks inside try_extend before failing, so
+    // request preemption is strictly the last resort.
+    const std::size_t evicted_pre_extend = pc_counter(&PrefixCacheStats::evicted_blocks);
     while (true) {
       bool all_fit = true;
       for (std::size_t id : active) {
@@ -277,6 +338,7 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
       waiting.push_front(victim);
       timeline.request_event(victim, trace::RequestEventKind::kPreempt, timeline.now());
     }
+    pc_emit_evictions(evicted_pre_extend);
 
     // One decode step for the active set.
     std::vector<Request*> stepping;
@@ -296,7 +358,15 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
       if (r.done()) {
         timeline.finish_request(r.id, timeline.now());
         timeline.request_event(r.id, trace::RequestEventKind::kRetire, timeline.now());
-        backend_.release(r);
+        const std::size_t ins0 = pc_counter(&PrefixCacheStats::inserted_blocks);
+        backend_.release(r);  // insert-on-retire happens in here
+        if (pc) {
+          const std::size_t d = pc_counter(&PrefixCacheStats::inserted_blocks) - ins0;
+          if (d > 0) {
+            timeline.prefix_cache_event(trace::PrefixCacheEventKind::kInsert,
+                                        timeline.now(), r.id, d * pc_block_tokens, d, 0);
+          }
+        }
         r.state = RequestState::kFinished;
         ++retired;
         it = active.erase(it);
@@ -517,6 +587,9 @@ FunctionalTokenBackend::FunctionalTokenBackend(Model& model, const Config& confi
       free_lanes_(descending_lane_list(config.max_lanes)),
       proxy_mode_(config.power_mode) {
   ORINSIM_CHECK(config_.max_lanes > 0, "functional backend: need at least one lane");
+  if (config_.prefix_cache) {
+    prefix_cache_ = std::make_unique<PrefixCache>(cache_, config_.prefix_cache_blocks);
+  }
   const std::size_t shards = pool_ != nullptr ? pool_->shard_count() : 1;
   workspaces_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) workspaces_.emplace_back(model_.config());
@@ -539,6 +612,18 @@ void FunctionalTokenBackend::for_each(const std::vector<Request*>& reqs, const F
   }
 }
 
+bool FunctionalTokenBackend::reserve_with_evict(std::size_t lane, std::size_t tokens) {
+  if (cache_.try_reserve(lane, tokens)) return true;
+  if (prefix_cache_ == nullptr) return false;
+  // A max_seq refusal cannot be fixed by freeing blocks; don't drain the
+  // cache for it.
+  if (cache_.seq_len(lane) + tokens > cache_.max_seq()) return false;
+  while (prefix_cache_->evict_lru_leaf()) {
+    if (cache_.try_reserve(lane, tokens)) return true;
+  }
+  return false;
+}
+
 bool FunctionalTokenBackend::try_admit(Request& req) {
   ORINSIM_CHECK(!req.prompt.empty() && req.prompt.size() == req.prompt_tokens,
                 "functional backend: request needs real prompt tokens");
@@ -548,7 +633,31 @@ bool FunctionalTokenBackend::try_admit(Request& req) {
   // next decode step feeds that one).
   const std::size_t history =
       req.prompt.size() + (req.generated > 0 ? req.generated - 1 : 0);
-  if (!cache_.try_reserve(lane, history)) return false;
+  if (prefix_cache_ != nullptr && req.generated == 0) {
+    // Fresh admission: attach the longest cached prefix and reserve room for
+    // the rest. Matches are trimmed to lcm(block, chunk) so the suffix
+    // prefill replays the exact chunk schedule of a from-scratch prefill
+    // (bit-identical logits), and capped at prompt-1 so at least one prompt
+    // token always runs to produce the first-token logits.
+    const std::size_t granularity =
+        std::lcm(cache_.block_tokens(), std::max<std::size_t>(model_.prefill_chunk(), 1));
+    const PrefixMatch match =
+        prefix_cache_->match_and_retain(req.prompt, granularity, req.prompt.size() - 1);
+    if (match.hit()) {
+      cache_.attach_prefix(lane, match.blocks, match.tokens);
+      if (reserve_with_evict(lane, history - match.tokens)) {
+        free_lanes_.pop_back();
+        req.lane = lane;
+        req.prefix_cached = match.tokens;
+        return true;
+      }
+      // Not even the suffix fits: hand the adopted references back (the tree
+      // still holds the blocks) and report the admission failure.
+      cache_.free_sequence(lane);
+      return false;
+    }
+  }
+  if (!reserve_with_evict(lane, history)) return false;
   free_lanes_.pop_back();
   req.lane = lane;
   return true;
@@ -560,7 +669,13 @@ StepCost FunctionalTokenBackend::prefill(
   Stopwatch watch;
   for_each(admitted, [&](InferenceWorkspace& ws, Request& r) {
     if (r.generated == 0) {
-      model_.prefill(r.prompt, r.lane, cache_, ws.hidden, ws);
+      // A prefix-cache hit attached seq_len(lane) prompt tokens as ready-made
+      // KV blocks; only the suffix runs forward_chunk. The attach is aligned
+      // to the chunk schedule, so these are the same chunks a from-scratch
+      // prefill would have run from that offset (bit-identical, pinned).
+      const std::size_t attached = cache_.seq_len(r.lane);
+      model_.prefill(std::span<const TokenId>(r.prompt).subspan(attached), r.lane,
+                     cache_, ws.hidden, ws);
       model_.logits_from_hidden(ws.hidden, lane_logits(r.lane));
     } else {
       // Resume: rebuild the pre-preemption cache *bit-exactly* — the prompt
@@ -598,7 +713,7 @@ StepCost FunctionalTokenBackend::prefill(
 bool FunctionalTokenBackend::try_extend(Request& req) {
   ORINSIM_CHECK(req.lane != Request::kNoLane,
                 "functional backend: extend on unadmitted request");
-  return cache_.try_reserve(req.lane, 1);
+  return reserve_with_evict(req.lane, 1);
 }
 
 StepCost FunctionalTokenBackend::decode_step(
@@ -656,9 +771,20 @@ double FunctionalTokenBackend::idle_power_w() const {
 void FunctionalTokenBackend::release(Request& req) {
   ORINSIM_CHECK(req.lane != Request::kNoLane,
                 "functional backend: release on unadmitted request");
+  // Insert-on-retire: the tree retains the prompt's full-block prefix before
+  // the lane's references go, so the KV state survives free_sequence. A
+  // preempted request (not done) recomputes on resume instead — its partial
+  // state may be released mid-block and is not worth caching.
+  if (prefix_cache_ != nullptr && req.done()) {
+    prefix_cache_->insert(req.prompt, cache_.block_table(req.lane));
+  }
   cache_.free_sequence(req.lane);
   free_lanes_.push_back(req.lane);
   req.lane = Request::kNoLane;
+}
+
+PrefixCacheStats FunctionalTokenBackend::prefix_cache_stats() const {
+  return prefix_cache_ != nullptr ? prefix_cache_->stats() : PrefixCacheStats{};
 }
 
 FunctionalTokenBackend::KVUsage FunctionalTokenBackend::kv_usage() const {
@@ -678,10 +804,17 @@ EngineResult run_functional_continuous(std::shared_ptr<const MasterWeights> mast
   ORINSIM_CHECK(config.seq.input + config.seq.output <= master->config.max_seq,
                 "functional engine: sequence exceeds model max_seq");
 
+  if (config.chat.enabled()) {
+    ORINSIM_CHECK(config.chat.prompt_tokens() == config.seq.input,
+                  "functional engine: chat system+user tokens must equal seq.input");
+  }
+
   const std::vector<double> arrivals = config.arrivals.generate();
   Rng rng(config.prompt_seed);
   const std::vector<std::vector<TokenId>> prompts =
-      pool.sample_batch(arrivals.size(), config.seq.input, rng);
+      config.chat.enabled()
+          ? pool.sample_chat_batch(arrivals.size(), config.chat, rng)
+          : pool.sample_batch(arrivals.size(), config.seq.input, rng);
 
   std::vector<Request> requests(arrivals.size());
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
@@ -705,6 +838,8 @@ EngineResult run_functional_continuous(std::shared_ptr<const MasterWeights> mast
   bc.block_tokens = config.block_tokens;
   bc.kv_storage = config.kv_storage;
   bc.power_proxy_model = config.power_proxy_model;
+  bc.prefix_cache = config.prefix_cache;
+  bc.prefix_cache_blocks = config.prefix_cache_blocks;
   FunctionalTokenBackend backend(model, bc, decode_pool.get());
 
   ContinuousPolicy policy(backend, config.governor);

@@ -34,6 +34,7 @@
 
 #include "core/thread_pool.h"
 #include "model/transformer.h"
+#include "serving/prefix_cache.h"
 #include "serving/request.h"
 #include "serving/session.h"
 #include "sim/inference_sim.h"
@@ -103,6 +104,13 @@ class TokenBackend {
   // Board idle draw (W) the governor's thermal loop charges during stalls;
   // 0 when the backend attaches no power.
   virtual double idle_power_w() const { return 0.0; }
+
+  // Cross-request prefix cache, when the backend runs one: the policy gates
+  // hit/miss/insert/evict timeline emission on prefix_cache_enabled() so
+  // cache-free runs keep byte-identical traces, and delta-snapshots the
+  // stats around backend calls to attribute insertions and evictions.
+  virtual bool prefix_cache_enabled() const { return false; }
+  virtual PrefixCacheStats prefix_cache_stats() const { return {}; }
 };
 
 // Power/thermal governor for ContinuousPolicy. Observes every powered step
@@ -138,6 +146,25 @@ struct EngineResult {
   double mean_kv_utilization = 0.0;   // 0 when the backend tracks no pool
   std::size_t peak_kv_blocks = 0;
   std::size_t peak_kv_bytes = 0;
+
+  // Prefix-cache behaviour, derived from the timeline's PrefixCacheEvents
+  // (all zero when the backend ran no cache). Conservation invariants,
+  // pinned by tests: hits + misses == lookups (one lookup per fresh
+  // admission), and bytes_saved is exactly the hit tokens' KV footprint.
+  struct PrefixCacheSummary {
+    std::size_t lookups = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t hit_tokens = 0;
+    std::size_t bytes_saved = 0;
+    std::size_t inserted_blocks = 0;
+    std::size_t evicted_blocks = 0;
+
+    double hit_rate() const {
+      return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
+    }
+  };
+  PrefixCacheSummary prefix_cache;
 
   // Per-request energy attribution, indexed by request id. Sums to energy_j
   // (the conservation invariant, pinned by test): every powered step's
@@ -272,6 +299,17 @@ class FunctionalTokenBackend : public TokenBackend {
     std::string power_proxy_model;
     DType power_proxy_dtype = DType::kF16;
     sim::PowerMode power_mode = sim::power_mode_maxn();
+    // Cross-request prefix cache (serving/prefix_cache.h): fresh admissions
+    // attach the longest cached prefix of their prompt and prefill only the
+    // suffix; retirements insert their prompt's full-block prefix; allocator
+    // exhaustion evicts cached-but-unreferenced blocks LRU-first, before the
+    // policy preempts anything. Matches are trimmed to lcm(block_tokens,
+    // prefill_chunk) and capped at prompt-1 tokens, so greedy outputs stay
+    // bit-identical to a cache-free run (pinned by test). Off by default:
+    // the engine's schedule and traces are untouched.
+    bool prefix_cache = false;
+    // Cap on tree residency in blocks (0: bounded only by the pool).
+    std::size_t prefix_cache_blocks = 0;
   };
 
   // `model` must outlive the backend; `pool` may be null (serial decode).
@@ -290,9 +328,17 @@ class FunctionalTokenBackend : public TokenBackend {
   bool set_power_mode(const sim::PowerMode& mode) override;
   double idle_power_w() const override;
 
+  bool prefix_cache_enabled() const override { return prefix_cache_ != nullptr; }
+  PrefixCacheStats prefix_cache_stats() const override;
+
   const KVCache& cache() const noexcept { return cache_; }
+  const PrefixCache* prefix_cache() const noexcept { return prefix_cache_.get(); }
 
  private:
+  // try_reserve with the cache's exhaustion hook: cached-but-unreferenced
+  // blocks are reclaimed (LRU leaves first) before failure is reported, so
+  // the policy only preempts once the cache has nothing left to give.
+  bool reserve_with_evict(std::size_t lane, std::size_t tokens);
   template <typename Fn>
   void for_each(const std::vector<Request*>& reqs, const Fn& fn);
   std::span<float> lane_logits(std::size_t lane);
@@ -303,6 +349,7 @@ class FunctionalTokenBackend : public TokenBackend {
   Model& model_;
   Config config_;
   KVCache cache_;
+  std::unique_ptr<PrefixCache> prefix_cache_;   // null: cache disabled
   ThreadPool* pool_ = nullptr;
   std::vector<InferenceWorkspace> workspaces_;  // one per shard
   std::vector<std::size_t> free_lanes_;         // LIFO, deterministic
@@ -331,6 +378,13 @@ struct FunctionalEngineConfig {
   std::string power_proxy_model;
   // Governor over the continuous policy (off by default).
   GovernorConfig governor;
+  // Cross-request prefix cache over the paged pool (off by default).
+  bool prefix_cache = false;
+  std::size_t prefix_cache_blocks = 0;  // 0: bounded only by the pool
+  // Chat-style traffic: when enabled(), prompts come from sample_chat_batch
+  // (Zipfian shared system prompts + per-user suffixes) and must satisfy
+  // chat.prompt_tokens() == seq.input; otherwise sample_batch as before.
+  workload::ChatWorkloadConfig chat;
 };
 
 EngineResult run_functional_continuous(std::shared_ptr<const MasterWeights> master,

@@ -39,6 +39,11 @@ struct Request {
   std::size_t preemptions = 0;
   std::size_t lane = kNoLane;  // backend lane while admitted
 
+  // Prompt tokens served from the cross-request prefix cache at first
+  // admission (0: miss, or the backend runs no cache). The matched prefix
+  // attached ready-made KV blocks, so prefill only ran the suffix.
+  std::size_t prefix_cached = 0;
+
   // Tokens in (or due in) the KV cache: prompt plus everything generated.
   std::size_t context() const { return prompt_tokens + generated; }
   bool done() const { return generated >= max_new_tokens; }

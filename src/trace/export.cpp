@@ -55,6 +55,16 @@ void governor_fields(std::ostringstream& out, const GovernorEvent& e) {
   if (e.temp_c > 0.0) out << ",\"temp_c\":" << num(e.temp_c);
 }
 
+// Prefix-cache actions follow the same contract: only emitted when the
+// serving engine ran with the cache enabled, so cache-disabled traces stay
+// byte-identical to the pre-cache engine.
+void prefix_cache_fields(std::ostringstream& out, const PrefixCacheEvent& e) {
+  out << "\"prefix_cache\":\"" << prefix_cache_event_name(e.kind)
+      << "\",\"t_s\":" << num(e.t_s) << ",\"request_id\":" << e.request_id
+      << ",\"tokens\":" << e.tokens << ",\"blocks\":" << e.blocks;
+  if (e.bytes_saved != 0) out << ",\"bytes_saved\":" << e.bytes_saved;
+}
+
 }  // namespace
 
 std::string to_jsonl(const ExecutionTimeline& timeline) {
@@ -67,6 +77,11 @@ std::string to_jsonl(const ExecutionTimeline& timeline) {
   for (const auto& g : timeline.governor_events()) {
     out << "{";
     governor_fields(out, g);
+    out << "}\n";
+  }
+  for (const auto& p : timeline.prefix_cache_events()) {
+    out << "{";
+    prefix_cache_fields(out, p);
     out << "}\n";
   }
   return out.str();
@@ -99,6 +114,16 @@ std::string to_chrome_trace_json(const ExecutionTimeline& timeline,
         << ",\"ts\":" << num(g.t_s * 1e6) << ",\"args\":{";
     std::ostringstream fields;
     governor_fields(fields, g);
+    out << fields.str() << "}}";
+  }
+  // Prefix-cache actions render the same way: hit/miss at admission time,
+  // insert at retirement, evict where allocator pressure reclaimed blocks.
+  for (const auto& p : timeline.prefix_cache_events()) {
+    out << ",{\"name\":\"prefix_cache:" << prefix_cache_event_name(p.kind)
+        << "\",\"cat\":\"prefix_cache\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":0"
+        << ",\"ts\":" << num(p.t_s * 1e6) << ",\"args\":{";
+    std::ostringstream fields;
+    prefix_cache_fields(fields, p);
     out << fields.str() << "}}";
   }
   out << "]}\n";

@@ -41,6 +41,20 @@ std::string governor_event_name(GovernorEventKind kind) {
   return "?";
 }
 
+std::string prefix_cache_event_name(PrefixCacheEventKind kind) {
+  switch (kind) {
+    case PrefixCacheEventKind::kHit:
+      return "prefix_hit";
+    case PrefixCacheEventKind::kMiss:
+      return "prefix_miss";
+    case PrefixCacheEventKind::kInsert:
+      return "prefix_insert";
+    case PrefixCacheEventKind::kEvict:
+      return "prefix_evict";
+  }
+  return "?";
+}
+
 std::string request_event_name(RequestEventKind kind) {
   switch (kind) {
     case RequestEventKind::kAdmit:
@@ -139,6 +153,13 @@ void ExecutionTimeline::governor_event(GovernorEventKind kind, double t,
   governor_events_.push_back(GovernorEvent{t, kind, std::move(mode), power_w, temp_c});
 }
 
+void ExecutionTimeline::prefix_cache_event(PrefixCacheEventKind kind, double t,
+                                           std::size_t request_id, std::size_t tokens,
+                                           std::size_t blocks, std::size_t bytes_saved) {
+  prefix_cache_events_.push_back(
+      PrefixCacheEvent{t, kind, request_id, tokens, blocks, bytes_saved});
+}
+
 void ExecutionTimeline::set_participants(std::size_t event_id,
                                          std::span<const std::size_t> request_ids) {
   ORINSIM_CHECK(event_id < events_.size(), "timeline: bad event id");
@@ -165,6 +186,14 @@ std::size_t ExecutionTimeline::request_event_count(RequestEventKind kind) const 
 std::size_t ExecutionTimeline::governor_event_count(GovernorEventKind kind) const {
   std::size_t n = 0;
   for (const auto& e : governor_events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::size_t ExecutionTimeline::prefix_cache_event_count(PrefixCacheEventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : prefix_cache_events_) {
     if (e.kind == kind) ++n;
   }
   return n;

@@ -69,6 +69,24 @@ struct GovernorEvent {
   double temp_c = 0.0;   // junction estimate at the action (0: thermals off)
 };
 
+// Prefix-cache actions emitted by the serving engine so cross-request KV
+// reuse is visible in exported traces: a lookup outcome per admission (hit
+// with the matched token count / miss), block insertion on retirement, and
+// LRU eviction under allocator pressure. Conservation (hits + misses ==
+// lookups, bytes_saved == hit tokens' KV footprint) is pinned by tests.
+enum class PrefixCacheEventKind { kHit, kMiss, kInsert, kEvict };
+
+std::string prefix_cache_event_name(PrefixCacheEventKind kind);
+
+struct PrefixCacheEvent {
+  double t_s = 0.0;
+  PrefixCacheEventKind kind = PrefixCacheEventKind::kMiss;
+  std::size_t request_id = 0;   // hit/miss/insert; 0 for evictions
+  std::size_t tokens = 0;       // hit: matched tokens; insert/evict: block tokens
+  std::size_t blocks = 0;       // blocks attached / inserted / evicted
+  std::size_t bytes_saved = 0;  // hit: KV bytes not re-prefilled
+};
+
 struct RequestRecord {
   double arrival_s = 0.0;
   double start_s = 0.0;   // when its batch/step first executed
@@ -122,6 +140,13 @@ class ExecutionTimeline {
   // governor-free runs keep their exact legacy serialization.
   void governor_event(GovernorEventKind kind, double t, std::string mode,
                       double power_w, double temp_c);
+
+  // Records a prefix-cache action at time t; like governor events, these are
+  // serialized only when present, so cache-disabled traces stay byte-
+  // identical to the pre-cache engine.
+  void prefix_cache_event(PrefixCacheEventKind kind, double t, std::size_t request_id,
+                          std::size_t tokens, std::size_t blocks,
+                          std::size_t bytes_saved);
 
   // Annotates an already-emitted event (by the id emit()/append_at()
   // returned) with KV block-pool occupancy.
@@ -186,6 +211,11 @@ class ExecutionTimeline {
   }
   std::size_t governor_event_count(GovernorEventKind kind) const;
 
+  const std::vector<PrefixCacheEvent>& prefix_cache_events() const noexcept {
+    return prefix_cache_events_;
+  }
+  std::size_t prefix_cache_event_count(PrefixCacheEventKind kind) const;
+
   // Time-weighted mean KV pool utilization over events that carry occupancy
   // (0 when none do). Weighted by event duration, not by makespan: stalls
   // and non-annotated events don't dilute the signal.
@@ -198,6 +228,7 @@ class ExecutionTimeline {
   std::vector<RequestRecord> requests_;
   std::vector<RequestEvent> request_events_;
   std::vector<GovernorEvent> governor_events_;
+  std::vector<PrefixCacheEvent> prefix_cache_events_;
   // Sparse, indexed by event id (resized on first annotation); empty entry =
   // no participants recorded for that event.
   std::vector<std::vector<std::size_t>> participants_;

@@ -37,6 +37,18 @@ PromptPool::PromptPool(const Corpus& corpus, const Tokenizer& tokenizer,
                     std::to_string(min_tokens) + " tokens");
 }
 
+std::vector<TokenId> PromptPool::sample_one(std::size_t input_tokens, Rng& rng) const {
+  std::vector<TokenId> prompt;
+  prompt.reserve(input_tokens);
+  while (prompt.size() < input_tokens) {
+    const auto& source = prompts_[rng.uniform_index(prompts_.size())];
+    const std::size_t need = input_tokens - prompt.size();
+    const std::size_t take = std::min(need, source.size());
+    prompt.insert(prompt.end(), source.begin(), source.begin() + take);
+  }
+  return prompt;
+}
+
 std::vector<std::vector<TokenId>> PromptPool::sample_batch(std::size_t batch_size,
                                                            std::size_t input_tokens,
                                                            Rng& rng) const {
@@ -44,14 +56,31 @@ std::vector<std::vector<TokenId>> PromptPool::sample_batch(std::size_t batch_siz
   std::vector<std::vector<TokenId>> batch;
   batch.reserve(batch_size);
   for (std::size_t b = 0; b < batch_size; ++b) {
-    std::vector<TokenId> prompt;
-    prompt.reserve(input_tokens);
-    while (prompt.size() < input_tokens) {
-      const auto& source = prompts_[rng.uniform_index(prompts_.size())];
-      const std::size_t need = input_tokens - prompt.size();
-      const std::size_t take = std::min(need, source.size());
-      prompt.insert(prompt.end(), source.begin(), source.begin() + take);
-    }
+    batch.push_back(sample_one(input_tokens, rng));
+  }
+  return batch;
+}
+
+std::vector<std::vector<TokenId>> PromptPool::sample_chat_batch(
+    std::size_t batch_size, const ChatWorkloadConfig& config, Rng& rng) const {
+  ORINSIM_CHECK(batch_size > 0, "sample_chat_batch: empty request");
+  ORINSIM_CHECK(config.enabled() && config.system_prompts > 0,
+                "sample_chat_batch: config needs system/user token counts and a pool");
+  // The shared system prompts are drawn first, so they are fixed for the
+  // whole batch and identical across calls with the same seed.
+  std::vector<std::vector<TokenId>> systems;
+  systems.reserve(config.system_prompts);
+  for (std::size_t k = 0; k < config.system_prompts; ++k) {
+    systems.push_back(sample_one(config.system_tokens, rng));
+  }
+  const ZipfSampler zipf(config.system_prompts, config.zipf_s);
+  std::vector<std::vector<TokenId>> batch;
+  batch.reserve(batch_size);
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    const std::size_t rank = zipf.sample(rng);
+    std::vector<TokenId> prompt = systems[rank];
+    const std::vector<TokenId> suffix = sample_one(config.user_tokens, rng);
+    prompt.insert(prompt.end(), suffix.begin(), suffix.end());
     batch.push_back(std::move(prompt));
   }
   return batch;

@@ -30,6 +30,21 @@ std::vector<SeqConfig> seq_config_sweep();
 // total must be one of {96, 128, 256, 512, 1024}.
 SeqConfig seq_config_for_total(std::size_t total);
 
+// Chat-style traffic: every request is one of `system_prompts` shared system
+// prompts (few-shot preambles) followed by a fresh per-user suffix. Ranks
+// are drawn Zipfian — a handful of system prompts dominate, as at chat scale
+// — which makes the serving engine's prefix-cache hit rate a scenario-driven
+// number rather than an artifact of the sampler.
+struct ChatWorkloadConfig {
+  std::size_t system_prompts = 8;
+  double zipf_s = 1.1;            // rank-frequency skew exponent
+  std::size_t system_tokens = 0;  // shared prefix length (tokens)
+  std::size_t user_tokens = 0;    // per-user suffix length (tokens)
+
+  bool enabled() const { return system_tokens > 0 && user_tokens > 0; }
+  std::size_t prompt_tokens() const { return system_tokens + user_tokens; }
+};
+
 class PromptPool {
  public:
   // Tokenizes every corpus paragraph and keeps those with >= min_tokens.
@@ -46,7 +61,17 @@ class PromptPool {
   std::vector<std::vector<TokenId>> sample_batch(std::size_t batch_size,
                                                  std::size_t input_tokens, Rng& rng) const;
 
+  // Chat batch: system prompt (Zipfian rank over a pool fixed for this call,
+  // drawn from `rng` first) + per-user suffix, each stitched exactly like
+  // sample_batch prompts. Every prompt has config.prompt_tokens() tokens.
+  // Deterministic under a fixed rng seed.
+  std::vector<std::vector<TokenId>> sample_chat_batch(std::size_t batch_size,
+                                                      const ChatWorkloadConfig& config,
+                                                      Rng& rng) const;
+
  private:
+  std::vector<TokenId> sample_one(std::size_t input_tokens, Rng& rng) const;
+
   std::vector<std::vector<TokenId>> prompts_;
 };
 

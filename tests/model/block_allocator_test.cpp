@@ -85,6 +85,50 @@ TEST(BlockAllocatorTest, RejectsBookkeepingOnFreeBlocks) {
   EXPECT_THROW(a.retain(b), ContractViolation);
 }
 
+TEST(BlockAllocatorTest, CachedBlockAccounting) {
+  BlockAllocator a(4, 64);
+  const std::size_t b0 = a.alloc();
+  const std::size_t b1 = a.alloc();
+  EXPECT_EQ(a.cached_blocks(), 0u);
+  a.set_cached(b0, true);
+  a.set_cached(b1, true);
+  EXPECT_EQ(a.cached_blocks(), 2u);
+  EXPECT_TRUE(a.is_cached(b0));
+  // Idempotent: re-flagging does not double count.
+  a.set_cached(b0, true);
+  EXPECT_EQ(a.cached_blocks(), 2u);
+  a.set_cached(b0, false);
+  EXPECT_EQ(a.cached_blocks(), 1u);
+  EXPECT_FALSE(a.is_cached(b0));
+  // Free blocks cannot carry the flag.
+  a.release(b0);
+  EXPECT_THROW(a.set_cached(b0, true), ContractViolation);
+}
+
+TEST(BlockAllocatorTest, ReleaseOfStillCachedBlockIsCaught) {
+  BlockAllocator a(2, 64);
+  const std::size_t b = a.alloc();
+  a.set_cached(b, true);
+  // Dropping the last reference while the prefix cache still claims the
+  // block would leak its accounting: the eviction path must clear the flag
+  // before releasing (audit guard for satellite eviction accounting).
+  EXPECT_THROW(a.release(b), ContractViolation);
+  a.set_cached(b, false);
+  a.release(b);
+  EXPECT_EQ(a.free_blocks(), 2u);
+}
+
+TEST(BlockAllocatorTest, DoubleReleaseGuard) {
+  BlockAllocator a(2, 64);
+  const std::size_t b = a.alloc();
+  a.retain(b);
+  a.release(b);
+  a.release(b);
+  // The block is free now; any further release is a double release.
+  EXPECT_THROW(a.release(b), ContractViolation);
+  EXPECT_EQ(a.free_blocks(), 2u);
+}
+
 TEST(BlockAllocatorTest, BytesAndPeakTracking) {
   BlockAllocator a(4, 256);
   std::vector<std::size_t> held;

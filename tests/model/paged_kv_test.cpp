@@ -163,6 +163,87 @@ TEST(PagedKVTest, TryReserveIsAllOrNothingAndExhaustionThrows) {
   EXPECT_TRUE(cache.try_reserve(0, 4));
 }
 
+// Satellite regression: truncating a sequence that still shares COW blocks
+// with a live fork must not free blocks the fork references. Ref counting
+// makes truncate a pure "drop my reference": the fork's data stays intact
+// and the block only returns to the pool when the last holder lets go.
+TEST(PagedKVTest, TruncateOfForkedSourceKeepsForkBlocksAlive) {
+  const auto cfg = paged_test_config();
+  KVCache cache(cfg, /*batch=*/2, /*max_seq=*/16, small_pool(4, 8));
+  for (int i = 0; i < 8; ++i) append_all_layers(cache, 0, 1.0f + i);
+  EXPECT_EQ(cache.blocks_in_use(), 2u);
+
+  cache.fork_sequence(0, 1);
+  std::vector<float> scratch(cache.kv_dim());
+  const float sentinel = cache.key(0, 1, 7, scratch)[0];
+
+  // The source rolls all the way back; both shared blocks lose one ref but
+  // stay allocated for the fork.
+  cache.truncate(0, 0);
+  EXPECT_EQ(cache.seq_len(0), 0u);
+  EXPECT_EQ(cache.seq_len(1), 8u);
+  EXPECT_EQ(cache.blocks_in_use(), 2u);
+  EXPECT_EQ(cache.key(0, 1, 7, scratch)[0], sentinel);
+
+  // The pool has exactly the other 6 blocks free: the fork's two blocks were
+  // not double-released into the free list.
+  EXPECT_EQ(cache.free_blocks(), 6u);
+  // New growth in the source must not alias the fork's storage.
+  for (int i = 0; i < 8; ++i) append_all_layers(cache, 0, -5.0f);
+  EXPECT_EQ(cache.key(0, 1, 7, scratch)[0], sentinel);
+  // Releasing the fork returns its blocks; the pool is fully reusable.
+  cache.free_sequence(1);
+  EXPECT_EQ(cache.blocks_in_use(), 2u);  // only the source's fresh blocks
+}
+
+TEST(PagedKVTest, AttachPrefixAdoptsReferencesAndExtendsCleanly) {
+  const auto cfg = paged_test_config();
+  KVCache cache(cfg, /*batch=*/2, /*max_seq=*/16, small_pool(4, 8));
+  // Sequence 0 builds 8 tokens = 2 full blocks.
+  for (int i = 0; i < 8; ++i) append_all_layers(cache, 0, 1.0f + i);
+  const auto table = cache.block_table(0);
+  ASSERT_EQ(table.size(), 2u);
+
+  // A prefix-cache-style holder retains the chain, then sequence 1 adopts
+  // those references.
+  std::vector<std::size_t> chain(table.begin(), table.end());
+  for (std::size_t id : chain) cache.retain_block(id);
+  cache.attach_prefix(1, chain, 8);
+  EXPECT_EQ(cache.seq_len(1), 8u);
+  EXPECT_EQ(cache.blocks_in_use(), 2u);  // shared, not copied
+
+  std::vector<float> scratch(cache.kv_dim());
+  EXPECT_EQ(cache.key(0, 1, 3, scratch)[0],
+            cache.key(0, 0, 3, scratch)[0]);  // same physical rows
+
+  // Appending after a full-chain attach starts a fresh block — the shared
+  // blocks are never copy-on-written on the hit path.
+  const float sentinel = cache.key(0, 0, 7, scratch)[0];
+  append_all_layers(cache, 1, -9.0f);
+  EXPECT_EQ(cache.blocks_in_use(), 3u);  // one fresh block, zero COW copies
+  EXPECT_EQ(cache.key(0, 0, 7, scratch)[0], sentinel);
+
+  // Each sequence releases independently; block refcounts tie off exactly.
+  cache.free_sequence(0);
+  EXPECT_EQ(cache.blocks_in_use(), 3u);  // chain survives via sequence 1
+  cache.free_sequence(1);
+  EXPECT_EQ(cache.blocks_in_use(), 0u);
+}
+
+TEST(PagedKVTest, AttachPrefixContractChecks) {
+  const auto cfg = paged_test_config();
+  KVCache cache(cfg, /*batch=*/2, /*max_seq=*/16, small_pool(4, 8));
+  for (int i = 0; i < 6; ++i) append_all_layers(cache, 0, 2.0f);
+  std::vector<std::size_t> chain(cache.block_table(0).begin(),
+                                 cache.block_table(0).end());
+  // 6 tokens do not fill the 2-block chain: only exactly-full chains attach.
+  EXPECT_THROW(cache.attach_prefix(1, chain, 6), ContractViolation);
+  // Target must be empty.
+  append_all_layers(cache, 1, 3.0f);
+  EXPECT_THROW(cache.attach_prefix(1, std::vector<std::size_t>{chain[0]}, 4),
+               ContractViolation);
+}
+
 TEST(PagedKVTest, TruncateReturnsBlocksToThePool) {
   const auto cfg = paged_test_config();
   KVCache cache(cfg, /*batch=*/1, /*max_seq=*/16, small_pool(4, 4));

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <vector>
 
 #include "core/error.h"
+#include "core/rng.h"
 #include "workload/corpus.h"
 
 namespace orinsim::workload {
@@ -62,6 +65,65 @@ TEST_F(PromptPoolTest, EmptyRequestsRejected) {
   Rng rng(7);
   EXPECT_THROW(pool_.sample_batch(0, 32, rng), ContractViolation);
   EXPECT_THROW(pool_.sample_batch(4, 0, rng), ContractViolation);
+}
+
+TEST_F(PromptPoolTest, ChatBatchSharesZipfianSystemPrefixes) {
+  ChatWorkloadConfig chat;
+  chat.system_prompts = 4;
+  chat.zipf_s = 1.1;
+  chat.system_tokens = 32;
+  chat.user_tokens = 8;
+  Rng rng(9);
+  const auto batch = pool_.sample_chat_batch(64, chat, rng);
+  ASSERT_EQ(batch.size(), 64u);
+
+  std::set<std::vector<TokenId>> prefixes;
+  std::set<std::vector<TokenId>> suffixes;
+  for (const auto& prompt : batch) {
+    ASSERT_EQ(prompt.size(), chat.prompt_tokens());
+    prefixes.insert({prompt.begin(), prompt.begin() + 32});
+    suffixes.insert({prompt.begin() + 32, prompt.end()});
+  }
+  // Every request reuses one of the shared system prompts; suffixes are
+  // per-user and should be (nearly) all distinct.
+  EXPECT_LE(prefixes.size(), chat.system_prompts);
+  EXPECT_GE(prefixes.size(), 2u);  // the Zipf draw is skewed, not degenerate
+  EXPECT_GT(suffixes.size(), prefixes.size());
+
+  // Deterministic under the seed, distinct under another.
+  Rng r2(9), r3(10);
+  EXPECT_EQ(pool_.sample_chat_batch(64, chat, r2), batch);
+  EXPECT_NE(pool_.sample_chat_batch(64, chat, r3), batch);
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesMatchTheLaw) {
+  const std::size_t n = 8;
+  const double s = 1.1;
+  ZipfSampler zipf(n, s);
+  Rng rng(21);
+  const std::size_t draws = 40000;
+  std::vector<std::size_t> counts(n, 0);
+  for (std::size_t i = 0; i < draws; ++i) {
+    const std::size_t rank = zipf.sample(rng);
+    ASSERT_LT(rank, n);
+    ++counts[rank];
+  }
+
+  // Compare against the normalized law p_k = k^-s / H_{n,s}; each bucket's
+  // standard error at 40k draws is under 0.25%, so 2% absolute tolerance is
+  // a shape test, not a coin flip.
+  double norm = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(double(k), s);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = 1.0 / std::pow(double(k + 1), s) / norm;
+    const double observed = double(counts[k]) / double(draws);
+    EXPECT_NEAR(observed, expected, 0.02) << "rank " << k;
+  }
+  // Rank-frequency monotonicity: the defining Zipf property.
+  for (std::size_t k = 0; k + 1 < n; ++k) EXPECT_GT(counts[k], counts[k + 1]);
+
+  EXPECT_THROW(ZipfSampler(0, 1.0), ContractViolation);
+  EXPECT_THROW(ZipfSampler(4, 0.0), ContractViolation);
 }
 
 TEST(PromptPoolStandaloneTest, EmptyPoolRejected) {
