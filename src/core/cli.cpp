@@ -1,5 +1,6 @@
 #include "core/cli.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "core/string_util.h"
@@ -35,23 +36,42 @@ std::string CliArgs::get(const std::string& name, const std::string& default_val
   return it == flags_.end() ? default_value : it->second;
 }
 
+void CliArgs::usage_error(const std::string& name, const std::string& value,
+                          const char* expected) const {
+  std::fprintf(stderr, "%s: invalid value for --%s: '%s' (expected %s)\n",
+               program_.empty() ? "orinsim" : program_.c_str(), name.c_str(),
+               value.c_str(), expected);
+  std::exit(kUsageExitCode);
+}
+
 long long CliArgs::get_int(const std::string& name, long long default_value) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return default_value;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  long long out = 0;
+  if (!parse_int_strict(it->second, out)) {
+    usage_error(name, it->second, "an integer");
+  }
+  return out;
 }
 
 double CliArgs::get_double(const std::string& name, double default_value) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return default_value;
-  return std::strtod(it->second.c_str(), nullptr);
+  double out = 0.0;
+  if (!parse_double_strict(it->second, out)) {
+    usage_error(name, it->second, "a number");
+  }
+  return out;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool default_value) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return default_value;
   const std::string v = to_lower(it->second);
-  return v == "true" || v == "1" || v == "yes" || v == "on";
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  usage_error(name, it->second, "a boolean (true/false/1/0/yes/no/on/off)");
+  return default_value;  // unreachable
 }
 
 }  // namespace orinsim

@@ -1,5 +1,11 @@
 // Tiny command-line flag parser for bench/example binaries.
 // Supports --name=value, --name value, and boolean --name / --no-name.
+//
+// Typed getters validate strictly (core/string_util parse_*_strict): a
+// malformed value like --power-cap-w=abc, trailing garbage, or an overflow
+// prints a usage message naming the bad flag and exits with kUsageExitCode
+// instead of silently parsing to 0 or throwing an uncaught exception out of
+// main.
 #pragma once
 
 #include <map>
@@ -10,6 +16,9 @@ namespace orinsim {
 
 class CliArgs {
  public:
+  // Exit code for a malformed flag value (the conventional "usage" status).
+  static constexpr int kUsageExitCode = 2;
+
   CliArgs(int argc, const char* const* argv);
 
   bool has(const std::string& name) const;
@@ -23,6 +32,9 @@ class CliArgs {
   const std::string& program() const noexcept { return program_; }
 
  private:
+  [[noreturn]] void usage_error(const std::string& name, const std::string& value,
+                                const char* expected) const;
+
   std::string program_;
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;

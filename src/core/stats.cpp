@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/error.h"
 
 namespace orinsim {
 
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
 double mean(std::span<const double> values) {
-  if (values.empty()) return 0.0;
+  if (values.empty()) return kNaN;
   double sum = 0.0;
   for (double v : values) sum += v;
   return sum / static_cast<double>(values.size());
@@ -17,8 +22,8 @@ double mean(std::span<const double> values) {
 double median(std::span<const double> values) { return percentile(values, 50.0); }
 
 double percentile(std::span<const double> values, double p) {
-  if (values.empty()) return 0.0;
   ORINSIM_CHECK(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  if (values.empty()) return kNaN;
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
@@ -30,12 +35,12 @@ double percentile(std::span<const double> values, double p) {
 }
 
 double min_value(std::span<const double> values) {
-  if (values.empty()) return 0.0;
+  if (values.empty()) return kNaN;
   return *std::min_element(values.begin(), values.end());
 }
 
 double max_value(std::span<const double> values) {
-  if (values.empty()) return 0.0;
+  if (values.empty()) return kNaN;
   return *std::max_element(values.begin(), values.end());
 }
 

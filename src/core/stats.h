@@ -9,17 +9,22 @@
 
 namespace orinsim {
 
-// Arithmetic mean; 0 for an empty span.
+// Empty inputs have no mean/median/percentile/extremum: these return quiet
+// NaN rather than a fake 0.0 so an empty latency or power signal can never
+// masquerade as a perfect measurement. format_double() renders NaN as "n/a";
+// comparisons against NaN are false, so SLO checks fail closed.
+
+// Arithmetic mean; NaN for an empty span.
 double mean(std::span<const double> values);
 
-// Median via partial sort of a copy; 0 for an empty span.
+// Median via partial sort of a copy; NaN for an empty span.
 double median(std::span<const double> values);
 
-// Linear-interpolated percentile, p in [0, 100].
+// Linear-interpolated percentile, p in [0, 100]; NaN for an empty span.
 double percentile(std::span<const double> values, double p);
 
-double min_value(std::span<const double> values);
-double max_value(std::span<const double> values);
+double min_value(std::span<const double> values);  // NaN for an empty span
+double max_value(std::span<const double> values);  // NaN for an empty span
 double stddev(std::span<const double> values);
 
 // Trapezoidal numerical integration of y(t) over possibly non-uniform time

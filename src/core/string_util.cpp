@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/units.h"
 
@@ -65,7 +67,36 @@ std::string format_bytes(double bytes) {
   return buf;
 }
 
+bool parse_int_strict(std::string_view text, long long& out) {
+  const std::string s = trim(text);
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  out = value;
+  return true;
+}
+
+bool parse_double_strict(std::string_view text, double& out) {
+  const std::string s = trim(text);
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  // strtod happily parses "inf"/"nan"; neither is a usable flag or field
+  // value, so strictness rejects non-finite results along with garbage.
+  if (errno == ERANGE || end != s.c_str() + s.size() || !std::isfinite(value)) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
 std::string format_double(double value, int decimals) {
+  // Statistics of empty populations come through as NaN (core/stats): render
+  // them honestly instead of an impossible-looking "0.00" or printf's "nan".
+  if (std::isnan(value)) return "n/a";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
   return buf;

@@ -13,4 +13,12 @@ std::string to_lower(std::string_view text);
 std::string trim(std::string_view text);
 bool starts_with(std::string_view text, std::string_view prefix);
 
+// Strict numeric parsing: the whole (whitespace-trimmed) text must be one
+// in-range, finite number — trailing garbage, overflow, empty strings, and
+// inf/nan all return false and leave `out` untouched. Shared by CliArgs flag
+// validation and the HTTP server's query/body field validation, where
+// malformed input must produce a clean error instead of a silent 0.
+bool parse_int_strict(std::string_view text, long long& out);
+bool parse_double_strict(std::string_view text, double& out);
+
 }  // namespace orinsim

@@ -33,6 +33,7 @@ constexpr double joules_to_wh(double j) { return j / 3600.0; }
 std::string format_bytes(double bytes);
 
 // Fixed-width formatting helper, e.g. format_double(3.14159, 2) == "3.14".
+// NaN (the empty-population sentinel from core/stats) renders as "n/a".
 std::string format_double(double value, int decimals);
 
 }  // namespace orinsim

@@ -1,0 +1,340 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/string_util.h"
+
+namespace orinsim::server {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string_view trim_view(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+// Strict hex parse for chunk-size lines. Chunk extensions (";ext=...") are
+// ignored per RFC 7230; an empty or non-hex size is malformed.
+bool parse_chunk_size(std::string_view line, std::size_t& out) {
+  const std::size_t semi = line.find(';');
+  if (semi != std::string_view::npos) line = line.substr(0, semi);
+  line = trim_view(line);
+  if (line.empty() || line.size() > 8) return false;  // 8 hex digits = 4 GiB cap
+  std::size_t value = 0;
+  for (const char c : line) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::size_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<std::size_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') value |= static_cast<std::size_t>(c - 'A' + 10);
+    else return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+bool url_decode(std::string_view in, std::string& out) {
+  out.clear();
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%') {
+      if (i + 2 >= in.size()) return false;
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(in[i + 1]);
+      const int lo = hex(in[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return true;
+}
+
+HttpParser::State HttpParser::fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  buffer_.clear();
+  return state_;
+}
+
+bool HttpParser::parse_header_block(std::string_view block) {
+  // Request line: METHOD SP target SP HTTP/1.x
+  std::size_t line_end = block.find("\r\n");
+  std::size_t skip = 2;
+  if (line_end == std::string_view::npos) {
+    line_end = block.find('\n');
+    skip = 1;
+  }
+  if (line_end == std::string_view::npos) line_end = block.size();
+  const std::string_view request_line = block.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return false;
+  request_.method = std::string(request_line.substr(0, sp1));
+  request_.target = std::string(trim_view(request_line.substr(sp1 + 1, sp2 - sp1 - 1)));
+  const std::string_view version = trim_view(request_line.substr(sp2 + 1));
+  if (request_.method.empty() || request_.target.empty()) return false;
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") return false;
+
+  // Split target into path + query, both percent-decoded.
+  std::string_view target = request_.target;
+  std::string_view query;
+  const std::size_t qmark = target.find('?');
+  if (qmark != std::string_view::npos) {
+    query = target.substr(qmark + 1);
+    target = target.substr(0, qmark);
+  }
+  if (!url_decode(target, request_.path)) return false;
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{} : query.substr(amp + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    std::string key, value;
+    if (eq == std::string_view::npos) {
+      if (!url_decode(pair, key)) return false;
+    } else {
+      if (!url_decode(pair.substr(0, eq), key)) return false;
+      if (!url_decode(pair.substr(eq + 1), value)) return false;
+    }
+    request_.query[key] = value;
+  }
+
+  // Header fields, keys lower-cased. Folded (obsolete multi-line) headers
+  // are rejected as malformed.
+  std::size_t pos = line_end + skip;
+  while (pos < block.size()) {
+    std::size_t eol = block.find("\r\n", pos);
+    std::size_t step = 2;
+    if (eol == std::string_view::npos) {
+      eol = block.find('\n', pos);
+      step = 1;
+    }
+    if (eol == std::string_view::npos) {
+      eol = block.size();
+      step = 0;
+    }
+    const std::string_view line = block.substr(pos, eol - pos);
+    pos = eol + step;
+    if (line.empty()) continue;
+    if (line.front() == ' ' || line.front() == '\t') return false;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return false;
+    request_.headers[lower(trim_view(line.substr(0, colon)))] =
+        std::string(trim_view(line.substr(colon + 1)));
+  }
+  return true;
+}
+
+HttpParser::State HttpParser::feed(std::string_view data) {
+  if (state_ == State::kDone || state_ == State::kError) return state_;
+  buffer_.append(data.data(), data.size());
+
+  if (state_ == State::kHeaders) {
+    std::size_t end = buffer_.find("\r\n\r\n");
+    std::size_t skip = 4;
+    if (end == std::string::npos) {
+      end = buffer_.find("\n\n");
+      skip = 2;
+    }
+    if (end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return fail(431, "header block exceeds limit");
+      }
+      return state_;
+    }
+    if (end > limits_.max_header_bytes) {
+      return fail(431, "header block exceeds limit");
+    }
+    if (!parse_header_block(std::string_view(buffer_).substr(0, end))) {
+      return fail(400, "malformed request head");
+    }
+    buffer_.erase(0, end + skip);
+
+    const std::string te = lower(request_.header("transfer-encoding"));
+    if (!te.empty()) {
+      if (te != "chunked") return fail(400, "unsupported transfer-encoding");
+      state_ = State::kChunkSize;
+    } else if (request_.has_header("content-length")) {
+      long long length = 0;
+      if (!parse_int_strict(request_.header("content-length"), length) || length < 0) {
+        return fail(400, "malformed content-length");
+      }
+      if (static_cast<std::size_t>(length) > limits_.max_body_bytes) {
+        return fail(413, "body exceeds limit");
+      }
+      content_remaining_ = static_cast<std::size_t>(length);
+      state_ = content_remaining_ == 0 ? State::kDone : State::kBody;
+    } else {
+      state_ = State::kDone;
+    }
+    if (state_ == State::kDone) {
+      buffer_.clear();  // one request per connection; pipelined bytes dropped
+      return state_;
+    }
+  }
+
+  advance_body();
+  return state_;
+}
+
+void HttpParser::advance_body() {
+  while (state_ != State::kDone && state_ != State::kError) {
+    switch (state_) {
+      case State::kBody: {
+        const std::size_t take = std::min(content_remaining_, buffer_.size());
+        request_.body.append(buffer_, 0, take);
+        buffer_.erase(0, take);
+        content_remaining_ -= take;
+        if (content_remaining_ == 0) {
+          state_ = State::kDone;
+          return;
+        }
+        return;  // need more bytes
+      }
+      case State::kChunkSize: {
+        std::size_t eol = buffer_.find("\r\n");
+        std::size_t skip = 2;
+        if (eol == std::string::npos) {
+          eol = buffer_.find('\n');
+          skip = 1;
+        }
+        if (eol == std::string::npos) {
+          if (buffer_.size() > 64) {
+            fail(400, "malformed chunk size");
+            return;
+          }
+          return;
+        }
+        std::size_t size = 0;
+        if (!parse_chunk_size(std::string_view(buffer_).substr(0, eol), size)) {
+          fail(400, "malformed chunk size");
+          return;
+        }
+        buffer_.erase(0, eol + skip);
+        if (request_.body.size() + size > limits_.max_body_bytes) {
+          fail(413, "body exceeds limit");
+          return;
+        }
+        if (size == 0) {
+          state_ = State::kTrailers;
+        } else {
+          content_remaining_ = size;
+          state_ = State::kChunkData;
+        }
+        break;
+      }
+      case State::kChunkData: {
+        const std::size_t take = std::min(content_remaining_, buffer_.size());
+        request_.body.append(buffer_, 0, take);
+        buffer_.erase(0, take);
+        content_remaining_ -= take;
+        if (content_remaining_ > 0) return;  // need more bytes
+        state_ = State::kChunkEnd;
+        break;
+      }
+      case State::kChunkEnd: {
+        // CRLF (or bare LF) terminating the chunk payload.
+        if (buffer_.size() >= 2 && buffer_[0] == '\r' && buffer_[1] == '\n') {
+          buffer_.erase(0, 2);
+          state_ = State::kChunkSize;
+        } else if (!buffer_.empty() && buffer_[0] == '\n') {
+          buffer_.erase(0, 1);
+          state_ = State::kChunkSize;
+        } else if (buffer_.size() >= 2 || (buffer_.size() == 1 && buffer_[0] != '\r')) {
+          fail(400, "missing chunk terminator");
+          return;
+        } else {
+          return;  // need more bytes
+        }
+        break;
+      }
+      case State::kTrailers: {
+        // Consume trailer lines until the blank line that ends the message.
+        while (true) {
+          std::size_t eol = buffer_.find("\r\n");
+          std::size_t skip = 2;
+          if (eol == std::string::npos) {
+            eol = buffer_.find('\n');
+            skip = 1;
+          }
+          if (eol == std::string::npos) {
+            if (buffer_.size() > 1024) fail(400, "malformed trailers");
+            return;
+          }
+          const bool blank = eol == 0;
+          buffer_.erase(0, eol + skip);
+          if (blank) {
+            state_ = State::kDone;
+            return;
+          }
+        }
+      }
+      default:
+        return;
+    }
+  }
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    http_status_reason(status) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string sse_response_head() {
+  return
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: text/event-stream\r\n"
+      "Cache-Control: no-cache\r\n"
+      "Connection: close\r\n\r\n";
+}
+
+std::string sse_event(std::string_view payload) {
+  return "data: " + std::string(payload) + "\n\n";
+}
+
+}  // namespace orinsim::server

@@ -1,0 +1,105 @@
+// Dependency-free HTTP/1.1 request parsing and response formatting for the
+// serving daemon.
+//
+// HttpParser is incremental: feed() accepts arbitrary byte chunks as they
+// arrive off the socket (headers may be split at any boundary, including
+// mid-token) and the parser accumulates until one full request — headers
+// plus body — is available or the input is rejected. Rejection is sticky
+// and carries an HTTP status: 400 for malformed syntax (bad request line,
+// bad chunk length, bad Content-Length), 431 when the header block exceeds
+// the configured cap, 413 when the body does.
+//
+// Bodies arrive either via Content-Length or Transfer-Encoding: chunked;
+// both are bounded by Limits::max_body_bytes. The parser handles exactly
+// one request per instance (the daemon serves one request per connection
+// and answers with Connection: close).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace orinsim::server {
+
+struct HttpRequest {
+  std::string method;   // e.g. "POST"
+  std::string target;   // raw request target, e.g. "/v1/completions?x=1"
+  std::string path;     // decoded path component
+  std::map<std::string, std::string> query;    // decoded query parameters
+  std::map<std::string, std::string> headers;  // keys lower-cased
+  std::string body;
+
+  bool has_header(const std::string& name) const { return headers.count(name) > 0; }
+  std::string header(const std::string& name, const std::string& fallback = "") const {
+    auto it = headers.find(name);
+    return it == headers.end() ? fallback : it->second;
+  }
+};
+
+class HttpParser {
+ public:
+  struct Limits {
+    std::size_t max_header_bytes = 16 * 1024;
+    std::size_t max_body_bytes = 1024 * 1024;
+  };
+
+  enum class State {
+    kHeaders,    // accumulating the request line + header block
+    kBody,       // reading a Content-Length body
+    kChunkSize,  // reading a chunk-size line
+    kChunkData,  // reading chunk payload
+    kChunkEnd,   // expecting CRLF after chunk payload
+    kTrailers,   // after the terminal 0-chunk, reading trailers to blank line
+    kDone,       // one full request parsed; request() is valid
+    kError,      // rejected; error_status()/error_reason() say why
+  };
+
+  HttpParser() = default;
+  explicit HttpParser(const Limits& limits) : limits_(limits) {}
+
+  // Consumes the next chunk of bytes from the connection. Returns the
+  // parser state after consuming; feed() after kDone or kError is invalid.
+  State feed(std::string_view data);
+
+  State state() const noexcept { return state_; }
+  bool done() const noexcept { return state_ == State::kDone; }
+  bool failed() const noexcept { return state_ == State::kError; }
+
+  const HttpRequest& request() const noexcept { return request_; }
+  int error_status() const noexcept { return error_status_; }
+  const std::string& error_reason() const noexcept { return error_reason_; }
+
+ private:
+  State fail(int status, std::string reason);
+  bool parse_header_block(std::string_view block);
+  void advance_body();
+
+  Limits limits_{};
+  State state_ = State::kHeaders;
+  std::string buffer_;   // unconsumed bytes in the current state
+  HttpRequest request_;
+  std::size_t content_remaining_ = 0;  // body / chunk bytes still expected
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+// Percent-decodes a URL component; returns false on a malformed escape.
+// '+' decodes to space (query-string convention).
+bool url_decode(std::string_view in, std::string& out);
+
+// Formats a full non-streaming response with Connection: close.
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body);
+
+// Response head for a Server-Sent-Events stream (no Content-Length; the
+// connection closes when the stream ends).
+std::string sse_response_head();
+
+// One SSE event: "data: <payload>\n\n".
+std::string sse_event(std::string_view payload);
+
+// Canonical reason phrase for the handful of statuses the daemon emits.
+const char* http_status_reason(int status);
+
+}  // namespace orinsim::server

@@ -1,0 +1,63 @@
+// Minimal JSON for the serving daemon: parse request bodies, serialize
+// responses and SSE payloads. Self-contained (no third-party dependency),
+// covering the subset the OpenAI-style completions API needs: objects,
+// arrays, strings (with escapes and \uXXXX), finite numbers, booleans,
+// null. Numbers go through core/string_util's strict parsers, so the same
+// hardening that guards CLI flags guards HTTP fields: trailing garbage,
+// overflow, and non-finite values are parse errors, never silent zeros.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace orinsim::server {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  // Parses exactly one JSON document (trailing non-whitespace is an error).
+  // On failure returns false and, when `error` is non-null, a short message
+  // with the byte offset of the problem.
+  static bool parse(std::string_view text, JsonValue& out, std::string* error = nullptr);
+
+  Type type() const noexcept { return type_; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_number() const noexcept { return number_; }
+  const std::string& as_string() const noexcept { return string_; }
+  const std::vector<JsonValue>& items() const noexcept { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const noexcept {
+    return members_;
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject, in order
+};
+
+// Escapes a string for embedding inside JSON quotes (control characters,
+// quote, backslash; non-ASCII bytes pass through untouched).
+std::string json_escape(std::string_view text);
+
+// {"key": "escaped"} building blocks used by the response writers.
+std::string json_string(std::string_view text);
+
+}  // namespace orinsim::server

@@ -1,0 +1,166 @@
+// orinsim_serve: streaming HTTP serving daemon over the request-lifecycle
+// engine. Runs the functional nano engine (real greedy decode over a paged
+// KV cache) behind an OpenAI-style completions API with SSE streaming,
+// Prometheus metrics, queue-cap backpressure, and graceful drain on
+// SIGTERM/SIGINT.
+//
+//   ./orinsim_serve [--port=8080] [--host=127.0.0.1] [--model=llama3]
+//                   [--seed=7] [--vocab-words=400] [--max-concurrency=4]
+//                   [--kv-blocks=0] [--block-tokens=16] [--queue-cap=32]
+//                   [--max-tokens-cap=256] [--decode-workers=0]
+//                   [--prefix-cache] [--prefix-cache-blocks=0]
+//                   [--power-proxy-model=] [--power-cap-w=0] [--thermal]
+//                   [--max-connections=64]
+//
+// Offline reference mode (no HTTP): prints the completion for one prompt
+// using the identical model/backend construction, so the SSE token stream
+// for the same prompt can be checked for bit-identity against it:
+//
+//   ./orinsim_serve --offline --prompt="..." [--max-tokens=16] [flags...]
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/cli.h"
+#include "model/config.h"
+#include "server/engine_host.h"
+#include "server/server.h"
+#include "serving/engine.h"
+#include "tokenizer/tokenizer.h"
+#include "workload/corpus.h"
+
+using namespace orinsim;
+using namespace orinsim::server;
+
+namespace {
+
+// Everything deterministic about the serving stack in one place: the same
+// flags always build the same tokenizer, weights, and backend, which is
+// what makes the --offline output comparable bit-for-bit with the daemon's
+// SSE stream.
+struct ServingStack {
+  Tokenizer tokenizer;
+  std::shared_ptr<const MasterWeights> master;
+  std::unique_ptr<Model> model;
+  std::unique_ptr<ThreadPool> decode_pool;
+  std::unique_ptr<serving::FunctionalTokenBackend> backend;
+  std::size_t max_seq = 0;
+};
+
+ServingStack build_stack(const CliArgs& args) {
+  ServingStack stack;
+  const workload::Corpus corpus =
+      workload::generate_corpus(workload::CorpusSpec::wikitext2());
+  stack.tokenizer = Tokenizer::train(
+      corpus.text, static_cast<std::size_t>(args.get_int("vocab-words", 400)));
+  const TransformerConfig config = make_nano_config(
+      args.get("model", "llama3"), stack.tokenizer.vocab_size());
+  stack.master = MasterWeights::init_random(
+      config, static_cast<std::uint64_t>(args.get_int("seed", 7)));
+  stack.model = std::make_unique<Model>(stack.master, DType::kF32);
+  stack.max_seq = config.max_seq;
+
+  const long long workers = args.get_int("decode-workers", 0);
+  if (workers > 0) {
+    stack.decode_pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(workers));
+  }
+
+  serving::FunctionalTokenBackend::Config bc;
+  bc.max_lanes = static_cast<std::size_t>(args.get_int("max-concurrency", 4));
+  bc.max_seq = stack.max_seq;
+  bc.kv_blocks = static_cast<std::size_t>(args.get_int("kv-blocks", 0));
+  bc.block_tokens = static_cast<std::size_t>(
+      args.get_int("block-tokens", static_cast<long long>(kDefaultKVBlockTokens)));
+  bc.power_proxy_model = args.get("power-proxy-model", "");
+  bc.prefix_cache = args.get_bool("prefix-cache", false);
+  bc.prefix_cache_blocks =
+      static_cast<std::size_t>(args.get_int("prefix-cache-blocks", 0));
+  stack.backend = std::make_unique<serving::FunctionalTokenBackend>(
+      *stack.model, bc, stack.decode_pool.get());
+  return stack;
+}
+
+serving::GovernorConfig governor_from(const CliArgs& args) {
+  serving::GovernorConfig governor;
+  governor.power_cap_w = args.get_double("power-cap-w", 0.0);
+  governor.thermal_enabled = args.get_bool("thermal", false);
+  return governor;
+}
+
+// Offline reference: run the prompt through the steppable engine in
+// offline (virtual clock) mode and print the completion text — the exact
+// concatenation a client would receive over SSE.
+int run_offline(const CliArgs& args) {
+  const std::string prompt = args.get("prompt", "");
+  if (prompt.empty()) {
+    std::fprintf(stderr, "--offline requires --prompt\n");
+    return 1;
+  }
+  const std::size_t max_tokens =
+      static_cast<std::size_t>(args.get_int("max-tokens", 16));
+  ServingStack stack = build_stack(args);
+
+  serving::Request req;
+  req.prompt = stack.tokenizer.encode(prompt);
+  if (req.prompt.empty() || req.prompt.size() + max_tokens > stack.max_seq) {
+    std::fprintf(stderr, "prompt does not fit the model context\n");
+    return 1;
+  }
+  req.prompt_tokens = req.prompt.size();
+  req.max_new_tokens = max_tokens;
+
+  std::string text;
+  serving::StreamCallbacks callbacks;
+  callbacks.on_token = [&](const serving::Request&, TokenId token) {
+    text += stack.tokenizer.token_text(token);
+  };
+  serving::ContinuousEngine engine(*stack.backend, governor_from(args));
+  engine.submit(std::move(req), std::move(callbacks));
+  while (engine.step() == serving::ContinuousEngine::Step::kWorked) {
+  }
+  engine.finish();
+  std::printf("%s\n", text.c_str());
+  return 0;
+}
+
+int run_server(const CliArgs& args) {
+  ServingStack stack = build_stack(args);
+
+  EngineHost::Config host_config;
+  host_config.queue_cap = static_cast<std::size_t>(args.get_int("queue-cap", 32));
+  host_config.max_new_tokens_cap =
+      static_cast<std::size_t>(args.get_int("max-tokens-cap", 256));
+  host_config.governor = governor_from(args);
+  EngineHost host(*stack.backend, stack.tokenizer, stack.max_seq, host_config);
+
+  ServerConfig server_config;
+  server_config.bind_address = args.get("host", "127.0.0.1");
+  server_config.port = static_cast<std::uint16_t>(args.get_int("port", 8080));
+  server_config.model_name = args.get("model", "llama3") + "-nano";
+  server_config.max_connections =
+      static_cast<std::size_t>(args.get_int("max-connections", 64));
+  Server server(host, server_config);
+
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "orinsim_serve: %s\n", error.c_str());
+    return 1;
+  }
+  // The port line is machine-readable on purpose: scripts bind port 0 and
+  // scrape the actual port from here.
+  std::printf("orinsim_serve listening on %s:%u\n",
+              server_config.bind_address.c_str(), server.port());
+  std::fflush(stdout);
+
+  server.run_until_signal();
+  std::printf("orinsim_serve drained, exiting\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.get_bool("offline", false)) return run_offline(args);
+  return run_server(args);
+}

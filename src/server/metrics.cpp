@@ -1,0 +1,100 @@
+#include "server/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace orinsim::server {
+
+namespace {
+
+void counter(std::string& out, const char* name, const char* help, double value) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "# HELP %s %s\n# TYPE %s counter\n%s %.17g\n",
+                name, help, name, name, value);
+  out += buf;
+}
+
+void gauge(std::string& out, const char* name, const char* help, double value) {
+  char buf[256];
+  if (std::isnan(value)) {
+    std::snprintf(buf, sizeof(buf), "# HELP %s %s\n# TYPE %s gauge\n%s NaN\n",
+                  name, help, name, name);
+  } else {
+    std::snprintf(buf, sizeof(buf), "# HELP %s %s\n# TYPE %s gauge\n%s %.17g\n",
+                  name, help, name, name, value);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_prometheus(const EngineHost::Metrics& m) {
+  std::string out;
+  out.reserve(4096);
+  counter(out, "orinsim_requests_submitted_total",
+          "Requests accepted into the engine", static_cast<double>(m.submitted));
+  counter(out, "orinsim_requests_rejected_total",
+          "Requests rejected with 429 (queue cap)", static_cast<double>(m.rejected));
+  counter(out, "orinsim_requests_completed_total",
+          "Requests retired with a full completion", static_cast<double>(m.completed));
+  gauge(out, "orinsim_requests_active", "Requests holding a decode lane",
+        static_cast<double>(m.active));
+  gauge(out, "orinsim_requests_queued", "Requests waiting for a lane",
+        static_cast<double>(m.queued));
+  counter(out, "orinsim_prompt_tokens_total", "Prompt tokens across submitted requests",
+          static_cast<double>(m.prompt_tokens));
+  counter(out, "orinsim_completion_tokens_total", "Generated tokens streamed to clients",
+          static_cast<double>(m.completion_tokens));
+  counter(out, "orinsim_prefill_steps_total", "Prefill waves executed",
+          static_cast<double>(m.prefill_steps));
+  counter(out, "orinsim_decode_steps_total", "Decode steps executed",
+          static_cast<double>(m.decode_steps));
+  counter(out, "orinsim_preemptions_total", "KV-exhaustion preemptions",
+          static_cast<double>(m.preemptions));
+  counter(out, "orinsim_energy_joules_total",
+          "Modeled energy attributed to executed steps", m.energy_j);
+  const double total_tokens =
+      static_cast<double>(m.prompt_tokens + m.completion_tokens);
+  gauge(out, "orinsim_energy_per_request_joules",
+        "Attributed energy per completed request (NaN before the first completion)",
+        m.completed > 0 ? m.energy_j / static_cast<double>(m.completed)
+                        : std::nan(""));
+  gauge(out, "orinsim_energy_per_token_joules",
+        "Attributed energy per prompt+generated token (NaN before any tokens)",
+        total_tokens > 0 ? m.energy_j / total_tokens : std::nan(""));
+  gauge(out, "orinsim_engine_time_seconds", "Engine clock (wall-aligned while serving)",
+        m.engine_time_s);
+  counter(out, "orinsim_governor_step_downs_total",
+          "Power-mode step-downs (power cap + thermal)",
+          static_cast<double>(m.governor_step_downs));
+  gauge(out, "orinsim_request_latency_mean_seconds",
+        "Mean completed-request latency (NaN before the first completion)",
+        m.latency_mean_s);
+  gauge(out, "orinsim_request_latency_p95_seconds",
+        "p95 completed-request latency (NaN before the first completion)",
+        m.latency_p95_s);
+  gauge(out, "orinsim_kv_blocks_used", "KV pool blocks in use",
+        static_cast<double>(m.kv_used_blocks));
+  gauge(out, "orinsim_kv_blocks_total", "KV pool capacity in blocks",
+        static_cast<double>(m.kv_total_blocks));
+  gauge(out, "orinsim_draining", "1 while the server is draining",
+        m.draining ? 1.0 : 0.0);
+  if (m.prefix_cache_enabled) {
+    counter(out, "orinsim_prefix_cache_hits_total", "Prefix-cache hits",
+            static_cast<double>(m.prefix_cache.hits));
+    counter(out, "orinsim_prefix_cache_misses_total", "Prefix-cache misses",
+            static_cast<double>(m.prefix_cache.misses));
+    counter(out, "orinsim_prefix_cache_hit_tokens_total",
+            "Prompt tokens served from cached KV blocks",
+            static_cast<double>(m.prefix_cache.hit_tokens));
+    counter(out, "orinsim_prefix_cache_inserted_blocks_total",
+            "Blocks inserted at retirement",
+            static_cast<double>(m.prefix_cache.inserted_blocks));
+    counter(out, "orinsim_prefix_cache_evicted_blocks_total",
+            "Cached blocks reclaimed under pressure",
+            static_cast<double>(m.prefix_cache.evicted_blocks));
+  }
+  return out;
+}
+
+}  // namespace orinsim::server

@@ -1,0 +1,21 @@
+// Prometheus text exposition (version 0.0.4) of the host's serving
+// counters. Everything rendered here is derived from the engine's event
+// stream via EngineHost::metrics(); the scrape and the exported trace
+// cannot disagree.
+#pragma once
+
+#include <string>
+
+#include "server/engine_host.h"
+
+namespace orinsim::server {
+
+// Renders the full scrape body. Latency gauges may legitimately be NaN
+// before any request completes; Prometheus parses the literal "NaN".
+std::string render_prometheus(const EngineHost::Metrics& metrics);
+
+inline const char* prometheus_content_type() {
+  return "text/plain; version=0.0.4; charset=utf-8";
+}
+
+}  // namespace orinsim::server

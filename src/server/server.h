@@ -1,0 +1,97 @@
+// orinsim_serve's front end: a dependency-free HTTP/1.1 daemon over the
+// steppable serving engine.
+//
+// Architecture: one accept thread polls the listening socket and hands each
+// accepted connection to its own thread (thread-per-connection), bounded by
+// max_connections — beyond the bound, connections are answered 503 and
+// closed immediately rather than queueing unboundedly. Each connection
+// serves exactly one request and closes (Connection: close), which keeps
+// graceful drain simple: stop accepting, let every connection thread finish
+// its response, join.
+//
+// Routes:
+//   POST /v1/completions  OpenAI-style completions. Body: {"prompt": "...",
+//                         "max_tokens": N, "stream": true|false}. With
+//                         stream=true (default) tokens arrive as SSE events
+//                         as the engine produces them, terminated by
+//                         "data: [DONE]". Queue-cap overflow answers 429.
+//   GET  /metrics         Prometheus text exposition of the serving state.
+//   GET  /healthz         200 "ok" liveness probe.
+//
+// Shutdown: shutdown() (or a SIGTERM/SIGINT routed through
+// run_until_signal's self-pipe) stops the accept loop, drains the engine
+// host — in-flight requests run to retirement and their SSE streams flush —
+// then joins every connection thread. Nothing in flight is dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "server/engine_host.h"
+#include "server/http.h"
+
+namespace orinsim::server {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0: pick an ephemeral port (see Server::port())
+  std::string model_name = "orinsim-nano";  // echoed in completion responses
+  std::size_t max_connections = 64;
+  int listen_backlog = 16;
+  HttpParser::Limits http_limits;
+  // Patience for an idle connection to deliver its request, in milliseconds.
+  int receive_timeout_ms = 30000;
+};
+
+class Server {
+ public:
+  // `host` must outlive the server.
+  Server(EngineHost& host, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and starts the accept thread. Returns false with
+  // `error` set on failure (e.g. port in use).
+  bool start(std::string* error);
+
+  // The bound port (after start); useful with port = 0.
+  std::uint16_t port() const { return port_; }
+
+  // Installs SIGTERM/SIGINT handlers and blocks until one arrives, then
+  // performs the graceful shutdown. Only one Server per process may use
+  // this (process-wide signal disposition).
+  void run_until_signal();
+
+  // Graceful shutdown: stop accepting, drain the engine, join connection
+  // threads. Idempotent; also runs on destruction.
+  void shutdown();
+
+ private:
+  struct Connection;
+  void accept_loop();
+  void handle_connection(int fd);
+  void serve_request(int fd, const HttpRequest& request);
+  void serve_completion(int fd, const HttpRequest& request);
+  void reap_finished_locked();
+
+  EngineHost& host_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // poke the accept loop's poll()
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool shut_down_ = false;
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::list<Connection> connections_;
+  std::size_t live_connections_ = 0;
+};
+
+}  // namespace orinsim::server

@@ -197,65 +197,113 @@ double EngineResult::energy_per_token_j() const {
 }
 
 // ---------------------------------------------------------------------------
-// ContinuousPolicy
+// ContinuousEngine
 // ---------------------------------------------------------------------------
 
-EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
-  ORINSIM_CHECK(!requests.empty() && backend_.max_lanes() > 0,
-                "engine: degenerate continuous run");
-  for (std::size_t i = 1; i < requests.size(); ++i) {
-    ORINSIM_CHECK(requests[i].arrival_s >= requests[i - 1].arrival_s,
-                  "engine: arrivals must be non-decreasing");
+// The steppable continuous scheduler. One Impl instance owns the loop state
+// the old run-to-completion implementation kept on its stack; step() is one
+// iteration of that loop, byte-identical in offline mode (the existing
+// legacy-parity and trace-byte-identity tests pin this).
+struct ContinuousEngine::Impl {
+  Impl(TokenBackend& backend_in, GovernorConfig governor_config, bool real_time_in)
+      : backend(backend_in),
+        real_time(real_time_in),
+        governor(governor_config, backend_in, result.timeline),
+        pc(backend_in.prefix_cache_enabled()),
+        pc_block_tokens(pc ? backend_in.prefix_cache_stats().block_tokens : 0),
+        pc_block_bytes(pc ? backend_in.kv_usage().block_bytes : 0) {
+    ORINSIM_CHECK(backend.max_lanes() > 0, "engine: backend needs at least one lane");
+    active.reserve(backend.max_lanes());
   }
 
-  EngineResult result;
-  trace::ExecutionTimeline& timeline = result.timeline;
-  for (const Request& r : requests) timeline.begin_request(r.arrival_s);
-  PowerGovernor governor(governor_, backend_, timeline);
+  TokenBackend& backend;
+  bool real_time = false;
+  EngineResult result;  // timeline accumulates here; finish() derives the rest
+  PowerGovernor governor;
 
-  const std::size_t total = requests.size();
+  std::vector<Request> requests;
+  std::vector<StreamCallbacks> callbacks;
+  std::vector<std::size_t> streamed;  // tokens already delivered per request
   std::deque<std::size_t> waiting;
   std::vector<std::size_t> active;
-  active.reserve(backend_.max_lanes());
-  std::size_t arrived = 0;
+  std::size_t arrived = 0;  // requests moved from the arrival stream to waiting
   std::size_t retired = 0;
-
-  auto admit_arrivals = [&] {
-    while (arrived < total && requests[arrived].arrival_s <= timeline.now()) {
-      waiting.push_back(arrived);
-      ++arrived;
-    }
-  };
+  bool draining = false;
+  bool finished_taken = false;
+  Stopwatch wall;  // real-time clock reference (construction = engine start)
 
   // Prefix-cache event emission, gated on the backend actually running a
   // cache so cache-free runs keep byte-identical traces. Insertions and
   // evictions happen inside backend calls; delta-snapshotting the monotonic
   // counters around those calls attributes them to the right instant.
-  const bool pc = backend_.prefix_cache_enabled();
-  const std::size_t pc_block_tokens = pc ? backend_.prefix_cache_stats().block_tokens : 0;
-  const std::size_t pc_block_bytes = pc ? backend_.kv_usage().block_bytes : 0;
-  auto pc_counter = [&](auto member) {
-    return pc ? backend_.prefix_cache_stats().*member : 0;
-  };
-  auto pc_emit_evictions = [&](std::size_t evicted_before) {
+  const bool pc;
+  const std::size_t pc_block_tokens;
+  const std::size_t pc_block_bytes;
+
+  trace::ExecutionTimeline& timeline() { return result.timeline; }
+
+  template <typename Member>
+  std::size_t pc_counter(Member member) const {
+    return pc ? backend.prefix_cache_stats().*member : 0;
+  }
+
+  void pc_emit_evictions(std::size_t evicted_before) {
     if (!pc) return;
     const std::size_t d = pc_counter(&PrefixCacheStats::evicted_blocks) - evicted_before;
     if (d > 0) {
-      timeline.prefix_cache_event(trace::PrefixCacheEventKind::kEvict, timeline.now(),
-                                  0, d * pc_block_tokens, d, 0);
+      timeline().prefix_cache_event(trace::PrefixCacheEventKind::kEvict,
+                                    timeline().now(), 0, d * pc_block_tokens, d, 0);
     }
-  };
+  }
 
-  while (retired < total) {
+  void admit_arrivals() {
+    while (arrived < requests.size() &&
+           requests[arrived].arrival_s <= timeline().now()) {
+      waiting.push_back(arrived);
+      ++arrived;
+    }
+  }
+
+  // Delivers tokens generated since the last flush. Recompute-after-
+  // preemption replays recorded tokens without growing output beyond
+  // `streamed`, so the delivered stream never repeats.
+  void flush_tokens(const Request& r) {
+    StreamCallbacks& cb = callbacks[r.id];
+    if (!cb.on_token) {
+      streamed[r.id] = r.output.size();
+      return;
+    }
+    while (streamed[r.id] < r.output.size()) {
+      cb.on_token(r, r.output[streamed[r.id]]);
+      ++streamed[r.id];
+    }
+  }
+
+  Step step() {
+    ORINSIM_CHECK(!finished_taken, "engine: step after finish");
+    if (real_time) {
+      // Bring the engine clock up to the wall before admission checks so
+      // wall-stamped arrivals become visible and idle gaps land in the trace
+      // as explicit stalls. Skipped when there is no work at all, so a
+      // polling host does not grow the trace while the engine sits idle.
+      const bool work_pending =
+          !active.empty() || !waiting.empty() || arrived < requests.size();
+      const double now_wall = wall.elapsed_s();
+      if (work_pending && now_wall > timeline().now()) {
+        const double idle_from = timeline().now();
+        timeline().stall_until(now_wall);
+        governor.observe_idle(timeline().now() - idle_from);
+      }
+    }
     admit_arrivals();
 
-    // Idle: jump to the next arrival (an explicit stall event keeps the
-    // trace gap-free).
     if (active.empty() && waiting.empty()) {
-      ORINSIM_CHECK(arrived < total, "engine: starved scheduler");
-      const double idle_from = timeline.now();
-      timeline.stall_until(requests[arrived].arrival_s);
-      governor.observe_idle(timeline.now() - idle_from);
+      // Offline: jump to the next arrival (an explicit stall event keeps the
+      // trace gap-free). Real-time / fully drained: nothing to do.
+      if (real_time || arrived >= requests.size()) return Step::kIdle;
+      const double idle_from = timeline().now();
+      timeline().stall_until(requests[arrived].arrival_s);
+      governor.observe_idle(timeline().now() - idle_from);
       admit_arrivals();
     }
 
@@ -267,31 +315,31 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
     std::vector<Request*> admitted;
     const bool defer = governor.defer_admissions() && !active.empty();
     const std::size_t evicted_pre_admit = pc_counter(&PrefixCacheStats::evicted_blocks);
-    while (!defer && !waiting.empty() && active.size() < backend_.max_lanes()) {
+    while (!defer && !waiting.empty() && active.size() < backend.max_lanes()) {
       Request& req = requests[waiting.front()];
-      if (!backend_.try_admit(req)) {
+      if (!backend.try_admit(req)) {
         ORINSIM_CHECK(!active.empty(),
                       "engine: request does not fit even on an idle backend");
         break;
       }
       waiting.pop_front();
       req.state = RequestState::kPrefilling;
-      const bool fresh = !timeline.requests()[req.id].started;
+      const bool fresh = !timeline().requests()[req.id].started;
       if (fresh) {
-        timeline.start_request(req.id, timeline.now());
+        timeline().start_request(req.id, timeline().now());
       }
-      timeline.request_event(req.id, trace::RequestEventKind::kAdmit, timeline.now());
+      timeline().request_event(req.id, trace::RequestEventKind::kAdmit, timeline().now());
       // One lookup per fresh admission: hit with the attached token count, or
       // miss. Resumed (preempted) requests recompute without a lookup.
       if (pc && fresh) {
         if (req.prefix_cached > 0) {
           const std::size_t blocks = req.prefix_cached / pc_block_tokens;
-          timeline.prefix_cache_event(trace::PrefixCacheEventKind::kHit, timeline.now(),
-                                      req.id, req.prefix_cached, blocks,
-                                      blocks * pc_block_bytes);
+          timeline().prefix_cache_event(trace::PrefixCacheEventKind::kHit,
+                                        timeline().now(), req.id, req.prefix_cached,
+                                        blocks, blocks * pc_block_bytes);
         } else {
-          timeline.prefix_cache_event(trace::PrefixCacheEventKind::kMiss,
-                                      timeline.now(), req.id, 0, 0, 0);
+          timeline().prefix_cache_event(trace::PrefixCacheEventKind::kMiss,
+                                        timeline().now(), req.id, 0, 0, 0);
         }
       }
       active.push_back(req.id);
@@ -299,16 +347,19 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
     }
     pc_emit_evictions(evicted_pre_admit);
     if (!admitted.empty()) {
-      const StepCost cost = backend_.prefill(admitted, active.size());
+      const StepCost cost = backend.prefill(admitted, active.size());
       // Batch carries the post-admission active count: the concurrency
       // integral weighs the prefill at the level the device now sustains.
       const std::size_t eid =
-          timeline.emit(trace::Phase::kPrefill, cost.seconds, active.size(), cost.ctx,
-                        cost.power_w, cost.breakdown);
-      annotate_kv(timeline, eid, backend_);
-      timeline.set_participants(eid, active);
+          timeline().emit(trace::Phase::kPrefill, cost.seconds, active.size(), cost.ctx,
+                          cost.power_w, cost.breakdown);
+      annotate_kv(timeline(), eid, backend);
+      timeline().set_participants(eid, active);
       governor.observe_step(cost.power_w, cost.seconds);
-      for (Request* r : admitted) r->state = RequestState::kDecoding;
+      for (Request* r : admitted) {
+        r->state = RequestState::kDecoding;
+        flush_tokens(*r);  // the prefill wave sampled fresh first tokens
+      }
     }
 
     // Every active request must be able to grow by one token before the
@@ -320,7 +371,7 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
     while (true) {
       bool all_fit = true;
       for (std::size_t id : active) {
-        if (!backend_.try_extend(requests[id])) {
+        if (!backend.try_extend(requests[id])) {
           all_fit = false;
           break;
         }
@@ -331,12 +382,13 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
       const std::size_t victim = active.back();
       active.pop_back();
       Request& evicted = requests[victim];
-      backend_.release(evicted);
+      backend.release(evicted);
       evicted.state = RequestState::kPreempted;
       ++evicted.preemptions;
       ++result.preemptions;
       waiting.push_front(victim);
-      timeline.request_event(victim, trace::RequestEventKind::kPreempt, timeline.now());
+      timeline().request_event(victim, trace::RequestEventKind::kPreempt,
+                               timeline().now());
     }
     pc_emit_evictions(evicted_pre_extend);
 
@@ -344,40 +396,128 @@ EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
     std::vector<Request*> stepping;
     stepping.reserve(active.size());
     for (std::size_t id : active) stepping.push_back(&requests[id]);
-    const StepCost cost = backend_.decode_step(stepping);
-    const std::size_t eid = timeline.emit(trace::Phase::kDecode, cost.seconds,
-                                          active.size(), cost.ctx, cost.power_w,
-                                          cost.breakdown);
-    annotate_kv(timeline, eid, backend_);
-    timeline.set_participants(eid, active);
+    const StepCost cost = backend.decode_step(stepping);
+    const std::size_t eid = timeline().emit(trace::Phase::kDecode, cost.seconds,
+                                            active.size(), cost.ctx, cost.power_w,
+                                            cost.breakdown);
+    annotate_kv(timeline(), eid, backend);
+    timeline().set_participants(eid, active);
     governor.observe_step(cost.power_w, cost.seconds);
+    for (std::size_t id : active) flush_tokens(requests[id]);
 
     // Retire finished sequences in active-list order.
     for (auto it = active.begin(); it != active.end();) {
       Request& r = requests[*it];
       if (r.done()) {
-        timeline.finish_request(r.id, timeline.now());
-        timeline.request_event(r.id, trace::RequestEventKind::kRetire, timeline.now());
+        timeline().finish_request(r.id, timeline().now());
+        timeline().request_event(r.id, trace::RequestEventKind::kRetire,
+                                 timeline().now());
         const std::size_t ins0 = pc_counter(&PrefixCacheStats::inserted_blocks);
-        backend_.release(r);  // insert-on-retire happens in here
+        backend.release(r);  // insert-on-retire happens in here
         if (pc) {
           const std::size_t d = pc_counter(&PrefixCacheStats::inserted_blocks) - ins0;
           if (d > 0) {
-            timeline.prefix_cache_event(trace::PrefixCacheEventKind::kInsert,
-                                        timeline.now(), r.id, d * pc_block_tokens, d, 0);
+            timeline().prefix_cache_event(trace::PrefixCacheEventKind::kInsert,
+                                          timeline().now(), r.id, d * pc_block_tokens,
+                                          d, 0);
           }
         }
         r.state = RequestState::kFinished;
         ++retired;
         it = active.erase(it);
+        if (callbacks[r.id].on_finish) callbacks[r.id].on_finish(r);
       } else {
         ++it;
       }
     }
+    return Step::kWorked;
   }
+};
 
-  finalize(result, std::move(requests), &backend_);
+ContinuousEngine::ContinuousEngine(TokenBackend& backend, GovernorConfig governor,
+                                   bool real_time)
+    : impl_(std::make_unique<Impl>(backend, std::move(governor), real_time)) {}
+
+ContinuousEngine::~ContinuousEngine() = default;
+
+std::size_t ContinuousEngine::submit(Request req, StreamCallbacks callbacks) {
+  ORINSIM_CHECK(!impl_->finished_taken, "engine: submit after finish");
+  if (impl_->draining) return kRejected;
+  if (impl_->real_time) {
+    // Stamp with the wall clock so queue wait measures from actual
+    // submission, even when the engine's virtual clock lags behind.
+    req.arrival_s = impl_->wall.elapsed_s();
+  } else if (!impl_->requests.empty()) {
+    ORINSIM_CHECK(req.arrival_s >= impl_->requests.back().arrival_s,
+                  "engine: arrivals must be non-decreasing");
+  }
+  req.id = impl_->requests.size();
+  impl_->timeline().begin_request(req.arrival_s);
+  impl_->requests.push_back(std::move(req));
+  impl_->callbacks.push_back(std::move(callbacks));
+  impl_->streamed.push_back(0);
+  return impl_->requests.size() - 1;
+}
+
+ContinuousEngine::Step ContinuousEngine::step() { return impl_->step(); }
+
+bool ContinuousEngine::idle() const {
+  return impl_->active.empty() && impl_->waiting.empty() &&
+         impl_->arrived >= impl_->requests.size();
+}
+
+bool ContinuousEngine::pending_arrivals() const {
+  return impl_->arrived < impl_->requests.size();
+}
+
+std::size_t ContinuousEngine::queue_depth() const {
+  return impl_->waiting.size() + (impl_->requests.size() - impl_->arrived);
+}
+
+std::size_t ContinuousEngine::active_count() const { return impl_->active.size(); }
+
+std::size_t ContinuousEngine::submitted_count() const { return impl_->requests.size(); }
+
+std::size_t ContinuousEngine::retired_count() const { return impl_->retired; }
+
+void ContinuousEngine::drain() { impl_->draining = true; }
+
+bool ContinuousEngine::draining() const { return impl_->draining; }
+
+bool ContinuousEngine::drained() const {
+  return impl_->draining && impl_->retired == impl_->requests.size();
+}
+
+const Request& ContinuousEngine::request(std::size_t id) const {
+  ORINSIM_CHECK(id < impl_->requests.size(), "engine: request id out of range");
+  return impl_->requests[id];
+}
+
+const trace::ExecutionTimeline& ContinuousEngine::timeline() const {
+  return impl_->result.timeline;
+}
+
+EngineResult ContinuousEngine::finish() {
+  ORINSIM_CHECK(!impl_->finished_taken, "engine: finish called twice");
+  ORINSIM_CHECK(idle(), "engine: finish with unretired requests");
+  impl_->finished_taken = true;
+  EngineResult result = std::move(impl_->result);
+  finalize(result, std::move(impl_->requests), &impl_->backend);
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// ContinuousPolicy
+// ---------------------------------------------------------------------------
+
+EngineResult ContinuousPolicy::run(std::vector<Request> requests) {
+  ORINSIM_CHECK(!requests.empty() && backend_.max_lanes() > 0,
+                "engine: degenerate continuous run");
+  ContinuousEngine engine(backend_, governor_);
+  for (Request& r : requests) engine.submit(std::move(r));
+  while (engine.step() == ContinuousEngine::Step::kWorked) {
+  }
+  return engine.finish();
 }
 
 // ---------------------------------------------------------------------------

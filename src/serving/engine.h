@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -191,6 +192,98 @@ class RequestScheduler {
   virtual ~RequestScheduler() = default;
   virtual EngineResult run(std::vector<Request> requests) = 0;
   virtual std::string policy_name() const = 0;
+};
+
+// Per-request streaming hooks, fired by ContinuousEngine as the backend
+// produces tokens. on_token fires once per *newly generated* token in
+// generation order (a preempted request's recompute replays silently — the
+// delivered stream never repeats or reorders); on_finish fires at
+// retirement, after the request's last on_token. Only backends that record
+// real tokens (FunctionalTokenBackend) drive on_token; the sim backend
+// counts tokens without materializing them. Callbacks run on the thread
+// calling step() — keep them cheap (hand off to a queue for slow I/O).
+struct StreamCallbacks {
+  std::function<void(const Request&, TokenId)> on_token;
+  std::function<void(const Request&)> on_finish;
+};
+
+// The continuous scheduler as an incrementally-steppable object: submit
+// requests at any time, advance the schedule one engine iteration per
+// step(), poll request state, stream tokens through StreamCallbacks, drain
+// for graceful shutdown. ContinuousPolicy::run is exactly submit-all +
+// step-until-idle + finish, so the offline path and the serving daemon
+// execute the same loop body (one source of truth for admission, preemption
+// and retirement semantics).
+//
+// Not thread-safe: every method must be called from one thread (the server
+// wraps it in server::EngineHost, which owns that thread). Two clocks:
+//  - offline (default): virtual time. Arrivals are taken from
+//    Request::arrival_s (non-decreasing, checked); when the engine goes idle
+//    with future arrivals pending, step() stalls the clock forward to the
+//    next arrival — bit-identical behaviour to the pre-steppable run loop.
+//  - real_time: the wall clock. submit() stamps arrival_s with the current
+//    engine time; before each working step the clock is stalled up to the
+//    wall-clock elapsed time, so idle gaps between bursts appear as explicit
+//    kStall events and latencies/energy integrate over real time.
+class ContinuousEngine {
+ public:
+  // submit() result when the engine is draining and admits no new work.
+  static constexpr std::size_t kRejected = static_cast<std::size_t>(-1);
+
+  enum class Step { kIdle, kWorked };
+
+  ContinuousEngine(TokenBackend& backend, GovernorConfig governor = {},
+                   bool real_time = false);
+  ~ContinuousEngine();
+
+  ContinuousEngine(const ContinuousEngine&) = delete;
+  ContinuousEngine& operator=(const ContinuousEngine&) = delete;
+
+  // Registers a request and returns its id (its index; Request::id is
+  // overwritten). Offline: arrival_s must be >= the previous submission's.
+  // Real-time: arrival_s is stamped with the engine clock. Returns kRejected
+  // after drain() — the caller owes the client a "shutting down" response.
+  std::size_t submit(Request req, StreamCallbacks callbacks = {});
+
+  // One engine iteration: admit what fits, run a prefill wave for fresh
+  // admissions, grow every active sequence (preempting the youngest on KV
+  // exhaustion), one decode step, retire finished requests. kIdle = nothing
+  // to do (no waiting or active work, and offline no future arrivals).
+  Step step();
+
+  // True when no request is waiting or active (step() would return kIdle,
+  // except for offline future arrivals — see pending_arrivals).
+  bool idle() const;
+  // Offline: submitted requests whose arrival_s is still in the future.
+  bool pending_arrivals() const;
+
+  // Requests submitted but not yet admitted to a lane (the 429 backpressure
+  // signal at the serving boundary).
+  std::size_t queue_depth() const;
+  std::size_t active_count() const;
+  std::size_t submitted_count() const;
+  std::size_t retired_count() const;
+
+  // Graceful shutdown: every subsequent submit() is rejected; everything
+  // already submitted (queued or active) still runs to retirement. Calling
+  // drain() again is a no-op.
+  void drain();
+  bool draining() const;
+  // True once drain() was called and every submitted request retired.
+  bool drained() const;
+
+  // Poll access to a submitted request's current state (valid until
+  // finish()).
+  const Request& request(std::size_t id) const;
+  const trace::ExecutionTimeline& timeline() const;
+
+  // Consumes the engine: derives EngineResult off the event stream. Requires
+  // idle() with no pending arrivals (everything submitted has retired).
+  EngineResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 // Token-level admit/retire scheduling (Orca/vLLM style) over any

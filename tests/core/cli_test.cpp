@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/string_util.h"
+
 namespace orinsim {
 namespace {
 
@@ -52,6 +54,91 @@ TEST(CliTest, HasDetectsPresence) {
   const CliArgs args = make({"--present"});
   EXPECT_TRUE(args.has("present"));
   EXPECT_FALSE(args.has("absent"));
+}
+
+// Malformed numeric values must fail with a usage message naming the bad
+// flag, not parse silently to 0 (the old strtoll behaviour) or escape main
+// as an uncaught exception. Death tests use the threadsafe style so they
+// stay reliable under the sanitizer CI jobs.
+class CliUsageDeathTest : public ::testing::Test {
+ protected:
+  CliUsageDeathTest() { ::testing::FLAGS_gtest_death_test_style = "threadsafe"; }
+};
+
+TEST_F(CliUsageDeathTest, RejectsNonNumericInt) {
+  const CliArgs args = make({"--batch=abc"});
+  EXPECT_EXIT(args.get_int("batch", 0), ::testing::ExitedWithCode(CliArgs::kUsageExitCode),
+              "invalid value for --batch: 'abc'");
+}
+
+TEST_F(CliUsageDeathTest, RejectsTrailingGarbage) {
+  const CliArgs args = make({"--power-cap-w=35W"});
+  EXPECT_EXIT(args.get_double("power-cap-w", 0.0),
+              ::testing::ExitedWithCode(CliArgs::kUsageExitCode),
+              "invalid value for --power-cap-w: '35W'");
+}
+
+TEST_F(CliUsageDeathTest, RejectsIntegerOverflow) {
+  const CliArgs args = make({"--requests=99999999999999999999999999"});
+  EXPECT_EXIT(args.get_int("requests", 0),
+              ::testing::ExitedWithCode(CliArgs::kUsageExitCode),
+              "invalid value for --requests");
+}
+
+TEST_F(CliUsageDeathTest, RejectsDoubleOverflowAndNonFinite) {
+  const CliArgs huge = make({"--rps=1e999"});
+  EXPECT_EXIT(huge.get_double("rps", 0.0),
+              ::testing::ExitedWithCode(CliArgs::kUsageExitCode),
+              "invalid value for --rps");
+  const CliArgs inf = make({"--rps=inf"});
+  EXPECT_EXIT(inf.get_double("rps", 0.0),
+              ::testing::ExitedWithCode(CliArgs::kUsageExitCode),
+              "invalid value for --rps");
+}
+
+TEST_F(CliUsageDeathTest, RejectsMalformedBool) {
+  const CliArgs args = make({"--prefix-cache=tru"});
+  EXPECT_EXIT(args.get_bool("prefix-cache", false),
+              ::testing::ExitedWithCode(CliArgs::kUsageExitCode),
+              "invalid value for --prefix-cache: 'tru'");
+}
+
+TEST(CliTest, WellFormedValuesStillParse) {
+  const CliArgs args = make({"--batch=-3", "--rps", "2.5e1", "--flag=ON"});
+  EXPECT_EQ(args.get_int("batch", 0), -3);
+  EXPECT_DOUBLE_EQ(args.get_double("rps", 0.0), 25.0);
+  EXPECT_TRUE(args.get_bool("flag", false));
+}
+
+TEST(StrictParseTest, IntAcceptsOnlyWholeNumbers) {
+  long long v = -1;
+  EXPECT_TRUE(parse_int_strict("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int_strict("  -7  ", v));
+  EXPECT_EQ(v, -7);
+  long long untouched = 123;
+  EXPECT_FALSE(parse_int_strict("", untouched));
+  EXPECT_FALSE(parse_int_strict("abc", untouched));
+  EXPECT_FALSE(parse_int_strict("12abc", untouched));
+  EXPECT_FALSE(parse_int_strict("1.5", untouched));
+  EXPECT_FALSE(parse_int_strict("99999999999999999999999999", untouched));
+  EXPECT_EQ(untouched, 123);
+}
+
+TEST(StrictParseTest, DoubleAcceptsOnlyFiniteNumbers) {
+  double v = -1.0;
+  EXPECT_TRUE(parse_double_strict("2.5", v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(parse_double_strict("1e-3", v));
+  EXPECT_DOUBLE_EQ(v, 1e-3);
+  double untouched = 9.0;
+  EXPECT_FALSE(parse_double_strict("", untouched));
+  EXPECT_FALSE(parse_double_strict("abc", untouched));
+  EXPECT_FALSE(parse_double_strict("3.5W", untouched));
+  EXPECT_FALSE(parse_double_strict("1e999", untouched));
+  EXPECT_FALSE(parse_double_strict("nan", untouched));
+  EXPECT_FALSE(parse_double_strict("inf", untouched));
+  EXPECT_DOUBLE_EQ(untouched, 9.0);
 }
 
 }  // namespace

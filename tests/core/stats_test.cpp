@@ -10,7 +10,7 @@
 namespace orinsim {
 namespace {
 
-TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+TEST(StatsTest, MeanOfEmptyIsNaN) { EXPECT_TRUE(std::isnan(mean({}))); }
 
 TEST(StatsTest, MeanBasic) {
   const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
@@ -118,9 +118,20 @@ TEST(StatsTest, PercentileSingleElementIsThatElement) {
   EXPECT_DOUBLE_EQ(percentile(v, 100.0), 7.25);
 }
 
-TEST(StatsTest, PercentileOfEmptyIsZero) {
-  EXPECT_EQ(percentile({}, 0.0), 0.0);
-  EXPECT_EQ(percentile({}, 100.0), 0.0);
+TEST(StatsTest, EmptyPopulationsHaveNoStatistics) {
+  // A silent 0.0 here once let empty latency/power signals report fake
+  // p50/p99 = 0 in benches and the planner; NaN fails closed instead.
+  EXPECT_TRUE(std::isnan(percentile({}, 0.0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 100.0)));
+  EXPECT_TRUE(std::isnan(median({})));
+  EXPECT_TRUE(std::isnan(min_value({})));
+  EXPECT_TRUE(std::isnan(max_value({})));
+}
+
+TEST(StatsTest, PercentileRangeCheckedEvenWhenEmpty) {
+  EXPECT_THROW(percentile({}, -0.001), ContractViolation);
+  EXPECT_THROW(percentile({}, 100.001), ContractViolation);
 }
 
 TEST(StatsTest, PercentileExtremesHitMinAndMax) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/units.h"
 
 namespace orinsim {
@@ -45,6 +47,14 @@ TEST(StringUtilTest, FormatBytesPicksUnits) {
   EXPECT_EQ(format_bytes(2.5e6), "2.5 MB");
   EXPECT_EQ(format_bytes(3.0e3), "3.0 KB");
   EXPECT_EQ(format_bytes(12), "12 B");
+}
+
+TEST(StringUtilTest, FormatDoubleRendersNaNAsNotAvailable) {
+  // Empty-population statistics (core/stats) arrive here as NaN; they must
+  // surface as "n/a" in tables and bench output, never as "0.00" or "nan".
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN(), 2), "n/a");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(0.0, 2), "0.00");
 }
 
 TEST(UnitsTest, Conversions) {

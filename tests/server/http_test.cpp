@@ -1,0 +1,175 @@
+// The incremental HTTP/1.1 parser: requests split across arbitrary read
+// boundaries, header and body limits, chunked bodies with malformed chunk
+// lengths, and the response/SSE formatting helpers.
+#include "server/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace orinsim::server {
+namespace {
+
+// Feeds the request to a fresh parser in `chunk` - byte slices.
+HttpParser::State feed_in_chunks(HttpParser& parser, std::string_view raw,
+                                 std::size_t chunk) {
+  HttpParser::State state = parser.state();
+  for (std::size_t i = 0; i < raw.size(); i += chunk) {
+    state = parser.feed(raw.substr(i, std::min(chunk, raw.size() - i)));
+    if (state == HttpParser::State::kDone || state == HttpParser::State::kError) break;
+  }
+  return state;
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser;
+  const auto state = parser.feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_EQ(state, HttpParser::State::kDone);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().path, "/healthz");
+  EXPECT_EQ(parser.request().header("host"), "x");
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParserTest, HeadersSplitAcrossReadsAtEveryBoundary) {
+  const std::string raw =
+      "POST /v1/completions?trace=1 HTTP/1.1\r\n"
+      "Host: localhost:8080\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 17\r\n"
+      "\r\n"
+      "{\"prompt\":\"hi\"}\r\n";
+  // Every chunk size from byte-at-a-time up: the parser must assemble the
+  // identical request regardless of where recv() happens to cut.
+  for (std::size_t chunk = 1; chunk <= raw.size(); ++chunk) {
+    HttpParser parser;
+    ASSERT_EQ(feed_in_chunks(parser, raw, chunk), HttpParser::State::kDone)
+        << "chunk size " << chunk;
+    EXPECT_EQ(parser.request().method, "POST");
+    EXPECT_EQ(parser.request().path, "/v1/completions");
+    EXPECT_EQ(parser.request().query.at("trace"), "1");
+    EXPECT_EQ(parser.request().header("content-type"), "application/json");
+    EXPECT_EQ(parser.request().body, "{\"prompt\":\"hi\"}\r\n");
+  }
+}
+
+TEST(HttpParserTest, OversizedHeaderBlockIs431) {
+  HttpParser::Limits limits;
+  limits.max_header_bytes = 128;
+  HttpParser parser(limits);
+  std::string raw = "GET / HTTP/1.1\r\nX-Pad: ";
+  raw.append(512, 'a');
+  const auto state = parser.feed(raw);
+  ASSERT_EQ(state, HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, OversizedBodyIs413) {
+  HttpParser::Limits limits;
+  limits.max_body_bytes = 16;
+  HttpParser parser(limits);
+  const auto state = parser.feed(
+      "POST /v1/completions HTTP/1.1\r\nContent-Length: 999\r\n\r\n");
+  ASSERT_EQ(state, HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, MalformedRequestsAre400) {
+  const char* bad[] = {
+      "GARBAGE\r\n\r\n",                                        // no method/target
+      "GET /x SPDY/99\r\n\r\n",                                 // bad version
+      "GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n",                 // bad header
+      "GET /x HTTP/1.1\r\n: empty-name\r\n\r\n",                // empty name
+      "GET /%zz HTTP/1.1\r\n\r\n",                              // bad escape
+      "POST /x HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n",      // bad length
+      "POST /x HTTP/1.1\r\nContent-Length: -4\r\n\r\n",         // negative
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",    // unsupported
+  };
+  for (const char* raw : bad) {
+    HttpParser parser;
+    ASSERT_EQ(parser.feed(raw), HttpParser::State::kError) << raw;
+    EXPECT_EQ(parser.error_status(), 400) << raw;
+  }
+}
+
+TEST(HttpParserTest, ChunkedBodyReassembles) {
+  const std::string raw =
+      "POST /v1/completions HTTP/1.1\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "7\r\n{\"a\": 1\r\n"
+      "1\r\n}\r\n"
+      "0\r\n\r\n";
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                            std::size_t{5}, raw.size()}) {
+    HttpParser parser;
+    ASSERT_EQ(feed_in_chunks(parser, raw, chunk), HttpParser::State::kDone)
+        << "chunk size " << chunk;
+    EXPECT_EQ(parser.request().body, "{\"a\": 1}");
+  }
+}
+
+TEST(HttpParserTest, BadChunkLengthIs400) {
+  const char* bad[] = {
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\nhi\r\n0\r\n\r\n",
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\r\nhi\r\n0\r\n\r\n",
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n123456789\r\n",  // > cap
+  };
+  for (const char* raw : bad) {
+    HttpParser parser;
+    ASSERT_EQ(parser.feed(raw), HttpParser::State::kError) << raw;
+    EXPECT_EQ(parser.error_status(), 400) << raw;
+  }
+}
+
+TEST(HttpParserTest, MissingChunkTerminatorIs400) {
+  HttpParser parser;
+  const auto state = parser.feed(
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nhiXX");
+  ASSERT_EQ(state, HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, ChunkedBodyOverLimitIs413) {
+  HttpParser::Limits limits;
+  limits.max_body_bytes = 4;
+  HttpParser parser(limits);
+  const auto state = parser.feed(
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nff\r\n");
+  ASSERT_EQ(state, HttpParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, QueryAndPathDecode) {
+  HttpParser parser;
+  ASSERT_EQ(parser.feed("GET /a%20b?x=1&y=hello%2Bworld&flag HTTP/1.1\r\n\r\n"),
+            HttpParser::State::kDone);
+  EXPECT_EQ(parser.request().path, "/a b");
+  EXPECT_EQ(parser.request().query.at("x"), "1");
+  EXPECT_EQ(parser.request().query.at("y"), "hello+world");
+  EXPECT_EQ(parser.request().query.at("flag"), "");
+
+  std::string out;
+  EXPECT_TRUE(url_decode("a+b%21", out));
+  EXPECT_EQ(out, "a b!");
+  EXPECT_FALSE(url_decode("bad%2", out));
+  EXPECT_FALSE(url_decode("bad%gg", out));
+}
+
+TEST(HttpResponseTest, FormatsStatusAndLength) {
+  const std::string r = http_response(429, "application/json", "{\"e\":1}");
+  EXPECT_NE(r.find("HTTP/1.1 429 Too Many Requests\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(r.substr(r.size() - 7), "{\"e\":1}");
+}
+
+TEST(HttpResponseTest, SseFraming) {
+  EXPECT_NE(sse_response_head().find("Content-Type: text/event-stream\r\n"),
+            std::string::npos);
+  EXPECT_EQ(sse_event("{\"x\":1}"), "data: {\"x\":1}\n\n");
+  EXPECT_EQ(sse_event("[DONE]"), "data: [DONE]\n\n");
+}
+
+}  // namespace
+}  // namespace orinsim::server

@@ -1,0 +1,91 @@
+// The daemon's minimal JSON layer: parse what the completions API accepts,
+// reject what it must, escape what it emits. Numbers share the strict
+// parser with CLI flags, so the same malformed inputs fail in both places.
+#include "server/json.h"
+
+#include <gtest/gtest.h>
+
+namespace orinsim::server {
+namespace {
+
+TEST(JsonTest, ParsesCompletionRequestShape) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::parse(
+      R"({"prompt": "the history of", "max_tokens": 8, "stream": true})", v));
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.find("prompt"), nullptr);
+  EXPECT_EQ(v.find("prompt")->as_string(), "the history of");
+  EXPECT_DOUBLE_EQ(v.find("max_tokens")->as_number(), 8.0);
+  EXPECT_TRUE(v.find("stream")->as_bool());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParsesNestedArraysAndObjects) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::parse(R"({"a": [1, 2, {"b": null}], "c": -3.5e2})", v));
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[1].as_number(), 2.0);
+  EXPECT_EQ(a->items()[2].find("b")->type(), JsonValue::Type::kNull);
+  EXPECT_DOUBLE_EQ(v.find("c")->as_number(), -350.0);
+}
+
+TEST(JsonTest, DecodesEscapesAndUnicode) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::parse(R"("tab\there \"quote\" Aé")", v));
+  EXPECT_EQ(v.as_string(), "tab\there \"quote\" A\xc3\xa9");
+  // Surrogate pair for U+1F600.
+  ASSERT_TRUE(JsonValue::parse(R"("😀")", v));
+  EXPECT_EQ(v.as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse("", v, &error));
+  EXPECT_FALSE(JsonValue::parse("{", v, &error));
+  EXPECT_FALSE(JsonValue::parse(R"({"a": })", v, &error));
+  EXPECT_FALSE(JsonValue::parse(R"({"a": 1} trailing)", v, &error));
+  EXPECT_FALSE(JsonValue::parse(R"({"a": 1,})", v, &error));
+  EXPECT_FALSE(JsonValue::parse(R"("unterminated)", v, &error));
+  EXPECT_FALSE(JsonValue::parse(R"("bad \q escape")", v, &error));
+  EXPECT_FALSE(JsonValue::parse(R"("\ud83d alone")", v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, RejectsMalformedNumbersLikeTheCli) {
+  // Same strict-parse contract as --flag=...: overflow and garbage are
+  // errors, not silently clamped values.
+  JsonValue v;
+  EXPECT_FALSE(JsonValue::parse("1e999", v));
+  EXPECT_FALSE(JsonValue::parse("1.2.3", v));
+  EXPECT_FALSE(JsonValue::parse("- 1", v));
+  EXPECT_TRUE(JsonValue::parse("-12.5e-1", v));
+  EXPECT_DOUBLE_EQ(v.as_number(), -1.25);
+}
+
+TEST(JsonTest, EscapeRoundTripsControlCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_string("x"), "\"x\"");
+
+  // Serialize-then-parse returns the original bytes.
+  JsonValue v;
+  const std::string original = "mixed \n \"content\" \t with \\ everything";
+  ASSERT_TRUE(JsonValue::parse(json_string(original), v));
+  EXPECT_EQ(v.as_string(), original);
+}
+
+TEST(JsonTest, DepthLimitStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += "[";
+  for (int i = 0; i < 64; ++i) deep += "]";
+  JsonValue v;
+  EXPECT_FALSE(JsonValue::parse(deep, v));
+}
+
+}  // namespace
+}  // namespace orinsim::server

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 
 #include "core/error.h"
@@ -157,10 +158,12 @@ TEST(TimelineTest, ContractViolations) {
 }
 
 TEST(LatencySummaryTest, EmptyAndSingle) {
+  // No completed requests => no latency statistics: NaN (rendered "n/a"),
+  // never a fake 0.0 that would read as an infinitely fast server.
   const LatencySummary empty = LatencySummary::from({});
   EXPECT_EQ(empty.count, 0u);
-  EXPECT_EQ(empty.mean_s, 0.0);
-  EXPECT_EQ(empty.p95_s, 0.0);
+  EXPECT_TRUE(std::isnan(empty.mean_s));
+  EXPECT_TRUE(std::isnan(empty.p95_s));
   const std::vector<double> one = {3.5};
   const LatencySummary single = LatencySummary::from(one);
   EXPECT_EQ(single.count, 1u);
