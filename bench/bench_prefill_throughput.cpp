@@ -9,7 +9,12 @@
 // to the scalar token-at-a-time run (the determinism contract); the bench
 // exits 1 if it is not.
 //
+// `--strict` additionally enforces the INT4 bar by exit code: packed-int4
+// chunked prefill at the native level must reach >= 6x the seed's scalar
+// token-at-a-time path (the nibble-unpack microkernel acceptance bar).
+//
 //   bench_prefill_throughput [--prompt=256] [--chunk=32] [--repeats=2] [--csv]
+//                            [--strict]
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -79,6 +84,7 @@ bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bool csv = args.get_bool("csv", false);
+  const bool strict = args.get_bool("strict", false);
   const std::size_t prompt_len = static_cast<std::size_t>(args.get_int("prompt", 256));
   const std::size_t chunk = static_cast<std::size_t>(args.get_int("chunk", 32));
   const std::size_t repeats = static_cast<std::size_t>(args.get_int("repeats", 2));
@@ -101,6 +107,7 @@ int main(int argc, char** argv) {
                "Chunk@native t/s", "Headline", "Bit-identical"});
   bool all_identical = true;
   bool bar_met = true;
+  double int4_headline = 0.0;
   struct Case {
     DType dtype;
     const char* name;
@@ -134,6 +141,7 @@ int main(int argc, char** argv) {
     const double best_chunk_tps = have_native ? chunk_native.tps : chunk_scalar.tps;
     const double headline = best_chunk_tps / token_scalar.tps;
     if (c.acceptance && headline < 3.0) bar_met = false;
+    if (c.dtype == DType::kI4) int4_headline = headline;
 
     table.new_row()
         .add_cell(c.name)
@@ -157,6 +165,12 @@ int main(int argc, char** argv) {
   if (!all_identical) {
     std::printf("ERROR: chunked prefill diverged bitwise from token-at-a-time at the\n");
     std::printf("scalar level\n");
+    return 1;
+  }
+  if (strict && have_native && int4_headline < 6.0) {
+    std::printf("ERROR: --strict: int4 headline %.2fx below the 6x packed-int4\n",
+                int4_headline);
+    std::printf("microkernel acceptance bar\n");
     return 1;
   }
   return 0;

@@ -179,6 +179,61 @@ void Model::attention(std::size_t layer, std::size_t b, KVCache& cache,
   }
 }
 
+void Model::attention_lanes(std::size_t layer, std::span<const std::size_t> seqs,
+                            KVCache& cache, std::span<const float> normed,
+                            std::span<float> out, std::size_t n, InferenceWorkspace& ws) {
+  const TransformerConfig& c = master_->config;
+  const std::size_t head_dim = c.head_dim();
+  const std::size_t group = c.n_heads / c.n_kv_heads;
+  const std::size_t kv_dim = c.kv_dim();
+  const std::size_t d = c.d_model;
+
+  // Fused lane-batched QKV: every weight row is streamed once for the whole
+  // lane batch (and INT8/INT4 quantize the activation batch once, shared
+  // across Q/K/V). Per-lane results are bit-identical to matvec_qkv.
+  quant::matvec_qkv_multi(layers_[layer].wq, layers_[layer].wk, layers_[layer].wv, normed,
+                          std::span<float>(ws.cq.data(), n * d),
+                          std::span<float>(ws.ck.data(), n * kv_dim),
+                          std::span<float>(ws.cv.data(), n * kv_dim), n, ws.act8_chunk);
+
+  // RoPE, cache append, and the score/softmax/V loop run per lane in the
+  // exact op order of attention(); lanes touch distinct cache sequences, so
+  // each lane's path is independent of its batch-mates.
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t b = seqs[t];
+    const std::span<float> q_row(ws.cq.data() + t * d, d);
+    const std::span<float> k_row(ws.ck.data() + t * kv_dim, kv_dim);
+    const std::span<const float> v_row(ws.cv.data() + t * kv_dim, kv_dim);
+
+    const std::size_t pos = cache.seq_len(b);
+    rope_.apply(q_row, c.n_heads, head_dim, pos);
+    rope_.apply(k_row, c.n_kv_heads, head_dim, pos);
+    cache.append(layer, b, k_row, v_row);
+
+    const auto keys = cache.key_rows(layer, b, pos + 1, ws.kv_rows_k);
+    const auto values = cache.value_rows(layer, b, pos + 1, ws.kv_rows_v);
+
+    float* out_row = out.data() + t * d;
+    for (std::size_t h = 0; h < c.n_heads; ++h) {
+      const std::size_t g = h / group;
+      const std::span<const float> qh(q_row.data() + h * head_dim, head_dim);
+      for (std::size_t p = 0; p <= pos; ++p) {
+        ws.scores[p] =
+            kernels::dot(qh, keys.subspan(p * kv_dim + g * head_dim, head_dim)) * inv_sqrt_d;
+      }
+      kernels::softmax_rows(std::span<float>(ws.scores.data(), pos + 1), 1, pos + 1);
+      float* oh = out_row + h * head_dim;
+      for (std::size_t p = 0; p <= pos; ++p) {
+        const float* vp = values.data() + p * kv_dim + g * head_dim;
+        const float s = ws.scores[p];
+        for (std::size_t i = 0; i < head_dim; ++i) oh[i] += s * vp[i];
+      }
+    }
+  }
+}
+
 void Model::attention_chunk(std::size_t layer, std::size_t b, KVCache& cache,
                             std::span<const float> normed, std::span<float> out,
                             std::size_t tokens, InferenceWorkspace& ws) {
@@ -249,6 +304,27 @@ void Model::mlp_gelu(std::size_t layer, std::span<const float> normed, std::span
   layers_[layer].w_down.matvec(ws.ff, out);  // fc2
 }
 
+void Model::mlp_swiglu_lanes(std::size_t layer, std::span<const float> normed,
+                             std::span<float> out, std::size_t n, InferenceWorkspace& ws) {
+  const std::size_t ff = master_->config.d_ff;
+  const std::span<float> gate(ws.cgate.data(), n * ff);
+  const std::span<float> up(ws.cup.data(), n * ff);
+  const std::span<float> act(ws.cff.data(), n * ff);
+  layers_[layer].w_gate.matvec_multi(normed, gate, n, ws.act8_chunk);
+  layers_[layer].w_up.matvec_multi(normed, up, n, ws.act8_chunk);
+  kernels::swiglu(gate, up, act);
+  layers_[layer].w_down.matvec_multi(act, out, n, ws.act8_chunk);
+}
+
+void Model::mlp_gelu_lanes(std::size_t layer, std::span<const float> normed,
+                           std::span<float> out, std::size_t n, InferenceWorkspace& ws) {
+  const std::size_t ff = master_->config.d_ff;
+  const std::span<float> act(ws.cff.data(), n * ff);
+  layers_[layer].w_gate.matvec_multi(normed, act, n, ws.act8_chunk);  // fc1
+  kernels::gelu_inplace(act);
+  layers_[layer].w_down.matvec_multi(act, out, n, ws.act8_chunk);  // fc2
+}
+
 void Model::mlp_swiglu_chunk(std::size_t layer, std::span<const float> normed,
                              std::span<float> out, std::size_t tokens,
                              InferenceWorkspace& ws) {
@@ -309,6 +385,67 @@ void Model::forward_token(TokenId token, std::size_t b, KVCache& cache,
   } else {
     kernels::layernorm_rows(ws.x, master_->final_norm_gain, master_->final_norm_bias,
                             hidden_out, 1, d);
+  }
+}
+
+void Model::forward_tokens(std::span<const TokenId> tokens, std::span<const std::size_t> seqs,
+                           KVCache& cache, std::span<float> hidden_rows,
+                           InferenceWorkspace& ws) {
+  const TransformerConfig& c = master_->config;
+  const std::size_t d = c.d_model;
+  const std::size_t n = tokens.size();
+  ORINSIM_CHECK(n > 0, "forward_tokens: empty lane batch");
+  ORINSIM_CHECK(seqs.size() == n, "forward_tokens: tokens/seqs size mismatch");
+  ORINSIM_CHECK(hidden_rows.size() == n * d,
+                "forward_tokens: hidden_rows must be [lanes, d_model]");
+  ws.ensure_chunk(c, n);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    ORINSIM_CHECK(tokens[t] < c.vocab, "token id out of vocab range");
+    const float* emb = master_->embedding.data() + static_cast<std::size_t>(tokens[t]) * d;
+    std::copy(emb, emb + d, ws.cx.begin() + static_cast<std::ptrdiff_t>(t * d));
+  }
+
+  const std::span<float> cx(ws.cx.data(), n * d);
+  const std::span<float> cnormed(ws.cnormed.data(), n * d);
+  const std::span<float> cattn(ws.cattn.data(), n * d);
+  const std::span<float> cattn_proj(ws.cattn_proj.data(), n * d);
+  const std::span<float> cmlp_out(ws.cmlp_out.data(), n * d);
+
+  // The row-wise norms, element-wise adds/activations, and per-lane attention
+  // loop are all bit-identical per row to the one-token path; the projections
+  // go through matvec_multi, whose per-lane bit-identity contract makes the
+  // whole step match forward_token lane by lane (kF32/kI8/kI4; kF16 scalar).
+  for (std::size_t l = 0; l < c.n_layers; ++l) {
+    const LayerMaster& lm = master_->layers[l];
+    if (c.style == BlockStyle::kPreNormSwiGLU) {
+      kernels::rmsnorm_rows(cx, lm.norm_gain, cnormed, n, d);
+      attention_lanes(l, seqs, cache, cnormed, cattn, n, ws);
+      layers_[l].wo.matvec_multi(cattn, cattn_proj, n, ws.act8_chunk);
+      kernels::add_inplace(cx, cattn_proj);
+
+      kernels::rmsnorm_rows(cx, lm.norm2_gain, cnormed, n, d);
+      mlp_swiglu_lanes(l, cnormed, cmlp_out, n, ws);
+      kernels::add_inplace(cx, cmlp_out);
+    } else {
+      // Phi-2 parallel block: one LayerNorm feeds both attention and MLP.
+      kernels::layernorm_rows(cx, lm.norm_gain, lm.norm_bias, cnormed, n, d);
+      attention_lanes(l, seqs, cache, cnormed, cattn, n, ws);
+      layers_[l].wo.matvec_multi(cattn, cattn_proj, n, ws.act8_chunk);
+      mlp_gelu_lanes(l, cnormed, cmlp_out, n, ws);
+      kernels::add_inplace(cx, cattn_proj);
+      kernels::add_inplace(cx, cmlp_out);
+    }
+  }
+  // One commit per lane after all layers — the same staging discipline as
+  // forward_token, so every lane's cache sequence advances exactly once.
+  for (std::size_t t = 0; t < n; ++t) cache.commit(seqs[t]);
+
+  if (c.style == BlockStyle::kPreNormSwiGLU) {
+    kernels::rmsnorm_rows(cx, master_->final_norm_gain, hidden_rows, n, d);
+  } else {
+    kernels::layernorm_rows(cx, master_->final_norm_gain, master_->final_norm_bias,
+                            hidden_rows, n, d);
   }
 }
 
@@ -374,6 +511,16 @@ void Model::logits_from_hidden(std::span<const float> hidden, std::span<float> l
   ORINSIM_CHECK(hidden.size() == c.d_model && logits.size() == c.vocab,
                 "logits_from_hidden: shape mismatch");
   kernels::matvec(master_->lm_head, hidden, logits, c.vocab, c.d_model);
+}
+
+void Model::logits_from_hidden_rows(std::span<const float> hidden_rows,
+                                    std::span<float> logits_rows, std::size_t lanes) const {
+  const TransformerConfig& c = master_->config;
+  ORINSIM_CHECK(hidden_rows.size() == lanes * c.d_model &&
+                    logits_rows.size() == lanes * c.vocab,
+                "logits_from_hidden_rows: shape mismatch");
+  kernels::matvec_multi(master_->lm_head, hidden_rows, logits_rows, c.vocab, c.d_model,
+                        lanes);
 }
 
 void Model::prefill(std::span<const TokenId> prompt, std::size_t b, KVCache& cache,
@@ -447,6 +594,54 @@ Model::GenerateResult Model::generate(const std::vector<std::vector<TokenId>>& p
                                       : static_cast<TokenId>(kernels::argmax(l));
   };
 
+  // Lane-batched decode scratch: active lane ids (ascending), their last
+  // tokens, and contiguous [n_active, *] hidden/logits rows.
+  std::vector<std::size_t> active_ids;
+  std::vector<TokenId> batch_tokens;
+  std::vector<float> hidden_rows;
+  std::vector<float> step_logits;
+  if (options.lane_batched_decode) {
+    active_ids.reserve(lanes);
+    batch_tokens.reserve(lanes);
+    hidden_rows.resize(lanes * c.d_model);
+    step_logits.resize(lanes * c.vocab);
+  }
+
+  // One decode step over the active lanes via forward_tokens. Serial runs
+  // take the whole active set as one batch; pooled runs split it into
+  // min(shard_count, n_active) contiguous groups. Batch composition never
+  // changes a lane's result (forward_tokens contract), so both shapes are
+  // bitwise identical to each other and to the per-lane loop.
+  auto decode_step_batched = [&]() {
+    const std::size_t n_active = active_ids.size();
+    auto run_group = [&](InferenceWorkspace& w, std::size_t begin, std::size_t len) {
+      forward_tokens(std::span<const TokenId>(batch_tokens.data() + begin, len),
+                     std::span<const std::size_t>(active_ids.data() + begin, len), cache,
+                     std::span<float>(hidden_rows.data() + begin * c.d_model,
+                                      len * c.d_model),
+                     w);
+    };
+    if (options.pool != nullptr && shard_count > 1 && n_active > 1) {
+      const std::size_t n_groups = std::min(shard_count, n_active);
+      const std::size_t base = n_active / n_groups;
+      const std::size_t rem = n_active % n_groups;
+      options.pool->parallel_for(0, n_groups, [&](std::size_t shard, std::size_t g) {
+        run_group(ws[shard], g * base + std::min(g, rem), base + (g < rem ? 1 : 0));
+      });
+    } else {
+      run_group(ws[0], 0, n_active);
+    }
+    logits_from_hidden_rows(
+        std::span<const float>(hidden_rows.data(), n_active * c.d_model),
+        std::span<float>(step_logits.data(), n_active * c.vocab), n_active);
+    // Scatter the contiguous logits rows back to per-lane slots (a copy, so
+    // bit-exact) for the serial lane-order sampling pass below.
+    for (std::size_t i = 0; i < n_active; ++i) {
+      const float* src = step_logits.data() + i * c.vocab;
+      std::copy(src, src + c.vocab, lane_logits(active_ids[i]).begin());
+    }
+  };
+
   Stopwatch watch;
   for_each_lane([&](InferenceWorkspace& w, std::size_t b) {
     prefill(prompts[b], b, cache, {}, w);
@@ -480,11 +675,22 @@ Model::GenerateResult Model::generate(const std::vector<std::vector<TokenId>>& p
       ++result.output_tokens;
     }
     if (step + 1 < max_new_tokens) {  // no need to forward the final token
-      for_each_lane([&](InferenceWorkspace& w, std::size_t b) {
-        if (!lane_active[b]) return;
-        forward_token(last[b], b, cache, w.hidden, w);
-        logits_from_hidden(w.hidden, lane_logits(b));
-      });
+      if (options.lane_batched_decode) {
+        active_ids.clear();
+        batch_tokens.clear();
+        for (std::size_t b = 0; b < lanes; ++b) {
+          if (!lane_active[b]) continue;
+          active_ids.push_back(b);
+          batch_tokens.push_back(last[b]);
+        }
+        decode_step_batched();
+      } else {
+        for_each_lane([&](InferenceWorkspace& w, std::size_t b) {
+          if (!lane_active[b]) return;
+          forward_token(last[b], b, cache, w.hidden, w);
+          logits_from_hidden(w.hidden, lane_logits(b));
+        });
+      }
       // Sampling replays serially in lane order: the same sequence of
       // sampler->sample() calls as a fully serial run.
       for (std::size_t b = 0; b < lanes; ++b) {

@@ -103,6 +103,30 @@ class Model {
   // logits [vocab] from a final hidden state. Re-entrant (reads weights only).
   void logits_from_hidden(std::span<const float> hidden, std::span<float> logits) const;
 
+  // Lane-batched decode step: advances tokens.size() independent sequences by
+  // one token each. tokens[t] is fed to cache sequence seqs[t]; the final
+  // hidden states land in hidden_rows [lanes, d_model]. All weight-streaming
+  // ops (QKV, attention output, MLP, norms) run as lane-batched multi-column
+  // matvecs — each weight row is read once for the whole batch instead of
+  // once per lane, which is the decode-batching win on a memory-bound step.
+  //
+  // Contract: lane t's result (hidden state AND cache contents) is
+  // bit-identical to forward_token(tokens[t], seqs[t], ...) at the active
+  // kernel level for kF32/kI8/kI4 weights, and independent of which other
+  // lanes share the batch for every dtype (the matvec_multi contract). kF16
+  // matches bit-exactly at kScalar and within FMA tolerance at kNative.
+  // Sequences in seqs must be distinct; re-entrant under the same rules as
+  // forward_token (distinct workspaces, disjoint sequence sets).
+  void forward_tokens(std::span<const TokenId> tokens, std::span<const std::size_t> seqs,
+                      KVCache& cache, std::span<float> hidden_rows, InferenceWorkspace& ws);
+
+  // Batched counterpart of logits_from_hidden: hidden_rows is
+  // [lanes, d_model], logits_rows is [lanes, vocab]. Lane t's row is
+  // bit-identical to logits_from_hidden(hidden_rows[t]) at both kernel
+  // levels. Re-entrant (reads weights only).
+  void logits_from_hidden_rows(std::span<const float> hidden_rows,
+                               std::span<float> logits_rows, std::size_t lanes) const;
+
   // Process `tokens` consecutive prompt tokens for sequence b as one batched
   // pass: every layer op runs over the whole [tokens, features] chunk (GEMM
   // projections, multi-row norms/activations, causal-masked batched
@@ -148,6 +172,13 @@ class Model {
     // order after each parallel section, so outputs are bit-identical to a
     // serial run (pool == nullptr) for any worker count.
     ThreadPool* pool = nullptr;
+    // Decode via forward_tokens (one lane-batched step over all active lanes,
+    // sharded into contiguous lane groups when a pool is set) instead of the
+    // per-lane forward_token loop. Outputs are bit-identical between the two
+    // paths for kF32/kI8/kI4 models at either kernel level (and for kF16
+    // under ORINSIM_KERNELS=scalar); kF16 at kNative stays within FMA
+    // tolerance. Exists so benchmarks can measure looped-vs-batched decode.
+    bool lane_batched_decode = true;
   };
 
   // Batched generation: each prompt is prefilled, then up to max_new_tokens
@@ -189,6 +220,17 @@ class Model {
                   InferenceWorkspace& ws);
   void mlp_gelu(std::size_t layer, std::span<const float> normed, std::span<float> out,
                 InferenceWorkspace& ws);
+
+  // Lane-batched counterparts (one row per decode lane): projections are
+  // multi-column matvecs sharing each weight stream across lanes; the
+  // per-lane attention score/softmax/V loop is unchanged from attention().
+  void attention_lanes(std::size_t layer, std::span<const std::size_t> seqs, KVCache& cache,
+                       std::span<const float> normed, std::span<float> out, std::size_t n,
+                       InferenceWorkspace& ws);
+  void mlp_swiglu_lanes(std::size_t layer, std::span<const float> normed,
+                        std::span<float> out, std::size_t n, InferenceWorkspace& ws);
+  void mlp_gelu_lanes(std::size_t layer, std::span<const float> normed, std::span<float> out,
+                      std::size_t n, InferenceWorkspace& ws);
 
   // Chunked counterparts: `normed` is [tokens, d_model] row-major.
   void attention_chunk(std::size_t layer, std::size_t b, KVCache& cache,

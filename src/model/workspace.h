@@ -71,6 +71,9 @@ struct InferenceWorkspace {
 
   // Chunked-prefill scratch: row-major [chunk, features] views of the same
   // quantities as the one-token buffers above, sized by ensure_chunk().
+  // forward_tokens (lane-batched decode) reuses these with one row per
+  // decode lane — a decode batch of n lanes has exactly the shape of an
+  // n-token prefill chunk, so no separate buffers are needed.
   std::vector<float> cx, cnormed, cq, ck, cv, cattn, cattn_proj, cgate, cup, cff, cmlp_out;
   // Per-head causal score rows for one chunk: [chunk, max_seq].
   std::vector<float> cscores;

@@ -58,6 +58,12 @@ RowwiseInt8 quantize_rowwise_int8(std::span<const float> weights, std::size_t ro
       q.outlier_values[r * n_out + o] = float_to_fp16(w[q.outlier_cols[o]]);
     }
   }
+  // fp32 mirror of the outlier weights, converted once at quantize time so
+  // no matvec/matmul call pays a per-row fp16 conversion.
+  q.outlier_f32.resize(q.outlier_values.size());
+  for (std::size_t i = 0; i < q.outlier_values.size(); ++i) {
+    q.outlier_f32[i] = fp16_to_float(q.outlier_values[i]);
+  }
   return q;
 }
 
@@ -97,9 +103,12 @@ void matvec_int8(const RowwiseInt8& q, std::span<const float> x,
     const std::int8_t* codes = q.codes.data() + r * q.cols;
     const std::int64_t acc = simd::dot_i8(codes, xq, q.cols);
     float result = static_cast<float>(acc) * q.row_scale[r] * x_scale;
-    // Outlier part in full precision with the *original* activations.
+    // Outlier part in full precision with the *original* activations. The
+    // fp16 weights were converted once at quantize time (outlier_f32), so
+    // this loop streams floats — same values, same accumulation order.
+    const float* w_out = q.outlier_f32.data() + r * n_out;
     for (std::size_t o = 0; o < n_out; ++o) {
-      result += fp16_to_float(q.outlier_values[r * n_out + o]) * x[q.outlier_cols[o]];
+      result += w_out[o] * x[q.outlier_cols[o]];
     }
     out[r] = result;
   }
@@ -157,31 +166,61 @@ void matmul_int8(const RowwiseInt8& q, std::span<const float> x,
   }
 #pragma omp parallel if (q.rows >= 256)
   {
-    std::vector<float> w_out(n_out);
+    std::vector<std::int64_t> dots(tokens);
 #pragma omp for
     for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
       const auto r = static_cast<std::size_t>(rs);
       const std::int8_t* codes = q.codes.data() + r * q.cols;
-      // Convert this row's fp16 outlier weights once for all tokens.
-      for (std::size_t o = 0; o < n_out; ++o) {
-        w_out[o] = fp16_to_float(q.outlier_values[r * n_out + o]);
-      }
-      // One pass over the weight row serves all tokens (the row stays hot in
-      // cache instead of being re-streamed per token).
+      // Outlier weights were converted to fp32 once at quantize time.
+      const float* w_out = q.outlier_f32.data() + r * n_out;
+      // One pass over the weight row serves all tokens (the multi-column dot
+      // shares each weight load across 4 activation columns; integer math is
+      // exact, so the results equal per-token dot_i8 bit-for-bit).
+      simd::dot_i8_multi(codes, acts.codes.data(), q.cols, tokens, q.cols, dots.data());
       for (std::size_t t = 0; t < tokens; ++t) {
-        const std::int8_t* xq = acts.codes.data() + t * q.cols;
-        const std::int64_t acc = simd::dot_i8(codes, xq, q.cols);
-        float result = static_cast<float>(acc) * q.row_scale[r] * acts.scales[t];
+        float result = static_cast<float>(dots[t]) * q.row_scale[r] * acts.scales[t];
         const float* xo = x_out.data() + t * n_out;
         if (simd::active_level() == simd::Level::kNative) {
           // Native may reassociate (determinism contract: tolerance, not
           // bits); the packed arrays make the correction one SIMD dot.
-          result += simd::dot_f32(w_out.data(), xo, n_out);
+          result += simd::dot_f32(w_out, xo, n_out);
         } else {
           // Scalar keeps the exact matvec_int8 accumulation order.
           for (std::size_t o = 0; o < n_out; ++o) {
             result += w_out[o] * xo[o];
           }
+        }
+        y[t * q.rows + r] = result;
+      }
+    }
+  }
+}
+
+void matvec_int8_multi(const RowwiseInt8& q, std::span<const float> x,
+                       const ActivationBatchInt8& acts, std::span<float> y,
+                       std::size_t lanes) {
+  ORINSIM_CHECK(x.size() == lanes * q.cols && y.size() == lanes * q.rows,
+                "int8 multi matvec: shape mismatch");
+  ORINSIM_CHECK(acts.tokens == lanes && acts.cols == q.cols,
+                "int8 multi matvec: activation batch shape mismatch");
+  const std::size_t n_out = q.outlier_cols.size();
+#pragma omp parallel if (q.rows >= 256)
+  {
+    std::vector<std::int64_t> dots(lanes);
+#pragma omp for
+    for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
+      const auto r = static_cast<std::size_t>(rs);
+      const std::int8_t* codes = q.codes.data() + r * q.cols;
+      simd::dot_i8_multi(codes, acts.codes.data(), q.cols, lanes, q.cols, dots.data());
+      const float* w_out = q.outlier_f32.data() + r * n_out;
+      for (std::size_t t = 0; t < lanes; ++t) {
+        float result = static_cast<float>(dots[t]) * q.row_scale[r] * acts.scales[t];
+        // Exactly matvec_int8's outlier order (no reassociation, gathered
+        // activations) so every lane is bit-identical to the single matvec
+        // at both kernel levels.
+        const float* xt = x.data() + t * q.cols;
+        for (std::size_t o = 0; o < n_out; ++o) {
+          result += w_out[o] * xt[q.outlier_cols[o]];
         }
         y[t * q.rows + r] = result;
       }
@@ -211,6 +250,15 @@ std::int8_t unpack_lo(std::uint8_t byte) {
   return static_cast<std::int8_t>(static_cast<std::int8_t>(byte << 4) >> 4);
 }
 std::int8_t unpack_hi(std::uint8_t byte) { return static_cast<std::int8_t>(byte) >> 4; }
+
+static_assert(kInt4Block == simd::kInt4KernelBlock,
+              "packed-int4 kernel layout assumes the quantizer's block size");
+
+// Signed code at column c of row r, decoded from the canonical packed layout.
+std::int8_t int4_code(const BlockInt4& q, std::size_t r, std::size_t c) {
+  const std::uint8_t byte = q.packed[(r * q.cols + c) / 2];
+  return (c % 2 == 0) ? unpack_lo(byte) : unpack_hi(byte);
+}
 }  // namespace
 
 BlockInt4 quantize_block_int4(std::span<const float> weights, std::size_t rows,
@@ -247,6 +295,24 @@ BlockInt4 quantize_block_int4(std::span<const float> weights, std::size_t rows,
       }
     }
   }
+
+  // Build the kernel-layout mirrors for the packed AVX2 path: nibble-plane
+  // bytes (code j and code j+16 of each block share byte j, biased by +8 into
+  // [0, 15]) plus fp32 block scales.
+  q.packed_kernel.assign(rows * q.blocks_per_row * simd::kInt4KernelBlockBytes, 0);
+  q.scale_f32.assign(q.block_scale.size(), 0.0f);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t b = 0; b < q.blocks_per_row; ++b) {
+      const std::size_t idx = r * q.blocks_per_row + b;
+      q.scale_f32[idx] = fp16_to_float(q.block_scale[idx]);
+      std::uint8_t* dst = q.packed_kernel.data() + idx * simd::kInt4KernelBlockBytes;
+      for (std::size_t j = 0; j < simd::kInt4KernelBlockBytes; ++j) {
+        const auto lo = static_cast<std::uint8_t>(int4_code(q, r, b * kInt4Block + j) + 8);
+        const auto hi = static_cast<std::uint8_t>(int4_code(q, r, b * kInt4Block + 16 + j) + 8);
+        dst[j] = static_cast<std::uint8_t>((hi << 4) | (lo & 0x0F));
+      }
+    }
+  }
   return q;
 }
 
@@ -262,8 +328,19 @@ void dequantize_row(const BlockInt4& q, std::size_t row, std::span<float> out) {
   }
 }
 
-void matvec_int4(const BlockInt4& q, std::span<const float> x, std::span<float> out) {
-  ORINSIM_CHECK(x.size() == q.cols && out.size() == q.rows, "int4 matvec: shape mismatch");
+namespace {
+
+// Whether the packed AVX2 kernel should serve this call. The kernel mirrors
+// may be absent on hand-built structs (tests); the float reference then runs
+// at every level.
+bool int4_native_path(const BlockInt4& q) {
+  return simd::active_level() == simd::Level::kNative && !q.packed_kernel.empty() &&
+         !q.scale_f32.empty();
+}
+
+// Scalar reference matvec: unpack + dequantize per block, float accumulate.
+// The bit-exact reference — unchanged since the seed.
+void matvec_int4_scalar(const BlockInt4& q, std::span<const float> x, std::span<float> out) {
 #pragma omp parallel for if (q.rows >= 256)
   for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
     const auto r = static_cast<std::size_t>(rs);
@@ -283,12 +360,12 @@ void matvec_int4(const BlockInt4& q, std::span<const float> x, std::span<float> 
   }
 }
 
-void matmul_int4(const BlockInt4& q, std::span<const float> x, std::span<float> y,
-                 std::size_t tokens) {
-  ORINSIM_CHECK(x.size() == tokens * q.cols && y.size() == tokens * q.rows,
-                "int4 matmul: shape mismatch");
-  // Tile tokens so per-token block accumulators live in registers/stack while
-  // each packed weight byte is unpacked exactly once per tile.
+// Scalar reference matmul: tile tokens so per-token block accumulators live
+// in registers/stack while each packed weight byte is unpacked exactly once
+// per tile. Per-token sequence == matvec_int4_scalar (chunked-prefill
+// bit-identity contract).
+void matmul_int4_scalar(const BlockInt4& q, std::span<const float> x, std::span<float> y,
+                        std::size_t tokens) {
   constexpr std::size_t kTokenTile = 8;
 #pragma omp parallel for if (q.rows >= 256)
   for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
@@ -314,6 +391,75 @@ void matmul_int4(const BlockInt4& q, std::span<const float> x, std::span<float> 
       for (std::size_t t = 0; t < tile; ++t) y[(t0 + t) * q.rows + r] = acc[t];
     }
   }
+}
+
+// Packed kernel over a pre-quantized activation batch: one weight unpack
+// serves every column; per-column results are independent of the batch.
+void matmul_int4_packed(const BlockInt4& q, const std::int8_t* codes, const float* scales,
+                        std::size_t stride, std::span<float> y, std::size_t tokens) {
+#pragma omp parallel if (q.rows >= 256)
+  {
+    std::vector<float> tmp(tokens);
+#pragma omp for
+    for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(q.rows); ++rs) {
+      const auto r = static_cast<std::size_t>(rs);
+      simd::dot_i4_i8_multi(
+          q.packed_kernel.data() + r * q.blocks_per_row * simd::kInt4KernelBlockBytes,
+          q.scale_f32.data() + r * q.blocks_per_row, q.blocks_per_row, codes, stride, tokens,
+          tmp.data());
+      for (std::size_t t = 0; t < tokens; ++t) y[t * q.rows + r] = tmp[t] * scales[t];
+    }
+  }
+}
+
+}  // namespace
+
+void matvec_int4(const BlockInt4& q, std::span<const float> x,
+                 const ActivationInt8& act, std::span<float> out) {
+  ORINSIM_CHECK(x.size() == q.cols && out.size() == q.rows, "int4 matvec: shape mismatch");
+  if (int4_native_path(q)) {
+    ORINSIM_CHECK(act.codes.size() == q.cols, "int4 matvec: activation shape mismatch");
+    matmul_int4_packed(q, act.codes.data(), &act.scale, q.cols, out, 1);
+    return;
+  }
+  matvec_int4_scalar(q, x, out);
+}
+
+void matvec_int4(const BlockInt4& q, std::span<const float> x, std::span<float> out) {
+  ORINSIM_CHECK(x.size() == q.cols && out.size() == q.rows, "int4 matvec: shape mismatch");
+  if (int4_native_path(q)) {
+    ActivationInt8 act;
+    quantize_activation_int8(x, act);
+    matmul_int4_packed(q, act.codes.data(), &act.scale, q.cols, out, 1);
+    return;
+  }
+  matvec_int4_scalar(q, x, out);
+}
+
+void matmul_int4(const BlockInt4& q, std::span<const float> x,
+                 const ActivationBatchInt8& acts, std::span<float> y, std::size_t tokens) {
+  ORINSIM_CHECK(x.size() == tokens * q.cols && y.size() == tokens * q.rows,
+                "int4 matmul: shape mismatch");
+  if (int4_native_path(q)) {
+    ORINSIM_CHECK(acts.tokens == tokens && acts.cols == q.cols,
+                  "int4 matmul: activation batch shape mismatch");
+    matmul_int4_packed(q, acts.codes.data(), acts.scales.data(), q.cols, y, tokens);
+    return;
+  }
+  matmul_int4_scalar(q, x, y, tokens);
+}
+
+void matmul_int4(const BlockInt4& q, std::span<const float> x, std::span<float> y,
+                 std::size_t tokens) {
+  ORINSIM_CHECK(x.size() == tokens * q.cols && y.size() == tokens * q.rows,
+                "int4 matmul: shape mismatch");
+  if (int4_native_path(q)) {
+    ActivationBatchInt8 acts;
+    quantize_activations_int8(x, tokens, q.cols, acts);
+    matmul_int4_packed(q, acts.codes.data(), acts.scales.data(), q.cols, y, tokens);
+    return;
+  }
+  matmul_int4_scalar(q, x, y, tokens);
 }
 
 std::vector<fp16_t> quantize_fp16(std::span<const float> weights) {

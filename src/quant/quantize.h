@@ -29,6 +29,11 @@ struct RowwiseInt8 {
   std::vector<float> row_scale;          // [rows]; dequant w = code * scale
   std::vector<std::uint32_t> outlier_cols;  // sorted column indices kept in fp16
   std::vector<fp16_t> outlier_values;    // [rows, outlier_cols.size()] column-major-by-row
+  // Quantize-time fp32 mirror of outlier_values: the matvec/matmul hot loops
+  // read outlier weights without converting fp16 per row per call. Derived
+  // cache — excluded from storage_bytes() (model-size accounting counts the
+  // canonical fp16 copy only).
+  std::vector<float> outlier_f32;        // [rows, outlier_cols.size()]
 
   std::size_t storage_bytes() const noexcept;
 };
@@ -99,6 +104,18 @@ void matmul_int8(const RowwiseInt8& q, std::span<const float> x, std::span<float
 void matmul_int8(const RowwiseInt8& q, std::span<const float> x,
                  const ActivationBatchInt8& acts, std::span<float> y, std::size_t tokens);
 
+// Lane-batched int8 matvec: x/acts hold one activation column per decode
+// lane ([lanes, cols]), y is [lanes, rows]. Unlike matmul_int8 (whose
+// kNative outlier correction may reassociate — tolerance contract), every
+// lane's result here is bit-identical to matvec_int8 at BOTH kernel levels:
+// the int8 dots are exact and the outlier correction keeps matvec_int8's
+// scalar accumulation order over the precomputed fp32 outlier weights. This
+// is the decode-batching contract — lanes can be grouped arbitrarily without
+// changing any lane's output.
+void matvec_int8_multi(const RowwiseInt8& q, std::span<const float> x,
+                       const ActivationBatchInt8& acts, std::span<float> y,
+                       std::size_t lanes);
+
 // Block-wise INT4. Each block of kInt4Block consecutive weights (within a
 // row) shares one FP16 absmax scale; codes are signed 4-bit in [-8, 7].
 inline constexpr std::size_t kInt4Block = 32;
@@ -109,6 +126,14 @@ struct BlockInt4 {
   std::size_t blocks_per_row = 0;
   std::vector<std::uint8_t> packed;  // two codes per byte, row-major blocks
   std::vector<fp16_t> block_scale;   // [rows * blocks_per_row]
+  // Quantize-time mirrors in the kernel layout consumed by
+  // simd::dot_i4_i8_multi: per 32-code block, byte j holds code[j]+8 in its
+  // low nibble and code[j+16]+8 in its high nibble (nibble-plane layout — a
+  // vpand/vpsrlw pair unpacks straight to activation order, no shuffles),
+  // plus fp32 block scales so the per-block fixup skips fp16 conversion.
+  // Derived caches — excluded from storage_bytes().
+  std::vector<std::uint8_t> packed_kernel;  // [rows * blocks_per_row * 16]
+  std::vector<float> scale_f32;             // [rows * blocks_per_row]
 
   std::size_t storage_bytes() const noexcept;
 };
@@ -118,12 +143,34 @@ BlockInt4 quantize_block_int4(std::span<const float> weights, std::size_t rows,
 
 void dequantize_row(const BlockInt4& q, std::size_t row, std::span<float> out);
 
+// INT4 numerics contract: at kScalar the float reference runs (unpack +
+// dequantize per block — the bit-exact reference, unchanged since the seed).
+// At kNative the packed-int4 kernel multiplies int4 weight codes against
+// int8-QUANTIZED activations (dynamic absmax, same codec as the int8 path),
+// so native int4 carries an extra activation-quantization error beyond FMA
+// tolerance — documented, and covered by the Table 3 perplexity ordering pin
+// (ppl_int4 > ppl_int8 holds at both levels). Per-token results are
+// bit-identical between matvec and matmul at each level (composition
+// independence of the packed kernel), which is what lets chunked prefill and
+// lane-batched decode share these entry points.
 void matvec_int4(const BlockInt4& q, std::span<const float> x, std::span<float> out);
+
+// matvec_int4 against a pre-quantized activation (`x` must be the vector
+// `act` was built from): the decode hot path quantizes once per token and
+// reuses it across Q/K/V. kScalar ignores `act` and runs the float reference.
+void matvec_int4(const BlockInt4& q, std::span<const float> x,
+                 const ActivationInt8& act, std::span<float> out);
 
 // Blocked multi-token INT4 matmul (layouts as matmul_int8): each packed
 // weight block is unpacked once and applied to every token.
 void matmul_int4(const BlockInt4& q, std::span<const float> x, std::span<float> y,
                  std::size_t tokens);
+
+// Same, against a pre-quantized activation chunk (shared across the fused
+// QKV projections). Doubles as the lane-batched int4 decode matvec: token t
+// is bit-identical to matvec_int4 on column t at both levels, for any batch.
+void matmul_int4(const BlockInt4& q, std::span<const float> x,
+                 const ActivationBatchInt8& acts, std::span<float> y, std::size_t tokens);
 
 // FP16 cast of a full matrix (round-to-nearest-even).
 std::vector<fp16_t> quantize_fp16(std::span<const float> weights);

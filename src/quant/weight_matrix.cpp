@@ -86,7 +86,75 @@ void WeightMatrix::matvec(std::span<const float> x, std::span<float> out,
     matvec_int8(i8_, x, act_scratch, out);
     return;
   }
+  if (dtype_ == DType::kI4 && simd::active_level() == simd::Level::kNative) {
+    ORINSIM_CHECK(x.size() == in_features_ && out.size() == out_features_,
+                  "WeightMatrix::matvec shape mismatch");
+    // The packed-int4 kernel consumes int8 activation codes; quantize into
+    // the caller's scratch instead of allocating inside matvec_int4.
+    quantize_activation_int8(x, act_scratch);
+    matvec_int4(i4_, x, act_scratch, out);
+    return;
+  }
   matvec(x, out);
+}
+
+void WeightMatrix::matvec_multi(std::span<const float> x, std::span<float> y,
+                                std::size_t lanes, ActivationBatchInt8& act_scratch) const {
+  ORINSIM_CHECK(x.size() == lanes * in_features_ && y.size() == lanes * out_features_,
+                "WeightMatrix::matvec_multi shape mismatch");
+  switch (dtype_) {
+    case DType::kF32: {
+      // dot_f32_multi replicates the single-dot float sequence per lane at
+      // both levels, so each lane equals matvec bit-for-bit.
+#pragma omp parallel if (out_features_ >= 256)
+      {
+        std::vector<float> tmp(lanes);
+#pragma omp for
+        for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(out_features_); ++rs) {
+          const auto r = static_cast<std::size_t>(rs);
+          const float* wr = f32_.data() + r * in_features_;
+          simd::dot_f32_multi(wr, x.data(), in_features_, lanes, in_features_, tmp.data());
+          for (std::size_t t = 0; t < lanes; ++t) y[t * out_features_ + r] = tmp[t];
+        }
+      }
+      return;
+    }
+    case DType::kF16:
+      if (simd::active_level() == simd::Level::kNative) {
+        // Row dequantized once, SIMD dot per lane (the matmul path): the
+        // expensive software fp16 conversion is paid once per row instead of
+        // once per (row, lane). Reorders fp32 accumulation vs. the inline
+        // matvec — FMA-tolerance contract, still batch-independent.
+        matmul(x, y, lanes);
+      } else {
+        // kScalar: the exact inline conversion + accumulation sequence of
+        // the fp16 matvec, per lane.
+#pragma omp parallel for if (out_features_ >= 256)
+        for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(out_features_); ++rs) {
+          const auto r = static_cast<std::size_t>(rs);
+          const fp16_t* wr = f16_.data() + r * in_features_;
+          for (std::size_t t = 0; t < lanes; ++t) {
+            const float* xt = x.data() + t * in_features_;
+            float acc = 0.0f;
+            for (std::size_t c = 0; c < in_features_; ++c) acc += fp16_to_float(wr[c]) * xt[c];
+            y[t * out_features_ + r] = acc;
+          }
+        }
+      }
+      return;
+    case DType::kI8:
+      quantize_activations_int8(x, lanes, in_features_, act_scratch);
+      matvec_int8_multi(i8_, x, act_scratch, y, lanes);
+      return;
+    case DType::kI4:
+      if (simd::active_level() == simd::Level::kNative && !i4_.packed_kernel.empty()) {
+        quantize_activations_int8(x, lanes, in_features_, act_scratch);
+        matmul_int4(i4_, x, act_scratch, y, lanes);
+      } else {
+        matmul_int4(i4_, x, y, lanes);  // scalar tile path: per lane == matvec
+      }
+      return;
+  }
 }
 
 void WeightMatrix::matmul(std::span<const float> x, std::span<float> y,
@@ -182,6 +250,18 @@ void matvec_qkv(const WeightMatrix& wq, const WeightMatrix& wk, const WeightMatr
     matvec_int8(wv.i8_, x, act_scratch, v);
     return;
   }
+  if (wq.dtype_ == DType::kI4 && wk.dtype_ == DType::kI4 && wv.dtype_ == DType::kI4 &&
+      simd::active_level() == simd::Level::kNative) {
+    // The packed-int4 path also consumes int8-quantized activations: share
+    // one quantization pass across Q/K/V (deterministic codes, so results
+    // equal three independent matvecs). kScalar falls through — the float
+    // reference reads x directly.
+    quantize_activation_int8(x, act_scratch);
+    matvec_int4(wq.i4_, x, act_scratch, q);
+    matvec_int4(wk.i4_, x, act_scratch, k);
+    matvec_int4(wv.i4_, x, act_scratch, v);
+    return;
+  }
   wq.matvec(x, q);
   wk.matvec(x, k);
   wv.matvec(x, v);
@@ -204,9 +284,55 @@ void matmul_qkv(const WeightMatrix& wq, const WeightMatrix& wk, const WeightMatr
     matmul_int8(wv.i8_, x, act_scratch, v, tokens);
     return;
   }
+  if (wq.dtype_ == DType::kI4 && wk.dtype_ == DType::kI4 && wv.dtype_ == DType::kI4 &&
+      simd::active_level() == simd::Level::kNative) {
+    ORINSIM_CHECK(x.size() == tokens * wq.in_features_ && wk.in_features_ == wq.in_features_ &&
+                      wv.in_features_ == wq.in_features_,
+                  "matmul_qkv: input shape mismatch");
+    ORINSIM_CHECK(q.size() == tokens * wq.out_features_ &&
+                      k.size() == tokens * wk.out_features_ &&
+                      v.size() == tokens * wv.out_features_,
+                  "matmul_qkv: output shape mismatch");
+    // Share one activation-quantization pass across the three packed-int4
+    // matmuls (deterministic codes — identical to three separate calls).
+    quantize_activations_int8(x, tokens, wq.in_features_, act_scratch);
+    matmul_int4(wq.i4_, x, act_scratch, q, tokens);
+    matmul_int4(wk.i4_, x, act_scratch, k, tokens);
+    matmul_int4(wv.i4_, x, act_scratch, v, tokens);
+    return;
+  }
   wq.matmul(x, q, tokens);
   wk.matmul(x, k, tokens);
   wv.matmul(x, v, tokens);
+}
+
+void matvec_qkv_multi(const WeightMatrix& wq, const WeightMatrix& wk, const WeightMatrix& wv,
+                      std::span<const float> x, std::span<float> q, std::span<float> k,
+                      std::span<float> v, std::size_t lanes, ActivationBatchInt8& act_scratch) {
+  ORINSIM_CHECK(x.size() == lanes * wq.in_features_ && wk.in_features_ == wq.in_features_ &&
+                    wv.in_features_ == wq.in_features_,
+                "matvec_qkv_multi: input shape mismatch");
+  ORINSIM_CHECK(q.size() == lanes * wq.out_features_ && k.size() == lanes * wk.out_features_ &&
+                    v.size() == lanes * wv.out_features_,
+                "matvec_qkv_multi: output shape mismatch");
+  if (wq.dtype_ == DType::kI8 && wk.dtype_ == DType::kI8 && wv.dtype_ == DType::kI8) {
+    quantize_activations_int8(x, lanes, wq.in_features_, act_scratch);
+    matvec_int8_multi(wq.i8_, x, act_scratch, q, lanes);
+    matvec_int8_multi(wk.i8_, x, act_scratch, k, lanes);
+    matvec_int8_multi(wv.i8_, x, act_scratch, v, lanes);
+    return;
+  }
+  if (wq.dtype_ == DType::kI4 && wk.dtype_ == DType::kI4 && wv.dtype_ == DType::kI4 &&
+      simd::active_level() == simd::Level::kNative) {
+    quantize_activations_int8(x, lanes, wq.in_features_, act_scratch);
+    matmul_int4(wq.i4_, x, act_scratch, q, lanes);
+    matmul_int4(wk.i4_, x, act_scratch, k, lanes);
+    matmul_int4(wv.i4_, x, act_scratch, v, lanes);
+    return;
+  }
+  wq.matvec_multi(x, q, lanes, act_scratch);
+  wk.matvec_multi(x, k, lanes, act_scratch);
+  wv.matvec_multi(x, v, lanes, act_scratch);
 }
 
 }  // namespace orinsim::quant

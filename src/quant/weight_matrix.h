@@ -45,6 +45,20 @@ class WeightMatrix {
   // token); other precisions run per-token matvecs parallel over tokens.
   void matmul(std::span<const float> x, std::span<float> y, std::size_t tokens) const;
 
+  // Lane-batched matvec: one activation column per decode lane (X is
+  // [lanes, in], Y is [lanes, out]), one weight stream shared by all lanes —
+  // decode is memory-bound, so this amortization is the batching win.
+  //
+  // Contract (what lets Model::generate batch arbitrary subsets of lanes):
+  // lane t's result is bit-identical to matvec(X[t]) at the active kernel
+  // level for kF32/kI8/kI4, and independent of the batch composition for
+  // every dtype. kF16 is batch-independent too, but only bit-matches the
+  // single matvec at kScalar — at kNative each row is dequantized once and
+  // dotted per lane (the matmul path), which reorders the fp32 accumulation
+  // within FMA tolerance. act_scratch feeds the INT8/INT4 paths.
+  void matvec_multi(std::span<const float> x, std::span<float> y, std::size_t lanes,
+                    ActivationBatchInt8& act_scratch) const;
+
   // Reconstruct row r at fp32 (reference path for tests and error analysis).
   void dequantize_row(std::size_t r, std::span<float> out) const;
 
@@ -63,6 +77,10 @@ class WeightMatrix {
                          const WeightMatrix& wv, std::span<const float> x,
                          std::span<float> q, std::span<float> k, std::span<float> v,
                          std::size_t tokens, ActivationBatchInt8& act_scratch);
+  friend void matvec_qkv_multi(const WeightMatrix& wq, const WeightMatrix& wk,
+                               const WeightMatrix& wv, std::span<const float> x,
+                               std::span<float> q, std::span<float> k, std::span<float> v,
+                               std::size_t lanes, ActivationBatchInt8& act_scratch);
 
   std::size_t out_features_ = 0;
   std::size_t in_features_ = 0;
@@ -92,5 +110,15 @@ void matvec_qkv(const WeightMatrix& wq, const WeightMatrix& wk, const WeightMatr
 void matmul_qkv(const WeightMatrix& wq, const WeightMatrix& wk, const WeightMatrix& wv,
                 std::span<const float> x, std::span<float> q, std::span<float> k,
                 std::span<float> v, std::size_t tokens, ActivationBatchInt8& act_scratch);
+
+// Lane-batched counterpart of matvec_qkv: X holds one activation column per
+// lane. When all three matrices are INT8 (or INT4 on the native packed path)
+// the lane batch is quantized ONCE into act_scratch and reused across
+// Q/K/V; activation quantization is deterministic, so results stay
+// bit-identical to three matvec_multi calls. Other precisions fall through
+// to per-matrix matvec_multi (which inherits the matvec_multi contract).
+void matvec_qkv_multi(const WeightMatrix& wq, const WeightMatrix& wk, const WeightMatrix& wv,
+                      std::span<const float> x, std::span<float> q, std::span<float> k,
+                      std::span<float> v, std::size_t lanes, ActivationBatchInt8& act_scratch);
 
 }  // namespace orinsim::quant

@@ -182,6 +182,24 @@ void matvec(std::span<const float> a, std::span<const float> x, std::span<float>
   }
 }
 
+void matvec_multi(std::span<const float> a, std::span<const float> x, std::span<float> out,
+                  std::size_t rows, std::size_t cols, std::size_t lanes) {
+  ORINSIM_CHECK(a.size() == rows * cols && x.size() == lanes * cols &&
+                    out.size() == lanes * rows,
+                "matvec_multi: shape mismatch");
+#pragma omp parallel if (rows >= 64)
+  {
+    std::vector<float> tmp(lanes);
+#pragma omp for
+    for (std::ptrdiff_t rs = 0; rs < static_cast<std::ptrdiff_t>(rows); ++rs) {
+      const auto r = static_cast<std::size_t>(rs);
+      const float* ar = a.data() + r * cols;
+      simd::dot_f32_multi(ar, x.data(), cols, lanes, cols, tmp.data());
+      for (std::size_t t = 0; t < lanes; ++t) out[t * rows + r] = tmp[t];
+    }
+  }
+}
+
 void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,
           std::size_t m, std::size_t k, std::size_t n) {
   ORINSIM_CHECK(a.size() == m * k && b.size() == k * n && c.size() == m * n,

@@ -81,6 +81,13 @@ float dot(std::span<const float> a, std::span<const float> b);
 void matvec(std::span<const float> a, std::span<const float> x, std::span<float> out,
             std::size_t rows, std::size_t cols);
 
+// Lane-batched matvec: x is [lanes, cols], out is [lanes, rows]; each weight
+// row is streamed once for all lanes. Lane t's result is bit-identical to
+// matvec(a, x[t]) at both kernel levels (simd::dot_f32_multi contract) —
+// used for the batched lm_head projection in decode.
+void matvec_multi(std::span<const float> a, std::span<const float> x, std::span<float> out,
+                  std::size_t rows, std::size_t cols, std::size_t lanes);
+
 // Plain fp32 GEMM: C[m,n] = A[m,k] * B[k,n]. Blocked + OpenMP. Used by tests
 // as the reference for quantized matmuls and by the trainer.
 void gemm(std::span<const float> a, std::span<const float> b, std::span<float> c,

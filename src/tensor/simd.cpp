@@ -1,6 +1,8 @@
 #include "tensor/simd.h"
 
 #include <atomic>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -26,20 +28,8 @@ bool cpu_has_avx2_fma() {
 #endif
 }
 
-Level resolve_from_env() {
-  const char* env = std::getenv("ORINSIM_KERNELS");
-  const std::string v = env == nullptr ? "" : env;
-  if (v == "scalar") return Level::kScalar;
-  if (v == "native") {
-    ORINSIM_CHECK(cpu_has_avx2_fma(), "ORINSIM_KERNELS=native but CPU lacks AVX2/FMA");
-    return Level::kNative;
-  }
-  ORINSIM_CHECK(v.empty(), "ORINSIM_KERNELS must be 'scalar', 'native', or unset");
-  return cpu_has_avx2_fma() ? Level::kNative : Level::kScalar;
-}
-
 std::atomic<Level>& level_storage() {
-  static std::atomic<Level> level{resolve_from_env()};
+  static std::atomic<Level> level{resolve_level(std::getenv("ORINSIM_KERNELS"))};
   return level;
 }
 
@@ -89,6 +79,49 @@ __attribute__((target("avx2,fma"))) float dot_f32_avx2(const float* a, const flo
   return acc;
 }
 
+// Four activation columns per weight pass. Each column's accumulator pair,
+// reduction and tail are EXACTLY dot_f32_avx2's sequence — only the weight
+// loads are shared — so out[t] is bit-identical to dot_f32_avx2(w, x_t, n).
+__attribute__((target("avx2,fma"))) void dot_f32_multi4_avx2(const float* w, const float* x,
+                                                             std::size_t x_stride,
+                                                             std::size_t n, float* out) {
+  __m256 acc0[4];
+  __m256 acc1[4];
+  for (int t = 0; t < 4; ++t) {
+    acc0[t] = _mm256_setzero_ps();
+    acc1[t] = _mm256_setzero_ps();
+  }
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 w0 = _mm256_loadu_ps(w + i);
+    const __m256 w1 = _mm256_loadu_ps(w + i + 8);
+    for (int t = 0; t < 4; ++t) {
+      const float* xt = x + static_cast<std::size_t>(t) * x_stride;
+      acc0[t] = _mm256_fmadd_ps(w0, _mm256_loadu_ps(xt + i), acc0[t]);
+      acc1[t] = _mm256_fmadd_ps(w1, _mm256_loadu_ps(xt + i + 8), acc1[t]);
+    }
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 w0 = _mm256_loadu_ps(w + i);
+    for (int t = 0; t < 4; ++t) {
+      const float* xt = x + static_cast<std::size_t>(t) * x_stride;
+      acc0[t] = _mm256_fmadd_ps(w0, _mm256_loadu_ps(xt + i), acc0[t]);
+    }
+  }
+  for (int t = 0; t < 4; ++t) {
+    const float* xt = x + static_cast<std::size_t>(t) * x_stride;
+    __m256 a = _mm256_add_ps(acc0[t], acc1[t]);
+    __m128 lo = _mm256_castps256_ps128(a);
+    __m128 hi = _mm256_extractf128_ps(a, 1);
+    lo = _mm_add_ps(lo, hi);
+    lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+    lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 0x55));
+    float acc = _mm_cvtss_f32(lo);
+    for (std::size_t j = i; j < n; ++j) acc += w[j] * xt[j];
+    out[t] = acc;
+  }
+}
+
 // u8×s8 trick: maddubs requires one unsigned operand, so move the sign of a
 // onto b (abs(a) * sign(b, a) == a * b element-wise). Pair sums fit i16:
 // 2 * 127 * 127 = 32258 < 32767. i32 lanes are flushed to i64 every
@@ -126,6 +159,106 @@ __attribute__((target("avx2"))) std::int64_t dot_i8_avx2(const std::int8_t* a,
   return total;
 }
 
+// Four-column int8 dot, one weight stream. Integer math is exact, so the
+// i64 results equal per-column dot_i8 regardless of accumulation order.
+__attribute__((target("avx2"))) void dot_i8_multi4_avx2(const std::int8_t* w,
+                                                        const std::int8_t* x,
+                                                        std::size_t x_stride, std::size_t n,
+                                                        std::int64_t* out) {
+  constexpr std::size_t kFlushIters = 16384;
+  const __m256i ones = _mm256_set1_epi16(1);
+  std::int64_t total[4] = {0, 0, 0, 0};
+  __m256i acc[4];
+  for (auto& v : acc) v = _mm256_setzero_si256();
+  std::size_t i = 0;
+  std::size_t iters_since_flush = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i vw = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    const __m256i abs_w = _mm256_abs_epi8(vw);
+    for (int t = 0; t < 4; ++t) {
+      const __m256i vx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(x + static_cast<std::size_t>(t) * x_stride + i));
+      const __m256i sgn_x = _mm256_sign_epi8(vx, vw);
+      const __m256i pairs = _mm256_maddubs_epi16(abs_w, sgn_x);
+      acc[t] = _mm256_add_epi32(acc[t], _mm256_madd_epi16(pairs, ones));
+    }
+    if (++iters_since_flush == kFlushIters) {
+      for (int t = 0; t < 4; ++t) {
+        alignas(32) std::int32_t lanes[8];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc[t]);
+        for (std::int32_t lane : lanes) total[t] += lane;
+        acc[t] = _mm256_setzero_si256();
+      }
+      iters_since_flush = 0;
+    }
+  }
+  for (int t = 0; t < 4; ++t) {
+    alignas(32) std::int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc[t]);
+    for (std::int32_t lane : lanes) total[t] += lane;
+    const std::int8_t* xt = x + static_cast<std::size_t>(t) * x_stride;
+    for (std::size_t j = i; j < n; ++j) {
+      total[t] += static_cast<std::int64_t>(w[j]) * static_cast<std::int64_t>(xt[j]);
+    }
+    out[t] = total[t];
+  }
+}
+
+// Packed-int4 kernel core, up to 4 columns. Register layout per block:
+//
+//   w16   = 16 packed bytes          [b0 .. b15]
+//   lo    = w16 & 0x0F               codes  0..15 (+8 biased)
+//   hi    = (w16 >> 4) & 0x0F        codes 16..31 (+8 biased)
+//   w8    = set_m128(hi, lo) - 8     32 signed codes in activation order
+//   pairs = maddubs(|w8|, sign(x, w8))   16 × i16 pair sums   (<= 2032)
+//   isum  = madd(pairs, 1)               8 × i32 quad sums    (<= 4064)
+//   facc  = fmadd(cvt_ps(isum), scale_b, facc)   8 float lanes per column
+//
+// Column t's facc chain touches blocks in order and is reduced with the same
+// horizontal-sum sequence as dot_f32_avx2 — independent of how many other
+// columns share the weight unpack, and mirrored exactly (std::fma, same lane
+// grouping, same hsum order) by dot_i4_i8_multi_ref.
+__attribute__((target("avx2,fma"))) void dot_i4_i8_multi_avx2(
+    const std::uint8_t* w_packed, const float* scales, std::size_t blocks,
+    const std::int8_t* x, std::size_t x_stride, std::size_t n_cols, float* out) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  const __m128i nib_mask = _mm_set1_epi8(0x0F);
+  const __m256i bias = _mm256_set1_epi8(8);
+  // 8-column tiles: one nibble-unpack serves 8 lanes (a full decode batch in
+  // one pass). Each lane keeps its own independent fma chain, so tile width
+  // never changes a lane's result — only how many lanes share the unpack.
+  for (std::size_t t0 = 0; t0 < n_cols; t0 += 8) {
+    const std::size_t tc = n_cols - t0 < 8 ? n_cols - t0 : 8;
+    __m256 facc[8];
+    for (auto& v : facc) v = _mm256_setzero_ps();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const __m128i w16 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(w_packed + b * kInt4KernelBlockBytes));
+      const __m128i lo = _mm_and_si128(w16, nib_mask);
+      const __m128i hi = _mm_and_si128(_mm_srli_epi16(w16, 4), nib_mask);
+      const __m256i w8 = _mm256_sub_epi8(_mm256_set_m128i(hi, lo), bias);
+      const __m256i abs_w = _mm256_abs_epi8(w8);
+      const __m256 scale = _mm256_broadcast_ss(scales + b);
+      for (std::size_t t = 0; t < tc; ++t) {
+        const __m256i vx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+            x + (t0 + t) * x_stride + b * kInt4KernelBlock));
+        const __m256i sgn_x = _mm256_sign_epi8(vx, w8);
+        const __m256i pairs = _mm256_maddubs_epi16(abs_w, sgn_x);
+        const __m256i isum = _mm256_madd_epi16(pairs, ones);
+        facc[t] = _mm256_fmadd_ps(_mm256_cvtepi32_ps(isum), scale, facc[t]);
+      }
+    }
+    for (std::size_t t = 0; t < tc; ++t) {
+      __m128 lo = _mm256_castps256_ps128(facc[t]);
+      __m128 hi = _mm256_extractf128_ps(facc[t], 1);
+      lo = _mm_add_ps(lo, hi);
+      lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+      lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 0x55));
+      out[t0 + t] = _mm_cvtss_f32(lo);
+    }
+  }
+}
+
 // One pass over a weight row serves 8 tokens: 8 ymm accumulators + 1 weight
 // load per 8 input columns turns the memory-bound matvec sweep into a
 // compute-bound block. Tail tokens fall back to the single-vector dot.
@@ -160,9 +293,46 @@ __attribute__((target("avx2,fma"))) void gemm_nt_row_avx2(const float* x, const 
     y[t0 * rows + r] = dot_f32_avx2(x + t0 * k, w_row, k);
   }
 }
+
+// Roofline probe: 8 independent 8-lane fma chains, values kept near 1.0 so
+// the loop never denormalizes. The sink store defeats dead-code elimination.
+__attribute__((target("avx2,fma"))) double fma_probe_flops_avx2(std::size_t iters) {
+  __m256 acc[8];
+  for (int c = 0; c < 8; ++c) acc[c] = _mm256_set1_ps(1.0f + 0.001f * static_cast<float>(c));
+  const __m256 a = _mm256_set1_ps(1.0000001f);
+  const __m256 b = _mm256_set1_ps(-0.0000001f);
+  for (std::size_t i = 0; i < iters; ++i) {
+    for (int c = 0; c < 8; ++c) acc[c] = _mm256_fmadd_ps(acc[c], a, b);
+  }
+  alignas(32) float sink[8];
+  __m256 total = acc[0];
+  for (int c = 1; c < 8; ++c) total = _mm256_add_ps(total, acc[c]);
+  _mm256_store_ps(sink, total);
+  volatile float keep = sink[0];
+  (void)keep;
+  return static_cast<double>(iters) * 8.0 * 8.0 * 2.0;
+}
 #endif  // ORINSIM_SIMD_X86
 
 }  // namespace
+
+Level resolve_level(const char* value) {
+  const std::string v = value == nullptr ? "" : value;
+  if (v == "scalar") return Level::kScalar;
+  if (v == "native") {
+    ORINSIM_CHECK(cpu_has_avx2_fma(), "ORINSIM_KERNELS=native but CPU lacks AVX2/FMA");
+    return Level::kNative;
+  }
+  if (!v.empty()) {
+    std::fprintf(stderr,
+                 "orinsim: ignoring unknown ORINSIM_KERNELS value '%s' "
+                 "(accepted: 'scalar', 'native', or unset for auto-detection)\n",
+                 v.c_str());
+  }
+  return cpu_has_avx2_fma() ? Level::kNative : Level::kScalar;
+}
+
+Level init() { return level_storage().load(std::memory_order_relaxed); }
 
 Level active_level() { return level_storage().load(std::memory_order_relaxed); }
 
@@ -197,6 +367,79 @@ std::int64_t dot_i8(const std::int8_t* a, const std::int8_t* b, std::size_t n) {
   return dot_i8_scalar(a, b, n);
 }
 
+void dot_f32_multi(const float* w, const float* x, std::size_t x_stride, std::size_t n_cols,
+                   std::size_t n, float* out) {
+#if ORINSIM_SIMD_X86
+  if (active_level() == Level::kNative) {
+    std::size_t t = 0;
+    for (; t + 4 <= n_cols; t += 4) {
+      dot_f32_multi4_avx2(w, x + t * x_stride, x_stride, n, out + t);
+    }
+    // Remainder columns: the single-column kernel, which the 4-wide tile
+    // matches per column by construction.
+    for (; t < n_cols; ++t) out[t] = dot_f32_avx2(w, x + t * x_stride, n);
+    return;
+  }
+#endif
+  for (std::size_t t = 0; t < n_cols; ++t) out[t] = dot_f32_scalar(w, x + t * x_stride, n);
+}
+
+void dot_i8_multi(const std::int8_t* w, const std::int8_t* x, std::size_t x_stride,
+                  std::size_t n_cols, std::size_t n, std::int64_t* out) {
+#if ORINSIM_SIMD_X86
+  if (active_level() == Level::kNative) {
+    std::size_t t = 0;
+    for (; t + 4 <= n_cols; t += 4) {
+      dot_i8_multi4_avx2(w, x + t * x_stride, x_stride, n, out + t);
+    }
+    for (; t < n_cols; ++t) out[t] = dot_i8_avx2(w, x + t * x_stride, n);
+    return;
+  }
+#endif
+  for (std::size_t t = 0; t < n_cols; ++t) out[t] = dot_i8_scalar(w, x + t * x_stride, n);
+}
+
+void dot_i4_i8_multi_ref(const std::uint8_t* w_packed, const float* scales, std::size_t blocks,
+                         const std::int8_t* x, std::size_t x_stride, std::size_t n_cols,
+                         float* out) {
+  for (std::size_t t = 0; t < n_cols; ++t) {
+    const std::int8_t* xt = x + t * x_stride;
+    // 8 float lanes, exactly the AVX2 kernel's i32 quad-sum grouping: lane l
+    // of block b covers codes 4l .. 4l+3 in activation order.
+    float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::uint8_t* wb = w_packed + b * kInt4KernelBlockBytes;
+      const std::int8_t* xb = xt + b * kInt4KernelBlock;
+      for (int l = 0; l < 8; ++l) {
+        std::int32_t isum = 0;
+        for (int j = 4 * l; j < 4 * l + 4; ++j) {
+          const int code = j < 16 ? (wb[j] & 0x0F) - 8 : (wb[j - 16] >> 4) - 8;
+          isum += code * static_cast<std::int32_t>(xb[j]);
+        }
+        lanes[l] = std::fma(static_cast<float>(isum), scales[b], lanes[l]);
+      }
+    }
+    // dot_f32_avx2's horizontal-sum order: (l0+l4)+(l2+l6) then (l1+l5)+(l3+l7).
+    const float q0 = lanes[0] + lanes[4];
+    const float q1 = lanes[1] + lanes[5];
+    const float q2 = lanes[2] + lanes[6];
+    const float q3 = lanes[3] + lanes[7];
+    out[t] = (q0 + q2) + (q1 + q3);
+  }
+}
+
+void dot_i4_i8_multi(const std::uint8_t* w_packed, const float* scales, std::size_t blocks,
+                     const std::int8_t* x, std::size_t x_stride, std::size_t n_cols,
+                     float* out) {
+#if ORINSIM_SIMD_X86
+  if (cpu_has_avx2_fma()) {
+    dot_i4_i8_multi_avx2(w_packed, scales, blocks, x, x_stride, n_cols, out);
+    return;
+  }
+#endif
+  dot_i4_i8_multi_ref(w_packed, scales, blocks, x, x_stride, n_cols, out);
+}
+
 void gemm_nt_f32(const float* x, const float* w, float* y, std::size_t tokens, std::size_t k,
                  std::size_t rows) {
 #if ORINSIM_SIMD_X86
@@ -218,6 +461,20 @@ void gemm_nt_f32(const float* x, const float* w, float* y, std::size_t tokens, s
       y[t * rows + static_cast<std::size_t>(r)] = dot_f32_scalar(x + t * k, wr, k);
     }
   }
+}
+
+double fma_probe_flops(std::size_t iters) {
+#if ORINSIM_SIMD_X86
+  if (cpu_has_avx2_fma()) return fma_probe_flops_avx2(iters);
+#endif
+  float acc[8];
+  for (int c = 0; c < 8; ++c) acc[c] = 1.0f + 0.001f * static_cast<float>(c);
+  for (std::size_t i = 0; i < iters; ++i) {
+    for (int c = 0; c < 8; ++c) acc[c] = std::fma(acc[c], 1.0000001f, -0.0000001f);
+  }
+  volatile float keep = acc[0] + acc[1] + acc[2] + acc[3] + acc[4] + acc[5] + acc[6] + acc[7];
+  (void)keep;
+  return static_cast<double>(iters) * 8.0 * 2.0;
 }
 
 }  // namespace orinsim::simd

@@ -9,11 +9,21 @@
 //   ORINSIM_KERNELS=scalar   force the scalar reference
 //   ORINSIM_KERNELS=native   force SIMD (fails fast if the CPU lacks AVX2)
 //   unset / empty            auto: native when the CPU supports AVX2+FMA
+//   anything else            warning to stderr, then auto (see init())
 //
 // Determinism contract: `scalar` is the bit-exact reference; `native` is
 // numerically equivalent within FMA/reassociation tolerance for fp32 kernels
 // and bit-exact for integer kernels (dot_i8 does the same exact integer math
 // in a different order).
+//
+// Multi-column ("lane-batched") kernels: decode is memory-bound, so the
+// `*_multi` entry points stream one weight row against N activation columns.
+// Their contract is *composition independence*: column t's result is
+// bit-identical to the corresponding single-column kernel at the active
+// level, for every N and every position within the batch. This is what lets
+// `Model::generate` batch whichever lanes happen to be active without
+// changing any lane's tokens (and is load-bearing for serial-vs-pooled
+// decode bit-equality).
 #pragma once
 
 #include <cstddef>
@@ -28,6 +38,17 @@ enum class Level {
 
 // Currently active level (env-resolved on first call, set_level thereafter).
 Level active_level();
+
+// Explicit idempotent initialization: resolves ORINSIM_KERNELS (validating
+// the value — unknown strings warn on stderr and fall back to auto) and
+// returns the resulting level. Lazily invoked by active_level() otherwise.
+Level init();
+
+// Parse one ORINSIM_KERNELS value ("scalar" / "native" / empty / nullptr for
+// auto). Unknown values print a one-line stderr warning listing the accepted
+// values and resolve to auto-detection. Pure apart from the warning; exposed
+// so tests can exercise the validation without re-resolving the process env.
+Level resolve_level(const char* value);
 
 // True when this CPU can run the kNative kernels (AVX2 + FMA).
 bool native_available();
@@ -46,12 +67,67 @@ float dot_f32(const float* a, const float* b, std::size_t n);
 // outside the contract (the AVX2 sign trick would wrap on abs(-128)).
 std::int64_t dot_i8(const std::int8_t* a, const std::int8_t* b, std::size_t n);
 
+// Multi-column fp32 dot: out[t] = dot(w, x + t*x_stride) for t < n_cols.
+// Each column is the EXACT float sequence of dot_f32 at the active level
+// (the AVX2 path replicates dot_f32_avx2's unroll, reduction and tail per
+// column while sharing the weight loads), so batching lanes never changes a
+// lane's result — at kScalar AND kNative.
+void dot_f32_multi(const float* w, const float* x, std::size_t x_stride,
+                   std::size_t n_cols, std::size_t n, float* out);
+
+// Multi-column int8 dot: out[t] = dot_i8(w, x + t*x_stride). Exact integer
+// math — bit-identical to per-column dot_i8 at both levels by construction.
+void dot_i8_multi(const std::int8_t* w, const std::int8_t* x, std::size_t x_stride,
+                  std::size_t n_cols, std::size_t n, std::int64_t* out);
+
+// ---------------------------------------------------------------------------
+// Packed-int4 kernel. Operates directly on the nibble-plane kernel layout
+// built by quantize_block_int4 (quant/quantize.h): each 32-code block is 16
+// bytes where byte j holds code[j]+8 in its low nibble and code[j+16]+8 in
+// its high nibble. A vpand/vpsrlw pair therefore unpacks straight into
+// activation order with no shuffles, and the +8 bias is removed with one
+// vpsubb. Codes are in [-8, 7]; activations are int8 codes in [-127, 127]
+// (same domain contract as dot_i8), so the maddubs u8*s8 pair sums peak at
+// 2 * 8 * 127 = 2032 — far inside i16.
+//
+//   out[t] = sum_b float(idot(w_block_b, x_t_block_b)) * scales[b]
+//
+// The caller applies the activation scale. Per-column math is independent of
+// n_cols (composition independence, same contract as the *_multi kernels).
+// This kernel IS the int4 native path; the scalar level never calls it.
+
+// Codes per block and packed bytes per block of the kernel layout.
+inline constexpr std::size_t kInt4KernelBlock = 32;
+inline constexpr std::size_t kInt4KernelBlockBytes = 16;
+
+// Dispatching entry: AVX2 when the CPU has it, else the portable mirror.
+void dot_i4_i8_multi(const std::uint8_t* w_packed, const float* scales,
+                     std::size_t blocks, const std::int8_t* x, std::size_t x_stride,
+                     std::size_t n_cols, float* out);
+
+// Portable mirror of the AVX2 packed-int4 kernel: same 8 per-lane fma chains
+// (std::fma — single rounding, like vfmaddps) and the same horizontal-sum
+// order, so it is bit-identical to the AVX2 variant on any host. Slow;
+// non-x86 fallback and test reference only.
+void dot_i4_i8_multi_ref(const std::uint8_t* w_packed, const float* scales,
+                         std::size_t blocks, const std::int8_t* x, std::size_t x_stride,
+                         std::size_t n_cols, float* out);
+
 // y[t, r] = dot(x[t, :], w[r, :]).  x: [tokens, k] row-major activations,
 // w: [rows, k] row-major weights (the WeightMatrix layout — "nt" because w is
 // used transposed), y: [tokens, rows]. Under kScalar each (t, r) entry is the
 // same float sequence as dot_f32, so a chunked projection is bit-identical to
-// `tokens` independent matvecs.
+// `tokens` independent matvecs. NOTE: the kNative 8-token register-tiled
+// block is composition-DEPENDENT (a token's float sequence differs between
+// the 8-block and the tail path) — prefill only; decode batching goes
+// through dot_f32_multi instead.
 void gemm_nt_f32(const float* x, const float* w, float* y, std::size_t tokens,
                  std::size_t k, std::size_t rows);
+
+// Roofline probe: runs `iters` iterations of 8 independent register-resident
+// fused multiply-add chains (8-lane AVX2/FMA when the CPU has it, scalar
+// std::fma otherwise) and returns the number of FLOPs executed. The bench
+// times this to estimate per-core peak GFLOP/s for the roofline report.
+double fma_probe_flops(std::size_t iters);
 
 }  // namespace orinsim::simd

@@ -7,14 +7,37 @@
 
 #include "core/error.h"
 #include "core/rng.h"
+#include "tensor/simd.h"
 
 namespace orinsim::quant {
 namespace {
+
+// Forces a kernel level for one scope (same pattern as simd_test).
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(simd::Level level) : prev_(simd::active_level()) {
+    simd::set_level(level);
+  }
+  ~ScopedLevel() { simd::set_level(prev_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  simd::Level prev_;
+};
 
 std::vector<float> random_weights(std::size_t n, Rng& rng, double scale = 0.1) {
   std::vector<float> w(n);
   for (auto& v : w) v = static_cast<float>(rng.normal(0.0, scale));
   return w;
+}
+
+// Decodes canonical packed nibble c of row r: byte (r*cols+c)/2, low nibble
+// for even c, high for odd, sign-extended from 4 bits.
+int canonical_int4_code(const BlockInt4& q, std::size_t r, std::size_t c) {
+  const std::uint8_t byte = q.packed[(r * q.cols + c) / 2];
+  const std::uint8_t nib = (c % 2 == 0) ? (byte & 0x0F) : (byte >> 4);
+  return nib >= 8 ? static_cast<int>(nib) - 16 : static_cast<int>(nib);
 }
 
 TEST(Int8Test, RoundTripErrorBounded) {
@@ -143,12 +166,130 @@ TEST(Int4Test, MatvecMatchesDequantizedReference) {
   const BlockInt4 q = quantize_block_int4(w, rows, cols);
   auto x = random_weights(cols, rng, 1.0);
   std::vector<float> out(rows), rec(cols);
-  matvec_int4(q, x, out);
+  std::vector<float> refs(rows, 0.0f);
   for (std::size_t r = 0; r < rows; ++r) {
     dequantize_row(q, r, rec);
-    float ref = 0.0f;
-    for (std::size_t c = 0; c < cols; ++c) ref += rec[c] * x[c];
-    EXPECT_NEAR(out[r], ref, 1e-3f);
+    for (std::size_t c = 0; c < cols; ++c) refs[r] += rec[c] * x[c];
+  }
+  {
+    // kScalar runs the float reference path: only fp32 rounding vs the
+    // dequantized-weight reference.
+    ScopedLevel scalar(simd::Level::kScalar);
+    matvec_int4(q, x, out);
+    for (std::size_t r = 0; r < rows; ++r) EXPECT_NEAR(out[r], refs[r], 1e-3f);
+  }
+  {
+    // kNative runs the packed kernel against int8-QUANTIZED activations
+    // (documented numerics contract in quantize.h), so it carries the same
+    // activation-quantization tolerance as the int8 matvec test.
+    ScopedLevel native(simd::Level::kNative);
+    matvec_int4(q, x, out);
+    for (std::size_t r = 0; r < rows; ++r) EXPECT_NEAR(out[r], refs[r], 0.05f);
+  }
+}
+
+TEST(Int4Test, AllZeroBlockQuantizesExactly) {
+  // An all-zero block stores the sentinel scale 1.0 (avoiding 0/0 in encode)
+  // and all-zero codes: dequantization and both matvec paths return exact
+  // zeros. Mix a zero block with a nonzero one so block independence shows.
+  std::vector<float> w(2 * kInt4Block, 0.0f);
+  for (std::size_t i = kInt4Block; i < 2 * kInt4Block; ++i) {
+    w[i] = 0.25f * static_cast<float>(i % 5);
+  }
+  const BlockInt4 q = quantize_block_int4(w, 1, 2 * kInt4Block);
+  EXPECT_EQ(fp16_to_float(q.block_scale[0]), 1.0f);
+  std::vector<float> rec(2 * kInt4Block);
+  dequantize_row(q, 0, rec);
+  for (std::size_t i = 0; i < kInt4Block; ++i) EXPECT_EQ(rec[i], 0.0f);
+  std::vector<float> x(2 * kInt4Block, 0.0f), out(1);
+  for (std::size_t i = 0; i < kInt4Block; ++i) x[i] = 1.0f;  // zero block only
+  {
+    ScopedLevel scalar(simd::Level::kScalar);
+    matvec_int4(q, x, out);
+    EXPECT_EQ(out[0], 0.0f);
+  }
+  {
+    ScopedLevel native(simd::Level::kNative);
+    matvec_int4(q, x, out);
+    EXPECT_EQ(out[0], 0.0f);
+  }
+}
+
+TEST(Int4Test, ClampSaturatesInPackedCodes) {
+  // +absmax wants code round(8) -> clamps to +7; -absmax encodes exactly as
+  // -8. Verified on the packed nibbles themselves, not via dequantization.
+  std::vector<float> w(kInt4Block, 0.0f);
+  w[0] = 2.0f;   // +absmax -> clamp to 7
+  w[1] = -2.0f;  // -absmax -> -8
+  w[2] = 1.0f;   // absmax/2 -> round(4) = 4
+  const BlockInt4 q = quantize_block_int4(w, 1, kInt4Block);
+  EXPECT_EQ(canonical_int4_code(q, 0, 0), 7);
+  EXPECT_EQ(canonical_int4_code(q, 0, 1), -8);
+  EXPECT_EQ(canonical_int4_code(q, 0, 2), 4);
+  for (std::size_t c = 3; c < kInt4Block; ++c) EXPECT_EQ(canonical_int4_code(q, 0, c), 0);
+}
+
+TEST(Int4Test, PackedLayoutRoundTripsThroughDequantRow) {
+  // dequant_row must agree with a by-hand decode of the packed bytes
+  // (low nibble = even column, high nibble = odd column, 4-bit two's
+  // complement, times the block's fp16 scale) — pins the storage layout.
+  Rng rng(17);
+  const std::size_t rows = 3, cols = 64;
+  auto w = random_weights(rows * cols, rng);
+  const BlockInt4 q = quantize_block_int4(w, rows, cols);
+  std::vector<float> rec(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    dequantize_row(q, r, rec);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float scale = fp16_to_float(q.block_scale[r * q.blocks_per_row + c / kInt4Block]);
+      EXPECT_EQ(rec[c], static_cast<float>(canonical_int4_code(q, r, c)) * scale)
+          << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+TEST(Int4Test, KernelMirrorMatchesCanonicalCodes) {
+  // The nibble-plane packed_kernel mirror must hold exactly the canonical
+  // codes (+8 bias, code j and j+16 sharing byte j) and scale_f32 the fp16
+  // scale widened — the AVX2 kernel reads only these.
+  Rng rng(18);
+  const std::size_t rows = 2, cols = 96;
+  auto w = random_weights(rows * cols, rng);
+  const BlockInt4 q = quantize_block_int4(w, rows, cols);
+  ASSERT_EQ(q.packed_kernel.size(), rows * q.blocks_per_row * simd::kInt4KernelBlockBytes);
+  ASSERT_EQ(q.scale_f32.size(), q.block_scale.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t b = 0; b < q.blocks_per_row; ++b) {
+      const std::size_t idx = r * q.blocks_per_row + b;
+      EXPECT_EQ(q.scale_f32[idx], fp16_to_float(q.block_scale[idx]));
+      const std::uint8_t* blk = q.packed_kernel.data() + idx * simd::kInt4KernelBlockBytes;
+      for (std::size_t j = 0; j < simd::kInt4KernelBlockBytes; ++j) {
+        const int lo = canonical_int4_code(q, r, b * kInt4Block + j) + 8;
+        const int hi = canonical_int4_code(q, r, b * kInt4Block + 16 + j) + 8;
+        EXPECT_EQ(blk[j] & 0x0F, lo);
+        EXPECT_EQ(blk[j] >> 4, hi);
+      }
+    }
+  }
+}
+
+TEST(Int4Test, MatvecWithActSharedAcrossCallsMatchesSelfQuantized) {
+  // The act-taking overload with a pre-quantized activation must equal the
+  // x-only overload bit for bit at both levels (the fused QKV path relies on
+  // activation quantization being deterministic).
+  Rng rng(19);
+  const std::size_t rows = 12, cols = 64;
+  auto w = random_weights(rows * cols, rng);
+  const BlockInt4 q = quantize_block_int4(w, rows, cols);
+  auto x = random_weights(cols, rng, 1.0);
+  std::vector<float> a(rows), b(rows);
+  for (const simd::Level level : {simd::Level::kScalar, simd::Level::kNative}) {
+    ScopedLevel scoped(level);
+    ActivationInt8 act;
+    quantize_activation_int8(x, act);
+    matvec_int4(q, x, a);
+    matvec_int4(q, x, act, b);
+    for (std::size_t r = 0; r < rows; ++r) EXPECT_EQ(a[r], b[r]);
   }
 }
 

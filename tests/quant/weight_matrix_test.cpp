@@ -7,6 +7,7 @@
 
 #include "core/rng.h"
 #include "tensor/kernels.h"
+#include "tensor/simd.h"
 
 namespace orinsim::quant {
 namespace {
@@ -15,6 +16,26 @@ std::vector<float> random_weights(std::size_t n, Rng& rng, double scale = 0.1) {
   std::vector<float> w(n);
   for (auto& v : w) v = static_cast<float>(rng.normal(0.0, scale));
   return w;
+}
+
+// Restores the dispatch level on scope exit so test order never leaks state.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(simd::Level level) : prev_(simd::active_level()) {
+    simd::set_level(level);
+  }
+  ~ScopedLevel() { simd::set_level(prev_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  simd::Level prev_;
+};
+
+std::vector<simd::Level> levels_to_test() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::native_available()) levels.push_back(simd::Level::kNative);
+  return levels;
 }
 
 class WeightMatrixParamTest : public ::testing::TestWithParam<DType> {};
@@ -71,6 +92,96 @@ INSTANTIATE_TEST_SUITE_P(AllPrecisions, WeightMatrixParamTest,
                          ::testing::Values(DType::kF32, DType::kF16, DType::kI8,
                                            DType::kI4),
                          [](const auto& info) { return dtype_name(info.param); });
+
+// The matvec_multi contract: lane t is bit-identical to matvec(X[t]) at the
+// active level for kF32/kI8/kI4, and batch-composition independent for every
+// dtype. kF16 only bit-matches the single matvec at kScalar (the native
+// multi path dequantizes each row once and reorders the fp32 accumulation).
+TEST_P(WeightMatrixParamTest, MatvecMultiMatchesPerLaneMatvec) {
+  Rng rng(21);
+  const std::size_t out_f = 40, in_f = 64;
+  auto w = random_weights(out_f * in_f, rng);
+  const WeightMatrix wm = WeightMatrix::create(w, out_f, in_f, GetParam());
+  for (simd::Level level : levels_to_test()) {
+    ScopedLevel scoped(level);
+    for (std::size_t lanes : {1u, 3u, 8u, 9u}) {
+      auto x = random_weights(lanes * in_f, rng, 1.0);
+      std::vector<float> y(lanes * out_f), ref(lanes * out_f);
+      ActivationBatchInt8 act;
+      wm.matvec_multi(x, y, lanes, act);
+      for (std::size_t t = 0; t < lanes; ++t) {
+        wm.matvec(std::span<const float>(x.data() + t * in_f, in_f),
+                  std::span<float>(ref.data() + t * out_f, out_f));
+      }
+      const bool exact =
+          GetParam() != DType::kF16 || level == simd::Level::kScalar;
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        if (exact) {
+          EXPECT_EQ(y[i], ref[i]) << simd::level_name(level) << " lanes=" << lanes
+                                  << " i=" << i;
+        } else {
+          EXPECT_NEAR(y[i], ref[i], 1e-3f)
+              << simd::level_name(level) << " lanes=" << lanes << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// Batch-composition independence holds for EVERY dtype (including kF16):
+// a lane's value never depends on which other lanes share the batch.
+TEST_P(WeightMatrixParamTest, MatvecMultiIsCompositionIndependent) {
+  Rng rng(22);
+  const std::size_t out_f = 24, in_f = 64, lanes = 6;
+  auto w = random_weights(out_f * in_f, rng);
+  const WeightMatrix wm = WeightMatrix::create(w, out_f, in_f, GetParam());
+  for (simd::Level level : levels_to_test()) {
+    ScopedLevel scoped(level);
+    auto x = random_weights(lanes * in_f, rng, 1.0);
+    std::vector<float> full(lanes * out_f);
+    ActivationBatchInt8 act;
+    wm.matvec_multi(x, full, lanes, act);
+    // Re-run each lane as a singleton batch.
+    for (std::size_t t = 0; t < lanes; ++t) {
+      std::vector<float> alone(out_f);
+      ActivationBatchInt8 act1;
+      wm.matvec_multi(std::span<const float>(x.data() + t * in_f, in_f), alone, 1,
+                      act1);
+      for (std::size_t r = 0; r < out_f; ++r) {
+        EXPECT_EQ(full[t * out_f + r], alone[r])
+            << simd::level_name(level) << " t=" << t << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST_P(WeightMatrixParamTest, MatvecQkvMultiMatchesSeparateMatvecMulti) {
+  Rng rng(23);
+  const std::size_t d = 64, kv = 32, lanes = 5;
+  auto wq_w = random_weights(d * d, rng);
+  auto wk_w = random_weights(kv * d, rng);
+  auto wv_w = random_weights(kv * d, rng);
+  const auto wq = WeightMatrix::create(wq_w, d, d, GetParam());
+  const auto wk = WeightMatrix::create(wk_w, kv, d, GetParam());
+  const auto wv = WeightMatrix::create(wv_w, kv, d, GetParam());
+  for (simd::Level level : levels_to_test()) {
+    ScopedLevel scoped(level);
+    auto x = random_weights(lanes * d, rng, 1.0);
+    std::vector<float> q(lanes * d), k(lanes * kv), v(lanes * kv);
+    ActivationBatchInt8 act;
+    matvec_qkv_multi(wq, wk, wv, x, q, k, v, lanes, act);
+    std::vector<float> q_ref(lanes * d), k_ref(lanes * kv), v_ref(lanes * kv);
+    ActivationBatchInt8 act_ref;
+    wq.matvec_multi(x, q_ref, lanes, act_ref);
+    wk.matvec_multi(x, k_ref, lanes, act_ref);
+    wv.matvec_multi(x, v_ref, lanes, act_ref);
+    // The fused path shares one activation quantization across Q/K/V;
+    // quantization is deterministic, so results are bit-identical.
+    for (std::size_t i = 0; i < q.size(); ++i) EXPECT_EQ(q[i], q_ref[i]) << i;
+    for (std::size_t i = 0; i < k.size(); ++i) EXPECT_EQ(k[i], k_ref[i]) << i;
+    for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], v_ref[i]) << i;
+  }
+}
 
 TEST(WeightMatrixTest, StorageShrinksWithPrecision) {
   Rng rng(14);

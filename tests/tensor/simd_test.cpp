@@ -170,6 +170,117 @@ TEST(SimdTest, KernelsDotRoutesThroughDispatch) {
   EXPECT_EQ(kernels::dot(a, b), simd::dot_f32(a.data(), b.data(), a.size()));
 }
 
+TEST(SimdTest, ResolveLevelValidatesEnvValues) {
+  EXPECT_EQ(simd::resolve_level("scalar"), simd::Level::kScalar);
+  if (simd::native_available()) {
+    EXPECT_EQ(simd::resolve_level("native"), simd::Level::kNative);
+  }
+  const simd::Level auto_level =
+      simd::native_available() ? simd::Level::kNative : simd::Level::kScalar;
+  // Unset / empty resolve to auto, silently.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(simd::resolve_level(nullptr), auto_level);
+  EXPECT_EQ(simd::resolve_level(""), auto_level);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  // Unknown values warn once, naming the accepted values, then fall back to
+  // auto instead of aborting.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(simd::resolve_level("avx512"), auto_level);
+  const std::string warning = testing::internal::GetCapturedStderr();
+  EXPECT_NE(warning.find("avx512"), std::string::npos);
+  EXPECT_NE(warning.find("scalar"), std::string::npos);
+  EXPECT_NE(warning.find("native"), std::string::npos);
+}
+
+// Composition independence (the contract Model::generate's lane batching
+// rests on): column t of every *_multi kernel is bit-identical to the
+// single-column kernel, for every batch width and position, at BOTH levels.
+TEST(SimdTest, DotF32MultiMatchesSingleColumnBitwise) {
+  Rng rng(29);
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::native_available()) levels.push_back(simd::Level::kNative);
+  for (simd::Level level : levels) {
+    ScopedLevel scoped(level);
+    // n straddles the AVX2 unroll and tail; n_cols straddles any column tile.
+    for (std::size_t n : {1u, 8u, 33u, 100u, 257u}) {
+      for (std::size_t n_cols : {1u, 2u, 7u, 8u, 9u, 17u}) {
+        const auto w = random_vec(n, rng);
+        const std::size_t stride = n + 3;  // strided columns, not contiguous
+        const auto x = random_vec(stride * n_cols, rng);
+        std::vector<float> out(n_cols);
+        simd::dot_f32_multi(w.data(), x.data(), stride, n_cols, n, out.data());
+        for (std::size_t t = 0; t < n_cols; ++t) {
+          EXPECT_EQ(out[t], simd::dot_f32(w.data(), x.data() + t * stride, n))
+              << simd::level_name(level) << " n=" << n << " n_cols=" << n_cols
+              << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdTest, DotI8MultiMatchesSingleColumnBitwise) {
+  Rng rng(31);
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::native_available()) levels.push_back(simd::Level::kNative);
+  for (simd::Level level : levels) {
+    ScopedLevel scoped(level);
+    for (std::size_t n : {1u, 32u, 33u, 129u}) {
+      for (std::size_t n_cols : {1u, 3u, 8u, 11u}) {
+        const auto w = random_codes(n, rng);
+        const std::size_t stride = n + 1;
+        const auto x = random_codes(stride * n_cols, rng);
+        std::vector<std::int64_t> out(n_cols);
+        simd::dot_i8_multi(w.data(), x.data(), stride, n_cols, n, out.data());
+        for (std::size_t t = 0; t < n_cols; ++t) {
+          EXPECT_EQ(out[t], simd::dot_i8(w.data(), x.data() + t * stride, n))
+              << simd::level_name(level) << " n=" << n << " n_cols=" << n_cols
+              << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+// Packed-int4 kernel: the AVX2 variant must be bit-identical to the portable
+// mirror (dot_i4_i8_multi_ref replicates its fma chains and hsum order), and
+// both must be composition-independent — slicing a batch into single columns
+// never changes a column's value.
+TEST(SimdTest, DotI4I8MultiAvx2MatchesPortableMirrorBitwise) {
+  if (!simd::native_available()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  Rng rng(37);
+  for (std::size_t blocks : {1u, 2u, 5u, 16u}) {
+    for (std::size_t n_cols : {1u, 4u, 8u, 9u, 17u}) {
+      const std::size_t n = blocks * simd::kInt4KernelBlock;
+      // Any byte is a valid packed pair: nibbles decode to codes in [-8, 7].
+      std::vector<std::uint8_t> packed(blocks * simd::kInt4KernelBlockBytes);
+      for (auto& b : packed) {
+        b = static_cast<std::uint8_t>(rng.uniform() * 256.0);
+      }
+      std::vector<float> scales(blocks);
+      for (auto& s : scales) s = static_cast<float>(rng.uniform() + 0.5);
+      const std::size_t stride = n + 32;
+      const auto x = random_codes(stride * n_cols, rng);
+
+      std::vector<float> got(n_cols), ref(n_cols);
+      simd::dot_i4_i8_multi(packed.data(), scales.data(), blocks, x.data(), stride,
+                            n_cols, got.data());
+      simd::dot_i4_i8_multi_ref(packed.data(), scales.data(), blocks, x.data(),
+                                stride, n_cols, ref.data());
+      for (std::size_t t = 0; t < n_cols; ++t) {
+        EXPECT_EQ(got[t], ref[t])
+            << "blocks=" << blocks << " n_cols=" << n_cols << " t=" << t;
+        // Composition independence: the same column alone gives the same bits.
+        float alone = 0.0f;
+        simd::dot_i4_i8_multi(packed.data(), scales.data(), blocks,
+                              x.data() + t * stride, stride, 1, &alone);
+        EXPECT_EQ(got[t], alone)
+            << "blocks=" << blocks << " n_cols=" << n_cols << " t=" << t;
+      }
+    }
+  }
+}
+
 TEST(RopeTableTest, BitExactAgainstRopeInplace) {
   // Table entries are computed with the exact expressions of rope_inplace,
   // so applying the table must be bit-identical at every position.
