@@ -35,6 +35,7 @@
 #include "serving/batch_scheduler.h"
 #include "serving/continuous_batching.h"
 #include "serving/engine.h"
+#include "serving/serving_device.h"
 #include "workload/corpus.h"
 
 using namespace orinsim;
@@ -111,12 +112,13 @@ int plan_continuous(const std::string& model, DType dtype, double rps, double sl
           .add_cell("OOM");
       continue;  // this concurrency does not fit in device memory
     }
-    SimTokenBackend::Config bc;
-    bc.model_key = model;
-    bc.dtype = dtype;
-    bc.max_concurrency = cap;
-    bc.seq = seq;
-    SimTokenBackend backend(bc);
+    ServingDevice::SimConfig dc;
+    dc.model_key = model;
+    dc.dtype = dtype;
+    dc.max_concurrency = cap;
+    dc.seq = seq;
+    dc.governor.power_cap_w = power_cap_w;  // 0 leaves the governor off
+    ServingDevice device(dc);
     workload::ArrivalConfig arrivals;
     arrivals.rate_rps = rps;
     arrivals.total_requests = requests;
@@ -129,9 +131,7 @@ int plan_continuous(const std::string& model, DType dtype, double rps, double sl
       rq.max_new_tokens = seq.output;
       stream.push_back(rq);
     }
-    GovernorConfig gov;
-    gov.power_cap_w = power_cap_w;  // 0 leaves the governor off
-    const EngineResult r = ContinuousPolicy(backend, gov).run(std::move(stream));
+    const EngineResult r = device.run(std::move(stream));
     // Energy columns come from per-request attribution off the event stream
     // (their sum conserves the timeline total by construction).
     const double energy_per_req = r.energy_per_request_j();

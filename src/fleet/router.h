@@ -1,0 +1,152 @@
+// Fleet-scale edge serving: N ServingDevices stepped in lockstep virtual
+// time behind one arrival stream, with a pluggable routing policy deciding
+// which device each request lands on.
+//
+// The paper studies one Orin AGX under batch/power-mode sweeps; its natural
+// deployment question is the next scale up — a rack (or storefront) of
+// heterogeneous Jetsons serving one workload. The router reproduces that
+// setting entirely in virtual time: devices are the simulated (or
+// functional) single-device engines unchanged, and the dispatch loop's only
+// contract is that arrivals are handed over in global time order, so every
+// policy sees queue depths, power draw and cache state exactly as of each
+// request's arrival instant.
+//
+// Policies:
+//  - round_robin      modulo counter; the no-information baseline.
+//  - shortest_queue   least waiting+running load (join-shortest-queue); the
+//                     latency-tail workhorse.
+//  - power_headroom   energy-aware: skips devices whose governor is
+//                     deferring admissions, then routes to the largest
+//                     power-cap headroom (cap minus mean attributed draw).
+//  - prefix_affinity  rendezvous-hashes the prompt's first affinity_tokens
+//                     tokens, so one tenant's shared system prompt keeps
+//                     landing on one device and its prefix cache stays hot.
+//
+// Everything is deterministic: same devices + same requests + same policy
+// => identical FleetResult (pinned by test).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serving/serving_device.h"
+#include "workload/arrivals.h"
+
+namespace orinsim::fleet {
+
+enum class RoutePolicy {
+  kRoundRobin,
+  kShortestQueue,
+  kPowerHeadroom,
+  kPrefixAffinity,
+};
+
+std::string route_policy_name(RoutePolicy policy);
+RoutePolicy route_policy_by_name(const std::string& name);
+const std::vector<RoutePolicy>& all_route_policies();
+
+// p50/p99 of a latency population (linear-interpolated percentiles; zeros
+// for an empty population).
+struct PercentileSummary {
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  std::size_t count = 0;
+
+  static PercentileSummary from(std::vector<double> values);
+};
+
+// Per-request serving latencies read off one device's executed schedule:
+//  - TTFT: arrival to the end of the first prefill wave after the request's
+//    first admission (time to first token under chunked prefill).
+//  - TPOT: (finish - first-token time) / (generated - 1), the steady decode
+//    cadence; requests generating <= 1 token contribute no TPOT.
+// Only completed requests contribute. Shared by the fleet aggregation,
+// benches and tests.
+std::vector<double> request_ttfts(const serving::EngineResult& result);
+std::vector<double> request_tpots(const serving::EngineResult& result);
+
+struct RouterOptions {
+  RoutePolicy policy = RoutePolicy::kShortestQueue;
+  // Completion-latency SLO for goodput (0: every completion counts).
+  double slo_s = 0.0;
+  // Prompt-prefix length (tokens) hashed by prefix_affinity.
+  std::size_t affinity_tokens = 64;
+};
+
+// One fleet run's report: the per-device EngineResults plus the aggregates
+// the routing comparison is judged on.
+struct FleetResult {
+  RoutePolicy policy = RoutePolicy::kRoundRobin;
+  std::vector<std::string> device_names;            // device order
+  std::vector<serving::EngineResult> devices;       // finish()ed, device order
+  std::vector<std::size_t> device_of_request;       // routing decision per request
+
+  double makespan_s = 0.0;       // latest device clock at drain
+  std::size_t completed = 0;
+  std::size_t slo_violations = 0;  // completed but over the SLO
+  double goodput_rps = 0.0;        // completions within SLO / makespan
+  PercentileSummary ttft;
+  PercentileSummary tpot;
+  PercentileSummary latency;       // arrival -> last token
+  double energy_j = 0.0;
+  std::size_t total_tokens = 0;    // prompt + generated
+  double energy_per_token_j = 0.0;
+  std::size_t governor_step_downs = 0;
+  std::size_t preemptions = 0;
+  serving::EngineResult::PrefixCacheSummary prefix_cache;  // summed
+
+  double cache_hit_rate() const { return prefix_cache.hit_rate(); }
+
+  // Merged Chrome trace: one process per device (pid = device id), loads as
+  // side-by-side device tracks in Perfetto.
+  std::string to_chrome_trace_json() const;
+};
+
+// Steps the devices in lockstep and dispatches each arrival under the
+// policy. Single-shot: run() consumes the devices' engines.
+class FleetRouter {
+ public:
+  FleetRouter(std::vector<std::unique_ptr<serving::ServingDevice>> devices,
+              RouterOptions options);
+
+  std::size_t device_count() const noexcept { return devices_.size(); }
+
+  // Requests must carry non-decreasing arrival_s (global arrival order;
+  // checked). Advances every device to each arrival instant, routes, then
+  // drains the fleet and aggregates.
+  FleetResult run(std::vector<serving::Request> requests);
+
+ private:
+  std::size_t route(const serving::Request& req);
+
+  std::vector<std::unique_ptr<serving::ServingDevice>> devices_;
+  RouterOptions options_;
+  std::size_t rr_next_ = 0;
+};
+
+// Convenience builder for simulated fleets: heterogeneous device configs +
+// an arrival process + synthetic multi-tenant prompts (each prompt opens
+// with one of `tenants` shared prefixes, Zipf-weighted, so prefix_affinity
+// has structure to exploit even though the sim backend never reads tokens).
+struct SimFleetConfig {
+  std::vector<serving::ServingDevice::SimConfig> devices;
+  workload::ArrivalConfig arrivals;
+  workload::SeqConfig seq = workload::seq_config_default();
+  RouterOptions options;
+  std::size_t tenants = 8;
+  double tenant_zipf_s = 1.1;
+  std::uint64_t prompt_seed = 11;
+};
+
+// Builds the devices and the request stream, then routes under `policy`
+// (overriding config.options.policy). Deterministic for a fixed config.
+FleetResult run_sim_fleet(const SimFleetConfig& config, RoutePolicy policy);
+
+// The synthetic multi-tenant request stream run_sim_fleet dispatches,
+// exposed so functional fleets and tests can share it.
+std::vector<serving::Request> sim_fleet_requests(const SimFleetConfig& config);
+
+}  // namespace orinsim::fleet

@@ -497,6 +497,14 @@ const trace::ExecutionTimeline& ContinuousEngine::timeline() const {
   return impl_->result.timeline;
 }
 
+void ContinuousEngine::set_device_id(std::size_t id) {
+  impl_->timeline().set_device_id(id);
+}
+
+bool ContinuousEngine::governor_deferring() const {
+  return impl_->governor.defer_admissions();
+}
+
 EngineResult ContinuousEngine::finish() {
   ORINSIM_CHECK(!impl_->finished_taken, "engine: finish called twice");
   ORINSIM_CHECK(idle(), "engine: finish with unretired requests");
@@ -614,6 +622,7 @@ std::size_t sim_block_bytes(const SimTokenBackend::Config& c) {
 
 SimTokenBackend::SimTokenBackend(const Config& config)
     : config_(config),
+      sim_(config.device),
       allocator_(sim_pool_blocks(config), sim_block_bytes(config)),
       free_lanes_(descending_lane_list(config.max_concurrency)),
       lane_blocks_(config.max_concurrency) {

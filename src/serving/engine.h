@@ -38,6 +38,7 @@
 #include "serving/prefix_cache.h"
 #include "serving/request.h"
 #include "serving/session.h"
+#include "sim/device.h"
 #include "sim/inference_sim.h"
 #include "sim/thermal.h"
 #include "trace/timeline.h"
@@ -277,6 +278,14 @@ class ContinuousEngine {
   const Request& request(std::size_t id) const;
   const trace::ExecutionTimeline& timeline() const;
 
+  // Fleet integration. set_device_id tags the engine's timeline (and thus
+  // every exported event) with the owning device; single-device callers
+  // never set it, keeping their trace serialization untouched.
+  // governor_deferring is the router's throttle signal: true while the
+  // governor holds admissions at the power-mode ladder floor.
+  void set_device_id(std::size_t id);
+  bool governor_deferring() const;
+
   // Consumes the engine: derives EngineResult off the event stream. Requires
   // idle() with no pending arrivals (everything submitted has retired).
   EngineResult finish();
@@ -333,6 +342,11 @@ class SimTokenBackend : public TokenBackend {
     std::size_t max_concurrency = 32;
     workload::SeqConfig seq = workload::seq_config_default();
     sim::PowerMode power_mode = sim::power_mode_maxn();
+    // Hardware the roofline/memory/power models run on: any device_catalog
+    // entry's spec. Defaults to the paper's Orin AGX 64GB, so existing
+    // configs keep their exact cost model; a fleet assigns heterogeneous
+    // specs so each device yields its own roofline-consistent step costs.
+    sim::DeviceSpec device = sim::orin_agx_64gb();
     // Block pool. 0 blocks = capacity for max_concurrency full sequences
     // (never exhausts, exact simulate_continuous behaviour).
     std::size_t kv_blocks = 0;

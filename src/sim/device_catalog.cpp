@@ -1,5 +1,8 @@
 #include "sim/device_catalog.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/error.h"
 
 namespace orinsim::sim {
@@ -104,6 +107,30 @@ PowerMode max_power_mode_for(const DeviceSpec& spec) {
   pm.cpu_cores_online = spec.cpu_cores;
   pm.mem_freq_mhz = spec.mem_max_freq_mhz;
   return pm;
+}
+
+PowerMode scaled_power_mode(const DeviceSpec& spec, const std::string& table2_name) {
+  const PowerMode ref = power_mode_by_name(table2_name);
+  const PowerMode maxn = power_mode_maxn();
+  PowerMode pm;
+  pm.name = ref.name;
+  pm.gpu_freq_mhz = spec.gpu_max_freq_mhz * (ref.gpu_freq_mhz / maxn.gpu_freq_mhz);
+  pm.cpu_freq_ghz = spec.cpu_max_freq_ghz * (ref.cpu_freq_ghz / maxn.cpu_freq_ghz);
+  const double core_share =
+      static_cast<double>(ref.cpu_cores_online) / static_cast<double>(maxn.cpu_cores_online);
+  const int cores = static_cast<int>(
+      std::lround(core_share * static_cast<double>(spec.cpu_cores)));
+  pm.cpu_cores_online = std::clamp(cores, 1, spec.cpu_cores);
+  pm.mem_freq_mhz = spec.mem_max_freq_mhz * (ref.mem_freq_mhz / maxn.mem_freq_mhz);
+  return pm;
+}
+
+std::vector<PowerMode> device_gpu_frequency_ladder(const DeviceSpec& spec) {
+  std::vector<PowerMode> ladder;
+  for (const PowerMode& pm : gpu_frequency_ladder()) {
+    ladder.push_back(scaled_power_mode(spec, pm.name));
+  }
+  return ladder;
 }
 
 const DeviceEntry& device_by_key(const std::string& key) {

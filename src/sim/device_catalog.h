@@ -34,4 +34,17 @@ const DeviceEntry& device_by_key(const std::string& key);
 // The device's own MaxN-equivalent mode (its maximum clocks and all cores).
 PowerMode max_power_mode_for(const DeviceSpec& spec);
 
+// A Table 2 power mode translated to `spec`: every frequency axis keeps its
+// ratio to the Orin AGX MaxN value, applied to the device's own maxima, and
+// online cores scale proportionally (clamped to [1, cpu_cores]). Identity
+// for the paper's Orin AGX 64GB, so Table 2 semantics are preserved there
+// while smaller Jetsons get a proportionally scaled ladder instead of
+// frequencies they cannot clock.
+PowerMode scaled_power_mode(const DeviceSpec& spec, const std::string& table2_name);
+
+// The governor's GPU-frequency descent (Table 2 MaxN -> A -> B) scaled to
+// `spec` via scaled_power_mode: the default ladder a fleet device's power
+// governor walks.
+std::vector<PowerMode> device_gpu_frequency_ladder(const DeviceSpec& spec);
+
 }  // namespace orinsim::sim

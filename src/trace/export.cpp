@@ -65,6 +65,62 @@ void prefix_cache_fields(std::ostringstream& out, const PrefixCacheEvent& e) {
   if (e.bytes_saved != 0) out << ",\"bytes_saved\":" << e.bytes_saved;
 }
 
+// Fleet tag: a timeline carrying a device id gets a device_id field on every
+// serialized object. Untagged timelines (every single-device run) append
+// nothing, keeping their exports byte-identical to the pre-fleet format.
+void device_suffix(std::ostringstream& out, const ExecutionTimeline& timeline) {
+  if (timeline.device_id() >= 0) out << ",\"device_id\":" << timeline.device_id();
+}
+
+// One timeline's Chrome objects (process metadata + events), without the
+// enclosing traceEvents array: the single-timeline exporter wraps exactly
+// one of these; the fleet exporter concatenates one per device, with each
+// device's events on its own Chrome process (pid = device_id).
+void append_chrome_timeline(std::ostringstream& out, const ExecutionTimeline& timeline,
+                            const std::string& process_name) {
+  const int pid = timeline.device_id() >= 0 ? timeline.device_id() : 0;
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":0,"
+         "\"args\":{\"name\":\""
+      << process_name << "\"}}";
+  for (const auto& e : timeline.events()) {
+    // Overlapping events (cloud offload) go on their own track so Chrome's
+    // flame view does not interleave them with the device timeline.
+    const int tid = e.phase == Phase::kOffload ? 1 : 0;
+    out << ",{\"name\":\"" << phase_name(e.phase) << "\",\"cat\":\"" << phase_name(e.phase)
+        << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"ts\":" << num(e.t_start_s * 1e6) << ",\"dur\":" << num(e.duration_s * 1e6)
+        << ",\"args\":{";
+    std::ostringstream fields;
+    event_fields(fields, e);
+    device_suffix(fields, timeline);
+    out << fields.str() << "}}";
+  }
+  // Governor actions render as instant events on the device track, so a
+  // power-mode step-down is visible at the step where throttling bit.
+  for (const auto& g : timeline.governor_events()) {
+    out << ",{\"name\":\"governor:" << governor_event_name(g.kind)
+        << "\",\"cat\":\"governor\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid << ",\"tid\":0"
+        << ",\"ts\":" << num(g.t_s * 1e6) << ",\"args\":{";
+    std::ostringstream fields;
+    governor_fields(fields, g);
+    device_suffix(fields, timeline);
+    out << fields.str() << "}}";
+  }
+  // Prefix-cache actions render the same way: hit/miss at admission time,
+  // insert at retirement, evict where allocator pressure reclaimed blocks.
+  for (const auto& p : timeline.prefix_cache_events()) {
+    out << ",{\"name\":\"prefix_cache:" << prefix_cache_event_name(p.kind)
+        << "\",\"cat\":\"prefix_cache\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+        << ",\"tid\":0"
+        << ",\"ts\":" << num(p.t_s * 1e6) << ",\"args\":{";
+    std::ostringstream fields;
+    prefix_cache_fields(fields, p);
+    device_suffix(fields, timeline);
+    out << fields.str() << "}}";
+  }
+}
+
 }  // namespace
 
 std::string to_jsonl(const ExecutionTimeline& timeline) {
@@ -72,16 +128,19 @@ std::string to_jsonl(const ExecutionTimeline& timeline) {
   for (const auto& e : timeline.events()) {
     out << "{";
     event_fields(out, e);
+    device_suffix(out, timeline);
     out << "}\n";
   }
   for (const auto& g : timeline.governor_events()) {
     out << "{";
     governor_fields(out, g);
+    device_suffix(out, timeline);
     out << "}\n";
   }
   for (const auto& p : timeline.prefix_cache_events()) {
     out << "{";
     prefix_cache_fields(out, p);
+    device_suffix(out, timeline);
     out << "}\n";
   }
   return out.str();
@@ -91,40 +150,21 @@ std::string to_chrome_trace_json(const ExecutionTimeline& timeline,
                                  const std::string& process_name) {
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
-         "\"args\":{\"name\":\""
-      << process_name << "\"}}";
-  for (const auto& e : timeline.events()) {
-    // Overlapping events (cloud offload) go on their own track so Chrome's
-    // flame view does not interleave them with the device timeline.
-    const int tid = e.phase == Phase::kOffload ? 1 : 0;
-    out << ",{\"name\":\"" << phase_name(e.phase) << "\",\"cat\":\"" << phase_name(e.phase)
-        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << tid
-        << ",\"ts\":" << num(e.t_start_s * 1e6) << ",\"dur\":" << num(e.duration_s * 1e6)
-        << ",\"args\":{";
-    std::ostringstream fields;
-    event_fields(fields, e);
-    out << fields.str() << "}}";
-  }
-  // Governor actions render as instant events on the device track, so a
-  // power-mode step-down is visible at the step where throttling bit.
-  for (const auto& g : timeline.governor_events()) {
-    out << ",{\"name\":\"governor:" << governor_event_name(g.kind)
-        << "\",\"cat\":\"governor\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":0"
-        << ",\"ts\":" << num(g.t_s * 1e6) << ",\"args\":{";
-    std::ostringstream fields;
-    governor_fields(fields, g);
-    out << fields.str() << "}}";
-  }
-  // Prefix-cache actions render the same way: hit/miss at admission time,
-  // insert at retirement, evict where allocator pressure reclaimed blocks.
-  for (const auto& p : timeline.prefix_cache_events()) {
-    out << ",{\"name\":\"prefix_cache:" << prefix_cache_event_name(p.kind)
-        << "\",\"cat\":\"prefix_cache\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":0"
-        << ",\"ts\":" << num(p.t_s * 1e6) << ",\"args\":{";
-    std::ostringstream fields;
-    prefix_cache_fields(fields, p);
-    out << fields.str() << "}}";
+  append_chrome_timeline(out, timeline, process_name);
+  out << "]}\n";
+  return out.str();
+}
+
+std::string to_chrome_trace_json_multi(
+    const std::vector<const ExecutionTimeline*>& timelines,
+    const std::vector<std::string>& process_names) {
+  ORINSIM_CHECK(timelines.size() == process_names.size(),
+                "trace export: one process name per timeline");
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < timelines.size(); ++i) {
+    if (i > 0) out << ",";
+    append_chrome_timeline(out, *timelines[i], process_names[i]);
   }
   out << "]}\n";
   return out.str();

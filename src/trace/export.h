@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "trace/timeline.h"
 
@@ -14,6 +15,13 @@ namespace orinsim::trace {
 std::string to_jsonl(const ExecutionTimeline& timeline);
 std::string to_chrome_trace_json(const ExecutionTimeline& timeline,
                                  const std::string& process_name = "orinsim");
+
+// Merged multi-device rendering: one Chrome process per timeline (pid taken
+// from each timeline's device_id), so a fleet run loads as side-by-side
+// device tracks in Perfetto. Used by the fleet router's trace export.
+std::string to_chrome_trace_json_multi(
+    const std::vector<const ExecutionTimeline*>& timelines,
+    const std::vector<std::string>& process_names);
 
 // File writers; throw ContractViolation if the path is not writable.
 void write_jsonl(const ExecutionTimeline& timeline, const std::string& path);

@@ -156,6 +156,14 @@ class ExecutionTimeline {
   // during it — the basis for per-request energy attribution. Not serialized.
   void set_participants(std::size_t event_id, std::span<const std::size_t> request_ids);
 
+  // Tags the whole timeline as belonging to fleet device `id`: exporters add
+  // a device_id field to every serialized event (JSONL) and place the events
+  // on Chrome process `id`. Never set by single-device runs, so their
+  // exports keep the exact pre-fleet serialization.
+  static constexpr int kNoDevice = -1;
+  void set_device_id(std::size_t id) { device_id_ = static_cast<int>(id); }
+  int device_id() const noexcept { return device_id_; }
+
   // --- derived metrics --------------------------------------------------
 
   const std::vector<StepEvent>& events() const noexcept { return events_; }
@@ -234,6 +242,7 @@ class ExecutionTimeline {
   std::vector<std::vector<std::size_t>> participants_;
   std::vector<double> latencies_;
   double now_ = 0.0;
+  int device_id_ = kNoDevice;
 };
 
 }  // namespace orinsim::trace

@@ -17,6 +17,12 @@ double exponential(Rng& rng, double rate) {
 
 }  // namespace
 
+std::vector<double> diurnal_default_curve() {
+  // Night trough -> morning ramp -> midday plateau -> evening peak -> wind
+  // down. Sums to 6.0 over six segments, so the mean multiplier is 1.0.
+  return {0.2, 0.6, 1.2, 1.4, 1.8, 0.8};
+}
+
 std::vector<double> generate_arrivals(const ArrivalSpec& spec, std::size_t count) {
   ORINSIM_CHECK(spec.rate_rps > 0.0, "arrivals: rate must be positive");
   ORINSIM_CHECK(spec.burst_factor >= 1.0, "arrivals: burst factor must be >= 1");
@@ -62,6 +68,46 @@ std::vector<double> generate_arrivals(const ArrivalSpec& spec, std::size_t count
       }
       break;
     }
+    case ArrivalKind::kDiurnal: {
+      // Piecewise-constant rate Poisson over a repeating curve. Within a
+      // segment arrivals are homogeneous Poisson at rate * multiplier; a
+      // draw crossing the segment boundary is discarded and restarted at
+      // the boundary, which is exact by memorylessness (same construction
+      // as the bursty phases above, with a deterministic phase schedule).
+      const std::vector<double> curve = spec.diurnal_multipliers.empty()
+                                            ? diurnal_default_curve()
+                                            : spec.diurnal_multipliers;
+      ORINSIM_CHECK(spec.diurnal_period_s > 0.0, "arrivals: diurnal period must be positive");
+      for (double m : curve) {
+        ORINSIM_CHECK(m >= 0.0, "arrivals: diurnal multipliers must be non-negative");
+      }
+      double curve_sum = 0.0;
+      for (double m : curve) curve_sum += m;
+      ORINSIM_CHECK(curve_sum > 0.0, "arrivals: diurnal curve must have a positive segment");
+      const double seg_s = spec.diurnal_period_s / static_cast<double>(curve.size());
+      double t = 0.0;
+      std::size_t seg = 0;  // index into the unrolled segment sequence
+      double seg_end = seg_s;
+      while (out.size() < count) {
+        const double rate = spec.rate_rps * curve[seg % curve.size()];
+        if (rate <= 0.0) {  // dead segment: jump straight to the next one
+          t = seg_end;
+          ++seg;
+          seg_end += seg_s;
+          continue;
+        }
+        const double dt = exponential(rng, rate);
+        if (t + dt > seg_end) {
+          t = seg_end;
+          ++seg;
+          seg_end += seg_s;
+          continue;
+        }
+        t += dt;
+        out.push_back(t);
+      }
+      break;
+    }
   }
   return out;
 }
@@ -81,6 +127,38 @@ ArrivalStats analyze_arrivals(const std::vector<double>& arrivals) {
     stats.interarrival_scv = (sd / m) * (sd / m);
   }
   return stats;
+}
+
+std::vector<double> diurnal_segment_rates(const std::vector<double>& arrivals,
+                                          const std::vector<double>& multipliers,
+                                          double period_s) {
+  ORINSIM_CHECK(!multipliers.empty() && period_s > 0.0,
+                "arrivals: segment rates need a curve and a period");
+  const double seg_s = period_s / static_cast<double>(multipliers.size());
+  std::vector<std::size_t> counts(multipliers.size(), 0);
+  double t_max = 0.0;
+  for (double t : arrivals) {
+    const double phase = std::fmod(t, period_s);
+    auto seg = static_cast<std::size_t>(phase / seg_s);
+    if (seg >= multipliers.size()) seg = multipliers.size() - 1;  // fp edge
+    ++counts[seg];
+    if (t > t_max) t_max = t;
+  }
+  // Time spent in segment k across [0, t_max]: full periods plus the partial
+  // tail.
+  const double full_periods = std::floor(t_max / period_s);
+  const double tail = t_max - full_periods * period_s;
+  std::vector<double> rates(multipliers.size(), 0.0);
+  for (std::size_t k = 0; k < multipliers.size(); ++k) {
+    const double seg_start = static_cast<double>(k) * seg_s;
+    double in_tail = 0.0;
+    if (tail > seg_start) in_tail = std::min(tail - seg_start, seg_s);
+    const double time_in_seg = full_periods * seg_s + in_tail;
+    if (time_in_seg > 0.0) {
+      rates[k] = static_cast<double>(counts[k]) / time_in_seg;
+    }
+  }
+  return rates;
 }
 
 }  // namespace orinsim::workload

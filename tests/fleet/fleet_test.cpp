@@ -1,0 +1,248 @@
+// Fleet router: lockstep multi-device dispatch under pluggable policies.
+// The acceptance pins: a 16-device heterogeneous fleet over a diurnal trace
+// completes deterministically (same seed -> identical FleetResult), energy
+// attribution conserves every device's timeline total to 1e-9, and each
+// policy routes by the signal it claims to read.
+#include "fleet/router.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace orinsim::fleet {
+namespace {
+
+SimFleetConfig small_fleet(RoutePolicy policy, std::size_t devices = 3,
+                           std::size_t requests = 24) {
+  SimFleetConfig config;
+  for (std::size_t i = 0; i < devices; ++i) {
+    serving::ServingDevice::SimConfig dc;
+    dc.name = "orin#" + std::to_string(i);
+    dc.max_concurrency = 2;
+    config.devices.push_back(dc);
+  }
+  config.arrivals.kind = workload::ArrivalKind::kPoisson;
+  config.arrivals.rate_rps = 4.0;
+  config.arrivals.total_requests = requests;
+  config.options.policy = policy;
+  return config;
+}
+
+// The acceptance-criteria fleet: 16 heterogeneous devices over a diurnal day.
+SimFleetConfig hetero_16(std::uint64_t seed) {
+  SimFleetConfig config;
+  auto add = [&](const std::string& key, const std::string& model,
+                 std::size_t lanes, double cap_w, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      serving::ServingDevice::SimConfig dc;
+      dc.name = key + "#" + std::to_string(config.devices.size());
+      dc.device_key = key;
+      dc.model_key = model;
+      dc.dtype = DType::kI8;
+      dc.max_concurrency = lanes;
+      dc.governor.power_cap_w = cap_w;
+      config.devices.push_back(dc);
+    }
+  };
+  add("orin-agx-64", "llama3", 8, 40.0, 4);
+  add("orin-agx-32", "llama3", 8, 40.0, 2);
+  add("xavier-agx-32", "phi2", 8, 25.0, 2);
+  add("orin-nx-16", "phi2", 4, 20.0, 4);
+  add("orin-nano-8", "phi2", 4, 15.0, 4);
+  config.arrivals.kind = workload::ArrivalKind::kDiurnal;
+  config.arrivals.rate_rps = 8.0;
+  config.arrivals.total_requests = 96;
+  config.arrivals.seed = seed;
+  return config;
+}
+
+TEST(FleetRouterTest, PolicyNamesRoundTrip) {
+  for (RoutePolicy p : all_route_policies()) {
+    EXPECT_EQ(route_policy_by_name(route_policy_name(p)), p);
+  }
+  EXPECT_THROW(route_policy_by_name("least_cost"), ContractViolation);
+}
+
+TEST(FleetRouterTest, EveryRequestCompletesOnExactlyOneDevice) {
+  const SimFleetConfig config = small_fleet(RoutePolicy::kRoundRobin);
+  const FleetResult r = run_sim_fleet(config, RoutePolicy::kRoundRobin);
+  ASSERT_EQ(r.device_of_request.size(), 24u);
+  EXPECT_EQ(r.completed, 24u);
+  std::size_t submitted = 0;
+  for (const serving::EngineResult& d : r.devices) submitted += d.requests.size();
+  EXPECT_EQ(submitted, 24u);
+}
+
+TEST(FleetRouterTest, RoundRobinCyclesDevices) {
+  const FleetResult r =
+      run_sim_fleet(small_fleet(RoutePolicy::kRoundRobin), RoutePolicy::kRoundRobin);
+  for (std::size_t i = 0; i < r.device_of_request.size(); ++i) {
+    EXPECT_EQ(r.device_of_request[i], i % 3);
+  }
+}
+
+TEST(FleetRouterTest, ShortestQueueAvoidsTheLoadedDevice) {
+  // Two devices, two simultaneous arrivals: the second must not join the
+  // first's queue.
+  std::vector<std::unique_ptr<serving::ServingDevice>> devices;
+  for (int i = 0; i < 2; ++i) {
+    serving::ServingDevice::SimConfig dc;
+    dc.max_concurrency = 1;
+    devices.push_back(std::make_unique<serving::ServingDevice>(dc));
+  }
+  RouterOptions options;
+  options.policy = RoutePolicy::kShortestQueue;
+  FleetRouter router(std::move(devices), options);
+  std::vector<serving::Request> stream(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    stream[i].id = i;
+    stream[i].arrival_s = 0.0;
+    stream[i].prompt_tokens = 32;
+    stream[i].max_new_tokens = 8;
+  }
+  const FleetResult r = router.run(std::move(stream));
+  EXPECT_EQ(r.device_of_request[0], 0u);
+  EXPECT_EQ(r.device_of_request[1], 1u);
+}
+
+TEST(FleetRouterTest, PrefixAffinityKeepsATenantOnOneDevice) {
+  SimFleetConfig config = small_fleet(RoutePolicy::kPrefixAffinity, 4, 48);
+  config.tenants = 6;
+  config.options.affinity_tokens = 16;
+  const std::vector<serving::Request> requests = sim_fleet_requests(config);
+  const FleetResult r = run_sim_fleet(config, RoutePolicy::kPrefixAffinity);
+  // Every request of one tenant (identified by its shared prompt prefix)
+  // must land on the same device, regardless of load.
+  std::map<TokenId, std::size_t> tenant_device;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const TokenId tenant = requests[i].prompt.front();
+    const auto [it, fresh] = tenant_device.emplace(tenant, r.device_of_request[i]);
+    EXPECT_EQ(it->second, r.device_of_request[i]) << "request " << i;
+  }
+  // With 6 tenants over 4 devices the fleet must still be shared (rendezvous
+  // hashing spreads tenants), not collapsed onto one box.
+  std::set<std::size_t> used(r.device_of_request.begin(), r.device_of_request.end());
+  EXPECT_GT(used.size(), 1u);
+}
+
+TEST(FleetRouterTest, PowerHeadroomPrefersTheUncappedDevice) {
+  // Device 0 carries a tight cap (little headroom once warm), device 1 is
+  // uncapped (infinite headroom): after the first request warms device 0,
+  // traffic must prefer device 1.
+  std::vector<std::unique_ptr<serving::ServingDevice>> devices;
+  for (int i = 0; i < 2; ++i) {
+    serving::ServingDevice::SimConfig dc;
+    dc.max_concurrency = 4;
+    if (i == 0) dc.governor.power_cap_w = 30.0;
+    devices.push_back(std::make_unique<serving::ServingDevice>(dc));
+  }
+  RouterOptions options;
+  options.policy = RoutePolicy::kPowerHeadroom;
+  FleetRouter router(std::move(devices), options);
+  std::vector<serving::Request> stream(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    stream[i].id = i;
+    stream[i].arrival_s = static_cast<double>(i) * 0.5;
+    stream[i].prompt_tokens = 32;
+    stream[i].max_new_tokens = 16;
+  }
+  const FleetResult r = router.run(std::move(stream));
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(r.device_of_request[i], 1u) << "request " << i;
+  }
+}
+
+TEST(FleetRouterTest, SixteenDeviceDiurnalFleetIsDeterministic) {
+  for (RoutePolicy policy : all_route_policies()) {
+    const FleetResult a = run_sim_fleet(hetero_16(42), policy);
+    const FleetResult b = run_sim_fleet(hetero_16(42), policy);
+    EXPECT_EQ(a.device_of_request, b.device_of_request) << route_policy_name(policy);
+    EXPECT_EQ(a.makespan_s, b.makespan_s) << route_policy_name(policy);
+    EXPECT_EQ(a.energy_j, b.energy_j) << route_policy_name(policy);
+    EXPECT_EQ(a.goodput_rps, b.goodput_rps) << route_policy_name(policy);
+    EXPECT_EQ(a.ttft.p99_s, b.ttft.p99_s) << route_policy_name(policy);
+    EXPECT_EQ(a.governor_step_downs, b.governor_step_downs)
+        << route_policy_name(policy);
+    EXPECT_EQ(a.completed, 96u) << route_policy_name(policy);
+  }
+}
+
+TEST(FleetRouterTest, EnergyAttributionConservesPerDeviceTimelineTotals) {
+  const FleetResult r = run_sim_fleet(hetero_16(7), RoutePolicy::kShortestQueue);
+  double fleet_total = 0.0;
+  for (std::size_t d = 0; d < r.devices.size(); ++d) {
+    const serving::EngineResult& dev = r.devices[d];
+    double attributed = 0.0;
+    for (const serving::RequestMetrics& m : dev.request_metrics) {
+      attributed += m.energy_j;
+    }
+    const double total = dev.timeline.total_energy_j();
+    EXPECT_NEAR(attributed, total, 1e-9 * std::max(1.0, std::fabs(total)))
+        << r.device_names[d];
+    fleet_total += total;
+  }
+  EXPECT_NEAR(r.energy_j, fleet_total, 1e-9 * std::max(1.0, fleet_total));
+  EXPECT_GT(r.energy_j, 0.0);
+}
+
+TEST(FleetRouterTest, DifferentSeedsChangeTheSchedule) {
+  const FleetResult a = run_sim_fleet(hetero_16(1), RoutePolicy::kShortestQueue);
+  const FleetResult b = run_sim_fleet(hetero_16(2), RoutePolicy::kShortestQueue);
+  EXPECT_NE(a.makespan_s, b.makespan_s);
+}
+
+TEST(FleetRouterTest, TtftAndTpotReadOffTheEventStream) {
+  const FleetResult r =
+      run_sim_fleet(small_fleet(RoutePolicy::kShortestQueue), RoutePolicy::kShortestQueue);
+  ASSERT_GT(r.ttft.count, 0u);
+  ASSERT_GT(r.tpot.count, 0u);
+  EXPECT_GT(r.ttft.p50_s, 0.0);
+  EXPECT_LE(r.ttft.p50_s, r.ttft.p99_s);
+  EXPECT_GT(r.tpot.p50_s, 0.0);
+  EXPECT_LE(r.tpot.p50_s, r.tpot.p99_s);
+  // TTFT can never exceed full latency; TPOT never exceeds a decode's span.
+  EXPECT_LE(r.ttft.p99_s, r.latency.p99_s);
+}
+
+TEST(FleetRouterTest, SloSplitsGoodputFromCompletions) {
+  SimFleetConfig config = small_fleet(RoutePolicy::kRoundRobin);
+  config.options.slo_s = 1e-6;  // nothing can meet a microsecond SLO
+  const FleetResult r = run_sim_fleet(config, RoutePolicy::kRoundRobin);
+  EXPECT_EQ(r.completed, 24u);
+  EXPECT_EQ(r.slo_violations, 24u);
+  EXPECT_EQ(r.goodput_rps, 0.0);
+}
+
+TEST(FleetRouterTest, MergedChromeTraceCarriesOneProcessPerDevice) {
+  const FleetResult r =
+      run_sim_fleet(small_fleet(RoutePolicy::kRoundRobin), RoutePolicy::kRoundRobin);
+  const std::string json = r.to_chrome_trace_json();
+  for (std::size_t d = 0; d < r.devices.size(); ++d) {
+    EXPECT_NE(json.find("\"pid\":" + std::to_string(d)), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"" + r.device_names[d] + "\""), std::string::npos);
+  }
+}
+
+TEST(FleetRouterTest, ArrivalsOutOfOrderRejected) {
+  std::vector<std::unique_ptr<serving::ServingDevice>> devices;
+  devices.push_back(
+      std::make_unique<serving::ServingDevice>(serving::ServingDevice::SimConfig{}));
+  FleetRouter router(std::move(devices), RouterOptions{});
+  std::vector<serving::Request> stream(2);
+  stream[0].arrival_s = 1.0;
+  stream[0].prompt_tokens = 8;
+  stream[0].max_new_tokens = 4;
+  stream[1].arrival_s = 0.5;
+  stream[1].prompt_tokens = 8;
+  stream[1].max_new_tokens = 4;
+  EXPECT_THROW(router.run(std::move(stream)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace orinsim::fleet

@@ -86,5 +86,43 @@ TEST(DeviceCatalogTest, UnknownKeyRejected) {
   EXPECT_THROW(device_by_key("tpu-v5"), ContractViolation);
 }
 
+TEST(DeviceCatalogTest, ScaledPowerModeIsIdentityOnTheReferenceOrin) {
+  // Table 2 frequencies are Orin AGX absolutes, so scaling to the paper's
+  // device must reproduce them exactly for every mode.
+  const DeviceSpec& orin = device_by_key("orin-agx-64").spec;
+  for (const PowerMode& ref : all_power_modes()) {
+    const PowerMode pm = scaled_power_mode(orin, ref.name);
+    EXPECT_DOUBLE_EQ(pm.gpu_freq_mhz, ref.gpu_freq_mhz) << ref.name;
+    EXPECT_DOUBLE_EQ(pm.cpu_freq_ghz, ref.cpu_freq_ghz) << ref.name;
+    EXPECT_EQ(pm.cpu_cores_online, ref.cpu_cores_online) << ref.name;
+    EXPECT_DOUBLE_EQ(pm.mem_freq_mhz, ref.mem_freq_mhz) << ref.name;
+  }
+}
+
+TEST(DeviceCatalogTest, ScaledPowerModeKeepsFrequencyRatios) {
+  // Mode A is the 800/1301 GPU point on the Orin; on a Nano it must be the
+  // same *fraction* of the Nano's own maxima, never an Orin-absolute clock.
+  const DeviceSpec& nano = device_by_key("orin-nano-8").spec;
+  const PowerMode ref = power_mode_by_name("A");
+  const PowerMode maxn = power_mode_maxn();
+  const PowerMode pm = scaled_power_mode(nano, "A");
+  EXPECT_NEAR(pm.gpu_freq_mhz,
+              nano.gpu_max_freq_mhz * ref.gpu_freq_mhz / maxn.gpu_freq_mhz, 1e-9);
+  EXPECT_LE(pm.gpu_freq_mhz, nano.gpu_max_freq_mhz);
+  EXPECT_GE(pm.cpu_cores_online, 1);
+  EXPECT_LE(pm.cpu_cores_online, nano.cpu_cores);
+}
+
+TEST(DeviceCatalogTest, DeviceLadderDescendsEveryDevicesOwnClocks) {
+  for (const auto& dev : device_catalog()) {
+    const std::vector<PowerMode> ladder = device_gpu_frequency_ladder(dev.spec);
+    ASSERT_EQ(ladder.size(), gpu_frequency_ladder().size()) << dev.key;
+    EXPECT_DOUBLE_EQ(ladder.front().gpu_freq_mhz, dev.spec.gpu_max_freq_mhz) << dev.key;
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+      EXPECT_LT(ladder[i].gpu_freq_mhz, ladder[i - 1].gpu_freq_mhz) << dev.key;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace orinsim::sim

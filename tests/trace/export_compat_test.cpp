@@ -1,0 +1,130 @@
+// Serialization backward-compat pins for the fleet refactor: a single-device
+// timeline (no device tag) must serialize byte-identically to the
+// pre-fleet exporters, so every existing JSONL/Chrome consumer keeps
+// parsing unchanged. The goldens below were captured from the exporters
+// before device tagging existed, over a hand-crafted timeline whose doubles
+// are exact binary fractions (portable %.17g rendering on any compiler).
+//
+// The second half pins the opt-in side: tagging a timeline with a device id
+// appends exactly one "device_id" field per JSONL object and moves the
+// Chrome pid, and the multi-timeline merge renders one process per device.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "trace/export.h"
+#include "trace/timeline.h"
+
+namespace orinsim::trace {
+namespace {
+
+// One of everything the exporters serialize: a chunked prefill with KV
+// occupancy, a decode with a full breakdown, a stall, a powerless decode,
+// governor actions and all four prefix-cache events.
+ExecutionTimeline golden_timeline() {
+  ExecutionTimeline t;
+  t.begin_request(0.0);
+  t.begin_request(0.25);
+  t.start_request(0, 0.0);
+  t.request_event(0, RequestEventKind::kAdmit, 0.0);
+  const std::size_t e0 = t.emit(Phase::kPrefill, 0.5, 1, 32.0, 20.0, {}, 16);
+  t.set_kv_blocks(e0, 3, 8);
+  StepBreakdown b;
+  b.weight_s = 0.125;
+  b.kv_s = 0.0625;
+  b.compute_s = 0.25;
+  b.launch_s = 0.0625;
+  const std::size_t e1 = t.emit(Phase::kDecode, 0.5, 2, 40.0, 24.5, b);
+  t.set_kv_blocks(e1, 4, 8);
+  t.stall_until(1.5);
+  t.emit(Phase::kDecode, 0.25, 1, 41.0);
+  t.finish_request(0, 1.75);
+  t.request_event(0, RequestEventKind::kRetire, 1.75);
+  t.governor_event(GovernorEventKind::kPowerCapStepDown, 1.0, "A", 24.5, 61.5);
+  t.governor_event(GovernorEventKind::kAdmitDefer, 1.5, "B", 22.0, 0.0);
+  t.prefix_cache_event(PrefixCacheEventKind::kHit, 0.0, 0, 64, 4, 1024);
+  t.prefix_cache_event(PrefixCacheEventKind::kMiss, 0.25, 1, 0, 0, 0);
+  t.prefix_cache_event(PrefixCacheEventKind::kInsert, 1.75, 0, 32, 2, 0);
+  t.prefix_cache_event(PrefixCacheEventKind::kEvict, 1.75, 0, 16, 1, 0);
+  return t;
+}
+
+// Captured from the pre-fleet exporters (commit before device tagging).
+const char* const kGoldenJsonl =
+    R"({"phase":"prefill","t_start_s":0,"duration_s":0.5,"batch":1,"ctx":32,"chunk":16,"kv_blocks_used":3,"kv_blocks_total":8,"power_w":20}
+{"phase":"decode","t_start_s":0.5,"duration_s":0.5,"batch":2,"ctx":40,"kv_blocks_used":4,"kv_blocks_total":8,"power_w":24.5,"breakdown":{"weight_s":0.125,"kv_s":0.0625,"compute_s":0.25,"launch_s":0.0625,"quant_extra_s":0,"cpu_stretch_s":0}}
+{"phase":"stall","t_start_s":1,"duration_s":0.5,"batch":0,"ctx":0,"power_w":null}
+{"phase":"decode","t_start_s":1.5,"duration_s":0.25,"batch":1,"ctx":41,"power_w":null}
+{"governor":"power_cap_step_down","t_s":1,"mode":"A","power_w":24.5,"temp_c":61.5}
+{"governor":"admit_defer","t_s":1.5,"mode":"B","power_w":22}
+{"prefix_cache":"prefix_hit","t_s":0,"request_id":0,"tokens":64,"blocks":4,"bytes_saved":1024}
+{"prefix_cache":"prefix_miss","t_s":0.25,"request_id":1,"tokens":0,"blocks":0}
+{"prefix_cache":"prefix_insert","t_s":1.75,"request_id":0,"tokens":32,"blocks":2}
+{"prefix_cache":"prefix_evict","t_s":1.75,"request_id":0,"tokens":16,"blocks":1}
+)";
+
+const char* const kGoldenChrome =
+    R"({"displayTimeUnit":"ms","traceEvents":[{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"golden"}},{"name":"prefill","cat":"prefill","ph":"X","pid":0,"tid":0,"ts":0,"dur":500000,"args":{"phase":"prefill","t_start_s":0,"duration_s":0.5,"batch":1,"ctx":32,"chunk":16,"kv_blocks_used":3,"kv_blocks_total":8,"power_w":20}},{"name":"decode","cat":"decode","ph":"X","pid":0,"tid":0,"ts":500000,"dur":500000,"args":{"phase":"decode","t_start_s":0.5,"duration_s":0.5,"batch":2,"ctx":40,"kv_blocks_used":4,"kv_blocks_total":8,"power_w":24.5,"breakdown":{"weight_s":0.125,"kv_s":0.0625,"compute_s":0.25,"launch_s":0.0625,"quant_extra_s":0,"cpu_stretch_s":0}}},{"name":"stall","cat":"stall","ph":"X","pid":0,"tid":0,"ts":1000000,"dur":500000,"args":{"phase":"stall","t_start_s":1,"duration_s":0.5,"batch":0,"ctx":0,"power_w":null}},{"name":"decode","cat":"decode","ph":"X","pid":0,"tid":0,"ts":1500000,"dur":250000,"args":{"phase":"decode","t_start_s":1.5,"duration_s":0.25,"batch":1,"ctx":41,"power_w":null}},{"name":"governor:power_cap_step_down","cat":"governor","ph":"i","s":"t","pid":0,"tid":0,"ts":1000000,"args":{"governor":"power_cap_step_down","t_s":1,"mode":"A","power_w":24.5,"temp_c":61.5}},{"name":"governor:admit_defer","cat":"governor","ph":"i","s":"t","pid":0,"tid":0,"ts":1500000,"args":{"governor":"admit_defer","t_s":1.5,"mode":"B","power_w":22}},{"name":"prefix_cache:prefix_hit","cat":"prefix_cache","ph":"i","s":"t","pid":0,"tid":0,"ts":0,"args":{"prefix_cache":"prefix_hit","t_s":0,"request_id":0,"tokens":64,"blocks":4,"bytes_saved":1024}},{"name":"prefix_cache:prefix_miss","cat":"prefix_cache","ph":"i","s":"t","pid":0,"tid":0,"ts":250000,"args":{"prefix_cache":"prefix_miss","t_s":0.25,"request_id":1,"tokens":0,"blocks":0}},{"name":"prefix_cache:prefix_insert","cat":"prefix_cache","ph":"i","s":"t","pid":0,"tid":0,"ts":1750000,"args":{"prefix_cache":"prefix_insert","t_s":1.75,"request_id":0,"tokens":32,"blocks":2}},{"name":"prefix_cache:prefix_evict","cat":"prefix_cache","ph":"i","s":"t","pid":0,"tid":0,"ts":1750000,"args":{"prefix_cache":"prefix_evict","t_s":1.75,"request_id":0,"tokens":16,"blocks":1}}]})"
+    "\n";
+
+TEST(ExportCompatTest, UntaggedJsonlIsByteIdenticalToPreFleetGolden) {
+  EXPECT_EQ(to_jsonl(golden_timeline()), kGoldenJsonl);
+}
+
+TEST(ExportCompatTest, UntaggedChromeTraceIsByteIdenticalToPreFleetGolden) {
+  EXPECT_EQ(to_chrome_trace_json(golden_timeline(), "golden"), kGoldenChrome);
+}
+
+TEST(ExportCompatTest, DeviceTagAppendsOneFieldPerJsonlObject) {
+  ExecutionTimeline t = golden_timeline();
+  t.set_device_id(3);
+  const std::string tagged = to_jsonl(t);
+  EXPECT_NE(tagged, kGoldenJsonl);
+  // Every object (step, governor, prefix-cache) gains the same suffix and
+  // nothing else changes: stripping it recovers the golden bytes.
+  const std::string suffix = ",\"device_id\":3}";
+  std::string stripped;
+  std::size_t replaced = 0;
+  std::size_t prev = 0;
+  for (std::size_t pos = tagged.find(suffix); pos != std::string::npos;
+       pos = tagged.find(suffix, prev)) {
+    stripped.append(tagged, prev, pos - prev);
+    stripped.push_back('}');
+    prev = pos + suffix.size();
+    ++replaced;
+  }
+  stripped.append(tagged, prev, std::string::npos);
+  EXPECT_EQ(replaced, 10u);  // one per serialized object
+  EXPECT_EQ(stripped, kGoldenJsonl);
+}
+
+TEST(ExportCompatTest, DeviceTagMovesChromePid) {
+  ExecutionTimeline t = golden_timeline();
+  t.set_device_id(3);
+  const std::string tagged = to_chrome_trace_json(t, "golden");
+  EXPECT_NE(tagged.find("\"pid\":3"), std::string::npos);
+  EXPECT_EQ(tagged.find("\"pid\":0"), std::string::npos);
+}
+
+TEST(ExportCompatTest, MultiTimelineMergeRendersOneProcessPerDevice) {
+  ExecutionTimeline a = golden_timeline();
+  a.set_device_id(0);
+  ExecutionTimeline b = golden_timeline();
+  b.set_device_id(1);
+  const std::string merged = to_chrome_trace_json_multi({&a, &b}, {"dev0", "dev1"});
+  EXPECT_NE(merged.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+                        "\"args\":{\"name\":\"dev0\"}}"),
+            std::string::npos);
+  EXPECT_NE(merged.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                        "\"args\":{\"name\":\"dev1\"}}"),
+            std::string::npos);
+  // Both devices' step streams are present, distinguished by pid.
+  EXPECT_NE(merged.find("\"cat\":\"prefill\",\"ph\":\"X\",\"pid\":1"), std::string::npos);
+  // Valid single JSON document: one traceEvents array, newline-terminated
+  // like the single-timeline writer.
+  EXPECT_EQ(merged.front(), '{');
+  EXPECT_TRUE(merged.ends_with("]}\n"));
+}
+
+}  // namespace
+}  // namespace orinsim::trace

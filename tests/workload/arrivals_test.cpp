@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace orinsim::workload {
 namespace {
 
@@ -41,9 +43,107 @@ TEST(ArrivalsTest, BurstyIsOverdispersed) {
   EXPECT_NEAR(stats.mean_rate_rps, 5.0, 2.5);
 }
 
+TEST(ArrivalsTest, DiurnalFollowsRateCurve) {
+  // Distribution-shape pin (the ZipfSampler discipline): the empirical rate
+  // of each curve segment must track rate_rps * multiplier, so peak segments
+  // arrive proportionally faster than troughs.
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kDiurnal;
+  spec.rate_rps = 50.0;
+  spec.diurnal_multipliers = {0.25, 1.0, 2.0, 0.75};
+  spec.diurnal_period_s = 40.0;
+  const auto arrivals = generate_arrivals(spec, 40000);
+  const auto rates =
+      diurnal_segment_rates(arrivals, spec.diurnal_multipliers, spec.diurnal_period_s);
+  ASSERT_EQ(rates.size(), 4u);
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    const double expected = spec.rate_rps * spec.diurnal_multipliers[k];
+    EXPECT_NEAR(rates[k], expected, 0.12 * expected) << "segment " << k;
+  }
+  // The curve modulation makes the stream overdispersed relative to Poisson.
+  EXPECT_GT(analyze_arrivals(arrivals).interarrival_scv, 1.1);
+}
+
+TEST(ArrivalsTest, DiurnalDefaultCurveMeanRate) {
+  // The default curve averages to 1.0, so rate_rps stays the long-run mean.
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kDiurnal;
+  spec.rate_rps = 20.0;
+  const auto arrivals = generate_arrivals(spec, 30000);
+  EXPECT_NEAR(analyze_arrivals(arrivals).mean_rate_rps, 20.0, 2.0);
+  double sum = 0.0;
+  for (double m : diurnal_default_curve()) sum += m;
+  EXPECT_NEAR(sum / static_cast<double>(diurnal_default_curve().size()), 1.0, 1e-12);
+}
+
+TEST(ArrivalsTest, DiurnalDeadSegmentsProduceNoArrivals) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kDiurnal;
+  spec.rate_rps = 10.0;
+  spec.diurnal_multipliers = {0.0, 1.0};
+  spec.diurnal_period_s = 10.0;
+  const auto arrivals = generate_arrivals(spec, 2000);
+  for (double t : arrivals) {
+    EXPECT_GE(std::fmod(t, 10.0), 5.0) << "arrival inside the dead segment at t=" << t;
+  }
+}
+
+TEST(ArrivalsTest, BurstyPhaseRatesSplitAroundMean) {
+  // Shape pin for the on/off Markov process: classifying inter-arrival gaps
+  // by a threshold between the two phase means must recover rates near
+  // hi = 2rb/(b+1) and lo = 2r/(b+1).
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kBursty;
+  spec.rate_rps = 5.0;
+  spec.burst_factor = 8.0;
+  spec.mean_phase_s = 20.0;
+  const auto arrivals = generate_arrivals(spec, 40000);
+  const double hi = 2.0 * 5.0 * 8.0 / 9.0;
+  const double lo = 2.0 * 5.0 / 9.0;
+  const double threshold = 0.5 * (1.0 / hi + 1.0 / lo);
+  std::vector<double> burst_gaps, quiet_gaps;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    const double gap = arrivals[i] - arrivals[i - 1];
+    (gap < threshold ? burst_gaps : quiet_gaps).push_back(gap);
+  }
+  ASSERT_GT(burst_gaps.size(), 100u);
+  ASSERT_GT(quiet_gaps.size(), 100u);
+  double burst_mean = 0.0, quiet_mean = 0.0;
+  for (double g : burst_gaps) burst_mean += g;
+  for (double g : quiet_gaps) quiet_mean += g;
+  burst_mean /= static_cast<double>(burst_gaps.size());
+  quiet_mean /= static_cast<double>(quiet_gaps.size());
+  // Threshold classification mixes the tails, so pin loosely: the burst-side
+  // rate must sit clearly above the mean and the quiet side clearly below.
+  EXPECT_GT(1.0 / burst_mean, 1.5 * spec.rate_rps);
+  EXPECT_LT(1.0 / quiet_mean, 0.8 * spec.rate_rps);
+}
+
+TEST(ArrivalsTest, ArrivalConfigForwardsShapeKnobs) {
+  // ArrivalConfig must hand burst/diurnal parameters through to the
+  // generator (they were silently dropped before the fleet work).
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kBursty;
+  config.burst_factor = 9.0;
+  config.mean_phase_s = 3.0;
+  config.total_requests = 200;
+  ArrivalSpec direct = config.spec();
+  EXPECT_EQ(direct.burst_factor, 9.0);
+  EXPECT_EQ(direct.mean_phase_s, 3.0);
+  EXPECT_EQ(config.generate(), generate_arrivals(direct, 200));
+
+  ArrivalConfig diurnal;
+  diurnal.kind = ArrivalKind::kDiurnal;
+  diurnal.diurnal_multipliers = {1.0, 3.0};
+  diurnal.diurnal_period_s = 7.0;
+  diurnal.total_requests = 100;
+  EXPECT_EQ(diurnal.generate(), generate_arrivals(diurnal.spec(), 100));
+  EXPECT_NE(diurnal.generate(), ArrivalConfig{}.generate());
+}
+
 TEST(ArrivalsTest, MonotonicTimestamps) {
-  for (ArrivalKind kind :
-       {ArrivalKind::kDeterministic, ArrivalKind::kPoisson, ArrivalKind::kBursty}) {
+  for (ArrivalKind kind : {ArrivalKind::kDeterministic, ArrivalKind::kPoisson,
+                           ArrivalKind::kBursty, ArrivalKind::kDiurnal}) {
     ArrivalSpec spec;
     spec.kind = kind;
     const auto arrivals = generate_arrivals(spec, 500);
@@ -56,12 +156,15 @@ TEST(ArrivalsTest, MonotonicTimestamps) {
 }
 
 TEST(ArrivalsTest, DeterministicForSeed) {
-  ArrivalSpec spec;
-  spec.kind = ArrivalKind::kPoisson;
-  spec.seed = 77;
-  EXPECT_EQ(generate_arrivals(spec, 100), generate_arrivals(spec, 100));
-  spec.seed = 78;
-  EXPECT_NE(generate_arrivals(spec, 100), generate_arrivals(ArrivalSpec{}, 100));
+  for (ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kBursty, ArrivalKind::kDiurnal}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.seed = 77;
+    EXPECT_EQ(generate_arrivals(spec, 100), generate_arrivals(spec, 100));
+    spec.seed = 78;
+    EXPECT_NE(generate_arrivals(spec, 100), generate_arrivals(ArrivalSpec{}, 100));
+  }
 }
 
 TEST(ArrivalsTest, InvalidSpecsRejected) {
