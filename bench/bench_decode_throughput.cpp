@@ -18,6 +18,11 @@
 // reach >= 2x under --strict, and fp32/int8/int4 token streams must match
 // the loop bit for bit.
 //
+// A speculative section serves the same engine with an INT8 self-draft
+// (K=4): scalar streams must stay bit-identical to plain greedy, and under
+// --strict the rounds must deliver >= 1.3x decode tok/s at >= 80%
+// acceptance.
+//
 //   bench_decode_throughput [--lanes=8] [--workers=8] [--new-tokens=64]
 //                           [--family=llama3] [--serving-requests=24] [--csv]
 //                           [--strict]
@@ -37,6 +42,8 @@
 #include "model/transformer.h"
 #include "serving/batch_scheduler.h"
 #include "serving/engine.h"
+#include "tensor/simd.h"
+#include "train/readout_trainer.h"
 #include "workload/corpus.h"
 
 using namespace orinsim;
@@ -374,6 +381,105 @@ int main(int argc, char** argv) {
     }
     if (speedup < 5.0) {
       std::printf("ERROR: cache-hit TTFT speedup %.2fx is below the 5x bar\n", speedup);
+      return 1;
+    }
+  }
+
+  // -- Speculative serving through the continuous engine -------------------
+  // The same request-lifecycle engine with a self-draft (the F16 target's
+  // own master quantized to INT8) proposing 4 tokens per round. Two checks:
+  // under scalar kernels the served streams must match plain greedy bit for
+  // bit (the speculative contract), and at the active kernel level the
+  // draft/verify rounds must actually buy decode throughput — the bar is
+  // >= 1.3x served decode tok/s at >= 80% acceptance (enforced with
+  // --strict; advisory otherwise).
+  {
+    // Trained readout sharpens the logits so the quantized self-draft
+    // agrees with its own F16 master often enough to clear the acceptance
+    // bar (the bench_ext_speculative recipe).
+    auto spec_master =
+        MasterWeights::init_random(make_nano_config(family, tokenizer.vocab_size()), 55);
+    train::TrainConfig tc;
+    tc.epochs = 4;
+    tc.max_tokens = 10000;
+    train::train_readout(*spec_master, tokenizer.encode(corpus.text), tc);
+
+    serving::FunctionalEngineConfig sp_cfg;
+    sp_cfg.arrivals.kind = workload::ArrivalKind::kPoisson;
+    sp_cfg.arrivals.rate_rps = 1000.0;  // flooded: pure decode throughput
+    sp_cfg.arrivals.total_requests = 12;
+    sp_cfg.seq = workload::SeqConfig{96, 32, 64};
+    sp_cfg.max_concurrency = 2;
+
+    // Identity first, under the reference kernels: chunked verification is
+    // bit-identical to the token loop only at the scalar level (the same
+    // determinism contract chunked prefill pins).
+    const simd::Level active = simd::active_level();
+    simd::set_level(simd::Level::kScalar);
+    serving::FunctionalEngineConfig id_cfg = sp_cfg;
+    id_cfg.arrivals.total_requests = 4;
+    id_cfg.seq = workload::SeqConfig{48, 16, 32};
+    const serving::EngineResult id_plain =
+        run_functional_continuous(spec_master, DType::kF16, pool, id_cfg);
+    id_cfg.speculation.enabled = true;
+    id_cfg.speculation.draft_tokens = 4;
+    id_cfg.speculation.draft_dtype = DType::kI8;
+    const serving::EngineResult id_spec =
+        run_functional_continuous(spec_master, DType::kF16, pool, id_cfg);
+    simd::set_level(active);
+    bool spec_identical = id_spec.requests.size() == id_plain.requests.size();
+    for (std::size_t i = 0; spec_identical && i < id_spec.requests.size(); ++i) {
+      spec_identical = id_spec.requests[i].output == id_plain.requests[i].output;
+    }
+
+    // Throughput at the active kernel level. Decode tok/s counts generated
+    // tokens over the time the engine spent generating them (kDecode for
+    // plain; kDraft + kVerify + leftover kDecode for speculative).
+    const auto decode_tps = [](const serving::EngineResult& r) {
+      double s = r.timeline.phase_time_s(trace::Phase::kDecode) +
+                 r.timeline.phase_time_s(trace::Phase::kDraft) +
+                 r.timeline.phase_time_s(trace::Phase::kVerify);
+      std::size_t tokens = 0;
+      for (const serving::Request& rq : r.requests) tokens += rq.output.size();
+      return s > 0.0 ? static_cast<double>(tokens) / s : 0.0;
+    };
+    const serving::EngineResult sp_plain =
+        run_functional_continuous(spec_master, DType::kF16, pool, sp_cfg);
+    sp_cfg.speculation.enabled = true;
+    sp_cfg.speculation.draft_tokens = 4;
+    sp_cfg.speculation.draft_dtype = DType::kI8;
+    const serving::EngineResult sp_spec =
+        run_functional_continuous(spec_master, DType::kF16, pool, sp_cfg);
+
+    const double uplift = decode_tps(sp_spec) / decode_tps(sp_plain);
+    const double acceptance = sp_spec.speculation.acceptance_rate();
+    std::printf("\n== Speculative serving: fp16 target, int8 self-draft, K=4 ==\n");
+    Table sp_table({"Engine", "Decode tok/s", "Target passes", "Acceptance",
+                    "Tokens/round"});
+    sp_table.new_row()
+        .add_cell("plain greedy")
+        .add_number(decode_tps(sp_plain), 0)
+        .add_cell(std::to_string(sp_plain.decode_steps))
+        .add_cell("-")
+        .add_cell("1.00");
+    sp_table.new_row()
+        .add_cell("speculative")
+        .add_number(decode_tps(sp_spec), 0)
+        .add_cell(std::to_string(sp_spec.decode_steps))
+        .add_cell(format_double(100.0 * acceptance, 1) + " %")
+        .add_cell(format_double(sp_spec.speculation.tokens_per_round(), 2));
+    std::fputs((csv ? sp_table.to_csv() : sp_table.to_markdown()).c_str(), stdout);
+    std::printf("\nspeculative serving: %.2fx decode tok/s, scalar streams %s\n",
+                uplift, spec_identical ? "bit-identical" : "DIVERGED");
+    std::printf("(acceptance bar: >= 1.3x at >= 80%% acceptance with --strict).\n");
+    if (!spec_identical) {
+      std::printf("ERROR: speculative serving changed the scalar token streams\n");
+      return 1;
+    }
+    if (strict && (uplift < 1.3 || acceptance < 0.8)) {
+      std::printf("ERROR: speculative uplift %.2fx / acceptance %.1f%% below the "
+                  "1.3x / 80%% bar\n",
+                  uplift, 100.0 * acceptance);
       return 1;
     }
   }

@@ -5,7 +5,8 @@ Exercises the daemon end to end over real sockets, stdlib only:
 
   1. Bit-identity: the concatenated SSE token stream equals the --offline
      reference for the same prompt/seed, with the prefix cache off and on
-     (and on a cache-hit second request).
+     (and on a cache-hit second request), and with --speculative serving
+     (where /metrics must also report draft/verify rounds).
   2. Backpressure: concurrent completions against --queue-cap=1 produce at
      least one 429 and at least one 200; /metrics agrees and reports a
      nonzero orinsim_completion_tokens_total.
@@ -122,7 +123,11 @@ def scrape_metrics(host, port):
 
 
 def check_bit_identity(binary):
-    for label, flags in [("cache-off", []), ("cache-on", ["--prefix-cache"])]:
+    for label, flags in [
+        ("cache-off", []),
+        ("cache-on", ["--prefix-cache"]),
+        ("speculative", ["--speculative"]),
+    ]:
         reference = offline_reference(binary, flags)
         proc, host, port = start_daemon(binary, flags)
         try:
@@ -139,6 +144,10 @@ def check_bit_identity(binary):
                         f"[{label} round {round_index}] SSE text diverged from "
                         f"--offline: {text!r} != {reference!r}"
                     )
+            if "--speculative" in flags:
+                values = scrape_metrics(host, port)
+                if float(values.get("orinsim_spec_rounds_total", "0")) <= 0:
+                    fail(f"--speculative served no draft/verify rounds: {values}")
         finally:
             stop_daemon(proc)
         print(f"ok: SSE bit-identical to --offline ({label}): {reference!r}")

@@ -217,6 +217,19 @@ void KVCache::fork_sequence(std::size_t src, std::size_t dst) {
   lengths_[dst] = lengths_[src];
 }
 
+bool KVCache::try_unshare_tail(std::size_t b) {
+  ORINSIM_CHECK(layout_ == KVLayout::kPaged,
+                "KVCache::try_unshare_tail requires paged layout");
+  ORINSIM_CHECK(b < batch_, "KVCache::try_unshare_tail out of range");
+  const std::size_t len = lengths_[b];
+  if (len == 0 || len % block_tokens_ == 0) return true;  // no partial tail
+  const std::size_t idx = len / block_tokens_;
+  if (allocator_->ref_count(tables_[b][idx]) <= 1) return true;  // private
+  if (allocator_->free_blocks() == 0) return false;
+  make_writable(b, idx);
+  return true;
+}
+
 std::span<const std::size_t> KVCache::block_table(std::size_t b) const {
   ORINSIM_CHECK(layout_ == KVLayout::kPaged, "KVCache::block_table requires paged layout");
   ORINSIM_CHECK(b < batch_, "KVCache::block_table out of range");

@@ -87,8 +87,11 @@ class KVCache {
   void commit(std::size_t b, std::size_t count = 1);
 
   // Roll sequence b back to new_len tokens (speculative-decoding rejection:
-  // discard the KV entries of unaccepted draft tokens). Paged layout returns
-  // the now-unused blocks to the pool.
+  // discard the KV entries of unaccepted draft tokens). Paged layout drops
+  // this sequence's reference on each now-unused block; a block still shared
+  // with a forked sibling or held by the prefix cache is only decref'd —
+  // never returned to the pool while live (the rejected-draft-branch path
+  // exercises exactly this every round; pinned by regression test).
   void truncate(std::size_t b, std::size_t new_len);
 
   // Release every block of sequence b and zero its length (a retired or
@@ -105,6 +108,16 @@ class KVCache {
   // are ref-counted, not copied, and the first append into a shared block
   // copies it (copy-on-write). Paged layout only.
   void fork_sequence(std::size_t src, std::size_t dst);
+
+  // Copy-on-writes sequence b's partially-filled tail block now if it is
+  // shared, so subsequent appends into it cannot hit pool exhaustion
+  // mid-flight (try_reserve only covers *new* blocks, not the COW copy of a
+  // shared tail). Returns false — leaving the cache unchanged — when the
+  // copy would need a block the pool cannot supply; true when the tail is
+  // already private, block-aligned, or was successfully copied. The serving
+  // engine's speculative draft branch calls this right after fork_sequence,
+  // before any parallel decode work touches the branch. Paged layout only.
+  bool try_unshare_tail(std::size_t b);
 
   // --- Cross-request block sharing (serving-layer prefix cache). Paged only.
 

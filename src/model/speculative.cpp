@@ -83,9 +83,11 @@ Model::GenerateResult speculative_generate(Model& target, Model& draft,
       draft_feed = greedy_step(draft, draft_cache, draft_feed, d_hidden, d_logits);
       proposals.push_back(draft_feed);
     }
-    local_stats.proposed += k;
-
     // Target verifies: feed pending, compare its next choice to proposal i.
+    // `proposed` counts only drafts the target actually compared — a round a
+    // rejection cuts short leaves proposals[i+1..k-1] unverified, and counting
+    // them (as the old `proposed += k` here did) would book them as rejected
+    // and deflate acceptance_rate().
     context.push_back(pending);
     TokenId verify_feed = pending;
     std::size_t accepted = 0;
@@ -93,6 +95,7 @@ Model::GenerateResult speculative_generate(Model& target, Model& draft,
     for (std::size_t i = 0; i < k; ++i) {
       const TokenId c = greedy_step(target, target_cache, verify_feed, t_hidden, t_logits);
       ++local_stats.target_forwards;
+      ++local_stats.proposed;
       if (c == proposals[i]) {
         ++accepted;
         emit(proposals[i]);

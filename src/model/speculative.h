@@ -25,9 +25,16 @@ struct SpeculativeConfig {
   std::size_t draft_tokens = 4;  // K: tokens proposed per round
 };
 
+// Draft/verify accounting. `proposed` counts only draft tokens the target
+// actually verified: a rejection cuts the round short, so per round
+// proposed == accepted + (1 if a proposal was rejected else 0). Drafts the
+// round never compared (past a rejection, or past max_new_tokens) are not
+// counted — otherwise they would be booked as rejected and deflate
+// acceptance_rate() on short generations. Invariants pinned by test:
+// accepted <= proposed <= accepted + rounds.
 struct SpeculativeStats {
   std::size_t rounds = 0;
-  std::size_t proposed = 0;
+  std::size_t proposed = 0;   // draft tokens the target compared
   std::size_t accepted = 0;
   std::size_t target_forwards = 0;  // positions the target evaluated
   std::size_t emitted = 0;

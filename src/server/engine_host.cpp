@@ -170,8 +170,14 @@ EngineHost::Metrics EngineHost::metrics() const {
     m.preemptions += r.preemptions;
   }
   const trace::ExecutionTimeline& timeline = engine_.timeline();
-  m.decode_steps = timeline.count(trace::Phase::kDecode);
+  // kVerify is a speculative round's target pass — count it as a decode step
+  // so speculative and plain serving report comparable step totals.
+  m.decode_steps =
+      timeline.count(trace::Phase::kDecode) + timeline.count(trace::Phase::kVerify);
   m.prefill_steps = timeline.count(trace::Phase::kPrefill);
+  m.draft_steps = timeline.count(trace::Phase::kDraft);
+  m.speculation_enabled = backend_.speculation_enabled();
+  m.speculation = engine_.speculation();
   m.energy_j = timeline.total_energy_j();
   m.engine_time_s = timeline.now();
   m.governor_step_downs =

@@ -120,6 +120,12 @@ class EngineHost {
     double latency_p95_s = 0.0;
     serving::PrefixCacheStats prefix_cache;
     bool prefix_cache_enabled = false;
+    // Speculative decoding (zero / false when the backend runs none).
+    // decode_steps above counts kDecode + kVerify events, so step counts
+    // stay comparable between speculative and plain serving.
+    serving::EngineResult::SpeculationSummary speculation;
+    bool speculation_enabled = false;
+    std::size_t draft_steps = 0;  // kDraft events emitted
     std::size_t kv_used_blocks = 0;
     std::size_t kv_total_blocks = 0;
     bool draining = false;

@@ -9,8 +9,15 @@
 //                   [--kv-blocks=0] [--block-tokens=16] [--queue-cap=32]
 //                   [--max-tokens-cap=256] [--decode-workers=0]
 //                   [--prefix-cache] [--prefix-cache-blocks=0]
+//                   [--speculative] [--draft-tokens=4] [--draft-dtype=i8]
 //                   [--power-proxy-model=] [--power-cap-w=0] [--thermal]
 //                   [--max-connections=64]
+//
+// --speculative serves through draft/verify rounds: a draft model (the same
+// master quantized to --draft-dtype) proposes --draft-tokens tokens per
+// round and the target verifies them in one chunked pass. Greedy output is
+// unchanged, so --offline prints the identical completion with or without
+// the flag (under scalar kernels, bit-for-bit).
 //
 // Offline reference mode (no HTTP): prints the completion for one prompt
 // using the identical model/backend construction, so the SSE token stream
@@ -26,6 +33,7 @@
 #include "server/engine_host.h"
 #include "server/server.h"
 #include "serving/engine.h"
+#include "tensor/dtype.h"
 #include "tokenizer/tokenizer.h"
 #include "workload/corpus.h"
 
@@ -42,6 +50,7 @@ struct ServingStack {
   Tokenizer tokenizer;
   std::shared_ptr<const MasterWeights> master;
   std::unique_ptr<Model> model;
+  std::unique_ptr<Model> draft;  // --speculative only (same master, draft dtype)
   std::unique_ptr<ThreadPool> decode_pool;
   std::unique_ptr<serving::FunctionalTokenBackend> backend;
   std::size_t max_seq = 0;
@@ -75,8 +84,18 @@ ServingStack build_stack(const CliArgs& args) {
   bc.prefix_cache = args.get_bool("prefix-cache", false);
   bc.prefix_cache_blocks =
       static_cast<std::size_t>(args.get_int("prefix-cache-blocks", 0));
+  bc.speculation.enabled = args.get_bool("speculative", false);
+  bc.speculation.draft_tokens =
+      static_cast<std::size_t>(args.get_int("draft-tokens", 4));
+  bc.speculation.draft_dtype = parse_dtype(args.get("draft-dtype", "i8"));
+  if (bc.speculation.enabled) {
+    // Self-draft pairing: the draft shares the target's master weights,
+    // quantized down, so the two models agree often enough to accept.
+    stack.draft =
+        std::make_unique<Model>(stack.master, bc.speculation.draft_dtype);
+  }
   stack.backend = std::make_unique<serving::FunctionalTokenBackend>(
-      *stack.model, bc, stack.decode_pool.get());
+      *stack.model, bc, stack.decode_pool.get(), stack.draft.get());
   return stack;
 }
 

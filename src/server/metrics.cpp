@@ -94,6 +94,25 @@ std::string render_prometheus(const EngineHost::Metrics& m) {
             "Cached blocks reclaimed under pressure",
             static_cast<double>(m.prefix_cache.evicted_blocks));
   }
+  if (m.speculation_enabled) {
+    counter(out, "orinsim_spec_rounds_total", "Speculative draft/verify rounds",
+            static_cast<double>(m.speculation.rounds));
+    counter(out, "orinsim_spec_proposed_total",
+            "Draft tokens the target verified",
+            static_cast<double>(m.speculation.proposed));
+    counter(out, "orinsim_spec_accepted_total", "Verified draft tokens accepted",
+            static_cast<double>(m.speculation.accepted));
+    counter(out, "orinsim_spec_emitted_total",
+            "Tokens retired by speculative rounds",
+            static_cast<double>(m.speculation.emitted));
+    counter(out, "orinsim_draft_steps_total", "Draft-model step events",
+            static_cast<double>(m.draft_steps));
+    gauge(out, "orinsim_spec_acceptance_rate",
+          "accepted / proposed over all rounds", m.speculation.acceptance_rate());
+    gauge(out, "orinsim_spec_tokens_per_round",
+          "Tokens emitted per verification round",
+          m.speculation.tokens_per_round());
+  }
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "core/error.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
+#include "sim/speculative_sim.h"
 
 namespace orinsim::serving {
 
@@ -34,9 +35,19 @@ void finalize(EngineResult& result, std::vector<Request> requests,
   result.makespan_s = timeline.now();
   result.energy_j = timeline.total_energy_j();
   result.mean_active = timeline.time_weighted_batch();
-  result.decode_steps = timeline.count(trace::Phase::kDecode);
+  // A speculative round's target pass lands as kVerify instead of kDecode;
+  // counting both keeps decode_steps comparable across the two modes (one
+  // target pass per step either way).
+  result.decode_steps =
+      timeline.count(trace::Phase::kDecode) + timeline.count(trace::Phase::kVerify);
   result.total_tokens = 0;
-  for (const Request& r : requests) result.total_tokens += r.prompt_tokens + r.generated;
+  for (const Request& r : requests) {
+    result.total_tokens += r.prompt_tokens + r.generated;
+    result.speculation.rounds += r.spec.rounds;
+    result.speculation.proposed += r.spec.proposed;
+    result.speculation.accepted += r.spec.accepted;
+    result.speculation.emitted += r.spec.emitted;
+  }
   result.mean_kv_utilization = timeline.mean_kv_utilization();
   result.peak_kv_blocks = timeline.peak_kv_blocks();
   if (backend != nullptr) {
@@ -392,17 +403,32 @@ struct ContinuousEngine::Impl {
     }
     pc_emit_evictions(evicted_pre_extend);
 
-    // One decode step for the active set.
+    // One decode step for the active set. A backend that decomposes the step
+    // into phases (speculative draft/verify) gets one event per sub-step,
+    // each with its own participants; the empty-phases path is byte-for-byte
+    // the legacy single-kDecode emission.
     std::vector<Request*> stepping;
     stepping.reserve(active.size());
     for (std::size_t id : active) stepping.push_back(&requests[id]);
     const StepCost cost = backend.decode_step(stepping);
-    const std::size_t eid = timeline().emit(trace::Phase::kDecode, cost.seconds,
-                                            active.size(), cost.ctx, cost.power_w,
-                                            cost.breakdown);
-    annotate_kv(timeline(), eid, backend);
-    timeline().set_participants(eid, active);
-    governor.observe_step(cost.power_w, cost.seconds);
+    if (cost.phases.empty()) {
+      const std::size_t eid = timeline().emit(trace::Phase::kDecode, cost.seconds,
+                                              active.size(), cost.ctx, cost.power_w,
+                                              cost.breakdown);
+      annotate_kv(timeline(), eid, backend);
+      timeline().set_participants(eid, active);
+      governor.observe_step(cost.power_w, cost.seconds);
+    } else {
+      for (const StepCost::SubStep& sub : cost.phases) {
+        const std::size_t eid = timeline().emit(
+            sub.phase, sub.seconds, sub.batch > 0 ? sub.batch : active.size(),
+            sub.ctx, sub.power_w, sub.breakdown);
+        annotate_kv(timeline(), eid, backend);
+        timeline().set_participants(eid,
+                                    sub.participants.empty() ? active : sub.participants);
+        governor.observe_step(sub.power_w, sub.seconds);
+      }
+    }
     for (std::size_t id : active) flush_tokens(requests[id]);
 
     // Retire finished sequences in active-list order.
@@ -495,6 +521,17 @@ const Request& ContinuousEngine::request(std::size_t id) const {
 
 const trace::ExecutionTimeline& ContinuousEngine::timeline() const {
   return impl_->result.timeline;
+}
+
+EngineResult::SpeculationSummary ContinuousEngine::speculation() const {
+  EngineResult::SpeculationSummary s;
+  for (const Request& r : impl_->requests) {
+    s.rounds += r.spec.rounds;
+    s.proposed += r.spec.proposed;
+    s.accepted += r.spec.accepted;
+    s.emitted += r.spec.emitted;
+  }
+  return s;
 }
 
 void ContinuousEngine::set_device_id(std::size_t id) {
@@ -625,8 +662,16 @@ SimTokenBackend::SimTokenBackend(const Config& config)
       sim_(config.device),
       allocator_(sim_pool_blocks(config), sim_block_bytes(config)),
       free_lanes_(descending_lane_list(config.max_concurrency)),
-      lane_blocks_(config.max_concurrency) {
+      lane_blocks_(config.max_concurrency),
+      spec_carry_(config.max_concurrency, 0.0) {
   ORINSIM_CHECK(config_.max_concurrency > 0, "sim backend: need at least one lane");
+  if (config_.speculation.enabled) {
+    ORINSIM_CHECK(config_.speculation.draft_tokens >= 1,
+                  "sim backend: speculation needs at least one draft token");
+    ORINSIM_CHECK(config_.speculation.acceptance >= 0.0 &&
+                      config_.speculation.acceptance <= 1.0,
+                  "sim backend: acceptance rate must be in [0, 1]");
+  }
 }
 
 bool SimTokenBackend::reserve_blocks(std::size_t lane, std::size_t tokens) {
@@ -642,6 +687,7 @@ bool SimTokenBackend::try_admit(Request& req) {
   if (!reserve_blocks(lane, req.context())) return false;
   free_lanes_.pop_back();
   req.lane = lane;
+  spec_carry_[lane] = 0.0;  // a (re)admitted request starts its rounds fresh
   return true;
 }
 
@@ -667,6 +713,7 @@ bool SimTokenBackend::try_extend(Request& req) {
 
 StepCost SimTokenBackend::decode_step(const std::vector<Request*>& active) {
   ORINSIM_CHECK(!active.empty(), "sim backend: decode over empty set");
+  if (config_.speculation.enabled) return speculative_decode_step(active);
   const sim::ModelSpec& model = sim::model_by_key(config_.model_key);
   double mean_ctx = 0.0;
   for (const Request* r : active) mean_ctx += static_cast<double>(r->context());
@@ -680,6 +727,87 @@ StepCost SimTokenBackend::decode_step(const std::vector<Request*>& active) {
   cost.breakdown = step;
   cost.ctx = mean_ctx;
   for (Request* r : active) ++r->generated;
+  return cost;
+}
+
+StepCost SimTokenBackend::speculative_decode_step(const std::vector<Request*>& active) {
+  const SpeculationConfig& spec = config_.speculation;
+  const std::size_t k = spec.draft_tokens;
+  const sim::ModelSpec& target = sim::model_by_key(config_.model_key);
+  const sim::ModelSpec& draft = sim::model_by_key(
+      spec.draft_model_key.empty() ? config_.model_key : spec.draft_model_key);
+  double mean_ctx = 0.0;
+  for (const Request* r : active) mean_ctx += static_cast<double>(r->context());
+  mean_ctx /= static_cast<double>(active.size());
+
+  // One round = K lane-batched draft steps plus one target verification pass
+  // over K+1 positions per lane (decode is weight-bound, so the verify pass
+  // streams the weights once for all positions — the speculative win).
+  const sim::StepBreakdown draft_step = sim_.roofline().decode_step(
+      draft, spec.draft_dtype, active.size(), mean_ctx, config_.power_mode);
+  const sim::StepBreakdown verify_step = sim_.roofline().decode_step(
+      target, config_.dtype, active.size() * (k + 1), mean_ctx, config_.power_mode);
+  const double draft_power =
+      sim_.power_model()
+          .decode_power(draft, spec.draft_dtype, draft_step, config_.power_mode)
+          .total_w();
+  const double verify_power =
+      sim_.power_model()
+          .decode_power(target, config_.dtype, verify_step, config_.power_mode)
+          .total_w();
+
+  // Token advance: the calibrated acceptance model retires
+  // E = expected_tokens_per_round(a, K) tokens per round on average; a
+  // per-lane fractional carry keeps each round an integer while the long-run
+  // rate matches E exactly.
+  const double e = sim::expected_tokens_per_round(spec.acceptance, k);
+  for (Request* r : active) {
+    const std::size_t remaining = r->max_new_tokens - r->generated;
+    spec_carry_[r->lane] += e;
+    std::size_t n =
+        std::max<std::size_t>(1, static_cast<std::size_t>(spec_carry_[r->lane]));
+    n = std::min(n, std::min(remaining, k + 1));
+    // The engine's try_extend covered one token; reserve the rest, shrinking
+    // the round if the pool cannot hold it (n == 1 never fails).
+    while (n > 1 && !reserve_blocks(r->lane, r->context() + n)) --n;
+    spec_carry_[r->lane] -= static_cast<double>(n);
+    r->generated += n;
+    ++r->spec.rounds;
+    r->spec.accepted += n - 1;
+    // The target compared the accepted drafts plus one rejected proposal on
+    // rounds that stopped short of the bonus token.
+    r->spec.proposed += (n - 1) + (n - 1 < k ? 1 : 0);
+    r->spec.emitted += n;
+    r->spec.target_forwards += k + 1;
+  }
+
+  auto scaled = [](const trace::StepBreakdown& b, double s) {
+    trace::StepBreakdown out = b;
+    out.weight_s *= s;
+    out.kv_s *= s;
+    out.compute_s *= s;
+    out.launch_s *= s;
+    out.quant_extra_s *= s;
+    out.cpu_stretch_s *= s;
+    return out;
+  };
+
+  StepCost cost;
+  StepCost::SubStep d;
+  d.phase = trace::Phase::kDraft;
+  d.seconds = draft_step.total_s() * static_cast<double>(k);
+  d.ctx = mean_ctx;
+  d.power_w = draft_power;
+  d.breakdown = scaled(draft_step, static_cast<double>(k));
+  StepCost::SubStep v;
+  v.phase = trace::Phase::kVerify;
+  v.seconds = verify_step.total_s();
+  v.ctx = mean_ctx;
+  v.power_w = verify_power;
+  v.breakdown = verify_step;
+  cost.phases = {std::move(d), std::move(v)};
+  cost.seconds = cost.phases[0].seconds + cost.phases[1].seconds;
+  cost.ctx = mean_ctx;
   return cost;
 }
 
@@ -725,10 +853,13 @@ KVCacheOptions functional_cache_options(const FunctionalTokenBackend::Config& c)
 }  // namespace
 
 FunctionalTokenBackend::FunctionalTokenBackend(Model& model, const Config& config,
-                                               ThreadPool* pool)
+                                               ThreadPool* pool, Model* draft)
     : model_(model),
       config_(config),
-      cache_(model.config(), config.max_lanes,
+      // Speculation doubles the sequence count: sequence lane + max_lanes is
+      // lane's draft branch, live only inside one decode step.
+      cache_(model.config(),
+             config.speculation.enabled ? config.max_lanes * 2 : config.max_lanes,
              config.max_seq > 0 ? std::min(config.max_seq, model.config().max_seq)
                                 : model.config().max_seq,
              functional_cache_options(config)),
@@ -743,6 +874,31 @@ FunctionalTokenBackend::FunctionalTokenBackend(Model& model, const Config& confi
   workspaces_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) workspaces_.emplace_back(model_.config());
   logits_.resize(config_.max_lanes * model_.config().vocab);
+  if (config_.speculation.enabled) {
+    ORINSIM_CHECK(draft != nullptr, "functional backend: speculation needs a draft model");
+    ORINSIM_CHECK(config_.speculation.draft_tokens >= 1,
+                  "functional backend: speculation needs at least one draft token");
+    const TransformerConfig& t = model_.config();
+    const TransformerConfig& d = draft->config();
+    // Draft and target read/write the same paged KV sequences, so the KV
+    // geometry (and thus the whole attention shape) must match — the
+    // same-master quantized self-draft pairing.
+    ORINSIM_CHECK(d.vocab == t.vocab && d.n_layers == t.n_layers &&
+                      d.d_model == t.d_model && d.n_heads == t.n_heads &&
+                      d.n_kv_heads == t.n_kv_heads,
+                  "functional backend: draft must share the target's geometry");
+    ORINSIM_CHECK(d.max_seq >= cache_.max_seq(),
+                  "functional backend: draft max_seq shorter than the serving cache");
+    draft_ = draft;
+    const std::size_t k = config_.speculation.draft_tokens;
+    draft_workspaces_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) draft_workspaces_.emplace_back(d);
+    draft_logits_.resize(shards * d.vocab);
+    proposals_.resize(config_.max_lanes * k);
+    plan_k_.assign(config_.max_lanes, 0);
+    verify_hidden_.resize(shards * (k + 1) * t.d_model);
+    verify_logits_.resize(config_.max_lanes * (k + 1) * t.vocab);
+  }
 }
 
 std::span<float> FunctionalTokenBackend::lane_logits(std::size_t lane) {
@@ -868,6 +1024,7 @@ bool FunctionalTokenBackend::try_extend(Request& req) {
 StepCost FunctionalTokenBackend::decode_step(
     const std::vector<Request*>& active) {
   ORINSIM_CHECK(!active.empty(), "functional backend: decode over empty set");
+  if (draft_ != nullptr) return speculative_decode_step(active);
   Stopwatch watch;
   double mean_ctx = 0.0;
   for (const Request* r : active) mean_ctx += static_cast<double>(r->context());
@@ -885,6 +1042,173 @@ StepCost FunctionalTokenBackend::decode_step(
   cost.seconds = watch.elapsed_s();
   cost.ctx = mean_ctx;
   if (has_power_proxy()) cost.power_w = proxy_decode_power_w(active.size(), mean_ctx);
+  return cost;
+}
+
+// One draft/verify round over the active set. Phase discipline keeps the
+// parallel sections allocation-free: every block the round can touch is
+// reserved — and every shared tail copy-on-written — in the serial setup, so
+// the paged pool is only ever exercised where a failure can downgrade the
+// request to a plain step instead of throwing mid-flight.
+StepCost FunctionalTokenBackend::speculative_decode_step(
+    const std::vector<Request*>& active) {
+  const std::size_t cap = config_.speculation.draft_tokens;
+  const std::size_t d_model = model_.config().d_model;
+  const std::size_t vocab = model_.config().vocab;
+  double mean_ctx = 0.0;
+  for (const Request* r : active) mean_ctx += static_cast<double>(r->context());
+  mean_ctx /= static_cast<double>(active.size());
+
+  // Serial setup: plan each lane's round. A request on its final token (or
+  // one the pool cannot cover) runs the plain single-token step its
+  // try_extend already guaranteed.
+  Stopwatch draft_watch;
+  std::vector<Request*> drafting;
+  drafting.reserve(active.size());
+  for (Request* r : active) {
+    const std::size_t remaining = r->max_new_tokens - r->generated;
+    std::size_t k = std::min(cap, remaining > 0 ? remaining - 1 : 0);
+    // The verify chunk appends k+1 positions to the lane.
+    if (k > 0 && !reserve_with_evict(r->lane, k + 1)) k = 0;
+    if (k > 0) {
+      const std::size_t branch = branch_of(r->lane);
+      cache_.fork_sequence(r->lane, branch);
+      // Drop the reservation blocks the fork inherited (they belong to the
+      // lane), then pre-copy the shared partial tail and reserve the draft
+      // room — after this the branch's appends cannot allocate or
+      // copy-on-write, so the parallel draft phase cannot hit the pool.
+      cache_.truncate(branch, cache_.seq_len(branch));
+      if (!cache_.try_unshare_tail(branch) || !cache_.try_reserve(branch, k)) {
+        cache_.free_sequence(branch);
+        k = 0;
+      }
+    }
+    plan_k_[r->lane] = k;
+    if (k > 0) drafting.push_back(r);
+  }
+
+  // Parallel draft: each speculating lane runs k draft steps on its branch.
+  // Proposals are greedily sampled per step into per-lane slots, so results
+  // are independent of sharding.
+  auto draft_one = [&](std::size_t shard, Request& r) {
+    InferenceWorkspace& dws = draft_workspaces_[shard];
+    const std::span<float> dlogits(draft_logits_.data() + shard * vocab, vocab);
+    const std::size_t branch = branch_of(r.lane);
+    const std::size_t k = plan_k_[r.lane];
+    TokenId feed = r.output.back();
+    for (std::size_t i = 0; i < k; ++i) {
+      draft_->forward_token(feed, branch, cache_, dws.hidden, dws);
+      draft_->logits_from_hidden(dws.hidden, dlogits);
+      feed = static_cast<TokenId>(kernels::argmax(dlogits));
+      proposals_[r.lane * cap + i] = feed;
+    }
+  };
+  if (pool_ != nullptr && drafting.size() > 1) {
+    pool_->parallel_for(0, drafting.size(), [&](std::size_t shard, std::size_t i) {
+      draft_one(shard, *drafting[i]);
+    });
+  } else {
+    for (Request* r : drafting) draft_one(0, *r);
+  }
+
+  // Release the branches before the target pass: the lane's shared tail
+  // becomes private again, so the verify appends cannot copy-on-write.
+  for (Request* r : drafting) cache_.free_sequence(branch_of(r->lane));
+  const double draft_s = draft_watch.elapsed_s();
+
+  // Parallel verify: speculating lanes run one forward_chunk over
+  // output.back() + proposals (k+1 positions through the batched GEMM path;
+  // bit-identical to the token loop under scalar kernels), plain lanes the
+  // ordinary single-token forward.
+  Stopwatch verify_watch;
+  auto verify_one = [&](std::size_t shard, Request& r) {
+    InferenceWorkspace& ws = workspaces_[shard];
+    const std::size_t k = plan_k_[r.lane];
+    if (k == 0) {
+      model_.forward_token(r.output.back(), r.lane, cache_, ws.hidden, ws);
+      model_.logits_from_hidden(ws.hidden, lane_logits(r.lane));
+      return;
+    }
+    std::vector<TokenId> chunk(k + 1);
+    chunk[0] = r.output.back();
+    for (std::size_t i = 0; i < k; ++i) chunk[1 + i] = proposals_[r.lane * cap + i];
+    const std::span<float> hidden(
+        verify_hidden_.data() + shard * (cap + 1) * d_model, (k + 1) * d_model);
+    model_.forward_chunk(chunk, r.lane, cache_, hidden, ws);
+    model_.logits_from_hidden_rows(
+        hidden,
+        std::span<float>(verify_logits_.data() + r.lane * (cap + 1) * vocab,
+                         (k + 1) * vocab),
+        k + 1);
+  };
+  if (pool_ != nullptr && active.size() > 1) {
+    pool_->parallel_for(0, active.size(), [&](std::size_t shard, std::size_t i) {
+      verify_one(shard, *active[i]);
+    });
+  } else {
+    for (Request* r : active) verify_one(0, *r);
+  }
+
+  // Serial acceptance, in active order: keep the longest agreeing prefix,
+  // emit the target's corrective token on the first disagreement (or its
+  // bonus token after a clean sweep), then roll the lane's KV back to
+  // exactly the emitted context — rejected draft positions leave through
+  // truncate's decref path, never a raw free.
+  for (Request* r : active) {
+    const std::size_t k = plan_k_[r->lane];
+    if (k == 0) {
+      r->output.push_back(static_cast<TokenId>(kernels::argmax(lane_logits(r->lane))));
+      ++r->generated;
+      continue;
+    }
+    const float* rows = verify_logits_.data() + r->lane * (cap + 1) * vocab;
+    const std::size_t start_len = cache_.seq_len(r->lane) - (k + 1);
+    std::size_t m = 0;
+    for (;;) {
+      const TokenId c = static_cast<TokenId>(
+          kernels::argmax(std::span<const float>(rows + m * vocab, vocab)));
+      if (m < k && c == proposals_[r->lane * cap + m]) {
+        r->output.push_back(c);
+        ++m;
+        continue;
+      }
+      r->output.push_back(c);  // corrective (m < k) or bonus (m == k) token
+      break;
+    }
+    r->generated += m + 1;
+    // Keep KV for the fed token plus the m accepted proposals; the
+    // corrective/bonus token is the new output.back(), fed next step.
+    cache_.truncate(r->lane, start_len + 1 + m);
+    ++r->spec.rounds;
+    r->spec.accepted += m;
+    r->spec.proposed += m + (m < k ? 1 : 0);
+    r->spec.emitted += m + 1;
+    r->spec.target_forwards += k + 1;
+  }
+  const double verify_s = verify_watch.elapsed_s();
+
+  StepCost cost;
+  cost.seconds = draft_s + verify_s;
+  cost.ctx = mean_ctx;
+  if (drafting.empty()) {
+    // Every lane ran plain (e.g. all on their final token): legacy kDecode.
+    if (has_power_proxy()) cost.power_w = proxy_decode_power_w(active.size(), mean_ctx);
+    return cost;
+  }
+  StepCost::SubStep d;
+  d.phase = trace::Phase::kDraft;
+  d.seconds = draft_s;
+  d.batch = drafting.size();
+  d.ctx = mean_ctx;
+  d.participants.reserve(drafting.size());
+  for (const Request* r : drafting) d.participants.push_back(r->id);
+  if (has_power_proxy()) d.power_w = proxy_decode_power_w(drafting.size(), mean_ctx);
+  StepCost::SubStep v;
+  v.phase = trace::Phase::kVerify;
+  v.seconds = verify_s;
+  v.ctx = mean_ctx;
+  if (has_power_proxy()) v.power_w = proxy_decode_power_w(active.size(), mean_ctx);
+  cost.phases = {std::move(d), std::move(v)};
   return cost;
 }
 
@@ -975,6 +1299,12 @@ EngineResult run_functional_continuous(std::shared_ptr<const MasterWeights> mast
   }
 
   Model model(master, dtype);
+  // The self-draft pairing: the same master quantized to the draft precision
+  // proposes, the target verifies (output provably unchanged).
+  std::unique_ptr<Model> draft;
+  if (config.speculation.enabled) {
+    draft = std::make_unique<Model>(master, config.speculation.draft_dtype);
+  }
   std::unique_ptr<ThreadPool> decode_pool;
   if (config.decode_workers > 0) {
     decode_pool = std::make_unique<ThreadPool>(config.decode_workers);
@@ -989,7 +1319,8 @@ EngineResult run_functional_continuous(std::shared_ptr<const MasterWeights> mast
   bc.power_proxy_model = config.power_proxy_model;
   bc.prefix_cache = config.prefix_cache;
   bc.prefix_cache_blocks = config.prefix_cache_blocks;
-  FunctionalTokenBackend backend(model, bc, decode_pool.get());
+  bc.speculation = config.speculation;
+  FunctionalTokenBackend backend(model, bc, decode_pool.get(), draft.get());
 
   ContinuousPolicy policy(backend, config.governor);
   return policy.run(std::move(requests));

@@ -56,6 +56,39 @@ struct StepCost {
   double power_w = trace::kPowerUnset;
   trace::StepBreakdown breakdown;
   double ctx = 0.0;  // context annotation for the StepEvent
+
+  // Optional decomposition of the step into distinct trace phases. Empty
+  // (the default) keeps the legacy single-event emission, so every existing
+  // backend's traces stay byte-identical. A speculative decode step returns
+  // one kDraft and one kVerify sub-step instead of a kDecode event; the
+  // policy emits them in order, each with its own participants.
+  struct SubStep {
+    trace::Phase phase = trace::Phase::kDecode;
+    double seconds = 0.0;
+    std::size_t batch = 0;  // 0: the active-set size
+    double ctx = 0.0;
+    double power_w = trace::kPowerUnset;
+    trace::StepBreakdown breakdown;
+    std::vector<std::size_t> participants;  // request ids; empty: all active
+  };
+  std::vector<SubStep> phases;
+};
+
+// Speculative serving: the backend runs greedy draft/verify rounds inside
+// each decode step, retiring up to draft_tokens+1 tokens per target pass
+// while emitting exactly what plain greedy decoding would (the speculative
+// contract; pinned bit-identical by test under scalar kernels). Off by
+// default: the engine's schedule and traces are untouched.
+struct SpeculationConfig {
+  bool enabled = false;
+  std::size_t draft_tokens = 4;  // K: proposals per round
+  // Simulated backends only — calibrated per-token acceptance rate feeding
+  // sim::expected_tokens_per_round (the functional backend measures its own).
+  double acceptance = 0.8;
+  // Simulated draft model (device_catalog key). Empty: the target model
+  // quantized to draft_dtype acts as its own draft (self-draft pairing).
+  std::string draft_model_key;
+  DType draft_dtype = DType::kI8;
 };
 
 // Token-level execution backend: the engine advances admitted requests one
@@ -113,6 +146,10 @@ class TokenBackend {
   // stats around backend calls to attribute insertions and evictions.
   virtual bool prefix_cache_enabled() const { return false; }
   virtual PrefixCacheStats prefix_cache_stats() const { return {}; }
+
+  // True when decode_step runs speculative draft/verify rounds (and thus may
+  // retire several tokens per step and emit kDraft/kVerify sub-steps).
+  virtual bool speculation_enabled() const { return false; }
 };
 
 // Power/thermal governor for ContinuousPolicy. Observes every powered step
@@ -167,6 +204,29 @@ struct EngineResult {
     }
   };
   PrefixCacheSummary prefix_cache;
+
+  // Speculative draft/verify behaviour, summed over the requests' per-round
+  // counters (all zero when the backend ran no speculation). decode_steps
+  // counts kDecode + kVerify events, so a speculative run's step count stays
+  // comparable to its plain counterpart (one target pass per step either
+  // way).
+  struct SpeculationSummary {
+    std::size_t rounds = 0;
+    std::size_t proposed = 0;  // draft tokens the target compared
+    std::size_t accepted = 0;
+    std::size_t emitted = 0;   // tokens retired by speculative rounds
+
+    double acceptance_rate() const {
+      return proposed > 0
+                 ? static_cast<double>(accepted) / static_cast<double>(proposed)
+                 : 0.0;
+    }
+    double tokens_per_round() const {
+      return rounds > 0 ? static_cast<double>(emitted) / static_cast<double>(rounds)
+                        : 0.0;
+    }
+  };
+  SpeculationSummary speculation;
 
   // Per-request energy attribution, indexed by request id. Sums to energy_j
   // (the conservation invariant, pinned by test): every powered step's
@@ -278,6 +338,11 @@ class ContinuousEngine {
   const Request& request(std::size_t id) const;
   const trace::ExecutionTimeline& timeline() const;
 
+  // Live speculative-decoding counters (sum over submitted requests; all
+  // zero when the backend runs no speculation). The serving daemon's
+  // /metrics reads this without waiting for finish().
+  EngineResult::SpeculationSummary speculation() const;
+
   // Fleet integration. set_device_id tags the engine's timeline (and thus
   // every exported event) with the owning device; single-device callers
   // never set it, keeping their trace serialization untouched.
@@ -351,6 +416,12 @@ class SimTokenBackend : public TokenBackend {
     // (never exhausts, exact simulate_continuous behaviour).
     std::size_t kv_blocks = 0;
     std::size_t block_tokens = kDefaultKVBlockTokens;
+    // Speculative decoding: each decode step becomes one draft/verify round
+    // charged as K draft steps (draft model roofline) plus one verification
+    // pass (target roofline at batch x (K+1) positions), retiring the
+    // calibrated sim::expected_tokens_per_round(acceptance, K) tokens per
+    // lane via a fractional carry. Off: exact legacy behaviour.
+    SpeculationConfig speculation;
   };
 
   explicit SimTokenBackend(const Config& config);
@@ -367,17 +438,23 @@ class SimTokenBackend : public TokenBackend {
   // Governor hook: subsequent roofline/power estimates use the new mode.
   bool set_power_mode(const sim::PowerMode& mode) override;
   double idle_power_w() const override;
+  bool speculation_enabled() const override { return config_.speculation.enabled; }
 
   const Config& config() const noexcept { return config_; }
 
  private:
   bool reserve_blocks(std::size_t lane, std::size_t tokens);
+  StepCost speculative_decode_step(const std::vector<Request*>& active);
 
   Config config_;
   sim::InferenceSim sim_;
   BlockAllocator allocator_;
   std::vector<std::size_t> free_lanes_;              // LIFO, deterministic
   std::vector<std::vector<std::size_t>> lane_blocks_;  // held block ids
+  // Fractional expected-tokens-per-round carry per lane (speculation only):
+  // a round retires floor(carry) tokens and keeps the remainder, so the
+  // long-run rate matches the acceptance model exactly.
+  std::vector<double> spec_carry_;
 };
 
 // Real token-by-token decoding over a paged KVCache: Model::forward_token
@@ -417,10 +494,22 @@ class FunctionalTokenBackend : public TokenBackend {
     bool prefix_cache = false;
     // Cap on tree residency in blocks (0: bounded only by the pool).
     std::size_t prefix_cache_blocks = 0;
+    // Speculative decoding (enabled/draft_tokens; the acceptance fields are
+    // sim-only — this backend measures real acceptance). Requires a draft
+    // model at construction. Each lane's draft branch is a copy-on-write
+    // fork of its KV sequence (sequence lane + max_lanes), rolled back with
+    // truncate() after verification; accepted proposals are verified in one
+    // forward_chunk pass over K+1 positions.
+    SpeculationConfig speculation;
   };
 
   // `model` must outlive the backend; `pool` may be null (serial decode).
-  FunctionalTokenBackend(Model& model, const Config& config, ThreadPool* pool = nullptr);
+  // `draft` is required iff config.speculation.enabled: it must share the
+  // target's geometry (layers, heads, d_model, vocab) so draft and target
+  // can read the same paged KV sequences — the same-master quantized
+  // self-draft pairing the speculative bench measures.
+  FunctionalTokenBackend(Model& model, const Config& config, ThreadPool* pool = nullptr,
+                         Model* draft = nullptr);
 
   std::size_t max_lanes() const override { return config_.max_lanes; }
   bool try_admit(Request& req) override;
@@ -437,6 +526,7 @@ class FunctionalTokenBackend : public TokenBackend {
 
   bool prefix_cache_enabled() const override { return prefix_cache_ != nullptr; }
   PrefixCacheStats prefix_cache_stats() const override;
+  bool speculation_enabled() const override { return draft_ != nullptr; }
 
   const KVCache& cache() const noexcept { return cache_; }
   const PrefixCache* prefix_cache() const noexcept { return prefix_cache_.get(); }
@@ -452,6 +542,10 @@ class FunctionalTokenBackend : public TokenBackend {
   bool has_power_proxy() const { return !config_.power_proxy_model.empty(); }
   double proxy_prefill_power_w() const;
   double proxy_decode_power_w(std::size_t batch, double mean_ctx) const;
+  // One speculative draft/verify round over the active set (decode_step
+  // delegates here when a draft model is attached).
+  StepCost speculative_decode_step(const std::vector<Request*>& active);
+  std::size_t branch_of(std::size_t lane) const { return lane + config_.max_lanes; }
 
   Model& model_;
   Config config_;
@@ -463,6 +557,15 @@ class FunctionalTokenBackend : public TokenBackend {
   std::vector<float> logits_;                   // [lanes, vocab]
   sim::InferenceSim proxy_sim_;                 // power proxy estimates
   sim::PowerMode proxy_mode_;                   // governor-adjustable
+
+  // Speculative state (sized only when a draft model is attached).
+  Model* draft_ = nullptr;
+  std::vector<InferenceWorkspace> draft_workspaces_;  // one per shard
+  std::vector<float> draft_logits_;                   // [shards, vocab]
+  std::vector<TokenId> proposals_;                    // [lanes, K]
+  std::vector<std::size_t> plan_k_;                   // proposals this round, per lane
+  std::vector<float> verify_hidden_;                  // [shards, (K+1) * d_model]
+  std::vector<float> verify_logits_;                  // [lanes, (K+1) * vocab]
 };
 
 // One-call functional continuous-batching run: builds requests from the
@@ -492,6 +595,10 @@ struct FunctionalEngineConfig {
   // (Zipfian shared system prompts + per-user suffixes) and must satisfy
   // chat.prompt_tokens() == seq.input; otherwise sample_batch as before.
   workload::ChatWorkloadConfig chat;
+  // Speculative decoding: when enabled, the run builds a draft Model from
+  // the same master quantized to speculation.draft_dtype (the self-draft
+  // pairing) and serves every request through draft/verify rounds.
+  SpeculationConfig speculation;
 };
 
 EngineResult run_functional_continuous(std::shared_ptr<const MasterWeights> master,

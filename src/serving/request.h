@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "model/speculative.h"
 #include "tokenizer/tokenizer.h"
 
 namespace orinsim::serving {
@@ -43,6 +44,12 @@ struct Request {
   // admission (0: miss, or the backend runs no cache). The matched prefix
   // attached ready-made KV blocks, so prefill only ran the suffix.
   std::size_t prefix_cached = 0;
+
+  // Draft/verify accounting when the backend serves this request
+  // speculatively (all zero otherwise). Survives preemption: recompute
+  // replays recorded tokens without re-running rounds, so the counters keep
+  // describing the rounds that actually executed.
+  SpeculativeStats spec;
 
   // Tokens in (or due in) the KV cache: prompt plus everything generated.
   std::size_t context() const { return prompt_tokens + generated; }

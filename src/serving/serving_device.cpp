@@ -47,6 +47,7 @@ ServingDevice::ServingDevice(const SimConfig& config)
   backend.device = entry.spec;
   backend.kv_blocks = config.kv_blocks;
   backend.block_tokens = config.block_tokens;
+  backend.speculation = config.speculation;
   sim_backend_ = std::make_unique<SimTokenBackend>(backend);
   backend_ = sim_backend_.get();
 
@@ -57,9 +58,10 @@ ServingDevice::ServingDevice(const SimConfig& config)
 }
 
 ServingDevice::ServingDevice(Model& model, const FunctionalTokenBackend::Config& config,
-                             GovernorConfig governor, std::string name, ThreadPool* pool)
+                             GovernorConfig governor, std::string name, ThreadPool* pool,
+                             Model* draft)
     : name_(std::move(name)), governor_(std::move(governor)) {
-  fn_backend_ = std::make_unique<FunctionalTokenBackend>(model, config, pool);
+  fn_backend_ = std::make_unique<FunctionalTokenBackend>(model, config, pool, draft);
   backend_ = fn_backend_.get();
   engine_ = std::make_unique<ContinuousEngine>(*backend_, governor_);
 }

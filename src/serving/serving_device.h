@@ -48,6 +48,9 @@ class ServingDevice {
     // at the configured power mode, so a throttled Nano steps down its own
     // clocks rather than Orin-absolute frequencies.
     GovernorConfig governor;
+    // Speculative decoding (off by default): pass-through to
+    // SimTokenBackend::Config::speculation.
+    SpeculationConfig speculation;
   };
 
   // Builds backend + engine from the catalog entry. Throws on unknown
@@ -55,10 +58,12 @@ class ServingDevice {
   explicit ServingDevice(const SimConfig& config);
 
   // Functional device over a real model. `model` must outlive the device;
-  // `pool` may be null (serial decode).
+  // `pool` may be null (serial decode); `draft` is required iff
+  // config.speculation.enabled (see FunctionalTokenBackend) and must outlive
+  // the device too.
   ServingDevice(Model& model, const FunctionalTokenBackend::Config& config,
                 GovernorConfig governor = {}, std::string name = "functional",
-                ThreadPool* pool = nullptr);
+                ThreadPool* pool = nullptr, Model* draft = nullptr);
 
   ServingDevice(const ServingDevice&) = delete;
   ServingDevice& operator=(const ServingDevice&) = delete;

@@ -196,6 +196,50 @@ TEST(PagedKVTest, TruncateOfForkedSourceKeepsForkBlocksAlive) {
   EXPECT_EQ(cache.blocks_in_use(), 2u);  // only the source's fresh blocks
 }
 
+// The speculative draft branch forks the lane then appends in a parallel
+// phase where a COW allocation failure would throw. try_unshare_tail moves
+// the copy into the serial setup: it either secures a private tail or
+// reports failure without touching the cache.
+TEST(PagedKVTest, TryUnshareTailCowsEagerlyOrFailsCleanly) {
+  const auto cfg = paged_test_config();
+  KVCache cache(cfg, /*batch=*/2, /*max_seq=*/16, small_pool(4, 3));
+  for (int i = 0; i < 6; ++i) append_all_layers(cache, 0, 1.0f + i);
+  cache.fork_sequence(0, 1);
+  EXPECT_EQ(cache.blocks_in_use(), 2u);
+
+  // One free block: the shared partial tail copies now, and is idempotent.
+  EXPECT_TRUE(cache.try_unshare_tail(1));
+  EXPECT_EQ(cache.blocks_in_use(), 3u);
+  EXPECT_TRUE(cache.try_unshare_tail(1));
+  EXPECT_EQ(cache.blocks_in_use(), 3u);
+
+  // Appending into the pre-copied tail allocates nothing further and leaves
+  // the source's rows untouched.
+  std::vector<float> scratch(cache.kv_dim());
+  const float sentinel = cache.key(0, 0, 5, scratch)[0];
+  append_all_layers(cache, 1, -7.0f);
+  EXPECT_EQ(cache.blocks_in_use(), 3u);
+  EXPECT_EQ(cache.key(0, 0, 5, scratch)[0], sentinel);
+  EXPECT_EQ(cache.key(0, 1, 6, scratch)[0], -7.0f);
+  cache.free_sequence(1);
+  EXPECT_EQ(cache.blocks_in_use(), 2u);
+
+  // Exhausted pool: the probe reports failure and mutates nothing — a bare
+  // append in this state would throw from inside the COW copy.
+  cache.fork_sequence(0, 1);
+  ASSERT_TRUE(cache.try_reserve(0, 3));  // soak up the last free block
+  EXPECT_EQ(cache.free_blocks(), 0u);
+  EXPECT_FALSE(cache.try_unshare_tail(1));
+  EXPECT_EQ(cache.seq_len(1), 6u);
+  EXPECT_EQ(cache.blocks_in_use(), 3u);
+  EXPECT_EQ(cache.key(0, 1, 5, scratch)[0], sentinel);
+
+  // A block-aligned sequence has no partial tail: trivially true even with
+  // an empty pool.
+  cache.truncate(1, 4);
+  EXPECT_TRUE(cache.try_unshare_tail(1));
+}
+
 TEST(PagedKVTest, AttachPrefixAdoptsReferencesAndExtendsCleanly) {
   const auto cfg = paged_test_config();
   KVCache cache(cfg, /*batch=*/2, /*max_seq=*/16, small_pool(4, 8));

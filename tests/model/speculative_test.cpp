@@ -91,6 +91,34 @@ TEST_F(SpeculativeTest, QuantizedDraftOfSameFamily) {
   EXPECT_GT(stats.acceptance_rate(), 0.5);
 }
 
+TEST_F(SpeculativeTest, ProposedCountsOnlyVerifiedDrafts) {
+  // A rejection cuts the verify loop short: the drafts past it were never
+  // compared, so they must not count as proposed. Per round the target
+  // verifies accepted + (1 if rejected) proposals, so across the run
+  // proposed <= accepted + rounds — the old `proposed += k` accounting
+  // (k = 4 here) books up to 4 rejections per round and violates this.
+  Model target(target_master_, DType::kF32);
+  auto unrelated = MasterWeights::init_random(spec_config(kVocab, 16), 777);
+  Model draft(unrelated, DType::kF32);
+  SpeculativeStats stats;
+  speculative_generate(target, draft, {1, 2, 3}, 24, {4}, &stats);
+  EXPECT_LE(stats.accepted, stats.proposed);
+  EXPECT_LE(stats.proposed, stats.accepted + stats.rounds);
+  // An unrelated draft rejects on nearly every round, so the bound is tight:
+  // with the inflated accounting proposed would be ~4x rounds.
+  EXPECT_GT(stats.rounds, 1u);
+
+  // Self-draft never rejects: every verified proposal is accepted, so the
+  // corrected accounting reports exactly acceptance 1.0 even though rounds
+  // are cut short by max_new_tokens.
+  Model self_target(target_master_, DType::kF32);
+  Model self_draft(target_master_, DType::kF32);
+  SpeculativeStats self_stats;
+  speculative_generate(self_target, self_draft, {2, 4, 6}, 18, {4}, &self_stats);
+  EXPECT_EQ(self_stats.proposed, self_stats.accepted);
+  EXPECT_DOUBLE_EQ(self_stats.acceptance_rate(), 1.0);
+}
+
 TEST_F(SpeculativeTest, StatsAreConsistent) {
   Model target(target_master_, DType::kF32);
   Model draft(draft_master_, DType::kF32);
